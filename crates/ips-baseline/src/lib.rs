@@ -1,0 +1,22 @@
+//! Baselines the IPS paper positions itself against.
+//!
+//! * [`lambda`] — the legacy two-service split (§I, Fig 2): a *Long Term
+//!   Profile* rebuilt by a daily batch job over the event log, plus a
+//!   *Short Term Profile* holding only recent content ids that must be
+//!   joined against a content store at query time;
+//! * [`preagg`] — the related-work alternative (§VI): a streaming processor
+//!   pre-aggregating events into fixed sliding windows materialized in a
+//!   key-value store;
+//! * [`naive`] — an unbounded profile store with no compaction, truncation
+//!   or shrink, quantifying §III-D's 76 MB/user/year growth claim.
+//!
+//! Each baseline serves (a subset of) the same query surface as IPS so the
+//! comparison harnesses can run identical workloads over both.
+
+pub mod lambda;
+pub mod naive;
+pub mod preagg;
+
+pub use lambda::{ContentStore, LambdaProfileService};
+pub use naive::NaiveProfileStore;
+pub use preagg::PreAggStore;

@@ -1,0 +1,210 @@
+//! The unbounded profile store: no compact, no truncate, no shrink.
+//!
+//! §III-D's sizing argument: with 5-minute slices and no management, a
+//! profile grows to tens of megabytes within a year, versus ~45 KB managed.
+//! This baseline is literally the IPS data model with every bounding
+//! mechanism disabled, so the `memory_growth_year` harness can plot both
+//! curves from identical write streams.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use ips_core::model::ProfileData;
+use ips_core::query::{engine, ProfileQuery, QueryResult};
+use ips_metrics::Counter;
+use ips_types::{
+    ActionTypeId, AggregateFunction, CountVector, DurationMs, FeatureId, ProfileId, ShrinkConfig,
+    SlotId, Timestamp,
+};
+
+/// Growth snapshot for the comparison harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GrowthSnapshot {
+    pub profiles: usize,
+    pub total_slices: usize,
+    pub total_features: usize,
+    pub approx_bytes: usize,
+}
+
+/// The store: profile id → unmanaged [`ProfileData`].
+pub struct NaiveProfileStore {
+    profiles: Mutex<HashMap<ProfileId, ProfileData>>,
+    head_granularity: DurationMs,
+    aggregate: AggregateFunction,
+    pub writes: Counter,
+    pub queries: Counter,
+}
+
+impl NaiveProfileStore {
+    /// A store bucketing head slices at `head_granularity` (the paper's
+    /// example uses 5-minute slices).
+    #[must_use]
+    pub fn new(head_granularity: DurationMs) -> Self {
+        Self {
+            profiles: Mutex::new(HashMap::new()),
+            head_granularity,
+            aggregate: AggregateFunction::Sum,
+            writes: Counter::new(),
+            queries: Counter::new(),
+        }
+    }
+
+    /// Record one observation. Identical write path to IPS — minus all the
+    /// bounding machinery that would normally run afterwards.
+    pub fn record(
+        &self,
+        user: ProfileId,
+        at: Timestamp,
+        slot: SlotId,
+        action: ActionTypeId,
+        feature: FeatureId,
+        counts: &CountVector,
+    ) {
+        self.writes.inc();
+        let mut profiles = self.profiles.lock();
+        profiles.entry(user).or_default().add(
+            at,
+            slot,
+            action,
+            feature,
+            counts,
+            self.aggregate,
+            self.head_granularity,
+        );
+    }
+
+    /// Serve the same query surface as IPS (the data model is shared).
+    #[must_use]
+    pub fn query(&self, query: &ProfileQuery, now: Timestamp) -> QueryResult {
+        self.queries.inc();
+        let profiles = self.profiles.lock();
+        match profiles.get(&query.profile) {
+            Some(profile) => engine::execute(
+                profile,
+                query,
+                self.aggregate,
+                &ShrinkConfig::default(),
+                now,
+            ),
+            None => QueryResult::default(),
+        }
+    }
+
+    /// Point-in-time growth numbers.
+    #[must_use]
+    pub fn snapshot(&self) -> GrowthSnapshot {
+        let profiles = self.profiles.lock();
+        GrowthSnapshot {
+            profiles: profiles.len(),
+            total_slices: profiles.values().map(ProfileData::slice_count).sum(),
+            total_features: profiles.values().map(ProfileData::feature_count).sum(),
+            approx_bytes: profiles.values().map(ProfileData::approx_bytes).sum(),
+        }
+    }
+
+    /// Per-profile averages `(slices, bytes)`.
+    #[must_use]
+    pub fn per_profile_average(&self) -> (f64, f64) {
+        let snap = self.snapshot();
+        if snap.profiles == 0 {
+            return (0.0, 0.0);
+        }
+        (
+            snap.total_slices as f64 / snap.profiles as f64,
+            snap.approx_bytes as f64 / snap.profiles as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_types::{TableId, TimeRange};
+
+    const SLOT: SlotId = SlotId(1);
+    const LIKE: ActionTypeId = ActionTypeId(1);
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp::from_millis(t)
+    }
+
+    fn store() -> NaiveProfileStore {
+        NaiveProfileStore::new(DurationMs::from_mins(5))
+    }
+
+    #[test]
+    fn slices_grow_without_bound() {
+        let s = store();
+        let user = ProfileId::new(1);
+        // One event every 5 minutes for a simulated day: 288 slices.
+        for i in 0..288u64 {
+            s.record(
+                user,
+                ts(i * 300_000),
+                SLOT,
+                LIKE,
+                FeatureId::new(i % 50),
+                &CountVector::single(1),
+            );
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.profiles, 1);
+        assert_eq!(snap.total_slices, 288, "no compaction: one slice per bucket");
+    }
+
+    #[test]
+    fn queries_still_work() {
+        let s = store();
+        let user = ProfileId::new(1);
+        for i in 0..10u64 {
+            s.record(user, ts(i * 300_000), SLOT, LIKE, FeatureId::new(7), &CountVector::single(1));
+        }
+        let q = ProfileQuery::top_k(TableId::new(1), user, SLOT, TimeRange::last_days(1), 5);
+        let r = s.query(&q, ts(10 * 300_000));
+        assert_eq!(r.entries[0].counts.as_slice(), &[10]);
+    }
+
+    #[test]
+    fn growth_is_linear_in_time() {
+        let s = store();
+        let user = ProfileId::new(1);
+        let mut last_bytes = 0;
+        for month in 1..=3u64 {
+            for i in 0..100u64 {
+                s.record(
+                    user,
+                    ts(month * 2_592_000_000 + i * 300_000),
+                    SLOT,
+                    LIKE,
+                    FeatureId::new(i),
+                    &CountVector::single(1),
+                );
+            }
+            let bytes = s.snapshot().approx_bytes;
+            assert!(bytes > last_bytes, "month {month}: {bytes} <= {last_bytes}");
+            last_bytes = bytes;
+        }
+    }
+
+    #[test]
+    fn averages() {
+        let s = store();
+        assert_eq!(s.per_profile_average(), (0.0, 0.0));
+        for user in 1..=2u64 {
+            for i in 0..4u64 {
+                s.record(
+                    ProfileId::new(user),
+                    ts(i * 300_000),
+                    SLOT,
+                    LIKE,
+                    FeatureId::new(i),
+                    &CountVector::single(1),
+                );
+            }
+        }
+        let (slices, bytes) = s.per_profile_average();
+        assert_eq!(slices, 4.0);
+        assert!(bytes > 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Micro-bench: IPS query/write costs against the baselines on equivalent
+//! operations — the quantitative side of the §I / §VI comparisons.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ips_baseline::lambda::{LambdaProfileService, LoggedEvent};
+use ips_baseline::{NaiveProfileStore, PreAggStore};
+use ips_core::model::ProfileData;
+use ips_core::query::{engine, ProfileQuery};
+use ips_types::{
+    ActionTypeId, AggregateFunction, CountVector, DurationMs, FeatureId, ProfileId, ShrinkConfig,
+    SlotId, TableId, TimeRange, Timestamp,
+};
+
+const SLOT: SlotId = SlotId(1);
+const LIKE: ActionTypeId = ActionTypeId(1);
+const USER: ProfileId = ProfileId(1);
+
+fn bench_writes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_write");
+    let now = Timestamp::from_millis(1_000_000);
+
+    // IPS model write.
+    group.bench_function("ips_model_add", |b| {
+        let mut p = ProfileData::new();
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            p.add(
+                Timestamp::from_millis(1_000 + n),
+                SLOT,
+                LIKE,
+                FeatureId::new(n % 300),
+                &CountVector::single(1),
+                AggregateFunction::Sum,
+                DurationMs::from_secs(1),
+            );
+        })
+    });
+
+    // Pre-agg store write (5 windows => 5 materializations per event).
+    group.bench_function("preagg_record_5_windows", |b| {
+        let store = PreAggStore::new(vec![
+            DurationMs::from_mins(5),
+            DurationMs::from_hours(1),
+            DurationMs::from_days(1),
+            DurationMs::from_days(7),
+            DurationMs::from_days(30),
+        ]);
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            store.record(
+                USER,
+                SLOT,
+                FeatureId::new(n % 300),
+                &CountVector::single(1),
+                Timestamp::from_millis(1_000 + n),
+            );
+        })
+    });
+
+    // Lambda write: short-term push + log append. Re-created periodically so
+    // the unbounded event log doesn't grow across millions of iterations.
+    group.bench_function("lambda_record", |b| {
+        let mut service = LambdaProfileService::new(100);
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            if n % 1_000_000 == 0 {
+                service = LambdaProfileService::new(100);
+            }
+            service.record(LoggedEvent {
+                user: USER,
+                item: n % 300,
+                at: Timestamp::from_millis(1_000 + n),
+                attribute: 0,
+            });
+        })
+    });
+    let _ = now;
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_query");
+    let now = Timestamp::from_millis(DurationMs::from_days(1).as_millis());
+
+    // Shared event shape: 2_000 events over ~an hour, 300 distinct features.
+    let events: Vec<(u64, u64)> = (0..2_000u64).map(|i| (i, i * 7 % 300)).collect();
+
+    // IPS: raw slices, query-time aggregation over any window.
+    let mut ips_profile = ProfileData::new();
+    for (i, fid) in &events {
+        ips_profile.add(
+            Timestamp::from_millis(1_000 + i * 2_000),
+            SLOT,
+            LIKE,
+            FeatureId::new(*fid),
+            &CountVector::single(1),
+            AggregateFunction::Sum,
+            DurationMs::from_secs(1),
+        );
+    }
+    let query = ProfileQuery::top_k(TableId::new(1), USER, SLOT, TimeRange::last_days(1), 10);
+    let shrink = ShrinkConfig::default();
+    group.bench_function("ips_topk_uncompacted", |b| {
+        b.iter(|| {
+            black_box(engine::execute(
+                &ips_profile,
+                &query,
+                AggregateFunction::Sum,
+                &shrink,
+                now,
+            ))
+        })
+    });
+
+    // Pre-agg: top-K over one materialized window (its home turf).
+    let preagg = PreAggStore::new(vec![DurationMs::from_days(1)]);
+    for (i, fid) in &events {
+        preagg.record(
+            USER,
+            SLOT,
+            FeatureId::new(*fid),
+            &CountVector::single(1),
+            Timestamp::from_millis(1_000 + i * 2_000),
+        );
+    }
+    group.bench_function("preagg_topk_configured_window", |b| {
+        b.iter(|| {
+            black_box(
+                preagg
+                    .top_k(USER, SLOT, DurationMs::from_days(1), 0, 10, now)
+                    .unwrap(),
+            )
+        })
+    });
+
+    // Lambda: short-term assembly (content lookups) for a recent feature.
+    let lambda = LambdaProfileService::new(100);
+    for fid in 0..300u64 {
+        lambda
+            .content_store()
+            .put(fid, SLOT, LIKE, FeatureId::new(fid));
+    }
+    for (i, fid) in &events {
+        lambda.record(LoggedEvent {
+            user: USER,
+            item: *fid,
+            at: Timestamp::from_millis(1_000 + i * 2_000),
+            attribute: 0,
+        });
+    }
+    group.bench_function("lambda_short_term_assembly", |b| {
+        b.iter(|| black_box(lambda.assemble_short_term_features(USER, SLOT, 100)))
+    });
+
+    // Naive unbounded store: same engine, no compaction benefits.
+    let naive = NaiveProfileStore::new(DurationMs::from_mins(5));
+    for (i, fid) in &events {
+        naive.record(
+            USER,
+            Timestamp::from_millis(1_000 + i * 2_000),
+            SLOT,
+            LIKE,
+            FeatureId::new(*fid),
+            &CountVector::single(1),
+        );
+    }
+    group.bench_function("naive_topk", |b| {
+        b.iter(|| black_box(naive.query(&query, now)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_writes, bench_queries);
+criterion_main!(benches);

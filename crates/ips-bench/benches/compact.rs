@@ -1,0 +1,139 @@
+//! Micro-bench: compaction, truncation and shrink passes (§III-D).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ips_core::compact::compactor::compact_profile;
+use ips_core::compact::shrink::shrink_profile;
+use ips_core::model::ProfileData;
+use ips_types::{
+    ActionTypeId, AggregateFunction, CompactionConfig, CountVector, DurationMs, FeatureId,
+    ShrinkConfig, SlotId, Timestamp,
+};
+
+const SLOT: SlotId = SlotId(1);
+const LIKE: ActionTypeId = ActionTypeId(1);
+
+fn build(slices: u64, feats: u64) -> ProfileData {
+    let mut p = ProfileData::new();
+    for s in 0..slices {
+        for f in 0..feats {
+            p.add(
+                Timestamp::from_millis(1_000 + s * 1_000),
+                SLOT,
+                LIKE,
+                FeatureId::new(f * 7 % 300),
+                &CountVector::pair(1, 2),
+                AggregateFunction::Sum,
+                DurationMs::from_secs(1),
+            );
+        }
+    }
+    p
+}
+
+fn bench_compact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compact");
+    let now = Timestamp::from_millis(DurationMs::from_days(2).as_millis());
+    let config = CompactionConfig::default();
+
+    for slices in [60u64, 600, 3_600] {
+        group.bench_with_input(
+            BenchmarkId::new("full_pass", slices),
+            &slices,
+            |b, &slices| {
+                b.iter_batched(
+                    || build(slices, 8),
+                    |mut p| {
+                        black_box(compact_profile(
+                            &mut p,
+                            &config,
+                            AggregateFunction::Sum,
+                            now,
+                            false,
+                        ))
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+
+    group.bench_function("partial_pass_600", |b| {
+        b.iter_batched(
+            || build(600, 8),
+            |mut p| {
+                black_box(compact_profile(
+                    &mut p,
+                    &config,
+                    AggregateFunction::Sum,
+                    now,
+                    true,
+                ))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    // Already-compacted profiles must be near-free to re-check.
+    group.bench_function("idempotent_recheck", |b| {
+        let mut p = build(600, 8);
+        compact_profile(&mut p, &config, AggregateFunction::Sum, now, false);
+        b.iter_batched(
+            || p.clone(),
+            |mut p| {
+                black_box(compact_profile(
+                    &mut p,
+                    &config,
+                    AggregateFunction::Sum,
+                    now,
+                    false,
+                ))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_shrink(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shrink");
+    let now = Timestamp::from_millis(DurationMs::from_days(2).as_millis());
+    for (feats, budget) in [(100u64, 512usize), (1_000, 128), (5_000, 128)] {
+        let cfg = ShrinkConfig {
+            default_retain: budget,
+            fresh_horizon: DurationMs::from_mins(1),
+            long_term_fraction: 0.1,
+            weights: vec![1.0, 5.0],
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("features_to_budget", format!("{feats}->{budget}")),
+            &feats,
+            |b, &feats| {
+                b.iter_batched(
+                    || {
+                        let mut p = ProfileData::new();
+                        for f in 0..feats {
+                            p.add(
+                                Timestamp::from_millis(1_000 + (f % 50) * 1_000),
+                                SLOT,
+                                LIKE,
+                                FeatureId::new(f),
+                                &CountVector::pair(f as i64 % 17, 1),
+                                AggregateFunction::Sum,
+                                DurationMs::from_secs(1),
+                            );
+                        }
+                        p
+                    },
+                    |mut p| black_box(shrink_profile(&mut p, &cfg, now)),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compact, bench_shrink);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Micro-bench: the multi-way merge and aggregation core.
+//!
+//! Isolates `merged_features` — the slice-selection + k-way fold that every
+//! read API runs before its final sort/filter — across aggregate functions
+//! and decay settings.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ips_core::model::ProfileData;
+use ips_core::query::engine::merged_features;
+use ips_types::config::DecayFunction;
+use ips_types::{
+    ActionTypeId, AggregateFunction, CountVector, DurationMs, FeatureId, SlotId, Timestamp,
+};
+
+const SLOT: SlotId = SlotId(1);
+const LIKE: ActionTypeId = ActionTypeId(1);
+
+fn build(slices: u64, feats: u64, overlap: bool) -> ProfileData {
+    let mut p = ProfileData::new();
+    for s in 0..slices {
+        for f in 0..feats {
+            // overlap=true: same feature ids in every slice (heavy fold);
+            // overlap=false: disjoint ids per slice (pure insert).
+            let fid = if overlap { f } else { s * feats + f };
+            p.add(
+                Timestamp::from_millis(1_000 + s * 1_000),
+                SLOT,
+                LIKE,
+                FeatureId::new(fid),
+                &CountVector::pair(1, 2),
+                AggregateFunction::Sum,
+                DurationMs::from_secs(1),
+            );
+        }
+    }
+    p
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_aggregate");
+    let now = Timestamp::from_millis(DurationMs::from_days(1).as_millis());
+    let lo = Timestamp::ZERO;
+    let hi = now;
+
+    for overlap in [true, false] {
+        let p = build(64, 32, overlap);
+        group.bench_with_input(
+            BenchmarkId::new("overlap", overlap),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    black_box(merged_features(
+                        black_box(p),
+                        SLOT,
+                        None,
+                        lo,
+                        hi,
+                        AggregateFunction::Sum,
+                        DecayFunction::None,
+                        1.0,
+                        now,
+                    ))
+                })
+            },
+        );
+    }
+
+    let p = build(64, 32, true);
+    for (name, agg) in [
+        ("sum", AggregateFunction::Sum),
+        ("max", AggregateFunction::Max),
+        ("last", AggregateFunction::Last),
+    ] {
+        group.bench_with_input(BenchmarkId::new("aggregate", name), &p, |b, p| {
+            b.iter(|| {
+                black_box(merged_features(
+                    black_box(p),
+                    SLOT,
+                    None,
+                    lo,
+                    hi,
+                    agg,
+                    DecayFunction::None,
+                    1.0,
+                    now,
+                ))
+            })
+        });
+    }
+
+    for (name, decay) in [
+        ("none", DecayFunction::None),
+        (
+            "exponential",
+            DecayFunction::Exponential {
+                half_life: DurationMs::from_hours(1),
+            },
+        ),
+        (
+            "linear",
+            DecayFunction::Linear {
+                horizon: DurationMs::from_days(1),
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new("decay", name), &p, |b, p| {
+            b.iter(|| {
+                black_box(merged_features(
+                    black_box(p),
+                    SLOT,
+                    None,
+                    lo,
+                    hi,
+                    AggregateFunction::Sum,
+                    decay,
+                    1.0,
+                    now,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

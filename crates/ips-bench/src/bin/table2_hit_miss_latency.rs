@@ -1,0 +1,102 @@
+//! Table II: client- and server-side query latency, split by cache hit and
+//! cache miss.
+//!
+//! The paper's structure: misses cost ~2–4 ms more than hits (the
+//! persistent-store fetch + deserialize), and the client sees ~3 ms more
+//! than the server (network transmission, growing with response size). The
+//! harness measures server compute for real, adds the modeled network and
+//! storage components, and prints the same 2×2 table.
+
+use ips_bench::{banner, latency_row, testbed, TestbedOptions, TABLE};
+use ips_core::query::ProfileQuery;
+use ips_ingest::{WorkloadConfig, WorkloadGenerator};
+use ips_metrics::Histogram;
+use ips_types::{CallerId, Clock, ProfileId, SlotId, TimeRange};
+
+fn main() {
+    banner(
+        "Table II",
+        "client/server query latency by cache hit / cache miss (ms)",
+    );
+    let tb = testbed(TestbedOptions::default());
+    let caller = CallerId::new(1);
+    let mut generator = WorkloadGenerator::new(WorkloadConfig {
+        users: 4_000,
+        ..Default::default()
+    });
+
+    // Build profiles with realistic depth.
+    println!("preloading ...");
+    for _ in 0..40_000 {
+        let rec = generator.instance(tb.ctl.now());
+        tb.client
+            .add_profiles(caller, TABLE, rec.user, rec.at, rec.slot, rec.action_type, &[(rec.feature, rec.counts.clone())])
+            .unwrap();
+    }
+    for ep in tb.deployment.all_endpoints() {
+        ep.instance().flush_all().unwrap();
+    }
+
+    let client_hit = Histogram::new();
+    let server_hit = Histogram::new();
+    let client_miss = Histogram::new();
+    let server_miss = Histogram::new();
+
+    // Hits: query users that are resident.
+    println!("measuring hit path ...");
+    for _ in 0..5_000 {
+        let user = generator.sample_user();
+        let q = ProfileQuery::top_k(TABLE, user, SlotId::new(user.raw() as u32 % 8), TimeRange::last_days(7), 100);
+        let (result, breakdown) = tb.client.query(caller, &q).unwrap();
+        if result.cache_hit {
+            client_hit.record(breakdown.total_us());
+            server_hit.record(breakdown.server_us + breakdown.storage_us);
+        }
+    }
+
+    // Misses: evict a block of users everywhere, then query them once each.
+    println!("measuring miss path ...");
+    let mut missed = 0;
+    let mut user_cursor = 1u64;
+    while missed < 2_000 && user_cursor < 4_000 {
+        let user = ProfileId::new(user_cursor);
+        user_cursor += 1;
+        for ep in tb.deployment.all_endpoints() {
+            let _ = ep.instance().table(TABLE).unwrap().cache.evict(user);
+        }
+        let q = ProfileQuery::top_k(TABLE, user, SlotId::new(user.raw() as u32 % 8), TimeRange::last_days(7), 100);
+        let (result, breakdown) = tb.client.query(caller, &q).unwrap();
+        if !result.cache_hit && !result.is_empty() {
+            client_miss.record(breakdown.total_us());
+            server_miss.record(breakdown.server_us + breakdown.storage_us);
+            missed += 1;
+        }
+    }
+
+    println!();
+    println!("                              (client = server + modeled network)");
+    latency_row("server / cache hit", &server_hit.snapshot());
+    latency_row("client / cache hit", &client_hit.snapshot());
+    latency_row("server / cache miss", &server_miss.snapshot());
+    latency_row("client / cache miss", &client_miss.snapshot());
+
+    // Shape checks from the paper's Table II.
+    let hit_p50 = client_hit.percentile(50.0) as f64 / 1_000.0;
+    let miss_p50 = client_miss.percentile(50.0) as f64 / 1_000.0;
+    let net_overhead =
+        (client_hit.percentile(50.0) as i64 - server_hit.percentile(50.0) as i64) as f64 / 1_000.0;
+    println!("-- shape summary ------------------------------------------");
+    println!("miss penalty at p50: {:.2} ms (paper: ~2-4 ms)", miss_p50 - hit_p50);
+    println!("network overhead at p50: {net_overhead:.2} ms (paper: ~3 ms)");
+    assert!(
+        miss_p50 - hit_p50 >= 1.0 && miss_p50 - hit_p50 <= 6.0,
+        "miss penalty {:.2}ms out of the paper's band",
+        miss_p50 - hit_p50
+    );
+    assert!(
+        (0.8..6.0).contains(&net_overhead),
+        "network overhead {net_overhead:.2}ms out of band"
+    );
+    let _ = tb.ctl.now();
+    println!("table2_hit_miss_latency: OK");
+}

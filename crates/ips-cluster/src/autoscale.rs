@@ -1,0 +1,184 @@
+//! Reactive auto-scaling (§IV intro).
+//!
+//! "All these clusters run on top of Kubernetes in a cloud native manner
+//! ... IPS pod can auto-scale up and down depending on the workload."
+//!
+//! The autoscaler watches per-region query rates against a target
+//! per-instance rate and recommends (or applies) scale decisions with the
+//! usual guard rails: min/max replicas, scale-up threshold above the
+//! target, scale-down threshold below it, and a cooldown so flapping load
+//! doesn't thrash pods. New instances register in discovery and take over
+//! their consistent-hash share on the next client refresh, warming their
+//! caches from the KV substrate on demand — exactly how a new IPS pod joins.
+
+use ips_types::{DurationMs, SharedClock, Timestamp};
+
+/// Scaling policy knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AutoscalerConfig {
+    /// Queries/second one instance should comfortably serve.
+    pub target_qps_per_instance: f64,
+    /// Scale up when observed per-instance load exceeds
+    /// `target * up_threshold`.
+    pub up_threshold: f64,
+    /// Scale down when it falls below `target * down_threshold`.
+    pub down_threshold: f64,
+    pub min_instances: usize,
+    pub max_instances: usize,
+    /// Minimum time between scale actions per region.
+    pub cooldown: DurationMs,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        Self {
+            target_qps_per_instance: 10_000.0,
+            up_threshold: 0.9,
+            down_threshold: 0.4,
+            min_instances: 2,
+            max_instances: 64,
+            cooldown: DurationMs::from_mins(5),
+        }
+    }
+}
+
+/// One scaling recommendation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Add this many instances.
+    Up(usize),
+    /// Remove this many instances.
+    Down(usize),
+    /// Within band (or cooling down).
+    Hold,
+}
+
+/// Per-region autoscaler state.
+pub struct Autoscaler {
+    config: AutoscalerConfig,
+    clock: SharedClock,
+    last_action: Option<Timestamp>,
+}
+
+impl Autoscaler {
+    #[must_use]
+    pub fn new(config: AutoscalerConfig, clock: SharedClock) -> Self {
+        assert!(config.min_instances >= 1);
+        assert!(config.max_instances >= config.min_instances);
+        assert!(config.up_threshold > config.down_threshold);
+        Self {
+            config,
+            clock,
+            last_action: None,
+        }
+    }
+
+    /// Evaluate one observation: total region qps over `instances` healthy
+    /// instances. Returns the decision; callers apply it and the cooldown
+    /// starts automatically for non-[`ScaleDecision::Hold`] outcomes.
+    pub fn evaluate(&mut self, region_qps: f64, instances: usize) -> ScaleDecision {
+        let now = self.clock.now();
+        if let Some(last) = self.last_action {
+            if now.distance(last) < self.config.cooldown {
+                return ScaleDecision::Hold;
+            }
+        }
+        let instances = instances.max(1);
+        let per_instance = region_qps / instances as f64;
+        let target = self.config.target_qps_per_instance;
+
+        if per_instance > target * self.config.up_threshold {
+            // Size for the target directly rather than stepping by one: a
+            // traffic spike should converge in one action.
+            let desired = (region_qps / target).ceil() as usize;
+            let desired = desired.clamp(self.config.min_instances, self.config.max_instances);
+            if desired > instances {
+                self.last_action = Some(now);
+                return ScaleDecision::Up(desired - instances);
+            }
+        } else if per_instance < target * self.config.down_threshold {
+            let desired = (region_qps / (target * 0.7)).ceil() as usize;
+            let desired = desired.clamp(self.config.min_instances, self.config.max_instances);
+            if desired < instances {
+                self.last_action = Some(now);
+                return ScaleDecision::Down(instances - desired);
+            }
+        }
+        ScaleDecision::Hold
+    }
+
+    #[must_use]
+    pub fn config(&self) -> &AutoscalerConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_types::clock::sim_clock;
+
+    fn scaler() -> (Autoscaler, ips_types::SimClock) {
+        let (clock, ctl) = sim_clock(Timestamp::from_millis(1_000_000));
+        (
+            Autoscaler::new(
+                AutoscalerConfig {
+                    target_qps_per_instance: 1_000.0,
+                    up_threshold: 0.9,
+                    down_threshold: 0.4,
+                    min_instances: 2,
+                    max_instances: 10,
+                    cooldown: DurationMs::from_mins(5),
+                },
+                clock,
+            ),
+            ctl,
+        )
+    }
+
+    #[test]
+    fn holds_inside_band() {
+        let (mut s, _ctl) = scaler();
+        assert_eq!(s.evaluate(2_000.0, 4), ScaleDecision::Hold); // 500/inst
+        assert_eq!(s.evaluate(3_200.0, 4), ScaleDecision::Hold); // 800/inst
+    }
+
+    #[test]
+    fn scales_up_to_cover_load_in_one_step() {
+        let (mut s, _ctl) = scaler();
+        // 4 instances at 1500/inst: desired = ceil(6000/1000) = 6.
+        assert_eq!(s.evaluate(6_000.0, 4), ScaleDecision::Up(2));
+    }
+
+    #[test]
+    fn scales_down_when_idle() {
+        let (mut s, _ctl) = scaler();
+        // 8 instances at 100/inst: desired = ceil(800/700) = 2 (min 2).
+        assert_eq!(s.evaluate(800.0, 8), ScaleDecision::Down(6));
+    }
+
+    #[test]
+    fn respects_min_and_max() {
+        let (mut s, ctl) = scaler();
+        assert_eq!(s.evaluate(0.0, 2), ScaleDecision::Hold, "already at min");
+        ctl.advance(DurationMs::from_mins(6));
+        // Massive spike: capped at max 10.
+        assert_eq!(s.evaluate(1_000_000.0, 4), ScaleDecision::Up(6));
+    }
+
+    #[test]
+    fn cooldown_suppresses_thrash() {
+        let (mut s, ctl) = scaler();
+        assert_eq!(s.evaluate(6_000.0, 4), ScaleDecision::Up(2));
+        // Immediately after, load drops — must hold through cooldown.
+        assert_eq!(s.evaluate(500.0, 6), ScaleDecision::Hold);
+        ctl.advance(DurationMs::from_mins(6));
+        assert!(matches!(s.evaluate(500.0, 6), ScaleDecision::Down(_)));
+    }
+
+    #[test]
+    fn zero_instances_treated_as_one() {
+        let (mut s, _ctl) = scaler();
+        assert!(matches!(s.evaluate(5_000.0, 0), ScaleDecision::Up(_)));
+    }
+}

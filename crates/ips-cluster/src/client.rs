@@ -1,0 +1,598 @@
+//! The unified IPS client (§III: "upstream user applications rely on a
+//! unified IPS client to communicate with this layer").
+//!
+//! Routing follows the paper's deployment rules:
+//!
+//! * **writes fan out to every region** (Fig 15: "upstream applications
+//!   write data to all IPS instances regardless of region");
+//! * **queries go to the local region**, falling over to other instances
+//!   (then other regions) on retryable failures — the behaviour that keeps
+//!   Fig 17's client-observed error rate in the 0.01% range while nodes
+//!   crash and recover underneath;
+//! * instance lists come from discovery and are **refreshed periodically**,
+//!   so routing reacts to registrations/expiries within one refresh.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ips_core::query::{ProfileQuery, QueryResult};
+use ips_kv::KvLatencyModel;
+use ips_metrics::Counter;
+use ips_types::{
+    ActionTypeId, CallerId, CountVector, FeatureId, IpsError, ProfileId, Result, SlotId, TableId,
+    Timestamp,
+};
+
+use crate::discovery::Discovery;
+use crate::ring::HashRing;
+use crate::rpc::{RpcEndpoint, RpcRequest, RpcResponse};
+
+/// Modeled + measured components of one request's latency.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Modeled network transit (request + response).
+    pub network_us: u64,
+    /// Measured in-process server time (compute + codec).
+    pub server_us: u64,
+    /// Modeled persistent-store fetch time (cache misses only).
+    pub storage_us: u64,
+}
+
+impl LatencyBreakdown {
+    /// End-to-end client-observed latency.
+    #[must_use]
+    pub fn total_us(&self) -> u64 {
+        self.network_us + self.server_us + self.storage_us
+    }
+}
+
+/// Client-side counters (Fig 17's error-rate series reads these).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientStats {
+    pub attempts: u64,
+    pub successes: u64,
+    pub failures: u64,
+    pub retries: u64,
+}
+
+/// The unified client.
+pub struct IpsClusterClient {
+    discovery: Arc<Discovery>,
+    /// Transport address book: name → endpoint.
+    endpoints: RwLock<HashMap<String, Arc<RpcEndpoint>>>,
+    /// Per-region rings, rebuilt on refresh.
+    rings: RwLock<HashMap<String, HashRing>>,
+    home_region: String,
+    storage_model: KvLatencyModel,
+    storage_rng: parking_lot::Mutex<SmallRng>,
+    /// Failover candidates tried per region before giving up on it.
+    max_candidates: usize,
+    /// Total attempts allowed per request before the deadline expires.
+    attempt_budget: usize,
+    pub attempts: Counter,
+    pub successes: Counter,
+    pub failures: Counter,
+    pub retries: Counter,
+}
+
+impl IpsClusterClient {
+    /// A client homed in `home_region`. Call [`IpsClusterClient::refresh`]
+    /// (after registering endpoints) before first use and periodically
+    /// thereafter.
+    #[must_use]
+    pub fn new(
+        discovery: Arc<Discovery>,
+        home_region: impl Into<String>,
+        storage_model: KvLatencyModel,
+    ) -> Self {
+        Self {
+            discovery,
+            endpoints: RwLock::new(HashMap::new()),
+            rings: RwLock::new(HashMap::new()),
+            home_region: home_region.into(),
+            storage_model,
+            storage_rng: parking_lot::Mutex::new(SmallRng::seed_from_u64(0xC11E47)),
+            max_candidates: 3,
+            attempt_budget: usize::MAX,
+            attempts: Counter::new(),
+            successes: Counter::new(),
+            failures: Counter::new(),
+            retries: Counter::new(),
+        }
+    }
+
+    /// Bound the total attempts per request. In production this models the
+    /// request deadline: a client that has burned its latency budget on
+    /// dead nodes fails the request even though more replicas exist. Fig
+    /// 17's residual error rate lives exactly in this window.
+    pub fn set_attempt_budget(&mut self, n: usize) {
+        self.attempt_budget = n.max(1);
+    }
+
+    /// Make endpoints addressable (the transport layer's address book —
+    /// in production this is the network; here it is explicit wiring).
+    pub fn add_endpoints(&self, endpoints: impl IntoIterator<Item = Arc<RpcEndpoint>>) {
+        let mut map = self.endpoints.write();
+        for ep in endpoints {
+            map.insert(ep.name().to_string(), ep);
+        }
+    }
+
+    /// Refresh instance lists from discovery and rebuild per-region rings.
+    pub fn refresh(&self) {
+        let healthy = self.discovery.healthy();
+        let mut rings: HashMap<String, HashRing> = HashMap::new();
+        for reg in healthy {
+            rings
+                .entry(reg.region.clone())
+                .or_insert_with(|| HashRing::new(128))
+                .add(&reg.name);
+        }
+        *self.rings.write() = rings;
+    }
+
+    #[must_use]
+    pub fn home_region(&self) -> &str {
+        &self.home_region
+    }
+
+    /// Known regions (post-refresh).
+    #[must_use]
+    pub fn regions(&self) -> Vec<String> {
+        self.rings.read().keys().cloned().collect()
+    }
+
+    fn candidates_in_region(&self, region: &str, pid: ProfileId) -> Vec<Arc<RpcEndpoint>> {
+        let rings = self.rings.read();
+        let Some(ring) = rings.get(region) else {
+            return Vec::new();
+        };
+        let names: Vec<String> = ring
+            .nodes_for(pid, self.max_candidates)
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        drop(rings);
+        let eps = self.endpoints.read();
+        names
+            .iter()
+            .filter_map(|n| eps.get(n).cloned())
+            .collect()
+    }
+
+    fn call_with_failover(
+        &self,
+        pid: ProfileId,
+        request: &RpcRequest,
+        regions: &[String],
+    ) -> Result<(RpcResponse, u64)> {
+        self.attempts.inc();
+        let mut last_err = IpsError::Unavailable("no healthy instance".into());
+        let mut tries = 0usize;
+        // Walk owner-then-failover candidates per region; if the deadline
+        // allows more attempts than candidates exist (e.g. a lone surviving
+        // node hit by a transient loss), loop back and retry the same nodes
+        // — production clients retry on timeout until the deadline.
+        'deadline: while tries < self.attempt_budget {
+            let mut attempted_any = false;
+            for region in regions {
+                for ep in self.candidates_in_region(region, pid) {
+                    if tries >= self.attempt_budget {
+                        break 'deadline; // request deadline exhausted
+                    }
+                    attempted_any = true;
+                    if tries > 0 {
+                        self.retries.inc();
+                    }
+                    tries += 1;
+                    match ep.call(request) {
+                        Ok(out) => {
+                            self.successes.inc();
+                            return Ok(out);
+                        }
+                        Err(e) if e.is_retryable() => {
+                            last_err = e;
+                        }
+                        Err(e) => {
+                            // Terminal (quota, invalid request): do not mask
+                            // it by retrying elsewhere.
+                            self.failures.inc();
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+            if !attempted_any {
+                break; // no candidates at all: fail immediately
+            }
+            if self.attempt_budget == usize::MAX {
+                break; // unbounded budget: one full sweep is the contract
+            }
+        }
+        self.failures.inc();
+        Err(last_err)
+    }
+
+    /// Write one batch of features to **every region** (the ingestion-side
+    /// fan-out). Succeeds if at least one region accepted; per-region
+    /// failures are retried within the region and then counted.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_profiles(
+        &self,
+        caller: CallerId,
+        table: TableId,
+        pid: ProfileId,
+        at: Timestamp,
+        slot: SlotId,
+        action: ActionTypeId,
+        features: &[(FeatureId, CountVector)],
+    ) -> Result<LatencyBreakdown> {
+        let request = RpcRequest::Add {
+            caller,
+            table,
+            profile: pid,
+            at,
+            slot,
+            action,
+            features: features.to_vec(),
+        };
+        let regions = self.regions();
+        if regions.is_empty() {
+            self.attempts.inc();
+            self.failures.inc();
+            return Err(IpsError::Unavailable("no regions discovered".into()));
+        }
+        let mut any_ok = false;
+        let mut worst = LatencyBreakdown::default();
+        let mut last_err = IpsError::Unavailable("no healthy instance".into());
+        for region in &regions {
+            let started = std::time::Instant::now();
+            match self.call_with_failover(pid, &request, std::slice::from_ref(region)) {
+                Ok((_, network_us)) => {
+                    any_ok = true;
+                    let breakdown = LatencyBreakdown {
+                        network_us,
+                        server_us: started.elapsed().as_micros() as u64,
+                        storage_us: 0,
+                    };
+                    // The client-observed write latency is the slowest
+                    // region it waits on.
+                    if breakdown.total_us() > worst.total_us() {
+                        worst = breakdown;
+                    }
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        if any_ok {
+            Ok(worst)
+        } else {
+            Err(last_err)
+        }
+    }
+
+    /// Convenience single-feature write.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_profile(
+        &self,
+        caller: CallerId,
+        table: TableId,
+        pid: ProfileId,
+        at: Timestamp,
+        slot: SlotId,
+        action: ActionTypeId,
+        feature: FeatureId,
+        counts: CountVector,
+    ) -> Result<LatencyBreakdown> {
+        self.add_profiles(caller, table, pid, at, slot, action, &[(feature, counts)])
+    }
+
+    /// Query the **local region**, failing over within it and then to other
+    /// regions (§III-G: "when a region fails, the other regions are able to
+    /// take over").
+    pub fn query(
+        &self,
+        caller: CallerId,
+        query: &ProfileQuery,
+    ) -> Result<(QueryResult, LatencyBreakdown)> {
+        let request = RpcRequest::Query {
+            caller,
+            query: query.clone(),
+        };
+        // Home region first, then the rest.
+        let mut regions = vec![self.home_region.clone()];
+        for r in self.regions() {
+            if r != self.home_region {
+                regions.push(r);
+            }
+        }
+        let started = std::time::Instant::now();
+        let (response, network_us) =
+            self.call_with_failover(query.profile, &request, &regions)?;
+        let server_us = started.elapsed().as_micros() as u64;
+        let RpcResponse::Query(result) = response else {
+            return Err(IpsError::Rpc("mismatched response type".into()));
+        };
+        let storage_us = if result.cache_hit {
+            0
+        } else {
+            // Model the persistent-store fetch the miss path performed.
+            let mut rng = self.storage_rng.lock();
+            self.storage_model.sample_us(32 << 10, &mut rng)
+        };
+        Ok((
+            result,
+            LatencyBreakdown {
+                network_us,
+                server_us,
+                storage_us,
+            },
+        ))
+    }
+
+    /// Snapshot the client's counters.
+    #[must_use]
+    pub fn stats(&self) -> ClientStats {
+        ClientStats {
+            attempts: self.attempts.get(),
+            successes: self.successes.get(),
+            failures: self.failures.get(),
+            retries: self.retries.get(),
+        }
+    }
+
+    /// Client-observed error rate since start (terminal failures over
+    /// attempts) — the Fig 17 metric.
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        let attempts = self.attempts.get();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.failures.get() as f64 / attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{MultiRegionDeployment, MultiRegionOptions};
+    use ips_types::clock::sim_clock;
+    use ips_types::Clock as _;
+    use ips_types::{DurationMs, TableConfig, TimeRange};
+
+    const TABLE: TableId = TableId(1);
+    const CALLER: CallerId = CallerId(1);
+    const SLOT: SlotId = SlotId(1);
+    const LIKE: ActionTypeId = ActionTypeId(1);
+
+    fn deployment() -> (MultiRegionDeployment, IpsClusterClient, ips_types::SimClock) {
+        let (clock, ctl) = sim_clock(Timestamp::from_millis(
+            DurationMs::from_days(400).as_millis(),
+        ));
+        let mut options = MultiRegionOptions::default();
+        options.instances_per_region = 3;
+        options.tables = vec![(TABLE, {
+            let mut c = TableConfig::new("t");
+            c.isolation.enabled = false;
+            c
+        })];
+        let d = MultiRegionDeployment::build(options, clock).unwrap();
+        let client = IpsClusterClient::new(
+            Arc::clone(&d.discovery),
+            "region-a",
+            KvLatencyModel::zero(),
+        );
+        client.add_endpoints(d.all_endpoints());
+        client.refresh();
+        (d, client, ctl)
+    }
+
+    fn write(client: &IpsClusterClient, pid: u64, fid: u64, at: Timestamp) {
+        client
+            .add_profile(
+                CALLER,
+                TABLE,
+                ProfileId::new(pid),
+                at,
+                SLOT,
+                LIKE,
+                FeatureId::new(fid),
+                CountVector::single(1),
+            )
+            .unwrap();
+    }
+
+    fn top_k(pid: u64) -> ProfileQuery {
+        ProfileQuery::top_k(TABLE, ProfileId::new(pid), SLOT, TimeRange::last_days(1), 10)
+    }
+
+    #[test]
+    fn write_fans_out_to_all_regions() {
+        let (d, client, ctl) = deployment();
+        write(&client, 7, 1, ctl.now());
+        // The profile is queryable from BOTH regions' instances directly.
+        for region in &d.regions {
+            let mut found = false;
+            for ep in &region.endpoints {
+                let r = ep
+                    .instance()
+                    .query(CALLER, &top_k(7))
+                    .unwrap();
+                if !r.is_empty() {
+                    found = true;
+                }
+            }
+            assert!(found, "region {} must hold the write", region.name);
+        }
+    }
+
+    #[test]
+    fn query_prefers_home_region() {
+        let (d, client, ctl) = deployment();
+        write(&client, 7, 1, ctl.now());
+        let before: u64 = d
+            .region("region-b")
+            .unwrap()
+            .endpoints
+            .iter()
+            .map(|e| e.instance().table(TABLE).unwrap().metrics.queries.get())
+            .sum();
+        let (result, _) = client.query(CALLER, &top_k(7)).unwrap();
+        assert_eq!(result.len(), 1);
+        let after: u64 = d
+            .region("region-b")
+            .unwrap()
+            .endpoints
+            .iter()
+            .map(|e| e.instance().table(TABLE).unwrap().metrics.queries.get())
+            .sum();
+        assert_eq!(before, after, "home-region query must not touch region-b");
+    }
+
+    #[test]
+    fn instance_failure_fails_over_within_region() {
+        let (d, client, ctl) = deployment();
+        write(&client, 7, 1, ctl.now());
+        // The owner flushes to the persistent store (in production the
+        // flush threads do this within tens of milliseconds)...
+        let region_a = d.region("region-a").unwrap();
+        for ep in &region_a.endpoints {
+            ep.instance().flush_all().unwrap();
+        }
+        // ...then the whole region except one instance crashes.
+        for ep in &region_a.endpoints {
+            ep.set_down(true);
+        }
+        region_a.endpoints[0].set_down(false);
+        // The survivor is not the owner's cache, so it serves the query by
+        // loading the profile from the key-value store — the paper's
+        // recovery path.
+        let (result, _) = client.query(CALLER, &top_k(7)).unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(client.error_rate(), 0.0, "failover masked the outage");
+    }
+
+    #[test]
+    fn region_outage_fails_over_to_other_region() {
+        let (d, client, ctl) = deployment();
+        write(&client, 7, 1, ctl.now());
+        d.region("region-a").unwrap().set_down(true);
+        let (result, _) = client.query(CALLER, &top_k(7)).unwrap();
+        assert_eq!(result.len(), 1, "region-b served the query");
+        assert!(client.stats().retries > 0);
+        assert_eq!(client.stats().failures, 0);
+    }
+
+    #[test]
+    fn total_outage_reports_failure() {
+        let (d, client, ctl) = deployment();
+        write(&client, 7, 1, ctl.now());
+        for region in &d.regions {
+            region.set_down(true);
+        }
+        assert!(client.query(CALLER, &top_k(7)).is_err());
+        assert!(client.error_rate() > 0.0);
+    }
+
+    #[test]
+    fn quota_rejection_is_not_retried() {
+        let (d, client, ctl) = deployment();
+        // Set a zero quota for a caller on every instance.
+        let banned = CallerId::new(66);
+        for ep in d.all_endpoints() {
+            ep.instance().quota.set_quota(
+                banned,
+                ips_types::QuotaConfig {
+                    qps_limit: 0,
+                    burst_factor: 1.0,
+                },
+            );
+        }
+        write(&client, 7, 1, ctl.now());
+        let before_retries = client.stats().retries;
+        let err = client.query(banned, &top_k(7)).unwrap_err();
+        assert!(matches!(err, IpsError::QuotaExceeded(_)));
+        assert_eq!(
+            client.stats().retries,
+            before_retries,
+            "terminal errors must not trigger failover"
+        );
+    }
+
+    #[test]
+    fn refresh_tracks_discovery_changes() {
+        let (d, client, ctl) = deployment();
+        assert_eq!(client.regions().len(), 2);
+        // Region-b expires out of discovery.
+        ctl.advance(DurationMs::from_secs(20));
+        for ep in d.region("region-a").unwrap().endpoints.iter() {
+            d.discovery.heartbeat(ep.name());
+        }
+        ctl.advance(DurationMs::from_secs(15));
+        client.refresh();
+        assert_eq!(client.regions().len(), 1);
+    }
+
+    #[test]
+    fn no_discovery_no_service() {
+        let (clock, _ctl) = sim_clock(Timestamp::from_millis(1_000));
+        let discovery = Arc::new(Discovery::new(clock, DurationMs::from_secs(30)));
+        let client = IpsClusterClient::new(discovery, "nowhere", KvLatencyModel::zero());
+        client.refresh();
+        assert!(matches!(
+            client.add_profile(
+                CALLER,
+                TABLE,
+                ProfileId::new(1),
+                Timestamp::from_millis(1),
+                SLOT,
+                LIKE,
+                FeatureId::new(1),
+                CountVector::single(1),
+            ),
+            Err(IpsError::Unavailable(_))
+        ));
+    }
+
+    #[test]
+    fn miss_latency_includes_storage_component() {
+        let (d, _client, ctl) = deployment();
+        let client = IpsClusterClient::new(
+            Arc::clone(&d.discovery),
+            "region-a",
+            KvLatencyModel::production_default(),
+        );
+        client.add_endpoints(d.all_endpoints());
+        client.refresh();
+        write(&client, 7, 1, ctl.now());
+        // Evict from every instance so the next query is a miss.
+        for ep in d.all_endpoints() {
+            ep.instance()
+                .table(TABLE)
+                .unwrap()
+                .cache
+                .flush_all()
+                .unwrap();
+            ep.instance()
+                .table(TABLE)
+                .unwrap()
+                .cache
+                .evict(ProfileId::new(7))
+                .unwrap();
+        }
+        let (result, breakdown) = client.query(CALLER, &top_k(7)).unwrap();
+        assert_eq!(result.len(), 1);
+        assert!(!result.cache_hit);
+        assert!(breakdown.storage_us > 0, "miss must pay modeled storage time");
+        // A second query hits the cache: no storage component.
+        let (result, breakdown) = client.query(CALLER, &top_k(7)).unwrap();
+        assert!(result.cache_hit);
+        assert_eq!(breakdown.storage_us, 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Service discovery (Consul substitute).
+//!
+//! "IPS instances register the IP and port with Consul when the service is
+//! ready and the upstream clients refresh the IPS instance list from Consul
+//! periodically" (§III). Here registrations carry a name, a region and a
+//! TTL; instances heartbeat to stay listed, and clients poll
+//! [`Discovery::healthy_in_region`]. Expired registrations disappear, which
+//! is what lets a client route around a crashed instance within one
+//! refresh interval — the recovery path Fig 17's error budget depends on.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use ips_types::{DurationMs, SharedClock, Timestamp};
+
+/// One registered instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Registration {
+    pub name: String,
+    pub region: String,
+    pub registered_at: Timestamp,
+    pub expires_at: Timestamp,
+}
+
+/// The registry.
+pub struct Discovery {
+    clock: SharedClock,
+    ttl: DurationMs,
+    entries: RwLock<HashMap<String, Registration>>,
+}
+
+impl Discovery {
+    /// A registry whose registrations live `ttl` past their last heartbeat.
+    #[must_use]
+    pub fn new(clock: SharedClock, ttl: DurationMs) -> Self {
+        Self {
+            clock,
+            ttl,
+            entries: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Register (or re-register) an instance. Also serves as the heartbeat.
+    pub fn register(&self, name: &str, region: &str) {
+        let now = self.clock.now();
+        let reg = Registration {
+            name: name.to_string(),
+            region: region.to_string(),
+            registered_at: now,
+            expires_at: now.saturating_add(self.ttl),
+        };
+        self.entries.write().insert(name.to_string(), reg);
+    }
+
+    /// Heartbeat an existing registration; no-op if not registered.
+    pub fn heartbeat(&self, name: &str) {
+        let now = self.clock.now();
+        if let Some(reg) = self.entries.write().get_mut(name) {
+            reg.expires_at = now.saturating_add(self.ttl);
+        }
+    }
+
+    /// Explicitly deregister (graceful shutdown).
+    pub fn deregister(&self, name: &str) -> bool {
+        self.entries.write().remove(name).is_some()
+    }
+
+    fn live(&self) -> Vec<Registration> {
+        let now = self.clock.now();
+        self.entries
+            .read()
+            .values()
+            .filter(|r| r.expires_at > now)
+            .cloned()
+            .collect()
+    }
+
+    /// All currently healthy registrations.
+    #[must_use]
+    pub fn healthy(&self) -> Vec<Registration> {
+        let mut v = self.live();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Healthy registrations in one region.
+    #[must_use]
+    pub fn healthy_in_region(&self, region: &str) -> Vec<Registration> {
+        let mut v: Vec<Registration> = self
+            .live()
+            .into_iter()
+            .filter(|r| r.region == region)
+            .collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Is one specific instance currently healthy?
+    #[must_use]
+    pub fn is_healthy(&self, name: &str) -> bool {
+        let now = self.clock.now();
+        self.entries
+            .read()
+            .get(name)
+            .is_some_and(|r| r.expires_at > now)
+    }
+
+    /// Drop expired entries (housekeeping; reads already filter them).
+    pub fn sweep(&self) -> usize {
+        let now = self.clock.now();
+        let mut entries = self.entries.write();
+        let before = entries.len();
+        entries.retain(|_, r| r.expires_at > now);
+        before - entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_types::clock::sim_clock;
+
+    fn registry() -> (Discovery, ips_types::SimClock) {
+        let (clock, ctl) = sim_clock(Timestamp::from_millis(1_000_000));
+        (Discovery::new(clock, DurationMs::from_secs(30)), ctl)
+    }
+
+    #[test]
+    fn register_and_list() {
+        let (d, _ctl) = registry();
+        d.register("ips-1", "us-east");
+        d.register("ips-2", "us-west");
+        d.register("ips-3", "us-east");
+        assert_eq!(d.healthy().len(), 3);
+        let east = d.healthy_in_region("us-east");
+        assert_eq!(east.len(), 2);
+        assert_eq!(east[0].name, "ips-1");
+        assert!(d.is_healthy("ips-2"));
+    }
+
+    #[test]
+    fn ttl_expiry_without_heartbeat() {
+        let (d, ctl) = registry();
+        d.register("ips-1", "us-east");
+        ctl.advance(DurationMs::from_secs(31));
+        assert!(d.healthy().is_empty());
+        assert!(!d.is_healthy("ips-1"));
+    }
+
+    #[test]
+    fn heartbeat_extends_ttl() {
+        let (d, ctl) = registry();
+        d.register("ips-1", "us-east");
+        for _ in 0..5 {
+            ctl.advance(DurationMs::from_secs(20));
+            d.heartbeat("ips-1");
+        }
+        assert!(d.is_healthy("ips-1"), "kept alive by heartbeats");
+        ctl.advance(DurationMs::from_secs(31));
+        assert!(!d.is_healthy("ips-1"));
+    }
+
+    #[test]
+    fn heartbeat_of_unknown_is_noop() {
+        let (d, _ctl) = registry();
+        d.heartbeat("ghost");
+        assert!(d.healthy().is_empty());
+    }
+
+    #[test]
+    fn deregister_removes_immediately() {
+        let (d, _ctl) = registry();
+        d.register("ips-1", "us-east");
+        assert!(d.deregister("ips-1"));
+        assert!(!d.deregister("ips-1"));
+        assert!(d.healthy().is_empty());
+    }
+
+    #[test]
+    fn reregistration_refreshes() {
+        let (d, ctl) = registry();
+        d.register("ips-1", "us-east");
+        ctl.advance(DurationMs::from_secs(31));
+        d.register("ips-1", "us-east");
+        assert!(d.is_healthy("ips-1"));
+    }
+
+    #[test]
+    fn sweep_removes_expired_entries() {
+        let (d, ctl) = registry();
+        d.register("a", "r");
+        d.register("b", "r");
+        ctl.advance(DurationMs::from_secs(31));
+        d.register("c", "r");
+        assert_eq!(d.sweep(), 2);
+        assert_eq!(d.healthy().len(), 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! ID-based consistent hashing.
+//!
+//! Each IPS instance serves a fraction of the profile-id space; consistent
+//! hashing keeps most assignments stable as instances come and go (§III:
+//! "We use ID-based Consistent Hash for load balancing"). Virtual nodes
+//! smooth the load distribution.
+
+use std::collections::BTreeMap;
+
+use ips_types::ProfileId;
+
+fn mix(mut x: u64) -> u64 {
+    // splitmix64 finalizer: cheap, well-distributed.
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn hash_name(name: &str, vnode: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix(h ^ (u64::from(vnode) << 32))
+}
+
+/// A consistent-hash ring mapping profile ids to named nodes.
+#[derive(Clone, Debug, Default)]
+pub struct HashRing {
+    points: BTreeMap<u64, String>,
+    vnodes: u32,
+    nodes: Vec<String>,
+}
+
+impl HashRing {
+    /// A ring with `vnodes` virtual nodes per physical node (128–256 is the
+    /// usual sweet spot).
+    #[must_use]
+    pub fn new(vnodes: u32) -> Self {
+        Self {
+            points: BTreeMap::new(),
+            vnodes: vnodes.max(1),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Add a node. Idempotent.
+    pub fn add(&mut self, node: &str) {
+        if self.nodes.iter().any(|n| n == node) {
+            return;
+        }
+        for v in 0..self.vnodes {
+            self.points.insert(hash_name(node, v), node.to_string());
+        }
+        self.nodes.push(node.to_string());
+    }
+
+    /// Remove a node. Returns whether it was present.
+    pub fn remove(&mut self, node: &str) -> bool {
+        let Some(idx) = self.nodes.iter().position(|n| n == node) else {
+            return false;
+        };
+        self.nodes.swap_remove(idx);
+        for v in 0..self.vnodes {
+            self.points.remove(&hash_name(node, v));
+        }
+        true
+    }
+
+    /// Number of physical nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current node names.
+    #[must_use]
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// The node owning `pid`, or `None` on an empty ring.
+    #[must_use]
+    pub fn node_for(&self, pid: ProfileId) -> Option<&str> {
+        let key = mix(pid.raw());
+        self.points
+            .range(key..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(_, n)| n.as_str())
+    }
+
+    /// The first `n` *distinct* nodes clockwise from `pid`'s position —
+    /// the owner followed by failover candidates.
+    #[must_use]
+    pub fn nodes_for(&self, pid: ProfileId, n: usize) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::with_capacity(n);
+        if self.points.is_empty() || n == 0 {
+            return out;
+        }
+        let key = mix(pid.raw());
+        for (_, node) in self.points.range(key..).chain(self.points.iter().map(|(k, v)| {
+            // chain wraps around the ring
+            (k, v)
+        })) {
+            if !out.iter().any(|x| *x == node.as_str()) {
+                out.push(node);
+                if out.len() >= n || out.len() >= self.nodes.len() {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn pid(n: u64) -> ProfileId {
+        ProfileId::new(n)
+    }
+
+    fn ring_of(n: usize) -> HashRing {
+        let mut r = HashRing::new(160);
+        for i in 0..n {
+            r.add(&format!("node-{i}"));
+        }
+        r
+    }
+
+    #[test]
+    fn empty_ring_returns_none() {
+        let r = HashRing::new(16);
+        assert_eq!(r.node_for(pid(1)), None);
+        assert!(r.nodes_for(pid(1), 3).is_empty());
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let mut r = HashRing::new(16);
+        r.add("only");
+        for n in 0..100 {
+            assert_eq!(r.node_for(pid(n)), Some("only"));
+        }
+    }
+
+    #[test]
+    fn add_is_idempotent_remove_works() {
+        let mut r = HashRing::new(16);
+        r.add("a");
+        r.add("a");
+        assert_eq!(r.len(), 1);
+        assert!(r.remove("a"));
+        assert!(!r.remove("a"));
+        assert!(r.is_empty());
+        assert_eq!(r.points.len(), 0, "all vnodes removed");
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let r = ring_of(10);
+        for n in 0..1_000 {
+            assert_eq!(r.node_for(pid(n)), r.node_for(pid(n)));
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let r = ring_of(8);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for n in 0..80_000u64 {
+            *counts
+                .entry(r.node_for(pid(n)).unwrap().to_string())
+                .or_default() += 1;
+        }
+        let expected = 80_000 / 8;
+        for (node, c) in &counts {
+            assert!(
+                (*c as f64) > expected as f64 * 0.6 && (*c as f64) < expected as f64 * 1.4,
+                "node {node} holds {c}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_node_only_moves_its_keys() {
+        let mut r = ring_of(10);
+        let before: Vec<(u64, String)> = (0..10_000u64)
+            .map(|n| (n, r.node_for(pid(n)).unwrap().to_string()))
+            .collect();
+        r.remove("node-3");
+        let mut moved = 0;
+        for (n, old) in &before {
+            let new = r.node_for(pid(*n)).unwrap();
+            if old == "node-3" {
+                assert_ne!(new, "node-3");
+            } else if new != old {
+                moved += 1;
+            }
+        }
+        assert_eq!(moved, 0, "keys not owned by the removed node must not move");
+    }
+
+    #[test]
+    fn adding_a_node_moves_about_one_nth() {
+        let mut r = ring_of(9);
+        let before: Vec<String> = (0..10_000u64)
+            .map(|n| r.node_for(pid(n)).unwrap().to_string())
+            .collect();
+        r.add("node-9");
+        let moved = (0..10_000u64)
+            .filter(|n| r.node_for(pid(*n)).unwrap() != before[*n as usize])
+            .count();
+        // Expect ~1/10 of keys to move to the new node; allow slack.
+        assert!(
+            (400..2_500).contains(&moved),
+            "moved {moved}, expected ~1000"
+        );
+    }
+
+    #[test]
+    fn nodes_for_returns_distinct_failover_order() {
+        let r = ring_of(5);
+        let seq = r.nodes_for(pid(42), 3);
+        assert_eq!(seq.len(), 3);
+        let mut uniq = seq.clone();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3, "failover candidates must be distinct");
+        assert_eq!(seq[0], r.node_for(pid(42)).unwrap(), "owner first");
+        // Asking for more than exists caps at node count.
+        assert_eq!(r.nodes_for(pid(42), 10).len(), 5);
+    }
+}

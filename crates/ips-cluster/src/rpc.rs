@@ -1,0 +1,870 @@
+//! RPC fabric (Thrift substitute).
+//!
+//! Requests and responses really are serialized through the `ips-codec`
+//! wire format — the byte counts feed the network model — and dispatched to
+//! an in-process [`RpcEndpoint`] wrapping an [`IpsInstance`]. The network
+//! model contributes the ~3 ms client/server gap Table II attributes to
+//! "package transmission on network ... grows proportionally to the
+//! response data size".
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ips_codec::wire::{WireReader, WireWriter};
+use ips_core::query::{
+    FeatureEntry, FilterPredicate, ProfileQuery, QueryKind, QueryResult,
+};
+use ips_core::server::IpsInstance;
+use ips_types::config::DecayFunction;
+use ips_types::{
+    ActionTypeId, CallerId, CountVector, DurationMs, FeatureId, IpsError, ProfileId, Result,
+    SlotId, SortKey, SortOrder, TableId, TimeRange, Timestamp,
+};
+
+/// A request on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RpcRequest {
+    /// `add_profiles` (the single-feature `add_profile` is a batch of one).
+    Add {
+        caller: CallerId,
+        table: TableId,
+        profile: ProfileId,
+        at: Timestamp,
+        slot: SlotId,
+        action: ActionTypeId,
+        features: Vec<(FeatureId, CountVector)>,
+    },
+    /// Any of the three read APIs, selected by the query's kind.
+    Query {
+        caller: CallerId,
+        query: ProfileQuery,
+    },
+}
+
+/// A response on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RpcResponse {
+    Ok,
+    Query(QueryResult),
+}
+
+// ---- serialization ---------------------------------------------------------
+//
+// Field numbering is local to each message; envelope field 1 is the message
+// kind discriminator.
+
+const REQ_ADD: u64 = 1;
+const REQ_QUERY: u64 = 2;
+const RESP_OK: u64 = 1;
+const RESP_QUERY: u64 = 2;
+
+fn put_count_vector(w: &mut WireWriter, field: u32, counts: &CountVector) {
+    w.put_packed_i64(field, counts.as_slice());
+}
+
+fn encode_time_range(w: &mut WireWriter, range: &TimeRange) {
+    match range {
+        TimeRange::Current { lookback } => {
+            w.put_u64(1, 1);
+            w.put_u64(2, lookback.as_millis());
+        }
+        TimeRange::Relative { lookback } => {
+            w.put_u64(1, 2);
+            w.put_u64(2, lookback.as_millis());
+        }
+        TimeRange::Absolute { start, end } => {
+            w.put_u64(1, 3);
+            w.put_fixed64(3, start.as_millis());
+            w.put_fixed64(4, end.as_millis());
+        }
+    }
+}
+
+fn decode_time_range(bytes: &[u8]) -> Result<TimeRange> {
+    let (mut kind, mut lookback, mut start, mut end) = (0u64, 0u64, 0u64, 0u64);
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => kind = v.as_u64(f)?,
+                2 => lookback = v.as_u64(f)?,
+                3 => start = v.as_u64(f)?,
+                4 => end = v.as_u64(f)?,
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    match kind {
+        1 => Ok(TimeRange::Current {
+            lookback: DurationMs::from_millis(lookback),
+        }),
+        2 => Ok(TimeRange::Relative {
+            lookback: DurationMs::from_millis(lookback),
+        }),
+        3 => Ok(TimeRange::Absolute {
+            start: Timestamp::from_millis(start),
+            end: Timestamp::from_millis(end),
+        }),
+        other => Err(IpsError::Codec(format!("bad time range kind {other}"))),
+    }
+}
+
+fn encode_sort(w: &mut WireWriter, sort: SortKey, order: SortOrder) {
+    let (kind, arg) = match sort {
+        SortKey::Attribute(idx) => (1u64, idx as u64),
+        SortKey::WeightedScore => (2, 0),
+        SortKey::Timestamp => (3, 0),
+        SortKey::FeatureId => (4, 0),
+    };
+    w.put_u64(1, kind);
+    w.put_u64(2, arg);
+    w.put_u64(3, matches!(order, SortOrder::Ascending) as u64);
+}
+
+fn decode_sort(bytes: &[u8]) -> Result<(SortKey, SortOrder)> {
+    let (mut kind, mut arg, mut asc) = (0u64, 0u64, 0u64);
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => kind = v.as_u64(f)?,
+                2 => arg = v.as_u64(f)?,
+                3 => asc = v.as_u64(f)?,
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    let sort = match kind {
+        1 => SortKey::Attribute(arg as usize),
+        2 => SortKey::WeightedScore,
+        3 => SortKey::Timestamp,
+        4 => SortKey::FeatureId,
+        other => return Err(IpsError::Codec(format!("bad sort kind {other}"))),
+    };
+    let order = if asc != 0 {
+        SortOrder::Ascending
+    } else {
+        SortOrder::Descending
+    };
+    Ok((sort, order))
+}
+
+fn encode_decay(w: &mut WireWriter, decay: DecayFunction) {
+    match decay {
+        DecayFunction::None => w.put_u64(1, 0),
+        DecayFunction::Exponential { half_life } => {
+            w.put_u64(1, 1);
+            w.put_u64(2, half_life.as_millis());
+        }
+        DecayFunction::Linear { horizon } => {
+            w.put_u64(1, 2);
+            w.put_u64(2, horizon.as_millis());
+        }
+        DecayFunction::Step {
+            boundary,
+            old_factor,
+        } => {
+            w.put_u64(1, 3);
+            w.put_u64(2, boundary.as_millis());
+            w.put_fixed64(3, old_factor.to_bits());
+        }
+    }
+}
+
+fn decode_decay(bytes: &[u8]) -> Result<DecayFunction> {
+    let (mut kind, mut arg, mut bits) = (0u64, 0u64, 0u64);
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => kind = v.as_u64(f)?,
+                2 => arg = v.as_u64(f)?,
+                3 => bits = v.as_u64(f)?,
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    Ok(match kind {
+        0 => DecayFunction::None,
+        1 => DecayFunction::Exponential {
+            half_life: DurationMs::from_millis(arg),
+        },
+        2 => DecayFunction::Linear {
+            horizon: DurationMs::from_millis(arg),
+        },
+        3 => DecayFunction::Step {
+            boundary: DurationMs::from_millis(arg),
+            old_factor: f64::from_bits(bits),
+        },
+        other => return Err(IpsError::Codec(format!("bad decay kind {other}"))),
+    })
+}
+
+fn encode_query(w: &mut WireWriter, q: &ProfileQuery) {
+    w.put_u64(1, u64::from(q.table.raw()));
+    w.put_u64(2, q.profile.raw());
+    w.put_u64(3, u64::from(q.slot.raw()));
+    if let Some(action) = q.action {
+        w.put_u64(4, u64::from(action.raw()));
+    }
+    w.put_message(5, |tw| encode_time_range(tw, &q.range));
+    match &q.kind {
+        QueryKind::TopK { k, sort, order } => {
+            w.put_u64(6, 1);
+            w.put_u64(7, *k as u64);
+            w.put_message(8, |sw| encode_sort(sw, *sort, *order));
+        }
+        QueryKind::Filter { predicate } => {
+            w.put_u64(6, 2);
+            match predicate {
+                FilterPredicate::MinAttribute { attr, min } => {
+                    w.put_u64(9, 1);
+                    w.put_u64(10, *attr as u64);
+                    w.put_i64(11, *min);
+                }
+                FilterPredicate::FeatureIn(fids) => {
+                    w.put_u64(9, 2);
+                    let raw: Vec<u64> = fids.iter().map(|f| f.raw()).collect();
+                    w.put_packed_u64(12, &raw);
+                }
+                FilterPredicate::All => w.put_u64(9, 3),
+            }
+        }
+        QueryKind::Decay { k, sort, order } => {
+            w.put_u64(6, 3);
+            w.put_u64(7, *k as u64);
+            w.put_message(8, |sw| encode_sort(sw, *sort, *order));
+        }
+    }
+    w.put_message(13, |dw| encode_decay(dw, q.decay));
+    w.put_fixed64(14, q.decay_factor.to_bits());
+}
+
+#[allow(clippy::too_many_lines)]
+fn decode_query(bytes: &[u8]) -> Result<ProfileQuery> {
+    let mut table = 0u64;
+    let mut profile = 0u64;
+    let mut slot = 0u64;
+    let mut action: Option<u64> = None;
+    let mut range = TimeRange::Current {
+        lookback: DurationMs::ZERO,
+    };
+    let mut kind_tag = 0u64;
+    let mut k = 0usize;
+    let mut sort = (SortKey::Attribute(0), SortOrder::Descending);
+    let mut pred_tag = 0u64;
+    let mut pred_attr = 0usize;
+    let mut pred_min = 0i64;
+    let mut pred_fids: Vec<u64> = Vec::new();
+    let mut decay = DecayFunction::None;
+    let mut decay_factor = 1.0f64;
+
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => table = v.as_u64(f)?,
+                2 => profile = v.as_u64(f)?,
+                3 => slot = v.as_u64(f)?,
+                4 => action = Some(v.as_u64(f)?),
+                5 => {
+                    range = decode_time_range(v.as_bytes(f)?)
+                        .map_err(|_| ips_codec::wire::WireError::MissingField(f))?;
+                }
+                6 => kind_tag = v.as_u64(f)?,
+                7 => k = v.as_u64(f)? as usize,
+                8 => {
+                    sort = decode_sort(v.as_bytes(f)?)
+                        .map_err(|_| ips_codec::wire::WireError::MissingField(f))?;
+                }
+                9 => pred_tag = v.as_u64(f)?,
+                10 => pred_attr = v.as_u64(f)? as usize,
+                11 => pred_min = v.as_i64(f)?,
+                12 => pred_fids = v.as_packed_u64(f)?,
+                13 => {
+                    decay = decode_decay(v.as_bytes(f)?)
+                        .map_err(|_| ips_codec::wire::WireError::MissingField(f))?;
+                }
+                14 => decay_factor = f64::from_bits(v.as_u64(f)?),
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+
+    let kind = match kind_tag {
+        1 => QueryKind::TopK {
+            k,
+            sort: sort.0,
+            order: sort.1,
+        },
+        2 => QueryKind::Filter {
+            predicate: match pred_tag {
+                1 => FilterPredicate::MinAttribute {
+                    attr: pred_attr,
+                    min: pred_min,
+                },
+                2 => FilterPredicate::FeatureIn(
+                    pred_fids.into_iter().map(FeatureId::new).collect(),
+                ),
+                3 => FilterPredicate::All,
+                other => return Err(IpsError::Codec(format!("bad predicate {other}"))),
+            },
+        },
+        3 => QueryKind::Decay {
+            k,
+            sort: sort.0,
+            order: sort.1,
+        },
+        other => return Err(IpsError::Codec(format!("bad query kind {other}"))),
+    };
+    Ok(ProfileQuery {
+        table: TableId::new(table as u32),
+        profile: ProfileId::new(profile),
+        slot: SlotId::new(slot as u32),
+        action: action.map(|a| ActionTypeId::new(a as u32)),
+        range,
+        kind,
+        decay,
+        decay_factor,
+    })
+}
+
+impl RpcRequest {
+    /// Serialize for transport.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(256);
+        match self {
+            RpcRequest::Add {
+                caller,
+                table,
+                profile,
+                at,
+                slot,
+                action,
+                features,
+            } => {
+                w.put_u64(1, REQ_ADD);
+                w.put_u64(2, u64::from(caller.raw()));
+                w.put_u64(3, u64::from(table.raw()));
+                w.put_u64(4, profile.raw());
+                w.put_fixed64(5, at.as_millis());
+                w.put_u64(6, u64::from(slot.raw()));
+                w.put_u64(7, u64::from(action.raw()));
+                for (fid, counts) in features {
+                    w.put_message(8, |fw| {
+                        fw.put_u64(1, fid.raw());
+                        put_count_vector(fw, 2, counts);
+                    });
+                }
+            }
+            RpcRequest::Query { caller, query } => {
+                w.put_u64(1, REQ_QUERY);
+                w.put_u64(2, u64::from(caller.raw()));
+                w.put_message(9, |qw| encode_query(qw, query));
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserialize from transport bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut kind = 0u64;
+        let mut caller = 0u64;
+        let mut table = 0u64;
+        let mut profile = 0u64;
+        let mut at = 0u64;
+        let mut slot = 0u64;
+        let mut action = 0u64;
+        let mut features: Vec<(FeatureId, CountVector)> = Vec::new();
+        let mut query: Option<ProfileQuery> = None;
+
+        WireReader::new(bytes)
+            .for_each(|f, v| {
+                match f {
+                    1 => kind = v.as_u64(f)?,
+                    2 => caller = v.as_u64(f)?,
+                    3 => table = v.as_u64(f)?,
+                    4 => profile = v.as_u64(f)?,
+                    5 => at = v.as_u64(f)?,
+                    6 => slot = v.as_u64(f)?,
+                    7 => action = v.as_u64(f)?,
+                    8 => {
+                        let mut fid = 0u64;
+                        let mut counts = CountVector::empty();
+                        WireReader::new(v.as_bytes(f)?).for_each(|ff, fv| {
+                            match ff {
+                                1 => fid = fv.as_u64(ff)?,
+                                2 => counts = CountVector::from_slice(&fv.as_packed_i64(ff)?),
+                                _ => {}
+                            }
+                            Ok(())
+                        })?;
+                        features.push((FeatureId::new(fid), counts));
+                    }
+                    9 => {
+                        query = Some(
+                            decode_query(v.as_bytes(f)?)
+                                .map_err(|_| ips_codec::wire::WireError::MissingField(f))?,
+                        );
+                    }
+                    _ => {}
+                }
+                Ok(())
+            })
+            .map_err(|e| IpsError::Codec(e.to_string()))?;
+
+        match kind {
+            REQ_ADD => Ok(RpcRequest::Add {
+                caller: CallerId::new(caller as u32),
+                table: TableId::new(table as u32),
+                profile: ProfileId::new(profile),
+                at: Timestamp::from_millis(at),
+                slot: SlotId::new(slot as u32),
+                action: ActionTypeId::new(action as u32),
+                features,
+            }),
+            REQ_QUERY => Ok(RpcRequest::Query {
+                caller: CallerId::new(caller as u32),
+                query: query.ok_or_else(|| IpsError::Codec("query missing".into()))?,
+            }),
+            other => Err(IpsError::Codec(format!("bad request kind {other}"))),
+        }
+    }
+}
+
+impl RpcResponse {
+    /// Serialize for transport.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(256);
+        match self {
+            RpcResponse::Ok => w.put_u64(1, RESP_OK),
+            RpcResponse::Query(result) => {
+                w.put_u64(1, RESP_QUERY);
+                w.put_u64(2, result.slices_visited as u64);
+                w.put_bool(3, result.cache_hit);
+                for e in &result.entries {
+                    w.put_message(4, |ew| {
+                        ew.put_u64(1, e.feature.raw());
+                        ew.put_packed_i64(2, e.counts.as_slice());
+                        ew.put_fixed64(3, e.last_seen.as_millis());
+                    });
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserialize from transport bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut kind = 0u64;
+        let mut result = QueryResult::default();
+        WireReader::new(bytes)
+            .for_each(|f, v| {
+                match f {
+                    1 => kind = v.as_u64(f)?,
+                    2 => result.slices_visited = v.as_u64(f)? as usize,
+                    3 => result.cache_hit = v.as_bool(f)?,
+                    4 => {
+                        let mut fid = 0u64;
+                        let mut counts = CountVector::empty();
+                        let mut last_seen = 0u64;
+                        WireReader::new(v.as_bytes(f)?).for_each(|ef, ev| {
+                            match ef {
+                                1 => fid = ev.as_u64(ef)?,
+                                2 => counts = CountVector::from_slice(&ev.as_packed_i64(ef)?),
+                                3 => last_seen = ev.as_u64(ef)?,
+                                _ => {}
+                            }
+                            Ok(())
+                        })?;
+                        result.entries.push(FeatureEntry {
+                            feature: FeatureId::new(fid),
+                            counts,
+                            last_seen: Timestamp::from_millis(last_seen),
+                        });
+                    }
+                    _ => {}
+                }
+                Ok(())
+            })
+            .map_err(|e| IpsError::Codec(e.to_string()))?;
+        match kind {
+            RESP_OK => Ok(RpcResponse::Ok),
+            RESP_QUERY => Ok(RpcResponse::Query(result)),
+            other => Err(IpsError::Codec(format!("bad response kind {other}"))),
+        }
+    }
+}
+
+// ---- network model ----------------------------------------------------------
+
+/// The modeled network path between a client and an endpoint.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// Fixed round-trip overhead in microseconds.
+    pub rtt_us: u64,
+    /// Per-KiB transfer cost (request + response bytes), in microseconds.
+    pub per_kib_us: u64,
+    /// Uniform multiplicative jitter bound.
+    pub jitter: f64,
+    /// Probability a call is lost (times out) in transit.
+    pub loss_probability: f64,
+}
+
+impl NetworkModel {
+    /// Matches the paper's latency picture: a small fixed per-hop cost so
+    /// tiny calls stay around a millisecond (Fig 16's flat p50 ~1 ms), plus
+    /// a strong size-proportional term — "the overhead of package
+    /// transmission on network is about 3ms and grows proportionally to the
+    /// response data size" (Table II).
+    #[must_use]
+    pub fn production_default() -> Self {
+        Self {
+            rtt_us: 450,
+            per_kib_us: 1_000,
+            jitter: 0.2,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// A free, lossless network (pure compute benchmarks).
+    #[must_use]
+    pub fn zero() -> Self {
+        Self {
+            rtt_us: 0,
+            per_kib_us: 0,
+            jitter: 0.0,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// Sample the transit time for `bytes` moved, or `None` for a lost call.
+    pub fn sample_us(&self, bytes: usize, rng: &mut SmallRng) -> Option<u64> {
+        if self.loss_probability > 0.0 && rng.gen_bool(self.loss_probability.clamp(0.0, 1.0)) {
+            return None;
+        }
+        // Fractional per-KiB cost: small control messages should not pay a
+        // full KiB of transfer time.
+        let expected =
+            self.rtt_us + (self.per_kib_us as f64 * bytes as f64 / 1024.0).round() as u64;
+        if self.jitter <= 0.0 {
+            return Some(expected);
+        }
+        let factor = rng.gen_range((1.0 - self.jitter)..=(1.0 + self.jitter));
+        Some((expected as f64 * factor).round() as u64)
+    }
+}
+
+// ---- endpoint ----------------------------------------------------------------
+
+/// One addressable IPS instance: the server side of the RPC fabric.
+pub struct RpcEndpoint {
+    name: String,
+    region: String,
+    instance: Arc<IpsInstance>,
+    down: AtomicBool,
+    rng: Mutex<SmallRng>,
+    network: NetworkModel,
+}
+
+impl RpcEndpoint {
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        region: impl Into<String>,
+        instance: Arc<IpsInstance>,
+        network: NetworkModel,
+    ) -> Arc<Self> {
+        let name = name.into();
+        let seed = name.bytes().fold(0x5eed_u64, |a, b| {
+            a.wrapping_mul(31).wrapping_add(u64::from(b))
+        });
+        Arc::new(Self {
+            name,
+            region: region.into(),
+            instance,
+            down: AtomicBool::new(false),
+            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+            network,
+        })
+    }
+
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    #[must_use]
+    pub fn region(&self) -> &str {
+        &self.region
+    }
+
+    #[must_use]
+    pub fn instance(&self) -> &Arc<IpsInstance> {
+        &self.instance
+    }
+
+    /// Crash / restore the endpoint (node failure injection).
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::SeqCst);
+    }
+
+    #[must_use]
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    /// Issue one call: serialize, traverse the modeled network, execute,
+    /// serialize the response back. Returns the response plus the modeled
+    /// network time in microseconds (server compute is measured separately
+    /// by the instance's own histograms and returned in the breakdown the
+    /// client assembles).
+    pub fn call(&self, request: &RpcRequest) -> Result<(RpcResponse, u64)> {
+        if self.is_down() {
+            return Err(IpsError::Rpc(format!("endpoint {} down", self.name)));
+        }
+        let request_bytes = request.encode();
+        let outbound = {
+            let mut rng = self.rng.lock();
+            self.network.sample_us(request_bytes.len(), &mut rng)
+        };
+        let Some(outbound_us) = outbound else {
+            return Err(IpsError::Rpc("request lost in transit".into()));
+        };
+        // The server decodes the exact bytes the client sent.
+        let request = RpcRequest::decode(&request_bytes)?;
+        let response = match request {
+            RpcRequest::Add {
+                caller,
+                table,
+                profile,
+                at,
+                slot,
+                action,
+                features,
+            } => {
+                self.instance
+                    .add_profiles(caller, table, profile, at, slot, action, &features)?;
+                RpcResponse::Ok
+            }
+            RpcRequest::Query { caller, query } => {
+                RpcResponse::Query(self.instance.query(caller, &query)?)
+            }
+        };
+        let response_bytes = response.encode();
+        let inbound = {
+            let mut rng = self.rng.lock();
+            self.network.sample_us(response_bytes.len(), &mut rng)
+        };
+        let Some(inbound_us) = inbound else {
+            return Err(IpsError::Rpc("response lost in transit".into()));
+        };
+        let response = RpcResponse::decode(&response_bytes)?;
+        Ok((response, outbound_us + inbound_us))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_core::server::IpsInstanceOptions;
+    use ips_types::clock::system_clock;
+    use ips_types::TableConfig;
+
+    fn sample_query() -> ProfileQuery {
+        ProfileQuery::top_k(
+            TableId::new(3),
+            ProfileId::new(77),
+            SlotId::new(2),
+            TimeRange::last_days(10),
+            5,
+        )
+        .with_action(ActionTypeId::new(4))
+        .with_sort(SortKey::WeightedScore, SortOrder::Ascending)
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = vec![
+            RpcRequest::Add {
+                caller: CallerId::new(1),
+                table: TableId::new(2),
+                profile: ProfileId::new(3),
+                at: Timestamp::from_millis(4),
+                slot: SlotId::new(5),
+                action: ActionTypeId::new(6),
+                features: vec![
+                    (FeatureId::new(7), CountVector::single(1)),
+                    (FeatureId::new(8), CountVector::from_slice(&[1, -2, 3])),
+                ],
+            },
+            RpcRequest::Query {
+                caller: CallerId::new(9),
+                query: sample_query(),
+            },
+            RpcRequest::Query {
+                caller: CallerId::new(9),
+                query: ProfileQuery::filter(
+                    TableId::new(1),
+                    ProfileId::new(2),
+                    SlotId::new(3),
+                    TimeRange::Absolute {
+                        start: Timestamp::from_millis(5),
+                        end: Timestamp::from_millis(9),
+                    },
+                    FilterPredicate::FeatureIn(vec![FeatureId::new(1), FeatureId::new(2)]),
+                ),
+            },
+            RpcRequest::Query {
+                caller: CallerId::new(9),
+                query: ProfileQuery::decay(
+                    TableId::new(1),
+                    ProfileId::new(2),
+                    SlotId::new(3),
+                    TimeRange::Relative {
+                        lookback: DurationMs::from_days(7),
+                    },
+                    DecayFunction::Exponential {
+                        half_life: DurationMs::from_days(1),
+                    },
+                    0.9,
+                    10,
+                ),
+            },
+        ];
+        for req in reqs {
+            let bytes = req.encode();
+            assert_eq!(RpcRequest::decode(&bytes).unwrap(), req, "round trip");
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = RpcResponse::Query(QueryResult {
+            entries: vec![FeatureEntry {
+                feature: FeatureId::new(42),
+                counts: CountVector::pair(3, -1),
+                last_seen: Timestamp::from_millis(1_234),
+            }],
+            slices_visited: 7,
+            cache_hit: true,
+        });
+        assert_eq!(RpcResponse::decode(&resp.encode()).unwrap(), resp);
+        assert_eq!(
+            RpcResponse::decode(&RpcResponse::Ok.encode()).unwrap(),
+            RpcResponse::Ok
+        );
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(RpcRequest::decode(b"nonsense").is_err());
+        assert!(RpcResponse::decode(&[0xff, 0xff]).is_err());
+    }
+
+    fn endpoint(network: NetworkModel) -> Arc<RpcEndpoint> {
+        let clock = system_clock();
+        let instance = IpsInstance::new_in_memory(IpsInstanceOptions::default(), clock);
+        let mut cfg = TableConfig::new("t");
+        cfg.isolation.enabled = false;
+        instance.create_table(TableId::new(1), cfg).unwrap();
+        RpcEndpoint::new("ep-1", "us-east", instance, network)
+    }
+
+    fn add_req(pid: u64) -> RpcRequest {
+        RpcRequest::Add {
+            caller: CallerId::new(1),
+            table: TableId::new(1),
+            profile: ProfileId::new(pid),
+            at: system_clock().now(),
+            slot: SlotId::new(1),
+            action: ActionTypeId::new(1),
+            features: vec![(FeatureId::new(5), CountVector::single(1))],
+        }
+    }
+
+    #[test]
+    fn end_to_end_call_through_endpoint() {
+        let ep = endpoint(NetworkModel::zero());
+        let (resp, net) = ep.call(&add_req(7)).unwrap();
+        assert_eq!(resp, RpcResponse::Ok);
+        assert_eq!(net, 0);
+        let (resp, _) = ep
+            .call(&RpcRequest::Query {
+                caller: CallerId::new(1),
+                query: ProfileQuery::top_k(
+                    TableId::new(1),
+                    ProfileId::new(7),
+                    SlotId::new(1),
+                    TimeRange::last_days(1),
+                    5,
+                ),
+            })
+            .unwrap();
+        match resp {
+            RpcResponse::Query(r) => assert_eq!(r.len(), 1),
+            other => panic!("expected query response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn network_model_contributes_latency() {
+        let ep = endpoint(NetworkModel {
+            rtt_us: 1_000,
+            per_kib_us: 100,
+            jitter: 0.0,
+            loss_probability: 0.0,
+        });
+        let (_, net) = ep.call(&add_req(7)).unwrap();
+        // Two traversals (request + response), each >= 1_000us + transfer.
+        assert!(net >= 2_000, "net = {net}");
+    }
+
+    #[test]
+    fn down_endpoint_errors_retryably() {
+        let ep = endpoint(NetworkModel::zero());
+        ep.set_down(true);
+        let err = ep.call(&add_req(1)).unwrap_err();
+        assert!(err.is_retryable());
+        ep.set_down(false);
+        assert!(ep.call(&add_req(1)).is_ok());
+    }
+
+    #[test]
+    fn lossy_network_drops_calls() {
+        let ep = endpoint(NetworkModel {
+            rtt_us: 0,
+            per_kib_us: 0,
+            jitter: 0.0,
+            loss_probability: 0.5,
+        });
+        let mut failures = 0;
+        for _ in 0..100 {
+            if ep.call(&add_req(1)).is_err() {
+                failures += 1;
+            }
+        }
+        assert!((20..95).contains(&failures), "failures = {failures}");
+    }
+
+    #[test]
+    fn network_sample_jitter_bounds() {
+        let m = NetworkModel {
+            rtt_us: 1_000,
+            per_kib_us: 0,
+            jitter: 0.25,
+            loss_probability: 0.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let s = m.sample_us(0, &mut rng).unwrap();
+            assert!((750..=1_250).contains(&s));
+        }
+    }
+}

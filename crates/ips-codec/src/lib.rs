@@ -1,0 +1,32 @@
+//! Serialization substrate for `ips-rs`.
+//!
+//! The paper persists profiles by serializing the in-memory hierarchy into a
+//! Protocol Buffers encoding and compressing the result with Snappy
+//! (§III-E). Both are substituted with from-scratch equivalents that occupy
+//! the same design points:
+//!
+//! * [`varint`] — LEB128 unsigned varints and zigzag signed mapping, the
+//!   foundation of the wire format;
+//! * [`wire`] — a tagged field encoding ([`wire::WireWriter`] /
+//!   [`wire::WireReader`]) with varint, fixed-64 and length-delimited wire
+//!   types, supporting unknown-field skipping for forward compatibility;
+//! * [`compress`] — an LZ-class byte compressor (greedy hash-table match
+//!   finding, literal/copy ops) tuned for speed over ratio, like Snappy;
+//! * [`frame`] — the envelope stored in the KV layer: magic, flags,
+//!   checksum, optional compression with automatic raw fallback for
+//!   incompressible payloads.
+//!
+//! The profile⇄bytes schema itself lives next to the data structures in
+//! `ips-core::persist`; this crate is deliberately schema-agnostic.
+
+pub mod compress;
+pub mod frame;
+pub mod varint;
+pub mod wire;
+
+pub use compress::{compress, decompress, CompressError};
+pub use frame::{decode_frame, encode_frame, FrameError};
+pub use varint::{
+    decode_u64, encode_u64, zigzag_decode, zigzag_encode, DecodeError as VarintError,
+};
+pub use wire::{FieldValue, WireError, WireReader, WireType, WireWriter};

@@ -1,0 +1,762 @@
+//! The GCache implementation.
+//!
+//! Entries are `Arc<Mutex<CacheEntry>>` so the swap threads can `try_lock`
+//! an eviction candidate and *skip* it on contention instead of blocking
+//! (Fig 8). Memory is accounted per LRU shard; when total usage crosses the
+//! high watermark, swap work starts from the **largest** shard and evicts
+//! cold entries until usage falls below the low watermark — dirty entries
+//! are flushed before being dropped (write-back).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use ips_kv::Generation;
+use ips_metrics::counter::HitRatio;
+use ips_metrics::{Counter, Gauge};
+use ips_types::{CacheConfig, IpsError, ProfileId, Result};
+
+use crate::model::ProfileData;
+use crate::persist::{LoadOutcome, ProfilePersister, ProfileStore};
+
+use super::lru::LruList;
+
+/// One cached profile plus its write-back bookkeeping.
+pub struct CacheEntry {
+    pub data: ProfileData,
+    /// Needs flushing to the persistent store.
+    pub dirty: bool,
+    /// The storage generation held for the next conditional save (Fig 14).
+    pub generation: Generation,
+    /// Bytes this entry was last accounted at.
+    accounted_bytes: usize,
+}
+
+struct LruShard {
+    map: Mutex<HashMap<ProfileId, Arc<Mutex<CacheEntry>>>>,
+    lru: Mutex<LruList>,
+    bytes: AtomicU64,
+}
+
+struct DirtyShard {
+    /// Pending profile ids, deduplicated.
+    queue: Mutex<(VecDeque<ProfileId>, std::collections::HashSet<ProfileId>)>,
+}
+
+/// A point-in-time view of cache health (drives Fig 18).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    pub entries: usize,
+    pub memory_bytes: u64,
+    pub memory_budget: u64,
+    pub hit_ratio: f64,
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub flushes: u64,
+    pub dirty_backlog: usize,
+    pub swap_skips: u64,
+}
+
+/// The write-back compute cache.
+pub struct GCache<S: ProfileStore> {
+    shards: Box<[LruShard]>,
+    dirty: Box<[DirtyShard]>,
+    persister: Arc<ProfilePersister<S>>,
+    config: CacheConfig,
+    total_bytes: AtomicU64,
+    pub hit_ratio: HitRatio,
+    pub evictions: Counter,
+    pub flushes: Counter,
+    pub swap_skips: Counter,
+    pub dirty_gauge: Gauge,
+}
+
+impl<S: ProfileStore + 'static> GCache<S> {
+    /// Build a cache over `persister` with the given sizing/thread policy.
+    pub fn new(persister: Arc<ProfilePersister<S>>, config: CacheConfig) -> Result<Self> {
+        config.validate().map_err(IpsError::InvalidConfig)?;
+        let shards = (0..config.lru_shards)
+            .map(|_| LruShard {
+                map: Mutex::new(HashMap::new()),
+                lru: Mutex::new(LruList::new()),
+                bytes: AtomicU64::new(0),
+            })
+            .collect();
+        let dirty = (0..config.dirty_shards)
+            .map(|_| DirtyShard {
+                queue: Mutex::new((VecDeque::new(), std::collections::HashSet::new())),
+            })
+            .collect();
+        Ok(Self {
+            shards,
+            dirty,
+            persister,
+            config,
+            total_bytes: AtomicU64::new(0),
+            hit_ratio: HitRatio::new(),
+            evictions: Counter::new(),
+            flushes: Counter::new(),
+            swap_skips: Counter::new(),
+            dirty_gauge: Gauge::new(),
+        })
+    }
+
+    fn shard_idx(&self, pid: ProfileId) -> usize {
+        // Multiplicative hash over the profile id.
+        (pid.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % self.shards.len()
+    }
+
+    fn dirty_idx(&self, pid: ProfileId) -> usize {
+        (pid.raw().wrapping_mul(0xC2B2_AE3D_27D4_EB4F) >> 33) as usize % self.dirty.len()
+    }
+
+    /// Look up (or load) the entry for `pid`. `create` inserts an empty
+    /// profile when neither cache nor store has one (write path).
+    /// Returns `(entry, was_hit)`; `None` for a read miss everywhere.
+    fn entry(
+        &self,
+        pid: ProfileId,
+        create: bool,
+    ) -> Result<Option<(Arc<Mutex<CacheEntry>>, bool)>> {
+        let shard = &self.shards[self.shard_idx(pid)];
+        if let Some(entry) = shard.map.lock().get(&pid) {
+            shard.lru.lock().touch(pid);
+            self.hit_ratio.hits.inc();
+            return Ok(Some((Arc::clone(entry), true)));
+        }
+        // Miss: consult the persistent store (outside the map lock — loads
+        // are the expensive path).
+        self.hit_ratio.misses.inc();
+        let loaded = self.persister.load(pid)?;
+        let (data, generation) = match loaded {
+            LoadOutcome::Loaded {
+                profile,
+                generation,
+            } => (profile, generation),
+            LoadOutcome::Missing if create => (ProfileData::new(), 0),
+            LoadOutcome::Missing => return Ok(None),
+        };
+        let bytes = data.approx_bytes();
+        let entry = Arc::new(Mutex::new(CacheEntry {
+            data,
+            dirty: false,
+            generation,
+            accounted_bytes: bytes,
+        }));
+        let mut map = shard.map.lock();
+        // Double-check: a racing loader may have inserted meanwhile.
+        let entry = match map.get(&pid) {
+            Some(existing) => Arc::clone(existing),
+            None => {
+                map.insert(pid, Arc::clone(&entry));
+                shard.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+                self.total_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+                entry
+            }
+        };
+        drop(map);
+        shard.lru.lock().touch(pid);
+        Ok(Some((entry, false)))
+    }
+
+    fn reaccount(&self, pid: ProfileId, entry: &mut CacheEntry) {
+        let new_bytes = entry.data.approx_bytes();
+        let old = entry.accounted_bytes;
+        if new_bytes == old {
+            return;
+        }
+        entry.accounted_bytes = new_bytes;
+        let shard = &self.shards[self.shard_idx(pid)];
+        if new_bytes >= old {
+            let delta = (new_bytes - old) as u64;
+            shard.bytes.fetch_add(delta, Ordering::Relaxed);
+            self.total_bytes.fetch_add(delta, Ordering::Relaxed);
+        } else {
+            let delta = (old - new_bytes) as u64;
+            shard.bytes.fetch_sub(delta, Ordering::Relaxed);
+            self.total_bytes.fetch_sub(delta, Ordering::Relaxed);
+        }
+    }
+
+    fn mark_dirty(&self, pid: ProfileId) {
+        let shard = &self.dirty[self.dirty_idx(pid)];
+        let mut q = shard.queue.lock();
+        if q.1.insert(pid) {
+            q.0.push_back(pid);
+            self.dirty_gauge.add(1);
+        }
+    }
+
+    /// Mutate (creating if absent) the profile for `pid`. The write path.
+    /// Returns whether the access was a cache hit.
+    pub fn write<R>(
+        &self,
+        pid: ProfileId,
+        f: impl FnOnce(&mut ProfileData) -> R,
+    ) -> Result<(R, bool)> {
+        let (entry, hit) = self
+            .entry(pid, true)?
+            .expect("create=true always yields an entry");
+        let mut guard = entry.lock();
+        let out = f(&mut guard.data);
+        guard.dirty = true;
+        self.reaccount(pid, &mut guard);
+        drop(guard);
+        self.mark_dirty(pid);
+        Ok((out, hit))
+    }
+
+    /// Read the profile for `pid` (loading on miss). `Ok(None)` when the
+    /// profile exists nowhere. Returns `(result, was_hit)`.
+    pub fn read<R>(
+        &self,
+        pid: ProfileId,
+        f: impl FnOnce(&ProfileData) -> R,
+    ) -> Result<Option<(R, bool)>> {
+        match self.entry(pid, false)? {
+            Some((entry, hit)) => {
+                let guard = entry.lock();
+                Ok(Some((f(&guard.data), hit)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Mutate without creating (compaction path). No-op on absent profiles.
+    pub fn mutate_if_cached<R>(
+        &self,
+        pid: ProfileId,
+        f: impl FnOnce(&mut ProfileData) -> R,
+    ) -> Option<R> {
+        let shard = &self.shards[self.shard_idx(pid)];
+        let entry = shard.map.lock().get(&pid).map(Arc::clone)?;
+        let mut guard = entry.lock();
+        let out = f(&mut guard.data);
+        guard.dirty = true;
+        self.reaccount(pid, &mut guard);
+        drop(guard);
+        self.mark_dirty(pid);
+        Some(out)
+    }
+
+    /// Is the profile currently resident?
+    #[must_use]
+    pub fn contains(&self, pid: ProfileId) -> bool {
+        self.shards[self.shard_idx(pid)].map.lock().contains_key(&pid)
+    }
+
+    /// Number of resident profiles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.map.lock().len()).sum()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total accounted bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> u64 {
+        self.total_bytes.load(Ordering::Relaxed)
+    }
+
+    // ---- flush (dirty list) -----------------------------------------------
+
+    /// Flush up to `budget` dirty profiles from dirty shard `shard_idx`.
+    /// This is one flush thread's unit of work. Returns profiles flushed.
+    pub fn flush_shard(&self, shard_idx: usize, budget: usize) -> Result<usize> {
+        let shard = &self.dirty[shard_idx % self.dirty.len()];
+        let mut flushed = 0;
+        for _ in 0..budget {
+            let pid = {
+                let mut q = shard.queue.lock();
+                match q.0.pop_front() {
+                    Some(pid) => {
+                        q.1.remove(&pid);
+                        self.dirty_gauge.sub(1);
+                        pid
+                    }
+                    None => break,
+                }
+            };
+            self.flush_one(pid)?;
+            flushed += 1;
+        }
+        Ok(flushed)
+    }
+
+    fn flush_one(&self, pid: ProfileId) -> Result<()> {
+        let lru_shard = &self.shards[self.shard_idx(pid)];
+        let Some(entry) = lru_shard.map.lock().get(&pid).map(Arc::clone) else {
+            return Ok(()); // evicted meanwhile (eviction flushes first)
+        };
+        let mut guard = entry.lock();
+        if !guard.dirty {
+            return Ok(());
+        }
+        let held = guard.generation;
+        let new_gen = self.persister.save(pid, &mut guard.data, held)?;
+        guard.generation = new_gen;
+        guard.dirty = false;
+        self.flushes.inc();
+        Ok(())
+    }
+
+    /// Flush everything that is dirty (shutdown / test convenience).
+    pub fn flush_all(&self) -> Result<usize> {
+        let mut total = 0;
+        for i in 0..self.dirty.len() {
+            loop {
+                let n = self.flush_shard(i, 1024)?;
+                total += n;
+                if n == 0 {
+                    break;
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    // ---- swap (LRU eviction) ----------------------------------------------
+
+    /// One swap-thread pass: if usage exceeds the high watermark, evict cold
+    /// entries starting from the largest shard until below the low
+    /// watermark. Entries whose lock is contended are skipped (Fig 8).
+    /// Returns entries evicted.
+    pub fn swap_cycle(&self) -> Result<usize> {
+        let budget = self.config.memory_budget_bytes as u64;
+        let high = (budget as f64 * self.config.swap_high_watermark) as u64;
+        let low = (budget as f64 * self.config.swap_low_watermark) as u64;
+        if self.memory_bytes() <= high {
+            return Ok(0);
+        }
+        let mut evicted = 0;
+        // Keep evicting from the currently largest shard until under low.
+        while self.memory_bytes() > low {
+            let Some((idx, _)) = self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.bytes.load(Ordering::Relaxed)))
+                .max_by_key(|(_, b)| *b)
+            else {
+                break;
+            };
+            let n = self.evict_from_shard(idx, 32)?;
+            if n == 0 {
+                // Largest shard fully contended or empty; try others once.
+                let mut any = 0;
+                for i in 0..self.shards.len() {
+                    if i != idx {
+                        any += self.evict_from_shard(i, 8)?;
+                    }
+                }
+                if any == 0 {
+                    break; // nothing evictable right now
+                }
+                evicted += any;
+            } else {
+                evicted += n;
+            }
+        }
+        Ok(evicted)
+    }
+
+    /// Evict up to `max` cold entries from one shard, skipping contended
+    /// entries via `try_lock`.
+    fn evict_from_shard(&self, idx: usize, max: usize) -> Result<usize> {
+        let shard = &self.shards[idx];
+        let candidates = shard.lru.lock().coldest_n(max * 2);
+        let mut evicted = 0;
+        for pid in candidates {
+            if evicted >= max {
+                break;
+            }
+            let Some(entry) = shard.map.lock().get(&pid).map(Arc::clone) else {
+                shard.lru.lock().remove(pid);
+                continue;
+            };
+            // Fig 8: try_lock, skip to the next candidate on contention.
+            let Some(mut guard) = entry.try_lock() else {
+                self.swap_skips.inc();
+                continue;
+            };
+            if guard.dirty {
+                // Write-back before dropping from memory.
+                let held = guard.generation;
+                let new_gen = self.persister.save(pid, &mut guard.data, held)?;
+                guard.generation = new_gen;
+                guard.dirty = false;
+                self.flushes.inc();
+            }
+            let bytes = guard.accounted_bytes as u64;
+            drop(guard);
+            shard.map.lock().remove(&pid);
+            shard.lru.lock().remove(pid);
+            shard.bytes.fetch_sub(bytes, Ordering::Relaxed);
+            self.total_bytes.fetch_sub(bytes, Ordering::Relaxed);
+            self.evictions.inc();
+            evicted += 1;
+        }
+        Ok(evicted)
+    }
+
+    /// Evict one specific profile (tests / targeted invalidation). Flushes
+    /// if dirty.
+    pub fn evict(&self, pid: ProfileId) -> Result<bool> {
+        let shard = &self.shards[self.shard_idx(pid)];
+        let Some(entry) = shard.map.lock().get(&pid).map(Arc::clone) else {
+            return Ok(false);
+        };
+        let mut guard = entry.lock();
+        if guard.dirty {
+            let held = guard.generation;
+            let new_gen = self.persister.save(pid, &mut guard.data, held)?;
+            guard.generation = new_gen;
+            guard.dirty = false;
+            self.flushes.inc();
+        }
+        let bytes = guard.accounted_bytes as u64;
+        drop(guard);
+        shard.map.lock().remove(&pid);
+        shard.lru.lock().remove(pid);
+        shard.bytes.fetch_sub(bytes, Ordering::Relaxed);
+        self.total_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        self.evictions.inc();
+        Ok(true)
+    }
+
+    /// Cache health snapshot (Fig 18's series).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.len(),
+            memory_bytes: self.memory_bytes(),
+            memory_budget: self.config.memory_budget_bytes as u64,
+            hit_ratio: self.hit_ratio.ratio(),
+            hits: self.hit_ratio.hits.get(),
+            misses: self.hit_ratio.misses.get(),
+            evictions: self.evictions.get(),
+            flushes: self.flushes.get(),
+            dirty_backlog: self.dirty_gauge.get().max(0) as usize,
+            swap_skips: self.swap_skips.get(),
+        }
+    }
+
+    /// The persister (server shutdown path).
+    #[must_use]
+    pub fn persister(&self) -> &Arc<ProfilePersister<S>> {
+        &self.persister
+    }
+
+    /// Spawn the paper's background swap and flush threads. They run until
+    /// the returned handle drops. Real-time experiments use this; simulated
+    /// ones call [`GCache::swap_cycle`] / [`GCache::flush_shard`] directly.
+    pub fn spawn_background(self: &Arc<Self>) -> BackgroundThreads {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+
+        for t in 0..self.config.swap_threads {
+            let me = Arc::clone(self);
+            let stop = Arc::clone(&stop);
+            let interval =
+                std::time::Duration::from_millis(self.config.swap_interval.as_millis().max(1));
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("gcache-swap-{t}"))
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            let _ = me.swap_cycle();
+                            std::thread::sleep(interval);
+                        }
+                    })
+                    .expect("spawn swap thread"),
+            );
+        }
+
+        // Flush threads: thread i owns dirty shard i % dirty_shards, so each
+        // shard gets flush_threads / dirty_shards dedicated threads.
+        for t in 0..self.config.flush_threads {
+            let me = Arc::clone(self);
+            let stop = Arc::clone(&stop);
+            let shard = t % self.config.dirty_shards;
+            let interval =
+                std::time::Duration::from_millis(self.config.flush_interval.as_millis().max(1));
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("gcache-flush-{t}"))
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            let _ = me.flush_shard(shard, 256);
+                            std::thread::sleep(interval);
+                        }
+                    })
+                    .expect("spawn flush thread"),
+            );
+        }
+        BackgroundThreads {
+            stop,
+            handles,
+        }
+    }
+}
+
+/// Stops and joins the background threads on drop.
+pub struct BackgroundThreads {
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Drop for BackgroundThreads {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_kv::{KvNode, KvNodeConfig};
+    use ips_types::{
+        ActionTypeId, AggregateFunction, CountVector, DurationMs, FeatureId, PersistenceMode,
+        SlotId, TableId, Timestamp,
+    };
+
+    fn cache(budget: usize) -> GCache<Arc<KvNode>> {
+        let node = Arc::new(KvNode::new("kv", KvNodeConfig::default()).unwrap());
+        let persister = Arc::new(ProfilePersister::new(
+            node,
+            TableId::new(1),
+            PersistenceMode::Split { threshold_bytes: 4 << 10 },
+        ));
+        GCache::new(
+            persister,
+            CacheConfig {
+                memory_budget_bytes: budget,
+                lru_shards: 4,
+                dirty_shards: 2,
+                flush_threads: 2,
+                swap_threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn write_row(c: &GCache<Arc<KvNode>>, pid: u64, at: u64, fid: u64) {
+        c.write(ProfileId::new(pid), |p| {
+            p.add(
+                Timestamp::from_millis(at),
+                SlotId::new(1),
+                ActionTypeId::new(1),
+                FeatureId::new(fid),
+                &CountVector::single(1),
+                AggregateFunction::Sum,
+                DurationMs::from_secs(1),
+            );
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn write_then_read_hits_cache() {
+        let c = cache(64 << 20);
+        write_row(&c, 1, 1_000, 7);
+        let (count, hit) = c
+            .read(ProfileId::new(1), |p| p.feature_count())
+            .unwrap()
+            .unwrap();
+        assert_eq!(count, 1);
+        assert!(hit);
+        assert!(c.hit_ratio.ratio() > 0.0);
+    }
+
+    #[test]
+    fn read_of_unknown_profile_is_none() {
+        let c = cache(64 << 20);
+        assert!(c.read(ProfileId::new(404), |_| ()).unwrap().is_none());
+        assert_eq!(c.hit_ratio.misses.get(), 1);
+    }
+
+    #[test]
+    fn flush_persists_and_reload_after_evict() {
+        let c = cache(64 << 20);
+        write_row(&c, 1, 1_000, 7);
+        assert_eq!(c.flush_all().unwrap(), 1);
+        assert!(c.evict(ProfileId::new(1)).unwrap());
+        assert!(!c.contains(ProfileId::new(1)));
+        // Read reloads from the store.
+        let (count, hit) = c
+            .read(ProfileId::new(1), |p| p.feature_count())
+            .unwrap()
+            .unwrap();
+        assert_eq!(count, 1);
+        assert!(!hit, "reload is a miss");
+    }
+
+    #[test]
+    fn evict_flushes_dirty_data_first() {
+        let c = cache(64 << 20);
+        write_row(&c, 1, 1_000, 7);
+        // No explicit flush: evict must write back.
+        assert!(c.evict(ProfileId::new(1)).unwrap());
+        let (count, _) = c
+            .read(ProfileId::new(1), |p| p.feature_count())
+            .unwrap()
+            .unwrap();
+        assert_eq!(count, 1, "dirty data survived eviction via write-back");
+    }
+
+    #[test]
+    fn swap_cycle_brings_memory_under_watermark() {
+        // Budget small enough that 200 profiles exceed it.
+        let c = cache(200 << 10);
+        for pid in 0..200u64 {
+            for fid in 0..20u64 {
+                write_row(&c, pid, 1_000 + fid, fid);
+            }
+        }
+        assert!(c.memory_bytes() > (200 << 10) * 85 / 100);
+        let evicted = c.swap_cycle().unwrap();
+        assert!(evicted > 0);
+        assert!(
+            c.memory_bytes() <= (200u64 << 10) * 85 / 100,
+            "memory {} should be under high watermark",
+            c.memory_bytes()
+        );
+        // Evicted data still loads from the store.
+        let mut reloadable = 0;
+        for pid in 0..200u64 {
+            if !c.contains(ProfileId::new(pid)) {
+                let loaded = c.read(ProfileId::new(pid), |p| p.feature_count()).unwrap();
+                assert_eq!(loaded.map(|(n, _)| n), Some(20));
+                reloadable += 1;
+                if reloadable > 5 {
+                    break;
+                }
+            }
+        }
+        assert!(reloadable > 0);
+    }
+
+    #[test]
+    fn swap_noop_under_watermark() {
+        let c = cache(64 << 20);
+        write_row(&c, 1, 1_000, 1);
+        assert_eq!(c.swap_cycle().unwrap(), 0);
+    }
+
+    #[test]
+    fn contended_entry_is_skipped_not_blocked() {
+        let c = Arc::new(cache(1)); // budget so small everything wants out
+        write_row(&c, 1, 1_000, 1);
+        write_row(&c, 2, 1_000, 1);
+        c.flush_all().unwrap();
+        // Hold profile 1's entry lock on another thread.
+        let shard = &c.shards[c.shard_idx(ProfileId::new(1))];
+        let entry = shard.map.lock().get(&ProfileId::new(1)).map(Arc::clone).unwrap();
+        let guard = entry.lock();
+        let evicted = c.swap_cycle().unwrap();
+        // Profile 2 can go; profile 1 must be skipped, not deadlocked.
+        assert!(evicted >= 1);
+        assert!(c.contains(ProfileId::new(1)));
+        assert!(c.swap_skips.get() >= 1);
+        drop(guard);
+    }
+
+    #[test]
+    fn dirty_queue_deduplicates() {
+        let c = cache(64 << 20);
+        for _ in 0..10 {
+            write_row(&c, 1, 1_000, 1);
+        }
+        assert_eq!(c.stats().dirty_backlog, 1, "one profile => one dirty entry");
+        assert_eq!(c.flush_all().unwrap(), 1);
+    }
+
+    #[test]
+    fn flush_shard_respects_budget() {
+        let c = cache(64 << 20);
+        // Enough profiles that both dirty shards get some.
+        for pid in 0..50u64 {
+            write_row(&c, pid, 1_000, 1);
+        }
+        let n0 = c.flush_shard(0, 5).unwrap();
+        assert!(n0 <= 5);
+    }
+
+    #[test]
+    fn stats_reflect_world() {
+        let c = cache(64 << 20);
+        write_row(&c, 1, 1_000, 1);
+        let s = c.stats();
+        assert_eq!(s.entries, 1);
+        assert!(s.memory_bytes > 0);
+        assert_eq!(s.dirty_backlog, 1);
+    }
+
+    #[test]
+    fn background_threads_flush_and_stop() {
+        let node = Arc::new(KvNode::new("kv", KvNodeConfig::default()).unwrap());
+        let persister = Arc::new(ProfilePersister::new(
+            Arc::clone(&node),
+            TableId::new(1),
+            PersistenceMode::Bulk,
+        ));
+        let c = Arc::new(
+            GCache::new(
+                persister,
+                CacheConfig {
+                    memory_budget_bytes: 64 << 20,
+                    lru_shards: 2,
+                    dirty_shards: 2,
+                    flush_threads: 2,
+                    swap_threads: 1,
+                    flush_interval: DurationMs::from_millis(5),
+                    swap_interval: DurationMs::from_millis(5),
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let bg = c.spawn_background();
+        write_row(&c, 1, 1_000, 1);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while node.store().len() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(node.store().len() > 0, "background flush should persist");
+        drop(bg); // stops and joins
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let c = Arc::new(cache(64 << 20));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let pid = (t * 500 + i) % 100;
+                        write_row(&c, pid, 1_000 + i, i % 50);
+                        let _ = c.read(ProfileId::new(pid), |p| p.slice_count()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.len(), 100);
+        c.flush_all().unwrap();
+    }
+}

@@ -1,0 +1,17 @@
+//! GCache: the write-back compute cache (§III-C).
+//!
+//! All profile data served online lives here. The cache is a sharded map of
+//! profile entries with two auxiliary structures per the paper:
+//!
+//! * a **sharded LRU list** (Fig 7) — swap threads evict cold entries from
+//!   the largest shard when memory exceeds the high watermark, skipping
+//!   entries they cannot `try_lock` (Fig 8);
+//! * a **sharded dirty list** (Fig 9) — flush threads persist updated
+//!   profiles to the key-value store; the flush-thread count is a multiple
+//!   of the dirty-shard count so every shard has dedicated threads.
+
+pub mod gcache;
+pub mod lru;
+
+pub use gcache::{CacheStats, GCache};
+pub use lru::LruList;

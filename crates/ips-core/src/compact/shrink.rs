@@ -1,0 +1,328 @@
+//! The *Shrink* pass: long-tail feature elimination (§III-D, Listing 4).
+//!
+//! Even with slices compacted, per-slice feature populations grow as the
+//! long tail accumulates. Shrink bounds the number of retained features per
+//! slot, following the paper's three principles:
+//!
+//! * **Data freshness** — features that appeared recently are protected even
+//!   when their counts are low (they may still grow);
+//! * **Multi-dimensional sorting** — importance is the weighted sum of all
+//!   action-count attributes, not a single count;
+//! * **Short/long-term balance** — a configured fraction of each slot's
+//!   budget is reserved for the features observed *earliest* in the profile,
+//!   so long-term interests survive elimination.
+
+use std::collections::{HashMap, HashSet};
+
+use ips_types::{FeatureId, ShrinkConfig, SlotId, Timestamp};
+
+use crate::model::ProfileData;
+
+struct FeatureAgg {
+    score: f64,
+    first_seen: Timestamp,
+    fresh: bool,
+}
+
+/// Shrink every slot of `profile` to its configured budget. Slices younger
+/// than `config.fresh_horizon` contribute to scoring but are never edited.
+/// Returns the number of `(slice, slot, action, feature)` entries removed.
+pub fn shrink_profile(profile: &mut ProfileData, config: &ShrinkConfig, now: Timestamp) -> usize {
+    if profile.is_empty() {
+        return 0;
+    }
+    let fresh_cutoff = now.saturating_sub(config.fresh_horizon);
+
+    // Pass 1: profile-wide aggregation per slot.
+    let mut per_slot: HashMap<SlotId, HashMap<FeatureId, FeatureAgg>> = HashMap::new();
+    for slice in profile.slices() {
+        let slice_fresh = slice.end() > fresh_cutoff;
+        for (slot, set) in slice.iter_slots() {
+            let slot_map = per_slot.entry(slot).or_default();
+            for (_, stats) in set.iter() {
+                for (fid, counts) in stats.iter() {
+                    let score = config.score(counts);
+                    let entry = slot_map.entry(fid).or_insert(FeatureAgg {
+                        score: 0.0,
+                        first_seen: slice.start(),
+                        fresh: false,
+                    });
+                    entry.score += score;
+                    entry.first_seen = entry.first_seen.min(slice.start());
+                    entry.fresh |= slice_fresh;
+                }
+            }
+        }
+    }
+
+    // Pass 2: decide the keep set per slot.
+    let mut keep: HashMap<SlotId, HashSet<FeatureId>> = HashMap::new();
+    for (slot, features) in &per_slot {
+        let budget = config.retain_for(*slot);
+        // Cap the preallocation: budgets can be "effectively unlimited".
+        let mut kept: HashSet<FeatureId> =
+            HashSet::with_capacity(budget.min(features.len()).saturating_add(8));
+
+        // Freshness protection first — never eliminate recent features.
+        for (fid, agg) in features {
+            if agg.fresh {
+                kept.insert(*fid);
+            }
+        }
+        if features.len() <= budget {
+            keep.insert(*slot, features.keys().copied().collect());
+            continue;
+        }
+
+        // Long-term reservation: oldest-first by first_seen.
+        let long_term_budget =
+            ((budget as f64) * config.long_term_fraction).round() as usize;
+        if long_term_budget > 0 {
+            let mut by_age: Vec<(&FeatureId, &FeatureAgg)> = features.iter().collect();
+            by_age.sort_by(|a, b| {
+                a.1.first_seen
+                    .cmp(&b.1.first_seen)
+                    .then_with(|| a.0.cmp(b.0))
+            });
+            for (fid, _) in by_age.into_iter().take(long_term_budget) {
+                kept.insert(*fid);
+            }
+        }
+
+        // Fill the remainder by multi-dimensional score.
+        let mut by_score: Vec<(&FeatureId, &FeatureAgg)> = features.iter().collect();
+        by_score.sort_by(|a, b| {
+            b.1.score
+                .partial_cmp(&a.1.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.0.cmp(a.0))
+        });
+        for (fid, _) in by_score {
+            if kept.len() >= budget {
+                break;
+            }
+            kept.insert(*fid);
+        }
+        keep.insert(*slot, kept);
+    }
+
+    // Pass 3: eliminate. Only slices older than the fresh horizon are edited.
+    let mut removed = 0usize;
+    for slice in profile.slices_mut().iter_mut() {
+        if slice.end() > fresh_cutoff {
+            continue;
+        }
+        let mut touched = false;
+        for (slot, set) in slice.iter_slots_mut() {
+            let Some(kept) = keep.get(&slot) else { continue };
+            for (_, stats) in set.iter_mut() {
+                let before = stats.len();
+                stats.retain(|fid, _| kept.contains(&fid));
+                removed += before - stats.len();
+                touched |= before != stats.len();
+            }
+        }
+        if touched {
+            slice.prune_empty();
+        }
+    }
+    // Drop slices emptied entirely by shrink.
+    profile.slices_mut().retain(|s| !s.is_empty());
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_types::{
+        ActionTypeId, AggregateFunction, CountVector, DurationMs,
+    };
+
+    const SLOT: SlotId = SlotId(1);
+    const LIKE: ActionTypeId = ActionTypeId(1);
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp::from_millis(t)
+    }
+
+    fn add(p: &mut ProfileData, at: u64, fid: u64, counts: &[i64]) {
+        p.add(
+            ts(at),
+            SLOT,
+            LIKE,
+            FeatureId::new(fid),
+            &CountVector::from_slice(counts),
+            AggregateFunction::Sum,
+            DurationMs::from_secs(1),
+        );
+    }
+
+    fn surviving_fids(p: &ProfileData) -> HashSet<u64> {
+        let mut out = HashSet::new();
+        for s in p.slices() {
+            for (_, set) in s.iter_slots() {
+                for (_, stats) in set.iter() {
+                    for (fid, _) in stats.iter() {
+                        out.insert(fid.raw());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn base_config(retain: usize) -> ShrinkConfig {
+        ShrinkConfig {
+            default_retain: retain,
+            fresh_horizon: DurationMs::from_secs(10),
+            long_term_fraction: 0.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn under_budget_removes_nothing() {
+        let mut p = ProfileData::new();
+        for fid in 0..5u64 {
+            add(&mut p, 1_000, fid, &[1]);
+        }
+        let removed = shrink_profile(&mut p, &base_config(10), ts(1_000_000));
+        assert_eq!(removed, 0);
+        assert_eq!(surviving_fids(&p).len(), 5);
+    }
+
+    #[test]
+    fn over_budget_keeps_top_by_score() {
+        let mut p = ProfileData::new();
+        for fid in 0..10u64 {
+            add(&mut p, 1_000, fid, &[fid as i64]);
+        }
+        let removed = shrink_profile(&mut p, &base_config(3), ts(1_000_000));
+        assert_eq!(removed, 7);
+        assert_eq!(surviving_fids(&p), HashSet::from([7, 8, 9]));
+    }
+
+    #[test]
+    fn fresh_slices_are_never_edited() {
+        let mut p = ProfileData::new();
+        // Old, low-value features.
+        for fid in 0..5u64 {
+            add(&mut p, 1_000, fid, &[1]);
+        }
+        // Fresh feature with zero count value.
+        add(&mut p, 999_000, 100, &[0]);
+        let cfg = base_config(2);
+        let now = ts(1_000_000); // fresh horizon 10s: slice at 999s is fresh
+        shrink_profile(&mut p, &cfg, now);
+        let survivors = surviving_fids(&p);
+        assert!(survivors.contains(&100), "fresh feature protected: {survivors:?}");
+    }
+
+    #[test]
+    fn multi_dimensional_weights_determine_importance() {
+        let mut p = ProfileData::new();
+        // fid 1: 10 clicks, 0 shares. fid 2: 1 click, 2 shares.
+        add(&mut p, 1_000, 1, &[10, 0]);
+        add(&mut p, 1_000, 2, &[1, 2]);
+        add(&mut p, 1_000, 3, &[2, 0]);
+        let cfg = ShrinkConfig {
+            default_retain: 1,
+            weights: vec![1.0, 10.0],
+            fresh_horizon: DurationMs::from_secs(1),
+            long_term_fraction: 0.0,
+            ..Default::default()
+        };
+        shrink_profile(&mut p, &cfg, ts(1_000_000));
+        // fid 2 scores 21, beating fid 1's 10.
+        assert_eq!(surviving_fids(&p), HashSet::from([2]));
+    }
+
+    #[test]
+    fn long_term_reservation_protects_oldest() {
+        let mut p = ProfileData::new();
+        // Very old, low-score interest.
+        add(&mut p, 1_000, 1, &[1]);
+        // Newer, higher-score features.
+        for fid in 10..20u64 {
+            add(&mut p, 500_000, fid, &[100]);
+        }
+        let cfg = ShrinkConfig {
+            default_retain: 4,
+            fresh_horizon: DurationMs::from_secs(1),
+            long_term_fraction: 0.25, // 1 of 4 reserved for oldest
+            ..Default::default()
+        };
+        shrink_profile(&mut p, &cfg, ts(10_000_000));
+        let survivors = surviving_fids(&p);
+        assert!(
+            survivors.contains(&1),
+            "oldest interest must survive via long-term reservation: {survivors:?}"
+        );
+        // Without the reservation it would be eliminated.
+        let mut p2 = ProfileData::new();
+        add(&mut p2, 1_000, 1, &[1]);
+        for fid in 10..20u64 {
+            add(&mut p2, 500_000, fid, &[100]);
+        }
+        let cfg2 = ShrinkConfig {
+            long_term_fraction: 0.0,
+            ..cfg
+        };
+        shrink_profile(&mut p2, &cfg2, ts(10_000_000));
+        assert!(!surviving_fids(&p2).contains(&1));
+    }
+
+    #[test]
+    fn per_slot_budgets_are_independent() {
+        let mut p = ProfileData::new();
+        let other_slot = SlotId::new(2);
+        for fid in 0..6u64 {
+            add(&mut p, 1_000, fid, &[fid as i64 + 1]);
+            p.add(
+                ts(1_000),
+                other_slot,
+                LIKE,
+                FeatureId::new(100 + fid),
+                &CountVector::single(1),
+                AggregateFunction::Sum,
+                DurationMs::from_secs(1),
+            );
+        }
+        let cfg = ShrinkConfig {
+            per_slot_retain: vec![(SLOT, 2)],
+            default_retain: 100,
+            fresh_horizon: DurationMs::from_secs(1),
+            long_term_fraction: 0.0,
+            ..Default::default()
+        };
+        shrink_profile(&mut p, &cfg, ts(1_000_000));
+        let survivors = surviving_fids(&p);
+        // SLOT shrunk to 2; other slot untouched (budget 100).
+        assert_eq!(survivors.iter().filter(|f| **f < 100).count(), 2);
+        assert_eq!(survivors.iter().filter(|f| **f >= 100).count(), 6);
+    }
+
+    #[test]
+    fn emptied_slices_are_dropped() {
+        let mut p = ProfileData::new();
+        add(&mut p, 1_000, 1, &[1]);
+        add(&mut p, 100_000, 2, &[100]);
+        let cfg = base_config(1);
+        shrink_profile(&mut p, &cfg, ts(10_000_000));
+        assert_eq!(p.slice_count(), 1, "slice holding only eliminated features dropped");
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn score_aggregates_across_slices() {
+        let mut p = ProfileData::new();
+        // fid 1 appears in many slices with small counts; total beats fid 2.
+        for i in 0..10u64 {
+            add(&mut p, 1_000 + i * 2_000, 1, &[1]);
+        }
+        add(&mut p, 1_000, 2, &[5]);
+        let cfg = base_config(1);
+        shrink_profile(&mut p, &cfg, ts(10_000_000));
+        assert_eq!(surviving_fids(&p), HashSet::from([1]));
+    }
+}

@@ -1,0 +1,112 @@
+//! Live-reloadable configuration (§V-b).
+//!
+//! Machine-learning engineers iterate on compaction/truncation/shrink
+//! parameters constantly; restarting a serving fleet for each change is a
+//! non-starter. `HotConfig<T>` is an epoch-counted, swap-on-write
+//! configuration cell: readers grab a cheap `Arc` snapshot, writers swap in
+//! a validated replacement, and the epoch lets components notice changes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// An epoch-counted hot-swappable configuration cell.
+pub struct HotConfig<T> {
+    current: RwLock<Arc<T>>,
+    epoch: AtomicU64,
+}
+
+impl<T> HotConfig<T> {
+    #[must_use]
+    pub fn new(initial: T) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(initial)),
+            epoch: AtomicU64::new(1),
+        }
+    }
+
+    /// Snapshot the current configuration. Cheap: one `Arc` clone.
+    #[must_use]
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Swap in a new configuration; bumps the epoch.
+    pub fn store(&self, next: T) {
+        *self.current.write() = Arc::new(next);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Update via closure over the current value; bumps the epoch.
+    pub fn update(&self, f: impl FnOnce(&T) -> T) {
+        let mut guard = self.current.write();
+        let next = f(&guard);
+        *guard = Arc::new(next);
+        drop(guard);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Monotonic change counter — readers cache a snapshot and refresh when
+    /// the epoch moves.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_returns_current() {
+        let c = HotConfig::new(42);
+        assert_eq!(*c.load(), 42);
+    }
+
+    #[test]
+    fn store_swaps_and_bumps_epoch() {
+        let c = HotConfig::new(1);
+        let e0 = c.epoch();
+        let old = c.load();
+        c.store(2);
+        assert_eq!(*c.load(), 2);
+        assert_eq!(*old, 1, "existing snapshots keep the old value");
+        assert!(c.epoch() > e0);
+    }
+
+    #[test]
+    fn update_uses_previous_value() {
+        let c = HotConfig::new(10);
+        c.update(|v| v + 5);
+        assert_eq!(*c.load(), 15);
+    }
+
+    #[test]
+    fn concurrent_reload_while_reading() {
+        let c = Arc::new(HotConfig::new(0u64));
+        let writer = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                for i in 1..=1_000 {
+                    c.store(i);
+                }
+            })
+        };
+        let reader = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                let mut last = 0;
+                for _ in 0..1_000 {
+                    let v = *c.load();
+                    assert!(v >= last, "values must be monotonic");
+                    last = v;
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(*c.load(), 1_000);
+    }
+}

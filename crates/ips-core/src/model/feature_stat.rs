@@ -1,0 +1,195 @@
+//! *Indexed Feature Stat*: per-action-type feature statistics.
+//!
+//! The innermost level of the in-memory hierarchy (Fig 6). Maps feature ids
+//! to their count vectors, with a lazily maintained sorted feature-id index —
+//! the paper's `fid_index` — so the query engine can run ordered multi-way
+//! merges across slices without re-sorting on every request.
+
+use std::collections::HashMap;
+
+use ips_types::{AggregateFunction, CountVector, FeatureId};
+
+/// Feature id → count vector, plus a sorted-id index for merge joins.
+#[derive(Clone, Debug, Default)]
+pub struct IndexedFeatureStat {
+    stats: HashMap<FeatureId, CountVector>,
+    /// Sorted feature ids; rebuilt lazily after mutations ("fid_index").
+    index: Vec<FeatureId>,
+    index_dirty: bool,
+}
+
+impl IndexedFeatureStat {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct features.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// Fold `counts` into the feature's stat using the table's reduce
+    /// function. Inserts the feature when absent.
+    pub fn upsert(&mut self, fid: FeatureId, counts: &CountVector, agg: AggregateFunction) {
+        match self.stats.get_mut(&fid) {
+            Some(existing) => agg.apply(existing, counts, true),
+            None => {
+                self.stats.insert(fid, counts.clone());
+                self.index_dirty = true;
+            }
+        }
+    }
+
+    /// The stat for one feature.
+    #[must_use]
+    pub fn get(&self, fid: FeatureId) -> Option<&CountVector> {
+        self.stats.get(&fid)
+    }
+
+    /// Remove a feature (shrink path). Returns true when it existed.
+    pub fn remove(&mut self, fid: FeatureId) -> bool {
+        let existed = self.stats.remove(&fid).is_some();
+        if existed {
+            self.index_dirty = true;
+        }
+        existed
+    }
+
+    /// Keep only features in the callback's good graces (shrink path).
+    pub fn retain(&mut self, mut keep: impl FnMut(FeatureId, &CountVector) -> bool) {
+        let before = self.stats.len();
+        self.stats.retain(|fid, counts| keep(*fid, counts));
+        if self.stats.len() != before {
+            self.index_dirty = true;
+        }
+    }
+
+    /// The sorted feature-id index, rebuilding if stale.
+    pub fn sorted_fids(&mut self) -> &[FeatureId] {
+        if self.index_dirty || self.index.len() != self.stats.len() {
+            self.index.clear();
+            self.index.extend(self.stats.keys().copied());
+            self.index.sort_unstable();
+            self.index_dirty = false;
+        }
+        &self.index
+    }
+
+    /// Iterate `(feature, counts)` in arbitrary order (write/merge paths).
+    pub fn iter(&self) -> impl Iterator<Item = (FeatureId, &CountVector)> {
+        self.stats.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Merge another stat into this one feature-by-feature.
+    pub fn merge_from(&mut self, other: &IndexedFeatureStat, agg: AggregateFunction) {
+        for (fid, counts) in other.iter() {
+            self.upsert(fid, counts, agg);
+        }
+    }
+
+    /// Approximate heap footprint for memory accounting.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        // map entry overhead ~ key + value + bucket bookkeeping
+        let entry_overhead = std::mem::size_of::<FeatureId>() + 16;
+        let values: usize = self.stats.values().map(CountVector::approx_bytes).sum();
+        self.stats.len() * entry_overhead + values + self.index.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(n: u64) -> FeatureId {
+        FeatureId::new(n)
+    }
+
+    #[test]
+    fn upsert_inserts_then_aggregates() {
+        let mut s = IndexedFeatureStat::new();
+        s.upsert(fid(1), &CountVector::single(2), AggregateFunction::Sum);
+        s.upsert(fid(1), &CountVector::single(3), AggregateFunction::Sum);
+        assert_eq!(s.get(fid(1)).unwrap().as_slice(), &[5]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn upsert_respects_aggregate_function() {
+        let mut s = IndexedFeatureStat::new();
+        s.upsert(fid(1), &CountVector::single(2), AggregateFunction::Max);
+        s.upsert(fid(1), &CountVector::single(9), AggregateFunction::Max);
+        s.upsert(fid(1), &CountVector::single(4), AggregateFunction::Max);
+        assert_eq!(s.get(fid(1)).unwrap().as_slice(), &[9]);
+
+        let mut s = IndexedFeatureStat::new();
+        s.upsert(fid(1), &CountVector::single(2), AggregateFunction::Last);
+        s.upsert(fid(1), &CountVector::single(7), AggregateFunction::Last);
+        assert_eq!(s.get(fid(1)).unwrap().as_slice(), &[7]);
+    }
+
+    #[test]
+    fn sorted_index_tracks_mutations() {
+        let mut s = IndexedFeatureStat::new();
+        for n in [5u64, 1, 9, 3] {
+            s.upsert(fid(n), &CountVector::single(1), AggregateFunction::Sum);
+        }
+        assert_eq!(s.sorted_fids(), &[fid(1), fid(3), fid(5), fid(9)]);
+        s.remove(fid(3));
+        assert_eq!(s.sorted_fids(), &[fid(1), fid(5), fid(9)]);
+        s.upsert(fid(2), &CountVector::single(1), AggregateFunction::Sum);
+        assert_eq!(s.sorted_fids(), &[fid(1), fid(2), fid(5), fid(9)]);
+    }
+
+    #[test]
+    fn index_not_dirtied_by_pure_aggregation() {
+        let mut s = IndexedFeatureStat::new();
+        s.upsert(fid(1), &CountVector::single(1), AggregateFunction::Sum);
+        let _ = s.sorted_fids();
+        // Aggregating into an existing feature must not invalidate the index.
+        s.upsert(fid(1), &CountVector::single(1), AggregateFunction::Sum);
+        assert!(!s.index_dirty);
+        assert_eq!(s.sorted_fids(), &[fid(1)]);
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut s = IndexedFeatureStat::new();
+        for n in 0..10u64 {
+            s.upsert(fid(n), &CountVector::single(n as i64), AggregateFunction::Sum);
+        }
+        s.retain(|_, c| c.get_or_zero(0) >= 5);
+        assert_eq!(s.len(), 5);
+        assert!(s.get(fid(4)).is_none());
+        assert!(s.get(fid(5)).is_some());
+    }
+
+    #[test]
+    fn merge_from_combines() {
+        let mut a = IndexedFeatureStat::new();
+        a.upsert(fid(1), &CountVector::single(1), AggregateFunction::Sum);
+        let mut b = IndexedFeatureStat::new();
+        b.upsert(fid(1), &CountVector::single(2), AggregateFunction::Sum);
+        b.upsert(fid(2), &CountVector::single(5), AggregateFunction::Sum);
+        a.merge_from(&b, AggregateFunction::Sum);
+        assert_eq!(a.get(fid(1)).unwrap().as_slice(), &[3]);
+        assert_eq!(a.get(fid(2)).unwrap().as_slice(), &[5]);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_features() {
+        let mut s = IndexedFeatureStat::new();
+        let empty = s.approx_bytes();
+        for n in 0..100u64 {
+            s.upsert(fid(n), &CountVector::pair(1, 2), AggregateFunction::Sum);
+        }
+        assert!(s.approx_bytes() > empty + 100 * 8);
+    }
+}

@@ -1,0 +1,155 @@
+//! *Instance Set*: user behaviours across action types within one slot.
+//!
+//! The middle level of the in-memory hierarchy (Fig 6): an unordered map
+//! from action-type id to an [`IndexedFeatureStat`].
+
+use std::collections::HashMap;
+
+use ips_types::{ActionTypeId, AggregateFunction, CountVector, FeatureId};
+
+use super::feature_stat::IndexedFeatureStat;
+
+/// Action type → indexed feature stats.
+#[derive(Clone, Debug, Default)]
+pub struct InstanceSet {
+    actions: HashMap<ActionTypeId, IndexedFeatureStat>,
+}
+
+impl InstanceSet {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of action types present.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Total distinct `(action_type, feature)` pairs.
+    #[must_use]
+    pub fn feature_count(&self) -> usize {
+        self.actions.values().map(IndexedFeatureStat::len).sum()
+    }
+
+    /// Record counts for one feature under one action type.
+    pub fn upsert(
+        &mut self,
+        action: ActionTypeId,
+        fid: FeatureId,
+        counts: &CountVector,
+        agg: AggregateFunction,
+    ) {
+        self.actions
+            .entry(action)
+            .or_default()
+            .upsert(fid, counts, agg);
+    }
+
+    /// The stats for one action type.
+    #[must_use]
+    pub fn get(&self, action: ActionTypeId) -> Option<&IndexedFeatureStat> {
+        self.actions.get(&action)
+    }
+
+    /// Mutable stats for one action type.
+    pub fn get_mut(&mut self, action: ActionTypeId) -> Option<&mut IndexedFeatureStat> {
+        self.actions.get_mut(&action)
+    }
+
+    /// Iterate all `(action, stats)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ActionTypeId, &IndexedFeatureStat)> {
+        self.actions.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Iterate mutably (shrink path).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ActionTypeId, &mut IndexedFeatureStat)> {
+        self.actions.iter_mut().map(|(k, v)| (*k, v))
+    }
+
+    /// Merge another set into this one.
+    pub fn merge_from(&mut self, other: &InstanceSet, agg: AggregateFunction) {
+        for (action, stats) in other.iter() {
+            self.actions
+                .entry(action)
+                .or_default()
+                .merge_from(stats, agg);
+        }
+    }
+
+    /// Drop action types whose stat became empty (after shrink).
+    pub fn prune_empty(&mut self) {
+        self.actions.retain(|_, s| !s.is_empty());
+    }
+
+    /// Approximate heap footprint.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        let entry_overhead = std::mem::size_of::<ActionTypeId>() + 16;
+        self.actions
+            .values()
+            .map(IndexedFeatureStat::approx_bytes)
+            .sum::<usize>()
+            + self.actions.len() * entry_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(n: u32) -> ActionTypeId {
+        ActionTypeId::new(n)
+    }
+
+    fn fid(n: u64) -> FeatureId {
+        FeatureId::new(n)
+    }
+
+    #[test]
+    fn upsert_creates_action_types_on_demand() {
+        let mut s = InstanceSet::new();
+        s.upsert(at(1), fid(10), &CountVector::single(1), AggregateFunction::Sum);
+        s.upsert(at(2), fid(10), &CountVector::single(2), AggregateFunction::Sum);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.feature_count(), 2);
+        assert_eq!(s.get(at(1)).unwrap().get(fid(10)).unwrap().as_slice(), &[1]);
+        assert_eq!(s.get(at(2)).unwrap().get(fid(10)).unwrap().as_slice(), &[2]);
+    }
+
+    #[test]
+    fn merge_from_is_per_action_type() {
+        let mut a = InstanceSet::new();
+        a.upsert(at(1), fid(1), &CountVector::single(1), AggregateFunction::Sum);
+        let mut b = InstanceSet::new();
+        b.upsert(at(1), fid(1), &CountVector::single(4), AggregateFunction::Sum);
+        b.upsert(at(3), fid(9), &CountVector::single(7), AggregateFunction::Sum);
+        a.merge_from(&b, AggregateFunction::Sum);
+        assert_eq!(a.get(at(1)).unwrap().get(fid(1)).unwrap().as_slice(), &[5]);
+        assert_eq!(a.get(at(3)).unwrap().get(fid(9)).unwrap().as_slice(), &[7]);
+    }
+
+    #[test]
+    fn prune_empty_removes_hollow_actions() {
+        let mut s = InstanceSet::new();
+        s.upsert(at(1), fid(1), &CountVector::single(1), AggregateFunction::Sum);
+        s.get_mut(at(1)).unwrap().remove(fid(1));
+        assert_eq!(s.len(), 1);
+        s.prune_empty();
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn approx_bytes_counts_nested() {
+        let mut s = InstanceSet::new();
+        let base = s.approx_bytes();
+        s.upsert(at(1), fid(1), &CountVector::single(1), AggregateFunction::Sum);
+        assert!(s.approx_bytes() > base);
+    }
+}

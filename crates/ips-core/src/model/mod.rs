@@ -1,0 +1,23 @@
+//! The in-memory data model (§II-A / §III-B, Fig 6): a time-serial list of
+//! slices embedded with multi-layer hash maps.
+//!
+//! Hierarchy, outermost to innermost:
+//!
+//! * profile table (lives in [`crate::cache::GCache`]) — profile id →
+//!   [`ProfileData`];
+//! * [`ProfileData`] — newest-first list of [`Slice`]s with non-overlapping
+//!   time ranges;
+//! * [`Slice`] — slot id → [`InstanceSet`];
+//! * [`InstanceSet`] — action-type id → [`IndexedFeatureStat`];
+//! * [`IndexedFeatureStat`] — feature id → count vector, with a sorted
+//!   feature-id index for merge joins.
+
+pub mod feature_stat;
+pub mod instance_set;
+pub mod profile;
+pub mod slice;
+
+pub use feature_stat::IndexedFeatureStat;
+pub use instance_set::InstanceSet;
+pub use profile::ProfileData;
+pub use slice::Slice;

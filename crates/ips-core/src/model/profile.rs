@@ -1,0 +1,348 @@
+//! *Profile Data*: one user's entire profile — a time-serial list of slices.
+//!
+//! Slices are kept newest-first with strictly non-overlapping, descending
+//! time ranges (§II-B: "profile data are stored in a strict time order").
+//! Writes are append or insert, never in-place update: a timestamp newer
+//! than the head opens a fresh head slice; older timestamps are routed into
+//! the covering slice, or a new slice is spliced in if the timestamp falls in
+//! a gap.
+
+use ips_types::{
+    ActionTypeId, AggregateFunction, CountVector, DurationMs, FeatureId, SlotId, Timestamp,
+};
+
+use super::slice::Slice;
+
+/// One user's profile: a newest-first list of non-overlapping slices.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileData {
+    /// Newest first: `slices[0]` covers the most recent interval.
+    slices: Vec<Slice>,
+    /// When the profile was last compacted (drives the min-interval policy).
+    pub last_compacted: Timestamp,
+}
+
+impl ProfileData {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The slice list, newest first.
+    #[must_use]
+    pub fn slices(&self) -> &[Slice] {
+        &self.slices
+    }
+
+    /// Mutable slice list (compaction machinery).
+    pub fn slices_mut(&mut self) -> &mut Vec<Slice> {
+        &mut self.slices
+    }
+
+    /// Number of slices.
+    #[must_use]
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// Timestamp of the most recent data, i.e. the head slice's end minus
+    /// one unit (the newest instant the profile can contain data for).
+    #[must_use]
+    pub fn last_action_hint(&self) -> Option<Timestamp> {
+        self.slices
+            .first()
+            .map(|s| Timestamp::from_millis(s.end().as_millis() - 1))
+    }
+
+    /// Record one observation at `at`, bucketing new head slices to
+    /// `head_granularity`-aligned intervals.
+    ///
+    /// Routing rules (§II-B write API):
+    /// * newer than the head slice → new head slice;
+    /// * covered by an existing slice → fold into it;
+    /// * in a gap between slices, or older than the tail → splice a new
+    ///   slice at the right position.
+    pub fn add(
+        &mut self,
+        at: Timestamp,
+        slot: SlotId,
+        action: ActionTypeId,
+        fid: FeatureId,
+        counts: &CountVector,
+        agg: AggregateFunction,
+        head_granularity: DurationMs,
+    ) {
+        let g = head_granularity.as_millis().max(1);
+        let aligned_start = Timestamp::from_millis(at.as_millis() / g * g);
+        let aligned_end = Timestamp::from_millis(aligned_start.as_millis() + g);
+
+        // Fast path: most writes land in the current head slice.
+        if let Some(head) = self.slices.first_mut() {
+            if head.covers(at) {
+                head.add(slot, action, fid, counts, agg);
+                return;
+            }
+            if at >= head.end() {
+                // Newer than everything: new head slice. Clamp its start so
+                // it never overlaps the previous head.
+                let start = aligned_start.max(head.end());
+                let mut s = Slice::new(start, aligned_end.max(Timestamp(start.0 + 1)));
+                s.add(slot, action, fid, counts, agg);
+                self.slices.insert(0, s);
+                return;
+            }
+        } else {
+            let mut s = Slice::new(aligned_start, aligned_end);
+            s.add(slot, action, fid, counts, agg);
+            self.slices.push(s);
+            return;
+        }
+
+        // Slow path: late-arriving data. Find the covering slice or the gap.
+        // `slices` is newest-first, so scan until the interval is older.
+        for i in 0..self.slices.len() {
+            let s = &self.slices[i];
+            if s.covers(at) {
+                self.slices[i].add(slot, action, fid, counts, agg);
+                return;
+            }
+            if at >= s.end() {
+                // Falls in the gap between slices[i-1] and slices[i]; clamp
+                // the new slice inside the gap.
+                let gap_hi = if i == 0 {
+                    // Can't happen: the head branch above handled at >= head.end().
+                    aligned_end
+                } else {
+                    self.slices[i - 1].start()
+                };
+                let start = aligned_start.max(s.end());
+                let end = aligned_end.min(gap_hi).max(Timestamp(start.0 + 1));
+                let mut ns = Slice::new(start, end);
+                ns.add(slot, action, fid, counts, agg);
+                self.slices.insert(i, ns);
+                return;
+            }
+        }
+
+        // Older than the tail: append at the end, clamped below the tail.
+        let tail_start = self.slices.last().map(Slice::start).unwrap();
+        let start = aligned_start;
+        let end = aligned_end.min(tail_start).max(Timestamp(start.0 + 1));
+        let mut ns = Slice::new(start, end);
+        ns.add(slot, action, fid, counts, agg);
+        self.slices.push(ns);
+    }
+
+    /// Indices of slices overlapping the closed-open window `[lo, hi)`,
+    /// in newest-first order. Binary-search bounded: the slice list is
+    /// ordered by time, so the overlap set is contiguous.
+    #[must_use]
+    pub fn slices_in_window(&self, lo: Timestamp, hi: Timestamp) -> std::ops::Range<usize> {
+        if lo >= hi || self.slices.is_empty() {
+            return 0..0;
+        }
+        // First index whose slice could overlap: slices are newest-first,
+        // find the first with start < hi.
+        let first = self.slices.partition_point(|s| s.start() >= hi);
+        // Last overlapping: first index with end <= lo.
+        let last = self.slices.partition_point(|s| s.end() > lo);
+        first..last.max(first)
+    }
+
+    /// Validate the time-order invariant: newest-first, non-overlapping.
+    /// Used by tests and debug assertions.
+    #[must_use]
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for w in self.slices.windows(2) {
+            if w[1].end() > w[0].start() {
+                return Err(format!(
+                    "slices overlap or misordered: [{:?},{:?}) then [{:?},{:?})",
+                    w[0].start(),
+                    w[0].end(),
+                    w[1].start(),
+                    w[1].end()
+                ));
+            }
+        }
+        for s in &self.slices {
+            if s.start() >= s.end() {
+                return Err("degenerate slice range".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Total distinct feature entries across all slices.
+    #[must_use]
+    pub fn feature_count(&self) -> usize {
+        self.slices.iter().map(Slice::feature_count).sum()
+    }
+
+    /// Approximate heap footprint of the whole profile.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<ProfileData>()
+            + self.slices.iter().map(Slice::approx_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp::from_millis(t)
+    }
+
+    fn add_at(p: &mut ProfileData, at: u64) {
+        p.add(
+            ts(at),
+            SlotId::new(1),
+            ActionTypeId::new(1),
+            FeatureId::new(at),
+            &CountVector::single(1),
+            AggregateFunction::Sum,
+            DurationMs::from_secs(1),
+        );
+    }
+
+    #[test]
+    fn first_write_creates_aligned_head() {
+        let mut p = ProfileData::new();
+        add_at(&mut p, 1_500);
+        assert_eq!(p.slice_count(), 1);
+        assert_eq!(p.slices()[0].start(), ts(1_000));
+        assert_eq!(p.slices()[0].end(), ts(2_000));
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn writes_in_same_granule_share_a_slice() {
+        let mut p = ProfileData::new();
+        add_at(&mut p, 1_100);
+        add_at(&mut p, 1_900);
+        assert_eq!(p.slice_count(), 1);
+        assert_eq!(p.feature_count(), 2);
+    }
+
+    #[test]
+    fn newer_write_opens_new_head() {
+        let mut p = ProfileData::new();
+        add_at(&mut p, 1_000);
+        add_at(&mut p, 5_000);
+        assert_eq!(p.slice_count(), 2);
+        assert_eq!(p.slices()[0].start(), ts(5_000), "head is newest");
+        assert_eq!(p.slices()[1].start(), ts(1_000));
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn late_write_into_existing_slice() {
+        let mut p = ProfileData::new();
+        add_at(&mut p, 1_000);
+        add_at(&mut p, 9_000);
+        add_at(&mut p, 1_200); // late, lands in the 1s slice at 1000
+        assert_eq!(p.slice_count(), 2);
+        assert_eq!(p.slices()[1].feature_count(), 2);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn late_write_into_gap_splices_slice() {
+        let mut p = ProfileData::new();
+        add_at(&mut p, 1_000);
+        add_at(&mut p, 9_000);
+        add_at(&mut p, 5_500); // gap between [1000,2000) and [9000,10000)
+        assert_eq!(p.slice_count(), 3);
+        assert_eq!(p.slices()[1].start(), ts(5_000));
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_older_than_tail_appends() {
+        let mut p = ProfileData::new();
+        add_at(&mut p, 9_000);
+        add_at(&mut p, 1_000);
+        assert_eq!(p.slice_count(), 2);
+        assert_eq!(p.slices()[1].start(), ts(1_000));
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn gap_write_clamps_to_gap_bounds() {
+        let mut p = ProfileData::new();
+        // Slices [1000,2000) and [2500,3500) via direct manipulation of
+        // alignment: write at 2500 with 1s granularity gives [2000,3000)...
+        // use distinct granularity writes through the public API instead.
+        add_at(&mut p, 1_000);
+        add_at(&mut p, 2_500); // head becomes [2000,3000)
+        // Late write at 1_999 is covered by neither ([1000,2000) covers it).
+        add_at(&mut p, 1_999);
+        p.check_invariants().unwrap();
+        assert_eq!(p.slice_count(), 2);
+    }
+
+    #[test]
+    fn last_action_hint_tracks_head() {
+        let mut p = ProfileData::new();
+        assert_eq!(p.last_action_hint(), None);
+        add_at(&mut p, 1_000);
+        assert_eq!(p.last_action_hint(), Some(ts(1_999)));
+        add_at(&mut p, 7_200);
+        assert_eq!(p.last_action_hint(), Some(ts(7_999)));
+    }
+
+    #[test]
+    fn window_selection_is_contiguous_and_correct() {
+        let mut p = ProfileData::new();
+        for t in [1_000u64, 3_000, 5_000, 7_000, 9_000] {
+            add_at(&mut p, t);
+        }
+        // slices newest-first: [9000..10000),[7000..8000),...,[1000..2000)
+        let r = p.slices_in_window(ts(3_500), ts(8_000));
+        // overlapping: [7000,8000) idx1, [5000,6000) idx2, [3000,4000) idx3
+        assert_eq!(r, 1..4);
+        let empty = p.slices_in_window(ts(10_000), ts(20_000));
+        assert!(empty.is_empty());
+        let all = p.slices_in_window(ts(0), ts(20_000));
+        assert_eq!(all, 0..5);
+        let none = p.slices_in_window(ts(5_000), ts(5_000));
+        assert!(none.is_empty());
+        // Window exactly on a boundary excludes the closed-open edges.
+        let edge = p.slices_in_window(ts(2_000), ts(3_000));
+        assert!(edge.is_empty());
+    }
+
+    #[test]
+    fn zero_granularity_is_clamped() {
+        let mut p = ProfileData::new();
+        p.add(
+            ts(42),
+            SlotId::new(1),
+            ActionTypeId::new(1),
+            FeatureId::new(1),
+            &CountVector::single(1),
+            AggregateFunction::Sum,
+            DurationMs::ZERO,
+        );
+        assert_eq!(p.slice_count(), 1);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dense_random_writes_keep_invariants() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut p = ProfileData::new();
+        for _ in 0..2_000 {
+            add_at(&mut p, rng.gen_range(0..100_000));
+        }
+        p.check_invariants().unwrap();
+        assert!(p.slice_count() <= 100, "1s buckets over 100s");
+    }
+}

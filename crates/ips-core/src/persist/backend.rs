@@ -1,0 +1,121 @@
+//! The storage backend abstraction the persistence layer writes through.
+//!
+//! `ips-core` only needs the paper's four verbs — `set`/`get` for bulk mode
+//! and `xget`/`xset` for the versioned split mode — so the cluster layer can
+//! plug in a bare node, a replicated group, or a region-routed view without
+//! this crate knowing.
+
+use bytes::Bytes;
+
+use ips_kv::{Generation, KvNode, ReplicatedKv};
+use ips_types::Result;
+
+/// Storage verbs used by [`super::ProfilePersister`].
+pub trait ProfileStore: Send + Sync {
+    fn set(&self, key: Bytes, value: Bytes) -> Result<Generation>;
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>>;
+    fn xget(&self, key: &[u8]) -> Result<(Option<Bytes>, Generation)>;
+    fn xset(&self, key: Bytes, value: Bytes, held: Generation) -> Result<Generation>;
+    fn delete(&self, key: &[u8]) -> Result<bool>;
+}
+
+impl ProfileStore for KvNode {
+    fn set(&self, key: Bytes, value: Bytes) -> Result<Generation> {
+        KvNode::set(self, key, value)
+    }
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        KvNode::get(self, key)
+    }
+    fn xget(&self, key: &[u8]) -> Result<(Option<Bytes>, Generation)> {
+        KvNode::xget(self, key)
+    }
+    fn xset(&self, key: Bytes, value: Bytes, held: Generation) -> Result<Generation> {
+        KvNode::xset(self, key, value, held)
+    }
+    fn delete(&self, key: &[u8]) -> Result<bool> {
+        KvNode::delete(self, key)
+    }
+}
+
+/// Writes go to the master; reads use the master too (the local-replica read
+/// path is provided by the cluster layer's region view).
+impl ProfileStore for ReplicatedKv {
+    fn set(&self, key: Bytes, value: Bytes) -> Result<Generation> {
+        ReplicatedKv::set(self, key, value)
+    }
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        self.get_master(key)
+    }
+    fn xget(&self, key: &[u8]) -> Result<(Option<Bytes>, Generation)> {
+        self.xget_master(key)
+    }
+    fn xset(&self, key: Bytes, value: Bytes, held: Generation) -> Result<Generation> {
+        ReplicatedKv::xset(self, key, value, held)
+    }
+    fn delete(&self, key: &[u8]) -> Result<bool> {
+        ReplicatedKv::delete(self, key)
+    }
+}
+
+impl<T: ProfileStore + ?Sized> ProfileStore for std::sync::Arc<T> {
+    fn set(&self, key: Bytes, value: Bytes) -> Result<Generation> {
+        (**self).set(key, value)
+    }
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        (**self).get(key)
+    }
+    fn xget(&self, key: &[u8]) -> Result<(Option<Bytes>, Generation)> {
+        (**self).xget(key)
+    }
+    fn xset(&self, key: Bytes, value: Bytes, held: Generation) -> Result<Generation> {
+        (**self).xset(key, value, held)
+    }
+    fn delete(&self, key: &[u8]) -> Result<bool> {
+        (**self).delete(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_kv::KvNodeConfig;
+    use std::sync::Arc;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn kv_node_implements_store() {
+        let node = KvNode::new("n", KvNodeConfig::default()).unwrap();
+        let store: &dyn ProfileStore = &node;
+        store.set(b("k"), b("v")).unwrap();
+        assert_eq!(store.get(b"k").unwrap(), Some(b("v")));
+        let (_, g) = store.xget(b"k").unwrap();
+        store.xset(b("k"), b("v2"), g).unwrap();
+        assert!(store.delete(b"k").unwrap());
+    }
+
+    #[test]
+    fn arc_forwarding_works() {
+        let node = Arc::new(KvNode::new("n", KvNodeConfig::default()).unwrap());
+        let store: Arc<dyn ProfileStore> = node;
+        store.set(b("k"), b("v")).unwrap();
+        assert_eq!(store.get(b"k").unwrap(), Some(b("v")));
+    }
+
+    #[test]
+    fn replicated_store_goes_through_master() {
+        let master = Arc::new(KvNode::new("m", KvNodeConfig::default()).unwrap());
+        let replica = Arc::new(KvNode::new("r", KvNodeConfig::default()).unwrap());
+        let group = ReplicatedKv::new(
+            Arc::clone(&master),
+            vec![replica],
+            ips_kv::ReplicaReadMode::AllowStale,
+        );
+        let store: &dyn ProfileStore = &group;
+        store.set(b("k"), b("v")).unwrap();
+        assert_eq!(master.get(b"k").unwrap(), Some(b("v")));
+        assert_eq!(store.get(b"k").unwrap(), Some(b("v")));
+    }
+}

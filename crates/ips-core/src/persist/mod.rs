@@ -1,0 +1,21 @@
+//! Profile persistence (§III-E, Figs 12–14).
+//!
+//! The cache layer is memory-only; durability comes from serializing
+//! profiles into the key-value substrate. Two modes exist:
+//!
+//! * **Bulk** ([`ProfilePersister`] with [`ips_types::PersistenceMode::Bulk`])
+//!   — the whole profile is one framed, compressed value under one key
+//!   (Fig 12). Simple, but large profiles burn CPU and IO on every flush.
+//! * **Split** — a slice-meta value plus one value per slice (Fig 13).
+//!   Flushes touch only changed slices. Consistency between meta and slice
+//!   values is enforced with the store's generation protocol (Fig 14):
+//!   slice values are written before the meta that references them, and a
+//!   meta write holding a stale generation forces a reload-and-retry.
+
+pub mod backend;
+pub mod persister;
+pub mod schema;
+
+pub use backend::ProfileStore;
+pub use persister::{LoadOutcome, ProfilePersister};
+pub use schema::{decode_profile, encode_profile};

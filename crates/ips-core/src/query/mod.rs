@@ -1,0 +1,17 @@
+//! The inline feature-computation engine (§II-B read APIs).
+//!
+//! Query processing follows the paper's two steps: first locate the slices
+//! overlapping the resolved time range, then perform a multi-way merge and
+//! aggregation over all features under the requested slot (optionally
+//! narrowed to one action type), apply the decay function if any, and finish
+//! with a filter or a top-K selection on the requested sort key.
+
+pub mod engine;
+pub mod request;
+pub mod topk;
+pub mod udaf;
+
+pub use engine::{execute, merged_features};
+pub use request::{FeatureEntry, FilterPredicate, ProfileQuery, QueryKind, QueryResult};
+pub use topk::top_k_by;
+pub use udaf::{execute_udaf, execute_udaf_top_k, UserDefinedAggregate};

@@ -1,0 +1,285 @@
+//! Query request and result types shared by the engine, the server and the
+//! cluster client.
+
+use ips_types::{
+    ActionTypeId, CountVector, FeatureId, ProfileId, SlotId, SortKey, SortOrder, TableId,
+    TimeRange, Timestamp,
+};
+use ips_types::config::DecayFunction;
+
+/// What to do after the merge/aggregation step.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryKind {
+    /// `get_profile_topK`: the top `k` features by `sort`.
+    TopK {
+        k: usize,
+        sort: SortKey,
+        order: SortOrder,
+    },
+    /// `get_profile_filter`: all features passing the predicate.
+    Filter { predicate: FilterPredicate },
+    /// `get_profile_decay`: all features with decayed counts, sorted by the
+    /// given key. Decay itself is configured on [`ProfileQuery::decay`].
+    Decay {
+        k: usize,
+        sort: SortKey,
+        order: SortOrder,
+    },
+}
+
+/// Predicates supported by `get_profile_filter`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FilterPredicate {
+    /// Keep features whose attribute `attr` is at least `min`.
+    MinAttribute { attr: usize, min: i64 },
+    /// Keep only the listed features (feature-set membership probe — the
+    /// "has the user seen this candidate before?" pattern).
+    FeatureIn(Vec<FeatureId>),
+    /// Keep everything (raw window dump, typically bounded by small windows).
+    All,
+}
+
+impl FilterPredicate {
+    /// Does `entry` pass?
+    #[must_use]
+    pub fn accepts(&self, fid: FeatureId, counts: &CountVector) -> bool {
+        match self {
+            FilterPredicate::MinAttribute { attr, min } => counts.get_or_zero(*attr) >= *min,
+            FilterPredicate::FeatureIn(set) => set.contains(&fid),
+            FilterPredicate::All => true,
+        }
+    }
+}
+
+/// One fully specified profile query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileQuery {
+    pub table: TableId,
+    pub profile: ProfileId,
+    pub slot: SlotId,
+    /// `None` merges across every action type under the slot.
+    pub action: Option<ActionTypeId>,
+    pub range: TimeRange,
+    pub kind: QueryKind,
+    /// Applied per-slice before aggregation; `DecayFunction::None` disables.
+    pub decay: DecayFunction,
+    /// Decay base factor (the paper's `decay_factor` parameter).
+    pub decay_factor: f64,
+}
+
+impl ProfileQuery {
+    /// A top-K query with sensible defaults (sum aggregation comes from the
+    /// table config; sort by attribute 0 descending).
+    #[must_use]
+    pub fn top_k(
+        table: TableId,
+        profile: ProfileId,
+        slot: SlotId,
+        range: TimeRange,
+        k: usize,
+    ) -> Self {
+        Self {
+            table,
+            profile,
+            slot,
+            action: None,
+            range,
+            kind: QueryKind::TopK {
+                k,
+                sort: SortKey::Attribute(0),
+                order: SortOrder::Descending,
+            },
+            decay: DecayFunction::None,
+            decay_factor: 1.0,
+        }
+    }
+
+    /// A filter query.
+    #[must_use]
+    pub fn filter(
+        table: TableId,
+        profile: ProfileId,
+        slot: SlotId,
+        range: TimeRange,
+        predicate: FilterPredicate,
+    ) -> Self {
+        Self {
+            table,
+            profile,
+            slot,
+            action: None,
+            range,
+            kind: QueryKind::Filter { predicate },
+            decay: DecayFunction::None,
+            decay_factor: 1.0,
+        }
+    }
+
+    /// A decay query.
+    #[must_use]
+    pub fn decay(
+        table: TableId,
+        profile: ProfileId,
+        slot: SlotId,
+        range: TimeRange,
+        decay: DecayFunction,
+        decay_factor: f64,
+        k: usize,
+    ) -> Self {
+        Self {
+            table,
+            profile,
+            slot,
+            action: None,
+            range,
+            kind: QueryKind::Decay {
+                k,
+                sort: SortKey::Attribute(0),
+                order: SortOrder::Descending,
+            },
+            decay,
+            decay_factor,
+        }
+    }
+
+    /// Narrow to one action type.
+    #[must_use]
+    pub fn with_action(mut self, action: ActionTypeId) -> Self {
+        self.action = Some(action);
+        self
+    }
+
+    /// Override the sort key/order for top-K and decay queries.
+    #[must_use]
+    pub fn with_sort(mut self, sort: SortKey, order: SortOrder) -> Self {
+        match &mut self.kind {
+            QueryKind::TopK {
+                sort: s, order: o, ..
+            }
+            | QueryKind::Decay {
+                sort: s, order: o, ..
+            } => {
+                *s = sort;
+                *o = order;
+            }
+            QueryKind::Filter { .. } => {}
+        }
+        self
+    }
+}
+
+/// One feature in a query result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeatureEntry {
+    pub feature: FeatureId,
+    /// Aggregated (and possibly decayed) counts over the queried window.
+    pub counts: CountVector,
+    /// The end of the newest slice that contributed — a freshness hint.
+    pub last_seen: Timestamp,
+}
+
+/// The result of a profile query.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryResult {
+    pub entries: Vec<FeatureEntry>,
+    /// Number of slices the merge visited (observability; the paper's p99
+    /// behaviour is dominated by this).
+    pub slices_visited: usize,
+    /// Whether the profile was resident in the compute cache (Table II's
+    /// hit/miss split). False for queries served after a storage load and
+    /// for unknown profiles.
+    pub cache_hit: bool,
+}
+
+impl QueryResult {
+    /// Just the feature ids, in result order.
+    #[must_use]
+    pub fn feature_ids(&self) -> Vec<FeatureId> {
+        self.entries.iter().map(|e| e.feature).collect()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_types::DurationMs;
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        let q = ProfileQuery::top_k(
+            TableId::new(1),
+            ProfileId::new(2),
+            SlotId::new(3),
+            TimeRange::last_days(10),
+            5,
+        );
+        assert!(matches!(q.kind, QueryKind::TopK { k: 5, .. }));
+        assert_eq!(q.action, None);
+
+        let q = q.with_action(ActionTypeId::new(9));
+        assert_eq!(q.action, Some(ActionTypeId::new(9)));
+
+        let q = q.with_sort(SortKey::Attribute(2), SortOrder::Ascending);
+        assert!(matches!(
+            q.kind,
+            QueryKind::TopK {
+                sort: SortKey::Attribute(2),
+                order: SortOrder::Ascending,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn with_sort_is_noop_on_filter() {
+        let q = ProfileQuery::filter(
+            TableId::new(1),
+            ProfileId::new(2),
+            SlotId::new(3),
+            TimeRange::last(DurationMs::from_hours(1)),
+            FilterPredicate::All,
+        )
+        .with_sort(SortKey::Timestamp, SortOrder::Ascending);
+        assert!(matches!(q.kind, QueryKind::Filter { .. }));
+    }
+
+    #[test]
+    fn predicates() {
+        let p = FilterPredicate::MinAttribute { attr: 1, min: 5 };
+        assert!(p.accepts(FeatureId::new(1), &CountVector::pair(0, 5)));
+        assert!(!p.accepts(FeatureId::new(1), &CountVector::pair(9, 4)));
+        assert!(!p.accepts(FeatureId::new(1), &CountVector::single(9)), "missing attr is 0");
+
+        let p = FilterPredicate::FeatureIn(vec![FeatureId::new(7)]);
+        assert!(p.accepts(FeatureId::new(7), &CountVector::empty()));
+        assert!(!p.accepts(FeatureId::new(8), &CountVector::empty()));
+
+        assert!(FilterPredicate::All.accepts(FeatureId::new(1), &CountVector::empty()));
+    }
+
+    #[test]
+    fn result_helpers() {
+        let r = QueryResult {
+            entries: vec![FeatureEntry {
+                feature: FeatureId::new(4),
+                counts: CountVector::single(1),
+                last_seen: Timestamp::from_millis(10),
+            }],
+            slices_visited: 1,
+            cache_hit: false,
+        };
+        assert_eq!(r.feature_ids(), vec![FeatureId::new(4)]);
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Bounded top-K selection.
+//!
+//! Queries routinely ask for the top handful of features out of hundreds of
+//! merged candidates, so a bounded binary heap (O(n log k)) beats a full
+//! sort (O(n log n)). Ties break on feature id so results are deterministic
+//! regardless of hash-map iteration order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Select the `k` largest items under `cmp` (a total "greater-is-better"
+/// order), returning them best-first. Stable across runs: callers must
+/// supply a total order (use a tie-break key).
+pub fn top_k_by<T>(items: impl Iterator<Item = T>, k: usize, cmp: impl Fn(&T, &T) -> Ordering) -> Vec<T> {
+    if k == 0 {
+        return Vec::new();
+    }
+
+    // Min-heap of the current best k: the root is the worst of the best,
+    // evicted whenever something better arrives.
+    struct Entry<T, F: Fn(&T, &T) -> Ordering> {
+        item: T,
+        cmp: std::rc::Rc<F>,
+    }
+    impl<T, F: Fn(&T, &T) -> Ordering> PartialEq for Entry<T, F> {
+        fn eq(&self, other: &Self) -> bool {
+            (self.cmp)(&self.item, &other.item) == Ordering::Equal
+        }
+    }
+    impl<T, F: Fn(&T, &T) -> Ordering> Eq for Entry<T, F> {}
+    impl<T, F: Fn(&T, &T) -> Ordering> PartialOrd for Entry<T, F> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<T, F: Fn(&T, &T) -> Ordering> Ord for Entry<T, F> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reversed: BinaryHeap is a max-heap, we need the min at the root.
+            (self.cmp)(&other.item, &self.item)
+        }
+    }
+
+    let cmp = std::rc::Rc::new(cmp);
+    // Cap the preallocation: k may be "give me everything" (usize::MAX-ish).
+    let mut heap: BinaryHeap<Entry<T, _>> =
+        BinaryHeap::with_capacity(k.saturating_add(1).min(4_096));
+    for item in items {
+        if heap.len() < k {
+            heap.push(Entry {
+                item,
+                cmp: std::rc::Rc::clone(&cmp),
+            });
+        } else if let Some(worst) = heap.peek() {
+            if (cmp)(&item, &worst.item) == Ordering::Greater {
+                heap.pop();
+                heap.push(Entry {
+                    item,
+                    cmp: std::rc::Rc::clone(&cmp),
+                });
+            }
+        }
+    }
+    let mut out: Vec<T> = heap.into_iter().map(|e| e.item).collect();
+    out.sort_by(|a, b| (cmp)(b, a));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_largest_k() {
+        let data = vec![5, 1, 9, 3, 7, 2, 8];
+        let top = top_k_by(data.into_iter(), 3, |a, b| a.cmp(b));
+        assert_eq!(top, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let top = top_k_by(vec![1, 2, 3].into_iter(), 0, |a: &i32, b| a.cmp(b));
+        assert!(top.is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_input_returns_all_sorted() {
+        let top = top_k_by(vec![2, 1, 3].into_iter(), 10, |a, b| a.cmp(b));
+        assert_eq!(top, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn ascending_order_via_reversed_cmp() {
+        let data = vec![5, 1, 9, 3];
+        let bottom = top_k_by(data.into_iter(), 2, |a, b| b.cmp(a));
+        assert_eq!(bottom, vec![1, 3]);
+    }
+
+    #[test]
+    fn ties_resolved_by_total_order() {
+        // Items: (score, id). Tie on score broken by id descending.
+        let data = vec![(5, 1u64), (5, 2), (5, 3), (4, 4)];
+        let top = top_k_by(data.into_iter(), 2, |a, b| {
+            a.0.cmp(&b.0).then(a.1.cmp(&b.1))
+        });
+        assert_eq!(top, vec![(5, 3), (5, 2)]);
+    }
+
+    #[test]
+    fn matches_full_sort_reference() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let n = rng.gen_range(0..200);
+            let data: Vec<(i64, u64)> =
+                (0..n).map(|i| (rng.gen_range(-50..50), i as u64)).collect();
+            let k = rng.gen_range(0..20);
+            let fast = top_k_by(data.clone().into_iter(), k, |a, b| {
+                a.0.cmp(&b.0).then(a.1.cmp(&b.1))
+            });
+            let mut reference = data;
+            reference.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)));
+            reference.truncate(k);
+            assert_eq!(fast, reference);
+        }
+    }
+}

@@ -1,0 +1,781 @@
+//! `IpsInstance`: one deployable compute-cache node.
+//!
+//! Ties the data model, query engine, GCache, compaction scheduler,
+//! read-write isolation and quota enforcement into the write/read API from
+//! §II-B. The cluster layer deploys many of these behind consistent-hash
+//! routing; a single instance is also directly usable (see the crate-level
+//! example).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use ips_kv::{KvNode, KvNodeConfig};
+use ips_metrics::{Counter, Histogram};
+use ips_types::{
+    ActionTypeId, CallerId, CountVector, FeatureId, IpsError, ProfileId, QuotaConfig,
+    Result, SharedClock, SlotId, TableConfig, TableId, Timestamp,
+};
+
+use crate::cache::gcache::BackgroundThreads;
+use crate::cache::GCache;
+use crate::compact::compactor::{compact_profile, needs_compaction};
+use crate::compact::scheduler::{CompactionScheduler, CompactionTask, WorkerPool};
+use crate::hotconfig::HotConfig;
+use crate::isolation::{apply_buffered, BufferedWrite, WriteRoute, WriteTable};
+use crate::persist::{ProfilePersister, ProfileStore};
+use crate::query::{engine, ProfileQuery, QueryResult};
+use crate::quota::QuotaEnforcer;
+
+type DynStore = Arc<dyn ProfileStore>;
+
+/// Per-table metrics surfaced to harnesses.
+#[derive(Default)]
+pub struct TableMetrics {
+    pub queries: Counter,
+    pub writes: Counter,
+    pub query_latency_us: Histogram,
+    pub write_latency_us: Histogram,
+}
+
+/// Everything one table needs at runtime.
+pub struct TableRuntime {
+    pub config: HotConfig<TableConfig>,
+    pub cache: Arc<GCache<DynStore>>,
+    pub write_table: WriteTable,
+    pub scheduler: Arc<CompactionScheduler>,
+    pub metrics: TableMetrics,
+    clock: SharedClock,
+}
+
+impl TableRuntime {
+    /// Fold the staging write table into the main table (the periodic merge
+    /// from §III-F). Returns writes merged.
+    pub fn merge_write_table(&self) -> Result<usize> {
+        let cfg = self.config.load();
+        let head_granularity = cfg
+            .compaction
+            .time_dimension
+            .bands
+            .first()
+            .map(|b| b.granularity)
+            .unwrap_or(ips_types::DurationMs::from_secs(1));
+        let drained = self.write_table.drain();
+        let mut merged = 0;
+        for (pid, writes) in drained {
+            merged += writes.len();
+            self.cache.write(pid, |profile| {
+                apply_buffered(profile, &writes, cfg.aggregate, head_granularity);
+            })?;
+            self.maybe_schedule_compaction(pid)?;
+        }
+        Ok(merged)
+    }
+
+    fn maybe_schedule_compaction(&self, pid: ProfileId) -> Result<()> {
+        let cfg = self.config.load();
+        let now = self.clock.now();
+        let decision = self
+            .cache
+            .read(pid, |profile| needs_compaction(profile, &cfg.compaction, now))?;
+        if let Some((Some(full), _)) = decision {
+            self.scheduler.schedule(CompactionTask { profile: pid, full });
+        }
+        Ok(())
+    }
+}
+
+/// Construction options for an instance.
+#[derive(Clone, Debug)]
+pub struct IpsInstanceOptions {
+    /// Default per-caller quota for callers without an explicit one.
+    pub default_quota: QuotaConfig,
+    /// Instance name (diagnostics).
+    pub name: String,
+}
+
+impl Default for IpsInstanceOptions {
+    fn default() -> Self {
+        Self {
+            default_quota: QuotaConfig::default(),
+            name: "ips".into(),
+        }
+    }
+}
+
+/// One IPS compute-cache node.
+pub struct IpsInstance {
+    name: String,
+    clock: SharedClock,
+    store: DynStore,
+    tables: RwLock<HashMap<TableId, Arc<TableRuntime>>>,
+    pub quota: QuotaEnforcer,
+    shutting_down: AtomicBool,
+}
+
+impl IpsInstance {
+    /// An instance persisting through `store`.
+    #[must_use]
+    pub fn new(store: DynStore, options: IpsInstanceOptions, clock: SharedClock) -> Arc<Self> {
+        Arc::new(Self {
+            name: options.name.clone(),
+            clock: Arc::clone(&clock),
+            store,
+            tables: RwLock::new(HashMap::new()),
+            quota: QuotaEnforcer::new(clock, options.default_quota),
+            shutting_down: AtomicBool::new(false),
+        })
+    }
+
+    /// An instance with its own private in-memory KV node — the zero-setup
+    /// path for examples and tests.
+    #[must_use]
+    pub fn new_in_memory(options: IpsInstanceOptions, clock: SharedClock) -> Arc<Self> {
+        let node = Arc::new(
+            KvNode::new(format!("{}-kv", options.name), KvNodeConfig::default())
+                .expect("in-memory node construction cannot fail"),
+        );
+        Self::new(node as DynStore, options, clock)
+    }
+
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    #[must_use]
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Create a table. Fails if the id is taken or the config is invalid.
+    pub fn create_table(self: &Arc<Self>, id: TableId, config: TableConfig) -> Result<()> {
+        config.validate().map_err(IpsError::InvalidConfig)?;
+        let mut tables = self.tables.write();
+        if tables.contains_key(&id) {
+            return Err(IpsError::InvalidRequest(format!("table {id} exists")));
+        }
+        let persister = Arc::new(ProfilePersister::new(
+            Arc::clone(&self.store),
+            id,
+            config.persistence,
+        ));
+        let cache = Arc::new(GCache::new(persister, config.cache.clone())?);
+        let hot = HotConfig::new(config.clone());
+        // The scheduler's handler compacts through the cache so entries stay
+        // consistent with the main read/write paths.
+        let cache_for_handler = Arc::clone(&cache);
+        let clock_for_handler = Arc::clone(&self.clock);
+        let runtime = Arc::new_cyclic(|weak: &std::sync::Weak<TableRuntime>| {
+            let weak = weak.clone();
+            let scheduler = CompactionScheduler::new(move |task: CompactionTask| {
+                let Some(rt) = weak.upgrade() else { return };
+                let cfg = rt.config.load();
+                let now = clock_for_handler.now();
+                cache_for_handler.mutate_if_cached(task.profile, |profile| {
+                    compact_profile(profile, &cfg.compaction, cfg.aggregate, now, !task.full);
+                });
+            });
+            TableRuntime {
+                config: hot,
+                cache,
+                write_table: WriteTable::new(config.isolation.clone()),
+                scheduler,
+                metrics: TableMetrics::default(),
+                clock: Arc::clone(&self.clock),
+            }
+        });
+        tables.insert(id, runtime);
+        Ok(())
+    }
+
+    /// Drop a table: flush its dirty data to the store, then remove it from
+    /// the serving set. Persisted profiles remain in the KV substrate (a
+    /// re-created table with the same id finds them).
+    pub fn drop_table(&self, id: TableId) -> Result<()> {
+        let rt = {
+            let mut tables = self.tables.write();
+            tables.remove(&id).ok_or(IpsError::UnknownTable(id))?
+        };
+        rt.merge_write_table()?;
+        rt.cache.flush_all()?;
+        Ok(())
+    }
+
+    /// Look up a table runtime.
+    pub fn table(&self, id: TableId) -> Result<Arc<TableRuntime>> {
+        self.tables
+            .read()
+            .get(&id)
+            .map(Arc::clone)
+            .ok_or(IpsError::UnknownTable(id))
+    }
+
+    /// Table ids currently served.
+    #[must_use]
+    pub fn table_ids(&self) -> Vec<TableId> {
+        self.tables.read().keys().copied().collect()
+    }
+
+    fn check_alive(&self) -> Result<()> {
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return Err(IpsError::ShuttingDown);
+        }
+        Ok(())
+    }
+
+    // ---- write API (§II-B) -------------------------------------------------
+
+    /// `add_profile`: record one observation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_profile(
+        self: &Arc<Self>,
+        caller: CallerId,
+        table: TableId,
+        pid: ProfileId,
+        at: Timestamp,
+        slot: SlotId,
+        action: ActionTypeId,
+        feature: FeatureId,
+        counts: CountVector,
+    ) -> Result<()> {
+        self.add_profiles(caller, table, pid, at, slot, action, &[(feature, counts)])
+    }
+
+    /// `add_profiles`: the batched write API. All features share one
+    /// `(timestamp, slot, action)` coordinate, as in the paper's interface.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_profiles(
+        self: &Arc<Self>,
+        caller: CallerId,
+        table: TableId,
+        pid: ProfileId,
+        at: Timestamp,
+        slot: SlotId,
+        action: ActionTypeId,
+        features: &[(FeatureId, CountVector)],
+    ) -> Result<()> {
+        self.check_alive()?;
+        self.quota.check(caller, features.len().max(1) as u64)?;
+        let rt = self.table(table)?;
+        let started = std::time::Instant::now();
+        let cfg = rt.config.load();
+        if cfg.attributes > 0 {
+            for (_, counts) in features {
+                if counts.len() > ips_types::MAX_ATTRIBUTES {
+                    return Err(IpsError::InvalidRequest("too many attributes".into()));
+                }
+            }
+        }
+        let head_granularity = cfg
+            .compaction
+            .time_dimension
+            .bands
+            .first()
+            .map(|b| b.granularity)
+            .unwrap_or(ips_types::DurationMs::from_secs(1));
+
+        let mut needs_merge = false;
+        let mut direct: Vec<BufferedWrite> = Vec::new();
+        for (feature, counts) in features {
+            let write = BufferedWrite {
+                at,
+                slot,
+                action,
+                feature: *feature,
+                counts: counts.clone(),
+            };
+            match rt.write_table.offer(pid, write) {
+                WriteRoute::Buffered => {}
+                WriteRoute::BufferedNeedsMerge => needs_merge = true,
+                WriteRoute::Direct => {
+                    // Collect and apply in one cache access below.
+                    direct.push(BufferedWrite {
+                        at,
+                        slot,
+                        action,
+                        feature: *feature,
+                        counts: counts.clone(),
+                    });
+                }
+            }
+        }
+        if !direct.is_empty() {
+            rt.cache.write(pid, |profile| {
+                apply_buffered(profile, &direct, cfg.aggregate, head_granularity);
+            })?;
+            rt.maybe_schedule_compaction(pid)?;
+        }
+        if needs_merge {
+            rt.merge_write_table()?;
+        }
+        rt.metrics.writes.add(features.len() as u64);
+        rt.metrics
+            .write_latency_us
+            .record(started.elapsed().as_micros() as u64);
+        Ok(())
+    }
+
+    // ---- read API (§II-B) ---------------------------------------------------
+
+    /// Execute one profile query (`get_profile_topK` / `_filter` /
+    /// `_decay`, selected by [`ProfileQuery::kind`]). Unknown profiles
+    /// return an empty result — the recommendation path treats "no profile"
+    /// as "no features", not an error.
+    pub fn query(self: &Arc<Self>, caller: CallerId, query: &ProfileQuery) -> Result<QueryResult> {
+        self.check_alive()?;
+        self.quota.check(caller, 1)?;
+        let rt = self.table(query.table)?;
+        let started = std::time::Instant::now();
+        let cfg = rt.config.load();
+        let now = self.clock.now();
+        let outcome = rt.cache.read(query.profile, |profile| {
+            engine::execute(profile, query, cfg.aggregate, &cfg.compaction.shrink, now)
+        })?;
+        let result = match outcome {
+            Some((mut r, hit)) => {
+                r.cache_hit = hit;
+                r
+            }
+            None => QueryResult::default(),
+        };
+        rt.metrics.queries.inc();
+        let elapsed = started.elapsed().as_micros() as u64;
+        rt.metrics.query_latency_us.record(elapsed);
+        Ok(result)
+    }
+
+    /// Execute a user-defined aggregate (see [`crate::query::udaf`]) over
+    /// one profile's slot/window, returning the top `k` features by the
+    /// UDAF's output. Runs inside the instance, next to the data, like the
+    /// built-in computations; unknown profiles yield an empty result.
+    pub fn query_udaf<U>(
+        self: &Arc<Self>,
+        caller: CallerId,
+        table: TableId,
+        pid: ProfileId,
+        slot: SlotId,
+        action: Option<ActionTypeId>,
+        range: ips_types::TimeRange,
+        udaf: &U,
+        k: usize,
+    ) -> Result<Vec<(FeatureId, U::Output)>>
+    where
+        U: crate::query::UserDefinedAggregate,
+        U::Output: PartialOrd,
+    {
+        self.check_alive()?;
+        self.quota.check(caller, 1)?;
+        let rt = self.table(table)?;
+        let started = std::time::Instant::now();
+        let now = self.clock.now();
+        let outcome = rt.cache.read(pid, |profile| {
+            let window = range.resolve(now, profile.last_action_hint());
+            crate::query::execute_udaf_top_k(
+                profile,
+                slot,
+                action,
+                window.start,
+                window.end,
+                now,
+                udaf,
+                k,
+            )
+        })?;
+        rt.metrics.queries.inc();
+        rt.metrics
+            .query_latency_us
+            .record(started.elapsed().as_micros() as u64);
+        Ok(outcome.map(|(v, _)| v).unwrap_or_default())
+    }
+
+    // ---- maintenance --------------------------------------------------------
+
+    /// One deterministic maintenance tick (simulated-time experiments):
+    /// merge write tables, run pending compactions, flush dirty shards, run
+    /// a swap cycle. Live deployments use [`IpsInstance::spawn_background`]
+    /// instead.
+    pub fn tick(&self) -> Result<()> {
+        let tables: Vec<Arc<TableRuntime>> = self.tables.read().values().map(Arc::clone).collect();
+        for rt in tables {
+            rt.merge_write_table()?;
+            rt.scheduler.run_pending(64);
+            let cfg = rt.config.load();
+            for shard in 0..cfg.cache.dirty_shards {
+                rt.cache.flush_shard(shard, 256)?;
+            }
+            rt.cache.swap_cycle()?;
+        }
+        Ok(())
+    }
+
+    /// Spawn all background machinery: cache swap/flush threads, compaction
+    /// workers and the periodic write-table merge. Dropping the returned
+    /// guard stops everything.
+    pub fn spawn_background(self: &Arc<Self>) -> InstanceBackground {
+        let tables: Vec<Arc<TableRuntime>> = self.tables.read().values().map(Arc::clone).collect();
+        let mut cache_threads = Vec::new();
+        let mut worker_pools = Vec::new();
+        for rt in &tables {
+            cache_threads.push(rt.cache.spawn_background());
+            let cfg = rt.config.load();
+            worker_pools.push(rt.scheduler.spawn_workers(cfg.compaction.async_pool_threads));
+        }
+        // Write-table merge thread.
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let merge_handle = std::thread::Builder::new()
+            .name("ips-wt-merge".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    let mut min_interval = std::time::Duration::from_millis(200);
+                    for rt in &tables {
+                        let _ = rt.merge_write_table();
+                        let iv = std::time::Duration::from_millis(
+                            rt.write_table.merge_interval().as_millis().max(10),
+                        );
+                        min_interval = min_interval.min(iv);
+                    }
+                    std::thread::sleep(min_interval);
+                }
+            })
+            .expect("spawn merge thread");
+        InstanceBackground {
+            _cache_threads: cache_threads,
+            _worker_pools: worker_pools,
+            stop,
+            merge_handle: Some(merge_handle),
+        }
+    }
+
+    /// Flush every table's dirty data to the store (graceful shutdown).
+    pub fn flush_all(&self) -> Result<usize> {
+        let mut total = 0;
+        let tables: Vec<Arc<TableRuntime>> = self.tables.read().values().map(Arc::clone).collect();
+        for rt in tables {
+            rt.merge_write_table()?;
+            total += rt.cache.flush_all()?;
+        }
+        Ok(total)
+    }
+
+    /// Begin refusing requests, then flush.
+    pub fn shutdown(&self) -> Result<usize> {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        self.flush_all()
+    }
+
+    /// Live-update one table's configuration (§V-b hot reload).
+    pub fn update_table_config(
+        &self,
+        table: TableId,
+        f: impl FnOnce(&TableConfig) -> TableConfig,
+    ) -> Result<()> {
+        let rt = self.table(table)?;
+        let next = f(&rt.config.load());
+        next.validate().map_err(IpsError::InvalidConfig)?;
+        rt.write_table.set_enabled(next.isolation.enabled);
+        rt.config.store(next);
+        Ok(())
+    }
+}
+
+/// Background machinery guard; stops everything on drop.
+pub struct InstanceBackground {
+    _cache_threads: Vec<BackgroundThreads>,
+    _worker_pools: Vec<WorkerPool>,
+    stop: Arc<AtomicBool>,
+    merge_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for InstanceBackground {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.merge_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::FilterPredicate;
+    use ips_types::clock::sim_clock;
+    use ips_types::Clock as _;
+    use ips_types::{DurationMs, IsolationConfig, TimeRange};
+
+    const TABLE: TableId = TableId(1);
+    const CALLER: CallerId = CallerId(1);
+    const SLOT: SlotId = SlotId(1);
+    const LIKE: ActionTypeId = ActionTypeId(1);
+
+    fn setup() -> (Arc<IpsInstance>, ips_types::SimClock) {
+        let (clock, ctl) = sim_clock(Timestamp::from_millis(
+            DurationMs::from_days(400).as_millis(),
+        ));
+        let instance = IpsInstance::new_in_memory(IpsInstanceOptions::default(), clock);
+        let mut cfg = TableConfig::new("test");
+        cfg.isolation.enabled = false; // direct writes by default in tests
+        instance.create_table(TABLE, cfg).unwrap();
+        (instance, ctl)
+    }
+
+    fn add(i: &Arc<IpsInstance>, pid: u64, fid: u64, likes: i64, now: Timestamp) {
+        i.add_profile(
+            CALLER,
+            TABLE,
+            ProfileId::new(pid),
+            now,
+            SLOT,
+            LIKE,
+            FeatureId::new(fid),
+            CountVector::single(likes),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn write_then_query_round_trip() {
+        let (i, ctl) = setup();
+        let now = ctl.now();
+        add(&i, 1, 10, 3, now);
+        add(&i, 1, 20, 5, now);
+        let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
+        let r = i.query(CALLER, &q).unwrap();
+        assert_eq!(r.entries[0].feature, FeatureId::new(20));
+        assert!(r.cache_hit);
+    }
+
+    #[test]
+    fn unknown_table_and_profile() {
+        let (i, ctl) = setup();
+        let q = ProfileQuery::top_k(
+            TableId::new(99),
+            ProfileId::new(1),
+            SLOT,
+            TimeRange::last_days(1),
+            1,
+        );
+        assert!(matches!(i.query(CALLER, &q), Err(IpsError::UnknownTable(_))));
+
+        let q = ProfileQuery::top_k(TABLE, ProfileId::new(404), SLOT, TimeRange::last_days(1), 1);
+        let r = i.query(CALLER, &q).unwrap();
+        assert!(r.is_empty());
+        assert!(!r.cache_hit);
+        drop(ctl);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let (i, _ctl) = setup();
+        assert!(i.create_table(TABLE, TableConfig::new("dup")).is_err());
+    }
+
+    #[test]
+    fn batched_writes_one_quota_charge_per_feature() {
+        let (i, ctl) = setup();
+        let features: Vec<(FeatureId, CountVector)> = (0..5)
+            .map(|n| (FeatureId::new(n), CountVector::single(1)))
+            .collect();
+        i.add_profiles(CALLER, TABLE, ProfileId::new(1), ctl.now(), SLOT, LIKE, &features)
+            .unwrap();
+        let q = ProfileQuery::filter(
+            TABLE,
+            ProfileId::new(1),
+            SLOT,
+            TimeRange::last_days(1),
+            FilterPredicate::All,
+        );
+        assert_eq!(i.query(CALLER, &q).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn isolation_buffers_until_merge() {
+        let (i, ctl) = setup();
+        i.update_table_config(TABLE, |c| {
+            let mut c = c.clone();
+            c.isolation = IsolationConfig {
+                enabled: true,
+                ..Default::default()
+            };
+            c
+        })
+        .unwrap();
+        let now = ctl.now();
+        add(&i, 1, 10, 3, now);
+        // Not yet visible: §III-F "delays the data visibility slightly".
+        let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 5);
+        assert!(i.query(CALLER, &q).unwrap().is_empty());
+        // After the merge it is.
+        i.table(TABLE).unwrap().merge_write_table().unwrap();
+        assert_eq!(i.query(CALLER, &q).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn quota_rejections_surface() {
+        let (i, ctl) = setup();
+        let limited = CallerId::new(9);
+        i.quota.set_quota(
+            limited,
+            QuotaConfig {
+                qps_limit: 2,
+                burst_factor: 1.0,
+            },
+        );
+        let now = ctl.now();
+        add(&i, 1, 1, 1, now);
+        let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
+        i.query(limited, &q).unwrap();
+        i.query(limited, &q).unwrap();
+        assert!(matches!(
+            i.query(limited, &q),
+            Err(IpsError::QuotaExceeded(_))
+        ));
+        // Default caller unaffected.
+        i.query(CALLER, &q).unwrap();
+    }
+
+    #[test]
+    fn tick_runs_compaction_pipeline() {
+        let (i, ctl) = setup();
+        // Many old slices.
+        for n in 0..50u64 {
+            ctl.advance(DurationMs::from_secs(2));
+            add(&i, 1, n, 1, ctl.now());
+        }
+        ctl.advance(DurationMs::from_days(2));
+        // Trigger scheduling with one more write.
+        add(&i, 1, 99, 1, ctl.now());
+        let before = i
+            .table(TABLE)
+            .unwrap()
+            .cache
+            .read(ProfileId::new(1), |p| p.slice_count())
+            .unwrap()
+            .unwrap()
+            .0;
+        i.tick().unwrap();
+        let after = i
+            .table(TABLE)
+            .unwrap()
+            .cache
+            .read(ProfileId::new(1), |p| p.slice_count())
+            .unwrap()
+            .unwrap()
+            .0;
+        assert!(after < before, "compaction should shrink slice list ({before} -> {after})");
+    }
+
+    #[test]
+    fn shutdown_flushes_and_refuses() {
+        let (i, ctl) = setup();
+        add(&i, 1, 1, 1, ctl.now());
+        let flushed = i.shutdown().unwrap();
+        assert!(flushed >= 1);
+        let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
+        assert!(matches!(i.query(CALLER, &q), Err(IpsError::ShuttingDown)));
+    }
+
+    #[test]
+    fn drop_table_flushes_and_removes() {
+        let (i, ctl) = setup();
+        add(&i, 1, 1, 1, ctl.now());
+        i.drop_table(TABLE).unwrap();
+        let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
+        assert!(matches!(i.query(CALLER, &q), Err(IpsError::UnknownTable(_))));
+        assert!(i.drop_table(TABLE).is_err(), "already dropped");
+        // Re-creating the table finds the flushed data in the store.
+        let mut cfg = TableConfig::new("recreated");
+        cfg.isolation.enabled = false;
+        i.create_table(TABLE, cfg).unwrap();
+        let r = i.query(CALLER, &q).unwrap();
+        assert_eq!(r.len(), 1, "persisted profile survives a table drop");
+    }
+
+    #[test]
+    fn hot_config_reload_applies() {
+        let (i, _ctl) = setup();
+        i.update_table_config(TABLE, |c| {
+            let mut c = c.clone();
+            c.compaction.truncate.max_slices = Some(7);
+            c
+        })
+        .unwrap();
+        let rt = i.table(TABLE).unwrap();
+        assert_eq!(rt.config.load().compaction.truncate.max_slices, Some(7));
+        // Invalid config rejected.
+        assert!(i
+            .update_table_config(TABLE, |c| {
+                let mut c = c.clone();
+                c.attributes = 0;
+                c
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn udaf_runs_through_the_instance() {
+        use crate::query::udaf::SmoothedCtr;
+        let (i, ctl) = setup();
+        let now = ctl.now();
+        // fid 1: lucky one-off (1 click / 1 imp); fid 2: steady (40/100).
+        i.add_profile(
+            CALLER, TABLE, ProfileId::new(1), now, SLOT, LIKE,
+            FeatureId::new(1), CountVector::pair(1, 1),
+        )
+        .unwrap();
+        i.add_profile(
+            CALLER, TABLE, ProfileId::new(1), now, SLOT, LIKE,
+            FeatureId::new(2), CountVector::pair(40, 100),
+        )
+        .unwrap();
+        let udaf = SmoothedCtr {
+            click_attr: 0,
+            impression_attr: 1,
+            alpha: 1.0,
+            beta: 20.0,
+        };
+        let top = i
+            .query_udaf(
+                CALLER,
+                TABLE,
+                ProfileId::new(1),
+                SLOT,
+                None,
+                TimeRange::last_days(1),
+                &udaf,
+                2,
+            )
+            .unwrap();
+        assert_eq!(top[0].0, FeatureId::new(2));
+        // Unknown profile: empty, not an error.
+        let none = i
+            .query_udaf(
+                CALLER,
+                TABLE,
+                ProfileId::new(404),
+                SLOT,
+                None,
+                TimeRange::last_days(1),
+                &udaf,
+                2,
+            )
+            .unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn background_threads_start_and_stop() {
+        let (i, ctl) = setup();
+        let bg = i.spawn_background();
+        add(&i, 1, 1, 1, ctl.now());
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(bg);
+        // Still queryable after background stops.
+        let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
+        assert_eq!(i.query(CALLER, &q).unwrap().len(), 1);
+    }
+}

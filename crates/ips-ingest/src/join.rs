@@ -1,0 +1,321 @@
+//! The keyed, windowed three-way stream join (Flink substitute).
+//!
+//! State is keyed by `(user, item)` for impressions/actions and by `item`
+//! for feature records. An action joins when both the matching impression
+//! and the item's feature record have arrived; otherwise it waits in state.
+//! Events may arrive out of order within the join window; state older than
+//! the window is evicted on watermark advance, and actions that never joined
+//! are counted as dropped (the paper's pipelines accept small loss).
+
+use std::collections::HashMap;
+
+use ips_metrics::Counter;
+use ips_types::{CountVector, DurationMs, ProfileId, Timestamp};
+
+use crate::events::{ActionEvent, FeatureEvent, ImpressionEvent, InstanceRecord, ItemId};
+
+/// Join behaviour knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct JoinConfig {
+    /// How long state waits for its counterparts before eviction.
+    pub window: DurationMs,
+    /// Number of count-vector attributes in emitted records.
+    pub attributes: usize,
+}
+
+impl Default for JoinConfig {
+    fn default() -> Self {
+        Self {
+            window: DurationMs::from_mins(10),
+            attributes: 3,
+        }
+    }
+}
+
+#[derive(Default)]
+struct PairState {
+    impression: Option<ImpressionEvent>,
+    pending_actions: Vec<ActionEvent>,
+    last_update: Timestamp,
+}
+
+/// The join operator. Feed events in any order; collect emitted instances.
+pub struct InstanceJoiner {
+    config: JoinConfig,
+    pairs: HashMap<(ProfileId, ItemId), PairState>,
+    features: HashMap<ItemId, FeatureEvent>,
+    watermark: Timestamp,
+    pub emitted: Counter,
+    pub dropped_actions: Counter,
+    pub evicted_pairs: Counter,
+}
+
+impl InstanceJoiner {
+    #[must_use]
+    pub fn new(config: JoinConfig) -> Self {
+        Self {
+            config,
+            pairs: HashMap::new(),
+            features: HashMap::new(),
+            watermark: Timestamp::ZERO,
+            emitted: Counter::new(),
+            dropped_actions: Counter::new(),
+            evicted_pairs: Counter::new(),
+        }
+    }
+
+    /// Feed one impression.
+    pub fn push_impression(&mut self, ev: ImpressionEvent, out: &mut Vec<InstanceRecord>) {
+        let state = self.pairs.entry((ev.user, ev.item)).or_default();
+        state.impression = Some(ev);
+        state.last_update = state.last_update.max(ev.at);
+        self.try_emit(ev.user, ev.item, out);
+    }
+
+    /// Feed one feature record (per item; newer records replace older).
+    pub fn push_feature(&mut self, ev: FeatureEvent, out: &mut Vec<InstanceRecord>) {
+        self.features.insert(ev.item, ev);
+        // A late feature record may unblock many pairs; scan only pairs of
+        // this item (acceptable: feature cardinality ≪ pair cardinality).
+        let users: Vec<ProfileId> = self
+            .pairs
+            .keys()
+            .filter(|(_, item)| *item == ev.item)
+            .map(|(u, _)| *u)
+            .collect();
+        for user in users {
+            self.try_emit(user, ev.item, out);
+        }
+    }
+
+    /// Feed one action.
+    pub fn push_action(&mut self, ev: ActionEvent, out: &mut Vec<InstanceRecord>) {
+        let state = self.pairs.entry((ev.user, ev.item)).or_default();
+        state.pending_actions.push(ev);
+        state.last_update = state.last_update.max(ev.at);
+        self.try_emit(ev.user, ev.item, out);
+    }
+
+    fn try_emit(&mut self, user: ProfileId, item: ItemId, out: &mut Vec<InstanceRecord>) {
+        let Some(feature) = self.features.get(&item).copied() else {
+            return;
+        };
+        let Some(state) = self.pairs.get_mut(&(user, item)) else {
+            return;
+        };
+        let Some(impression) = state.impression else {
+            return;
+        };
+        for action in state.pending_actions.drain(..) {
+            let mut counts = CountVector::zeros(self.config.attributes);
+            if action.attribute < self.config.attributes {
+                counts.set(action.attribute, 1);
+            }
+            out.push(InstanceRecord {
+                user,
+                item,
+                at: action.at,
+                slot: feature.slot,
+                action_type: action.action,
+                feature: feature.feature,
+                counts,
+                impression_at: impression.at,
+            });
+            self.emitted.inc();
+        }
+    }
+
+    /// Advance the watermark: evict state older than the join window.
+    /// Un-joined actions in evicted state are counted as dropped.
+    pub fn advance_watermark(&mut self, to: Timestamp) {
+        self.watermark = self.watermark.max(to);
+        let cutoff = self.watermark.saturating_sub(self.config.window);
+        let mut dropped = 0u64;
+        let mut evicted = 0u64;
+        self.pairs.retain(|_, state| {
+            if state.last_update < cutoff {
+                dropped += state.pending_actions.len() as u64;
+                evicted += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.features.retain(|_, f| f.at >= cutoff);
+        self.dropped_actions.add(dropped);
+        self.evicted_pairs.add(evicted);
+    }
+
+    /// Live state sizes `(pairs, features)` — the memory the Flink job
+    /// would hold.
+    #[must_use]
+    pub fn state_size(&self) -> (usize, usize) {
+        (self.pairs.len(), self.features.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::ImpressionSource;
+    use ips_types::{ActionTypeId, FeatureId, SlotId};
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp::from_millis(t)
+    }
+
+    fn imp(user: u64, item: ItemId, at: u64) -> ImpressionEvent {
+        ImpressionEvent {
+            user: ProfileId::new(user),
+            item,
+            at: ts(at),
+            source: ImpressionSource::Server,
+        }
+    }
+
+    fn act(user: u64, item: ItemId, at: u64) -> ActionEvent {
+        ActionEvent {
+            user: ProfileId::new(user),
+            item,
+            action: ActionTypeId::new(1),
+            at: ts(at),
+            attribute: 0,
+        }
+    }
+
+    fn feat(item: ItemId, at: u64) -> FeatureEvent {
+        FeatureEvent {
+            item,
+            slot: SlotId::new(7),
+            action_type: ActionTypeId::new(1),
+            feature: FeatureId::new(item * 100),
+            at: ts(at),
+        }
+    }
+
+    #[test]
+    fn in_order_join_emits() {
+        let mut j = InstanceJoiner::new(JoinConfig::default());
+        let mut out = Vec::new();
+        j.push_feature(feat(5, 100), &mut out);
+        j.push_impression(imp(1, 5, 110), &mut out);
+        j.push_action(act(1, 5, 120), &mut out);
+        assert_eq!(out.len(), 1);
+        let rec = &out[0];
+        assert_eq!(rec.user, ProfileId::new(1));
+        assert_eq!(rec.feature, FeatureId::new(500));
+        assert_eq!(rec.slot, SlotId::new(7));
+        assert_eq!(rec.at, ts(120));
+        assert_eq!(rec.impression_at, ts(110));
+        assert_eq!(rec.counts.as_slice(), &[1, 0, 0]);
+    }
+
+    #[test]
+    fn out_of_order_arrival_still_joins() {
+        // Action first, then impression, then feature.
+        let mut j = InstanceJoiner::new(JoinConfig::default());
+        let mut out = Vec::new();
+        j.push_action(act(1, 5, 120), &mut out);
+        assert!(out.is_empty());
+        j.push_impression(imp(1, 5, 110), &mut out);
+        assert!(out.is_empty(), "feature record still missing");
+        j.push_feature(feat(5, 100), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn multiple_actions_per_impression() {
+        let mut j = InstanceJoiner::new(JoinConfig::default());
+        let mut out = Vec::new();
+        j.push_feature(feat(5, 100), &mut out);
+        j.push_impression(imp(1, 5, 110), &mut out);
+        for t in [120, 130, 140] {
+            j.push_action(act(1, 5, t), &mut out);
+        }
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn action_without_impression_never_emits() {
+        let mut j = InstanceJoiner::new(JoinConfig::default());
+        let mut out = Vec::new();
+        j.push_feature(feat(5, 100), &mut out);
+        j.push_action(act(1, 5, 120), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn users_and_items_do_not_cross_join() {
+        let mut j = InstanceJoiner::new(JoinConfig::default());
+        let mut out = Vec::new();
+        j.push_feature(feat(5, 100), &mut out);
+        j.push_feature(feat(6, 100), &mut out);
+        j.push_impression(imp(1, 5, 110), &mut out);
+        j.push_impression(imp(2, 6, 110), &mut out);
+        j.push_action(act(1, 6, 120), &mut out); // user 1 acted on item 6, never shown
+        assert!(out.is_empty());
+        j.push_action(act(2, 6, 125), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].user, ProfileId::new(2));
+    }
+
+    #[test]
+    fn watermark_evicts_and_counts_drops() {
+        let mut j = InstanceJoiner::new(JoinConfig {
+            window: DurationMs::from_secs(60),
+            attributes: 3,
+        });
+        let mut out = Vec::new();
+        // An action that will never join (no impression).
+        j.push_action(act(1, 5, 1_000), &mut out);
+        assert_eq!(j.state_size().0, 1);
+        j.advance_watermark(ts(1_000 + 61_000));
+        assert_eq!(j.state_size().0, 0);
+        assert_eq!(j.dropped_actions.get(), 1);
+        assert_eq!(j.evicted_pairs.get(), 1);
+        // Late events after eviction start fresh state (no panic, no join).
+        j.push_action(act(1, 5, 1_500), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn attribute_routing_one_hot() {
+        let mut j = InstanceJoiner::new(JoinConfig {
+            window: DurationMs::from_mins(10),
+            attributes: 3,
+        });
+        let mut out = Vec::new();
+        j.push_feature(feat(5, 100), &mut out);
+        j.push_impression(imp(1, 5, 110), &mut out);
+        j.push_action(
+            ActionEvent {
+                attribute: 2,
+                ..act(1, 5, 120)
+            },
+            &mut out,
+        );
+        assert_eq!(out[0].counts.as_slice(), &[0, 0, 1]);
+        // Attribute beyond configured width contributes an all-zero vector.
+        j.push_action(
+            ActionEvent {
+                attribute: 9,
+                ..act(1, 5, 121)
+            },
+            &mut out,
+        );
+        assert_eq!(out[1].counts.as_slice(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn feature_arrival_unblocks_all_waiting_users() {
+        let mut j = InstanceJoiner::new(JoinConfig::default());
+        let mut out = Vec::new();
+        for user in 1..=5u64 {
+            j.push_impression(imp(user, 9, 100), &mut out);
+            j.push_action(act(user, 9, 110), &mut out);
+        }
+        assert!(out.is_empty());
+        j.push_feature(feat(9, 105), &mut out);
+        assert_eq!(out.len(), 5, "one emission per waiting user");
+    }
+}

@@ -1,0 +1,32 @@
+//! Ingestion substrate for `ips-rs` (§III-A, Fig 5).
+//!
+//! Instance data — the joined stream of impressions, actions and feature
+//! records that doubles as training data — is IPS's main data source. The
+//! paper's pipeline is: Flink streaming joins the three input streams into
+//! instance records, writes them to Kafka topics, and a final Flink job with
+//! user-defined extraction logic ingests them into IPS, with end-to-end
+//! freshness "usually within a minute". This crate reproduces each stage:
+//!
+//! * [`events`] — the three event kinds plus the joined
+//!   [`events::InstanceRecord`];
+//! * [`join`] — a keyed, windowed three-way stream join with out-of-order
+//!   tolerance and state eviction (Flink substitute);
+//! * [`log`] — a partitioned, offset-addressed topic with consumer groups
+//!   (Kafka substitute);
+//! * [`job`] — the ingestion job: consumes instance records and issues
+//!   `add_profiles` against the cluster client, tracking freshness;
+//! * [`batch`] — a bulk back-fill loader (Spark substitute);
+//! * [`workload`] — the synthetic traffic source: Zipf-distributed users and
+//!   items, diurnal load shaping, and the paper's query mix.
+
+pub mod batch;
+pub mod events;
+pub mod job;
+pub mod join;
+pub mod log;
+pub mod workload;
+
+pub use events::{ActionEvent, FeatureEvent, ImpressionEvent, InstanceRecord};
+pub use join::{InstanceJoiner, JoinConfig};
+pub use log::{ConsumerGroup, Topic};
+pub use workload::{DiurnalCurve, QueryMix, WorkloadConfig, WorkloadGenerator, ZipfSampler};

@@ -1,0 +1,476 @@
+//! The synthetic recommendation workload.
+//!
+//! The paper's production numbers (Figs 16–19) come from Jinri Toutiao's
+//! live traffic. The generator reproduces the traffic's structure rather
+//! than its identity: Zipf-distributed user and item popularity, a diurnal
+//! load curve with pronounced peaks, a ~10:1 read:write ratio, and the query
+//! mix §II describes (top-K, filter and decay over a spread of window
+//! sizes).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ips_core::query::{FilterPredicate, ProfileQuery};
+use ips_types::config::DecayFunction;
+use ips_types::{
+    ActionTypeId, DurationMs, FeatureId, ProfileId, SlotId, TableId, TimeRange, Timestamp,
+};
+
+use crate::events::{
+    ActionEvent, FeatureEvent, ImpressionEvent, ImpressionSource, InstanceRecord, ItemId,
+};
+
+/// Zipf(s) sampler over `1..=n` using the Gray et al. approximation (the
+/// same scheme YCSB's `ZipfianGenerator` uses): an O(n) one-time
+/// normalisation sum, then O(1) draws with no rejection loop.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    half_pow_theta: f64,
+}
+
+impl ZipfSampler {
+    /// A sampler over `1..=n` with exponent `s > 0`. An exponent of exactly
+    /// 1.0 is nudged slightly (the closed form divides by `1 - s`).
+    #[must_use]
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1, "Zipf support must be non-empty");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let theta = if (s - 1.0).abs() < 1e-6 { 1.0 + 1e-6 } else { s };
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2: f64 = (1..=2.min(n)).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            half_pow_theta: 1.0 + 0.5f64.powf(theta),
+        }
+    }
+
+    /// Draw one rank in `1..=n` (rank 1 is the most popular).
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        if self.n == 1 {
+            return 1;
+        }
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 1;
+        }
+        if uz < self.half_pow_theta {
+            return 2;
+        }
+        let k = 1 + (self.n as f64 * (self.eta.mul_add(u, 1.0 - self.eta)).powf(self.alpha)) as u64;
+        k.clamp(1, self.n)
+    }
+
+    /// The configured exponent (after the s=1 nudge).
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.theta
+    }
+}
+
+/// A 24-hour load curve: base load plus an evening peak, as the Spring
+/// Festival traffic in Fig 16 shows (roughly sinusoidal with a sharp peak).
+#[derive(Clone, Copy, Debug)]
+pub struct DiurnalCurve {
+    /// Load multiplier at the quietest hour (relative to peak = 1.0).
+    pub trough: f64,
+    /// Hour of day (0–24) at which the peak occurs.
+    pub peak_hour: f64,
+}
+
+impl Default for DiurnalCurve {
+    fn default() -> Self {
+        Self {
+            trough: 0.35,
+            peak_hour: 21.0,
+        }
+    }
+}
+
+impl DiurnalCurve {
+    /// The load multiplier (trough..=1.0) at a given instant.
+    #[must_use]
+    pub fn multiplier(&self, at: Timestamp) -> f64 {
+        let hour = (at.as_millis() % 86_400_000) as f64 / 3_600_000.0;
+        let phase = (hour - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        // Raised cosine: 1.0 at the peak hour, `trough` at the antipode.
+        let raw = (phase.cos() + 1.0) / 2.0;
+        self.trough + (1.0 - self.trough) * raw
+    }
+}
+
+/// Relative frequency of the three read APIs plus their window spread.
+#[derive(Clone, Debug)]
+pub struct QueryMix {
+    /// Weights for (top-K, filter, decay); normalized internally.
+    pub topk_weight: f64,
+    pub filter_weight: f64,
+    pub decay_weight: f64,
+    /// Candidate windows, sampled uniformly (the paper's flexible-window
+    /// motivation: 5 minutes to 30 days).
+    pub windows: Vec<DurationMs>,
+    /// k values for top-K queries.
+    pub k_choices: Vec<usize>,
+}
+
+impl Default for QueryMix {
+    fn default() -> Self {
+        Self {
+            topk_weight: 0.6,
+            filter_weight: 0.25,
+            decay_weight: 0.15,
+            windows: vec![
+                DurationMs::from_mins(5),
+                DurationMs::from_hours(1),
+                DurationMs::from_days(1),
+                DurationMs::from_days(7),
+                DurationMs::from_days(30),
+            ],
+            k_choices: vec![1, 10, 50, 100],
+        }
+    }
+}
+
+/// Full workload parameterisation.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    pub table: TableId,
+    pub users: u64,
+    pub items: u64,
+    /// Zipf exponent for user activity (1.01–1.2 is typical of consumer
+    /// apps: a small cohort generates most traffic).
+    pub user_zipf: f64,
+    /// Zipf exponent for item popularity.
+    pub item_zipf: f64,
+    pub slots: u32,
+    pub action_types: u32,
+    pub attributes: usize,
+    pub mix: QueryMix,
+    pub diurnal: DiurnalCurve,
+    /// Reads per write (the paper reports ~10:1).
+    pub read_write_ratio: f64,
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            table: TableId::new(1),
+            users: 100_000,
+            items: 1_000_000,
+            user_zipf: 1.05,
+            item_zipf: 1.1,
+            slots: 8,
+            action_types: 4,
+            attributes: 3,
+            mix: QueryMix::default(),
+            diurnal: DiurnalCurve::default(),
+            read_write_ratio: 10.0,
+            seed: 0x1B5,
+        }
+    }
+}
+
+/// Stateful generator producing events and queries.
+pub struct WorkloadGenerator {
+    config: WorkloadConfig,
+    users: ZipfSampler,
+    items: ZipfSampler,
+    rng: SmallRng,
+}
+
+impl WorkloadGenerator {
+    #[must_use]
+    pub fn new(config: WorkloadConfig) -> Self {
+        let users = ZipfSampler::new(config.users, config.user_zipf);
+        let items = ZipfSampler::new(config.items, config.item_zipf);
+        let rng = SmallRng::seed_from_u64(config.seed);
+        Self {
+            config,
+            users,
+            items,
+            rng,
+        }
+    }
+
+    #[must_use]
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Draw a user id (Zipf-popular).
+    pub fn sample_user(&mut self) -> ProfileId {
+        ProfileId::new(self.users.sample(&mut self.rng))
+    }
+
+    /// Draw an item id (Zipf-popular).
+    pub fn sample_item(&mut self) -> ItemId {
+        self.items.sample(&mut self.rng)
+    }
+
+    /// The slot/action categorisation and feature id of an item are a
+    /// deterministic function of the item (the content store's view).
+    #[must_use]
+    pub fn item_feature(&self, item: ItemId) -> FeatureEvent {
+        let slot = SlotId::new((item % u64::from(self.config.slots)) as u32);
+        let action_type = ActionTypeId::new((item / 7 % u64::from(self.config.action_types)) as u32);
+        FeatureEvent {
+            item,
+            slot,
+            action_type,
+            feature: FeatureId::new(item),
+            at: Timestamp::ZERO,
+        }
+    }
+
+    /// Generate the raw event triple for one user interaction at `at`:
+    /// an impression, a (maybe) action, and the item's feature record.
+    pub fn interaction(
+        &mut self,
+        at: Timestamp,
+    ) -> (ImpressionEvent, Option<ActionEvent>, FeatureEvent) {
+        let user = self.sample_user();
+        let item = self.sample_item();
+        let impression = ImpressionEvent {
+            user,
+            item,
+            at,
+            source: if self.rng.gen_bool(0.5) {
+                ImpressionSource::Server
+            } else {
+                ImpressionSource::Client
+            },
+        };
+        // ~35% of impressions convert into an action a moment later.
+        let action = self.rng.gen_bool(0.35).then(|| ActionEvent {
+            user,
+            item,
+            action: ActionTypeId::new(self.rng.gen_range(0..self.config.action_types)),
+            at: at.saturating_add(DurationMs::from_millis(self.rng.gen_range(50..5_000))),
+            attribute: self.rng.gen_range(0..self.config.attributes),
+        });
+        let mut feature = self.item_feature(item);
+        feature.at = at;
+        (impression, action, feature)
+    }
+
+    /// Generate a ready-to-ingest instance record directly (bypassing the
+    /// join; for harnesses that only need write traffic).
+    pub fn instance(&mut self, at: Timestamp) -> InstanceRecord {
+        let user = self.sample_user();
+        let item = self.sample_item();
+        let feature = self.item_feature(item);
+        let attribute = self.rng.gen_range(0..self.config.attributes);
+        let mut counts = ips_types::CountVector::zeros(self.config.attributes);
+        counts.set(attribute, 1);
+        InstanceRecord {
+            user,
+            item,
+            at,
+            slot: feature.slot,
+            action_type: feature.action_type,
+            feature: feature.feature,
+            counts,
+            impression_at: at.saturating_sub(DurationMs::from_secs(2)),
+        }
+    }
+
+    /// Generate one query per the configured mix, against a Zipf-popular
+    /// profile.
+    pub fn query(&mut self, _at: Timestamp) -> ProfileQuery {
+        let user = self.sample_user();
+        let slot = SlotId::new(self.rng.gen_range(0..self.config.slots));
+        let window = self.config.mix.windows
+            [self.rng.gen_range(0..self.config.mix.windows.len())];
+        let range = TimeRange::Current { lookback: window };
+        let total = self.config.mix.topk_weight
+            + self.config.mix.filter_weight
+            + self.config.mix.decay_weight;
+        let roll = self.rng.gen::<f64>() * total;
+        if roll < self.config.mix.topk_weight {
+            let k = self.config.mix.k_choices
+                [self.rng.gen_range(0..self.config.mix.k_choices.len())];
+            ProfileQuery::top_k(self.config.table, user, slot, range, k)
+        } else if roll < self.config.mix.topk_weight + self.config.mix.filter_weight {
+            ProfileQuery::filter(
+                self.config.table,
+                user,
+                slot,
+                range,
+                FilterPredicate::MinAttribute {
+                    attr: self.rng.gen_range(0..self.config.attributes),
+                    min: 1,
+                },
+            )
+        } else {
+            ProfileQuery::decay(
+                self.config.table,
+                user,
+                slot,
+                range,
+                DecayFunction::Exponential {
+                    half_life: DurationMs::from_days(1),
+                },
+                1.0,
+                20,
+            )
+        }
+    }
+
+    /// Is the next operation a read, per the read:write ratio?
+    pub fn next_is_read(&mut self) -> bool {
+        let p = self.config.read_write_ratio / (1.0 + self.config.read_write_ratio);
+        self.rng.gen_bool(p)
+    }
+
+    /// Operations per tick at `at`, given a peak rate: the diurnal shape.
+    #[must_use]
+    pub fn rate_at(&self, at: Timestamp, peak_rate: f64) -> f64 {
+        peak_rate * self.config.diurnal.multiplier(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_core::query::QueryKind;
+
+    #[test]
+    fn zipf_is_heavily_skewed() {
+        let z = ZipfSampler::new(10_000, 1.1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut top10 = 0u64;
+        let n = 50_000;
+        for _ in 0..n {
+            let r = z.sample(&mut rng);
+            assert!((1..=10_000).contains(&r));
+            if r <= 10 {
+                top10 += 1;
+            }
+        }
+        let frac = top10 as f64 / n as f64;
+        assert!(frac > 0.3, "top-10 ranks should dominate, got {frac}");
+    }
+
+    #[test]
+    fn zipf_rank_frequencies_are_monotonic() {
+        let z = ZipfSampler::new(100, 1.2);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = vec![0u64; 101];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // Compare coarse buckets (individual adjacent ranks are noisy).
+        let head: u64 = counts[1..=5].iter().sum();
+        let mid: u64 = counts[20..=24].iter().sum();
+        let tail: u64 = counts[80..=84].iter().sum();
+        assert!(head > mid && mid > tail, "head {head} mid {mid} tail {tail}");
+    }
+
+    #[test]
+    fn zipf_near_one_exponent() {
+        let z = ZipfSampler::new(1_000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=1_000).contains(&r));
+        }
+    }
+
+    #[test]
+    fn zipf_single_element_support() {
+        let z = ZipfSampler::new(1, 1.2);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn diurnal_peak_and_trough() {
+        let c = DiurnalCurve {
+            trough: 0.3,
+            peak_hour: 21.0,
+        };
+        let at_hour = |h: f64| Timestamp::from_millis((h * 3_600_000.0) as u64);
+        let peak = c.multiplier(at_hour(21.0));
+        let trough = c.multiplier(at_hour(9.0));
+        assert!((peak - 1.0).abs() < 1e-6, "peak {peak}");
+        assert!((trough - 0.3).abs() < 1e-6, "trough {trough}");
+        assert!(c.multiplier(at_hour(15.0)) > trough);
+        assert!(c.multiplier(at_hour(15.0)) < peak);
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let mk = || WorkloadGenerator::new(WorkloadConfig::default());
+        let mut a = mk();
+        let mut b = mk();
+        for _ in 0..100 {
+            assert_eq!(a.sample_user(), b.sample_user());
+            assert_eq!(a.sample_item(), b.sample_item());
+        }
+    }
+
+    #[test]
+    fn query_mix_produces_all_kinds() {
+        let mut g = WorkloadGenerator::new(WorkloadConfig::default());
+        let (mut topk, mut filter, mut decay) = (0, 0, 0);
+        for i in 0..1_000 {
+            match g.query(Timestamp::from_millis(i)).kind {
+                QueryKind::TopK { .. } => topk += 1,
+                QueryKind::Filter { .. } => filter += 1,
+                QueryKind::Decay { .. } => decay += 1,
+            }
+        }
+        assert!(topk > filter && filter > decay, "{topk}/{filter}/{decay}");
+        assert!(decay > 30, "all kinds present: {decay}");
+    }
+
+    #[test]
+    fn read_write_ratio_holds() {
+        let mut g = WorkloadGenerator::new(WorkloadConfig {
+            read_write_ratio: 10.0,
+            ..Default::default()
+        });
+        let reads = (0..10_000).filter(|_| g.next_is_read()).count();
+        let ratio = reads as f64 / (10_000 - reads) as f64;
+        assert!((7.0..14.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn interaction_events_are_consistent() {
+        let mut g = WorkloadGenerator::new(WorkloadConfig::default());
+        let at = Timestamp::from_millis(1_000_000);
+        for _ in 0..100 {
+            let (imp, action, feature) = g.interaction(at);
+            assert_eq!(imp.item, feature.item);
+            if let Some(a) = action {
+                assert_eq!(a.user, imp.user);
+                assert_eq!(a.item, imp.item);
+                assert!(a.at >= imp.at);
+            }
+        }
+    }
+
+    #[test]
+    fn item_categorisation_is_stable() {
+        let g = WorkloadGenerator::new(WorkloadConfig::default());
+        let f1 = g.item_feature(12345);
+        let f2 = g.item_feature(12345);
+        assert_eq!(f1.slot, f2.slot);
+        assert_eq!(f1.feature, f2.feature);
+        assert!(f1.slot.raw() < g.config().slots);
+    }
+}

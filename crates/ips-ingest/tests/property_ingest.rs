@@ -1,0 +1,144 @@
+//! Property-based tests on the ingestion substrate: Zipf sampler bounds and
+//! skew, diurnal curve bounds, join completeness for in-window event
+//! triples, and topic/consumer-group delivery exactly-once-per-group.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ips_ingest::events::{ActionEvent, FeatureEvent, ImpressionEvent, ImpressionSource};
+use ips_ingest::{ConsumerGroup, DiurnalCurve, InstanceJoiner, JoinConfig, Topic, ZipfSampler};
+use ips_types::{ActionTypeId, DurationMs, FeatureId, ProfileId, SlotId, Timestamp};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn zipf_samples_stay_in_support(
+        n in 1u64..100_000,
+        s in 0.5f64..2.5,
+        seed in any::<u64>(),
+    ) {
+        let z = ZipfSampler::new(n, s);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..500 {
+            let r = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&r), "rank {r} outside 1..={n}");
+        }
+    }
+
+    #[test]
+    fn zipf_head_dominates_tail(seed in any::<u64>()) {
+        let z = ZipfSampler::new(10_000, 1.2);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut head = 0u32;
+        let mut tail = 0u32;
+        for _ in 0..5_000 {
+            let r = z.sample(&mut rng);
+            if r <= 100 {
+                head += 1;
+            } else if r > 5_000 {
+                tail += 1;
+            }
+        }
+        prop_assert!(head > tail, "head {head} must dominate tail {tail}");
+    }
+
+    #[test]
+    fn diurnal_multiplier_stays_in_band(
+        trough in 0.01f64..0.99,
+        peak_hour in 0.0f64..24.0,
+        at in any::<u64>(),
+    ) {
+        let c = DiurnalCurve { trough, peak_hour };
+        let m = c.multiplier(Timestamp::from_millis(at));
+        prop_assert!(m >= trough - 1e-9 && m <= 1.0 + 1e-9, "multiplier {m}");
+    }
+
+    #[test]
+    fn join_emits_exactly_complete_triples(
+        // Items 0..10; per item choose which legs arrive.
+        legs in proptest::collection::vec((any::<bool>(), any::<bool>(), any::<bool>()), 1..30),
+    ) {
+        let mut joiner = InstanceJoiner::new(JoinConfig {
+            window: DurationMs::from_days(1),
+            attributes: 3,
+        });
+        let mut out = Vec::new();
+        let mut expected = 0;
+        for (item, (has_imp, has_act, has_feat)) in legs.iter().enumerate() {
+            let item = item as u64;
+            let user = ProfileId::new(item + 1);
+            let at = Timestamp::from_millis(1_000 + item);
+            if *has_feat {
+                joiner.push_feature(
+                    FeatureEvent {
+                        item,
+                        slot: SlotId::new(1),
+                        action_type: ActionTypeId::new(1),
+                        feature: FeatureId::new(item),
+                        at,
+                    },
+                    &mut out,
+                );
+            }
+            if *has_imp {
+                joiner.push_impression(
+                    ImpressionEvent {
+                        user,
+                        item,
+                        at,
+                        source: ImpressionSource::Server,
+                    },
+                    &mut out,
+                );
+            }
+            if *has_act {
+                joiner.push_action(
+                    ActionEvent {
+                        user,
+                        item,
+                        action: ActionTypeId::new(1),
+                        at,
+                        attribute: 0,
+                    },
+                    &mut out,
+                );
+            }
+            if *has_imp && *has_act && *has_feat {
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(out.len(), expected, "exactly the complete triples join");
+    }
+
+    #[test]
+    fn topic_delivers_everything_exactly_once_per_group(
+        records in proptest::collection::vec(any::<u64>(), 1..300),
+        partitions in 1usize..8,
+        batch in 1usize..64,
+    ) {
+        let topic: Arc<Topic<u64>> = Topic::new(partitions);
+        for r in &records {
+            topic.append(*r, *r);
+        }
+        let group = ConsumerGroup::new(Arc::clone(&topic));
+        let mut seen = Vec::new();
+        loop {
+            let polled = group.poll(batch);
+            if polled.is_empty() {
+                break;
+            }
+            seen.extend(polled.iter().map(|r| **r));
+        }
+        prop_assert_eq!(group.lag(), 0);
+        let mut expected = records.clone();
+        expected.sort_unstable();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, expected);
+        // Nothing re-delivered.
+        prop_assert!(group.poll(batch).is_empty());
+    }
+}

@@ -1,0 +1,488 @@
+//! A deployable KV node: versioned store + optional WAL + fault switch.
+//!
+//! The cluster layer composes these into master/replica groups. Fault
+//! injection covers the failure modes the availability experiment (Fig 17)
+//! exercises: a node can be marked down (connection refused), given a random
+//! error probability (flaky network / overloaded region server), or crashed
+//! (memory lost, WAL replayed on restart).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ips_metrics::Counter;
+use ips_types::{IpsError, Result};
+
+use crate::store::{Generation, VersionedStore, VersionedValue};
+use crate::wal::{Wal, WalRecord};
+
+/// Construction-time options for a node.
+#[derive(Clone, Debug)]
+pub struct KvNodeConfig {
+    /// Shards in the in-memory map.
+    pub shards: usize,
+    /// WAL file path; `None` disables durability (pure-memory node, fine for
+    /// benchmarks that do not crash it).
+    pub wal_path: Option<PathBuf>,
+    /// fsync every append (slow but strict). Production profile stores value
+    /// throughput over absolute durability of the last few writes.
+    pub wal_sync: bool,
+}
+
+impl Default for KvNodeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 16,
+            wal_path: None,
+            wal_sync: false,
+        }
+    }
+}
+
+/// A single storage node.
+pub struct KvNode {
+    name: String,
+    config: KvNodeConfig,
+    store: VersionedStore,
+    wal: Option<Wal>,
+    down: AtomicBool,
+    /// Probability (scaled by 1e6) that an op fails with a transient error.
+    error_ppm: AtomicU64,
+    rng_seed: AtomicU64,
+    pub ops: Counter,
+    pub failures: Counter,
+}
+
+impl KvNode {
+    /// Create a node; replays the WAL (if configured) to recover state.
+    pub fn new(name: impl Into<String>, config: KvNodeConfig) -> Result<Self> {
+        let store = VersionedStore::new(config.shards);
+        let wal = match &config.wal_path {
+            Some(path) => {
+                let wal = Wal::open(path, config.wal_sync)?;
+                for rec in wal.replay()? {
+                    match rec {
+                        WalRecord::Set {
+                            key,
+                            value,
+                            generation,
+                        } => {
+                            store.apply_replicated(
+                                key,
+                                VersionedValue {
+                                    data: value,
+                                    generation,
+                                },
+                            );
+                        }
+                        WalRecord::Delete { key } => {
+                            store.delete(&key);
+                        }
+                    }
+                }
+                Some(wal)
+            }
+            None => None,
+        };
+        Ok(Self {
+            name: name.into(),
+            config,
+            store,
+            wal,
+            down: AtomicBool::new(false),
+            error_ppm: AtomicU64::new(0),
+            rng_seed: AtomicU64::new(0x5eed),
+            ops: Counter::new(),
+            failures: Counter::new(),
+        })
+    }
+
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Direct access to the underlying store (replication internals).
+    #[must_use]
+    pub fn store(&self) -> &VersionedStore {
+        &self.store
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    /// Mark the node down/up. Down nodes refuse every operation.
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::SeqCst);
+    }
+
+    #[must_use]
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    /// Inject a transient failure probability (0.0–1.0) for each operation.
+    pub fn set_error_rate(&self, p: f64) {
+        self.error_ppm
+            .store((p.clamp(0.0, 1.0) * 1e6) as u64, Ordering::SeqCst);
+    }
+
+    /// Simulate a crash: all in-memory state is lost. If the node has a WAL
+    /// the data comes back on [`KvNode::restart`]; otherwise it is gone.
+    pub fn crash(&self) {
+        self.store.clear();
+        self.set_down(true);
+    }
+
+    /// Restart after a crash: replay the WAL into the (empty) store and come
+    /// back up.
+    pub fn restart(&self) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            for rec in wal.replay()? {
+                match rec {
+                    WalRecord::Set {
+                        key,
+                        value,
+                        generation,
+                    } => {
+                        self.store.apply_replicated(
+                            key,
+                            VersionedValue {
+                                data: value,
+                                generation,
+                            },
+                        );
+                    }
+                    WalRecord::Delete { key } => {
+                        self.store.delete(&key);
+                    }
+                }
+            }
+        }
+        self.set_down(false);
+        Ok(())
+    }
+
+    fn check_available(&self) -> Result<()> {
+        if self.is_down() {
+            self.failures.inc();
+            return Err(IpsError::Unavailable(format!("kv node {} is down", self.name)));
+        }
+        let ppm = self.error_ppm.load(Ordering::Relaxed);
+        if ppm > 0 {
+            // Cheap thread-mixed PRNG; determinism per node is enough.
+            let seed = self
+                .rng_seed
+                .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            if rng.gen_range(0..1_000_000u64) < ppm {
+                self.failures.inc();
+                return Err(IpsError::Storage(format!(
+                    "kv node {}: injected transient error",
+                    self.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    // ---- data plane ------------------------------------------------------
+
+    /// Unconditional write (bulk persistence, Fig 12).
+    pub fn set(&self, key: Bytes, value: Bytes) -> Result<Generation> {
+        self.check_available()?;
+        self.ops.inc();
+        let generation = self.store.set(key.clone(), value.clone());
+        if let Some(wal) = &self.wal {
+            wal.append(&WalRecord::Set {
+                key,
+                value,
+                generation,
+            })?;
+        }
+        Ok(generation)
+    }
+
+    /// Plain read.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        self.check_available()?;
+        self.ops.inc();
+        Ok(self.store.get(key))
+    }
+
+    /// Versioned read (split persistence, Fig 14).
+    pub fn xget(&self, key: &[u8]) -> Result<(Option<Bytes>, Generation)> {
+        self.check_available()?;
+        self.ops.inc();
+        Ok(self.store.xget(key))
+    }
+
+    /// Conditional versioned write (split persistence, Fig 14).
+    pub fn xset(&self, key: Bytes, value: Bytes, held: Generation) -> Result<Generation> {
+        self.check_available()?;
+        self.ops.inc();
+        let generation = self.store.xset(key.clone(), value.clone(), held)?;
+        if let Some(wal) = &self.wal {
+            wal.append(&WalRecord::Set {
+                key,
+                value,
+                generation,
+            })?;
+        }
+        Ok(generation)
+    }
+
+    /// Delete a key.
+    pub fn delete(&self, key: &[u8]) -> Result<bool> {
+        self.check_available()?;
+        self.ops.inc();
+        let existed = self.store.delete(key);
+        if existed {
+            if let Some(wal) = &self.wal {
+                wal.append(&WalRecord::Delete {
+                    key: Bytes::copy_from_slice(key),
+                })?;
+            }
+        }
+        Ok(existed)
+    }
+
+    /// Checkpoint the WAL: rewrite it as one record per live key and drop
+    /// the historical tail. Bounds recovery time for long-lived nodes whose
+    /// log would otherwise replay every write ever made. No-op without a
+    /// WAL. Returns the number of records in the fresh log.
+    pub fn checkpoint(&self) -> Result<usize> {
+        let Some(wal) = &self.wal else {
+            return Ok(0);
+        };
+        // Snapshot first, then reset and rewrite. A crash between reset and
+        // the full rewrite loses the tail of the snapshot — acceptable for
+        // the cache-backing role (the paper's store also favours
+        // availability over strict durability), and the window is tiny.
+        let entries = self.store.scan_all();
+        wal.reset()?;
+        for (key, value) in &entries {
+            wal.append(&WalRecord::Set {
+                key: key.clone(),
+                value: value.data.clone(),
+                generation: value.generation,
+            })?;
+        }
+        Ok(entries.len())
+    }
+
+    /// Node stats for dashboards/harnesses.
+    #[must_use]
+    pub fn stats(&self) -> KvNodeStats {
+        KvNodeStats {
+            keys: self.store.len(),
+            approx_bytes: self.store.approx_bytes(),
+            ops: self.ops.get(),
+            failures: self.failures.get(),
+            down: self.is_down(),
+        }
+    }
+
+    /// The node's configuration.
+    #[must_use]
+    pub fn config(&self) -> &KvNodeConfig {
+        &self.config
+    }
+}
+
+/// A point-in-time view of node health.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KvNodeStats {
+    pub keys: usize,
+    pub approx_bytes: u64,
+    pub ops: u64,
+    pub failures: u64,
+    pub down: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn tmp_wal(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "ips-kvnode-test-{}-{}-{name}.log",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        p
+    }
+
+    #[test]
+    fn memory_node_basics() {
+        let n = KvNode::new("n1", KvNodeConfig::default()).unwrap();
+        n.set(b("k"), b("v")).unwrap();
+        assert_eq!(n.get(b"k").unwrap(), Some(b("v")));
+        assert!(n.delete(b"k").unwrap());
+        assert_eq!(n.get(b"k").unwrap(), None);
+        assert_eq!(n.stats().ops, 4);
+    }
+
+    #[test]
+    fn down_node_refuses_everything() {
+        let n = KvNode::new("n1", KvNodeConfig::default()).unwrap();
+        n.set_down(true);
+        assert!(matches!(
+            n.get(b"k"),
+            Err(IpsError::Unavailable(_))
+        ));
+        assert!(n.set(b("k"), b("v")).is_err());
+        n.set_down(false);
+        assert!(n.get(b"k").unwrap().is_none());
+        assert!(n.stats().failures >= 2);
+    }
+
+    #[test]
+    fn error_injection_fails_sometimes() {
+        let n = KvNode::new("flaky", KvNodeConfig::default()).unwrap();
+        n.set_error_rate(0.5);
+        let mut failures = 0;
+        for _ in 0..200 {
+            if n.get(b"k").is_err() {
+                failures += 1;
+            }
+        }
+        assert!(
+            (40..160).contains(&failures),
+            "expected ~100 failures at 50%, got {failures}"
+        );
+        n.set_error_rate(0.0);
+        assert!(n.get(b"k").is_ok());
+    }
+
+    #[test]
+    fn crash_without_wal_loses_data() {
+        let n = KvNode::new("volatile", KvNodeConfig::default()).unwrap();
+        n.set(b("k"), b("v")).unwrap();
+        n.crash();
+        assert!(n.get(b"k").is_err(), "down after crash");
+        n.restart().unwrap();
+        assert_eq!(n.get(b"k").unwrap(), None, "no WAL, data gone");
+    }
+
+    #[test]
+    fn crash_with_wal_recovers_data() {
+        let path = tmp_wal("recover");
+        let n = KvNode::new(
+            "durable",
+            KvNodeConfig {
+                wal_path: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let g1 = n.set(b("k1"), b("v1")).unwrap();
+        n.set(b("k2"), b("v2")).unwrap();
+        n.delete(b"k2").unwrap();
+        n.xset(b("k1"), b("v1b"), g1).unwrap();
+        n.crash();
+        n.restart().unwrap();
+        assert_eq!(n.get(b"k1").unwrap(), Some(b("v1b")));
+        assert_eq!(n.get(b"k2").unwrap(), None);
+        // Generations continue past the recovered ones.
+        let (_, g) = n.xget(b"k1").unwrap();
+        let g_new = n.set(b("k3"), b("x")).unwrap();
+        assert!(g_new > g);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_from_wal_file() {
+        let path = tmp_wal("reopen");
+        {
+            let n = KvNode::new(
+                "durable",
+                KvNodeConfig {
+                    wal_path: Some(path.clone()),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            n.set(b("persisted"), b("yes")).unwrap();
+        }
+        let n2 = KvNode::new(
+            "durable",
+            KvNodeConfig {
+                wal_path: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(n2.get(b"persisted").unwrap(), Some(b("yes")));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_shrinks_wal_and_preserves_state() {
+        let path = tmp_wal("checkpoint");
+        let n = KvNode::new(
+            "durable",
+            KvNodeConfig {
+                wal_path: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // 100 overwrites of 10 keys: the log holds 100 records.
+        for i in 0..100u64 {
+            n.set(
+                Bytes::from((i % 10).to_le_bytes().to_vec()),
+                Bytes::from(vec![i as u8; 64]),
+            )
+            .unwrap();
+        }
+        let wal_before = std::fs::metadata(&path).unwrap().len();
+        let live = n.checkpoint().unwrap();
+        assert_eq!(live, 10, "one record per live key");
+        let wal_after = std::fs::metadata(&path).unwrap().len();
+        assert!(
+            wal_after < wal_before / 5,
+            "checkpoint must shrink the log: {wal_before} -> {wal_after}"
+        );
+        // Crash and recover from the checkpointed log.
+        n.crash();
+        n.restart().unwrap();
+        for k in 0..10u64 {
+            let v = n.get(&k.to_le_bytes()).unwrap().unwrap();
+            assert_eq!(v.len(), 64);
+            assert_eq!(v[0], 90 + k as u8, "newest overwrite survives");
+        }
+        // Generations keep increasing after recovery.
+        let (_, g) = n.xget(&1u64.to_le_bytes()).unwrap();
+        assert!(n.set(Bytes::from_static(b"new"), Bytes::from_static(b"v")).unwrap() > g);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_without_wal_is_noop() {
+        let n = KvNode::new("volatile", KvNodeConfig::default()).unwrap();
+        n.set(Bytes::from_static(b"k"), Bytes::from_static(b"v")).unwrap();
+        assert_eq!(n.checkpoint().unwrap(), 0);
+    }
+
+    #[test]
+    fn xset_stale_propagates() {
+        let n = KvNode::new("n", KvNodeConfig::default()).unwrap();
+        let g = n.xset(b("k"), b("v1"), 0).unwrap();
+        n.xset(b("k"), b("v2"), g).unwrap();
+        assert!(matches!(
+            n.xset(b("k"), b("v3"), g),
+            Err(IpsError::StaleGeneration { .. })
+        ));
+    }
+}

@@ -1,0 +1,372 @@
+//! Master → replica asynchronous replication.
+//!
+//! In the multi-region deployment (Fig 15) exactly one region's IPS instance
+//! persists to the *master* KV cluster; instances in other regions read from
+//! local *slave* clusters. Replication is asynchronous, so replicas lag and a
+//! failed-over node may load stale data — the weak consistency the paper
+//! explicitly accepts ("minor data inconsistency is negligible in most
+//! recommendation based applications", §III-G).
+//!
+//! The replication pump is pull-based and explicit: harnesses call
+//! [`ReplicatedKv::pump`] (or run [`ReplicatedKv::spawn_pump_thread`]) to
+//! move a bounded batch of queued mutations to the replicas, which makes lag
+//! controllable and observable in experiments.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use crossbeam::queue::SegQueue;
+
+use ips_metrics::{Counter, Gauge};
+use ips_types::Result;
+
+use crate::node::KvNode;
+use crate::store::{Generation, VersionedValue};
+
+/// What a replica read returns when the replica is behind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaReadMode {
+    /// Read whatever the replica has (possibly stale) — production default.
+    AllowStale,
+    /// Fall through to the master when the replica misses the key entirely.
+    MasterOnMiss,
+}
+
+enum RepOp {
+    Set { key: Bytes, value: VersionedValue },
+    Delete { key: Bytes },
+}
+
+/// One master plus N asynchronous read replicas.
+pub struct ReplicatedKv {
+    master: Arc<KvNode>,
+    replicas: Vec<Arc<KvNode>>,
+    /// One queue per replica so a slow replica doesn't stall others.
+    queues: Vec<Arc<SegQueue<RepOp>>>,
+    pub replicated_ops: Counter,
+    pub queue_depth: Gauge,
+    read_mode: ReplicaReadMode,
+}
+
+impl ReplicatedKv {
+    /// Build a replication group. `replicas` may be empty (single cluster).
+    #[must_use]
+    pub fn new(
+        master: Arc<KvNode>,
+        replicas: Vec<Arc<KvNode>>,
+        read_mode: ReplicaReadMode,
+    ) -> Self {
+        let queues = replicas.iter().map(|_| Arc::new(SegQueue::new())).collect();
+        Self {
+            master,
+            replicas,
+            queues,
+            replicated_ops: Counter::new(),
+            queue_depth: Gauge::new(),
+            read_mode,
+        }
+    }
+
+    #[must_use]
+    pub fn master(&self) -> &Arc<KvNode> {
+        &self.master
+    }
+
+    #[must_use]
+    pub fn replicas(&self) -> &[Arc<KvNode>] {
+        &self.replicas
+    }
+
+    fn enqueue_set(&self, key: &Bytes, generation: Generation, value: &Bytes) {
+        for q in &self.queues {
+            q.push(RepOp::Set {
+                key: key.clone(),
+                value: VersionedValue {
+                    data: value.clone(),
+                    generation,
+                },
+            });
+        }
+        self.queue_depth.add(self.queues.len() as i64);
+    }
+
+    /// Write through the master and queue for replication.
+    pub fn set(&self, key: Bytes, value: Bytes) -> Result<Generation> {
+        let generation = self.master.set(key.clone(), value.clone())?;
+        self.enqueue_set(&key, generation, &value);
+        Ok(generation)
+    }
+
+    /// Conditional write through the master (split persistence protocol).
+    pub fn xset(&self, key: Bytes, value: Bytes, held: Generation) -> Result<Generation> {
+        let generation = self.master.xset(key.clone(), value.clone(), held)?;
+        self.enqueue_set(&key, generation, &value);
+        Ok(generation)
+    }
+
+    /// Delete through the master and queue for replication.
+    pub fn delete(&self, key: &[u8]) -> Result<bool> {
+        let existed = self.master.delete(key)?;
+        if existed {
+            for q in &self.queues {
+                q.push(RepOp::Delete {
+                    key: Bytes::copy_from_slice(key),
+                });
+            }
+            self.queue_depth.add(self.queues.len() as i64);
+        }
+        Ok(existed)
+    }
+
+    /// Read from the master (strong path).
+    pub fn get_master(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        self.master.get(key)
+    }
+
+    /// Versioned read from the master.
+    pub fn xget_master(&self, key: &[u8]) -> Result<(Option<Bytes>, Generation)> {
+        self.master.xget(key)
+    }
+
+    /// Read from replica `idx` (a region's local slave cluster). Per the
+    /// configured mode, a missing key may fall through to the master.
+    pub fn get_replica(&self, idx: usize, key: &[u8]) -> Result<Option<Bytes>> {
+        let Some(replica) = self.replicas.get(idx) else {
+            return self.master.get(key);
+        };
+        match replica.get(key)? {
+            Some(v) => Ok(Some(v)),
+            None if self.read_mode == ReplicaReadMode::MasterOnMiss => self.master.get(key),
+            None => Ok(None),
+        }
+    }
+
+    /// Move up to `budget` queued mutations per replica. Returns the number
+    /// applied. Replicas that are down keep their queue (they catch up when
+    /// restarted), which is what creates stale-read windows in experiments.
+    pub fn pump(&self, budget: usize) -> usize {
+        let mut applied = 0;
+        for (replica, queue) in self.replicas.iter().zip(&self.queues) {
+            if replica.is_down() {
+                continue;
+            }
+            for _ in 0..budget {
+                let Some(op) = queue.pop() else { break };
+                match op {
+                    RepOp::Set { key, value } => {
+                        replica.store().apply_replicated(key, value);
+                    }
+                    RepOp::Delete { key } => {
+                        replica.store().delete(&key);
+                    }
+                }
+                applied += 1;
+                self.queue_depth.sub(1);
+            }
+        }
+        self.replicated_ops.add(applied as u64);
+        applied
+    }
+
+    /// Outstanding (unreplicated) operations across all replica queues.
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Drain every queue fully (test convenience / controlled catch-up).
+    pub fn pump_all(&self) -> usize {
+        let mut total = 0;
+        loop {
+            let n = self.pump(1024);
+            total += n;
+            if n == 0 && self.backlog() == 0 {
+                // All queues empty or only down replicas left with backlog.
+                let live_backlog: usize = self
+                    .replicas
+                    .iter()
+                    .zip(&self.queues)
+                    .filter(|(r, _)| !r.is_down())
+                    .map(|(_, q)| q.len())
+                    .sum();
+                if live_backlog == 0 {
+                    break;
+                }
+            }
+            if n == 0 {
+                break;
+            }
+        }
+        total
+    }
+
+    /// Spawn a background thread that pumps continuously until the returned
+    /// guard is dropped. `interval` is a real-time pacing knob.
+    pub fn spawn_pump_thread(
+        self: &Arc<Self>,
+        batch: usize,
+        interval: std::time::Duration,
+    ) -> PumpHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let me = Arc::clone(self);
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("kv-replication-pump".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    if me.pump(batch) == 0 {
+                        std::thread::sleep(interval);
+                    }
+                }
+            })
+            .expect("spawn replication pump");
+        PumpHandle {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Stops the background pump thread on drop.
+pub struct PumpHandle {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for PumpHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::KvNodeConfig;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn group(replicas: usize, mode: ReplicaReadMode) -> ReplicatedKv {
+        let master = Arc::new(KvNode::new("master", KvNodeConfig::default()).unwrap());
+        let reps = (0..replicas)
+            .map(|i| Arc::new(KvNode::new(format!("replica-{i}"), KvNodeConfig::default()).unwrap()))
+            .collect();
+        ReplicatedKv::new(master, reps, mode)
+    }
+
+    #[test]
+    fn replica_lags_until_pumped() {
+        let g = group(2, ReplicaReadMode::AllowStale);
+        g.set(b("k"), b("v1")).unwrap();
+        assert_eq!(g.get_replica(0, b"k").unwrap(), None, "not yet replicated");
+        assert_eq!(g.backlog(), 2);
+        g.pump_all();
+        assert_eq!(g.get_replica(0, b"k").unwrap(), Some(b("v1")));
+        assert_eq!(g.get_replica(1, b"k").unwrap(), Some(b("v1")));
+        assert_eq!(g.backlog(), 0);
+    }
+
+    #[test]
+    fn master_on_miss_fallthrough() {
+        let g = group(1, ReplicaReadMode::MasterOnMiss);
+        g.set(b("k"), b("v1")).unwrap();
+        // Replica hasn't caught up but the read falls through to master.
+        assert_eq!(g.get_replica(0, b"k").unwrap(), Some(b("v1")));
+    }
+
+    #[test]
+    fn stale_read_window_then_catch_up() {
+        let g = group(1, ReplicaReadMode::AllowStale);
+        g.set(b("k"), b("v1")).unwrap();
+        g.pump_all();
+        g.set(b("k"), b("v2")).unwrap();
+        // Stale window: replica still serves v1.
+        assert_eq!(g.get_replica(0, b"k").unwrap(), Some(b("v1")));
+        g.pump_all();
+        assert_eq!(g.get_replica(0, b"k").unwrap(), Some(b("v2")));
+    }
+
+    #[test]
+    fn down_replica_keeps_backlog_and_catches_up() {
+        let g = group(1, ReplicaReadMode::AllowStale);
+        g.replicas()[0].set_down(true);
+        g.set(b("k"), b("v1")).unwrap();
+        g.pump(100);
+        assert_eq!(g.backlog(), 1, "down replica must not consume its queue");
+        g.replicas()[0].set_down(false);
+        g.pump_all();
+        assert_eq!(g.get_replica(0, b"k").unwrap(), Some(b("v1")));
+    }
+
+    #[test]
+    fn deletes_replicate() {
+        let g = group(1, ReplicaReadMode::AllowStale);
+        g.set(b("k"), b("v")).unwrap();
+        g.pump_all();
+        g.delete(b"k").unwrap();
+        g.pump_all();
+        assert_eq!(g.get_replica(0, b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn reordered_replication_respects_generations() {
+        // Apply newer first directly, then pump the older op; replica must
+        // keep the newer value.
+        let g = group(1, ReplicaReadMode::AllowStale);
+        g.set(b("k"), b("old")).unwrap();
+        let g2 = g.set(b("k"), b("new")).unwrap();
+        // Manually apply the newest to the replica ahead of the queue.
+        g.replicas()[0].store().apply_replicated(
+            b("k"),
+            VersionedValue {
+                data: b("new"),
+                generation: g2,
+            },
+        );
+        g.pump_all();
+        assert_eq!(g.get_replica(0, b"k").unwrap(), Some(b("new")));
+    }
+
+    #[test]
+    fn xset_goes_through_master_and_replicates() {
+        let g = group(1, ReplicaReadMode::AllowStale);
+        let (_, g0) = g.xget_master(b"k").unwrap();
+        g.xset(b("k"), b("v1"), g0).unwrap();
+        g.pump_all();
+        assert_eq!(g.get_replica(0, b"k").unwrap(), Some(b("v1")));
+    }
+
+    #[test]
+    fn pump_thread_drains_in_background() {
+        let g = Arc::new(group(1, ReplicaReadMode::AllowStale));
+        let _pump = g.spawn_pump_thread(64, std::time::Duration::from_millis(1));
+        for i in 0..100u32 {
+            g.set(
+                Bytes::from(i.to_le_bytes().to_vec()),
+                Bytes::from_static(b"v"),
+            )
+            .unwrap();
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while g.backlog() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(g.backlog(), 0, "pump thread should drain the queue");
+        assert_eq!(g.get_replica(0, &7u32.to_le_bytes()).unwrap(), Some(b("v")));
+    }
+
+    #[test]
+    fn no_replicas_reads_hit_master() {
+        let g = group(0, ReplicaReadMode::AllowStale);
+        g.set(b("k"), b("v")).unwrap();
+        assert_eq!(g.get_replica(0, b"k").unwrap(), Some(b("v")));
+        assert_eq!(g.pump(10), 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Write-ahead log: durability for a KV node.
+//!
+//! Each mutation is appended as a checksummed record before being applied to
+//! the in-memory store; on restart the log is replayed to rebuild state. A
+//! torn tail (partial final record from a crash mid-append) is detected via
+//! the checksum and truncated away — everything before it is recovered.
+//!
+//! Record layout:
+//! `len u32 LE | checksum u64 LE (over body) | body`
+//! where `body` is the wire-encoded [`WalRecord`].
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use ips_codec::wire::{WireReader, WireWriter};
+use ips_types::{IpsError, Result};
+
+use crate::store::Generation;
+
+/// One logged mutation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    Set {
+        key: Bytes,
+        value: Bytes,
+        generation: Generation,
+    },
+    Delete {
+        key: Bytes,
+    },
+}
+
+const REC_SET: u64 = 1;
+const REC_DELETE: u64 = 2;
+
+impl WalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            WalRecord::Set {
+                key,
+                value,
+                generation,
+            } => {
+                w.put_u64(1, REC_SET);
+                w.put_bytes(2, key);
+                w.put_bytes(3, value);
+                w.put_u64(4, *generation);
+            }
+            WalRecord::Delete { key } => {
+                w.put_u64(1, REC_DELETE);
+                w.put_bytes(2, key);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode(body: &[u8]) -> Result<Self> {
+        let mut kind = 0u64;
+        let mut key: Option<Bytes> = None;
+        let mut value: Option<Bytes> = None;
+        let mut generation = 0u64;
+        WireReader::new(body)
+            .for_each(|f, v| {
+                match f {
+                    1 => kind = v.as_u64(f)?,
+                    2 => key = Some(Bytes::copy_from_slice(v.as_bytes(f)?)),
+                    3 => value = Some(Bytes::copy_from_slice(v.as_bytes(f)?)),
+                    4 => generation = v.as_u64(f)?,
+                    _ => {}
+                }
+                Ok(())
+            })
+            .map_err(|e| IpsError::Codec(e.to_string()))?;
+        let key = key.ok_or_else(|| IpsError::Codec("wal record missing key".into()))?;
+        match kind {
+            REC_SET => Ok(WalRecord::Set {
+                key,
+                value: value
+                    .ok_or_else(|| IpsError::Codec("wal set record missing value".into()))?,
+                generation,
+            }),
+            REC_DELETE => Ok(WalRecord::Delete { key }),
+            other => Err(IpsError::Codec(format!("unknown wal record kind {other}"))),
+        }
+    }
+}
+
+fn fnv(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An append-only write-ahead log backed by a single file.
+pub struct Wal {
+    path: PathBuf,
+    file: Mutex<File>,
+    sync_every_append: bool,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`. Existing records survive.
+    pub fn open(path: impl AsRef<Path>, sync_every_append: bool) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&path)
+            .map_err(|e| IpsError::Storage(format!("open wal {path:?}: {e}")))?;
+        Ok(Self {
+            path,
+            file: Mutex::new(file),
+            sync_every_append: sync_every_append,
+        })
+    }
+
+    /// Append one record; returns once it is on its way to disk (fsync'd if
+    /// configured).
+    pub fn append(&self, record: &WalRecord) -> Result<()> {
+        let body = record.encode();
+        let mut frame = Vec::with_capacity(body.len() + 12);
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        let mut file = self.file.lock();
+        file.write_all(&frame)
+            .map_err(|e| IpsError::Storage(format!("wal append: {e}")))?;
+        if self.sync_every_append {
+            file.sync_data()
+                .map_err(|e| IpsError::Storage(format!("wal sync: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Replay the log from the start. Stops cleanly at a torn tail and
+    /// truncates it so subsequent appends continue from a valid boundary.
+    /// Returns the recovered records in append order.
+    pub fn replay(&self) -> Result<Vec<WalRecord>> {
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(0))
+            .map_err(|e| IpsError::Storage(format!("wal seek: {e}")))?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)
+            .map_err(|e| IpsError::Storage(format!("wal read: {e}")))?;
+
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        let mut valid_end = 0usize;
+        while pos + 12 <= data.len() {
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            let checksum = u64::from_le_bytes(data[pos + 4..pos + 12].try_into().unwrap());
+            let body_start = pos + 12;
+            let body_end = match body_start.checked_add(len) {
+                Some(e) if e <= data.len() => e,
+                _ => break, // torn tail
+            };
+            let body = &data[body_start..body_end];
+            if fnv(body) != checksum {
+                break; // torn or corrupt tail
+            }
+            match WalRecord::decode(body) {
+                Ok(rec) => records.push(rec),
+                Err(_) => break,
+            }
+            pos = body_end;
+            valid_end = body_end;
+        }
+
+        if valid_end < data.len() {
+            // Truncate the torn tail so future appends start at a boundary.
+            file.set_len(valid_end as u64)
+                .map_err(|e| IpsError::Storage(format!("wal truncate: {e}")))?;
+        }
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| IpsError::Storage(format!("wal seek end: {e}")))?;
+        Ok(records)
+    }
+
+    /// Truncate the log to empty (after a snapshot/compaction of the store).
+    pub fn reset(&self) -> Result<()> {
+        let file = self.file.lock();
+        file.set_len(0)
+            .map_err(|e| IpsError::Storage(format!("wal reset: {e}")))?;
+        Ok(())
+    }
+
+    /// Size of the log file in bytes.
+    pub fn size_bytes(&self) -> Result<u64> {
+        let file = self.file.lock();
+        file.metadata()
+            .map(|m| m.len())
+            .map_err(|e| IpsError::Storage(format!("wal stat: {e}")))
+    }
+
+    /// The log's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "ips-wal-test-{}-{}-{name}.log",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        p
+    }
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let path = tmp("basic");
+        let wal = Wal::open(&path, false).unwrap();
+        wal.append(&WalRecord::Set {
+            key: b("k1"),
+            value: b("v1"),
+            generation: 1,
+        })
+        .unwrap();
+        wal.append(&WalRecord::Delete { key: b("k1") }).unwrap();
+        drop(wal);
+
+        let wal = Wal::open(&path, false).unwrap();
+        let recs = wal.replay().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert!(matches!(recs[0], WalRecord::Set { ref key, .. } if key == "k1"));
+        assert!(matches!(recs[1], WalRecord::Delete { ref key } if key == "k1"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_empty_log() {
+        let path = tmp("empty");
+        let wal = Wal::open(&path, false).unwrap();
+        assert!(wal.replay().unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_recoverable() {
+        let path = tmp("torn");
+        {
+            let wal = Wal::open(&path, false).unwrap();
+            for i in 0..10u64 {
+                wal.append(&WalRecord::Set {
+                    key: Bytes::from(i.to_le_bytes().to_vec()),
+                    value: Bytes::from(vec![0u8; 50]),
+                    generation: i,
+                })
+                .unwrap();
+            }
+        }
+        // Tear the last record by chopping bytes off the file.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 7).unwrap();
+        drop(f);
+
+        let wal = Wal::open(&path, false).unwrap();
+        let recs = wal.replay().unwrap();
+        assert_eq!(recs.len(), 9, "last record torn, rest recovered");
+
+        // Appending after recovery lands on a clean boundary.
+        wal.append(&WalRecord::Set {
+            key: b("new"),
+            value: b("val"),
+            generation: 99,
+        })
+        .unwrap();
+        let recs = wal.replay().unwrap();
+        assert_eq!(recs.len(), 10);
+        assert!(matches!(recs[9], WalRecord::Set { generation: 99, .. }));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_middle_stops_replay_at_corruption() {
+        let path = tmp("corrupt");
+        {
+            let wal = Wal::open(&path, false).unwrap();
+            for i in 0..5u64 {
+                wal.append(&WalRecord::Set {
+                    key: Bytes::from(i.to_le_bytes().to_vec()),
+                    value: b("x"),
+                    generation: i,
+                })
+                .unwrap();
+            }
+        }
+        // Flip a byte in the middle of the file (body of some record).
+        let mut data = std::fs::read(&path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xff;
+        std::fs::write(&path, &data).unwrap();
+
+        let wal = Wal::open(&path, false).unwrap();
+        let recs = wal.replay().unwrap();
+        assert!(recs.len() < 5, "replay must stop at corruption");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reset_empties_log() {
+        let path = tmp("reset");
+        let wal = Wal::open(&path, false).unwrap();
+        wal.append(&WalRecord::Delete { key: b("k") }).unwrap();
+        assert!(wal.size_bytes().unwrap() > 0);
+        wal.reset().unwrap();
+        assert_eq!(wal.size_bytes().unwrap(), 0);
+        assert!(wal.replay().unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_encoding_round_trips() {
+        let set = WalRecord::Set {
+            key: b("key-with-bytes"),
+            value: Bytes::from(vec![0u8, 255, 7]),
+            generation: u64::MAX,
+        };
+        assert_eq!(WalRecord::decode(&set.encode()).unwrap(), set);
+        let del = WalRecord::Delete { key: b("") };
+        assert_eq!(WalRecord::decode(&del.encode()).unwrap(), del);
+    }
+
+    #[test]
+    fn synced_appends_work() {
+        let path = tmp("sync");
+        let wal = Wal::open(&path, true).unwrap();
+        wal.append(&WalRecord::Delete { key: b("k") }).unwrap();
+        assert_eq!(wal.replay().unwrap().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,402 @@
+//! A log-bucketed latency histogram.
+//!
+//! Values (typically microseconds) are mapped to buckets with bounded
+//! relative error: each power-of-two range is subdivided into
+//! `SUB_BUCKETS` linear sub-buckets, giving a worst-case relative error of
+//! `1 / SUB_BUCKETS` (~1.6% with 64 sub-buckets) — plenty for p50/p99
+//! reporting. Recording is a single atomic increment, so histograms can be
+//! shared across serving threads without locks.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power-of-two range. Must be a power of two.
+const SUB_BUCKETS: usize = 64;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+/// Values up to 2^40 (~12.7 days in microseconds) are representable.
+const MAX_EXPONENT: u32 = 40;
+const BUCKETS: usize = ((MAX_EXPONENT - SUB_BITS) as usize + 1) * SUB_BUCKETS;
+
+/// A concurrent log-bucketed histogram of `u64` values.
+pub struct Histogram {
+    counts: Box<[AtomicU64]>,
+    total: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        let counts = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            counts,
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Map a value to its bucket index.
+    #[inline]
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            // Values below SUB_BUCKETS are exact.
+            return value as usize;
+        }
+        let exp = 63 - value.leading_zeros(); // floor(log2(value)), >= SUB_BITS
+        let exp = exp.min(MAX_EXPONENT);
+        let shifted = if exp >= MAX_EXPONENT {
+            SUB_BUCKETS as u64 - 1
+        } else {
+            // Take the SUB_BITS bits below the leading bit as the sub-bucket.
+            (value >> (exp - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)
+        };
+        (((exp - SUB_BITS + 1) as usize) * SUB_BUCKETS + shifted as usize).min(BUCKETS - 1)
+    }
+
+    /// Representative (upper-bound) value for a bucket index.
+    #[inline]
+    fn bucket_value(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let range = index / SUB_BUCKETS; // >= 1
+        let sub = (index % SUB_BUCKETS) as u64;
+        let exp = range as u32 + SUB_BITS - 1;
+        (1u64 << exp) + ((sub + 1) << (exp - SUB_BITS)) - 1
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let idx = Self::bucket_index(value);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Take a consistent-enough snapshot for reporting. (Concurrent records
+    /// may straddle the snapshot; for reporting purposes that is fine.)
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            total,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all buckets to zero.
+    pub fn reset(&self) {
+        for c in self.counts.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.total.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+    }
+
+    /// Shortcut: percentile straight off the live histogram.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.snapshot().percentile(p)
+    }
+
+    /// Shortcut: mean straight off the live histogram.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.snapshot().mean()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.snapshot();
+        write!(
+            f,
+            "Histogram(n={}, p50={}, p99={}, max={})",
+            s.total,
+            s.percentile(50.0),
+            s.percentile(99.0),
+            s.max
+        )
+    }
+}
+
+/// An immutable snapshot of a [`Histogram`].
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    max: u64,
+    min: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (useful as a merge accumulator).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Arithmetic mean of recorded values.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at percentile `p` (0–100). Returns the upper bound of the
+    /// bucket containing the p-th ranked sample, clamped by the observed max.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The top bucket absorbs everything past the representable
+                // range; its only honest representative is the observed max.
+                if idx == BUCKETS - 1 {
+                    return self.max;
+                }
+                return Histogram::bucket_value(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another snapshot into this one (for cross-thread aggregation).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Render `p50/p90/p99/p999 mean max` as a one-line summary, with values
+    /// interpreted in microseconds.
+    #[must_use]
+    pub fn summary_us(&self) -> String {
+        format!(
+            "n={} p50={:.3}ms p90={:.3}ms p99={:.3}ms p999={:.3}ms mean={:.3}ms max={:.3}ms",
+            self.total,
+            self.percentile(50.0) as f64 / 1_000.0,
+            self.percentile(90.0) as f64 / 1_000.0,
+            self.percentile(99.0) as f64 / 1_000.0,
+            self.percentile(99.9) as f64 / 1_000.0,
+            self.mean() / 1_000.0,
+            self.max() as f64 / 1_000.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), SUB_BUCKETS as u64);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), SUB_BUCKETS as u64 - 1);
+        // p50 of 0..64 is 31 or 32 depending on rank convention; allow both.
+        let p50 = s.percentile(50.0);
+        assert!((31..=32).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let h = Histogram::new();
+        // Check round-trip error over a wide range of magnitudes.
+        for exp in 6..40u32 {
+            let v = (1u64 << exp) + (1u64 << (exp - 2)) + 7;
+            let idx = Histogram::bucket_index(v);
+            let rep = Histogram::bucket_value(idx);
+            let err = (rep as f64 - v as f64).abs() / v as f64;
+            assert!(
+                err <= 1.0 / SUB_BUCKETS as f64 + 1e-9,
+                "v={v} rep={rep} err={err}"
+            );
+            assert!(rep >= v, "bucket value must be an upper bound: v={v} rep={rep}");
+        }
+        drop(h);
+    }
+
+    #[test]
+    fn bucket_index_is_monotonic() {
+        let mut prev = 0;
+        for v in (0..1_000_000u64).step_by(997) {
+            let idx = Histogram::bucket_index(v);
+            assert!(idx >= prev, "index must not decrease: v={v}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let h = Histogram::new();
+        // 900 values at ~1000, 100 values at ~10_000.
+        for _ in 0..900 {
+            h.record(1_000);
+        }
+        for _ in 0..100 {
+            h.record(10_000);
+        }
+        let s = h.snapshot();
+        let p50 = s.percentile(50.0) as f64;
+        let p99 = s.percentile(99.0) as f64;
+        assert!((p50 - 1_000.0).abs() / 1_000.0 < 0.05, "p50={p50}");
+        assert!((p99 - 10_000.0).abs() / 10_000.0 < 0.05, "p99={p99}");
+        assert_eq!(s.percentile(0.0), s.percentile(0.0001));
+        assert_eq!(s.max(), 10_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.percentile(99.0), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for _ in 0..100 {
+            a.record(100);
+            b.record(10_000);
+        }
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count(), 200);
+        let p25 = s.percentile(25.0);
+        let p75 = s.percentile(75.0);
+        assert!(p25 <= 101, "p25={p25}");
+        assert!(p75 >= 9_000, "p75={p75}");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let h = Histogram::new();
+        h.record(5);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.snapshot().max(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + i % 100);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+
+    #[test]
+    fn giant_values_clamp_into_last_range() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 62);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        // p100 clamps to observed max.
+        assert_eq!(s.percentile(100.0), u64::MAX);
+    }
+
+    #[test]
+    fn summary_renders() {
+        let h = Histogram::new();
+        h.record(1_500);
+        let line = h.snapshot().summary_us();
+        assert!(line.contains("n=1"));
+        assert!(line.contains("ms"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Observability substrate for `ips-rs`.
+//!
+//! Every experiment in the paper's evaluation section reports latency
+//! percentiles (p50/p99), throughput, error rates, cache hit ratios or memory
+//! usage over time. This crate provides the measurement primitives those
+//! harnesses (and the servers themselves) use:
+//!
+//! * [`Histogram`] — a log-bucketed (HDR-style) latency histogram with
+//!   lock-free recording and percentile queries;
+//! * [`Counter`] / [`Gauge`] — atomic scalar metrics;
+//! * [`WindowedRate`] — events-per-second over a sliding window, driven by a
+//!   [`ips_types::Clock`] so it works under simulated time;
+//! * [`TimeSeries`] — an append-only `(timestamp, value)` recorder with
+//!   bucketed downsampling and plain-text rendering for harness output.
+
+pub mod counter;
+pub mod histogram;
+pub mod rate;
+pub mod series;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use rate::WindowedRate;
+pub use series::{SeriesPoint, TimeSeries};

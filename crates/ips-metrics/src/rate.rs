@@ -1,0 +1,139 @@
+//! Sliding-window event-rate estimation.
+//!
+//! Quota enforcement (§V-b) and the error-rate experiment (Fig 17) both need
+//! "events per second over the recent past" under either wall or simulated
+//! time, so the window is driven by an [`ips_types::Clock`].
+
+use parking_lot::Mutex;
+
+use ips_types::{DurationMs, SharedClock, Timestamp};
+
+/// Events-per-second over a sliding window, implemented as a ring of
+/// fixed-width sub-buckets (the classic approximation: expired buckets are
+/// zeroed lazily as time advances).
+pub struct WindowedRate {
+    clock: SharedClock,
+    bucket_width: DurationMs,
+    inner: Mutex<Ring>,
+}
+
+struct Ring {
+    buckets: Vec<u64>,
+    /// Bucket epoch of index 0's most recent reset.
+    epochs: Vec<u64>,
+}
+
+impl WindowedRate {
+    /// A rate estimator with the given window split into `buckets`
+    /// sub-buckets. More buckets means finer expiry granularity.
+    #[must_use]
+    pub fn new(clock: SharedClock, window: DurationMs, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        let width = DurationMs::from_millis((window.as_millis() / buckets as u64).max(1));
+        Self {
+            clock,
+            bucket_width: width,
+            inner: Mutex::new(Ring {
+                buckets: vec![0; buckets],
+                epochs: vec![u64::MAX; buckets],
+            }),
+        }
+    }
+
+    fn epoch_of(&self, t: Timestamp) -> u64 {
+        t.as_millis() / self.bucket_width.as_millis()
+    }
+
+    /// Record `n` events now.
+    pub fn record(&self, n: u64) {
+        let now = self.clock.now();
+        let epoch = self.epoch_of(now);
+        let mut ring = self.inner.lock();
+        let len = ring.buckets.len();
+        let idx = (epoch % len as u64) as usize;
+        if ring.epochs[idx] != epoch {
+            ring.buckets[idx] = 0;
+            ring.epochs[idx] = epoch;
+        }
+        ring.buckets[idx] += n;
+    }
+
+    /// Total events within the window ending now.
+    #[must_use]
+    pub fn events_in_window(&self) -> u64 {
+        let now = self.clock.now();
+        let epoch = self.epoch_of(now);
+        let ring = self.inner.lock();
+        let len = ring.buckets.len() as u64;
+        ring.epochs
+            .iter()
+            .zip(ring.buckets.iter())
+            .filter(|(e, _)| **e != u64::MAX && epoch.saturating_sub(**e) < len)
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Estimated events per second over the window.
+    #[must_use]
+    pub fn per_second(&self) -> f64 {
+        let window_ms = self.bucket_width.as_millis() * self.window_buckets() as u64;
+        if window_ms == 0 {
+            return 0.0;
+        }
+        self.events_in_window() as f64 * 1_000.0 / window_ms as f64
+    }
+
+    fn window_buckets(&self) -> usize {
+        self.inner.lock().buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_types::clock::sim_clock;
+
+    #[test]
+    fn counts_events_in_window() {
+        let (clock, ctl) = sim_clock(Timestamp::from_millis(10_000));
+        let r = WindowedRate::new(clock, DurationMs::from_secs(1), 10);
+        r.record(5);
+        ctl.advance(DurationMs::from_millis(100));
+        r.record(5);
+        assert_eq!(r.events_in_window(), 10);
+        assert!((r.per_second() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn old_events_expire() {
+        let (clock, ctl) = sim_clock(Timestamp::from_millis(10_000));
+        let r = WindowedRate::new(clock, DurationMs::from_secs(1), 10);
+        r.record(100);
+        ctl.advance(DurationMs::from_millis(2_000));
+        assert_eq!(r.events_in_window(), 0);
+    }
+
+    #[test]
+    fn partial_expiry() {
+        let (clock, ctl) = sim_clock(Timestamp::from_millis(10_000));
+        let r = WindowedRate::new(clock, DurationMs::from_secs(1), 10);
+        r.record(10); // bucket at t=10s
+        ctl.advance(DurationMs::from_millis(500));
+        r.record(20); // bucket at t=10.5s
+        ctl.advance(DurationMs::from_millis(600));
+        // First record is now 1.1s old -> expired; second is 0.6s old -> live.
+        assert_eq!(r.events_in_window(), 20);
+    }
+
+    #[test]
+    fn bucket_reuse_after_wraparound() {
+        let (clock, ctl) = sim_clock(Timestamp::from_millis(0));
+        let r = WindowedRate::new(clock, DurationMs::from_secs(1), 4);
+        r.record(7);
+        // Advance exactly one full window plus one bucket: the ring index of
+        // the first record is reused and must be reset, not accumulated.
+        ctl.advance(DurationMs::from_millis(1_250));
+        r.record(3);
+        assert_eq!(r.events_in_window(), 3);
+    }
+}

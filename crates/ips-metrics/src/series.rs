@@ -1,0 +1,232 @@
+//! Time-series recording for experiment harnesses.
+//!
+//! Each harness reproduces one of the paper's figures — a value plotted over
+//! simulated hours or days. [`TimeSeries`] collects `(timestamp, value)`
+//! points, downsamples them into fixed-width buckets, and renders plain-text
+//! tables / ASCII sparklines so `cargo run --bin fig16_query_diurnal` output
+//! can be compared directly with the figure's shape.
+
+use parking_lot::Mutex;
+
+use ips_types::{DurationMs, Timestamp};
+
+/// One observation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesPoint {
+    pub at: Timestamp,
+    pub value: f64,
+}
+
+/// An append-only named series of observations.
+pub struct TimeSeries {
+    name: String,
+    points: Mutex<Vec<SeriesPoint>>,
+}
+
+impl TimeSeries {
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Mutex::new(Vec::new()),
+        }
+    }
+
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Append one observation.
+    pub fn push(&self, at: Timestamp, value: f64) {
+        self.points.lock().push(SeriesPoint { at, value });
+    }
+
+    /// Number of raw observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.lock().len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the raw points, sorted by time.
+    #[must_use]
+    pub fn points(&self) -> Vec<SeriesPoint> {
+        let mut pts = self.points.lock().clone();
+        pts.sort_by_key(|p| p.at);
+        pts
+    }
+
+    /// Downsample into `bucket`-wide means: one output point per non-empty
+    /// bucket, stamped at the bucket start.
+    #[must_use]
+    pub fn downsample_mean(&self, bucket: DurationMs) -> Vec<SeriesPoint> {
+        self.downsample(bucket, |vals| {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        })
+    }
+
+    /// Downsample into `bucket`-wide maxima.
+    #[must_use]
+    pub fn downsample_max(&self, bucket: DurationMs) -> Vec<SeriesPoint> {
+        self.downsample(bucket, |vals| {
+            vals.iter().fold(f64::MIN, |a, b| a.max(*b))
+        })
+    }
+
+    fn downsample(&self, bucket: DurationMs, f: impl Fn(&[f64]) -> f64) -> Vec<SeriesPoint> {
+        assert!(!bucket.is_zero(), "bucket width must be positive");
+        let pts = self.points();
+        let mut out = Vec::new();
+        let mut cur_epoch: Option<u64> = None;
+        let mut acc: Vec<f64> = Vec::new();
+        for p in pts {
+            let epoch = p.at.as_millis() / bucket.as_millis();
+            if cur_epoch != Some(epoch) {
+                if let Some(e) = cur_epoch {
+                    out.push(SeriesPoint {
+                        at: Timestamp::from_millis(e * bucket.as_millis()),
+                        value: f(&acc),
+                    });
+                }
+                cur_epoch = Some(epoch);
+                acc.clear();
+            }
+            acc.push(p.value);
+        }
+        if let Some(e) = cur_epoch {
+            out.push(SeriesPoint {
+                at: Timestamp::from_millis(e * bucket.as_millis()),
+                value: f(&acc),
+            });
+        }
+        out
+    }
+
+    /// Render the downsampled series as a fixed-width text table with an
+    /// inline bar chart, time expressed in hours from the first point.
+    #[must_use]
+    pub fn render_table(&self, bucket: DurationMs, unit: &str) -> String {
+        let pts = self.downsample_mean(bucket);
+        if pts.is_empty() {
+            return format!("{}: (no data)\n", self.name);
+        }
+        let t0 = pts[0].at;
+        let max = pts.iter().fold(f64::MIN, |a, p| a.max(p.value));
+        let min = pts.iter().fold(f64::MAX, |a, p| a.min(p.value));
+        let span = (max - min).max(f64::EPSILON);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# {} (bucket={}, min={:.3}, max={:.3} {unit})\n",
+            self.name, bucket, min, max
+        ));
+        for p in &pts {
+            let hours = (p.at.as_millis() - t0.as_millis()) as f64 / 3_600_000.0;
+            let bar_len = (((p.value - min) / span) * 40.0).round() as usize;
+            out.push_str(&format!(
+                "{hours:>8.2}h {:>14.3} {unit} |{}\n",
+                p.value,
+                "#".repeat(bar_len)
+            ));
+        }
+        out
+    }
+
+    /// Overall mean of all raw points.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let pts = self.points.lock();
+        if pts.is_empty() {
+            return 0.0;
+        }
+        pts.iter().map(|p| p.value).sum::<f64>() / pts.len() as f64
+    }
+
+    /// Maximum of all raw points; 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.points
+            .lock()
+            .iter()
+            .fold(0.0f64, |a, p| a.max(p.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> Timestamp {
+        Timestamp::from_millis(x)
+    }
+
+    #[test]
+    fn push_and_read_back_sorted() {
+        let s = TimeSeries::new("t");
+        s.push(ms(200), 2.0);
+        s.push(ms(100), 1.0);
+        let pts = s.points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].at, ms(100));
+    }
+
+    #[test]
+    fn downsample_means_per_bucket() {
+        let s = TimeSeries::new("t");
+        s.push(ms(0), 1.0);
+        s.push(ms(10), 3.0);
+        s.push(ms(1_000), 10.0);
+        let d = s.downsample_mean(DurationMs::from_secs(1));
+        assert_eq!(d.len(), 2);
+        assert!((d[0].value - 2.0).abs() < 1e-9);
+        assert!((d[1].value - 10.0).abs() < 1e-9);
+        assert_eq!(d[1].at, ms(1_000));
+    }
+
+    #[test]
+    fn downsample_max_takes_peak() {
+        let s = TimeSeries::new("t");
+        s.push(ms(0), 1.0);
+        s.push(ms(1), 7.0);
+        s.push(ms(2), 3.0);
+        let d = s.downsample_max(DurationMs::from_secs(1));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].value, 7.0);
+    }
+
+    #[test]
+    fn empty_bucket_gap_is_skipped() {
+        let s = TimeSeries::new("t");
+        s.push(ms(0), 1.0);
+        s.push(ms(5_000), 2.0);
+        let d = s.downsample_mean(DurationMs::from_secs(1));
+        assert_eq!(d.len(), 2, "no synthetic zero points for empty buckets");
+    }
+
+    #[test]
+    fn render_contains_name_and_bars() {
+        let s = TimeSeries::new("qps");
+        for i in 0..10 {
+            s.push(ms(i * 60_000), i as f64);
+        }
+        let table = s.render_table(DurationMs::from_mins(1), "qps");
+        assert!(table.contains("# qps"));
+        assert!(table.contains('#'));
+        assert!(table.lines().count() >= 10);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let s = TimeSeries::new("t");
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        s.push(ms(0), 2.0);
+        s.push(ms(1), 4.0);
+        assert!((s.mean() - 3.0).abs() < 1e-9);
+        assert_eq!(s.max(), 4.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests on the metrics substrate — these histograms sit
+//! under every latency number the experiment harnesses report, so their
+//! invariants deserve the same rigour as the data path.
+
+use proptest::prelude::*;
+
+use ips_metrics::{Histogram, TimeSeries};
+use ips_types::{DurationMs, Timestamp};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn percentiles_are_bounded_and_monotonic(
+        values in proptest::collection::vec(0u64..10_000_000, 1..500),
+    ) {
+        let h = Histogram::new();
+        for v in &values {
+            h.record(*v);
+        }
+        let s = h.snapshot();
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(s.count(), values.len() as u64);
+        prop_assert_eq!(s.min(), min);
+        prop_assert_eq!(s.max(), max);
+
+        let mut prev = 0u64;
+        for p in [0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0] {
+            let v = s.percentile(p);
+            prop_assert!(v >= prev, "percentile must be monotonic in p");
+            prop_assert!(v <= max, "percentile {p} = {v} exceeds max {max}");
+            prev = v;
+        }
+        // The bucketed p-values carry bounded relative error vs exact ranks.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for p in [50.0, 90.0, 99.0] {
+            let rank = (((p / 100.0) * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = sorted[rank] as f64;
+            let approx = s.percentile(p) as f64;
+            if exact >= 64.0 {
+                let err = (approx - exact).abs() / exact;
+                prop_assert!(err < 0.05, "p{p}: approx {approx} vs exact {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one(
+        a in proptest::collection::vec(0u64..1_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let hall = Histogram::new();
+        for v in &a {
+            ha.record(*v);
+            hall.record(*v);
+        }
+        for v in &b {
+            hb.record(*v);
+            hall.record(*v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        let all = hall.snapshot();
+        prop_assert_eq!(merged.count(), all.count());
+        prop_assert_eq!(merged.min(), all.min());
+        prop_assert_eq!(merged.max(), all.max());
+        for p in [25.0, 50.0, 90.0, 99.0] {
+            prop_assert_eq!(merged.percentile(p), all.percentile(p));
+        }
+    }
+
+    #[test]
+    fn downsampled_means_stay_within_value_range(
+        points in proptest::collection::vec((0u64..1_000_000, -1e6f64..1e6), 1..300),
+        bucket_ms in 1u64..100_000,
+    ) {
+        let series = TimeSeries::new("prop");
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for (t, v) in &points {
+            series.push(Timestamp::from_millis(*t), *v);
+            lo = lo.min(*v);
+            hi = hi.max(*v);
+        }
+        let down = series.downsample_mean(DurationMs::from_millis(bucket_ms));
+        prop_assert!(!down.is_empty());
+        prop_assert!(down.len() <= points.len());
+        for p in &down {
+            prop_assert!(p.value >= lo - 1e-9 && p.value <= hi + 1e-9);
+        }
+        // Bucket starts are strictly increasing.
+        for w in down.windows(2) {
+            prop_assert!(w[0].at < w[1].at);
+        }
+    }
+}

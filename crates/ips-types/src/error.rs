@@ -1,0 +1,108 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+use crate::ids::{CallerId, ProfileId, TableId};
+
+/// The error type shared across the workspace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IpsError {
+    /// The requested table does not exist on this instance.
+    UnknownTable(TableId),
+    /// The requested profile does not exist (and the storage layer confirmed
+    /// the miss).
+    ProfileNotFound { table: TableId, profile: ProfileId },
+    /// A write or query carried invalid parameters.
+    InvalidRequest(String),
+    /// A configuration failed validation.
+    InvalidConfig(String),
+    /// Per-caller QPS quota exceeded; the request was rejected (§V-b).
+    QuotaExceeded(CallerId),
+    /// The persistent key-value store reported a failure.
+    Storage(String),
+    /// A versioned storage operation lost the race: the held generation is
+    /// stale and the value must be reloaded (Fig 14).
+    StaleGeneration { held: u64, current: u64 },
+    /// Serialization or deserialization failed.
+    Codec(String),
+    /// A remote call failed (timeout, connection refused, node down).
+    Rpc(String),
+    /// No healthy instance is available to serve the key.
+    Unavailable(String),
+    /// The instance is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for IpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpsError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            IpsError::ProfileNotFound { table, profile } => {
+                write!(f, "profile {profile} not found in table {table}")
+            }
+            IpsError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            IpsError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            IpsError::QuotaExceeded(c) => write!(f, "quota exceeded for caller {c}"),
+            IpsError::Storage(msg) => write!(f, "storage error: {msg}"),
+            IpsError::StaleGeneration { held, current } => {
+                write!(f, "stale generation: held {held}, current {current}")
+            }
+            IpsError::Codec(msg) => write!(f, "codec error: {msg}"),
+            IpsError::Rpc(msg) => write!(f, "rpc error: {msg}"),
+            IpsError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
+            IpsError::ShuttingDown => write!(f, "instance shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for IpsError {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, IpsError>;
+
+impl IpsError {
+    /// Whether a client should retry this error on another replica/region.
+    /// Quota rejections and invalid requests are terminal; infrastructure
+    /// failures are retryable (the behaviour behind Fig 17's low error rate).
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            IpsError::Storage(_)
+                | IpsError::Rpc(_)
+                | IpsError::Unavailable(_)
+                | IpsError::StaleGeneration { .. }
+                | IpsError::ShuttingDown
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = IpsError::ProfileNotFound {
+            table: TableId::new(1),
+            profile: ProfileId::new(42),
+        };
+        let s = e.to_string();
+        assert!(s.contains("42") && s.contains('1'));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(IpsError::Rpc("timeout".into()).is_retryable());
+        assert!(IpsError::Unavailable("no node".into()).is_retryable());
+        assert!(IpsError::StaleGeneration { held: 1, current: 2 }.is_retryable());
+        assert!(!IpsError::QuotaExceeded(CallerId::new(7)).is_retryable());
+        assert!(!IpsError::InvalidRequest("bad".into()).is_retryable());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&IpsError::ShuttingDown);
+    }
+}

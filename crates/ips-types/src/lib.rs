@@ -1,0 +1,30 @@
+//! Shared vocabulary for the `ips-rs` workspace.
+//!
+//! This crate defines the primitive types every other crate speaks:
+//! identifiers ([`ProfileId`], [`FeatureId`], [`SlotId`], [`ActionTypeId`]),
+//! time ([`Timestamp`], [`TimeRange`], [`clock::Clock`]), feature statistics
+//! ([`CountVector`]), the aggregate and decay functions applied during query
+//! processing, the configuration structures that drive compaction, truncation,
+//! shrinking, caching, quota and isolation, and the workspace-wide error type.
+//!
+//! Keeping these in a leaf crate lets the storage substrate, the core profile
+//! engine, the cluster layer and the benchmark harness agree on data shapes
+//! without depending on each other.
+
+pub mod clock;
+pub mod config;
+pub mod counts;
+pub mod error;
+pub mod ids;
+pub mod time;
+
+pub use clock::{Clock, SharedClock, SimClock, SystemClock};
+pub use config::{
+    AggregateFunction, CacheConfig, CompactionConfig, IsolationConfig, PersistenceMode,
+    QuotaConfig, ShrinkConfig, SortKey, SortOrder, TableConfig, TimeDimensionConfig,
+    TruncateConfig,
+};
+pub use counts::{CountVector, MAX_ATTRIBUTES};
+pub use error::{IpsError, Result};
+pub use ids::{ActionTypeId, CallerId, FeatureId, ProfileId, SlotId, TableId};
+pub use time::{DurationMs, TimeRange, Timestamp};

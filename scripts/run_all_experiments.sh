@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Run every paper-reproduction harness in sequence (release mode).
+# Each binary prints its figure/table series and asserts the qualitative
+# claims, so a clean exit here means every shape check passed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BINS=(
+  fig16_query_diurnal
+  fig17_error_rate
+  table2_hit_miss_latency
+  fig18_cache_hit_memory
+  fig19_write_diurnal
+  ablation_isolation
+  memory_growth_year
+  ablation_sharded_lru
+  ablation_compaction
+  baseline_lambda_compare
+  baseline_preagg_compare
+  freshness_e2e
+  quota_enforcement
+)
+
+cargo build --release -p ips-bench --bins
+
+for bin in "${BINS[@]}"; do
+  echo
+  echo ">>> $bin"
+  "./target/release/$bin"
+done
+
+echo
+echo "All ${#BINS[@]} experiment harnesses passed."
