@@ -21,9 +21,7 @@ use std::collections::{HashMap, VecDeque};
 use parking_lot::RwLock;
 
 use ips_metrics::Counter;
-use ips_types::{
-    ActionTypeId, CountVector, DurationMs, FeatureId, ProfileId, SlotId, Timestamp,
-};
+use ips_types::{ActionTypeId, CountVector, DurationMs, FeatureId, ProfileId, SlotId, Timestamp};
 
 /// The content store: item id → categorical info, maintained separately
 /// from the profile services (one more dependency to operate).
@@ -40,7 +38,9 @@ impl ContentStore {
     }
 
     pub fn put(&self, item: u64, slot: SlotId, action_type: ActionTypeId, feature: FeatureId) {
-        self.items.write().insert(item, (slot, action_type, feature));
+        self.items
+            .write()
+            .insert(item, (slot, action_type, feature));
     }
 
     #[must_use]
@@ -236,7 +236,8 @@ impl LambdaProfileService {
             if list.len() < self.short_term_capacity {
                 true // nothing has been dropped for this user yet
             } else {
-                list.back().is_some_and(|(_, oldest)| *oldest <= window_start)
+                list.back()
+                    .is_some_and(|(_, oldest)| *oldest <= window_start)
             }
         });
         // "Entire history" queries are the long-term view's only shape.
@@ -254,12 +255,7 @@ impl LambdaProfileService {
             .flat_map(|slots| slots.values())
             .map(|features| features.len() * 32)
             .sum();
-        let st: usize = self
-            .short_term
-            .read()
-            .values()
-            .map(|l| l.len() * 16)
-            .sum();
+        let st: usize = self.short_term.read().values().map(|l| l.len() * 16).sum();
         lt + st + self.log.read().len() * std::mem::size_of::<LoggedEvent>()
     }
 }
@@ -277,12 +273,8 @@ mod tests {
     fn service() -> LambdaProfileService {
         let s = LambdaProfileService::new(100);
         for item in 0..50u64 {
-            s.content_store().put(
-                item,
-                SLOT,
-                ActionTypeId::new(1),
-                FeatureId::new(item * 10),
-            );
+            s.content_store()
+                .put(item, SLOT, ActionTypeId::new(1), FeatureId::new(item * 10));
         }
         s
     }
@@ -301,7 +293,8 @@ mod tests {
         let s = service();
         s.record(event(1, 5, 1_000));
         assert!(
-            s.query_long_term_top_k(ProfileId::new(1), SLOT, 0, 10).is_empty(),
+            s.query_long_term_top_k(ProfileId::new(1), SLOT, 0, 10)
+                .is_empty(),
             "nothing visible before the nightly batch"
         );
         s.run_batch_job(ts(86_400_000));
@@ -349,7 +342,9 @@ mod tests {
     #[test]
     fn unknown_user_is_empty() {
         let s = service();
-        assert!(s.query_long_term_top_k(ProfileId::new(404), SLOT, 0, 5).is_empty());
+        assert!(s
+            .query_long_term_top_k(ProfileId::new(404), SLOT, 0, 5)
+            .is_empty());
         assert!(s.query_short_term_ids(ProfileId::new(404), 5).is_empty());
     }
 
@@ -390,6 +385,8 @@ mod tests {
         let s = service();
         s.record(event(1, 9_999, 1_000)); // not in content store
         s.run_batch_job(ts(10_000));
-        assert!(s.query_long_term_top_k(ProfileId::new(1), SLOT, 0, 5).is_empty());
+        assert!(s
+            .query_long_term_top_k(ProfileId::new(1), SLOT, 0, 5)
+            .is_empty());
     }
 }

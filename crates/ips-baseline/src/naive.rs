@@ -150,7 +150,10 @@ mod tests {
         }
         let snap = s.snapshot();
         assert_eq!(snap.profiles, 1);
-        assert_eq!(snap.total_slices, 288, "no compaction: one slice per bucket");
+        assert_eq!(
+            snap.total_slices, 288,
+            "no compaction: one slice per bucket"
+        );
     }
 
     #[test]
@@ -158,7 +161,14 @@ mod tests {
         let s = store();
         let user = ProfileId::new(1);
         for i in 0..10u64 {
-            s.record(user, ts(i * 300_000), SLOT, LIKE, FeatureId::new(7), &CountVector::single(1));
+            s.record(
+                user,
+                ts(i * 300_000),
+                SLOT,
+                LIKE,
+                FeatureId::new(7),
+                &CountVector::single(1),
+            );
         }
         let q = ProfileQuery::top_k(TableId::new(1), user, SLOT, TimeRange::last_days(1), 5);
         let r = s.query(&q, ts(10 * 300_000));

@@ -89,10 +89,7 @@ impl PreAggStore {
                 .or_insert_with(CountVector::empty)
                 .merge_sum(counts);
             // Expire buckets older than the window.
-            let min_epoch = at
-                .saturating_sub(*window)
-                .as_millis()
-                / width;
+            let min_epoch = at.saturating_sub(*window).as_millis() / width;
             entry.buckets.retain(|e, _| *e >= min_epoch);
         }
     }
@@ -287,7 +284,13 @@ mod tests {
     fn unknown_user_empty() {
         let s = store();
         assert_eq!(
-            s.query(ProfileId::new(404), SLOT, FID, DurationMs::from_mins(5), ts(1_000)),
+            s.query(
+                ProfileId::new(404),
+                SLOT,
+                FID,
+                DurationMs::from_mins(5),
+                ts(1_000)
+            ),
             None
         );
     }

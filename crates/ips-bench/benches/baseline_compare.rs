@@ -67,7 +67,7 @@ fn bench_writes(c: &mut Criterion) {
         let mut n = 0u64;
         b.iter(|| {
             n += 1;
-            if n % 1_000_000 == 0 {
+            if n.is_multiple_of(1_000_000) {
                 service = LambdaProfileService::new(100);
             }
             service.record(LoggedEvent {

@@ -60,13 +60,17 @@ fn bench_cache(c: &mut Criterion) {
         let cache = cache(shards, 1 << 30);
         populate(&cache, 10_000, 10);
         let mut n = 0u64;
-        group.bench_with_input(BenchmarkId::new("read_hit_shards", shards), &cache, |b, c| {
-            b.iter(|| {
-                n = n.wrapping_mul(6364136223846793005).wrapping_add(1);
-                let pid = ProfileId::new((n >> 33) % 10_000);
-                black_box(c.read(pid, |p| p.slice_count()).unwrap())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("read_hit_shards", shards),
+            &cache,
+            |b, c| {
+                b.iter(|| {
+                    n = n.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let pid = ProfileId::new((n >> 33) % 10_000);
+                    black_box(c.read(pid, |p| p.slice_count()).unwrap())
+                })
+            },
+        );
     }
 
     // Write path (resident profile).

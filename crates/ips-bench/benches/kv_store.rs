@@ -8,7 +8,6 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use ips_kv::{KvNode, KvNodeConfig, ReplicaReadMode, ReplicatedKv, VersionedStore};
 
-
 fn key(n: u64) -> Bytes {
     Bytes::from(n.to_be_bytes().to_vec())
 }

@@ -45,25 +45,21 @@ fn bench_merge(c: &mut Criterion) {
 
     for overlap in [true, false] {
         let p = build(64, 32, overlap);
-        group.bench_with_input(
-            BenchmarkId::new("overlap", overlap),
-            &p,
-            |b, p| {
-                b.iter(|| {
-                    black_box(merged_features(
-                        black_box(p),
-                        SLOT,
-                        None,
-                        lo,
-                        hi,
-                        AggregateFunction::Sum,
-                        DecayFunction::None,
-                        1.0,
-                        now,
-                    ))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("overlap", overlap), &p, |b, p| {
+            b.iter(|| {
+                black_box(merged_features(
+                    black_box(p),
+                    SLOT,
+                    None,
+                    lo,
+                    hi,
+                    AggregateFunction::Sum,
+                    DecayFunction::None,
+                    1.0,
+                    now,
+                ))
+            })
+        });
     }
 
     let p = build(64, 32, true);

@@ -107,8 +107,7 @@ fn bench_topk(c: &mut Criterion) {
         ),
     ];
     for (name, range) in ranges {
-        let query =
-            ProfileQuery::top_k(TableId::new(1), ProfileId::new(1), SLOT, range, 10);
+        let query = ProfileQuery::top_k(TableId::new(1), ProfileId::new(1), SLOT, range, 10);
         group.bench_with_input(BenchmarkId::new("range", name), &profile, |b, p| {
             b.iter(|| {
                 black_box(engine::execute(

@@ -55,7 +55,9 @@ fn bench_model_add(c: &mut Criterion) {
         }
         let mut x = 0u64;
         b.iter(|| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let t = 1_000 + (x % 990_000);
             p.add(
                 Timestamp::from_millis(t),
@@ -74,8 +76,7 @@ fn bench_model_add(c: &mut Criterion) {
 fn bench_instance_add(c: &mut Criterion) {
     let mut group = c.benchmark_group("write_path_instance");
     for isolation in [false, true] {
-        let (clock, _ctl) =
-            sim_clock(Timestamp::from_millis(DurationMs::from_days(1).as_millis()));
+        let (clock, _ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(1).as_millis()));
         let instance = IpsInstance::new_in_memory(
             IpsInstanceOptions {
                 // The sim clock never advances inside b.iter, so the quota

@@ -126,8 +126,11 @@ fn main() {
 
     // ---- 3. inline vs async compaction under serving load ------------------
     let run_serving = |inline_compaction: bool| -> ips_metrics::HistogramSnapshot {
-        let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(400).as_millis()));
-        let instance = IpsInstance::new_in_memory(IpsInstanceOptions::default(), Arc::clone(&clock));
+        let (clock, ctl) = sim_clock(Timestamp::from_millis(
+            DurationMs::from_days(400).as_millis(),
+        ));
+        let instance =
+            IpsInstance::new_in_memory(IpsInstanceOptions::default(), Arc::clone(&clock));
         let mut cfg = TableConfig::new("serve");
         cfg.isolation.enabled = false;
         cfg.compaction.min_interval = DurationMs::ZERO;
@@ -142,7 +145,8 @@ fn main() {
                         caller,
                         TABLE,
                         ProfileId::new(pid),
-                        ctl.now().saturating_sub(DurationMs::from_secs(7_200 - i * 30)),
+                        ctl.now()
+                            .saturating_sub(DurationMs::from_secs(7_200 - i * 30)),
                         SLOT,
                         LIKE,
                         FeatureId::new(i % 40),

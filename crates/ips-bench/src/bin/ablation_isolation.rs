@@ -19,9 +19,7 @@ use ips_core::server::{IpsInstance, IpsInstanceOptions};
 use ips_ingest::{WorkloadConfig, WorkloadGenerator};
 use ips_metrics::Histogram;
 use ips_types::clock::sim_clock;
-use ips_types::{
-    CallerId, Clock, DurationMs, SimClock, SlotId, TableConfig, TimeRange, Timestamp,
-};
+use ips_types::{CallerId, Clock, DurationMs, SimClock, SlotId, TableConfig, TimeRange, Timestamp};
 
 struct RunResult {
     write_p99_us: u64,
@@ -33,7 +31,9 @@ struct RunResult {
 }
 
 fn run(isolation: bool) -> RunResult {
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(400).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(400).as_millis(),
+    ));
     let instance = IpsInstance::new_in_memory(IpsInstanceOptions::default(), Arc::clone(&clock));
     let mut cfg = TableConfig::new("iso");
     cfg.isolation.enabled = isolation;
@@ -50,7 +50,15 @@ fn run(isolation: bool) -> RunResult {
     for _ in 0..60_000 {
         let rec = generator.instance(ctl.now());
         instance
-            .add_profiles(caller, TABLE, rec.user, rec.at, rec.slot, rec.action_type, &[(rec.feature, rec.counts.clone())])
+            .add_profiles(
+                caller,
+                TABLE,
+                rec.user,
+                rec.at,
+                rec.slot,
+                rec.action_type,
+                &[(rec.feature, rec.counts.clone())],
+            )
             .unwrap();
         ctl_advance_sometimes(&ctl);
     }
@@ -66,11 +74,24 @@ fn run(isolation: bool) -> RunResult {
             // back-fill batch: 16 features into a hot profile
             let rec = generator.instance(ctl.now());
             let features: Vec<_> = (0..16)
-                .map(|i| (ips_types::FeatureId::new(rec.feature.raw() + i), rec.counts.clone()))
+                .map(|i| {
+                    (
+                        ips_types::FeatureId::new(rec.feature.raw() + i),
+                        rec.counts.clone(),
+                    )
+                })
                 .collect();
             let t0 = std::time::Instant::now();
             instance
-                .add_profiles(caller, TABLE, rec.user, rec.at, rec.slot, rec.action_type, &features)
+                .add_profiles(
+                    caller,
+                    TABLE,
+                    rec.user,
+                    rec.at,
+                    rec.slot,
+                    rec.action_type,
+                    &features,
+                )
                 .unwrap();
             write_hist.record(t0.elapsed().as_micros() as u64);
         } else if round % 10 < 8 {
@@ -89,7 +110,15 @@ fn run(isolation: bool) -> RunResult {
             let rec = generator.instance(ctl.now());
             let t0 = std::time::Instant::now();
             instance
-                .add_profiles(caller, TABLE, rec.user, rec.at, rec.slot, rec.action_type, &[(rec.feature, rec.counts.clone())])
+                .add_profiles(
+                    caller,
+                    TABLE,
+                    rec.user,
+                    rec.at,
+                    rec.slot,
+                    rec.action_type,
+                    &[(rec.feature, rec.counts.clone())],
+                )
                 .unwrap();
             write_hist.record(t0.elapsed().as_micros() as u64);
         }
@@ -116,7 +145,7 @@ fn run(isolation: bool) -> RunResult {
 fn ctl_advance_sometimes(ctl: &SimClock) {
     use std::sync::atomic::{AtomicU64, Ordering};
     static N: AtomicU64 = AtomicU64::new(0);
-    if N.fetch_add(1, Ordering::Relaxed) % 100 == 0 {
+    if N.fetch_add(1, Ordering::Relaxed).is_multiple_of(100) {
         ctl.advance(DurationMs::from_secs(30));
     }
 }
@@ -139,8 +168,7 @@ fn main() {
     latency_row("  write", &on.write_hist);
     latency_row("  query", &on.query_hist);
 
-    let write_p99_reduction =
-        1.0 - on.write_p99_us as f64 / off.write_p99_us.max(1) as f64;
+    let write_p99_reduction = 1.0 - on.write_p99_us as f64 / off.write_p99_us.max(1) as f64;
     let query_p50_shift =
         (on.query_p50_us as f64 - off.query_p50_us as f64) / off.query_p50_us.max(1) as f64;
     println!("-- shape summary ------------------------------------------");

@@ -41,7 +41,6 @@ fn run(shards: usize, threads: usize) -> (ips_metrics::HistogramSnapshot, u64, u
                 swap_low_watermark: 0.80,
                 flush_interval: DurationMs::from_millis(1),
                 swap_interval: DurationMs::from_millis(1),
-                ..Default::default()
             },
         )
         .unwrap(),
@@ -108,7 +107,9 @@ fn main() {
         .unwrap_or(4);
     println!("reader threads: {threads}");
     println!();
-    println!("shards | read p50 (us) | read p99 (us) | read p999 (us) | try_lock skips | evictions");
+    println!(
+        "shards | read p50 (us) | read p99 (us) | read p999 (us) | try_lock skips | evictions"
+    );
 
     let mut p999 = Vec::new();
     for shards in [1usize, 4, 16, 64] {

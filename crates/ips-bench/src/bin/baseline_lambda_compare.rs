@@ -24,8 +24,13 @@ use ips_types::{
 };
 
 fn main() {
-    banner("E-LAMBDA (§I)", "IPS vs the legacy long/short-term profile split");
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(100).as_millis()));
+    banner(
+        "E-LAMBDA (§I)",
+        "IPS vs the legacy long/short-term profile split",
+    );
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(100).as_millis(),
+    ));
     let instance = IpsInstance::new_in_memory(IpsInstanceOptions::default(), Arc::clone(&clock));
     let mut cfg = TableConfig::new("ips");
     cfg.isolation.enabled = false;
@@ -50,9 +55,21 @@ fn main() {
                 .content_store()
                 .put(rec.item, rec.slot, rec.action_type, rec.feature);
             // Tracked user gets a share of the traffic.
-            let target = if rec.user.raw() % 10 == 0 { user } else { rec.user };
+            let target = if rec.user.raw().is_multiple_of(10) {
+                user
+            } else {
+                rec.user
+            };
             instance
-                .add_profiles(caller, TABLE, target, rec.at, rec.slot, rec.action_type, &[(rec.feature, rec.counts.clone())])
+                .add_profiles(
+                    caller,
+                    TABLE,
+                    target,
+                    rec.at,
+                    rec.slot,
+                    rec.action_type,
+                    &[(rec.feature, rec.counts.clone())],
+                )
                 .unwrap();
             lambda.record(LoggedEvent {
                 user: target,
@@ -74,9 +91,23 @@ fn main() {
     let fresh_feature = ips_types::FeatureId::new(999_999);
     let slot = ips_types::SlotId::new(1);
     instance
-        .add_profile(caller, TABLE, user, ctl.now(), slot, ips_types::ActionTypeId::new(1), fresh_feature, CountVector::single(1))
+        .add_profile(
+            caller,
+            TABLE,
+            user,
+            ctl.now(),
+            slot,
+            ips_types::ActionTypeId::new(1),
+            fresh_feature,
+            CountVector::single(1),
+        )
         .unwrap();
-    lambda.content_store().put(999_999, slot, ips_types::ActionTypeId::new(1), fresh_feature);
+    lambda.content_store().put(
+        999_999,
+        slot,
+        ips_types::ActionTypeId::new(1),
+        fresh_feature,
+    );
     lambda.record(LoggedEvent {
         user,
         item: 999_999,
@@ -106,8 +137,14 @@ fn main() {
     let q30 = ProfileQuery::top_k(TABLE, user, slot, TimeRange::last_days(30), 10);
     let ips_30d = instance.query(caller, &q30).unwrap();
     println!("   lambda split can serve it:      {servable}");
-    println!("   IPS serves it:                  true ({} features)", ips_30d.len());
-    assert!(!servable, "the lambda split cannot do ad-hoc 30-day windows");
+    println!(
+        "   IPS serves it:                  true ({} features)",
+        ips_30d.len()
+    );
+    assert!(
+        !servable,
+        "the lambda split cannot do ad-hoc 30-day windows"
+    );
     assert!(!ips_30d.is_empty());
 
     // ---- 3. request amplification ---------------------------------------------

@@ -17,8 +17,13 @@ use ips_types::clock::sim_clock;
 use ips_types::{CallerId, Clock, DurationMs, TableConfig, TimeRange, Timestamp};
 
 fn main() {
-    banner("E-PREAGG (§VI)", "IPS vs pre-aggregated fixed-window KV store");
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(100).as_millis()));
+    banner(
+        "E-PREAGG (§VI)",
+        "IPS vs pre-aggregated fixed-window KV store",
+    );
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(100).as_millis(),
+    ));
     let instance = IpsInstance::new_in_memory(IpsInstanceOptions::default(), Arc::clone(&clock));
     let mut cfg = TableConfig::new("ips");
     cfg.isolation.enabled = false;
@@ -44,7 +49,15 @@ fn main() {
     for i in 0..events {
         let rec = generator.instance(ctl.now());
         instance
-            .add_profiles(caller, TABLE, rec.user, rec.at, rec.slot, rec.action_type, &[(rec.feature, rec.counts.clone())])
+            .add_profiles(
+                caller,
+                TABLE,
+                rec.user,
+                rec.at,
+                rec.slot,
+                rec.action_type,
+                &[(rec.feature, rec.counts.clone())],
+            )
             .unwrap();
         preagg.record(rec.user, rec.slot, rec.feature, &rec.counts, rec.at);
         if i % 2_000 == 0 {

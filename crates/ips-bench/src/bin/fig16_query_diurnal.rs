@@ -95,9 +95,18 @@ fn main() {
     }
 
     println!();
-    println!("{}", qps_series.render_table(DurationMs::from_hours(2), "qps"));
-    println!("{}", p50_series.render_table(DurationMs::from_hours(2), "ms"));
-    println!("{}", p99_series.render_table(DurationMs::from_hours(2), "ms"));
+    println!(
+        "{}",
+        qps_series.render_table(DurationMs::from_hours(2), "qps")
+    );
+    println!(
+        "{}",
+        p50_series.render_table(DurationMs::from_hours(2), "ms")
+    );
+    println!(
+        "{}",
+        p99_series.render_table(DurationMs::from_hours(2), "ms")
+    );
 
     // Shape checks mirroring the paper's observations.
     let p50_mean = p50_series.mean();
@@ -109,10 +118,16 @@ fn main() {
         .iter()
         .fold(f64::MAX, |a, p| a.min(p.value));
     println!("-- shape summary ------------------------------------------");
-    println!("qps peak/trough ratio: {:.2} (diurnal curve visible)", qps_peak / qps_trough.max(1e-9));
+    println!(
+        "qps peak/trough ratio: {:.2} (diurnal curve visible)",
+        qps_peak / qps_trough.max(1e-9)
+    );
     println!("p50: mean {p50_mean:.3} ms, max {p50_max:.3} ms (flat)");
     println!("p99: mean {p99_mean:.3} ms (an order above p50, load-sensitive)");
-    assert!(qps_peak / qps_trough.max(1e-9) > 1.5, "diurnal shape present");
+    assert!(
+        qps_peak / qps_trough.max(1e-9) > 1.5,
+        "diurnal shape present"
+    );
     assert!(
         p50_max < p99_mean * 2.0,
         "p50 stays well under p99 territory"

@@ -15,7 +15,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    banner("Fig 17", "client error rate over 20 days with fault injection");
+    banner(
+        "Fig 17",
+        "client error rate over 20 days with fault injection",
+    );
     // Production conditions: a small per-transit loss probability (flaky
     // links, overloaded kernels) and a request deadline that fits two
     // attempts. The residual client-visible error rate is the probability
@@ -36,7 +39,15 @@ fn main() {
     for _ in 0..10_000 {
         let rec = generator.instance(tb.ctl.now());
         tb.client
-            .add_profiles(caller, TABLE, rec.user, rec.at, rec.slot, rec.action_type, &[(rec.feature, rec.counts.clone())])
+            .add_profiles(
+                caller,
+                TABLE,
+                rec.user,
+                rec.at,
+                rec.slot,
+                rec.action_type,
+                &[(rec.feature, rec.counts.clone())],
+            )
             .unwrap();
     }
     for ep in tb.deployment.all_endpoints() {
@@ -98,7 +109,11 @@ fn main() {
         series.push(tb.ctl.now(), rate);
         println!(
             "{day:>3} | {:<30} | {attempts:>8} | {failures:>6} | {rate:.4}%",
-            if fault_log.is_empty() { "none".to_string() } else { fault_log.join(", ") },
+            if fault_log.is_empty() {
+                "none".to_string()
+            } else {
+                fault_log.join(", ")
+            },
         );
 
         // Recovery: restart crashed nodes, restore the region, re-register.
@@ -121,9 +136,15 @@ fn main() {
     let overall = cumulative_failures as f64 / cumulative_attempts as f64;
     let max_daily = series.max();
     println!("-- shape summary ------------------------------------------");
-    println!("overall error rate: {:.4}% (paper: avg < 0.01%)", overall * 100.0);
+    println!(
+        "overall error rate: {:.4}% (paper: avg < 0.01%)",
+        overall * 100.0
+    );
     println!("max daily error rate: {max_daily:.4}% (paper: < 0.025%)");
-    println!("availability (1 - overall): {:.4}% (paper SLA: 99.99%)", (1.0 - overall) * 100.0);
+    println!(
+        "availability (1 - overall): {:.4}% (paper SLA: 99.99%)",
+        (1.0 - overall) * 100.0
+    );
     assert!(
         overall < 0.001,
         "retry + failover must keep errors in the 10^-4 band, got {overall}"

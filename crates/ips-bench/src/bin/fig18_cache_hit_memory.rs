@@ -15,13 +15,13 @@ use ips_core::server::{IpsInstance, IpsInstanceOptions};
 use ips_ingest::{WorkloadConfig, WorkloadGenerator};
 use ips_metrics::TimeSeries;
 use ips_types::clock::sim_clock;
-use ips_types::{
-    CallerId, Clock, DurationMs, SlotId, TableConfig, TimeRange, Timestamp,
-};
+use ips_types::{CallerId, Clock, DurationMs, SlotId, TableConfig, TimeRange, Timestamp};
 
 fn main() {
     banner("Fig 18", "memory usage ratio + cache hit ratio over time");
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(400).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(400).as_millis(),
+    ));
     let instance = IpsInstance::new_in_memory(IpsInstanceOptions::default(), Arc::clone(&clock));
     let budget: usize = 24 << 20;
     let mut cfg = TableConfig::new("fig18");
@@ -39,11 +39,22 @@ fn main() {
     });
 
     // Warm phase: populate well past the memory budget.
-    println!("populating past the cache budget ({}) ...", human_bytes(budget as f64));
+    println!(
+        "populating past the cache budget ({}) ...",
+        human_bytes(budget as f64)
+    );
     for i in 0..400_000u64 {
         let rec = generator.instance(ctl.now());
         instance
-            .add_profiles(caller, TABLE, rec.user, rec.at, rec.slot, rec.action_type, &[(rec.feature, rec.counts.clone())])
+            .add_profiles(
+                caller,
+                TABLE,
+                rec.user,
+                rec.at,
+                rec.slot,
+                rec.action_type,
+                &[(rec.feature, rec.counts.clone())],
+            )
             .unwrap();
         if i % 20_000 == 0 {
             instance.tick().unwrap();
@@ -73,7 +84,15 @@ fn main() {
             } else {
                 let rec = generator.instance(ctl.now());
                 instance
-                    .add_profiles(caller, TABLE, rec.user, rec.at, rec.slot, rec.action_type, &[(rec.feature, rec.counts.clone())])
+                    .add_profiles(
+                        caller,
+                        TABLE,
+                        rec.user,
+                        rec.at,
+                        rec.slot,
+                        rec.action_type,
+                        &[(rec.feature, rec.counts.clone())],
+                    )
                     .unwrap();
             }
         }
@@ -90,8 +109,14 @@ fn main() {
     }
 
     println!();
-    println!("{}", memory_series.render_table(DurationMs::from_hours(2), "%"));
-    println!("{}", hit_series.render_table(DurationMs::from_hours(2), "%"));
+    println!(
+        "{}",
+        memory_series.render_table(DurationMs::from_hours(2), "%")
+    );
+    println!(
+        "{}",
+        hit_series.render_table(DurationMs::from_hours(2), "%")
+    );
 
     let stats = rt.cache.stats();
     println!("-- shape summary ------------------------------------------");
@@ -101,10 +126,23 @@ fn main() {
         human_bytes(budget as f64),
         stats.memory_bytes as f64 / budget as f64 * 100.0
     );
-    println!("steady-state hit ratio: {:.1}% (paper: > 90%)", hit_series.mean());
-    println!("memory usage mean: {:.1}% (paper: ~85%)", memory_series.mean());
-    println!("evictions: {}, swap try_lock skips: {}", stats.evictions, stats.swap_skips);
-    assert!(hit_series.mean() > 90.0, "hit ratio {:.1}% below 90%", hit_series.mean());
+    println!(
+        "steady-state hit ratio: {:.1}% (paper: > 90%)",
+        hit_series.mean()
+    );
+    println!(
+        "memory usage mean: {:.1}% (paper: ~85%)",
+        memory_series.mean()
+    );
+    println!(
+        "evictions: {}, swap try_lock skips: {}",
+        stats.evictions, stats.swap_skips
+    );
+    assert!(
+        hit_series.mean() > 90.0,
+        "hit ratio {:.1}% below 90%",
+        hit_series.mean()
+    );
     assert!(
         (60.0..=90.0).contains(&memory_series.mean()),
         "memory should hold near the watermark, got {:.1}%",

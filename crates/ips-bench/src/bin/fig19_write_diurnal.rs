@@ -11,7 +11,10 @@ use ips_metrics::{Histogram, TimeSeries};
 use ips_types::{CallerId, Clock, DurationMs};
 
 fn main() {
-    banner("Fig 19", "add throughput + p50/p99 latency across 5 diurnal days");
+    banner(
+        "Fig 19",
+        "add throughput + p50/p99 latency across 5 diurnal days",
+    );
     let tb = testbed(TestbedOptions::default());
     let caller = CallerId::new(1);
     let mut generator = WorkloadGenerator::new(WorkloadConfig {
@@ -41,7 +44,15 @@ fn main() {
                 let rec = generator.instance(tb.ctl.now());
                 let breakdown = tb
                     .client
-                    .add_profiles(caller, TABLE, rec.user, rec.at, rec.slot, rec.action_type, &[(rec.feature, rec.counts.clone())])
+                    .add_profiles(
+                        caller,
+                        TABLE,
+                        rec.user,
+                        rec.at,
+                        rec.slot,
+                        rec.action_type,
+                        &[(rec.feature, rec.counts.clone())],
+                    )
                     .unwrap();
                 hist.record(breakdown.total_us());
                 write_count.set(write_count.get() + 1);
@@ -61,15 +72,30 @@ fn main() {
     }
 
     println!();
-    println!("{}", wps_series.render_table(DurationMs::from_hours(12), "wps"));
-    println!("{}", p50_series.render_table(DurationMs::from_hours(12), "ms"));
-    println!("{}", p99_series.render_table(DurationMs::from_hours(12), "ms"));
+    println!(
+        "{}",
+        wps_series.render_table(DurationMs::from_hours(12), "wps")
+    );
+    println!(
+        "{}",
+        p50_series.render_table(DurationMs::from_hours(12), "ms")
+    );
+    println!(
+        "{}",
+        p99_series.render_table(DurationMs::from_hours(12), "ms")
+    );
 
     let ratio = read_count.get() as f64 / write_count.get().max(1) as f64;
     println!("-- shape summary ------------------------------------------");
     println!("read:write ratio observed: {ratio:.1}:1 (paper: ~10:1)");
-    println!("write p50 mean: {:.3} ms (flat; paper ~0.5 ms band)", p50_series.mean());
-    println!("write p99 mean: {:.3} ms (paper 4-6 ms band)", p99_series.mean());
+    println!(
+        "write p50 mean: {:.3} ms (flat; paper ~0.5 ms band)",
+        p50_series.mean()
+    );
+    println!(
+        "write p99 mean: {:.3} ms (paper 4-6 ms band)",
+        p99_series.mean()
+    );
     println!(
         "wps peak/trough: {:.2} (diurnal shape)",
         wps_series.max()

@@ -12,14 +12,21 @@ use ips_bench::{banner, TABLE};
 use ips_core::server::{IpsInstance, IpsInstanceOptions};
 use ips_ingest::events::InstanceRecord;
 use ips_ingest::job::IngestionJob;
-use ips_ingest::{ConsumerGroup, InstanceJoiner, JoinConfig, Topic, WorkloadConfig, WorkloadGenerator};
+use ips_ingest::{
+    ConsumerGroup, InstanceJoiner, JoinConfig, Topic, WorkloadConfig, WorkloadGenerator,
+};
 use ips_metrics::Histogram;
 use ips_types::clock::sim_clock;
 use ips_types::{CallerId, Clock, DurationMs, TableConfig, Timestamp};
 
 fn main() {
-    banner("E-FRESH (§III-A)", "action -> queryable freshness through the pipeline");
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(30).as_millis()));
+    banner(
+        "E-FRESH (§III-A)",
+        "action -> queryable freshness through the pipeline",
+    );
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(30).as_millis(),
+    ));
     let instance = IpsInstance::new_in_memory(IpsInstanceOptions::default(), Arc::clone(&clock));
     let mut cfg = TableConfig::new("fresh");
     cfg.isolation.enabled = true; // production posture: isolation on
@@ -87,9 +94,17 @@ fn main() {
     }
 
     println!();
-    println!("records through pipeline: {} (dropped in join: {})", job.ingested.get(), joiner.dropped_actions.get());
-    println!("action -> ingested:   p50={} ms  p90={} ms  p99={} ms",
-        ingest.percentile(50.0), ingest.percentile(90.0), ingest.percentile(99.0));
+    println!(
+        "records through pipeline: {} (dropped in join: {})",
+        job.ingested.get(),
+        joiner.dropped_actions.get()
+    );
+    println!(
+        "action -> ingested:   p50={} ms  p90={} ms  p99={} ms",
+        ingest.percentile(50.0),
+        ingest.percentile(90.0),
+        ingest.percentile(99.0)
+    );
     println!(
         "action -> queryable:  p50={} ms  p90={} ms  p99={} ms (+merge interval)",
         ingest.percentile(50.0) + merge_bound,
@@ -98,7 +113,10 @@ fn main() {
     );
     println!("-- shape summary ------------------------------------------");
     let p99_total = ingest.percentile(99.0) + merge_bound;
-    println!("p99 end-to-end: {:.1} s (paper: usually within a minute)", p99_total as f64 / 1_000.0);
+    println!(
+        "p99 end-to-end: {:.1} s (paper: usually within a minute)",
+        p99_total as f64 / 1_000.0
+    );
     assert!(job.ingested.get() > 5_000, "pipeline processed real volume");
     assert!(
         p99_total < 60_000,

@@ -15,16 +15,16 @@ use ips_core::server::{IpsInstance, IpsInstanceOptions};
 use ips_ingest::{WorkloadConfig, WorkloadGenerator};
 use ips_types::clock::sim_clock;
 use ips_types::config::TruncateConfig;
-use ips_types::{
-    CallerId, Clock, DurationMs, ProfileId, ShrinkConfig, TableConfig, Timestamp,
-};
+use ips_types::{CallerId, Clock, DurationMs, ProfileId, ShrinkConfig, TableConfig, Timestamp};
 
 fn main() {
     banner(
         "E-SIZE (§III-D)",
         "profile growth over a simulated year: managed IPS vs unmanaged store",
     );
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(400).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(400).as_millis(),
+    ));
     let instance = IpsInstance::new_in_memory(IpsInstanceOptions::default(), Arc::clone(&clock));
     let mut cfg = TableConfig::new("managed");
     cfg.isolation.enabled = false;
@@ -61,9 +61,24 @@ fn main() {
                 let rec = generator.instance(ctl.now());
                 // The tracked user gets this event in both stores.
                 instance
-                    .add_profiles(caller, TABLE, user, ctl.now(), rec.slot, rec.action_type, &[(rec.feature, rec.counts.clone())])
+                    .add_profiles(
+                        caller,
+                        TABLE,
+                        user,
+                        ctl.now(),
+                        rec.slot,
+                        rec.action_type,
+                        &[(rec.feature, rec.counts.clone())],
+                    )
                     .unwrap();
-                naive.record(user, ctl.now(), rec.slot, rec.action_type, rec.feature, &rec.counts);
+                naive.record(
+                    user,
+                    ctl.now(),
+                    rec.slot,
+                    rec.action_type,
+                    rec.feature,
+                    &rec.counts,
+                );
                 ctl.advance(DurationMs::from_mins(85));
                 let _ = (day, e);
             }
@@ -99,7 +114,11 @@ fn main() {
     let naive_final = naive.snapshot();
 
     println!("-- shape summary ------------------------------------------");
-    println!("managed:   {slices} slices, avg slice {}, profile {}", human_bytes(avg_slice), human_bytes(bytes as f64));
+    println!(
+        "managed:   {slices} slices, avg slice {}, profile {}",
+        human_bytes(avg_slice),
+        human_bytes(bytes as f64)
+    );
     println!("           (paper: ~62 slices, ~730 B/slice, ~45 KB/profile)");
     println!(
         "unmanaged: {} slices, profile {} and growing linearly",
@@ -122,6 +141,9 @@ fn main() {
         n_h2 > n_h1 * 1.7,
         "unmanaged profile must keep growing: {n_h1} -> {n_h2}"
     );
-    assert!(blowup > 3.0, "management should win by a wide margin, got {blowup:.1}x");
+    assert!(
+        blowup > 3.0,
+        "management should win by a wide margin, got {blowup:.1}x"
+    );
     println!("memory_growth_year: OK");
 }

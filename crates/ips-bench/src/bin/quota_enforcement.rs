@@ -24,7 +24,9 @@ use ips_types::{
 
 fn main() {
     banner("E-QUOTA (§V-b)", "per-caller QPS quota in a shared cluster");
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(30).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(30).as_millis(),
+    ));
     let instance = IpsInstance::new_in_memory(IpsInstanceOptions::default(), Arc::clone(&clock));
     let mut cfg = TableConfig::new("shared");
     cfg.isolation.enabled = false;
@@ -57,7 +59,15 @@ fn main() {
     for i in 0..10_000u64 {
         let rec = generator.instance(ctl.now());
         instance
-            .add_profiles(loader, TABLE, rec.user, rec.at, rec.slot, rec.action_type, &[(rec.feature, rec.counts.clone())])
+            .add_profiles(
+                loader,
+                TABLE,
+                rec.user,
+                rec.at,
+                rec.slot,
+                rec.action_type,
+                &[(rec.feature, rec.counts.clone())],
+            )
             .unwrap();
         if i % 2_000 == 0 {
             ctl.advance(DurationMs::from_secs(1));
@@ -118,8 +128,14 @@ fn main() {
     let serving_rate = serving_ok as f64 / serving_attempts as f64;
     let batch_rate = batch_ok as f64 / batch_attempts as f64;
     println!("-- shape summary ------------------------------------------");
-    println!("serving tenant admission: {:.1}% (quota 2000/s, offered 1500/s)", serving_rate * 100.0);
-    println!("batch tenant admission:   {:.1}% (quota 200/s, offered 2000/s)", batch_rate * 100.0);
+    println!(
+        "serving tenant admission: {:.1}% (quota 2000/s, offered 1500/s)",
+        serving_rate * 100.0
+    );
+    println!(
+        "batch tenant admission:   {:.1}% (quota 200/s, offered 2000/s)",
+        batch_rate * 100.0
+    );
     println!(
         "serving latency p99 under contention: {} us",
         serving_hist.percentile(99.0)

@@ -30,7 +30,15 @@ fn main() {
     for _ in 0..40_000 {
         let rec = generator.instance(tb.ctl.now());
         tb.client
-            .add_profiles(caller, TABLE, rec.user, rec.at, rec.slot, rec.action_type, &[(rec.feature, rec.counts.clone())])
+            .add_profiles(
+                caller,
+                TABLE,
+                rec.user,
+                rec.at,
+                rec.slot,
+                rec.action_type,
+                &[(rec.feature, rec.counts.clone())],
+            )
             .unwrap();
     }
     for ep in tb.deployment.all_endpoints() {
@@ -46,7 +54,13 @@ fn main() {
     println!("measuring hit path ...");
     for _ in 0..5_000 {
         let user = generator.sample_user();
-        let q = ProfileQuery::top_k(TABLE, user, SlotId::new(user.raw() as u32 % 8), TimeRange::last_days(7), 100);
+        let q = ProfileQuery::top_k(
+            TABLE,
+            user,
+            SlotId::new(user.raw() as u32 % 8),
+            TimeRange::last_days(7),
+            100,
+        );
         let (result, breakdown) = tb.client.query(caller, &q).unwrap();
         if result.cache_hit {
             client_hit.record(breakdown.total_us());
@@ -64,7 +78,13 @@ fn main() {
         for ep in tb.deployment.all_endpoints() {
             let _ = ep.instance().table(TABLE).unwrap().cache.evict(user);
         }
-        let q = ProfileQuery::top_k(TABLE, user, SlotId::new(user.raw() as u32 % 8), TimeRange::last_days(7), 100);
+        let q = ProfileQuery::top_k(
+            TABLE,
+            user,
+            SlotId::new(user.raw() as u32 % 8),
+            TimeRange::last_days(7),
+            100,
+        );
         let (result, breakdown) = tb.client.query(caller, &q).unwrap();
         if !result.cache_hit && !result.is_empty() {
             client_miss.record(breakdown.total_us());
@@ -86,7 +106,10 @@ fn main() {
     let net_overhead =
         (client_hit.percentile(50.0) as i64 - server_hit.percentile(50.0) as i64) as f64 / 1_000.0;
     println!("-- shape summary ------------------------------------------");
-    println!("miss penalty at p50: {:.2} ms (paper: ~2-4 ms)", miss_p50 - hit_p50);
+    println!(
+        "miss penalty at p50: {:.2} ms (paper: ~2-4 ms)",
+        miss_p50 - hit_p50
+    );
     println!("network overhead at p50: {net_overhead:.2} ms (paper: ~3 ms)");
     assert!(
         miss_p50 - hit_p50 >= 1.0 && miss_p50 - hit_p50 <= 6.0,

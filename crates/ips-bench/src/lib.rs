@@ -75,10 +75,14 @@ impl Default for TestbedOptions {
 /// Build the standard testbed.
 #[must_use]
 pub fn testbed(options: TestbedOptions) -> Testbed {
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(400).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(400).as_millis(),
+    ));
     let deployment = MultiRegionDeployment::build(
         MultiRegionOptions {
-            regions: (0..options.regions).map(|i| format!("region-{i}")).collect(),
+            regions: (0..options.regions)
+                .map(|i| format!("region-{i}"))
+                .collect(),
             instances_per_region: options.instances_per_region,
             network: options.network,
             tables: vec![(TABLE, options.table)],

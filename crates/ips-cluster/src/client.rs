@@ -29,7 +29,7 @@ use ips_types::{
 
 use crate::discovery::Discovery;
 use crate::ring::HashRing;
-use crate::rpc::{RpcEndpoint, RpcRequest, RpcResponse};
+use crate::rpc::{ProfileWrite, RpcEndpoint, RpcRequest, RpcResponse};
 
 /// Modeled + measured components of one request's latency.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -47,6 +47,40 @@ impl LatencyBreakdown {
     #[must_use]
     pub fn total_us(&self) -> u64 {
         self.network_us + self.server_us + self.storage_us
+    }
+
+    /// Decompose a wall-clock measurement that spans the whole call. The
+    /// sampled network time is part of `elapsed_us`, so it is subtracted
+    /// out of the server component — otherwise `total_us()` counts it
+    /// twice. Saturating: jitter can make the sample exceed the
+    /// measurement.
+    #[must_use]
+    pub fn from_call(elapsed_us: u64, network_us: u64, storage_us: u64) -> Self {
+        Self {
+            network_us,
+            server_us: elapsed_us.saturating_sub(network_us),
+            storage_us,
+        }
+    }
+}
+
+/// Outcome of one batched query fan-out: per-sub-query results in input
+/// order plus the batch-level latency breakdown.
+#[derive(Debug, Default)]
+pub struct BatchQueryOutcome {
+    /// One entry per input query, in input order. Sub-queries that
+    /// exhausted failover carry their last error; siblings are unaffected.
+    pub results: Vec<Result<QueryResult>>,
+    /// Batch-level latency: concurrent frames within a failover round cost
+    /// the slowest frame, rounds are sequential and sum.
+    pub latency: LatencyBreakdown,
+}
+
+impl BatchQueryOutcome {
+    /// True when every sub-query succeeded.
+    #[must_use]
+    pub fn all_ok(&self) -> bool {
+        self.results.iter().all(Result::is_ok)
     }
 }
 
@@ -158,10 +192,7 @@ impl IpsClusterClient {
             .collect();
         drop(rings);
         let eps = self.endpoints.read();
-        names
-            .iter()
-            .filter_map(|n| eps.get(n).cloned())
-            .collect()
+        names.iter().filter_map(|n| eps.get(n).cloned()).collect()
     }
 
     fn call_with_failover(
@@ -246,21 +277,38 @@ impl IpsClusterClient {
             self.failures.inc();
             return Err(IpsError::Unavailable("no regions discovered".into()));
         }
+        // All regions are written concurrently: the client-observed write
+        // latency is the slowest region, not the sum over regions.
+        let outcomes: Vec<Result<LatencyBreakdown>> = std::thread::scope(|s| {
+            let handles: Vec<_> = regions
+                .iter()
+                .map(|region| {
+                    let request = &request;
+                    s.spawn(move || {
+                        let started = std::time::Instant::now();
+                        self.call_with_failover(pid, request, std::slice::from_ref(region))
+                            .map(|(_, network_us)| {
+                                LatencyBreakdown::from_call(
+                                    started.elapsed().as_micros() as u64,
+                                    network_us,
+                                    0,
+                                )
+                            })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("region writer panicked"))
+                .collect()
+        });
         let mut any_ok = false;
         let mut worst = LatencyBreakdown::default();
         let mut last_err = IpsError::Unavailable("no healthy instance".into());
-        for region in &regions {
-            let started = std::time::Instant::now();
-            match self.call_with_failover(pid, &request, std::slice::from_ref(region)) {
-                Ok((_, network_us)) => {
+        for outcome in outcomes {
+            match outcome {
+                Ok(breakdown) => {
                     any_ok = true;
-                    let breakdown = LatencyBreakdown {
-                        network_us,
-                        server_us: started.elapsed().as_micros() as u64,
-                        storage_us: 0,
-                    };
-                    // The client-observed write latency is the slowest
-                    // region it waits on.
                     if breakdown.total_us() > worst.total_us() {
                         worst = breakdown;
                     }
@@ -273,6 +321,144 @@ impl IpsClusterClient {
         } else {
             Err(last_err)
         }
+    }
+
+    /// Write many profiles in one shot: writes are grouped by owning
+    /// instance (per region, via the consistent-hash ring) into
+    /// [`RpcRequest::AddBatch`] frames and dispatched concurrently, so a
+    /// multi-profile ingest pays one frame per owner instead of one call
+    /// per profile. A frame that fails falls back to per-profile writes
+    /// with the usual in-region failover. Succeeds if every region
+    /// accepted every write through one path or the other.
+    pub fn add_batch(&self, caller: CallerId, writes: &[ProfileWrite]) -> Result<LatencyBreakdown> {
+        if writes.is_empty() {
+            return Ok(LatencyBreakdown::default());
+        }
+        let regions = self.regions();
+        if regions.is_empty() {
+            self.attempts.inc();
+            self.failures.inc();
+            return Err(IpsError::Unavailable("no regions discovered".into()));
+        }
+        let region_outcomes: Vec<Result<LatencyBreakdown>> = std::thread::scope(|s| {
+            let handles: Vec<_> = regions
+                .iter()
+                .map(|region| s.spawn(move || self.add_batch_in_region(caller, writes, region)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("region writer panicked"))
+                .collect()
+        });
+        let mut worst = LatencyBreakdown::default();
+        let mut any_ok = false;
+        let mut last_err = IpsError::Unavailable("no healthy instance".into());
+        for outcome in region_outcomes {
+            match outcome {
+                Ok(b) => {
+                    any_ok = true;
+                    if b.total_us() > worst.total_us() {
+                        worst = b;
+                    }
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        if any_ok {
+            Ok(worst)
+        } else {
+            Err(last_err)
+        }
+    }
+
+    fn add_batch_in_region(
+        &self,
+        caller: CallerId,
+        writes: &[ProfileWrite],
+        region: &str,
+    ) -> Result<LatencyBreakdown> {
+        let started = std::time::Instant::now();
+        // Group writes by the profile's owner in this region.
+        let mut groups: HashMap<String, (Arc<RpcEndpoint>, Vec<ProfileWrite>)> = HashMap::new();
+        let mut unroutable = false;
+        for w in writes {
+            match self
+                .candidates_in_region(region, w.profile)
+                .into_iter()
+                .next()
+            {
+                Some(ep) => groups
+                    .entry(ep.name().to_string())
+                    .or_insert_with(|| (ep, Vec::new()))
+                    .1
+                    .push(w.clone()),
+                None => unroutable = true,
+            }
+        }
+        if unroutable || groups.is_empty() {
+            return Err(IpsError::Unavailable(format!(
+                "no healthy instance in {region}"
+            )));
+        }
+        let outcomes: Vec<(Vec<ProfileWrite>, Result<u64>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = groups
+                .into_values()
+                .map(|(ep, group)| {
+                    s.spawn(move || {
+                        self.attempts.inc();
+                        let request = RpcRequest::AddBatch {
+                            caller,
+                            writes: group.clone(),
+                        };
+                        let out = ep.call(&request).map(|(_, net)| net);
+                        if out.is_ok() {
+                            self.successes.inc();
+                        }
+                        (group, out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("owner writer panicked"))
+                .collect()
+        });
+        let mut network_us = 0u64;
+        for (group, out) in outcomes {
+            match out {
+                Ok(net) => network_us = network_us.max(net),
+                Err(e) if e.is_retryable() => {
+                    // Frame failed in transit or the owner is down: fall back
+                    // to per-profile writes with the normal failover walk.
+                    for w in &group {
+                        let request = RpcRequest::Add {
+                            caller,
+                            table: w.table,
+                            profile: w.profile,
+                            at: w.at,
+                            slot: w.slot,
+                            action: w.action,
+                            features: w.features.clone(),
+                        };
+                        let (_, net) = self.call_with_failover(
+                            w.profile,
+                            &request,
+                            std::slice::from_ref(&region.to_string()),
+                        )?;
+                        network_us = network_us.max(net);
+                    }
+                }
+                Err(e) => {
+                    self.failures.inc();
+                    return Err(e);
+                }
+            }
+        }
+        Ok(LatencyBreakdown::from_call(
+            started.elapsed().as_micros() as u64,
+            network_us,
+            0,
+        ))
     }
 
     /// Convenience single-feature write.
@@ -311,9 +497,8 @@ impl IpsClusterClient {
             }
         }
         let started = std::time::Instant::now();
-        let (response, network_us) =
-            self.call_with_failover(query.profile, &request, &regions)?;
-        let server_us = started.elapsed().as_micros() as u64;
+        let (response, network_us) = self.call_with_failover(query.profile, &request, &regions)?;
+        let elapsed_us = started.elapsed().as_micros() as u64;
         let RpcResponse::Query(result) = response else {
             return Err(IpsError::Rpc("mismatched response type".into()));
         };
@@ -326,12 +511,185 @@ impl IpsClusterClient {
         };
         Ok((
             result,
-            LatencyBreakdown {
-                network_us,
-                server_us,
-                storage_us,
-            },
+            LatencyBreakdown::from_call(elapsed_us, network_us, storage_us),
         ))
+    }
+
+    /// Query many profiles in one fan-out (the candidate-ranking path).
+    ///
+    /// Sub-queries are grouped by their owning instance on the home
+    /// region's consistent-hash ring, one [`RpcRequest::QueryBatch`] frame
+    /// per owner, and the frames are dispatched **concurrently** — the
+    /// whole batch pays one (slowest-frame) network round-trip instead of
+    /// one per profile. Failover is per sub-query: after each round, the
+    /// retryable subset is re-grouped against each profile's next failover
+    /// candidate (then the next region) and re-dispatched; terminal errors
+    /// and exhausted sub-queries stay errors without poisoning siblings.
+    /// Results come back in input order.
+    pub fn query_batch(
+        &self,
+        caller: CallerId,
+        queries: &[ProfileQuery],
+    ) -> Result<BatchQueryOutcome> {
+        if queries.is_empty() {
+            return Ok(BatchQueryOutcome::default());
+        }
+        // Home region first, then the rest.
+        let mut regions = vec![self.home_region.clone()];
+        for r in self.regions() {
+            if r != self.home_region {
+                regions.push(r);
+            }
+        }
+        let started = std::time::Instant::now();
+        // Each sub-query's ordered failover walk: owner then in-region
+        // failover candidates, home region before remote regions.
+        let candidates: Vec<Vec<Arc<RpcEndpoint>>> = queries
+            .iter()
+            .map(|q| {
+                let mut c = Vec::new();
+                for region in &regions {
+                    c.extend(self.candidates_in_region(region, q.profile));
+                }
+                c
+            })
+            .collect();
+        let max_rounds = candidates.iter().map(Vec::len).max().unwrap_or(0);
+        if max_rounds == 0 {
+            self.attempts.inc();
+            self.failures.inc();
+            return Err(IpsError::Unavailable("no healthy instance".into()));
+        }
+
+        let mut slots: Vec<Option<Result<QueryResult>>> = Vec::new();
+        slots.resize_with(queries.len(), || None);
+        let mut pending: Vec<usize> = (0..queries.len()).collect();
+        let mut last_err = IpsError::Unavailable("no healthy instance".into());
+        let mut network_us = 0u64;
+
+        for round in 0..max_rounds {
+            if pending.is_empty() {
+                break;
+            }
+            // Group this round's pending sub-queries by target endpoint.
+            let mut groups: HashMap<String, (Arc<RpcEndpoint>, Vec<usize>)> = HashMap::new();
+            for &i in &pending {
+                if let Some(ep) = candidates[i].get(round) {
+                    groups
+                        .entry(ep.name().to_string())
+                        .or_insert_with(|| (Arc::clone(ep), Vec::new()))
+                        .1
+                        .push(i);
+                }
+                // Sub-queries whose walk is exhausted simply stay pending
+                // and pick up `last_err` after the loop.
+            }
+            if groups.is_empty() {
+                break;
+            }
+            // One frame per endpoint, dispatched concurrently: within a
+            // round the batch pays for the slowest frame only.
+            type FrameOutcome = (Vec<usize>, Result<(RpcResponse, u64)>);
+            let outcomes: Vec<FrameOutcome> = std::thread::scope(|s| {
+                let handles: Vec<_> = groups
+                    .into_values()
+                    .map(|(ep, idxs)| {
+                        s.spawn(move || {
+                            self.attempts.inc();
+                            if round > 0 {
+                                self.retries.inc();
+                            }
+                            let request = RpcRequest::QueryBatch {
+                                caller,
+                                queries: idxs.iter().map(|&i| queries[i].clone()).collect(),
+                            };
+                            let out = ep.call(&request);
+                            (idxs, out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("batch frame dispatcher panicked"))
+                    .collect()
+            });
+
+            let mut round_net = 0u64;
+            let mut next_pending: Vec<usize> = pending
+                .iter()
+                .copied()
+                .filter(|&i| candidates[i].get(round).is_none())
+                .collect();
+            for (idxs, out) in outcomes {
+                match out {
+                    Ok((RpcResponse::QueryBatch(subs), net)) if subs.len() == idxs.len() => {
+                        self.successes.inc();
+                        round_net = round_net.max(net);
+                        for (&i, sub) in idxs.iter().zip(subs) {
+                            match sub {
+                                Ok(r) => slots[i] = Some(Ok(r)),
+                                Err(e) if e.is_retryable() => {
+                                    last_err = e;
+                                    next_pending.push(i);
+                                }
+                                Err(e) => slots[i] = Some(Err(e)),
+                            }
+                        }
+                    }
+                    Ok(_) => {
+                        self.failures.inc();
+                        for &i in &idxs {
+                            slots[i] = Some(Err(IpsError::Rpc("mismatched response type".into())));
+                        }
+                    }
+                    Err(e) if e.is_retryable() => {
+                        // Whole frame lost (endpoint down / transit loss):
+                        // every sub-query in it advances to its next
+                        // candidate.
+                        last_err = e;
+                        next_pending.extend(idxs);
+                    }
+                    Err(e) => {
+                        self.failures.inc();
+                        for &i in &idxs {
+                            slots[i] = Some(Err(e.clone()));
+                        }
+                    }
+                }
+            }
+            network_us += round_net;
+            next_pending.sort_unstable();
+            next_pending.dedup();
+            pending = next_pending;
+        }
+        for i in pending {
+            self.failures.inc();
+            slots[i] = Some(Err(last_err.clone()));
+        }
+
+        let results: Vec<Result<QueryResult>> = slots
+            .into_iter()
+            .map(|s| s.unwrap_or_else(|| Err(IpsError::Unavailable("unrouted sub-query".into()))))
+            .collect();
+        // Misses fetch from the persistent store server-side, concurrently
+        // within the batch: model the slowest fetch.
+        let mut storage_us = 0u64;
+        {
+            let mut rng = self.storage_rng.lock();
+            for r in results.iter().flatten() {
+                if !r.cache_hit {
+                    storage_us = storage_us.max(self.storage_model.sample_us(32 << 10, &mut rng));
+                }
+            }
+        }
+        Ok(BatchQueryOutcome {
+            results,
+            latency: LatencyBreakdown::from_call(
+                started.elapsed().as_micros() as u64,
+                network_us,
+                storage_us,
+            ),
+        })
     }
 
     /// Snapshot the client's counters.
@@ -375,19 +733,18 @@ mod tests {
         let (clock, ctl) = sim_clock(Timestamp::from_millis(
             DurationMs::from_days(400).as_millis(),
         ));
-        let mut options = MultiRegionOptions::default();
-        options.instances_per_region = 3;
-        options.tables = vec![(TABLE, {
-            let mut c = TableConfig::new("t");
-            c.isolation.enabled = false;
-            c
-        })];
+        let options = MultiRegionOptions {
+            instances_per_region: 3,
+            tables: vec![(TABLE, {
+                let mut c = TableConfig::new("t");
+                c.isolation.enabled = false;
+                c
+            })],
+            ..Default::default()
+        };
         let d = MultiRegionDeployment::build(options, clock).unwrap();
-        let client = IpsClusterClient::new(
-            Arc::clone(&d.discovery),
-            "region-a",
-            KvLatencyModel::zero(),
-        );
+        let client =
+            IpsClusterClient::new(Arc::clone(&d.discovery), "region-a", KvLatencyModel::zero());
         client.add_endpoints(d.all_endpoints());
         client.refresh();
         (d, client, ctl)
@@ -409,7 +766,13 @@ mod tests {
     }
 
     fn top_k(pid: u64) -> ProfileQuery {
-        ProfileQuery::top_k(TABLE, ProfileId::new(pid), SLOT, TimeRange::last_days(1), 10)
+        ProfileQuery::top_k(
+            TABLE,
+            ProfileId::new(pid),
+            SLOT,
+            TimeRange::last_days(1),
+            10,
+        )
     }
 
     #[test]
@@ -420,10 +783,7 @@ mod tests {
         for region in &d.regions {
             let mut found = false;
             for ep in &region.endpoints {
-                let r = ep
-                    .instance()
-                    .query(CALLER, &top_k(7))
-                    .unwrap();
+                let r = ep.instance().query(CALLER, &top_k(7)).unwrap();
                 if !r.is_empty() {
                     found = true;
                 }
@@ -561,6 +921,158 @@ mod tests {
     }
 
     #[test]
+    fn batch_query_returns_results_in_input_order() {
+        let (_d, client, ctl) = deployment();
+        // Distinct feature per profile so results are attributable.
+        for pid in 0..40u64 {
+            write(&client, pid, 1_000 + pid, ctl.now());
+        }
+        let queries: Vec<ProfileQuery> = (0..40).map(top_k).collect();
+        let outcome = client.query_batch(CALLER, &queries).unwrap();
+        assert_eq!(outcome.results.len(), 40);
+        assert!(outcome.all_ok());
+        for (pid, sub) in outcome.results.iter().enumerate() {
+            let r = sub.as_ref().unwrap();
+            assert_eq!(r.len(), 1);
+            assert_eq!(
+                r.entries[0].feature.raw(),
+                1_000 + pid as u64,
+                "result {pid} out of order"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_query_stays_in_home_region() {
+        let (d, client, ctl) = deployment();
+        for pid in 0..10u64 {
+            write(&client, pid, 1, ctl.now());
+        }
+        let before: u64 = d
+            .region("region-b")
+            .unwrap()
+            .endpoints
+            .iter()
+            .map(|e| e.instance().table(TABLE).unwrap().metrics.queries.get())
+            .sum();
+        let queries: Vec<ProfileQuery> = (0..10).map(top_k).collect();
+        assert!(client.query_batch(CALLER, &queries).unwrap().all_ok());
+        let after: u64 = d
+            .region("region-b")
+            .unwrap()
+            .endpoints
+            .iter()
+            .map(|e| e.instance().table(TABLE).unwrap().metrics.queries.get())
+            .sum();
+        assert_eq!(before, after, "healthy home region handles the batch");
+    }
+
+    #[test]
+    fn batch_query_records_batch_metrics() {
+        let (d, client, ctl) = deployment();
+        for pid in 0..8u64 {
+            write(&client, pid, 1, ctl.now());
+        }
+        let queries: Vec<ProfileQuery> = (0..8).map(top_k).collect();
+        client.query_batch(CALLER, &queries).unwrap();
+        let batched: u64 = d
+            .region("region-a")
+            .unwrap()
+            .endpoints
+            .iter()
+            .map(|e| {
+                e.instance()
+                    .table(TABLE)
+                    .unwrap()
+                    .metrics
+                    .batch_queries
+                    .get()
+            })
+            .sum();
+        assert!(batched > 0, "server-side batch metrics must tick");
+    }
+
+    #[test]
+    fn add_batch_fans_out_to_all_regions() {
+        let (d, client, ctl) = deployment();
+        let writes: Vec<crate::rpc::ProfileWrite> = (0..20u64)
+            .map(|pid| crate::rpc::ProfileWrite {
+                table: TABLE,
+                profile: ProfileId::new(pid),
+                at: ctl.now(),
+                slot: SLOT,
+                action: LIKE,
+                features: vec![(FeatureId::new(500 + pid), CountVector::single(1))],
+            })
+            .collect();
+        client.add_batch(CALLER, &writes).unwrap();
+        for region in &d.regions {
+            for pid in 0..20u64 {
+                let found = region
+                    .endpoints
+                    .iter()
+                    .any(|ep| !ep.instance().query(CALLER, &top_k(pid)).unwrap().is_empty());
+                assert!(found, "profile {pid} missing from region {}", region.name);
+            }
+        }
+    }
+
+    #[test]
+    fn from_call_subtracts_network_from_server_component() {
+        // The wall-clock call measurement includes the sampled network
+        // time; the decomposition must not report it under both labels.
+        let b = LatencyBreakdown::from_call(1_000, 900, 50);
+        assert_eq!(b.network_us, 900);
+        assert_eq!(b.server_us, 100);
+        assert_eq!(b.storage_us, 50);
+        assert_eq!(b.total_us(), 1_050);
+        // Jitter can push the sample past the measurement: saturate.
+        let b = LatencyBreakdown::from_call(500, 900, 0);
+        assert_eq!(b.server_us, 0);
+        assert_eq!(b.total_us(), 900);
+    }
+
+    #[test]
+    fn latency_breakdown_does_not_double_count_network() {
+        // With a large modeled network cost and essentially zero compute,
+        // the pre-fix decomposition reported total_us ~= 2x network (the
+        // wall-clock `server_us` swallowed the sampled network time again).
+        let (clock, ctl) = sim_clock(Timestamp::from_millis(
+            DurationMs::from_days(400).as_millis(),
+        ));
+        let options = MultiRegionOptions {
+            instances_per_region: 3,
+            network: crate::rpc::NetworkModel::production_default(),
+            tables: vec![(TABLE, {
+                let mut c = TableConfig::new("t");
+                c.isolation.enabled = false;
+                c
+            })],
+            ..Default::default()
+        };
+        let d = MultiRegionDeployment::build(options, clock).unwrap();
+        let client =
+            IpsClusterClient::new(Arc::clone(&d.discovery), "region-a", KvLatencyModel::zero());
+        client.add_endpoints(d.all_endpoints());
+        client.refresh();
+        write(&client, 7, 1, ctl.now());
+        let (_, breakdown) = client.query(CALLER, &top_k(7)).unwrap();
+        assert!(breakdown.network_us > 0, "modeled network must be nonzero");
+        // server_us is real in-process compute: microseconds, not the
+        // hundreds of modeled-network microseconds.
+        assert!(
+            breakdown.server_us < breakdown.network_us,
+            "server_us ({}) must exclude modeled network ({})",
+            breakdown.server_us,
+            breakdown.network_us
+        );
+        assert_eq!(
+            breakdown.total_us(),
+            breakdown.network_us + breakdown.server_us + breakdown.storage_us
+        );
+    }
+
+    #[test]
     fn miss_latency_includes_storage_component() {
         let (d, _client, ctl) = deployment();
         let client = IpsClusterClient::new(
@@ -589,7 +1101,10 @@ mod tests {
         let (result, breakdown) = client.query(CALLER, &top_k(7)).unwrap();
         assert_eq!(result.len(), 1);
         assert!(!result.cache_hit);
-        assert!(breakdown.storage_us > 0, "miss must pay modeled storage time");
+        assert!(
+            breakdown.storage_us > 0,
+            "miss must pay modeled storage time"
+        );
         // A second query hits the cache: no storage component.
         let (result, breakdown) = client.query(CALLER, &top_k(7)).unwrap();
         assert!(result.cache_hit);

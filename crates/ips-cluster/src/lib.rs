@@ -25,8 +25,8 @@ pub mod ring;
 pub mod rpc;
 
 pub use autoscale::{Autoscaler, AutoscalerConfig, ScaleDecision};
-pub use client::{ClientStats, IpsClusterClient, LatencyBreakdown};
+pub use client::{BatchQueryOutcome, ClientStats, IpsClusterClient, LatencyBreakdown};
 pub use discovery::{Discovery, Registration};
 pub use region::{MultiRegionDeployment, MultiRegionOptions, Region, RegionStore};
 pub use ring::HashRing;
-pub use rpc::{NetworkModel, RpcEndpoint, RpcRequest, RpcResponse};
+pub use rpc::{NetworkModel, ProfileWrite, RpcEndpoint, RpcRequest, RpcResponse};

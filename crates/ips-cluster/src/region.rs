@@ -156,7 +156,12 @@ impl MultiRegionDeployment {
         let master = Arc::new(KvNode::new("kv-master", KvNodeConfig::default())?);
         let replicas: Vec<Arc<KvNode>> = options.regions[1..]
             .iter()
-            .map(|r| Ok(Arc::new(KvNode::new(format!("kv-replica-{r}"), KvNodeConfig::default())?)))
+            .map(|r| {
+                Ok(Arc::new(KvNode::new(
+                    format!("kv-replica-{r}"),
+                    KvNodeConfig::default(),
+                )?))
+            })
             .collect::<Result<_>>()?;
         let kv = Arc::new(ReplicatedKv::new(
             master,
@@ -194,8 +199,7 @@ impl MultiRegionDeployment {
                 replica: replica_idx.map(|i| Arc::clone(&replicas[i])),
             });
         }
-        let next_instance_id =
-            std::sync::atomic::AtomicUsize::new(options.instances_per_region);
+        let next_instance_id = std::sync::atomic::AtomicUsize::new(options.instances_per_region);
         Ok(Self {
             regions,
             kv,
@@ -216,9 +220,9 @@ impl MultiRegionDeployment {
             .regions
             .iter()
             .position(|r| r.name == region_name)
-            .ok_or_else(|| ips_types::IpsError::InvalidRequest(format!(
-                "unknown region {region_name}"
-            )))?;
+            .ok_or_else(|| {
+                ips_types::IpsError::InvalidRequest(format!("unknown region {region_name}"))
+            })?;
         let mut added = Vec::with_capacity(n);
         for _ in 0..n {
             let id = self
@@ -243,7 +247,9 @@ impl MultiRegionDeployment {
                 self.options.network,
             );
             self.discovery.register(&name, region_name);
-            self.regions[region_idx].endpoints.push(Arc::clone(&endpoint));
+            self.regions[region_idx]
+                .endpoints
+                .push(Arc::clone(&endpoint));
             added.push(endpoint);
         }
         Ok(added)
@@ -257,9 +263,9 @@ impl MultiRegionDeployment {
             .regions
             .iter_mut()
             .find(|r| r.name == region_name)
-            .ok_or_else(|| ips_types::IpsError::InvalidRequest(format!(
-                "unknown region {region_name}"
-            )))?;
+            .ok_or_else(|| {
+                ips_types::IpsError::InvalidRequest(format!("unknown region {region_name}"))
+            })?;
         let mut removed = 0;
         while removed < n && region.endpoints.len() > 1 {
             let ep = region.endpoints.pop().expect("len > 1");
@@ -378,11 +384,10 @@ mod tests {
 
     #[test]
     fn scale_out_and_in_round_trip() {
-        use ips_types::{
-            ActionTypeId, CallerId, CountVector, FeatureId, ProfileId, SlotId, TableId,
-            TimeRange,
-        };
         use ips_types::Clock as _;
+        use ips_types::{
+            ActionTypeId, CallerId, CountVector, FeatureId, ProfileId, SlotId, TableId, TimeRange,
+        };
         let (mut d, ctl) = build();
         assert_eq!(d.regions[0].endpoints.len(), 2);
 

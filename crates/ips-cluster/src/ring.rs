@@ -105,11 +105,8 @@ impl HashRing {
             return out;
         }
         let key = mix(pid.raw());
-        for (_, node) in self.points.range(key..).chain(self.points.iter().map(|(k, v)| {
-            // chain wraps around the ring
-            (k, v)
-        })) {
-            if !out.iter().any(|x| *x == node.as_str()) {
+        for (_, node) in self.points.range(key..).chain(self.points.iter()) {
+            if !out.contains(&node.as_str()) {
                 out.push(node);
                 if out.len() >= n || out.len() >= self.nodes.len() {
                     break;

@@ -15,15 +15,26 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use ips_codec::wire::{WireReader, WireWriter};
-use ips_core::query::{
-    FeatureEntry, FilterPredicate, ProfileQuery, QueryKind, QueryResult,
-};
+use ips_core::query::{FeatureEntry, FilterPredicate, ProfileQuery, QueryKind, QueryResult};
 use ips_core::server::IpsInstance;
 use ips_types::config::DecayFunction;
 use ips_types::{
     ActionTypeId, CallerId, CountVector, DurationMs, FeatureId, IpsError, ProfileId, Result,
     SlotId, SortKey, SortOrder, TableId, TimeRange, Timestamp,
 };
+
+/// One profile's worth of writes inside an [`RpcRequest::AddBatch`] frame.
+/// All features share one `(timestamp, slot, action)` coordinate, exactly
+/// like the paper's `add_profiles` interface.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileWrite {
+    pub table: TableId,
+    pub profile: ProfileId,
+    pub at: Timestamp,
+    pub slot: SlotId,
+    pub action: ActionTypeId,
+    pub features: Vec<(FeatureId, CountVector)>,
+}
 
 /// A request on the wire.
 #[derive(Clone, Debug, PartialEq)]
@@ -43,6 +54,19 @@ pub enum RpcRequest {
         caller: CallerId,
         query: ProfileQuery,
     },
+    /// Many reads in one frame: the candidate-ranking fan-out. The whole
+    /// batch pays the fixed network round-trip once; the server executes
+    /// the sub-queries on its worker pool and replies with per-sub-query
+    /// results so one bad profile cannot fail its siblings.
+    QueryBatch {
+        caller: CallerId,
+        queries: Vec<ProfileQuery>,
+    },
+    /// Many profiles' writes in one frame (multi-profile `add_profiles`).
+    AddBatch {
+        caller: CallerId,
+        writes: Vec<ProfileWrite>,
+    },
 }
 
 /// A response on the wire.
@@ -50,6 +74,10 @@ pub enum RpcRequest {
 pub enum RpcResponse {
     Ok,
     Query(QueryResult),
+    /// Per-sub-query outcomes for [`RpcRequest::QueryBatch`], in request
+    /// order. Errors are carried on the wire so the client can retry just
+    /// the retryable subset.
+    QueryBatch(Vec<Result<QueryResult>>),
 }
 
 // ---- serialization ---------------------------------------------------------
@@ -59,8 +87,11 @@ pub enum RpcResponse {
 
 const REQ_ADD: u64 = 1;
 const REQ_QUERY: u64 = 2;
+const REQ_QUERY_BATCH: u64 = 3;
+const REQ_ADD_BATCH: u64 = 4;
 const RESP_OK: u64 = 1;
 const RESP_QUERY: u64 = 2;
+const RESP_QUERY_BATCH: u64 = 3;
 
 fn put_count_vector(w: &mut WireWriter, field: u32, counts: &CountVector) {
     w.put_packed_i64(field, counts.as_slice());
@@ -307,9 +338,9 @@ fn decode_query(bytes: &[u8]) -> Result<ProfileQuery> {
                     attr: pred_attr,
                     min: pred_min,
                 },
-                2 => FilterPredicate::FeatureIn(
-                    pred_fids.into_iter().map(FeatureId::new).collect(),
-                ),
+                2 => {
+                    FilterPredicate::FeatureIn(pred_fids.into_iter().map(FeatureId::new).collect())
+                }
                 3 => FilterPredicate::All,
                 other => return Err(IpsError::Codec(format!("bad predicate {other}"))),
             },
@@ -330,6 +361,169 @@ fn decode_query(bytes: &[u8]) -> Result<ProfileQuery> {
         kind,
         decay,
         decay_factor,
+    })
+}
+
+/// Errors cross the wire inside [`RpcResponse::QueryBatch`] sub-results.
+/// Variant identity is preserved exactly — `is_retryable()` must give the
+/// same answer on both sides, or client-side per-sub-query failover breaks.
+fn encode_error(w: &mut WireWriter, e: &IpsError) {
+    let (tag, a, b, msg): (u64, u64, u64, &str) = match e {
+        IpsError::UnknownTable(t) => (1, u64::from(t.raw()), 0, ""),
+        IpsError::ProfileNotFound { table, profile } => {
+            (2, u64::from(table.raw()), profile.raw(), "")
+        }
+        IpsError::InvalidRequest(m) => (3, 0, 0, m),
+        IpsError::InvalidConfig(m) => (4, 0, 0, m),
+        IpsError::QuotaExceeded(c) => (5, u64::from(c.raw()), 0, ""),
+        IpsError::Storage(m) => (6, 0, 0, m),
+        IpsError::StaleGeneration { held, current } => (7, *held, *current, ""),
+        IpsError::Codec(m) => (8, 0, 0, m),
+        IpsError::Rpc(m) => (9, 0, 0, m),
+        IpsError::Unavailable(m) => (10, 0, 0, m),
+        IpsError::ShuttingDown => (11, 0, 0, ""),
+    };
+    w.put_u64(1, tag);
+    w.put_u64(2, a);
+    w.put_u64(3, b);
+    if !msg.is_empty() {
+        w.put_str(4, msg);
+    }
+}
+
+fn decode_error(bytes: &[u8]) -> Result<IpsError> {
+    let (mut tag, mut a, mut b) = (0u64, 0u64, 0u64);
+    let mut msg = String::new();
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => tag = v.as_u64(f)?,
+                2 => a = v.as_u64(f)?,
+                3 => b = v.as_u64(f)?,
+                4 => msg = String::from_utf8_lossy(v.as_bytes(f)?).into_owned(),
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    Ok(match tag {
+        1 => IpsError::UnknownTable(TableId::new(a as u32)),
+        2 => IpsError::ProfileNotFound {
+            table: TableId::new(a as u32),
+            profile: ProfileId::new(b),
+        },
+        3 => IpsError::InvalidRequest(msg),
+        4 => IpsError::InvalidConfig(msg),
+        5 => IpsError::QuotaExceeded(CallerId::new(a as u32)),
+        6 => IpsError::Storage(msg),
+        7 => IpsError::StaleGeneration {
+            held: a,
+            current: b,
+        },
+        8 => IpsError::Codec(msg),
+        9 => IpsError::Rpc(msg),
+        10 => IpsError::Unavailable(msg),
+        11 => IpsError::ShuttingDown,
+        other => return Err(IpsError::Codec(format!("bad error tag {other}"))),
+    })
+}
+
+fn encode_query_result(w: &mut WireWriter, result: &QueryResult) {
+    w.put_u64(1, result.slices_visited as u64);
+    w.put_bool(2, result.cache_hit);
+    for e in &result.entries {
+        w.put_message(3, |ew| {
+            ew.put_u64(1, e.feature.raw());
+            ew.put_packed_i64(2, e.counts.as_slice());
+            ew.put_fixed64(3, e.last_seen.as_millis());
+        });
+    }
+}
+
+fn decode_query_result(bytes: &[u8]) -> Result<QueryResult> {
+    let mut result = QueryResult::default();
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => result.slices_visited = v.as_u64(f)? as usize,
+                2 => result.cache_hit = v.as_bool(f)?,
+                3 => {
+                    let mut fid = 0u64;
+                    let mut counts = CountVector::empty();
+                    let mut last_seen = 0u64;
+                    WireReader::new(v.as_bytes(f)?).for_each(|ef, ev| {
+                        match ef {
+                            1 => fid = ev.as_u64(ef)?,
+                            2 => counts = CountVector::from_slice(&ev.as_packed_i64(ef)?),
+                            3 => last_seen = ev.as_u64(ef)?,
+                            _ => {}
+                        }
+                        Ok(())
+                    })?;
+                    result.entries.push(FeatureEntry {
+                        feature: FeatureId::new(fid),
+                        counts,
+                        last_seen: Timestamp::from_millis(last_seen),
+                    });
+                }
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    Ok(result)
+}
+
+fn encode_profile_write(w: &mut WireWriter, pw: &ProfileWrite) {
+    w.put_u64(1, u64::from(pw.table.raw()));
+    w.put_u64(2, pw.profile.raw());
+    w.put_fixed64(3, pw.at.as_millis());
+    w.put_u64(4, u64::from(pw.slot.raw()));
+    w.put_u64(5, u64::from(pw.action.raw()));
+    for (fid, counts) in &pw.features {
+        w.put_message(6, |fw| {
+            fw.put_u64(1, fid.raw());
+            put_count_vector(fw, 2, counts);
+        });
+    }
+}
+
+fn decode_profile_write(bytes: &[u8]) -> Result<ProfileWrite> {
+    let (mut table, mut profile, mut at, mut slot, mut action) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut features: Vec<(FeatureId, CountVector)> = Vec::new();
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => table = v.as_u64(f)?,
+                2 => profile = v.as_u64(f)?,
+                3 => at = v.as_u64(f)?,
+                4 => slot = v.as_u64(f)?,
+                5 => action = v.as_u64(f)?,
+                6 => {
+                    let mut fid = 0u64;
+                    let mut counts = CountVector::empty();
+                    WireReader::new(v.as_bytes(f)?).for_each(|ff, fv| {
+                        match ff {
+                            1 => fid = fv.as_u64(ff)?,
+                            2 => counts = CountVector::from_slice(&fv.as_packed_i64(ff)?),
+                            _ => {}
+                        }
+                        Ok(())
+                    })?;
+                    features.push((FeatureId::new(fid), counts));
+                }
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    Ok(ProfileWrite {
+        table: TableId::new(table as u32),
+        profile: ProfileId::new(profile),
+        at: Timestamp::from_millis(at),
+        slot: SlotId::new(slot as u32),
+        action: ActionTypeId::new(action as u32),
+        features,
     })
 }
 
@@ -367,6 +561,20 @@ impl RpcRequest {
                 w.put_u64(2, u64::from(caller.raw()));
                 w.put_message(9, |qw| encode_query(qw, query));
             }
+            RpcRequest::QueryBatch { caller, queries } => {
+                w.put_u64(1, REQ_QUERY_BATCH);
+                w.put_u64(2, u64::from(caller.raw()));
+                for query in queries {
+                    w.put_message(10, |qw| encode_query(qw, query));
+                }
+            }
+            RpcRequest::AddBatch { caller, writes } => {
+                w.put_u64(1, REQ_ADD_BATCH);
+                w.put_u64(2, u64::from(caller.raw()));
+                for write in writes {
+                    w.put_message(11, |ww| encode_profile_write(ww, write));
+                }
+            }
         }
         w.into_bytes()
     }
@@ -382,6 +590,8 @@ impl RpcRequest {
         let mut action = 0u64;
         let mut features: Vec<(FeatureId, CountVector)> = Vec::new();
         let mut query: Option<ProfileQuery> = None;
+        let mut queries: Vec<ProfileQuery> = Vec::new();
+        let mut writes: Vec<ProfileWrite> = Vec::new();
 
         WireReader::new(bytes)
             .for_each(|f, v| {
@@ -412,6 +622,18 @@ impl RpcRequest {
                                 .map_err(|_| ips_codec::wire::WireError::MissingField(f))?,
                         );
                     }
+                    10 => {
+                        queries.push(
+                            decode_query(v.as_bytes(f)?)
+                                .map_err(|_| ips_codec::wire::WireError::MissingField(f))?,
+                        );
+                    }
+                    11 => {
+                        writes.push(
+                            decode_profile_write(v.as_bytes(f)?)
+                                .map_err(|_| ips_codec::wire::WireError::MissingField(f))?,
+                        );
+                    }
                     _ => {}
                 }
                 Ok(())
@@ -432,6 +654,14 @@ impl RpcRequest {
                 caller: CallerId::new(caller as u32),
                 query: query.ok_or_else(|| IpsError::Codec("query missing".into()))?,
             }),
+            REQ_QUERY_BATCH => Ok(RpcRequest::QueryBatch {
+                caller: CallerId::new(caller as u32),
+                queries,
+            }),
+            REQ_ADD_BATCH => Ok(RpcRequest::AddBatch {
+                caller: CallerId::new(caller as u32),
+                writes,
+            }),
             other => Err(IpsError::Codec(format!("bad request kind {other}"))),
         }
     }
@@ -446,13 +676,16 @@ impl RpcResponse {
             RpcResponse::Ok => w.put_u64(1, RESP_OK),
             RpcResponse::Query(result) => {
                 w.put_u64(1, RESP_QUERY);
-                w.put_u64(2, result.slices_visited as u64);
-                w.put_bool(3, result.cache_hit);
-                for e in &result.entries {
-                    w.put_message(4, |ew| {
-                        ew.put_u64(1, e.feature.raw());
-                        ew.put_packed_i64(2, e.counts.as_slice());
-                        ew.put_fixed64(3, e.last_seen.as_millis());
+                w.put_message(2, |rw| encode_query_result(rw, result));
+            }
+            RpcResponse::QueryBatch(results) => {
+                w.put_u64(1, RESP_QUERY_BATCH);
+                // One sub-message per sub-result, in request order: field 1
+                // carries a result, field 2 an error.
+                for sub in results {
+                    w.put_message(3, |sw| match sub {
+                        Ok(result) => sw.put_message(1, |rw| encode_query_result(rw, result)),
+                        Err(e) => sw.put_message(2, |ew| encode_error(ew, e)),
                     });
                 }
             }
@@ -463,31 +696,37 @@ impl RpcResponse {
     /// Deserialize from transport bytes.
     pub fn decode(bytes: &[u8]) -> Result<Self> {
         let mut kind = 0u64;
-        let mut result = QueryResult::default();
+        let mut result: Option<QueryResult> = None;
+        let mut batch: Vec<Result<QueryResult>> = Vec::new();
         WireReader::new(bytes)
             .for_each(|f, v| {
                 match f {
                     1 => kind = v.as_u64(f)?,
-                    2 => result.slices_visited = v.as_u64(f)? as usize,
-                    3 => result.cache_hit = v.as_bool(f)?,
-                    4 => {
-                        let mut fid = 0u64;
-                        let mut counts = CountVector::empty();
-                        let mut last_seen = 0u64;
-                        WireReader::new(v.as_bytes(f)?).for_each(|ef, ev| {
-                            match ef {
-                                1 => fid = ev.as_u64(ef)?,
-                                2 => counts = CountVector::from_slice(&ev.as_packed_i64(ef)?),
-                                3 => last_seen = ev.as_u64(ef)?,
+                    2 => {
+                        result = Some(
+                            decode_query_result(v.as_bytes(f)?)
+                                .map_err(|_| ips_codec::wire::WireError::MissingField(f))?,
+                        );
+                    }
+                    3 => {
+                        let mut sub: Option<Result<QueryResult>> = None;
+                        WireReader::new(v.as_bytes(f)?).for_each(|sf, sv| {
+                            match sf {
+                                1 => {
+                                    sub = Some(Ok(decode_query_result(sv.as_bytes(sf)?).map_err(
+                                        |_| ips_codec::wire::WireError::MissingField(sf),
+                                    )?));
+                                }
+                                2 => {
+                                    sub = Some(Err(decode_error(sv.as_bytes(sf)?).map_err(
+                                        |_| ips_codec::wire::WireError::MissingField(sf),
+                                    )?));
+                                }
                                 _ => {}
                             }
                             Ok(())
                         })?;
-                        result.entries.push(FeatureEntry {
-                            feature: FeatureId::new(fid),
-                            counts,
-                            last_seen: Timestamp::from_millis(last_seen),
-                        });
+                        batch.push(sub.ok_or(ips_codec::wire::WireError::MissingField(f))?);
                     }
                     _ => {}
                 }
@@ -496,7 +735,8 @@ impl RpcResponse {
             .map_err(|e| IpsError::Codec(e.to_string()))?;
         match kind {
             RESP_OK => Ok(RpcResponse::Ok),
-            RESP_QUERY => Ok(RpcResponse::Query(result)),
+            RESP_QUERY => Ok(RpcResponse::Query(result.unwrap_or_default())),
+            RESP_QUERY_BATCH => Ok(RpcResponse::QueryBatch(batch)),
             other => Err(IpsError::Codec(format!("bad response kind {other}"))),
         }
     }
@@ -656,6 +896,23 @@ impl RpcEndpoint {
             RpcRequest::Query { caller, query } => {
                 RpcResponse::Query(self.instance.query(caller, &query)?)
             }
+            RpcRequest::QueryBatch { caller, queries } => {
+                RpcResponse::QueryBatch(self.instance.query_batch(caller, &queries)?)
+            }
+            RpcRequest::AddBatch { caller, writes } => {
+                for w in &writes {
+                    self.instance.add_profiles(
+                        caller,
+                        w.table,
+                        w.profile,
+                        w.at,
+                        w.slot,
+                        w.action,
+                        &w.features,
+                    )?;
+                }
+                RpcResponse::Ok
+            }
         };
         let response_bytes = response.encode();
         let inbound = {
@@ -742,6 +999,153 @@ mod tests {
             let bytes = req.encode();
             assert_eq!(RpcRequest::decode(&bytes).unwrap(), req, "round trip");
         }
+    }
+
+    #[test]
+    fn batch_request_round_trips() {
+        let reqs = vec![
+            RpcRequest::QueryBatch {
+                caller: CallerId::new(9),
+                queries: vec![
+                    sample_query(),
+                    ProfileQuery::top_k(
+                        TableId::new(1),
+                        ProfileId::new(2),
+                        SlotId::new(3),
+                        TimeRange::last_days(2),
+                        3,
+                    ),
+                ],
+            },
+            RpcRequest::QueryBatch {
+                caller: CallerId::new(9),
+                queries: Vec::new(),
+            },
+            RpcRequest::AddBatch {
+                caller: CallerId::new(4),
+                writes: vec![
+                    ProfileWrite {
+                        table: TableId::new(1),
+                        profile: ProfileId::new(10),
+                        at: Timestamp::from_millis(99),
+                        slot: SlotId::new(1),
+                        action: ActionTypeId::new(2),
+                        features: vec![(FeatureId::new(5), CountVector::single(3))],
+                    },
+                    ProfileWrite {
+                        table: TableId::new(2),
+                        profile: ProfileId::new(11),
+                        at: Timestamp::from_millis(100),
+                        slot: SlotId::new(2),
+                        action: ActionTypeId::new(3),
+                        features: vec![
+                            (FeatureId::new(6), CountVector::from_slice(&[1, -2])),
+                            (FeatureId::new(7), CountVector::single(1)),
+                        ],
+                    },
+                ],
+            },
+        ];
+        for req in reqs {
+            let bytes = req.encode();
+            assert_eq!(RpcRequest::decode(&bytes).unwrap(), req, "round trip");
+        }
+    }
+
+    #[test]
+    fn batch_response_round_trips_with_errors() {
+        let errors = vec![
+            IpsError::UnknownTable(TableId::new(9)),
+            IpsError::ProfileNotFound {
+                table: TableId::new(1),
+                profile: ProfileId::new(2),
+            },
+            IpsError::InvalidRequest("bad".into()),
+            IpsError::InvalidConfig("cfg".into()),
+            IpsError::QuotaExceeded(CallerId::new(3)),
+            IpsError::Storage("disk".into()),
+            IpsError::StaleGeneration {
+                held: 4,
+                current: 7,
+            },
+            IpsError::Codec("frame".into()),
+            IpsError::Rpc("down".into()),
+            IpsError::Unavailable("none".into()),
+            IpsError::ShuttingDown,
+        ];
+        let mut subs: Vec<Result<QueryResult>> = errors.into_iter().map(Err).collect();
+        subs.push(Ok(QueryResult {
+            entries: vec![FeatureEntry {
+                feature: FeatureId::new(1),
+                counts: CountVector::single(2),
+                last_seen: Timestamp::from_millis(3),
+            }],
+            slices_visited: 1,
+            cache_hit: false,
+        }));
+        subs.push(Ok(QueryResult::default()));
+        let resp = RpcResponse::QueryBatch(subs);
+        let decoded = RpcResponse::decode(&resp.encode()).unwrap();
+        assert_eq!(decoded, resp);
+        // Retryability must survive the wire: the client's per-sub-query
+        // failover keys off it.
+        let RpcResponse::QueryBatch(decoded_subs) = decoded else {
+            panic!("wrong kind");
+        };
+        let RpcResponse::QueryBatch(original_subs) = resp else {
+            panic!("wrong kind");
+        };
+        for (d, o) in decoded_subs.iter().zip(&original_subs) {
+            if let (Err(d), Err(o)) = (d, o) {
+                assert_eq!(d.is_retryable(), o.is_retryable());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_call_amortizes_fixed_network_cost() {
+        // One 16-query frame must cost far less modeled network time than
+        // 16 single-query calls: the fixed rtt is paid once per frame.
+        let model = NetworkModel {
+            rtt_us: 1_000,
+            per_kib_us: 0,
+            jitter: 0.0,
+            loss_probability: 0.0,
+        };
+        let ep = endpoint(model);
+        ep.call(&add_req(7)).unwrap();
+        let q = |pid| {
+            ProfileQuery::top_k(
+                TableId::new(1),
+                ProfileId::new(pid),
+                SlotId::new(1),
+                TimeRange::last_days(1),
+                5,
+            )
+        };
+        let mut singles = 0u64;
+        for pid in 0..16 {
+            let (_, net) = ep
+                .call(&RpcRequest::Query {
+                    caller: CallerId::new(1),
+                    query: q(pid),
+                })
+                .unwrap();
+            singles += net;
+        }
+        let (resp, batch_net) = ep
+            .call(&RpcRequest::QueryBatch {
+                caller: CallerId::new(1),
+                queries: (0..16).map(q).collect(),
+            })
+            .unwrap();
+        let RpcResponse::QueryBatch(subs) = resp else {
+            panic!("wrong kind");
+        };
+        assert_eq!(subs.len(), 16);
+        assert!(subs.iter().all(Result::is_ok));
+        assert_eq!(singles, 16 * 2_000);
+        assert_eq!(batch_net, 2_000, "one frame pays the rtt once");
     }
 
     #[test]

@@ -5,9 +5,7 @@ use proptest::prelude::*;
 
 use ips_cluster::rpc::{RpcRequest, RpcResponse};
 use ips_cluster::HashRing;
-use ips_core::query::{
-    FeatureEntry, FilterPredicate, ProfileQuery, QueryKind, QueryResult,
-};
+use ips_core::query::{FeatureEntry, FilterPredicate, ProfileQuery, QueryKind, QueryResult};
 use ips_types::config::DecayFunction;
 use ips_types::{
     ActionTypeId, CallerId, CountVector, DurationMs, FeatureId, ProfileId, SlotId, SortKey,
@@ -74,14 +72,11 @@ fn arb_kind() -> impl Strategy<Value = QueryKind> {
             order
         }),
         prop_oneof![
-            ((0usize..8), any::<i64>()).prop_map(|(attr, min)| FilterPredicate::MinAttribute {
-                attr,
-                min
-            }),
-            proptest::collection::vec(any::<u64>(), 0..20)
-                .prop_map(|v| FilterPredicate::FeatureIn(
-                    v.into_iter().map(FeatureId::new).collect()
-                )),
+            ((0usize..8), any::<i64>())
+                .prop_map(|(attr, min)| FilterPredicate::MinAttribute { attr, min }),
+            proptest::collection::vec(any::<u64>(), 0..20).prop_map(
+                |v| FilterPredicate::FeatureIn(v.into_iter().map(FeatureId::new).collect())
+            ),
             Just(FilterPredicate::All),
         ]
         .prop_map(|predicate| QueryKind::Filter { predicate }),

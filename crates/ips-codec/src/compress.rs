@@ -174,11 +174,10 @@ pub fn decompress(mut input: &[u8], max_len: usize) -> Result<Vec<u8>, CompressE
         if is_copy {
             let (off, n) = decode_u64(input).map_err(|_| CompressError::BadVarint)?;
             input = &input[n..];
-            let offset =
-                usize::try_from(off).map_err(|_| CompressError::BadOffset {
-                    offset: usize::MAX,
-                    produced: out.len(),
-                })?;
+            let offset = usize::try_from(off).map_err(|_| CompressError::BadOffset {
+                offset: usize::MAX,
+                produced: out.len(),
+            })?;
             if offset == 0 || offset > out.len() {
                 return Err(CompressError::BadOffset {
                     offset,
@@ -291,9 +290,8 @@ mod tests {
         for cut in 1..c.len() {
             // Every strict prefix must either error or produce a strict
             // prefix of the original -- never panic.
-            match decompress(&c[..cut], data.len()) {
-                Ok(d) => assert!(data.starts_with(&d)),
-                Err(_) => {}
+            if let Ok(d) = decompress(&c[..cut], data.len()) {
+                assert!(data.starts_with(&d))
             }
         }
     }
@@ -343,7 +341,7 @@ mod tests {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
                 let run = (x % 64) as usize;
                 let byte = (x >> 32) as u8;
-                data.extend(std::iter::repeat(byte).take(run));
+                data.extend(std::iter::repeat_n(byte, run));
                 data.extend_from_slice(&x.to_le_bytes());
             }
             prop_assert_eq!(round_trip(&data), data);

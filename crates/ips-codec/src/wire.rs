@@ -63,10 +63,7 @@ impl fmt::Display for WireError {
                 field,
                 expected,
                 actual,
-            } => write!(
-                f,
-                "field {field}: expected {expected:?}, found {actual:?}"
-            ),
+            } => write!(f, "field {field}: expected {expected:?}, found {actual:?}"),
             WireError::MissingField(n) => write!(f, "missing required field {n}"),
         }
     }

@@ -246,7 +246,10 @@ impl<S: ProfileStore + 'static> GCache<S> {
     /// Is the profile currently resident?
     #[must_use]
     pub fn contains(&self, pid: ProfileId) -> bool {
-        self.shards[self.shard_idx(pid)].map.lock().contains_key(&pid)
+        self.shards[self.shard_idx(pid)]
+            .map
+            .lock()
+            .contains_key(&pid)
     }
 
     /// Number of resident profiles.
@@ -500,10 +503,7 @@ impl<S: ProfileStore + 'static> GCache<S> {
                     .expect("spawn flush thread"),
             );
         }
-        BackgroundThreads {
-            stop,
-            handles,
-        }
+        BackgroundThreads { stop, handles }
     }
 }
 
@@ -536,7 +536,9 @@ mod tests {
         let persister = Arc::new(ProfilePersister::new(
             node,
             TableId::new(1),
-            PersistenceMode::Split { threshold_bytes: 4 << 10 },
+            PersistenceMode::Split {
+                threshold_bytes: 4 << 10,
+            },
         ));
         GCache::new(
             persister,
@@ -663,7 +665,12 @@ mod tests {
         c.flush_all().unwrap();
         // Hold profile 1's entry lock on another thread.
         let shard = &c.shards[c.shard_idx(ProfileId::new(1))];
-        let entry = shard.map.lock().get(&ProfileId::new(1)).map(Arc::clone).unwrap();
+        let entry = shard
+            .map
+            .lock()
+            .get(&ProfileId::new(1))
+            .map(Arc::clone)
+            .unwrap();
         let guard = entry.lock();
         let evicted = c.swap_cycle().unwrap();
         // Profile 2 can go; profile 1 must be skipped, not deadlocked.
@@ -731,10 +738,10 @@ mod tests {
         let bg = c.spawn_background();
         write_row(&c, 1, 1_000, 1);
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while node.store().len() == 0 && std::time::Instant::now() < deadline {
+        while node.store().is_empty() && std::time::Instant::now() < deadline {
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
-        assert!(node.store().len() > 0, "background flush should persist");
+        assert!(!node.store().is_empty(), "background flush should persist");
         drop(bg); // stops and joins
     }
 

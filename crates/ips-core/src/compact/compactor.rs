@@ -149,8 +149,8 @@ pub fn needs_compaction(
 mod tests {
     use super::*;
     use ips_types::{
-        DurationMs,
-        ActionTypeId, CountVector, FeatureId, SlotId, TimeDimensionConfig, TruncateConfig,
+        ActionTypeId, CountVector, DurationMs, FeatureId, SlotId, TimeDimensionConfig,
+        TruncateConfig,
     };
 
     const SLOT: SlotId = SlotId(1);
@@ -283,8 +283,7 @@ mod tests {
         }
         let mut cfg = demo_config();
         // Disable merging so count-truncate is observable.
-        cfg.time_dimension =
-            TimeDimensionConfig::from_pairs(&[("1s", "0s", "365d")]).unwrap();
+        cfg.time_dimension = TimeDimensionConfig::from_pairs(&[("1s", "0s", "365d")]).unwrap();
         cfg.truncate.max_slices = Some(5);
         let now = ts(1_000_000);
         let stats = compact_profile(&mut p, &cfg, AggregateFunction::Sum, now, false);
@@ -321,7 +320,11 @@ mod tests {
         for i in 0..5u64 {
             add(&mut p, i * 1_000, 1, 1);
         }
-        assert_eq!(needs_compaction(&p, &cfg, ts(10_000)), Some(false), "partial");
+        assert_eq!(
+            needs_compaction(&p, &cfg, ts(10_000)),
+            Some(false),
+            "partial"
+        );
         for i in 5..15u64 {
             add(&mut p, i * 1_000, 1, 1);
         }

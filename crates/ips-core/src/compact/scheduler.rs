@@ -120,27 +120,23 @@ impl CompactionScheduler {
                 let stop = Arc::clone(&stop);
                 std::thread::Builder::new()
                     .name(format!("ips-compact-{i}"))
-                    .spawn(move || {
-                        loop {
-                            let task = {
-                                let mut q = me.queue.lock();
-                                loop {
-                                    if stop.load(Ordering::Relaxed) || q.shutdown {
-                                        return;
-                                    }
-                                    if let Some(t) = q.tasks.pop_front() {
-                                        q.queued.remove(&t.profile);
-                                        break t;
-                                    }
-                                    me.available.wait_for(
-                                        &mut q,
-                                        std::time::Duration::from_millis(20),
-                                    );
+                    .spawn(move || loop {
+                        let task = {
+                            let mut q = me.queue.lock();
+                            loop {
+                                if stop.load(Ordering::Relaxed) || q.shutdown {
+                                    return;
                                 }
-                            };
-                            (me.handler)(task);
-                            me.executed.inc();
-                        }
+                                if let Some(t) = q.tasks.pop_front() {
+                                    q.queued.remove(&t.profile);
+                                    break t;
+                                }
+                                me.available
+                                    .wait_for(&mut q, std::time::Duration::from_millis(20));
+                            }
+                        };
+                        (me.handler)(task);
+                        me.executed.inc();
                     })
                     .expect("spawn compaction worker")
             })

@@ -75,8 +75,7 @@ pub fn shrink_profile(profile: &mut ProfileData, config: &ShrinkConfig, now: Tim
         }
 
         // Long-term reservation: oldest-first by first_seen.
-        let long_term_budget =
-            ((budget as f64) * config.long_term_fraction).round() as usize;
+        let long_term_budget = ((budget as f64) * config.long_term_fraction).round() as usize;
         if long_term_budget > 0 {
             let mut by_age: Vec<(&FeatureId, &FeatureAgg)> = features.iter().collect();
             by_age.sort_by(|a, b| {
@@ -114,7 +113,9 @@ pub fn shrink_profile(profile: &mut ProfileData, config: &ShrinkConfig, now: Tim
         }
         let mut touched = false;
         for (slot, set) in slice.iter_slots_mut() {
-            let Some(kept) = keep.get(&slot) else { continue };
+            let Some(kept) = keep.get(&slot) else {
+                continue;
+            };
             for (_, stats) in set.iter_mut() {
                 let before = stats.len();
                 stats.retain(|fid, _| kept.contains(&fid));
@@ -134,9 +135,7 @@ pub fn shrink_profile(profile: &mut ProfileData, config: &ShrinkConfig, now: Tim
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ips_types::{
-        ActionTypeId, AggregateFunction, CountVector, DurationMs,
-    };
+    use ips_types::{ActionTypeId, AggregateFunction, CountVector, DurationMs};
 
     const SLOT: SlotId = SlotId(1);
     const LIKE: ActionTypeId = ActionTypeId(1);
@@ -215,7 +214,10 @@ mod tests {
         let now = ts(1_000_000); // fresh horizon 10s: slice at 999s is fresh
         shrink_profile(&mut p, &cfg, now);
         let survivors = surviving_fids(&p);
-        assert!(survivors.contains(&100), "fresh feature protected: {survivors:?}");
+        assert!(
+            survivors.contains(&100),
+            "fresh feature protected: {survivors:?}"
+        );
     }
 
     #[test]
@@ -309,7 +311,11 @@ mod tests {
         add(&mut p, 100_000, 2, &[100]);
         let cfg = base_config(1);
         shrink_profile(&mut p, &cfg, ts(10_000_000));
-        assert_eq!(p.slice_count(), 1, "slice holding only eliminated features dropped");
+        assert_eq!(
+            p.slice_count(),
+            1,
+            "slice holding only eliminated features dropped"
+        );
         p.check_invariants().unwrap();
     }
 

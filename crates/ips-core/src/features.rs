@@ -17,8 +17,8 @@ use std::sync::Arc;
 
 use ips_types::config::DecayFunction;
 use ips_types::{
-    ActionTypeId, CallerId, ProfileId, Result, SlotId, SortKey, SortOrder, TableId,
-    TimeRange, Timestamp,
+    ActionTypeId, CallerId, ProfileId, Result, SlotId, SortKey, SortOrder, TableId, TimeRange,
+    Timestamp,
 };
 
 use crate::query::{FilterPredicate, ProfileQuery, QueryKind};
@@ -32,7 +32,10 @@ pub enum Reduction {
     SumAttribute(usize),
     /// `attr_a / attr_b` over the summed entries — the CTR pattern
     /// (clicks / impressions). Zero when the denominator is empty.
-    Ratio { numerator: usize, denominator: usize },
+    Ratio {
+        numerator: usize,
+        denominator: usize,
+    },
     /// Number of entries returned (distinct features in the window).
     Count,
     /// The top entry's feature id, as a raw id value (an embedding lookup
@@ -273,11 +276,20 @@ pub fn assemble(
                     .iter()
                     .map(|e| e.counts.get_or_zero(*denominator))
                     .sum();
-                values.push(if den == 0 { 0.0 } else { num as f64 / den as f64 });
+                values.push(if den == 0 {
+                    0.0
+                } else {
+                    num as f64 / den as f64
+                });
             }
             Reduction::Count => values.push(result.len() as f64),
             Reduction::TopFeatureId => {
-                values.push(result.entries.first().map_or(0.0, |e| e.feature.raw() as f64));
+                values.push(
+                    result
+                        .entries
+                        .first()
+                        .map_or(0.0, |e| e.feature.raw() as f64),
+                );
             }
             Reduction::TopKAttribute { attr, k } => {
                 for i in 0..*k {
@@ -486,7 +498,12 @@ mod tests {
         );
         let vp = assemble(&instance, CALLER, &plain, user).unwrap();
         let vd = assemble(&instance, CALLER, &decayed, user).unwrap();
-        assert!(vd.values[0] < vp.values[0], "{} !< {}", vd.values[0], vp.values[0]);
+        assert!(
+            vd.values[0] < vp.values[0],
+            "{} !< {}",
+            vd.values[0],
+            vp.values[0]
+        );
     }
 
     #[test]
@@ -507,7 +524,10 @@ mod tests {
             },
         );
         let results = assemble_batch(&instance, CallerId::new(9), &t, &[user]);
-        assert!(matches!(results[0], Err(ips_types::IpsError::QuotaExceeded(_))));
+        assert!(matches!(
+            results[0],
+            Err(ips_types::IpsError::QuotaExceeded(_))
+        ));
     }
 
     #[test]

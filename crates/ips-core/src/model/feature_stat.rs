@@ -163,7 +163,11 @@ mod tests {
     fn retain_filters() {
         let mut s = IndexedFeatureStat::new();
         for n in 0..10u64 {
-            s.upsert(fid(n), &CountVector::single(n as i64), AggregateFunction::Sum);
+            s.upsert(
+                fid(n),
+                &CountVector::single(n as i64),
+                AggregateFunction::Sum,
+            );
         }
         s.retain(|_, c| c.get_or_zero(0) >= 5);
         assert_eq!(s.len(), 5);

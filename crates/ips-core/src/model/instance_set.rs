@@ -115,8 +115,18 @@ mod tests {
     #[test]
     fn upsert_creates_action_types_on_demand() {
         let mut s = InstanceSet::new();
-        s.upsert(at(1), fid(10), &CountVector::single(1), AggregateFunction::Sum);
-        s.upsert(at(2), fid(10), &CountVector::single(2), AggregateFunction::Sum);
+        s.upsert(
+            at(1),
+            fid(10),
+            &CountVector::single(1),
+            AggregateFunction::Sum,
+        );
+        s.upsert(
+            at(2),
+            fid(10),
+            &CountVector::single(2),
+            AggregateFunction::Sum,
+        );
         assert_eq!(s.len(), 2);
         assert_eq!(s.feature_count(), 2);
         assert_eq!(s.get(at(1)).unwrap().get(fid(10)).unwrap().as_slice(), &[1]);
@@ -126,10 +136,25 @@ mod tests {
     #[test]
     fn merge_from_is_per_action_type() {
         let mut a = InstanceSet::new();
-        a.upsert(at(1), fid(1), &CountVector::single(1), AggregateFunction::Sum);
+        a.upsert(
+            at(1),
+            fid(1),
+            &CountVector::single(1),
+            AggregateFunction::Sum,
+        );
         let mut b = InstanceSet::new();
-        b.upsert(at(1), fid(1), &CountVector::single(4), AggregateFunction::Sum);
-        b.upsert(at(3), fid(9), &CountVector::single(7), AggregateFunction::Sum);
+        b.upsert(
+            at(1),
+            fid(1),
+            &CountVector::single(4),
+            AggregateFunction::Sum,
+        );
+        b.upsert(
+            at(3),
+            fid(9),
+            &CountVector::single(7),
+            AggregateFunction::Sum,
+        );
         a.merge_from(&b, AggregateFunction::Sum);
         assert_eq!(a.get(at(1)).unwrap().get(fid(1)).unwrap().as_slice(), &[5]);
         assert_eq!(a.get(at(3)).unwrap().get(fid(9)).unwrap().as_slice(), &[7]);
@@ -138,7 +163,12 @@ mod tests {
     #[test]
     fn prune_empty_removes_hollow_actions() {
         let mut s = InstanceSet::new();
-        s.upsert(at(1), fid(1), &CountVector::single(1), AggregateFunction::Sum);
+        s.upsert(
+            at(1),
+            fid(1),
+            &CountVector::single(1),
+            AggregateFunction::Sum,
+        );
         s.get_mut(at(1)).unwrap().remove(fid(1));
         assert_eq!(s.len(), 1);
         s.prune_empty();
@@ -149,7 +179,12 @@ mod tests {
     fn approx_bytes_counts_nested() {
         let mut s = InstanceSet::new();
         let base = s.approx_bytes();
-        s.upsert(at(1), fid(1), &CountVector::single(1), AggregateFunction::Sum);
+        s.upsert(
+            at(1),
+            fid(1),
+            &CountVector::single(1),
+            AggregateFunction::Sum,
+        );
         assert!(s.approx_bytes() > base);
     }
 }

@@ -67,6 +67,7 @@ impl ProfileData {
     /// * covered by an existing slice → fold into it;
     /// * in a gap between slices, or older than the tail → splice a new
     ///   slice at the right position.
+    #[allow(clippy::too_many_arguments)]
     pub fn add(
         &mut self,
         at: Timestamp,
@@ -156,7 +157,6 @@ impl ProfileData {
 
     /// Validate the time-order invariant: newest-first, non-overlapping.
     /// Used by tests and debug assertions.
-    #[must_use]
     pub fn check_invariants(&self) -> Result<(), String> {
         for w in self.slices.windows(2) {
             if w[1].end() > w[0].start() {
@@ -281,7 +281,7 @@ mod tests {
         // use distinct granularity writes through the public API instead.
         add_at(&mut p, 1_000);
         add_at(&mut p, 2_500); // head becomes [2000,3000)
-        // Late write at 1_999 is covered by neither ([1000,2000) covers it).
+                               // Late write at 1_999 is covered by neither ([1000,2000) covers it).
         add_at(&mut p, 1_999);
         p.check_invariants().unwrap();
         assert_eq!(p.slice_count(), 2);

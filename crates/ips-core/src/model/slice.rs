@@ -7,9 +7,7 @@
 
 use std::collections::HashMap;
 
-use ips_types::{
-    ActionTypeId, AggregateFunction, CountVector, FeatureId, SlotId, Timestamp,
-};
+use ips_types::{ActionTypeId, AggregateFunction, CountVector, FeatureId, SlotId, Timestamp};
 
 use super::instance_set::InstanceSet;
 
@@ -32,7 +30,10 @@ impl Slice {
     /// An empty slice covering `[start, end)`.
     #[must_use]
     pub fn new(start: Timestamp, end: Timestamp) -> Self {
-        assert!(start < end, "slice range must be non-empty: {start:?}..{end:?}");
+        assert!(
+            start < end,
+            "slice range must be non-empty: {start:?}..{end:?}"
+        );
         Self {
             start,
             end,
@@ -216,9 +217,27 @@ mod tests {
     #[test]
     fn add_and_lookup() {
         let mut s = Slice::new(ts(0), ts(10));
-        s.add(slot(1), at(1), fid(42), &CountVector::single(3), AggregateFunction::Sum);
-        s.add(slot(1), at(1), fid(42), &CountVector::single(2), AggregateFunction::Sum);
-        let counts = s.slot(slot(1)).unwrap().get(at(1)).unwrap().get(fid(42)).unwrap();
+        s.add(
+            slot(1),
+            at(1),
+            fid(42),
+            &CountVector::single(3),
+            AggregateFunction::Sum,
+        );
+        s.add(
+            slot(1),
+            at(1),
+            fid(42),
+            &CountVector::single(2),
+            AggregateFunction::Sum,
+        );
+        let counts = s
+            .slot(slot(1))
+            .unwrap()
+            .get(at(1))
+            .unwrap()
+            .get(fid(42))
+            .unwrap();
         assert_eq!(counts.as_slice(), &[5]);
         assert_eq!(s.feature_count(), 1);
     }
@@ -226,16 +245,41 @@ mod tests {
     #[test]
     fn absorb_merges_counts_and_widens_range() {
         let mut newer = Slice::new(ts(100), ts(200));
-        newer.add(slot(1), at(1), fid(1), &CountVector::single(2), AggregateFunction::Sum);
+        newer.add(
+            slot(1),
+            at(1),
+            fid(1),
+            &CountVector::single(2),
+            AggregateFunction::Sum,
+        );
         let mut older = Slice::new(ts(0), ts(100));
-        older.add(slot(1), at(1), fid(1), &CountVector::single(3), AggregateFunction::Sum);
-        older.add(slot(2), at(1), fid(9), &CountVector::single(1), AggregateFunction::Sum);
+        older.add(
+            slot(1),
+            at(1),
+            fid(1),
+            &CountVector::single(3),
+            AggregateFunction::Sum,
+        );
+        older.add(
+            slot(2),
+            at(1),
+            fid(9),
+            &CountVector::single(1),
+            AggregateFunction::Sum,
+        );
 
         newer.absorb(&older, AggregateFunction::Sum);
         assert_eq!(newer.start(), ts(0));
         assert_eq!(newer.end(), ts(200));
         assert_eq!(
-            newer.slot(slot(1)).unwrap().get(at(1)).unwrap().get(fid(1)).unwrap().as_slice(),
+            newer
+                .slot(slot(1))
+                .unwrap()
+                .get(at(1))
+                .unwrap()
+                .get(fid(1))
+                .unwrap()
+                .as_slice(),
             &[5]
         );
         assert_eq!(newer.slot(slot(2)).unwrap().feature_count(), 1);
@@ -244,8 +288,18 @@ mod tests {
     #[test]
     fn prune_empty_slots() {
         let mut s = Slice::new(ts(0), ts(10));
-        s.add(slot(1), at(1), fid(1), &CountVector::single(1), AggregateFunction::Sum);
-        s.slot_mut(slot(1)).unwrap().get_mut(at(1)).unwrap().remove(fid(1));
+        s.add(
+            slot(1),
+            at(1),
+            fid(1),
+            &CountVector::single(1),
+            AggregateFunction::Sum,
+        );
+        s.slot_mut(slot(1))
+            .unwrap()
+            .get_mut(at(1))
+            .unwrap()
+            .remove(fid(1));
         s.prune_empty();
         assert_eq!(s.slot_count(), 0);
         assert!(s.is_empty());
@@ -256,7 +310,13 @@ mod tests {
         let mut s = Slice::new(ts(0), ts(10));
         let empty = s.approx_bytes();
         for i in 0..50u64 {
-            s.add(slot(1), at(1), fid(i), &CountVector::single(1), AggregateFunction::Sum);
+            s.add(
+                slot(1),
+                at(1),
+                fid(i),
+                &CountVector::single(1),
+                AggregateFunction::Sum,
+            );
         }
         assert!(s.approx_bytes() > empty);
     }

@@ -201,7 +201,10 @@ impl<S: ProfileStore> ProfilePersister<S> {
             self.metrics.bytes_written.add(bulk_bytes.len() as u64);
             // Bulk values don't race slice writes, but we still route through
             // xset so a lost-update between two flushers is detected.
-            match self.store.xset(bulk_key(self.table, pid), Bytes::from(bulk_bytes), held) {
+            match self
+                .store
+                .xset(bulk_key(self.table, pid), Bytes::from(bulk_bytes), held)
+            {
                 Ok(g) => g,
                 Err(IpsError::StaleGeneration { current, .. }) => {
                     // Someone flushed a newer version; ours is superseded but
@@ -337,7 +340,7 @@ impl<S: ProfileStore> ProfilePersister<S> {
                     }
                 }
             }
-            slices.sort_by(|a, b| b.start().cmp(&a.start()));
+            slices.sort_by_key(|s| std::cmp::Reverse(s.start()));
             *profile.slices_mut() = slices;
             profile.check_invariants().map_err(IpsError::Codec)?;
             return Ok(LoadOutcome::Loaded {
@@ -377,9 +380,7 @@ impl<S: ProfileStore> ProfilePersister<S> {
 mod tests {
     use super::*;
     use ips_kv::{KvNode, KvNodeConfig};
-    use ips_types::{
-        ActionTypeId, AggregateFunction, CountVector, DurationMs, FeatureId, SlotId,
-    };
+    use ips_types::{ActionTypeId, AggregateFunction, CountVector, DurationMs, FeatureId, SlotId};
     use std::sync::Arc;
 
     const TABLE: TableId = TableId(1);
@@ -442,11 +443,7 @@ mod tests {
 
     #[test]
     fn split_save_load_round_trip() {
-        let p = ProfilePersister::new(
-            node(),
-            TABLE,
-            PersistenceMode::Split { threshold_bytes: 0 },
-        );
+        let p = ProfilePersister::new(node(), TABLE, PersistenceMode::Split { threshold_bytes: 0 });
         let mut profile = sample_profile(7);
         let g1 = p.save(PID, &mut profile, 0).unwrap();
         let g2 = assert_loaded(&p, 7);
@@ -550,7 +547,7 @@ mod tests {
             PersistenceMode::Split { threshold_bytes: 0 },
         );
         p.save(PID, &mut sample_profile(3), 0).unwrap();
-        assert!(store.store().len() > 0);
+        assert!(!store.store().is_empty());
         p.purge(PID).unwrap();
         assert_eq!(store.store().len(), 0);
         assert!(matches!(p.load(PID).unwrap(), LoadOutcome::Missing));
@@ -570,11 +567,7 @@ mod tests {
 
     #[test]
     fn empty_profile_round_trips() {
-        let p = ProfilePersister::new(
-            node(),
-            TABLE,
-            PersistenceMode::Split { threshold_bytes: 0 },
-        );
+        let p = ProfilePersister::new(node(), TABLE, PersistenceMode::Split { threshold_bytes: 0 });
         let mut profile = ProfileData::new();
         p.save(PID, &mut profile, 0).unwrap();
         assert_loaded(&p, 0);

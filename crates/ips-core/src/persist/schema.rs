@@ -59,10 +59,13 @@ pub fn encode_slice(slice: &Slice) -> Vec<u8> {
     encode_frame(&w.into_bytes())
 }
 
+/// Decoded per-slot payload: slot → action → (feature, counts) triples.
+type SlotEntries = Vec<(SlotId, Vec<(ActionTypeId, Vec<(FeatureId, CountVector)>)>)>;
+
 fn read_slice(body: &[u8]) -> Result<Slice> {
     let mut start = None;
     let mut end = None;
-    let mut slots: Vec<(SlotId, Vec<(ActionTypeId, Vec<(FeatureId, CountVector)>)>)> = Vec::new();
+    let mut slots: SlotEntries = Vec::new();
 
     WireReader::new(body)
         .for_each(|f, v| {
@@ -191,11 +194,9 @@ pub fn decode_profile(frame: &[u8]) -> Result<ProfileData> {
         .map_err(|e| IpsError::Codec(format!("profile decode: {e}")))?;
     // Restore newest-first order defensively (encoding preserves it, but
     // order is an invariant worth re-establishing on load).
-    slices.sort_by(|a, b| b.start().cmp(&a.start()));
+    slices.sort_by_key(|s| std::cmp::Reverse(s.start()));
     *profile.slices_mut() = slices;
-    profile
-        .check_invariants()
-        .map_err(IpsError::Codec)?;
+    profile.check_invariants().map_err(IpsError::Codec)?;
     Ok(profile)
 }
 
@@ -239,9 +240,13 @@ mod tests {
                 return false;
             }
             for (slot, set) in sa.iter_slots() {
-                let Some(other) = sb.slot(slot) else { return false };
+                let Some(other) = sb.slot(slot) else {
+                    return false;
+                };
                 for (action, stats) in set.iter() {
-                    let Some(ostats) = other.get(action) else { return false };
+                    let Some(ostats) = other.get(action) else {
+                        return false;
+                    };
                     for (fid, counts) in stats.iter() {
                         if ostats.get(fid) != Some(counts) {
                             return false;

@@ -11,8 +11,7 @@ use std::collections::HashMap;
 
 use ips_types::config::{decay_factor, DecayFunction};
 use ips_types::{
-    AggregateFunction, CountVector, FeatureId, ShrinkConfig, SlotId, SortKey, SortOrder,
-    Timestamp,
+    AggregateFunction, CountVector, FeatureId, ShrinkConfig, SlotId, SortKey, SortOrder, Timestamp,
 };
 
 use crate::model::ProfileData;
@@ -109,10 +108,7 @@ fn make_cmp(
 ) -> impl Fn(&FeatureEntry, &FeatureEntry) -> Ordering + '_ {
     move |a, b| {
         let primary = match sort {
-            SortKey::Attribute(idx) => a
-                .counts
-                .get_or_zero(idx)
-                .cmp(&b.counts.get_or_zero(idx)),
+            SortKey::Attribute(idx) => a.counts.get_or_zero(idx).cmp(&b.counts.get_or_zero(idx)),
             SortKey::WeightedScore => weights
                 .score(&a.counts)
                 .partial_cmp(&weights.score(&b.counts))
@@ -220,7 +216,13 @@ mod tests {
         // Feature 10: 1+4 likes across two slices; feature 20: 3 likes.
         let p = profile(&[(1_000, 10, 1), (5_000, 10, 4), (5_000, 20, 3)]);
         let q = top_k_query(TimeRange::last(DurationMs::from_secs(100)), 2);
-        let r = execute(&p, &q, AggregateFunction::Sum, &ShrinkConfig::default(), ts(10_000));
+        let r = execute(
+            &p,
+            &q,
+            AggregateFunction::Sum,
+            &ShrinkConfig::default(),
+            ts(10_000),
+        );
         assert_eq!(r.len(), 2);
         assert_eq!(r.entries[0].feature, FeatureId::new(10));
         assert_eq!(r.entries[0].counts.as_slice(), &[5]);
@@ -233,7 +235,13 @@ mod tests {
         let p = profile(&[(1_000, 10, 100), (50_000, 20, 1)]);
         // Only the last 10 seconds: feature 10's slice at t=1s is out.
         let q = top_k_query(TimeRange::last(DurationMs::from_secs(10)), 10);
-        let r = execute(&p, &q, AggregateFunction::Sum, &ShrinkConfig::default(), ts(55_000));
+        let r = execute(
+            &p,
+            &q,
+            AggregateFunction::Sum,
+            &ShrinkConfig::default(),
+            ts(55_000),
+        );
         assert_eq!(r.feature_ids(), vec![FeatureId::new(20)]);
     }
 
@@ -248,11 +256,23 @@ mod tests {
             ..top_k_query(TimeRange::last_days(1), 10)
         };
         let now = ts(1_000_000_000);
-        let r = execute(&p, &q, AggregateFunction::Sum, &ShrinkConfig::default(), now);
+        let r = execute(
+            &p,
+            &q,
+            AggregateFunction::Sum,
+            &ShrinkConfig::default(),
+            now,
+        );
         assert_eq!(r.len(), 1, "relative window must anchor at last action");
         // CURRENT window of the same span misses it.
         let q2 = top_k_query(TimeRange::last(DurationMs::from_secs(5)), 10);
-        let r2 = execute(&p, &q2, AggregateFunction::Sum, &ShrinkConfig::default(), now);
+        let r2 = execute(
+            &p,
+            &q2,
+            AggregateFunction::Sum,
+            &ShrinkConfig::default(),
+            now,
+        );
         assert!(r2.is_empty());
     }
 
@@ -266,7 +286,13 @@ mod tests {
             },
             ..top_k_query(TimeRange::last_days(1), 10)
         };
-        let r = execute(&p, &q, AggregateFunction::Sum, &ShrinkConfig::default(), ts(20_000));
+        let r = execute(
+            &p,
+            &q,
+            AggregateFunction::Sum,
+            &ShrinkConfig::default(),
+            ts(20_000),
+        );
         assert_eq!(r.feature_ids(), vec![FeatureId::new(20)]);
     }
 
@@ -284,9 +310,14 @@ mod tests {
                 DurationMs::from_secs(1),
             );
         }
-        let q = top_k_query(TimeRange::last(DurationMs::from_secs(100)), 10)
-            .with_action(SHARE);
-        let r = execute(&p, &q, AggregateFunction::Sum, &ShrinkConfig::default(), ts(2_000));
+        let q = top_k_query(TimeRange::last(DurationMs::from_secs(100)), 10).with_action(SHARE);
+        let r = execute(
+            &p,
+            &q,
+            AggregateFunction::Sum,
+            &ShrinkConfig::default(),
+            ts(2_000),
+        );
         assert_eq!(r.feature_ids(), vec![FeatureId::new(2)]);
     }
 
@@ -300,7 +331,13 @@ mod tests {
             TimeRange::last(DurationMs::from_secs(100)),
             FilterPredicate::MinAttribute { attr: 0, min: 10 },
         );
-        let r = execute(&p, &q, AggregateFunction::Sum, &ShrinkConfig::default(), ts(5_000));
+        let r = execute(
+            &p,
+            &q,
+            AggregateFunction::Sum,
+            &ShrinkConfig::default(),
+            ts(5_000),
+        );
         // Feature 1 aggregates to 10 across two slices; feature 2 has 1.
         assert_eq!(r.feature_ids(), vec![FeatureId::new(1)]);
     }
@@ -315,7 +352,13 @@ mod tests {
             TimeRange::last(DurationMs::from_secs(100)),
             FilterPredicate::FeatureIn(vec![FeatureId::new(2), FeatureId::new(9)]),
         );
-        let r = execute(&p, &q, AggregateFunction::Sum, &ShrinkConfig::default(), ts(5_000));
+        let r = execute(
+            &p,
+            &q,
+            AggregateFunction::Sum,
+            &ShrinkConfig::default(),
+            ts(5_000),
+        );
         assert_eq!(r.feature_ids(), vec![FeatureId::new(2)]);
     }
 
@@ -335,10 +378,24 @@ mod tests {
             10,
         );
         let now = ts(1_000_000);
-        let r = execute(&p, &q, AggregateFunction::Sum, &ShrinkConfig::default(), now);
-        assert_eq!(r.entries[0].feature, FeatureId::new(2), "recent wins after decay");
+        let r = execute(
+            &p,
+            &q,
+            AggregateFunction::Sum,
+            &ShrinkConfig::default(),
+            now,
+        );
+        assert_eq!(
+            r.entries[0].feature,
+            FeatureId::new(2),
+            "recent wins after decay"
+        );
         assert_eq!(r.entries[0].counts.as_slice(), &[60]); // age ~0 sec < 1 half-life
-        assert_eq!(r.entries[1].counts.as_slice(), &[0], "old decayed to nothing");
+        assert_eq!(
+            r.entries[1].counts.as_slice(),
+            &[0],
+            "old decayed to nothing"
+        );
     }
 
     #[test]
@@ -346,7 +403,13 @@ mod tests {
         let p = profile(&[(1_000, 1, 100), (5_000, 2, 1), (9_000, 3, 1)]);
         let q = top_k_query(TimeRange::last(DurationMs::from_secs(100)), 2)
             .with_sort(SortKey::Timestamp, SortOrder::Descending);
-        let r = execute(&p, &q, AggregateFunction::Sum, &ShrinkConfig::default(), ts(10_000));
+        let r = execute(
+            &p,
+            &q,
+            AggregateFunction::Sum,
+            &ShrinkConfig::default(),
+            ts(10_000),
+        );
         assert_eq!(r.feature_ids(), vec![FeatureId::new(3), FeatureId::new(2)]);
     }
 
@@ -354,8 +417,24 @@ mod tests {
     fn sort_by_weighted_score() {
         let mut p = ProfileData::new();
         // Feature 1: 10 likes 0 shares. Feature 2: 1 like 2 shares.
-        p.add(ts(1_000), SLOT, LIKE, FeatureId::new(1), &CountVector::pair(10, 0), AggregateFunction::Sum, DurationMs::from_secs(1));
-        p.add(ts(1_000), SLOT, LIKE, FeatureId::new(2), &CountVector::pair(1, 2), AggregateFunction::Sum, DurationMs::from_secs(1));
+        p.add(
+            ts(1_000),
+            SLOT,
+            LIKE,
+            FeatureId::new(1),
+            &CountVector::pair(10, 0),
+            AggregateFunction::Sum,
+            DurationMs::from_secs(1),
+        );
+        p.add(
+            ts(1_000),
+            SLOT,
+            LIKE,
+            FeatureId::new(2),
+            &CountVector::pair(1, 2),
+            AggregateFunction::Sum,
+            DurationMs::from_secs(1),
+        );
         let weights = ShrinkConfig {
             weights: vec![1.0, 10.0],
             ..Default::default()
@@ -372,7 +451,13 @@ mod tests {
         let p = profile(&[(1_000, 1, 5), (1_000, 2, 1)]);
         let q = top_k_query(TimeRange::last(DurationMs::from_secs(100)), 2)
             .with_sort(SortKey::Attribute(0), SortOrder::Ascending);
-        let r = execute(&p, &q, AggregateFunction::Sum, &ShrinkConfig::default(), ts(2_000));
+        let r = execute(
+            &p,
+            &q,
+            AggregateFunction::Sum,
+            &ShrinkConfig::default(),
+            ts(2_000),
+        );
         assert_eq!(r.feature_ids(), vec![FeatureId::new(2), FeatureId::new(1)]);
     }
 
@@ -380,7 +465,13 @@ mod tests {
     fn empty_profile_and_empty_window() {
         let p = ProfileData::new();
         let q = top_k_query(TimeRange::last(DurationMs::from_secs(100)), 5);
-        let r = execute(&p, &q, AggregateFunction::Sum, &ShrinkConfig::default(), ts(1_000));
+        let r = execute(
+            &p,
+            &q,
+            AggregateFunction::Sum,
+            &ShrinkConfig::default(),
+            ts(1_000),
+        );
         assert!(r.is_empty());
 
         let p = profile(&[(1_000, 1, 1)]);
@@ -391,7 +482,13 @@ mod tests {
             },
             ..top_k_query(TimeRange::last_days(1), 5)
         };
-        let r = execute(&p, &q, AggregateFunction::Sum, &ShrinkConfig::default(), ts(2_000));
+        let r = execute(
+            &p,
+            &q,
+            AggregateFunction::Sum,
+            &ShrinkConfig::default(),
+            ts(2_000),
+        );
         assert!(r.is_empty());
     }
 
@@ -400,7 +497,13 @@ mod tests {
         // Bidding-price pattern: Last across slices keeps the newest value.
         let p = profile(&[(1_000, 1, 500), (9_000, 1, 300)]);
         let q = top_k_query(TimeRange::last(DurationMs::from_secs(100)), 1);
-        let r = execute(&p, &q, AggregateFunction::Last, &ShrinkConfig::default(), ts(10_000));
+        let r = execute(
+            &p,
+            &q,
+            AggregateFunction::Last,
+            &ShrinkConfig::default(),
+            ts(10_000),
+        );
         assert_eq!(r.entries[0].counts.as_slice(), &[300]);
     }
 
@@ -408,7 +511,13 @@ mod tests {
     fn deterministic_tie_break_on_feature_id() {
         let p = profile(&[(1_000, 5, 1), (1_000, 3, 1), (1_000, 8, 1)]);
         let q = top_k_query(TimeRange::last(DurationMs::from_secs(100)), 2);
-        let r = execute(&p, &q, AggregateFunction::Sum, &ShrinkConfig::default(), ts(2_000));
+        let r = execute(
+            &p,
+            &q,
+            AggregateFunction::Sum,
+            &ShrinkConfig::default(),
+            ts(2_000),
+        );
         // Equal counts: higher fid wins the tie deterministically.
         assert_eq!(r.feature_ids(), vec![FeatureId::new(8), FeatureId::new(5)]);
     }

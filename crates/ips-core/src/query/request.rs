@@ -1,11 +1,11 @@
 //! Query request and result types shared by the engine, the server and the
 //! cluster client.
 
+use ips_types::config::DecayFunction;
 use ips_types::{
     ActionTypeId, CountVector, FeatureId, ProfileId, SlotId, SortKey, SortOrder, TableId,
     TimeRange, Timestamp,
 };
-use ips_types::config::DecayFunction;
 
 /// What to do after the merge/aggregation step.
 #[derive(Clone, Debug, PartialEq)]
@@ -258,7 +258,10 @@ mod tests {
         let p = FilterPredicate::MinAttribute { attr: 1, min: 5 };
         assert!(p.accepts(FeatureId::new(1), &CountVector::pair(0, 5)));
         assert!(!p.accepts(FeatureId::new(1), &CountVector::pair(9, 4)));
-        assert!(!p.accepts(FeatureId::new(1), &CountVector::single(9)), "missing attr is 0");
+        assert!(
+            !p.accepts(FeatureId::new(1), &CountVector::single(9)),
+            "missing attr is 0"
+        );
 
         let p = FilterPredicate::FeatureIn(vec![FeatureId::new(7)]);
         assert!(p.accepts(FeatureId::new(7), &CountVector::empty()));

@@ -11,7 +11,11 @@ use std::collections::BinaryHeap;
 /// Select the `k` largest items under `cmp` (a total "greater-is-better"
 /// order), returning them best-first. Stable across runs: callers must
 /// supply a total order (use a tie-break key).
-pub fn top_k_by<T>(items: impl Iterator<Item = T>, k: usize, cmp: impl Fn(&T, &T) -> Ordering) -> Vec<T> {
+pub fn top_k_by<T>(
+    items: impl Iterator<Item = T>,
+    k: usize,
+    cmp: impl Fn(&T, &T) -> Ordering,
+) -> Vec<T> {
     if k == 0 {
         return Vec::new();
     }

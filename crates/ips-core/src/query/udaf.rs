@@ -16,9 +16,7 @@
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
-use ips_types::{
-    ActionTypeId, CountVector, DurationMs, FeatureId, SlotId, Timestamp,
-};
+use ips_types::{ActionTypeId, CountVector, DurationMs, FeatureId, SlotId, Timestamp};
 
 use crate::model::ProfileData;
 use crate::query::topk::top_k_by;
@@ -70,7 +68,9 @@ pub fn execute_udaf<U: UserDefinedAggregate>(
     let range = profile.slices_in_window(lo, hi);
     let mut states: HashMap<FeatureId, U::State> = HashMap::new();
     for slice in &profile.slices()[range] {
-        let Some(set) = slice.slot(slot) else { continue };
+        let Some(set) = slice.slot(slot) else {
+            continue;
+        };
         let age = now.distance(slice.end().min(now));
         let mut deliver = |a: ActionTypeId, stats: &crate::model::IndexedFeatureStat| {
             for (feature, counts) in stats.iter() {
@@ -106,6 +106,7 @@ pub fn execute_udaf<U: UserDefinedAggregate>(
 
 /// Execute a UDAF and return the top `k` features by its output, descending,
 /// with feature id as the deterministic tie-break.
+#[allow(clippy::too_many_arguments)]
 pub fn execute_udaf_top_k<U>(
     profile: &ProfileData,
     slot: SlotId,
@@ -254,7 +255,11 @@ mod tests {
             2,
         );
         // Smoothing: fid1 = 2/21 ≈ 0.095; fid2 = 51/120 ≈ 0.425.
-        assert_eq!(top[0].0, FeatureId::new(2), "smoothing demotes the lucky one-off");
+        assert_eq!(
+            top[0].0,
+            FeatureId::new(2),
+            "smoothing demotes the lucky one-off"
+        );
         assert!((top[0].1 - 51.0 / 120.0).abs() < 1e-9);
         assert!((top[1].1 - 2.0 / 21.0).abs() < 1e-9);
     }
@@ -279,7 +284,12 @@ mod tests {
             ts(day * 30),
             &DistinctActiveDays,
         );
-        let get = |fid: u64| out.iter().find(|(f, _)| *f == FeatureId::new(fid)).unwrap().1;
+        let get = |fid: u64| {
+            out.iter()
+                .find(|(f, _)| *f == FeatureId::new(fid))
+                .unwrap()
+                .1
+        };
         assert_eq!(get(1), 1);
         assert_eq!(get(2), 3);
     }

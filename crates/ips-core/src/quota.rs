@@ -75,7 +75,9 @@ impl QuotaEnforcer {
             last_refill: now,
         });
         // Continuous refill at qps_limit tokens/second.
-        let elapsed_ms = now.as_millis().saturating_sub(bucket.last_refill.as_millis());
+        let elapsed_ms = now
+            .as_millis()
+            .saturating_sub(bucket.last_refill.as_millis());
         if elapsed_ms > 0 {
             bucket.tokens = (bucket.tokens
                 + config.qps_limit as f64 * (elapsed_ms as f64 / 1_000.0))

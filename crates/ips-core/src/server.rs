@@ -15,8 +15,8 @@ use parking_lot::RwLock;
 use ips_kv::{KvNode, KvNodeConfig};
 use ips_metrics::{Counter, Histogram};
 use ips_types::{
-    ActionTypeId, CallerId, CountVector, FeatureId, IpsError, ProfileId, QuotaConfig,
-    Result, SharedClock, SlotId, TableConfig, TableId, Timestamp,
+    ActionTypeId, CallerId, CountVector, FeatureId, IpsError, ProfileId, QuotaConfig, Result,
+    SharedClock, SlotId, TableConfig, TableId, Timestamp,
 };
 
 use crate::cache::gcache::BackgroundThreads;
@@ -38,6 +38,10 @@ pub struct TableMetrics {
     pub writes: Counter,
     pub query_latency_us: Histogram,
     pub write_latency_us: Histogram,
+    /// Batched query calls served (one per `query_batch` touching the table).
+    pub batch_queries: Counter,
+    /// Sub-queries per batch call, per table.
+    pub batch_size: Histogram,
 }
 
 /// Everything one table needs at runtime.
@@ -77,11 +81,12 @@ impl TableRuntime {
     fn maybe_schedule_compaction(&self, pid: ProfileId) -> Result<()> {
         let cfg = self.config.load();
         let now = self.clock.now();
-        let decision = self
-            .cache
-            .read(pid, |profile| needs_compaction(profile, &cfg.compaction, now))?;
+        let decision = self.cache.read(pid, |profile| {
+            needs_compaction(profile, &cfg.compaction, now)
+        })?;
         if let Some((Some(full), _)) = decision {
-            self.scheduler.schedule(CompactionTask { profile: pid, full });
+            self.scheduler
+                .schedule(CompactionTask { profile: pid, full });
         }
         Ok(())
     }
@@ -327,6 +332,12 @@ impl IpsInstance {
     pub fn query(self: &Arc<Self>, caller: CallerId, query: &ProfileQuery) -> Result<QueryResult> {
         self.check_alive()?;
         self.quota.check(caller, 1)?;
+        self.query_inner(query)
+    }
+
+    /// [`IpsInstance::query`] minus admission control — the per-sub-query
+    /// body shared by the single and batched paths.
+    fn query_inner(self: &Arc<Self>, query: &ProfileQuery) -> Result<QueryResult> {
         let rt = self.table(query.table)?;
         let started = std::time::Instant::now();
         let cfg = rt.config.load();
@@ -347,10 +358,80 @@ impl IpsInstance {
         Ok(result)
     }
 
+    /// Execute a batch of queries in one call: the candidate-ranking path,
+    /// where a recommender scores hundreds of candidates against per-user /
+    /// per-item profiles at once. Admission control runs once for the whole
+    /// batch (one quota charge of `queries.len()`), then sub-queries execute
+    /// on a bounded set of workers so large batches parallelize server-side
+    /// without unbounded thread fan-out. Results are per-sub-query and in
+    /// input order — one failing profile does not poison its siblings.
+    pub fn query_batch(
+        self: &Arc<Self>,
+        caller: CallerId,
+        queries: &[ProfileQuery],
+    ) -> Result<Vec<Result<QueryResult>>> {
+        /// Upper bound on concurrent sub-query workers per batch call.
+        const MAX_BATCH_WORKERS: usize = 8;
+
+        self.check_alive()?;
+        self.quota.check(caller, queries.len().max(1) as u64)?;
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        let workers = queries.len().min(MAX_BATCH_WORKERS);
+        let mut out: Vec<Result<QueryResult>> = Vec::with_capacity(queries.len());
+        if workers <= 1 {
+            out.extend(queries.iter().map(|q| self.query_inner(q)));
+        } else {
+            out.resize_with(queries.len(), || {
+                Err(IpsError::Unavailable("batch slot unfilled".into()))
+            });
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let indexed: Vec<(usize, Result<QueryResult>)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(query) = queries.get(i) else { break };
+                                local.push((i, self.query_inner(query)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("batch worker panicked"))
+                    .collect()
+            });
+            for (i, r) in indexed {
+                out[i] = r;
+            }
+        }
+
+        // Batch-shape metrics, per table touched (a batch normally targets
+        // one table, but nothing requires it to).
+        let mut per_table: HashMap<TableId, u64> = HashMap::new();
+        for q in queries {
+            *per_table.entry(q.table).or_insert(0) += 1;
+        }
+        for (table, count) in per_table {
+            if let Ok(rt) = self.table(table) {
+                rt.metrics.batch_queries.inc();
+                rt.metrics.batch_size.record(count);
+            }
+        }
+        Ok(out)
+    }
+
     /// Execute a user-defined aggregate (see [`crate::query::udaf`]) over
     /// one profile's slot/window, returning the top `k` features by the
     /// UDAF's output. Runs inside the instance, next to the data, like the
     /// built-in computations; unknown profiles yield an empty result.
+    #[allow(clippy::too_many_arguments)]
     pub fn query_udaf<U>(
         self: &Arc<Self>,
         caller: CallerId,
@@ -421,7 +502,10 @@ impl IpsInstance {
         for rt in &tables {
             cache_threads.push(rt.cache.spawn_background());
             let cfg = rt.config.load();
-            worker_pools.push(rt.scheduler.spawn_workers(cfg.compaction.async_pool_threads));
+            worker_pools.push(
+                rt.scheduler
+                    .spawn_workers(cfg.compaction.async_pool_threads),
+            );
         }
         // Write-table merge thread.
         let stop = Arc::new(AtomicBool::new(false));
@@ -559,7 +643,10 @@ mod tests {
             TimeRange::last_days(1),
             1,
         );
-        assert!(matches!(i.query(CALLER, &q), Err(IpsError::UnknownTable(_))));
+        assert!(matches!(
+            i.query(CALLER, &q),
+            Err(IpsError::UnknownTable(_))
+        ));
 
         let q = ProfileQuery::top_k(TABLE, ProfileId::new(404), SLOT, TimeRange::last_days(1), 1);
         let r = i.query(CALLER, &q).unwrap();
@@ -580,8 +667,16 @@ mod tests {
         let features: Vec<(FeatureId, CountVector)> = (0..5)
             .map(|n| (FeatureId::new(n), CountVector::single(1)))
             .collect();
-        i.add_profiles(CALLER, TABLE, ProfileId::new(1), ctl.now(), SLOT, LIKE, &features)
-            .unwrap();
+        i.add_profiles(
+            CALLER,
+            TABLE,
+            ProfileId::new(1),
+            ctl.now(),
+            SLOT,
+            LIKE,
+            &features,
+        )
+        .unwrap();
         let q = ProfileQuery::filter(
             TABLE,
             ProfileId::new(1),
@@ -666,7 +761,10 @@ mod tests {
             .unwrap()
             .unwrap()
             .0;
-        assert!(after < before, "compaction should shrink slice list ({before} -> {after})");
+        assert!(
+            after < before,
+            "compaction should shrink slice list ({before} -> {after})"
+        );
     }
 
     #[test]
@@ -685,7 +783,10 @@ mod tests {
         add(&i, 1, 1, 1, ctl.now());
         i.drop_table(TABLE).unwrap();
         let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
-        assert!(matches!(i.query(CALLER, &q), Err(IpsError::UnknownTable(_))));
+        assert!(matches!(
+            i.query(CALLER, &q),
+            Err(IpsError::UnknownTable(_))
+        ));
         assert!(i.drop_table(TABLE).is_err(), "already dropped");
         // Re-creating the table finds the flushed data in the store.
         let mut cfg = TableConfig::new("recreated");
@@ -723,13 +824,25 @@ mod tests {
         let now = ctl.now();
         // fid 1: lucky one-off (1 click / 1 imp); fid 2: steady (40/100).
         i.add_profile(
-            CALLER, TABLE, ProfileId::new(1), now, SLOT, LIKE,
-            FeatureId::new(1), CountVector::pair(1, 1),
+            CALLER,
+            TABLE,
+            ProfileId::new(1),
+            now,
+            SLOT,
+            LIKE,
+            FeatureId::new(1),
+            CountVector::pair(1, 1),
         )
         .unwrap();
         i.add_profile(
-            CALLER, TABLE, ProfileId::new(1), now, SLOT, LIKE,
-            FeatureId::new(2), CountVector::pair(40, 100),
+            CALLER,
+            TABLE,
+            ProfileId::new(1),
+            now,
+            SLOT,
+            LIKE,
+            FeatureId::new(2),
+            CountVector::pair(40, 100),
         )
         .unwrap();
         let udaf = SmoothedCtr {

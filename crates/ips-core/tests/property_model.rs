@@ -29,20 +29,15 @@ struct Write {
 }
 
 fn arb_write() -> impl Strategy<Value = Write> {
-    (
-        0u64..2_000_000,
-        0u32..4,
-        0u32..3,
-        0u64..50,
-        1i64..100,
-    )
-        .prop_map(|(at, slot, action, fid, count)| Write {
+    (0u64..2_000_000, 0u32..4, 0u32..3, 0u64..50, 1i64..100).prop_map(
+        |(at, slot, action, fid, count)| Write {
             at,
             slot,
             action,
             fid,
             count,
-        })
+        },
+    )
 }
 
 fn apply(profile: &mut ProfileData, writes: &[Write], granularity: DurationMs) {

@@ -23,7 +23,9 @@ impl<T> Topic<T> {
     #[must_use]
     pub fn new(partitions: usize) -> Arc<Self> {
         Arc::new(Self {
-            partitions: (0..partitions.max(1)).map(|_| RwLock::new(Vec::new())).collect(),
+            partitions: (0..partitions.max(1))
+                .map(|_| RwLock::new(Vec::new()))
+                .collect(),
             appended: Counter::new(),
         })
     }
@@ -101,7 +103,9 @@ impl<T> ConsumerGroup<T> {
             if out.len() >= max {
                 break;
             }
-            let batch = self.topic.read(p, *offset, per_partition.min(max - out.len()));
+            let batch = self
+                .topic
+                .read(p, *offset, per_partition.min(max - out.len()));
             *offset += batch.len() as u64;
             self.consumed.add(batch.len() as u64);
             out.extend(batch);

@@ -40,7 +40,11 @@ impl ZipfSampler {
     pub fn new(n: u64, s: f64) -> Self {
         assert!(n >= 1, "Zipf support must be non-empty");
         assert!(s > 0.0, "Zipf exponent must be positive");
-        let theta = if (s - 1.0).abs() < 1e-6 { 1.0 + 1e-6 } else { s };
+        let theta = if (s - 1.0).abs() < 1e-6 {
+            1.0 + 1e-6
+        } else {
+            s
+        };
         let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
         let zeta2: f64 = (1..=2.min(n)).map(|i| 1.0 / (i as f64).powf(theta)).sum();
         let alpha = 1.0 / (1.0 - theta);
@@ -224,7 +228,8 @@ impl WorkloadGenerator {
     #[must_use]
     pub fn item_feature(&self, item: ItemId) -> FeatureEvent {
         let slot = SlotId::new((item % u64::from(self.config.slots)) as u32);
-        let action_type = ActionTypeId::new((item / 7 % u64::from(self.config.action_types)) as u32);
+        let action_type =
+            ActionTypeId::new((item / 7 % u64::from(self.config.action_types)) as u32);
         FeatureEvent {
             item,
             slot,
@@ -291,16 +296,15 @@ impl WorkloadGenerator {
     pub fn query(&mut self, _at: Timestamp) -> ProfileQuery {
         let user = self.sample_user();
         let slot = SlotId::new(self.rng.gen_range(0..self.config.slots));
-        let window = self.config.mix.windows
-            [self.rng.gen_range(0..self.config.mix.windows.len())];
+        let window = self.config.mix.windows[self.rng.gen_range(0..self.config.mix.windows.len())];
         let range = TimeRange::Current { lookback: window };
         let total = self.config.mix.topk_weight
             + self.config.mix.filter_weight
             + self.config.mix.decay_weight;
         let roll = self.rng.gen::<f64>() * total;
         if roll < self.config.mix.topk_weight {
-            let k = self.config.mix.k_choices
-                [self.rng.gen_range(0..self.config.mix.k_choices.len())];
+            let k =
+                self.config.mix.k_choices[self.rng.gen_range(0..self.config.mix.k_choices.len())];
             ProfileQuery::top_k(self.config.table, user, slot, range, k)
         } else if roll < self.config.mix.topk_weight + self.config.mix.filter_weight {
             ProfileQuery::filter(
@@ -375,7 +379,10 @@ mod tests {
         let head: u64 = counts[1..=5].iter().sum();
         let mid: u64 = counts[20..=24].iter().sum();
         let tail: u64 = counts[80..=84].iter().sum();
-        assert!(head > mid && mid > tail, "head {head} mid {mid} tail {tail}");
+        assert!(
+            head > mid && mid > tail,
+            "head {head} mid {mid} tail {tail}"
+        );
     }
 
     #[test]

@@ -168,7 +168,10 @@ impl KvNode {
     fn check_available(&self) -> Result<()> {
         if self.is_down() {
             self.failures.inc();
-            return Err(IpsError::Unavailable(format!("kv node {} is down", self.name)));
+            return Err(IpsError::Unavailable(format!(
+                "kv node {} is down",
+                self.name
+            )));
         }
         let ppm = self.error_ppm.load(Ordering::Relaxed);
         if ppm > 0 {
@@ -337,10 +340,7 @@ mod tests {
     fn down_node_refuses_everything() {
         let n = KvNode::new("n1", KvNodeConfig::default()).unwrap();
         n.set_down(true);
-        assert!(matches!(
-            n.get(b"k"),
-            Err(IpsError::Unavailable(_))
-        ));
+        assert!(matches!(n.get(b"k"), Err(IpsError::Unavailable(_))));
         assert!(n.set(b("k"), b("v")).is_err());
         n.set_down(false);
         assert!(n.get(b"k").unwrap().is_none());
@@ -464,14 +464,19 @@ mod tests {
         }
         // Generations keep increasing after recovery.
         let (_, g) = n.xget(&1u64.to_le_bytes()).unwrap();
-        assert!(n.set(Bytes::from_static(b"new"), Bytes::from_static(b"v")).unwrap() > g);
+        assert!(
+            n.set(Bytes::from_static(b"new"), Bytes::from_static(b"v"))
+                .unwrap()
+                > g
+        );
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn checkpoint_without_wal_is_noop() {
         let n = KvNode::new("volatile", KvNodeConfig::default()).unwrap();
-        n.set(Bytes::from_static(b"k"), Bytes::from_static(b"v")).unwrap();
+        n.set(Bytes::from_static(b"k"), Bytes::from_static(b"v"))
+            .unwrap();
         assert_eq!(n.checkpoint().unwrap(), 0);
     }
 

@@ -256,7 +256,9 @@ mod tests {
     fn group(replicas: usize, mode: ReplicaReadMode) -> ReplicatedKv {
         let master = Arc::new(KvNode::new("master", KvNodeConfig::default()).unwrap());
         let reps = (0..replicas)
-            .map(|i| Arc::new(KvNode::new(format!("replica-{i}"), KvNodeConfig::default()).unwrap()))
+            .map(|i| {
+                Arc::new(KvNode::new(format!("replica-{i}"), KvNodeConfig::default()).unwrap())
+            })
             .collect();
         ReplicatedKv::new(master, reps, mode)
     }

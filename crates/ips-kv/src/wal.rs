@@ -119,7 +119,7 @@ impl Wal {
         Ok(Self {
             path,
             file: Mutex::new(file),
-            sync_every_append: sync_every_append,
+            sync_every_append,
         })
     }
 

@@ -290,7 +290,10 @@ mod tests {
                 err <= 1.0 / SUB_BUCKETS as f64 + 1e-9,
                 "v={v} rep={rep} err={err}"
             );
-            assert!(rep >= v, "bucket value must be an upper bound: v={v} rep={rep}");
+            assert!(
+                rep >= v,
+                "bucket value must be an upper bound: v={v} rep={rep}"
+            );
         }
         drop(h);
     }

@@ -65,17 +65,13 @@ impl TimeSeries {
     /// bucket, stamped at the bucket start.
     #[must_use]
     pub fn downsample_mean(&self, bucket: DurationMs) -> Vec<SeriesPoint> {
-        self.downsample(bucket, |vals| {
-            vals.iter().sum::<f64>() / vals.len() as f64
-        })
+        self.downsample(bucket, |vals| vals.iter().sum::<f64>() / vals.len() as f64)
     }
 
     /// Downsample into `bucket`-wide maxima.
     #[must_use]
     pub fn downsample_max(&self, bucket: DurationMs) -> Vec<SeriesPoint> {
-        self.downsample(bucket, |vals| {
-            vals.iter().fold(f64::MIN, |a, b| a.max(*b))
-        })
+        self.downsample(bucket, |vals| vals.iter().fold(f64::MIN, |a, b| a.max(*b)))
     }
 
     fn downsample(&self, bucket: DurationMs, f: impl Fn(&[f64]) -> f64) -> Vec<SeriesPoint> {

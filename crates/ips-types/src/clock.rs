@@ -54,7 +54,9 @@ impl SimClock {
     /// in), so `now - lookback` windows don't clamp at the epoch.
     #[must_use]
     pub fn at_origin() -> Self {
-        Self::new(Timestamp::from_millis(DurationMs::from_days(365).as_millis()))
+        Self::new(Timestamp::from_millis(
+            DurationMs::from_days(365).as_millis(),
+        ))
     }
 
     /// Advance the clock by `d` and return the new now.

@@ -332,7 +332,7 @@ impl CacheConfig {
         if self.lru_shards == 0 || self.dirty_shards == 0 {
             return Err("shard counts must be positive".into());
         }
-        if self.flush_threads == 0 || self.flush_threads % self.dirty_shards != 0 {
+        if self.flush_threads == 0 || !self.flush_threads.is_multiple_of(self.dirty_shards) {
             return Err(format!(
                 "flush_threads ({}) must be a positive multiple of dirty_shards ({})",
                 self.flush_threads, self.dirty_shards
@@ -466,7 +466,10 @@ pub fn decay_factor(function: DecayFunction, factor: f64, age: DurationMs) -> f6
             let frac = 1.0 - (age.as_millis() as f64 / horizon.as_millis() as f64);
             factor * frac.max(0.0)
         }
-        DecayFunction::Step { boundary, old_factor } => {
+        DecayFunction::Step {
+            boundary,
+            old_factor,
+        } => {
             if age <= boundary {
                 factor
             } else {
@@ -479,9 +482,10 @@ pub fn decay_factor(function: DecayFunction, factor: f64, age: DurationMs) -> f6
 /// Decay functions applicable at query time (§II-B `get_profile_decay`):
 /// favour recent profile data over old data by scaling counts by a factor
 /// that depends on the data's age.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize, Default)]
 pub enum DecayFunction {
     /// No decay (identity).
+    #[default]
     None,
     /// Exponential decay with the given half-life.
     Exponential { half_life: DurationMs },
@@ -492,12 +496,6 @@ pub enum DecayFunction {
         boundary: DurationMs,
         old_factor: f64,
     },
-}
-
-impl Default for DecayFunction {
-    fn default() -> Self {
-        DecayFunction::None
-    }
 }
 
 #[cfg(test)]
@@ -534,8 +532,9 @@ mod tests {
 
     #[test]
     fn time_dimension_rejects_gaps_and_inversions() {
-        assert!(TimeDimensionConfig::from_pairs(&[("1s", "0s", "1m"), ("1m", "2m", "1h")])
-            .is_err());
+        assert!(
+            TimeDimensionConfig::from_pairs(&[("1s", "0s", "1m"), ("1m", "2m", "1h")]).is_err()
+        );
         assert!(TimeDimensionConfig::from_pairs(&[("1s", "0s", "0s")]).is_err());
         assert!(
             TimeDimensionConfig::from_pairs(&[("1m", "0s", "1h"), ("1s", "1h", "2h")]).is_err(),
@@ -602,9 +601,11 @@ mod tests {
 
     #[test]
     fn cache_config_watermarks() {
-        let mut cfg = CacheConfig::default();
-        cfg.swap_low_watermark = 0.9;
-        cfg.swap_high_watermark = 0.8;
+        let cfg = CacheConfig {
+            swap_low_watermark: 0.9,
+            swap_high_watermark: 0.8,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 

@@ -95,7 +95,11 @@ mod tests {
     fn retryability_classification() {
         assert!(IpsError::Rpc("timeout".into()).is_retryable());
         assert!(IpsError::Unavailable("no node".into()).is_retryable());
-        assert!(IpsError::StaleGeneration { held: 1, current: 2 }.is_retryable());
+        assert!(IpsError::StaleGeneration {
+            held: 1,
+            current: 2
+        }
+        .is_retryable());
         assert!(!IpsError::QuotaExceeded(CallerId::new(7)).is_retryable());
         assert!(!IpsError::InvalidRequest("bad".into()).is_retryable());
     }

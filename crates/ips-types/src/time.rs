@@ -8,15 +8,11 @@ use std::ops::{Add, AddAssign, Sub};
 use serde::{Deserialize, Serialize};
 
 /// Milliseconds since an arbitrary epoch. All profile data carries one.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Timestamp(pub u64);
 
 /// A span of time in milliseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct DurationMs(pub u64);
 
 impl Timestamp {
@@ -175,13 +171,13 @@ impl fmt::Display for DurationMs {
         if ms == 0 {
             return write!(f, "0s");
         }
-        if ms % 86_400_000 == 0 {
+        if ms.is_multiple_of(86_400_000) {
             write!(f, "{}d", ms / 86_400_000)
-        } else if ms % 3_600_000 == 0 {
+        } else if ms.is_multiple_of(3_600_000) {
             write!(f, "{}h", ms / 3_600_000)
-        } else if ms % 60_000 == 0 {
+        } else if ms.is_multiple_of(60_000) {
             write!(f, "{}m", ms / 60_000)
-        } else if ms % 1_000 == 0 {
+        } else if ms.is_multiple_of(1_000) {
             write!(f, "{}s", ms / 1_000)
         } else {
             write!(f, "{ms}ms")
@@ -333,7 +329,10 @@ mod tests {
         assert_eq!(w.start, Timestamp::from_millis(90_000));
         assert_eq!(w.end, now.saturating_add(DurationMs(1)));
         assert!(w.contains(Timestamp::from_millis(95_000)));
-        assert!(w.contains(now), "the current moment is inside a CURRENT window");
+        assert!(
+            w.contains(now),
+            "the current moment is inside a CURRENT window"
+        );
         assert!(!w.contains(now.saturating_add(DurationMs(1))));
     }
 
@@ -352,7 +351,10 @@ mod tests {
         }
         .resolve(now, Some(t_last));
         assert_eq!(w.start, Timestamp::from_millis(300_000));
-        assert!(w.contains(t_last), "anchor action must be inside the window");
+        assert!(
+            w.contains(t_last),
+            "anchor action must be inside the window"
+        );
         assert!(!w.contains(Timestamp::from_millis(400_001)));
     }
 

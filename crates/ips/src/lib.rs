@@ -46,8 +46,8 @@ pub mod prelude {
     pub use ips_types::config::DecayFunction;
     pub use ips_types::{
         ActionTypeId, AggregateFunction, CallerId, Clock, CountVector, DurationMs, FeatureId,
-        IpsError, ProfileId, QuotaConfig, Result, SlotId, SortKey, SortOrder, TableConfig,
-        TableId, TimeRange, Timestamp,
+        IpsError, ProfileId, QuotaConfig, Result, SlotId, SortKey, SortOrder, TableConfig, TableId,
+        TimeRange, Timestamp,
     };
 }
 

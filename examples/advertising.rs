@@ -18,7 +18,9 @@ const ATTR_IMPRESSION: usize = 0;
 const ATTR_CONVERSION: usize = 1;
 
 fn main() -> Result<()> {
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(50).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(50).as_millis(),
+    ));
     let instance = IpsInstance::new_in_memory(
         IpsInstanceOptions {
             name: "ads".into(),
@@ -152,7 +154,10 @@ fn main() -> Result<()> {
     )?;
     let bid = current_bid.entries[0].counts.get_or_zero(0);
     println!("current bid for 'sunscreen': {bid} cents (latest update wins)");
-    assert_eq!(bid, 180, "Last aggregation returns the newest bid, not a sum");
+    assert_eq!(
+        bid, 180,
+        "Last aggregation returns the newest bid, not a sum"
+    );
 
     // ---- multi-tenancy ------------------------------------------------------
     // The ads cluster is shared; a runaway reporting job gets its own quota

@@ -15,7 +15,9 @@ use ips::kv::KvLatencyModel;
 use ips::prelude::*;
 
 fn main() -> Result<()> {
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(10).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(10).as_millis(),
+    ));
 
     let mut table_cfg = TableConfig::new("profiles");
     table_cfg.isolation.enabled = false;
@@ -59,7 +61,13 @@ fn main() -> Result<()> {
     }
     let mut hits = 0;
     for user in 0..200u64 {
-        let q = ProfileQuery::top_k(table, ProfileId::new(user), slot, TimeRange::last_days(1), 5);
+        let q = ProfileQuery::top_k(
+            table,
+            ProfileId::new(user),
+            slot,
+            TimeRange::last_days(1),
+            5,
+        );
         let (result, breakdown) = client.query(caller, &q)?;
         if !result.is_empty() {
             hits += 1;
@@ -91,14 +99,17 @@ fn main() -> Result<()> {
     deployment.heartbeat_all();
     ctl.advance(DurationMs::from_secs(20));
     client.refresh();
-    println!(
-        "  healthy regions after refresh: {:?}",
-        client.regions()
-    );
+    println!("  healthy regions after refresh: {:?}", client.regions());
 
     let mut served = 0;
     for user in 0..200u64 {
-        let q = ProfileQuery::top_k(table, ProfileId::new(user), slot, TimeRange::last_days(1), 5);
+        let q = ProfileQuery::top_k(
+            table,
+            ProfileId::new(user),
+            slot,
+            TimeRange::last_days(1),
+            5,
+        );
         let (result, _) = client.query(caller, &q)?;
         if !result.is_empty() {
             served += 1;

@@ -18,7 +18,9 @@ const ATTR_CLICK: usize = 0;
 const ATTR_IMPRESSION: usize = 1;
 
 fn main() -> Result<()> {
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(200).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(200).as_millis(),
+    ));
     let instance = IpsInstance::new_in_memory(
         IpsInstanceOptions {
             name: "feeds".into(),
@@ -51,20 +53,30 @@ fn main() -> Result<()> {
     // Yesterday's story accumulated plenty of clicks... yesterday.
     let yesterday = ctl.now().saturating_sub(DurationMs::from_days(1));
     instance.add_profile(
-        caller, items, old_profile, yesterday, news, view, older_story,
+        caller,
+        items,
+        old_profile,
+        yesterday,
+        news,
+        view,
+        older_story,
         CountVector::from_slice(&[5_000, 40_000]),
     )?;
 
     // The breaking story has had 10 minutes of traffic.
     let mut generator = WorkloadGenerator::new(WorkloadConfig::default());
     for minute in 0..10u64 {
-        let at = ctl
-            .now()
-            .saturating_sub(DurationMs::from_mins(10 - minute));
+        let at = ctl.now().saturating_sub(DurationMs::from_mins(10 - minute));
         let clicks = 300 + 100 * minute as i64; // accelerating
         let _ = &mut generator;
         instance.add_profile(
-            caller, items, story_profile, at, news, view, breaking,
+            caller,
+            items,
+            story_profile,
+            at,
+            news,
+            view,
+            breaking,
             CountVector::from_slice(&[clicks, clicks * 6]),
         )?;
     }
@@ -102,7 +114,13 @@ fn main() -> Result<()> {
     for day in 1..=90u64 {
         let at = ctl.now().saturating_sub(DurationMs::from_days(day));
         instance.add_profile(
-            caller, users, reader, at, hobbies, view, cooking,
+            caller,
+            users,
+            reader,
+            at,
+            hobbies,
+            view,
+            cooking,
             CountVector::from_slice(&[2, 10]),
         )?;
     }
@@ -110,7 +128,13 @@ fn main() -> Result<()> {
     for day in 1..=14u64 {
         let at = ctl.now().saturating_sub(DurationMs::from_days(day));
         instance.add_profile(
-            caller, users, reader, at, hobbies, view, hiking,
+            caller,
+            users,
+            reader,
+            at,
+            hobbies,
+            view,
+            hiking,
             CountVector::from_slice(&[3, 10]),
         )?;
     }

@@ -22,7 +22,9 @@ const IMPRESSION: usize = 1;
 const SHARE: usize = 2;
 
 fn main() -> Result<()> {
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(120).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(120).as_millis(),
+    ));
     let instance = IpsInstance::new_in_memory(IpsInstanceOptions::default(), clock.clone());
     let table = TableId::new(1);
     let mut cfg = TableConfig::new("user_profiles");
@@ -49,12 +51,22 @@ fn main() -> Result<()> {
                 _ => (3, 10, 4),
             };
             instance.add_profile(
-                caller, table, *user, at, news, view,
+                caller,
+                table,
+                *user,
+                at,
+                news,
+                view,
                 FeatureId::new(day % 7),
                 CountVector::from_slice(&[clicks, imps, shares]),
             )?;
             instance.add_profile(
-                caller, table, *user, at, video, view,
+                caller,
+                table,
+                *user,
+                at,
+                video,
+                view,
                 FeatureId::new(100 + day % 5),
                 CountVector::from_slice(&[clicks / 2, imps / 2, shares]),
             )?;
@@ -63,7 +75,12 @@ fn main() -> Result<()> {
 
     // ---- the template: what the CTR model consumes -------------------------
     let template = FeatureTemplate::new("ctr_model_v3", table)
-        .with(FeatureSpec::sum("news_clicks_7d", news, TimeRange::last_days(7), CLICK))
+        .with(FeatureSpec::sum(
+            "news_clicks_7d",
+            news,
+            TimeRange::last_days(7),
+            CLICK,
+        ))
         .with(FeatureSpec::ratio(
             "news_ctr_7d",
             news,
@@ -78,12 +95,22 @@ fn main() -> Result<()> {
             CLICK,
             IMPRESSION,
         ))
-        .with(FeatureSpec::sum("shares_30d", news, TimeRange::last_days(30), SHARE))
+        .with(FeatureSpec::sum(
+            "shares_30d",
+            news,
+            TimeRange::last_days(30),
+            SHARE,
+        ))
         .with(
-            FeatureSpec::sum("video_clicks_decayed", video, TimeRange::last_days(30), CLICK)
-                .with_decay(DecayFunction::Exponential {
-                    half_life: DurationMs::from_days(7),
-                }),
+            FeatureSpec::sum(
+                "video_clicks_decayed",
+                video,
+                TimeRange::last_days(30),
+                CLICK,
+            )
+            .with_decay(DecayFunction::Exponential {
+                half_life: DurationMs::from_days(7),
+            }),
         )
         .with(FeatureSpec {
             name: "top_news_topic".into(),
@@ -101,7 +128,11 @@ fn main() -> Result<()> {
             3,
         ));
 
-    println!("template '{}' -> {} scalar outputs:", template.name, template.width());
+    println!(
+        "template '{}' -> {} scalar outputs:",
+        template.name,
+        template.width()
+    );
     for name in template.output_names() {
         println!("  {name}");
     }

@@ -11,7 +11,9 @@ use ips::prelude::*;
 
 fn main() -> Result<()> {
     // A simulated clock so "ten days ago" is explicit and reproducible.
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(100).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(100).as_millis(),
+    ));
 
     // One IPS instance with a private in-memory KV store behind it.
     let instance = IpsInstance::new_in_memory(IpsInstanceOptions::default(), clock.clone());
@@ -77,7 +79,10 @@ fn main() -> Result<()> {
     let query_1d = ProfileQuery::top_k(table, alice, sports, TimeRange::last_days(1), 10)
         .with_action(basketball);
     let recent = instance.query(caller, &query_1d)?;
-    println!("Features in the last 1 day: {} (Warriors like was 2 days ago)", recent.len());
+    println!(
+        "Features in the last 1 day: {} (Warriors like was 2 days ago)",
+        recent.len()
+    );
     assert!(recent.is_empty());
 
     // And a decayed view that favours recent interests.

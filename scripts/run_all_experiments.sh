@@ -19,6 +19,7 @@ BINS=(
   baseline_preagg_compare
   freshness_e2e
   quota_enforcement
+  candidate_ranking
 )
 
 cargo build --release -p ips-bench --bins

@@ -21,7 +21,9 @@ struct Fixture {
 }
 
 fn fixture() -> Fixture {
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(100).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(100).as_millis(),
+    ));
     let instance = IpsInstance::new_in_memory(IpsInstanceOptions::default(), clock);
     let table = TableId::new(1);
     let mut config = TableConfig::new("user_profile_table");
@@ -79,14 +81,8 @@ fn listing1_top_liked_team_last_ten_days() {
     // Note: the Lakers row is exactly at the 10-day boundary; "last 10
     // days" in the test uses an 11-day window to include both rows, then a
     // 10-day window matching the paper's intent (Warriors wins either way).
-    let q = ProfileQuery::top_k(
-        f.table,
-        f.alice,
-        f.sports,
-        TimeRange::last_days(11),
-        1,
-    )
-    .with_action(f.basketball);
+    let q = ProfileQuery::top_k(f.table, f.alice, f.sports, TimeRange::last_days(11), 1)
+        .with_action(f.basketball);
     let r = f.instance.query(f.caller, &q).unwrap();
     assert_eq!(r.len(), 1);
     assert_eq!(r.entries[0].feature, f.warriors);
@@ -151,7 +147,11 @@ fn relative_window_works_for_dormant_alice() {
     }
     .with_action(f.basketball);
     let r = f.instance.query(f.caller, &q).unwrap();
-    assert_eq!(r.len(), 2, "both rows lie within 10 days of her last action");
+    assert_eq!(
+        r.len(),
+        2,
+        "both rows lie within 10 days of her last action"
+    );
 
     // The CURRENT version of the same window finds nothing.
     let q = ProfileQuery::top_k(f.table, f.alice, f.sports, TimeRange::last_days(10), 10)
@@ -182,7 +182,10 @@ fn survives_flush_evict_reload_cycle() {
     let q = ProfileQuery::top_k(f.table, f.alice, f.sports, TimeRange::last_days(11), 1)
         .with_action(f.basketball);
     let r = f.instance.query(f.caller, &q).unwrap();
-    assert_eq!(r.entries[0].feature, f.warriors, "reloaded from the KV store");
+    assert_eq!(
+        r.entries[0].feature, f.warriors,
+        "reloaded from the KV store"
+    );
     assert!(!r.cache_hit);
 
     // Second query is a hit.

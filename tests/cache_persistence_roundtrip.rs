@@ -57,7 +57,9 @@ fn count_features(i: &Arc<IpsInstance>, pid: u64) -> usize {
 
 #[test]
 fn memory_pressure_evicts_and_reloads_losslessly() {
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(30).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(30).as_millis(),
+    ));
     let node = Arc::new(KvNode::new("kv", KvNodeConfig::default()).unwrap());
     // A cache too small for 300 profiles with 30 features each.
     let instance = instance_with_node(Arc::clone(&clock), Arc::clone(&node), 256 << 10);
@@ -85,7 +87,9 @@ fn memory_pressure_evicts_and_reloads_losslessly() {
 
 #[test]
 fn instance_restart_recovers_from_kv_store() {
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(30).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(30).as_millis(),
+    ));
     let node = Arc::new(KvNode::new("kv", KvNodeConfig::default()).unwrap());
     {
         let instance = instance_with_node(Arc::clone(&clock), Arc::clone(&node), 64 << 20);
@@ -113,7 +117,9 @@ fn kv_crash_with_wal_preserves_profiles() {
         ));
         p
     };
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(30).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(30).as_millis(),
+    ));
     let node = Arc::new(
         KvNode::new(
             "kv-durable",
@@ -191,7 +197,9 @@ fn hit_ratio_stays_high_under_zipf_access() {
     // Fig 18's claim: >90% hit ratio with a Zipf access pattern and a cache
     // big enough for the hot set.
     use ips::ingest::{WorkloadConfig, WorkloadGenerator};
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(30).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(30).as_millis(),
+    ));
     let node = Arc::new(KvNode::new("kv", KvNodeConfig::default()).unwrap());
     let instance = instance_with_node(Arc::clone(&clock), Arc::clone(&node), 8 << 20);
     let mut generator = WorkloadGenerator::new(WorkloadConfig {
@@ -228,7 +236,7 @@ impl TickIfNeeded for Arc<IpsInstance> {
         // Swap occasionally so the cache obeys its budget during the run.
         use std::sync::atomic::{AtomicU64, Ordering};
         static N: AtomicU64 = AtomicU64::new(0);
-        if N.fetch_add(1, Ordering::Relaxed) % 512 == 0 {
+        if N.fetch_add(1, Ordering::Relaxed).is_multiple_of(512) {
             let _ = self.tick();
         }
     }

@@ -24,7 +24,9 @@ const LIKE: ActionTypeId = ActionTypeId(1);
 
 #[test]
 fn chaos_soak_survives_and_converges() {
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(10).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(10).as_millis(),
+    ));
     let mut table_cfg = TableConfig::new("chaos");
     table_cfg.isolation.enabled = true;
     table_cfg.isolation.merge_interval = DurationMs::from_secs(1);
@@ -215,7 +217,11 @@ fn chaos_soak_survives_and_converges() {
             .unwrap();
     }
     for ep in &endpoints {
-        ep.instance().table(TABLE).unwrap().merge_write_table().unwrap();
+        ep.instance()
+            .table(TABLE)
+            .unwrap()
+            .merge_write_table()
+            .unwrap();
     }
     let q = ProfileQuery::filter(
         TABLE,

@@ -14,7 +14,9 @@ const SLOT: SlotId = SlotId(1);
 const LIKE: ActionTypeId = ActionTypeId(1);
 
 fn build() -> (Arc<IpsInstance>, SimClock) {
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(400).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(400).as_millis(),
+    ));
     let instance = IpsInstance::new_in_memory(IpsInstanceOptions::default(), clock);
     let mut cfg = TableConfig::new("lifecycle");
     cfg.isolation.enabled = false;
@@ -109,7 +111,13 @@ fn three_simulated_months_stay_bounded() {
     assert!(slices < 200, "slice list bounded, got {slices}");
 
     // The profile still answers correctly for fresh data.
-    let q = ProfileQuery::top_k(TABLE, ProfileId::new(pid), SLOT, TimeRange::last_days(1), 10);
+    let q = ProfileQuery::top_k(
+        TABLE,
+        ProfileId::new(pid),
+        SLOT,
+        TimeRange::last_days(1),
+        10,
+    );
     let r = instance.query(CALLER, &q).unwrap();
     assert!(!r.is_empty());
 }
@@ -139,8 +147,14 @@ fn compaction_preserves_aggregate_totals() {
     // Trigger scheduling, then run the pipeline.
     instance
         .add_profile(
-            CALLER, TABLE, ProfileId::new(pid), ctl.now(), SLOT, LIKE,
-            FeatureId::new(10), CountVector::single(1),
+            CALLER,
+            TABLE,
+            ProfileId::new(pid),
+            ctl.now(),
+            SLOT,
+            LIKE,
+            FeatureId::new(10),
+            CountVector::single(1),
         )
         .unwrap();
     instance.tick().unwrap();
@@ -169,8 +183,14 @@ fn truncation_forgets_data_past_horizon() {
     let pid = 3u64;
     instance
         .add_profile(
-            CALLER, TABLE, ProfileId::new(pid), ctl.now(), SLOT, LIKE,
-            FeatureId::new(1), CountVector::single(1),
+            CALLER,
+            TABLE,
+            ProfileId::new(pid),
+            ctl.now(),
+            SLOT,
+            LIKE,
+            FeatureId::new(1),
+            CountVector::single(1),
         )
         .unwrap();
     // 45 days later (past the 30-day truncate horizon), write again and
@@ -179,8 +199,14 @@ fn truncation_forgets_data_past_horizon() {
     for _ in 0..3 {
         instance
             .add_profile(
-                CALLER, TABLE, ProfileId::new(pid), ctl.now(), SLOT, LIKE,
-                FeatureId::new(2), CountVector::single(1),
+                CALLER,
+                TABLE,
+                ProfileId::new(pid),
+                ctl.now(),
+                SLOT,
+                LIKE,
+                FeatureId::new(2),
+                CountVector::single(1),
             )
             .unwrap();
         ctl.advance(DurationMs::from_mins(10));
@@ -210,8 +236,14 @@ fn shrink_keeps_head_features_drops_long_tail() {
         let count = if fid < 5 { 100 } else { 1 };
         instance
             .add_profile(
-                CALLER, TABLE, ProfileId::new(pid), ctl.now(), SLOT, LIKE,
-                FeatureId::new(fid), CountVector::single(count),
+                CALLER,
+                TABLE,
+                ProfileId::new(pid),
+                ctl.now(),
+                SLOT,
+                LIKE,
+                FeatureId::new(fid),
+                CountVector::single(count),
             )
             .unwrap();
     }
@@ -219,8 +251,14 @@ fn shrink_keeps_head_features_drops_long_tail() {
     ctl.advance(DurationMs::from_days(2));
     instance
         .add_profile(
-            CALLER, TABLE, ProfileId::new(pid), ctl.now(), SLOT, LIKE,
-            FeatureId::new(999), CountVector::single(1),
+            CALLER,
+            TABLE,
+            ProfileId::new(pid),
+            ctl.now(),
+            SLOT,
+            LIKE,
+            FeatureId::new(999),
+            CountVector::single(1),
         )
         .unwrap();
     instance.tick().unwrap();
@@ -254,8 +292,14 @@ fn hot_reconfiguration_of_compaction_applies_next_cycle() {
     for i in 0..50u64 {
         instance
             .add_profile(
-                CALLER, TABLE, ProfileId::new(pid), ctl.now(), SLOT, LIKE,
-                FeatureId::new(i), CountVector::single(1),
+                CALLER,
+                TABLE,
+                ProfileId::new(pid),
+                ctl.now(),
+                SLOT,
+                LIKE,
+                FeatureId::new(i),
+                CountVector::single(1),
             )
             .unwrap();
         ctl.advance(DurationMs::from_secs(60));
@@ -272,8 +316,14 @@ fn hot_reconfiguration_of_compaction_applies_next_cycle() {
     ctl.advance(DurationMs::from_mins(10));
     instance
         .add_profile(
-            CALLER, TABLE, ProfileId::new(pid), ctl.now(), SLOT, LIKE,
-            FeatureId::new(999), CountVector::single(1),
+            CALLER,
+            TABLE,
+            ProfileId::new(pid),
+            ctl.now(),
+            SLOT,
+            LIKE,
+            FeatureId::new(999),
+            CountVector::single(1),
         )
         .unwrap();
     instance.tick().unwrap();

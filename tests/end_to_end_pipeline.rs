@@ -6,8 +6,10 @@
 use std::sync::Arc;
 
 use ips::ingest::events::InstanceRecord;
-use ips::ingest::{ConsumerGroup, InstanceJoiner, JoinConfig, Topic, WorkloadConfig, WorkloadGenerator};
 use ips::ingest::job::IngestionJob;
+use ips::ingest::{
+    ConsumerGroup, InstanceJoiner, JoinConfig, Topic, WorkloadConfig, WorkloadGenerator,
+};
 use ips::prelude::*;
 
 const TABLE: TableId = TableId(1);
@@ -23,7 +25,9 @@ fn build_instance(clock: ips::types::SharedClock) -> Arc<IpsInstance> {
 
 #[test]
 fn events_flow_to_queryable_features_within_a_minute() {
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(30).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(30).as_millis(),
+    ));
     let instance = build_instance(Arc::clone(&clock));
     let topic: Arc<Topic<InstanceRecord>> = Topic::new(4);
     let mut joiner = InstanceJoiner::new(JoinConfig::default());
@@ -61,7 +65,10 @@ fn events_flow_to_queryable_features_within_a_minute() {
 
     // Freshness: p99 event-to-ingest under 60 seconds (§III-A).
     let p99_ms = job.freshness_ms.percentile(99.0);
-    assert!(p99_ms < 60_000, "p99 freshness {p99_ms}ms exceeds one minute");
+    assert!(
+        p99_ms < 60_000,
+        "p99 freshness {p99_ms}ms exceeds one minute"
+    );
 
     // The sample user's feature is queryable.
     let q = ProfileQuery::top_k(TABLE, sample.user, sample.slot, TimeRange::last_days(1), 50);
@@ -74,7 +81,9 @@ fn events_flow_to_queryable_features_within_a_minute() {
 
 #[test]
 fn join_state_is_bounded_by_watermarks() {
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(30).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(30).as_millis(),
+    ));
     let _ = clock;
     let mut joiner = InstanceJoiner::new(JoinConfig {
         window: DurationMs::from_mins(5),
@@ -108,7 +117,9 @@ fn join_state_is_bounded_by_watermarks() {
 fn duplicate_ingestion_is_visible_as_double_counts() {
     // The pipeline is at-least-once at the topic boundary if a consumer
     // group re-reads; this test documents the (accepted) behaviour.
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(30).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(30).as_millis(),
+    ));
     let instance = build_instance(Arc::clone(&clock));
     let topic: Arc<Topic<InstanceRecord>> = Topic::new(1);
     let mut generator = WorkloadGenerator::new(WorkloadConfig::default());
@@ -118,7 +129,13 @@ fn duplicate_ingestion_is_visible_as_double_counts() {
     topic.append(rec.user.raw(), rec);
 
     let group = ConsumerGroup::new(Arc::clone(&topic));
-    let job = IngestionJob::new(group, Arc::clone(&instance), CALLER, TABLE, Arc::clone(&clock));
+    let job = IngestionJob::new(
+        group,
+        Arc::clone(&instance),
+        CALLER,
+        TABLE,
+        Arc::clone(&clock),
+    );
     job.run_to_completion();
     // A crash-restart without committed offsets replays the topic.
     job_replay(&topic, &instance, &clock);

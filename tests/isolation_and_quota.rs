@@ -14,7 +14,9 @@ const SLOT: SlotId = SlotId(1);
 const LIKE: ActionTypeId = ActionTypeId(1);
 
 fn build(isolation: bool) -> (Arc<IpsInstance>, SimClock) {
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(30).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(30).as_millis(),
+    ));
     let instance = IpsInstance::new_in_memory(IpsInstanceOptions::default(), clock);
     let mut cfg = TableConfig::new("t");
     cfg.isolation.enabled = isolation;
@@ -223,11 +225,27 @@ fn quota_applies_to_writes_by_feature_count() {
         .map(|n| (FeatureId::new(n), CountVector::single(1)))
         .collect();
     instance
-        .add_profiles(caller, TABLE, ProfileId::new(1), ctl.now(), SLOT, LIKE, &features)
+        .add_profiles(
+            caller,
+            TABLE,
+            ProfileId::new(1),
+            ctl.now(),
+            SLOT,
+            LIKE,
+            &features,
+        )
         .unwrap();
     // Another 8 exceeds the budget.
     assert!(matches!(
-        instance.add_profiles(caller, TABLE, ProfileId::new(1), ctl.now(), SLOT, LIKE, &features),
+        instance.add_profiles(
+            caller,
+            TABLE,
+            ProfileId::new(1),
+            ctl.now(),
+            SLOT,
+            LIKE,
+            &features
+        ),
         Err(IpsError::QuotaExceeded(_))
     ));
 }

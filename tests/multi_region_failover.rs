@@ -20,7 +20,9 @@ struct World {
 }
 
 fn build(regions: usize) -> World {
-    let (clock, ctl) = sim_clock(Timestamp::from_millis(DurationMs::from_days(10).as_millis()));
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(10).as_millis(),
+    ));
     let mut table_cfg = TableConfig::new("t");
     table_cfg.isolation.enabled = false;
     let deployment = MultiRegionDeployment::build(
@@ -64,7 +66,13 @@ fn write(w: &World, pid: u64, fid: u64) {
 }
 
 fn query(w: &World, pid: u64) -> QueryResult {
-    let q = ProfileQuery::top_k(TABLE, ProfileId::new(pid), SLOT, TimeRange::last_days(1), 10);
+    let q = ProfileQuery::top_k(
+        TABLE,
+        ProfileId::new(pid),
+        SLOT,
+        TimeRange::last_days(1),
+        10,
+    );
     w.client.query(CALLER, &q).unwrap().0
 }
 
@@ -81,7 +89,7 @@ fn only_the_persisting_region_writes_storage() {
     }
     // All storage keys came through the master; replicas are empty until
     // the pump runs.
-    assert!(w.deployment.kv.master().store().len() > 0);
+    assert!(!w.deployment.kv.master().store().is_empty());
     for region in &w.deployment.regions[1..] {
         assert_eq!(
             region.replica.as_ref().unwrap().store().len(),
@@ -91,7 +99,7 @@ fn only_the_persisting_region_writes_storage() {
     }
     w.deployment.pump_replication(1 << 20);
     for region in &w.deployment.regions[1..] {
-        assert!(region.replica.as_ref().unwrap().store().len() > 0);
+        assert!(!region.replica.as_ref().unwrap().store().is_empty());
     }
 }
 
@@ -113,7 +121,12 @@ fn stale_replica_read_after_failover_is_tolerated() {
     }
     // NOTE: no pump — replica still has v1.
     for ep in &w.deployment.regions[1].endpoints {
-        ep.instance().table(TABLE).unwrap().cache.evict(ProfileId::new(7)).unwrap();
+        ep.instance()
+            .table(TABLE)
+            .unwrap()
+            .cache
+            .evict(ProfileId::new(7))
+            .unwrap();
     }
 
     // Region-0 fails; queries land on region-1, which loads the STALE

@@ -1,0 +1,13 @@
+//! Offline shim for `serde`. The workspace derives `Serialize`/`Deserialize`
+//! on config types for downstream tooling, but never serializes through
+//! serde (the wire format is `ips-codec`). The traits are inert markers and
+//! the derives (re-exported from the shim `serde_derive`) expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

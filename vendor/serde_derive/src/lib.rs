@@ -1,0 +1,16 @@
+//! Offline shim for `serde_derive`. Nothing in this workspace actually
+//! serializes through serde (the wire format is `ips-codec`); the derives
+//! exist only so `#[derive(Serialize, Deserialize)]` on config types keeps
+//! compiling. They therefore expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
