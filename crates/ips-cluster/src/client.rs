@@ -299,6 +299,7 @@ impl IpsClusterClient {
                 .collect();
             handles
                 .into_iter()
+                // lint: allow(unwrap, reason = "scoped-thread join fails only if the child panicked; re-raising preserves the bug")
                 .map(|h| h.join().expect("region writer panicked"))
                 .collect()
         });
@@ -347,6 +348,7 @@ impl IpsClusterClient {
                 .collect();
             handles
                 .into_iter()
+                // lint: allow(unwrap, reason = "scoped-thread join fails only if the child panicked; re-raising preserves the bug")
                 .map(|h| h.join().expect("region writer panicked"))
                 .collect()
         });
@@ -420,6 +422,7 @@ impl IpsClusterClient {
                 .collect();
             handles
                 .into_iter()
+                // lint: allow(unwrap, reason = "scoped-thread join fails only if the child panicked; re-raising preserves the bug")
                 .map(|h| h.join().expect("owner writer panicked"))
                 .collect()
         });
@@ -610,6 +613,7 @@ impl IpsClusterClient {
                     .collect();
                 handles
                     .into_iter()
+                    // lint: allow(unwrap, reason = "scoped-thread join fails only if the child panicked; re-raising preserves the bug")
                     .map(|h| h.join().expect("batch frame dispatcher panicked"))
                     .collect()
             });

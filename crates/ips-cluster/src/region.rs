@@ -268,7 +268,9 @@ impl MultiRegionDeployment {
             })?;
         let mut removed = 0;
         while removed < n && region.endpoints.len() > 1 {
-            let ep = region.endpoints.pop().expect("len > 1");
+            let Some(ep) = region.endpoints.pop() else {
+                break;
+            };
             // Graceful drain: flush dirty profiles so nothing is lost.
             ep.instance().flush_all()?;
             self.discovery.deregister(ep.name());

@@ -200,6 +200,7 @@ impl<S: ProfileStore + 'static> GCache<S> {
     ) -> Result<(R, bool)> {
         let (entry, hit) = self
             .entry(pid, true)?
+            // lint: allow(unwrap, reason = "entry(create=true) yields Some by construction; see entry()")
             .expect("create=true always yields an entry");
         let mut guard = entry.lock();
         let out = f(&mut guard.data);
@@ -479,6 +480,7 @@ impl<S: ProfileStore + 'static> GCache<S> {
                             std::thread::sleep(interval);
                         }
                     })
+                    // lint: allow(unwrap, reason = "thread spawn fails only on OS exhaustion at instance startup, before serving")
                     .expect("spawn swap thread"),
             );
         }
@@ -500,6 +502,7 @@ impl<S: ProfileStore + 'static> GCache<S> {
                             std::thread::sleep(interval);
                         }
                     })
+                    // lint: allow(unwrap, reason = "thread spawn fails only on OS exhaustion at instance startup, before serving")
                     .expect("spawn flush thread"),
             );
         }
@@ -739,6 +742,7 @@ mod tests {
         write_row(&c, 1, 1_000, 1);
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         while node.store().is_empty() && std::time::Instant::now() < deadline {
+            // lint: allow(sleep-in-test, reason = "polls a real OS thread; the sim clock cannot advance kernel scheduling")
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
         assert!(!node.store().is_empty(), "background flush should persist");

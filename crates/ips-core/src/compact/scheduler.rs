@@ -138,6 +138,7 @@ impl CompactionScheduler {
                         (me.handler)(task);
                         me.executed.inc();
                     })
+                    // lint: allow(unwrap, reason = "thread spawn fails only on OS exhaustion at instance startup, before serving")
                     .expect("spawn compaction worker")
             })
             .collect();
@@ -283,6 +284,7 @@ mod tests {
         }
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         while count.load(Ordering::Relaxed) < 100 && std::time::Instant::now() < deadline {
+            // lint: allow(sleep-in-test, reason = "polls a real OS thread; the sim clock cannot advance kernel scheduling")
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
         assert_eq!(count.load(Ordering::Relaxed), 100);

@@ -131,7 +131,9 @@ impl ProfileData {
         }
 
         // Older than the tail: append at the end, clamped below the tail.
-        let tail_start = self.slices.last().map(Slice::start).unwrap();
+        // (`slices` is non-empty here — the empty case returned above — but
+        // degrade to the aligned end rather than carry a panic path.)
+        let tail_start = self.slices.last().map_or(aligned_end, Slice::start);
         let start = aligned_start;
         let end = aligned_end.min(tail_start).max(Timestamp(start.0 + 1));
         let mut ns = Slice::new(start, end);

@@ -140,6 +140,7 @@ impl IpsInstance {
     pub fn new_in_memory(options: IpsInstanceOptions, clock: SharedClock) -> Arc<Self> {
         let node = Arc::new(
             KvNode::new(format!("{}-kv", options.name), KvNodeConfig::default())
+                // lint: allow(unwrap, reason = "KvNode::new without a WAL path performs no I/O and cannot fail")
                 .expect("in-memory node construction cannot fail"),
         );
         Self::new(node as DynStore, options, clock)
@@ -404,6 +405,7 @@ impl IpsInstance {
                     .collect();
                 handles
                     .into_iter()
+                    // lint: allow(unwrap, reason = "scoped-thread join fails only if the worker panicked; re-raising preserves the bug")
                     .flat_map(|h| h.join().expect("batch worker panicked"))
                     .collect()
             });
@@ -525,6 +527,7 @@ impl IpsInstance {
                     std::thread::sleep(min_interval);
                 }
             })
+            // lint: allow(unwrap, reason = "thread spawn fails only on OS exhaustion at instance startup, before serving")
             .expect("spawn merge thread");
         InstanceBackground {
             _cache_threads: cache_threads,
@@ -885,6 +888,7 @@ mod tests {
         let (i, ctl) = setup();
         let bg = i.spawn_background();
         add(&i, 1, 1, 1, ctl.now());
+        // lint: allow(sleep-in-test, reason = "gives real OS threads a scheduling window; the sim clock cannot")
         std::thread::sleep(std::time::Duration::from_millis(50));
         drop(bg);
         // Still queryable after background stops.

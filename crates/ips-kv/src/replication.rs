@@ -203,12 +203,15 @@ impl ReplicatedKv {
     }
 
     /// Spawn a background thread that pumps continuously until the returned
-    /// guard is dropped. `interval` is a real-time pacing knob.
+    /// guard is dropped. `interval` is a real-time pacing knob. Spawning can
+    /// fail when the OS is out of threads; that surfaces as a `Storage`
+    /// error instead of panicking the caller, which keeps the foreground
+    /// write path (and the explicit [`ReplicatedKv::pump`] fallback) alive.
     pub fn spawn_pump_thread(
         self: &Arc<Self>,
         batch: usize,
         interval: std::time::Duration,
-    ) -> PumpHandle {
+    ) -> Result<PumpHandle> {
         let stop = Arc::new(AtomicBool::new(false));
         let me = Arc::clone(self);
         let stop2 = Arc::clone(&stop);
@@ -221,11 +224,11 @@ impl ReplicatedKv {
                     }
                 }
             })
-            .expect("spawn replication pump");
-        PumpHandle {
+            .map_err(|e| ips_types::IpsError::Storage(format!("spawn replication pump: {e}")))?;
+        Ok(PumpHandle {
             stop,
             handle: Some(handle),
-        }
+        })
     }
 }
 
@@ -348,7 +351,9 @@ mod tests {
     #[test]
     fn pump_thread_drains_in_background() {
         let g = Arc::new(group(1, ReplicaReadMode::AllowStale));
-        let _pump = g.spawn_pump_thread(64, std::time::Duration::from_millis(1));
+        let _pump = g
+            .spawn_pump_thread(64, std::time::Duration::from_millis(1))
+            .unwrap();
         for i in 0..100u32 {
             g.set(
                 Bytes::from(i.to_le_bytes().to_vec()),
@@ -358,6 +363,7 @@ mod tests {
         }
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         while g.backlog() > 0 && std::time::Instant::now() < deadline {
+            // lint: allow(sleep-in-test, reason = "polls a real OS thread; the sim clock cannot advance kernel scheduling")
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
         assert_eq!(g.backlog(), 0, "pump thread should drain the queue");

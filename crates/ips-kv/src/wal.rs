@@ -156,8 +156,14 @@ impl Wal {
         let mut pos = 0usize;
         let mut valid_end = 0usize;
         while pos + 12 <= data.len() {
-            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
-            let checksum = u64::from_le_bytes(data[pos + 4..pos + 12].try_into().unwrap());
+            let (Ok(len_raw), Ok(sum_raw)) = (
+                <[u8; 4]>::try_from(&data[pos..pos + 4]),
+                <[u8; 8]>::try_from(&data[pos + 4..pos + 12]),
+            ) else {
+                break; // unreachable given the bound check; treat as torn tail
+            };
+            let len = u32::from_le_bytes(len_raw) as usize;
+            let checksum = u64::from_le_bytes(sum_raw);
             let body_start = pos + 12;
             let body_end = match body_start.checked_add(len) {
                 Some(e) if e <= data.len() => e,

@@ -1,0 +1,692 @@
+//! The source-level lint pass behind `cargo run -p xtask -- check`.
+//!
+//! Four repo-specific rules that clippy cannot express:
+//!
+//! * `unwrap` — no `.unwrap()` / `.expect(` in non-test code of the serving
+//!   crates; a panic in the serving path takes down every scenario sharing
+//!   the instance, so fallible paths must return `IpsError` instead.
+//! * `std-lock` — no `std::sync::{Mutex, RwLock}` anywhere in the workspace:
+//!   every lock must go through the vendored `parking_lot` shim so the
+//!   `lock-order-tracking` instrumentation sees it.
+//! * `guard-across-rpc` — no lock guard bound in a scope that also performs
+//!   an RPC (`.call(` / `.dispatch(` / `.replicate(`); guards must drop
+//!   before the wire or a slow peer stalls every thread behind the lock.
+//! * `sleep-in-test` — no `thread::sleep` in test code; tests drive time
+//!   through the fault-injection sim clock (`ips_types::clock`) so they stay
+//!   deterministic and fast.
+//!
+//! Any rule can be waived on a specific line with an annotation carrying a
+//! mandatory reason:
+//!
+//! ```text
+//! // lint: allow(unwrap, reason = "slice length checked two lines up")
+//! ```
+//!
+//! placed either at the end of the offending line or on its own line
+//! directly above it. An annotation without a non-empty reason is itself a
+//! violation (`bad-allow`).
+//!
+//! The pass is a deliberately simple line scanner (comments and string
+//! literals are stripped before matching; `#[cfg(test)]` regions are tracked
+//! by brace depth), not a parser: it trades soundness at the margins for
+//! zero dependencies and instant runtime, and the annotation grammar is the
+//! escape hatch for the false positives a scanner cannot avoid.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose non-test code sits on the serving path: a panic or a held
+/// lock here stalls live recommendation traffic, so the strict rules apply.
+pub const SERVING_CRATES: &[&str] = &[
+    "ips-core",
+    "ips-kv",
+    "ips-cluster",
+    "ips-codec",
+    "ips-ingest",
+];
+
+/// Method-call fragments that put bytes on the wire (or hand work to the
+/// replication pump). A guard alive at one of these calls is rule (c).
+const WIRE_CALLS: &[&str] = &[".call(", ".dispatch(", ".replicate("];
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+    pub hint: &'static str,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} (fix: {})",
+            self.file, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// How a file is classified before linting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileKind {
+    /// Non-test code in this file is serving-path code (rules a and c).
+    pub serving: bool,
+    /// The whole file is test code (integration tests, benches).
+    pub test_file: bool,
+}
+
+/// Lint a whole workspace tree rooted at `root`. Scans `crates/` (excluding
+/// the lint tool itself), the repository-level `tests/`, and `examples/`.
+/// `vendor/` is exempt: the shims implement the primitives the rules point
+/// everyone else at.
+pub fn check_tree(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files)?;
+    collect_rs_files(&root.join("tests"), &mut files)?;
+    collect_rs_files(&root.join("examples"), &mut files)?;
+    files.sort();
+
+    let mut violations = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rel.starts_with("crates/xtask/") {
+            continue; // the lint's own sources mention the patterns it hunts
+        }
+        let kind = classify(&rel);
+        let src = fs::read_to_string(&path)?;
+        violations.extend(lint_file(&rel, &src, kind));
+    }
+    Ok(violations)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            let name = path.file_name().unwrap_or_default().to_string_lossy();
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Classify a workspace-relative path.
+pub fn classify(rel: &str) -> FileKind {
+    let test_file =
+        rel.contains("/tests/") || rel.starts_with("tests/") || rel.contains("/benches/");
+    let serving = SERVING_CRATES
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")));
+    FileKind { serving, test_file }
+}
+
+/// A parsed allow-annotation: which rule it waives, or a violation when the
+/// annotation itself is malformed.
+enum Allow {
+    Rule(String),
+    Malformed(&'static str),
+}
+
+fn parse_allow(comment: &str) -> Option<Allow> {
+    let start = comment.find("lint: allow(")?;
+    let rest = &comment[start + "lint: allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return Some(Allow::Malformed("unclosed `lint: allow(`"));
+    };
+    let body = &rest[..close];
+    let mut parts = body.splitn(2, ',');
+    let rule = parts.next().unwrap_or("").trim().to_string();
+    let reason_ok = parts.next().is_some_and(|r| {
+        let r = r.trim();
+        r.strip_prefix("reason")
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('='))
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('"'))
+            .is_some_and(|r| r.trim_end().trim_end_matches('"').trim().len() > 1)
+    });
+    if rule.is_empty() || !reason_ok {
+        return Some(Allow::Malformed(
+            "annotation must be `lint: allow(<rule>, reason = \"...\")` with a non-empty reason",
+        ));
+    }
+    Some(Allow::Rule(rule))
+}
+
+/// One `let`-bound lock guard being tracked for rule (c).
+struct ActiveGuard {
+    name: String,
+    depth: i32,
+    line: usize,
+}
+
+/// Scanner state threaded through the lines of one file.
+struct Scan {
+    depth: i32,
+    in_block_comment: bool,
+    /// `#[cfg(test)]` / `#[test]` seen; waiting for the item's `{`.
+    pending_test_attr: bool,
+    /// Brace depth at which the current test region opened.
+    test_region: Option<i32>,
+    guards: Vec<ActiveGuard>,
+    /// Allow from a comment-only line, waived onto the next code line.
+    carried_allow: Option<String>,
+}
+
+/// Lint a single file's source. Exposed (rather than only `check_tree`) so
+/// the engine is unit-testable on inline snippets.
+pub fn lint_file(rel: &str, src: &str, kind: FileKind) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut st = Scan {
+        depth: 0,
+        in_block_comment: false,
+        pending_test_attr: false,
+        test_region: None,
+        guards: Vec::new(),
+        carried_allow: None,
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let (code, comment) = split_code_comment(raw, &mut st.in_block_comment);
+        let in_test = kind.test_file || st.test_region.is_some() || st.pending_test_attr;
+
+        // Annotation handling: same-line allow, or carried from the line above.
+        let mut allow: Option<String> = st.carried_allow.take();
+        match parse_allow(&comment) {
+            Some(Allow::Rule(rule)) => {
+                if code.trim().is_empty() {
+                    st.carried_allow = Some(rule);
+                } else {
+                    allow = Some(rule);
+                }
+            }
+            Some(Allow::Malformed(why)) => out.push(Violation {
+                file: rel.to_string(),
+                line: line_no,
+                rule: "bad-allow",
+                message: why.to_string(),
+                hint: "write `// lint: allow(<rule>, reason = \"why this is safe\")`",
+            }),
+            None => {}
+        }
+        let allowed = |rule: &str| allow.as_deref() == Some(rule);
+
+        // Test-region bookkeeping (before brace counting so the attribute
+        // line itself already counts as test code).
+        if code.contains("#[cfg(test)]")
+            || code.contains("#[cfg(all(test")
+            || code.contains("#[cfg(any(test")
+            || code.contains("#[test]")
+        {
+            st.pending_test_attr = true;
+        }
+
+        // ---- rule (a): unwrap/expect in serving non-test code ------------
+        if kind.serving
+            && !in_test
+            && (code.contains(".unwrap()") || code.contains(".expect("))
+            && !allowed("unwrap")
+        {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: line_no,
+                rule: "unwrap",
+                message: "`.unwrap()`/`.expect(` in serving-crate non-test code".into(),
+                hint: "return an IpsError (the serving path must degrade, not panic) or \
+                       annotate `// lint: allow(unwrap, reason = \"...\")`",
+            });
+        }
+
+        // ---- rule (b): std::sync locks bypassing the shim ----------------
+        let std_lock_hit = code.contains("std::sync::Mutex")
+            || code.contains("std::sync::RwLock")
+            || (code.contains("use std::sync::")
+                && (has_token(&code, "Mutex") || has_token(&code, "RwLock")));
+        if std_lock_hit && !allowed("std-lock") {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: line_no,
+                rule: "std-lock",
+                message: "std::sync lock bypasses the instrumented parking_lot shim".into(),
+                hint: "use parking_lot::{Mutex, RwLock} so lock-order-tracking sees the lock",
+            });
+        }
+
+        // ---- rule (c): guard alive across an RPC call --------------------
+        if kind.serving && !in_test {
+            if let Some(wire) = WIRE_CALLS.iter().find(|w| code.contains(**w)) {
+                if let Some(g) = st.guards.last() {
+                    if !allowed("guard-across-rpc") {
+                        out.push(Violation {
+                            file: rel.to_string(),
+                            line: line_no,
+                            rule: "guard-across-rpc",
+                            message: format!(
+                                "`{wire}` while lock guard `{}` (bound at line {}) is live",
+                                g.name, g.line
+                            ),
+                            hint: "drop the guard (scope it or `drop(guard)`) before going on \
+                                   the wire; a slow peer must not stall the lock",
+                        });
+                    }
+                }
+            }
+            if let Some(name) = guard_binding(&code) {
+                st.guards.push(ActiveGuard {
+                    name,
+                    depth: st.depth,
+                    line: line_no,
+                });
+            }
+            // Explicit early drops release the guard mid-scope.
+            st.guards
+                .retain(|g| !code.contains(&format!("drop({})", g.name)));
+        }
+
+        // ---- rule (d): real sleeps in test code --------------------------
+        if in_test && code.contains("thread::sleep") && !allowed("sleep-in-test") {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: line_no,
+                rule: "sleep-in-test",
+                message: "`thread::sleep` in test code".into(),
+                hint: "drive time through the fault-injection sim clock \
+                       (ips_types::clock::sim_clock) or annotate \
+                       `// lint: allow(sleep-in-test, reason = \"...\")`",
+            });
+        }
+
+        // Brace accounting, with test-region enter/exit.
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    st.depth += 1;
+                    if st.pending_test_attr && st.test_region.is_none() {
+                        st.test_region = Some(st.depth);
+                        st.pending_test_attr = false;
+                    }
+                }
+                '}' => {
+                    st.depth -= 1;
+                    if st.test_region.is_some_and(|d| st.depth < d) {
+                        st.test_region = None;
+                    }
+                    st.guards.retain(|g| g.depth <= st.depth);
+                }
+                _ => {}
+            }
+        }
+        // An attribute that turned out to gate a braceless item (e.g.
+        // `#[cfg(test)] use ...;`) stops pending at the semicolon.
+        if st.pending_test_attr && code.trim_end().ends_with(';') && !code.contains('{') {
+            st.pending_test_attr = false;
+        }
+    }
+    out
+}
+
+/// `let <name> = ...lock()/...read()/...write()` binds a guard for rule (c).
+fn guard_binding(code: &str) -> Option<String> {
+    // An acquire that is immediately chained (`.lock().len()`) is a
+    // statement temporary, dropped at the `;` — not a bound guard.
+    let acquires = [".lock()", ".read()", ".write()"].iter().any(|pat| {
+        let mut rest = code;
+        while let Some(pos) = rest.find(pat) {
+            rest = &rest[pos + pat.len()..];
+            if !rest.starts_with('.') {
+                return true;
+            }
+        }
+        false
+    });
+    if !acquires {
+        return None;
+    }
+    let let_pos = code.find("let ")?;
+    let after = code[let_pos + 4..].trim_start().trim_start_matches("mut ");
+    let name: String = after
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    // `let _ = ...` and destructuring patterns drop immediately / are not
+    // guards we can track by name.
+    if name.is_empty() || name == "_" {
+        return None;
+    }
+    Some(name)
+}
+
+fn has_token(code: &str, token: &str) -> bool {
+    let mut rest = code;
+    while let Some(pos) = rest.find(token) {
+        let before_ok = pos == 0
+            || !rest[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &rest[pos + token.len()..];
+        let after_ok = !after
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        rest = &rest[pos + token.len()..];
+    }
+    false
+}
+
+/// Split one raw source line into (code-with-strings-and-comments-stripped,
+/// comment-text). String literal *contents* are removed so patterns and
+/// braces inside them do not count; the comment text is kept for annotation
+/// parsing. `in_block` carries `/* ... */` state across lines.
+fn split_code_comment(raw: &str, in_block: &mut bool) -> (String, String) {
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let bytes = raw.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block {
+            if raw[i..].starts_with("*/") {
+                *in_block = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        let rest = &raw[i..];
+        if rest.starts_with("//") {
+            comment.push_str(rest);
+            break;
+        }
+        if rest.starts_with("/*") {
+            *in_block = true;
+            i += 2;
+            continue;
+        }
+        let c = bytes[i] as char;
+        match c {
+            '"' => {
+                // Skip the string literal's contents (escapes included).
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] as char {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                code.push_str("\"\"");
+            }
+            '\'' => {
+                // A char literal (incl. '\'' and '"'); lifetimes like `'a`
+                // have no closing quote within a few chars and fall through.
+                let lit_len = char_literal_len(&raw[i..]);
+                if lit_len > 0 {
+                    i += lit_len;
+                    code.push_str("' '");
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    (code, comment)
+}
+
+/// Length of a char literal starting at `s` (which begins with `'`), or 0
+/// when `'` introduces a lifetime instead.
+fn char_literal_len(s: &str) -> usize {
+    let b = s.as_bytes();
+    if b.len() >= 4 && b[1] == b'\\' && b[3] == b'\'' {
+        return 4; // '\n', '\'', '\\' ...
+    }
+    if b.len() >= 3 && b[2] == b'\'' && b[1] != b'\'' {
+        return 3; // 'x'
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SERVING: FileKind = FileKind {
+        serving: true,
+        test_file: false,
+    };
+    const PLAIN: FileKind = FileKind {
+        serving: false,
+        test_file: false,
+    };
+    const TEST_FILE: FileKind = FileKind {
+        serving: false,
+        test_file: true,
+    };
+
+    fn rules(violations: &[Violation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_flagged_in_serving_code_only() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(rules(&lint_file("a.rs", src, SERVING)), ["unwrap"]);
+        assert!(lint_file("a.rs", src, PLAIN).is_empty());
+    }
+
+    #[test]
+    fn expect_flagged_and_line_reported() {
+        let src = "fn f() {\n    y.expect(\"boom\");\n}\n";
+        let v = lint_file("a.rs", src, SERVING);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[0].rule, "unwrap");
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_module_is_exempt() {
+        let src = "fn f() -> u8 { 0 }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn g() { x.unwrap(); }\n\
+                   }\n";
+        assert!(lint_file("a.rs", src, SERVING).is_empty());
+    }
+
+    #[test]
+    fn code_after_cfg_test_module_is_linted_again() {
+        let src = "#[cfg(test)]\nmod tests {\n fn g() { x.unwrap(); }\n}\n\
+                   fn f() { y.unwrap(); }\n";
+        let v = lint_file("a.rs", src, SERVING);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn allow_annotation_waives_same_line() {
+        let src = "fn f() { x.unwrap(); } // lint: allow(unwrap, reason = \"test helper\")\n";
+        assert!(lint_file("a.rs", src, SERVING).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_waives_next_line() {
+        let src = "// lint: allow(unwrap, reason = \"len checked above\")\n\
+                   fn f() { x.unwrap(); }\n\
+                   fn g() { y.unwrap(); }\n";
+        let v = lint_file("a.rs", src, SERVING);
+        assert_eq!(v.len(), 1, "allow must not leak past one line");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_violation() {
+        let src = "fn f() { x.unwrap(); } // lint: allow(unwrap)\n";
+        let v = lint_file("a.rs", src, SERVING);
+        assert_eq!(rules(&v), ["bad-allow", "unwrap"]);
+    }
+
+    #[test]
+    fn allow_for_a_different_rule_does_not_waive() {
+        let src = "fn f() { x.unwrap(); } // lint: allow(std-lock, reason = \"nope\")\n";
+        assert_eq!(rules(&lint_file("a.rs", src, SERVING)), ["unwrap"]);
+    }
+
+    #[test]
+    fn std_lock_flagged_everywhere() {
+        for src in [
+            "static M: std::sync::Mutex<u8> = std::sync::Mutex::new(0);\n",
+            "use std::sync::{Arc, Mutex};\n",
+            "use std::sync::RwLock;\n",
+        ] {
+            assert_eq!(rules(&lint_file("a.rs", src, PLAIN)), ["std-lock"], "{src}");
+        }
+        // Arc / atomics via std::sync stay allowed.
+        assert!(lint_file("a.rs", "use std::sync::Arc;\n", PLAIN).is_empty());
+        assert!(lint_file("a.rs", "use std::sync::atomic::AtomicU64;\n", PLAIN).is_empty());
+    }
+
+    #[test]
+    fn parking_lot_locks_are_fine() {
+        let src = "use parking_lot::{Mutex, RwLock};\nfn f(m: &Mutex<u8>) { *m.lock() += 1; }\n";
+        assert!(lint_file("a.rs", src, PLAIN).is_empty());
+    }
+
+    #[test]
+    fn guard_across_rpc_flagged() {
+        let src = "fn f(&self) {\n\
+                   let guard = self.state.lock();\n\
+                   self.endpoint.call(&req);\n\
+                   }\n";
+        let v = lint_file("a.rs", src, SERVING);
+        assert_eq!(rules(&v), ["guard-across-rpc"]);
+        assert!(v[0].message.contains("guard"), "{}", v[0].message);
+        assert!(v[0].message.contains("line 2"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn guard_dropped_before_rpc_is_fine() {
+        for src in [
+            // Explicit drop.
+            "fn f(&self) {\n let g = self.state.lock();\n drop(g);\n self.ep.call(&req);\n}\n",
+            // Scope ends before the call.
+            "fn f(&self) {\n {\n let g = self.state.lock();\n }\n self.ep.call(&req);\n}\n",
+            // Statement-temporary guard (never bound).
+            "fn f(&self) {\n let n = self.state.lock().len();\n self.ep.call(&req);\n}\n",
+        ] {
+            assert!(lint_file("a.rs", src, SERVING).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn rwlock_guards_also_tracked_across_rpc() {
+        let src = "fn f(&self) {\n let map = self.rings.read();\n self.ep.dispatch(&req);\n}\n";
+        assert_eq!(
+            rules(&lint_file("a.rs", src, SERVING)),
+            ["guard-across-rpc"]
+        );
+    }
+
+    #[test]
+    fn sleep_in_test_code_flagged() {
+        let src = "fn helper() {}\n\
+                   #[test]\n\
+                   fn t() {\n\
+                   std::thread::sleep(std::time::Duration::from_millis(5));\n\
+                   }\n";
+        assert_eq!(rules(&lint_file("a.rs", src, PLAIN)), ["sleep-in-test"]);
+        // Whole-file test classification (integration tests) too.
+        let src2 = "fn t() { std::thread::sleep(d); }\n";
+        assert_eq!(
+            rules(&lint_file("t.rs", src2, TEST_FILE)),
+            ["sleep-in-test"]
+        );
+    }
+
+    #[test]
+    fn sleep_in_non_test_code_is_not_this_rules_business() {
+        let src = "fn pump() { std::thread::sleep(interval); }\n";
+        assert!(lint_file("a.rs", src, SERVING).is_empty());
+    }
+
+    #[test]
+    fn patterns_inside_strings_and_comments_do_not_count() {
+        let src = "fn f() {\n\
+                   let msg = \"please call .unwrap() on std::sync::Mutex\";\n\
+                   // a comment mentioning x.unwrap() and thread::sleep\n\
+                   }\n";
+        assert!(lint_file("a.rs", src, SERVING).is_empty());
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_derail_test_regions() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { let s = format!(\"{}{{\", 1); x.unwrap(); }\n\
+                   }\n\
+                   fn live() { y.unwrap(); }\n";
+        let v = lint_file("a.rs", src, SERVING);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(
+            classify("crates/ips-kv/src/wal.rs"),
+            FileKind {
+                serving: true,
+                test_file: false
+            }
+        );
+        assert_eq!(
+            classify("crates/ips-kv/tests/property_kv.rs"),
+            FileKind {
+                serving: false,
+                test_file: true
+            }
+        );
+        assert_eq!(
+            classify("tests/chaos_soak.rs"),
+            FileKind {
+                serving: false,
+                test_file: true
+            }
+        );
+        assert_eq!(
+            classify("crates/ips-metrics/src/counter.rs"),
+            FileKind {
+                serving: false,
+                test_file: false
+            }
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Workspace task runner. Today it has one job:
+//!
+//! ```text
+//! cargo run -p xtask -- check [--root <dir>]
+//! ```
+//!
+//! runs the repo-specific lint pass (see [`lint`]) over the workspace
+//! sources and exits non-zero with `file:line` diagnostics on violations.
+
+mod lint;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let root = args
+                .iter()
+                .position(|a| a == "--root")
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from)
+                .unwrap_or_else(workspace_root);
+            check(&root)
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- check [--root <dir>]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check(root: &Path) -> ExitCode {
+    match lint::check_tree(root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask check: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("xtask check: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask check: io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root, two levels up from this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}

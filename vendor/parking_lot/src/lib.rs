@@ -2,59 +2,104 @@
 //! uses, implemented over `std::sync` primitives. Poisoning is swallowed
 //! (parking_lot locks do not poison), which matches how the workspace treats
 //! lock acquisition as infallible.
+//!
+//! With the `lock-order-tracking` feature enabled, every lock additionally
+//! registers itself with the [`order`] tracker: blocking acquisitions record
+//! `held → acquiring` edges in a global order graph and panic the moment an
+//! acquisition closes a cycle — a potential deadlock — naming both
+//! conflicting acquisition stacks. This is why the workspace lint (`cargo
+//! run -p xtask -- check`) forbids `std::sync::{Mutex, RwLock}` outside this
+//! crate: a lock that bypasses the shim is invisible to the tracker.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::TryLockError;
 use std::time::Duration;
 
+#[cfg(feature = "lock-order-tracking")]
+pub mod order;
+
+#[cfg(feature = "lock-order-tracking")]
+use std::sync::atomic::AtomicU32;
+
 // ---- Mutex -----------------------------------------------------------------
 
 /// A mutual-exclusion lock that does not poison.
 #[derive(Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lock-order-tracking")]
+    site: AtomicU32,
+    inner: std::sync::Mutex<T>,
+}
 
 /// RAII guard for [`Mutex`].
 pub struct MutexGuard<'a, T: ?Sized> {
     // `Option` so `Condvar::wait_for` can temporarily take the inner guard
     // by value (std's wait API consumes the guard).
     inner: Option<std::sync::MutexGuard<'a, T>>,
+    #[cfg(feature = "lock-order-tracking")]
+    site: u32,
 }
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Self(std::sync::Mutex::new(value))
+        Self {
+            #[cfg(feature = "lock-order-tracking")]
+            site: AtomicU32::new(order::UNREGISTERED),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "lock-order-tracking")]
+        let site = order::on_acquire(
+            &self.site,
+            std::any::type_name::<T>(),
+            std::panic::Location::caller(),
+            order::AcquireKind::Blocking,
+        );
         MutexGuard {
-            inner: Some(self.0.lock().unwrap_or_else(|p| p.into_inner())),
+            inner: Some(self.inner.lock().unwrap_or_else(|p| p.into_inner())),
+            #[cfg(feature = "lock-order-tracking")]
+            site,
         }
     }
 
     /// Non-blocking acquire; `None` when the lock is held elsewhere.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(TryLockError::Poisoned(p)) => Some(MutexGuard {
-                inner: Some(p.into_inner()),
-            }),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lock-order-tracking")]
+        let site = order::on_acquire(
+            &self.site,
+            std::any::type_name::<T>(),
+            std::panic::Location::caller(),
+            order::AcquireKind::Try,
+        );
+        Some(MutexGuard {
+            inner: Some(inner),
+            #[cfg(feature = "lock-order-tracking")]
+            site,
+        })
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|p| p.into_inner())
+        self.inner.get_mut().unwrap_or_else(|p| p.into_inner())
     }
 
     pub fn is_locked(&self) -> bool {
-        match self.0.try_lock() {
+        match self.inner.try_lock() {
             Err(TryLockError::WouldBlock) => true,
             Ok(_) | Err(TryLockError::Poisoned(_)) => false,
         }
@@ -74,6 +119,13 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+#[cfg(feature = "lock-order-tracking")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.site);
+    }
+}
+
 impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Mutex").finish_non_exhaustive()
@@ -84,71 +136,151 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 
 /// A reader-writer lock that does not poison.
 #[derive(Default)]
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lock-order-tracking")]
+    site: AtomicU32,
+    inner: std::sync::RwLock<T>,
+}
 
 /// Shared-read guard for [`RwLock`].
-pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    #[cfg(feature = "lock-order-tracking")]
+    site: u32,
+}
 
 /// Exclusive-write guard for [`RwLock`].
-pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    #[cfg(feature = "lock-order-tracking")]
+    site: u32,
+}
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
-        Self(std::sync::RwLock::new(value))
+        Self {
+            #[cfg(feature = "lock-order-tracking")]
+            site: AtomicU32::new(order::UNREGISTERED),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard(self.0.read().unwrap_or_else(|p| p.into_inner()))
+        #[cfg(feature = "lock-order-tracking")]
+        let site = order::on_acquire(
+            &self.site,
+            std::any::type_name::<T>(),
+            std::panic::Location::caller(),
+            order::AcquireKind::Blocking,
+        );
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|p| p.into_inner()),
+            #[cfg(feature = "lock-order-tracking")]
+            site,
+        }
     }
 
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard(self.0.write().unwrap_or_else(|p| p.into_inner()))
+        #[cfg(feature = "lock-order-tracking")]
+        let site = order::on_acquire(
+            &self.site,
+            std::any::type_name::<T>(),
+            std::panic::Location::caller(),
+            order::AcquireKind::Blocking,
+        );
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|p| p.into_inner()),
+            #[cfg(feature = "lock-order-tracking")]
+            site,
+        }
     }
 
+    #[track_caller]
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.0.try_read() {
-            Ok(g) => Some(RwLockReadGuard(g)),
-            Err(TryLockError::Poisoned(p)) => Some(RwLockReadGuard(p.into_inner())),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lock-order-tracking")]
+        let site = order::on_acquire(
+            &self.site,
+            std::any::type_name::<T>(),
+            std::panic::Location::caller(),
+            order::AcquireKind::Try,
+        );
+        Some(RwLockReadGuard {
+            inner,
+            #[cfg(feature = "lock-order-tracking")]
+            site,
+        })
     }
 
+    #[track_caller]
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.0.try_write() {
-            Ok(g) => Some(RwLockWriteGuard(g)),
-            Err(TryLockError::Poisoned(p)) => Some(RwLockWriteGuard(p.into_inner())),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lock-order-tracking")]
+        let site = order::on_acquire(
+            &self.site,
+            std::any::type_name::<T>(),
+            std::panic::Location::caller(),
+            order::AcquireKind::Try,
+        );
+        Some(RwLockWriteGuard {
+            inner,
+            #[cfg(feature = "lock-order-tracking")]
+            site,
+        })
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|p| p.into_inner())
+        self.inner.get_mut().unwrap_or_else(|p| p.into_inner())
     }
 }
 
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        &mut self.inner
+    }
+}
+
+#[cfg(feature = "lock-order-tracking")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.site);
+    }
+}
+
+#[cfg(feature = "lock-order-tracking")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.site);
     }
 }
 
@@ -188,22 +320,34 @@ impl Condvar {
         self.0.notify_all();
     }
 
+    #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.inner.take().expect("guard present");
+        // The wait releases the mutex and re-takes it on wakeup: mirror that
+        // in the tracker so the held-stack stays truthful while blocked.
+        #[cfg(feature = "lock-order-tracking")]
+        order::on_release(guard.site);
         let inner = self.0.wait(inner).unwrap_or_else(|p| p.into_inner());
+        #[cfg(feature = "lock-order-tracking")]
+        order::on_reacquire(guard.site, std::panic::Location::caller());
         guard.inner = Some(inner);
     }
 
+    #[track_caller]
     pub fn wait_for<T>(
         &self,
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
         let inner = guard.inner.take().expect("guard present");
+        #[cfg(feature = "lock-order-tracking")]
+        order::on_release(guard.site);
         let (inner, result) = match self.0.wait_timeout(inner, timeout) {
             Ok((g, r)) => (g, r),
             Err(p) => p.into_inner(),
         };
+        #[cfg(feature = "lock-order-tracking")]
+        order::on_reacquire(guard.site, std::panic::Location::caller());
         guard.inner = Some(inner);
         WaitTimeoutResult(result.timed_out())
     }

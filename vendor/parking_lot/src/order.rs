@@ -1,0 +1,247 @@
+//! Runtime lock-order tracking (compiled only with the
+//! `lock-order-tracking` feature).
+//!
+//! Every [`crate::Mutex`] / [`crate::RwLock`] lazily registers a **site**:
+//! an id labelled with the guarded type's name and the source location of
+//! the lock's first acquisition (construction is `const` and may run in
+//! const context, so registration happens on first use). Each *blocking*
+//! acquisition then:
+//!
+//! 1. snapshots the thread-local stack of currently held sites,
+//! 2. adds an edge `held → acquiring` to a global order graph for every
+//!    held site, and
+//! 3. rejects — by panicking — any edge that closes a cycle, reporting the
+//!    acquisition stack being built *and* the previously recorded stack(s)
+//!    that established the opposite order.
+//!
+//! This is lockdep-style *potential*-deadlock detection: the panic fires on
+//! the first inconsistently ordered acquisition, even when the interleaving
+//! that would actually deadlock never happens in the run. Non-blocking
+//! acquisitions (`try_lock` / `try_read` / `try_write`) push onto the held
+//! stack but add no edges — a call that cannot block cannot complete a
+//! deadlock, and try-locking out of order is the sanctioned way to break an
+//! ordering constraint.
+//!
+//! Granularity is per *creation/first-use site*, not per lock instance, so
+//! a sharded `Box<[RwLock<Shard>]>` is one site. Edges between a site and
+//! itself are therefore ignored (ordered same-site pairs are
+//! indistinguishable from unordered ones at this granularity).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock};
+
+/// Sentinel for "site not yet registered" in a lock's `AtomicU32` cell.
+pub(crate) const UNREGISTERED: u32 = 0;
+
+/// How a lock was (or is about to be) taken.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AcquireKind {
+    /// May block on another thread: participates in order edges.
+    Blocking,
+    /// Cannot block (`try_*`): held for stack purposes, no edges.
+    Try,
+}
+
+/// First sighting of an order edge `from → to`.
+struct Edge {
+    thread: String,
+    location: String,
+    /// Site ids held when the edge was recorded (the "other" stack shown in
+    /// the cycle panic).
+    held: Vec<u32>,
+}
+
+#[derive(Default)]
+struct Registry {
+    /// Site id - 1 → human label (`type name @ first-acquisition site`).
+    labels: Vec<String>,
+    /// `(held, acquiring)` → first sighting of that ordering.
+    edges: HashMap<(u32, u32), Edge>,
+    /// Adjacency of the order graph, for cycle search.
+    adj: HashMap<u32, Vec<u32>>,
+}
+
+impl Registry {
+    fn label(&self, site: u32) -> &str {
+        self.labels
+            .get(site as usize - 1)
+            .map_or("<unknown site>", String::as_str)
+    }
+
+    fn fmt_stack(&self, held: &[u32]) -> String {
+        let labels: Vec<&str> = held.iter().map(|&s| self.label(s)).collect();
+        format!("[{}]", labels.join(", "))
+    }
+
+    /// A path `from → … → to` in the order graph, if one exists.
+    fn path(&self, from: u32, to: u32) -> Option<Vec<u32>> {
+        let mut stack = vec![vec![from]];
+        let mut visited = vec![from];
+        while let Some(path) = stack.pop() {
+            let Some(&last) = path.last() else { continue };
+            if last == to {
+                return Some(path);
+            }
+            for &next in self.adj.get(&last).into_iter().flatten() {
+                if !visited.contains(&next) {
+                    visited.push(next);
+                    let mut p = path.clone();
+                    p.push(next);
+                    stack.push(p);
+                }
+            }
+        }
+        None
+    }
+
+    /// The panic message for the edge `held_site → new_site` closing the
+    /// cycle `path` (which runs `new_site → … → held_site`).
+    fn cycle_message(
+        &self,
+        held_site: u32,
+        new_site: u32,
+        loc: &Location<'_>,
+        held_now: &[u32],
+        path: &[u32],
+    ) -> String {
+        let mut msg = format!(
+            "lock-order cycle detected:\n  thread '{}' acquiring {} at {}:{}\n    while holding {}\n  conflicts with previously recorded order {} -> ... -> {}:\n",
+            std::thread::current().name().unwrap_or("<unnamed>"),
+            self.label(new_site),
+            loc.file(),
+            loc.line(),
+            self.fmt_stack(held_now),
+            self.label(new_site),
+            self.label(held_site),
+        );
+        for pair in path.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if let Some(e) = self.edges.get(&(a, b)) {
+                msg.push_str(&format!(
+                    "    {} -> {} (thread '{}' at {}, holding {})\n",
+                    self.label(a),
+                    self.label(b),
+                    e.thread,
+                    e.location,
+                    self.fmt_stack(&e.held),
+                ));
+            }
+        }
+        msg.push_str("  one of these acquisition orders must be reversed or broken with try_lock");
+        msg
+    }
+}
+
+fn registry() -> StdMutexGuard<'static, Registry> {
+    static R: OnceLock<StdMutex<Registry>> = OnceLock::new();
+    R.get_or_init(|| StdMutex::new(Registry::default()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+thread_local! {
+    /// Sites held by this thread, in acquisition order.
+    static HELD: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Resolve (registering on first use) the site id for a lock.
+fn site_id(cell: &AtomicU32, type_name: &str, loc: &Location<'_>) -> u32 {
+    let id = cell.load(Ordering::Acquire);
+    if id != UNREGISTERED {
+        return id;
+    }
+    let mut reg = registry();
+    // Re-check under the registry lock so racing first acquisitions agree
+    // on one id.
+    let id = cell.load(Ordering::Acquire);
+    if id != UNREGISTERED {
+        return id;
+    }
+    reg.labels
+        .push(format!("{type_name} @ {}:{}", loc.file(), loc.line()));
+    let id = reg.labels.len() as u32;
+    cell.store(id, Ordering::Release);
+    id
+}
+
+/// Record an acquisition about to happen. Returns the site id the matching
+/// guard must release. Panics when the acquisition closes an order cycle.
+pub(crate) fn on_acquire(
+    cell: &AtomicU32,
+    type_name: &str,
+    loc: &Location<'_>,
+    kind: AcquireKind,
+) -> u32 {
+    let site = site_id(cell, type_name, loc);
+    if kind == AcquireKind::Blocking {
+        record_edges(site, loc);
+    }
+    HELD.with(|h| h.borrow_mut().push(site));
+    site
+}
+
+/// Re-acquisition after a condvar wait released the mutex internally.
+pub(crate) fn on_reacquire(site: u32, loc: &Location<'_>) {
+    record_edges(site, loc);
+    HELD.with(|h| h.borrow_mut().push(site));
+}
+
+/// A guard released its lock: drop the most recent hold of `site`.
+pub(crate) fn on_release(site: u32) {
+    HELD.with(|h| {
+        let mut h = h.borrow_mut();
+        if let Some(pos) = h.iter().rposition(|&s| s == site) {
+            h.remove(pos);
+        }
+    });
+}
+
+fn record_edges(site: u32, loc: &Location<'_>) {
+    let held: Vec<u32> = HELD.with(|h| h.borrow().clone());
+    if held.is_empty() {
+        return;
+    }
+    let mut reg = registry();
+    for &h in &held {
+        if h == site || reg.edges.contains_key(&(h, site)) {
+            continue;
+        }
+        // Adding h → site: any existing path site → … → h becomes a cycle.
+        if let Some(path) = reg.path(site, h) {
+            let msg = reg.cycle_message(h, site, loc, &held, &path);
+            drop(reg);
+            panic!("{msg}");
+        }
+        reg.adj.entry(h).or_default().push(site);
+        reg.edges.insert(
+            (h, site),
+            Edge {
+                thread: std::thread::current()
+                    .name()
+                    .unwrap_or("<unnamed>")
+                    .to_string(),
+                location: format!("{}:{}", loc.file(), loc.line()),
+                held: held.clone(),
+            },
+        );
+    }
+}
+
+/// Tracker introspection: `(registered sites, recorded order edges)`.
+/// Harnesses assert on this to prove the instrumentation is actually live.
+#[must_use]
+pub fn stats() -> (usize, usize) {
+    let reg = registry();
+    (reg.labels.len(), reg.edges.len())
+}
+
+/// Sites currently held by the calling thread (labels, acquisition order).
+#[must_use]
+pub fn held_by_current_thread() -> Vec<String> {
+    let held: Vec<u32> = HELD.with(|h| h.borrow().clone());
+    let reg = registry();
+    held.iter().map(|&s| reg.label(s).to_string()).collect()
+}

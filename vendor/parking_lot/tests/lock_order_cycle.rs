@@ -1,0 +1,137 @@
+//! The lock-order tracker's own contract tests (satellite of the
+//! static-analysis issue): an A→B / B→A ordering across two threads must
+//! panic naming both sites, and a consistent A→B order taken repeatedly
+//! must never trip the detector.
+#![cfg(feature = "lock-order-tracking")]
+
+use std::sync::Arc;
+use std::thread;
+
+use parking_lot::{Mutex, RwLock};
+
+/// Distinct guarded types so the two sites are recognizable by name in the
+/// panic message.
+struct SiteA(#[allow(dead_code)] u32);
+struct SiteB(#[allow(dead_code)] String);
+
+#[test]
+fn ab_ba_cycle_panics_naming_both_sites() {
+    let a = Arc::new(Mutex::new(SiteA(0)));
+    let b = Arc::new(Mutex::new(SiteB(String::new())));
+
+    // Thread 1 establishes A → B.
+    {
+        let a = Arc::clone(&a);
+        let b = Arc::clone(&b);
+        thread::Builder::new()
+            .name("order-ab".into())
+            .spawn(move || {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            })
+            .unwrap()
+            .join()
+            .expect("A→B is a fresh, consistent order");
+    }
+
+    // Thread 2 attempts B → A: the tracker must reject the edge *before*
+    // the thread can actually block, so the test terminates rather than
+    // deadlocking.
+    let err = {
+        let a = Arc::clone(&a);
+        let b = Arc::clone(&b);
+        thread::Builder::new()
+            .name("order-ba".into())
+            .spawn(move || {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            })
+            .unwrap()
+            .join()
+            .expect_err("B→A closes the cycle and must panic")
+    };
+
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .expect("panic payload is a message");
+    assert!(
+        msg.contains("lock-order cycle detected"),
+        "unexpected panic: {msg}"
+    );
+    // Both conflicting sites are named (via their guarded types)...
+    assert!(msg.contains("SiteA"), "missing site A in: {msg}");
+    assert!(msg.contains("SiteB"), "missing site B in: {msg}");
+    // ...and both acquisition stacks appear: the acquiring thread's held
+    // stack and the previously recorded conflicting order.
+    assert!(
+        msg.contains("while holding"),
+        "missing current stack: {msg}"
+    );
+    assert!(
+        msg.contains("conflicts with previously recorded order"),
+        "missing prior stack: {msg}"
+    );
+    assert!(
+        msg.contains("order-ab") && msg.contains("order-ba"),
+        "both threads should be named: {msg}"
+    );
+}
+
+#[test]
+fn consistent_order_repeated_is_not_a_false_positive() {
+    let a = Arc::new(Mutex::new(1u64));
+    let b = Arc::new(RwLock::new(2u64));
+
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            thread::spawn(move || {
+                for _ in 0..200 {
+                    let ga = a.lock();
+                    let gb = b.read();
+                    std::hint::black_box(*ga + *gb);
+                    drop(gb);
+                    drop(ga);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("same A→B order every time must not panic");
+    }
+
+    let (sites, edges) = parking_lot::order::stats();
+    assert!(sites >= 2, "both locks registered ({sites})");
+    assert!(edges >= 1, "the A→B edge was recorded ({edges})");
+}
+
+#[test]
+fn try_lock_out_of_order_is_sanctioned() {
+    let a = Arc::new(Mutex::new(0u8));
+    let b = Arc::new(Mutex::new(0u8));
+
+    // Establish A → B.
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    // B then try-A: non-blocking, cannot complete a deadlock, no panic.
+    let _gb = b.lock();
+    let _ga = a.try_lock().expect("uncontended try_lock succeeds");
+}
+
+#[test]
+fn held_stack_tracks_acquire_and_release() {
+    let a = Mutex::new(0u8);
+    assert!(parking_lot::order::held_by_current_thread().is_empty());
+    {
+        let _g = a.lock();
+        let held = parking_lot::order::held_by_current_thread();
+        assert_eq!(held.len(), 1);
+        assert!(held[0].contains("u8"), "label carries the type: {held:?}");
+    }
+    assert!(parking_lot::order::held_by_current_thread().is_empty());
+}
