@@ -22,6 +22,8 @@ use rand::SeedableRng;
 use ips_core::query::{ProfileQuery, QueryResult};
 use ips_kv::KvLatencyModel;
 use ips_metrics::Counter;
+use ips_trace::Tracer;
+use ips_types::clock::monotonic_micros;
 use ips_types::{
     ActionTypeId, CallerId, CountVector, FeatureId, IpsError, ProfileId, Result, SlotId, TableId,
     Timestamp,
@@ -29,7 +31,7 @@ use ips_types::{
 
 use crate::discovery::Discovery;
 use crate::ring::HashRing;
-use crate::rpc::{ProfileWrite, RpcEndpoint, RpcRequest, RpcResponse};
+use crate::rpc::{ProfileWrite, RpcEndpoint, RpcRequest, RpcResponse, WireCost};
 
 /// Modeled + measured components of one request's latency.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -107,6 +109,9 @@ pub struct IpsClusterClient {
     max_candidates: usize,
     /// Total attempts allowed per request before the deadline expires.
     attempt_budget: usize,
+    /// Optional tracer: when set, every request opens a root span and the
+    /// span context rides the wire to the servers (§Table II decomposition).
+    tracer: RwLock<Option<Arc<Tracer>>>,
     pub attempts: Counter,
     pub successes: Counter,
     pub failures: Counter,
@@ -132,6 +137,7 @@ impl IpsClusterClient {
             storage_rng: parking_lot::Mutex::new(SmallRng::seed_from_u64(0xC11E47)),
             max_candidates: 3,
             attempt_budget: usize::MAX,
+            tracer: RwLock::new(None),
             attempts: Counter::new(),
             successes: Counter::new(),
             failures: Counter::new(),
@@ -145,6 +151,26 @@ impl IpsClusterClient {
     /// 17's residual error rate lives exactly in this window.
     pub fn set_attempt_budget(&mut self, n: usize) {
         self.attempt_budget = n.max(1);
+    }
+
+    /// Install (or clear) the tracer that samples this client's requests.
+    pub fn set_tracer(&self, tracer: Option<Arc<Tracer>>) {
+        *self.tracer.write() = tracer;
+    }
+
+    /// The installed tracer, if any.
+    #[must_use]
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.tracer.read().clone()
+    }
+
+    /// Open a root span for a client request, or a disabled span when no
+    /// tracer is installed.
+    fn root_span(&self, name: &'static str, caller: CallerId) -> ips_trace::Span {
+        match self.tracer() {
+            Some(tracer) => tracer.root_span(name, caller.raw()),
+            None => ips_trace::Span::disabled(),
+        }
     }
 
     /// Make endpoints addressable (the transport layer's address book —
@@ -204,6 +230,10 @@ impl IpsClusterClient {
         self.attempts.inc();
         let mut last_err = IpsError::Unavailable("no healthy instance".into());
         let mut tries = 0usize;
+        // Wire cost accumulates across EVERY attempt, including failed ones
+        // — a lost frame still paid its outbound transit, and the reported
+        // network time must agree with what the attempt spans recorded.
+        let mut wire = WireCost::default();
         // Walk owner-then-failover candidates per region; if the deadline
         // allows more attempts than candidates exist (e.g. a lone surviving
         // node hit by a transient loss), loop back and retry the same nodes
@@ -220,17 +250,25 @@ impl IpsClusterClient {
                         self.retries.inc();
                     }
                     tries += 1;
-                    match ep.call(request) {
-                        Ok(out) => {
+                    let mut attempt = ips_trace::child("attempt");
+                    attempt.set_attr("endpoint", ep.name());
+                    attempt.set_attr("region", ep.region());
+                    let ctx = attempt.context();
+                    let (result, cost) = ep.call_traced(request, ctx.as_ref());
+                    wire.accumulate(cost);
+                    match result {
+                        Ok(response) => {
                             self.successes.inc();
-                            return Ok(out);
+                            return Ok((response, wire.total_us()));
                         }
                         Err(e) if e.is_retryable() => {
+                            attempt.set_error(e.to_string());
                             last_err = e;
                         }
                         Err(e) => {
                             // Terminal (quota, invalid request): do not mask
                             // it by retrying elsewhere.
+                            attempt.set_error(e.to_string());
                             self.failures.inc();
                             return Err(e);
                         }
@@ -277,6 +315,9 @@ impl IpsClusterClient {
             self.failures.inc();
             return Err(IpsError::Unavailable("no regions discovered".into()));
         }
+        let mut root = self.root_span("add_profiles", caller);
+        root.set_attr("regions", regions.len().to_string());
+        let ambient = root.context().map(|ctx| (self.tracer(), ctx));
         // All regions are written concurrently: the client-observed write
         // latency is the slowest region, not the sum over regions.
         let outcomes: Vec<Result<LatencyBreakdown>> = std::thread::scope(|s| {
@@ -284,12 +325,15 @@ impl IpsClusterClient {
                 .iter()
                 .map(|region| {
                     let request = &request;
+                    let ambient = ambient.clone();
                     s.spawn(move || {
-                        let started = std::time::Instant::now();
+                        let _trace =
+                            ambient.and_then(|(tracer, ctx)| tracer.map(|t| t.attach(ctx)));
+                        let started_us = monotonic_micros();
                         self.call_with_failover(pid, request, std::slice::from_ref(region))
                             .map(|(_, network_us)| {
                                 LatencyBreakdown::from_call(
-                                    started.elapsed().as_micros() as u64,
+                                    monotonic_micros().saturating_sub(started_us),
                                     network_us,
                                     0,
                                 )
@@ -320,6 +364,7 @@ impl IpsClusterClient {
         if any_ok {
             Ok(worst)
         } else {
+            root.set_error(last_err.to_string());
             Err(last_err)
         }
     }
@@ -341,10 +386,20 @@ impl IpsClusterClient {
             self.failures.inc();
             return Err(IpsError::Unavailable("no regions discovered".into()));
         }
+        let mut root = self.root_span("add_profiles", caller);
+        root.set_attr("writes", writes.len().to_string());
+        let ambient = root.context().map(|ctx| (self.tracer(), ctx));
         let region_outcomes: Vec<Result<LatencyBreakdown>> = std::thread::scope(|s| {
             let handles: Vec<_> = regions
                 .iter()
-                .map(|region| s.spawn(move || self.add_batch_in_region(caller, writes, region)))
+                .map(|region| {
+                    let ambient = ambient.clone();
+                    s.spawn(move || {
+                        let _trace =
+                            ambient.and_then(|(tracer, ctx)| tracer.map(|t| t.attach(ctx)));
+                        self.add_batch_in_region(caller, writes, region)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -369,6 +424,7 @@ impl IpsClusterClient {
         if any_ok {
             Ok(worst)
         } else {
+            root.set_error(last_err.to_string());
             Err(last_err)
         }
     }
@@ -379,8 +435,10 @@ impl IpsClusterClient {
         writes: &[ProfileWrite],
         region: &str,
     ) -> Result<LatencyBreakdown> {
-        let started = std::time::Instant::now();
+        let started_us = monotonic_micros();
         // Group writes by the profile's owner in this region.
+        let mut dispatch = ips_trace::child("client_dispatch");
+        dispatch.set_attr("region", region);
         let mut groups: HashMap<String, (Arc<RpcEndpoint>, Vec<ProfileWrite>)> = HashMap::new();
         let mut unroutable = false;
         for w in writes {
@@ -397,22 +455,34 @@ impl IpsClusterClient {
                 None => unroutable = true,
             }
         }
+        drop(dispatch);
         if unroutable || groups.is_empty() {
             return Err(IpsError::Unavailable(format!(
                 "no healthy instance in {region}"
             )));
         }
+        let ambient = ips_trace::current();
         let outcomes: Vec<(Vec<ProfileWrite>, Result<u64>)> = std::thread::scope(|s| {
             let handles: Vec<_> = groups
                 .into_values()
                 .map(|(ep, group)| {
+                    let ambient = ambient.clone();
                     s.spawn(move || {
+                        let _trace = ambient.map(|(tracer, ctx)| tracer.attach(ctx));
                         self.attempts.inc();
                         let request = RpcRequest::AddBatch {
                             caller,
                             writes: group.clone(),
                         };
-                        let out = ep.call(&request).map(|(_, net)| net);
+                        let mut attempt = ips_trace::child("attempt");
+                        attempt.set_attr("endpoint", ep.name());
+                        attempt.set_attr("region", ep.region());
+                        let ctx = attempt.context();
+                        let (result, cost) = ep.call_traced(&request, ctx.as_ref());
+                        if let Err(e) = &result {
+                            attempt.set_error(e.to_string());
+                        }
+                        let out = result.map(|_| cost.total_us());
                         if out.is_ok() {
                             self.successes.inc();
                         }
@@ -458,7 +528,7 @@ impl IpsClusterClient {
             }
         }
         Ok(LatencyBreakdown::from_call(
-            started.elapsed().as_micros() as u64,
+            monotonic_micros().saturating_sub(started_us),
             network_us,
             0,
         ))
@@ -492,25 +562,40 @@ impl IpsClusterClient {
             caller,
             query: query.clone(),
         };
+        let mut root = self.root_span("query", caller);
+        let started_us = monotonic_micros();
         // Home region first, then the rest.
+        let dispatch = ips_trace::child("client_dispatch");
         let mut regions = vec![self.home_region.clone()];
         for r in self.regions() {
             if r != self.home_region {
                 regions.push(r);
             }
         }
-        let started = std::time::Instant::now();
-        let (response, network_us) = self.call_with_failover(query.profile, &request, &regions)?;
-        let elapsed_us = started.elapsed().as_micros() as u64;
-        let RpcResponse::Query(result) = response else {
-            return Err(IpsError::Rpc("mismatched response type".into()));
+        drop(dispatch);
+        let outcome = self.call_with_failover(query.profile, &request, &regions);
+        let elapsed_us = monotonic_micros().saturating_sub(started_us);
+        let (response, network_us) = match outcome {
+            Ok(out) => out,
+            Err(e) => {
+                root.set_error(e.to_string());
+                return Err(e);
+            }
         };
+        let RpcResponse::Query(result) = response else {
+            let e = IpsError::Rpc("mismatched response type".into());
+            root.set_error(e.to_string());
+            return Err(e);
+        };
+        root.set_attr("cache_hit", if result.cache_hit { "true" } else { "false" });
         let storage_us = if result.cache_hit {
             0
         } else {
             // Model the persistent-store fetch the miss path performed.
             let mut rng = self.storage_rng.lock();
-            self.storage_model.sample_us(32 << 10, &mut rng)
+            let us = self.storage_model.sample_us(32 << 10, &mut rng);
+            ips_trace::record_modeled("kv_fetch", us);
+            us
         };
         Ok((
             result,
@@ -537,6 +622,10 @@ impl IpsClusterClient {
         if queries.is_empty() {
             return Ok(BatchQueryOutcome::default());
         }
+        let mut root = self.root_span("query_batch", caller);
+        root.set_attr("queries", queries.len().to_string());
+        let started_us = monotonic_micros();
+        let dispatch = ips_trace::child("client_dispatch");
         // Home region first, then the rest.
         let mut regions = vec![self.home_region.clone()];
         for r in self.regions() {
@@ -544,7 +633,6 @@ impl IpsClusterClient {
                 regions.push(r);
             }
         }
-        let started = std::time::Instant::now();
         // Each sub-query's ordered failover walk: owner then in-region
         // failover candidates, home region before remote regions.
         let candidates: Vec<Vec<Arc<RpcEndpoint>>> = queries
@@ -557,11 +645,14 @@ impl IpsClusterClient {
                 c
             })
             .collect();
+        drop(dispatch);
         let max_rounds = candidates.iter().map(Vec::len).max().unwrap_or(0);
         if max_rounds == 0 {
             self.attempts.inc();
             self.failures.inc();
-            return Err(IpsError::Unavailable("no healthy instance".into()));
+            let e = IpsError::Unavailable("no healthy instance".into());
+            root.set_error(e.to_string());
+            return Err(e);
         }
 
         let mut slots: Vec<Option<Result<QueryResult>>> = Vec::new();
@@ -592,12 +683,15 @@ impl IpsClusterClient {
             }
             // One frame per endpoint, dispatched concurrently: within a
             // round the batch pays for the slowest frame only.
-            type FrameOutcome = (Vec<usize>, Result<(RpcResponse, u64)>);
+            let ambient = ips_trace::current();
+            type FrameOutcome = (Vec<usize>, Result<RpcResponse>, WireCost);
             let outcomes: Vec<FrameOutcome> = std::thread::scope(|s| {
                 let handles: Vec<_> = groups
                     .into_values()
                     .map(|(ep, idxs)| {
+                        let ambient = ambient.clone();
                         s.spawn(move || {
+                            let _trace = ambient.map(|(tracer, ctx)| tracer.attach(ctx));
                             self.attempts.inc();
                             if round > 0 {
                                 self.retries.inc();
@@ -606,8 +700,15 @@ impl IpsClusterClient {
                                 caller,
                                 queries: idxs.iter().map(|&i| queries[i].clone()).collect(),
                             };
-                            let out = ep.call(&request);
-                            (idxs, out)
+                            let mut attempt = ips_trace::child("attempt");
+                            attempt.set_attr("endpoint", ep.name());
+                            attempt.set_attr("region", ep.region());
+                            let ctx = attempt.context();
+                            let (result, cost) = ep.call_traced(&request, ctx.as_ref());
+                            if let Err(e) = &result {
+                                attempt.set_error(e.to_string());
+                            }
+                            (idxs, result, cost)
                         })
                     })
                     .collect();
@@ -624,11 +725,14 @@ impl IpsClusterClient {
                 .copied()
                 .filter(|&i| candidates[i].get(round).is_none())
                 .collect();
-            for (idxs, out) in outcomes {
+            for (idxs, out, cost) in outcomes {
+                // Failed frames paid wire time too: within the concurrent
+                // round the batch still waits on the slowest frame, lost or
+                // not, so the failed attempt's cost competes in the max.
+                round_net = round_net.max(cost.total_us());
                 match out {
-                    Ok((RpcResponse::QueryBatch(subs), net)) if subs.len() == idxs.len() => {
+                    Ok(RpcResponse::QueryBatch(subs)) if subs.len() == idxs.len() => {
                         self.successes.inc();
-                        round_net = round_net.max(net);
                         for (&i, sub) in idxs.iter().zip(subs) {
                             match sub {
                                 Ok(r) => slots[i] = Some(Ok(r)),
@@ -682,14 +786,20 @@ impl IpsClusterClient {
             let mut rng = self.storage_rng.lock();
             for r in results.iter().flatten() {
                 if !r.cache_hit {
-                    storage_us = storage_us.max(self.storage_model.sample_us(32 << 10, &mut rng));
+                    let us = self.storage_model.sample_us(32 << 10, &mut rng);
+                    ips_trace::record_modeled("kv_fetch", us);
+                    storage_us = storage_us.max(us);
                 }
             }
         }
+        root.set_attr(
+            "ok",
+            results.iter().filter(|r| r.is_ok()).count().to_string(),
+        );
         Ok(BatchQueryOutcome {
             results,
             latency: LatencyBreakdown::from_call(
-                started.elapsed().as_micros() as u64,
+                monotonic_micros().saturating_sub(started_us),
                 network_us,
                 storage_us,
             ),

@@ -6,6 +6,11 @@
 //! model contributes the ~3 ms client/server gap Table II attributes to
 //! "package transmission on network ... grows proportionally to the
 //! response data size".
+//!
+//! Both message kinds carry an optional [`SpanContext`] on envelope field
+//! 15, so one client request's trace continues on the server side of the
+//! wire (and the server's span context rides back on the response). Old
+//! decoders skip the field; old frames simply have no context.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -17,6 +22,7 @@ use rand::{Rng, SeedableRng};
 use ips_codec::wire::{WireReader, WireWriter};
 use ips_core::query::{FeatureEntry, FilterPredicate, ProfileQuery, QueryKind, QueryResult};
 use ips_core::server::IpsInstance;
+use ips_trace::{SpanContext, SpanId, TraceId};
 use ips_types::config::DecayFunction;
 use ips_types::{
     ActionTypeId, CallerId, CountVector, DurationMs, FeatureId, IpsError, ProfileId, Result,
@@ -92,6 +98,39 @@ const REQ_ADD_BATCH: u64 = 4;
 const RESP_OK: u64 = 1;
 const RESP_QUERY: u64 = 2;
 const RESP_QUERY_BATCH: u64 = 3;
+
+/// Envelope field carrying the optional [`SpanContext`] on both requests
+/// and responses. Decoders that predate tracing skip it as an unknown
+/// field, so traced and untraced peers interoperate.
+const TRACE_CTX_FIELD: u32 = 15;
+
+fn put_span_context(w: &mut WireWriter, ctx: &SpanContext) {
+    w.put_message(TRACE_CTX_FIELD, |tw| {
+        tw.put_fixed64(1, ctx.trace.0);
+        tw.put_fixed64(2, ctx.span.0);
+        tw.put_bool(3, ctx.sampled);
+    });
+}
+
+fn decode_span_context(bytes: &[u8]) -> Result<SpanContext> {
+    let (mut trace, mut span, mut sampled) = (0u64, 0u64, false);
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => trace = v.as_u64(f)?,
+                2 => span = v.as_u64(f)?,
+                3 => sampled = v.as_bool(f)?,
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    Ok(SpanContext {
+        trace: TraceId(trace),
+        span: SpanId(span),
+        sampled,
+    })
+}
 
 fn put_count_vector(w: &mut WireWriter, field: u32, counts: &CountVector) {
     w.put_packed_i64(field, counts.as_slice());
@@ -531,6 +570,13 @@ impl RpcRequest {
     /// Serialize for transport.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_traced(None)
+    }
+
+    /// Serialize for transport, stamping the caller's span context into the
+    /// envelope when one is supplied.
+    #[must_use]
+    pub fn encode_traced(&self, trace: Option<&SpanContext>) -> Vec<u8> {
         let mut w = WireWriter::with_capacity(256);
         match self {
             RpcRequest::Add {
@@ -576,11 +622,20 @@ impl RpcRequest {
                 }
             }
         }
+        if let Some(ctx) = trace {
+            put_span_context(&mut w, ctx);
+        }
         w.into_bytes()
     }
 
     /// Deserialize from transport bytes.
     pub fn decode(bytes: &[u8]) -> Result<Self> {
+        Self::decode_traced(bytes).map(|(req, _)| req)
+    }
+
+    /// Deserialize from transport bytes, surfacing the sender's span
+    /// context if the envelope carries one.
+    pub fn decode_traced(bytes: &[u8]) -> Result<(Self, Option<SpanContext>)> {
         let mut kind = 0u64;
         let mut caller = 0u64;
         let mut table = 0u64;
@@ -592,6 +647,7 @@ impl RpcRequest {
         let mut query: Option<ProfileQuery> = None;
         let mut queries: Vec<ProfileQuery> = Vec::new();
         let mut writes: Vec<ProfileWrite> = Vec::new();
+        let mut trace_ctx: Option<SpanContext> = None;
 
         WireReader::new(bytes)
             .for_each(|f, v| {
@@ -634,14 +690,20 @@ impl RpcRequest {
                                 .map_err(|_| ips_codec::wire::WireError::MissingField(f))?,
                         );
                     }
+                    TRACE_CTX_FIELD => {
+                        trace_ctx = Some(
+                            decode_span_context(v.as_bytes(f)?)
+                                .map_err(|_| ips_codec::wire::WireError::MissingField(f))?,
+                        );
+                    }
                     _ => {}
                 }
                 Ok(())
             })
             .map_err(|e| IpsError::Codec(e.to_string()))?;
 
-        match kind {
-            REQ_ADD => Ok(RpcRequest::Add {
+        let request = match kind {
+            REQ_ADD => RpcRequest::Add {
                 caller: CallerId::new(caller as u32),
                 table: TableId::new(table as u32),
                 profile: ProfileId::new(profile),
@@ -649,21 +711,22 @@ impl RpcRequest {
                 slot: SlotId::new(slot as u32),
                 action: ActionTypeId::new(action as u32),
                 features,
-            }),
-            REQ_QUERY => Ok(RpcRequest::Query {
+            },
+            REQ_QUERY => RpcRequest::Query {
                 caller: CallerId::new(caller as u32),
                 query: query.ok_or_else(|| IpsError::Codec("query missing".into()))?,
-            }),
-            REQ_QUERY_BATCH => Ok(RpcRequest::QueryBatch {
+            },
+            REQ_QUERY_BATCH => RpcRequest::QueryBatch {
                 caller: CallerId::new(caller as u32),
                 queries,
-            }),
-            REQ_ADD_BATCH => Ok(RpcRequest::AddBatch {
+            },
+            REQ_ADD_BATCH => RpcRequest::AddBatch {
                 caller: CallerId::new(caller as u32),
                 writes,
-            }),
-            other => Err(IpsError::Codec(format!("bad request kind {other}"))),
-        }
+            },
+            other => return Err(IpsError::Codec(format!("bad request kind {other}"))),
+        };
+        Ok((request, trace_ctx))
     }
 }
 
@@ -671,6 +734,13 @@ impl RpcResponse {
     /// Serialize for transport.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_traced(None)
+    }
+
+    /// Serialize for transport, stamping the server span's context into the
+    /// envelope when one is supplied.
+    #[must_use]
+    pub fn encode_traced(&self, trace: Option<&SpanContext>) -> Vec<u8> {
         let mut w = WireWriter::with_capacity(256);
         match self {
             RpcResponse::Ok => w.put_u64(1, RESP_OK),
@@ -690,14 +760,24 @@ impl RpcResponse {
                 }
             }
         }
+        if let Some(ctx) = trace {
+            put_span_context(&mut w, ctx);
+        }
         w.into_bytes()
     }
 
     /// Deserialize from transport bytes.
     pub fn decode(bytes: &[u8]) -> Result<Self> {
+        Self::decode_traced(bytes).map(|(resp, _)| resp)
+    }
+
+    /// Deserialize from transport bytes, surfacing the server's span
+    /// context if the envelope carries one.
+    pub fn decode_traced(bytes: &[u8]) -> Result<(Self, Option<SpanContext>)> {
         let mut kind = 0u64;
         let mut result: Option<QueryResult> = None;
         let mut batch: Vec<Result<QueryResult>> = Vec::new();
+        let mut trace_ctx: Option<SpanContext> = None;
         WireReader::new(bytes)
             .for_each(|f, v| {
                 match f {
@@ -728,17 +808,24 @@ impl RpcResponse {
                         })?;
                         batch.push(sub.ok_or(ips_codec::wire::WireError::MissingField(f))?);
                     }
+                    TRACE_CTX_FIELD => {
+                        trace_ctx = Some(
+                            decode_span_context(v.as_bytes(f)?)
+                                .map_err(|_| ips_codec::wire::WireError::MissingField(f))?,
+                        );
+                    }
                     _ => {}
                 }
                 Ok(())
             })
             .map_err(|e| IpsError::Codec(e.to_string()))?;
-        match kind {
-            RESP_OK => Ok(RpcResponse::Ok),
-            RESP_QUERY => Ok(RpcResponse::Query(result.unwrap_or_default())),
-            RESP_QUERY_BATCH => Ok(RpcResponse::QueryBatch(batch)),
-            other => Err(IpsError::Codec(format!("bad response kind {other}"))),
-        }
+        let response = match kind {
+            RESP_OK => RpcResponse::Ok,
+            RESP_QUERY => RpcResponse::Query(result.unwrap_or_default()),
+            RESP_QUERY_BATCH => RpcResponse::QueryBatch(batch),
+            other => return Err(IpsError::Codec(format!("bad response kind {other}"))),
+        };
+        Ok((response, trace_ctx))
     }
 }
 
@@ -803,6 +890,33 @@ impl NetworkModel {
 
 // ---- endpoint ----------------------------------------------------------------
 
+/// Modeled network time one RPC attempt actually incurred, split by
+/// direction. Returned even when the attempt fails, so retries and region
+/// failover are accounted per attempt — the wire cost a client sums over
+/// attempts agrees with the `network` spans recorded in the trace, instead
+/// of failed traversals silently vanishing from the total.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireCost {
+    /// Request-frame transit, µs (0 when the call failed before leaving).
+    pub outbound_us: u64,
+    /// Response-frame transit, µs (0 when no response made it back).
+    pub inbound_us: u64,
+}
+
+impl WireCost {
+    #[must_use]
+    pub fn total_us(&self) -> u64 {
+        self.outbound_us + self.inbound_us
+    }
+
+    /// Fold another attempt's cost into this one (client-side failover
+    /// accumulates across attempts).
+    pub fn accumulate(&mut self, other: WireCost) {
+        self.outbound_us += other.outbound_us;
+        self.inbound_us += other.inbound_us;
+    }
+}
+
 /// One addressable IPS instance: the server side of the RPC fabric.
 pub struct RpcEndpoint {
     name: String,
@@ -866,10 +980,38 @@ impl RpcEndpoint {
     /// by the instance's own histograms and returned in the breakdown the
     /// client assembles).
     pub fn call(&self, request: &RpcRequest) -> Result<(RpcResponse, u64)> {
+        let (result, cost) = self.call_traced(request, None);
+        result.map(|resp| (resp, cost.total_us()))
+    }
+
+    /// [`RpcEndpoint::call`] with trace propagation and per-attempt cost
+    /// accounting. The caller's span context (if any) is stamped into the
+    /// request envelope; the server opens a `server` span under it through
+    /// its instance's tracer. The [`WireCost`] is returned even on failure:
+    /// a lost response still paid for its outbound traversal.
+    pub fn call_traced(
+        &self,
+        request: &RpcRequest,
+        ctx: Option<&SpanContext>,
+    ) -> (Result<RpcResponse>, WireCost) {
+        let mut cost = WireCost::default();
+        let result = self.call_inner(request, ctx, &mut cost);
+        (result, cost)
+    }
+
+    fn call_inner(
+        &self,
+        request: &RpcRequest,
+        ctx: Option<&SpanContext>,
+        cost: &mut WireCost,
+    ) -> Result<RpcResponse> {
         if self.is_down() {
             return Err(IpsError::Rpc(format!("endpoint {} down", self.name)));
         }
-        let request_bytes = request.encode();
+        let request_bytes = {
+            let _s = ips_trace::child("serialize");
+            request.encode_traced(ctx)
+        };
         let outbound = {
             let mut rng = self.rng.lock();
             self.network.sample_us(request_bytes.len(), &mut rng)
@@ -877,9 +1019,58 @@ impl RpcEndpoint {
         let Some(outbound_us) = outbound else {
             return Err(IpsError::Rpc("request lost in transit".into()));
         };
-        // The server decodes the exact bytes the client sent.
-        let request = RpcRequest::decode(&request_bytes)?;
-        let response = match request {
+        cost.outbound_us = outbound_us;
+        ips_trace::record_modeled("network", outbound_us);
+
+        // In-process "server side": mask the client's ambient scope so the
+        // server spans can only join the trace through the wire-propagated
+        // context — exactly what a remote process would see. The server
+        // decodes the exact bytes the client sent.
+        let masked = ips_trace::mask();
+        let (request, wire_ctx) = RpcRequest::decode_traced(&request_bytes)?;
+        let mut server_span = match (self.instance.tracer(), wire_ctx) {
+            (Some(tracer), Some(wc)) => {
+                let mut s = tracer.span_with_parent("server", wc);
+                s.set_attr("endpoint", self.name.clone());
+                s.set_attr("region", self.region.clone());
+                s
+            }
+            _ => ips_trace::Span::disabled(),
+        };
+        let response = match self.execute(request) {
+            Ok(resp) => resp,
+            Err(e) => {
+                server_span.set_error(e.to_string());
+                return Err(e);
+            }
+        };
+        let server_ctx = server_span.context();
+        let response_bytes = {
+            let _s = ips_trace::child("serialize");
+            response.encode_traced(server_ctx.as_ref())
+        };
+        drop(server_span);
+        drop(masked);
+
+        let inbound = {
+            let mut rng = self.rng.lock();
+            self.network.sample_us(response_bytes.len(), &mut rng)
+        };
+        let Some(inbound_us) = inbound else {
+            return Err(IpsError::Rpc("response lost in transit".into()));
+        };
+        cost.inbound_us = inbound_us;
+        ips_trace::record_modeled("network", inbound_us);
+        let (response, _server_ctx) = {
+            let _s = ips_trace::child("serialize");
+            RpcResponse::decode_traced(&response_bytes)?
+        };
+        Ok(response)
+    }
+
+    /// The server-side dispatch table: one instance API per request kind.
+    fn execute(&self, request: RpcRequest) -> Result<RpcResponse> {
+        match request {
             RpcRequest::Add {
                 caller,
                 table,
@@ -891,14 +1082,14 @@ impl RpcEndpoint {
             } => {
                 self.instance
                     .add_profiles(caller, table, profile, at, slot, action, &features)?;
-                RpcResponse::Ok
+                Ok(RpcResponse::Ok)
             }
             RpcRequest::Query { caller, query } => {
-                RpcResponse::Query(self.instance.query(caller, &query)?)
+                Ok(RpcResponse::Query(self.instance.query(caller, &query)?))
             }
-            RpcRequest::QueryBatch { caller, queries } => {
-                RpcResponse::QueryBatch(self.instance.query_batch(caller, &queries)?)
-            }
+            RpcRequest::QueryBatch { caller, queries } => Ok(RpcResponse::QueryBatch(
+                self.instance.query_batch(caller, &queries)?,
+            )),
             RpcRequest::AddBatch { caller, writes } => {
                 for w in &writes {
                     self.instance.add_profiles(
@@ -911,19 +1102,9 @@ impl RpcEndpoint {
                         &w.features,
                     )?;
                 }
-                RpcResponse::Ok
+                Ok(RpcResponse::Ok)
             }
-        };
-        let response_bytes = response.encode();
-        let inbound = {
-            let mut rng = self.rng.lock();
-            self.network.sample_us(response_bytes.len(), &mut rng)
-        };
-        let Some(inbound_us) = inbound else {
-            return Err(IpsError::Rpc("response lost in transit".into()));
-        };
-        let response = RpcResponse::decode(&response_bytes)?;
-        Ok((response, outbound_us + inbound_us))
+        }
     }
 }
 
@@ -1255,6 +1436,104 @@ mod tests {
             }
         }
         assert!((20..95).contains(&failures), "failures = {failures}");
+    }
+
+    #[test]
+    fn envelope_trace_context_round_trips() {
+        let ctx = SpanContext {
+            trace: TraceId(0xABCD_0001),
+            span: SpanId(42),
+            sampled: true,
+        };
+        let req = RpcRequest::Query {
+            caller: CallerId::new(9),
+            query: sample_query(),
+        };
+        let bytes = req.encode_traced(Some(&ctx));
+        let (decoded, got) = RpcRequest::decode_traced(&bytes).unwrap();
+        assert_eq!(decoded, req);
+        assert_eq!(got, Some(ctx));
+        // A decoder that does not care about tracing still gets the request.
+        assert_eq!(RpcRequest::decode(&bytes).unwrap(), req);
+        // Untraced bytes surface no context.
+        assert_eq!(RpcRequest::decode_traced(&req.encode()).unwrap().1, None);
+
+        let resp = RpcResponse::Query(QueryResult::default());
+        let bytes = resp.encode_traced(Some(&ctx));
+        let (decoded, got) = RpcResponse::decode_traced(&bytes).unwrap();
+        assert_eq!(decoded, resp);
+        assert_eq!(got, Some(ctx));
+        assert_eq!(RpcResponse::decode(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn traced_encoding_does_not_change_untraced_bytes() {
+        // `encode()` must stay byte-identical to pre-tracing encoders so
+        // the modeled network cost (a function of frame size) is unchanged.
+        let req = RpcRequest::Query {
+            caller: CallerId::new(1),
+            query: sample_query(),
+        };
+        assert_eq!(req.encode(), req.encode_traced(None));
+        let ctx = SpanContext {
+            trace: TraceId(1),
+            span: SpanId(1),
+            sampled: false,
+        };
+        assert!(req.encode_traced(Some(&ctx)).len() > req.encode().len());
+    }
+
+    #[test]
+    fn failed_attempt_still_reports_outbound_cost() {
+        // Lossy enough that some calls lose the *response*: those attempts
+        // paid a real outbound traversal, and the cost must say so.
+        let ep = endpoint(NetworkModel {
+            rtt_us: 1_000,
+            per_kib_us: 0,
+            jitter: 0.0,
+            loss_probability: 0.4,
+        });
+        let mut saw_paid_failure = false;
+        let mut saw_free_failure = false;
+        for pid in 0..200 {
+            let (result, cost) = ep.call_traced(&add_req(pid), None);
+            if result.is_ok() {
+                assert_eq!(cost.total_us(), 2_000, "success pays both directions");
+            } else if cost.outbound_us > 0 {
+                assert_eq!(cost.inbound_us, 0, "response never arrived");
+                saw_paid_failure = true;
+            } else {
+                assert_eq!(cost, WireCost::default());
+                saw_free_failure = true;
+            }
+        }
+        assert!(saw_paid_failure, "some failures lose only the response");
+        assert!(saw_free_failure, "some failures lose the request");
+    }
+
+    #[test]
+    fn down_endpoint_costs_nothing() {
+        let ep = endpoint(NetworkModel::production_default());
+        ep.set_down(true);
+        let (result, cost) = ep.call_traced(&add_req(1), None);
+        assert!(result.is_err());
+        assert_eq!(cost, WireCost::default());
+    }
+
+    #[test]
+    fn wire_cost_accumulates_across_attempts() {
+        let mut total = WireCost::default();
+        total.accumulate(WireCost {
+            outbound_us: 700,
+            inbound_us: 0,
+        });
+        total.accumulate(WireCost {
+            outbound_us: 500,
+            inbound_us: 900,
+        });
+        assert_eq!(total.outbound_us, 1_200);
+        assert_eq!(total.inbound_us, 900);
+        assert_eq!(total.total_us(), 2_100);
     }
 
     #[test]

@@ -1,11 +1,18 @@
 //! The storage envelope: what actually lands in the key-value store.
 //!
 //! Layout: `magic(1) | flags(1) | uncompressed_len varint | checksum fixed64
-//! | payload`. The checksum is FNV-1a over the *uncompressed* bytes, so
-//! corruption anywhere in the pipeline (compressor bug, torn KV write,
-//! replication glitch) is caught on load. Payloads that do not shrink under
-//! compression are stored raw — the same escape hatch Snappy-framed formats
-//! use for incompressible data.
+//! | [trace ctx (17)] | payload`. The checksum is FNV-1a over the
+//! *uncompressed* bytes, so corruption anywhere in the pipeline (compressor
+//! bug, torn KV write, replication glitch) is caught on load. Payloads that
+//! do not shrink under compression are stored raw — the same escape hatch
+//! Snappy-framed formats use for incompressible data.
+//!
+//! When `FLAG_TRACE` is set, a fixed 17-byte trace context (trace id u64 LE,
+//! span id u64 LE, sampled u8) follows the checksum: the frame records which
+//! request wrote it, so a flushed blob can be tied back to its trace.
+//! Decoding is backward compatible both ways — old frames (flag clear) parse
+//! unchanged, and [`decode_frame`] transparently skips the context on new
+//! frames for callers that do not care about it.
 
 use std::fmt;
 
@@ -14,6 +21,17 @@ use crate::varint::{decode_u64, encode_u64};
 
 const MAGIC: u8 = 0xA9;
 const FLAG_COMPRESSED: u8 = 0x01;
+const FLAG_TRACE: u8 = 0x02;
+const KNOWN_FLAGS: u8 = FLAG_COMPRESSED | FLAG_TRACE;
+const TRACE_CTX_LEN: usize = 8 + 8 + 1;
+
+/// The wire form of a span context carried in a frame header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameTraceContext {
+    pub trace_id: u64,
+    pub span_id: u64,
+    pub sampled: bool,
+}
 
 /// Errors from frame decoding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -72,21 +90,49 @@ fn fnv1a(data: &[u8]) -> u64 {
 /// Encode `payload` into a frame, compressing when it helps.
 #[must_use]
 pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    encode_frame_traced(payload, None)
+}
+
+/// Encode `payload` into a frame, stamping the writing request's trace
+/// context into the header when one is supplied.
+#[must_use]
+pub fn encode_frame_traced(payload: &[u8], trace: Option<&FrameTraceContext>) -> Vec<u8> {
     let compressed = compress(payload);
     let use_compressed = compressed.len() < payload.len();
     let body: &[u8] = if use_compressed { &compressed } else { payload };
 
-    let mut out = Vec::with_capacity(body.len() + 16);
+    let mut flags = 0u8;
+    if use_compressed {
+        flags |= FLAG_COMPRESSED;
+    }
+    if trace.is_some() {
+        flags |= FLAG_TRACE;
+    }
+    let mut out = Vec::with_capacity(body.len() + 16 + TRACE_CTX_LEN);
     out.push(MAGIC);
-    out.push(if use_compressed { FLAG_COMPRESSED } else { 0 });
+    out.push(flags);
     encode_u64(&mut out, payload.len() as u64);
     out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    if let Some(ctx) = trace {
+        out.extend_from_slice(&ctx.trace_id.to_le_bytes());
+        out.extend_from_slice(&ctx.span_id.to_le_bytes());
+        out.push(u8::from(ctx.sampled));
+    }
     out.extend_from_slice(body);
     out
 }
 
-/// Decode a frame back into its payload, verifying the checksum.
+/// Decode a frame back into its payload, verifying the checksum. A trace
+/// context in the header (newer writers) is skipped transparently.
 pub fn decode_frame(frame: &[u8]) -> Result<Vec<u8>, FrameError> {
+    decode_frame_traced(frame).map(|(payload, _)| payload)
+}
+
+/// Decode a frame into its payload plus the writer's trace context, if the
+/// frame carries one.
+pub fn decode_frame_traced(
+    frame: &[u8],
+) -> Result<(Vec<u8>, Option<FrameTraceContext>), FrameError> {
     if frame.len() < 2 {
         return Err(FrameError::Truncated);
     }
@@ -94,7 +140,7 @@ pub fn decode_frame(frame: &[u8]) -> Result<Vec<u8>, FrameError> {
         return Err(FrameError::BadMagic);
     }
     let flags = frame[1];
-    if flags & !FLAG_COMPRESSED != 0 {
+    if flags & !KNOWN_FLAGS != 0 {
         return Err(FrameError::UnknownFlags(flags));
     }
     let rest = &frame[2..];
@@ -106,7 +152,25 @@ pub fn decode_frame(frame: &[u8]) -> Result<Vec<u8>, FrameError> {
     let mut cs = [0u8; 8];
     cs.copy_from_slice(&rest[..8]);
     let expected = u64::from_le_bytes(cs);
-    let body = &rest[8..];
+    let mut body = &rest[8..];
+    let trace = if flags & FLAG_TRACE != 0 {
+        if body.len() < TRACE_CTX_LEN {
+            return Err(FrameError::Truncated);
+        }
+        let mut t = [0u8; 8];
+        t.copy_from_slice(&body[..8]);
+        let mut s = [0u8; 8];
+        s.copy_from_slice(&body[8..16]);
+        let ctx = FrameTraceContext {
+            trace_id: u64::from_le_bytes(t),
+            span_id: u64::from_le_bytes(s),
+            sampled: body[16] != 0,
+        };
+        body = &body[TRACE_CTX_LEN..];
+        Some(ctx)
+    } else {
+        None
+    };
     let declared_len = usize::try_from(declared_len).map_err(|_| FrameError::Truncated)?;
 
     let payload = if flags & FLAG_COMPRESSED != 0 {
@@ -124,7 +188,7 @@ pub fn decode_frame(frame: &[u8]) -> Result<Vec<u8>, FrameError> {
     if actual != expected {
         return Err(FrameError::ChecksumMismatch { expected, actual });
     }
-    Ok(payload)
+    Ok((payload, trace))
 }
 
 #[cfg(test)]
@@ -171,6 +235,61 @@ mod tests {
             decode_frame(&frame),
             Err(FrameError::UnknownFlags(_))
         ));
+    }
+
+    #[test]
+    fn traced_frame_round_trips_context() {
+        let ctx = FrameTraceContext {
+            trace_id: 0xDEAD_BEEF_0042,
+            span_id: 17,
+            sampled: true,
+        };
+        let data = b"profile slice ".repeat(500);
+        let frame = encode_frame_traced(&data, Some(&ctx));
+        let (payload, got) = decode_frame_traced(&frame).unwrap();
+        assert_eq!(payload, data);
+        assert_eq!(got, Some(ctx));
+        // Plain decode skips the context but still yields the payload.
+        assert_eq!(decode_frame(&frame).unwrap(), data);
+    }
+
+    #[test]
+    fn untraced_frame_decodes_with_no_context() {
+        let frame = encode_frame(b"hello");
+        let (payload, ctx) = decode_frame_traced(&frame).unwrap();
+        assert_eq!(payload, b"hello");
+        assert_eq!(ctx, None);
+    }
+
+    #[test]
+    fn traced_incompressible_frame_round_trips() {
+        let data: Vec<u8> = (0..1_000u32)
+            .flat_map(|i| i.wrapping_mul(2_654_435_761).to_le_bytes())
+            .collect();
+        let ctx = FrameTraceContext {
+            trace_id: 1,
+            span_id: 2,
+            sampled: false,
+        };
+        let frame = encode_frame_traced(&data, Some(&ctx));
+        let (payload, got) = decode_frame_traced(&frame).unwrap();
+        assert_eq!(payload, data);
+        assert_eq!(got, Some(ctx));
+    }
+
+    #[test]
+    fn traced_frame_truncated_in_context_detected() {
+        let frame = encode_frame_traced(
+            b"x",
+            Some(&FrameTraceContext {
+                trace_id: 9,
+                span_id: 9,
+                sampled: true,
+            }),
+        );
+        // Cut inside the 17-byte trace context region.
+        let cut = frame.len() - 1 - 10;
+        assert!(decode_frame_traced(&frame[..cut]).is_err());
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub mod varint;
 pub mod wire;
 
 pub use compress::{compress, decompress, CompressError};
-pub use frame::{decode_frame, encode_frame, FrameError};
+pub use frame::{
+    decode_frame, decode_frame_traced, encode_frame, encode_frame_traced, FrameError,
+    FrameTraceContext,
+};
 pub use varint::{
     decode_u64, encode_u64, zigzag_decode, zigzag_encode, DecodeError as VarintError,
 };

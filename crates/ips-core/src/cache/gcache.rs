@@ -122,16 +122,23 @@ impl<S: ProfileStore + 'static> GCache<S> {
         pid: ProfileId,
         create: bool,
     ) -> Result<Option<(Arc<Mutex<CacheEntry>>, bool)>> {
+        let mut cache_span = ips_trace::child("cache");
         let shard = &self.shards[self.shard_idx(pid)];
         if let Some(entry) = shard.map.lock().get(&pid) {
             shard.lru.lock().touch(pid);
             self.hit_ratio.hits.inc();
+            cache_span.set_attr("hit", "true");
             return Ok(Some((Arc::clone(entry), true)));
         }
         // Miss: consult the persistent store (outside the map lock — loads
         // are the expensive path).
         self.hit_ratio.misses.inc();
-        let loaded = self.persister.load(pid)?;
+        cache_span.set_attr("hit", "false");
+        drop(cache_span);
+        let loaded = {
+            let _load_span = ips_trace::child("store_load");
+            self.persister.load(pid)
+        }?;
         let (data, generation) = match loaded {
             LoadOutcome::Loaded {
                 profile,

@@ -17,8 +17,8 @@
 
 use bytes::Bytes;
 
+use ips_codec::decode_frame;
 use ips_codec::wire::{WireReader, WireWriter};
-use ips_codec::{decode_frame, encode_frame};
 use ips_kv::Generation;
 use ips_types::{IpsError, PersistenceMode, ProfileId, Result, TableId, Timestamp};
 
@@ -87,7 +87,7 @@ impl SliceMeta {
                 rw.put_fixed64(R_END, r.end.as_millis());
             });
         }
-        encode_frame(&w.into_bytes())
+        super::schema::frame_with_ambient_trace(&w.into_bytes())
     }
 
     fn decode(frame: &[u8]) -> Result<Self> {

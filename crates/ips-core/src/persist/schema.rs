@@ -6,12 +6,25 @@
 //! read, so the schema can grow.
 
 use ips_codec::wire::{WireReader, WireWriter};
-use ips_codec::{decode_frame, encode_frame};
+use ips_codec::{decode_frame, encode_frame_traced, FrameTraceContext};
 use ips_types::{
     ActionTypeId, AggregateFunction, CountVector, FeatureId, IpsError, Result, SlotId, Timestamp,
 };
 
 use crate::model::{ProfileData, Slice};
+
+/// Frame a storage payload, stamping the ambient request's trace context
+/// into the header when one is live — a flushed blob can then be tied back
+/// to the request that wrote it (`decode_frame` skips the stamp, so readers
+/// are unaffected).
+pub(crate) fn frame_with_ambient_trace(body: &[u8]) -> Vec<u8> {
+    let ctx = ips_trace::current().map(|(_, ctx)| FrameTraceContext {
+        trace_id: ctx.trace.0,
+        span_id: ctx.span.0,
+        sampled: ctx.sampled,
+    });
+    encode_frame_traced(body, ctx.as_ref())
+}
 
 // Profile message fields.
 const F_SLICE: u32 = 1;
@@ -56,7 +69,7 @@ fn write_slice(w: &mut WireWriter, slice: &Slice) {
 pub fn encode_slice(slice: &Slice) -> Vec<u8> {
     let mut w = WireWriter::with_capacity(1024);
     write_slice(&mut w, slice);
-    encode_frame(&w.into_bytes())
+    frame_with_ambient_trace(&w.into_bytes())
 }
 
 /// Decoded per-slot payload: slot → action → (feature, counts) triples.
@@ -166,7 +179,7 @@ pub fn encode_profile(profile: &ProfileData) -> Vec<u8> {
     for slice in profile.slices() {
         w.put_message(F_SLICE, |sw| write_slice(sw, slice));
     }
-    encode_frame(&w.into_bytes())
+    frame_with_ambient_trace(&w.into_bytes())
 }
 
 /// Deserialize a whole profile from framed bytes.
@@ -320,7 +333,7 @@ mod tests {
         let mut w = WireWriter::new();
         w.put_bytes(F_SLICE, &slice_bytes);
         w.put_bytes(F_SLICE, &slice_bytes);
-        let frame = encode_frame(&w.into_bytes());
+        let frame = ips_codec::encode_frame(&w.into_bytes());
         assert!(
             decode_profile(&frame).is_err(),
             "duplicate/overlapping slices must fail invariant check"

@@ -14,6 +14,8 @@ use parking_lot::RwLock;
 
 use ips_kv::{KvNode, KvNodeConfig};
 use ips_metrics::{Counter, Histogram};
+use ips_trace::Tracer;
+use ips_types::clock::monotonic_micros;
 use ips_types::{
     ActionTypeId, CallerId, CountVector, FeatureId, IpsError, ProfileId, QuotaConfig, Result,
     SharedClock, SlotId, TableConfig, TableId, Timestamp,
@@ -118,6 +120,7 @@ pub struct IpsInstance {
     tables: RwLock<HashMap<TableId, Arc<TableRuntime>>>,
     pub quota: QuotaEnforcer,
     shutting_down: AtomicBool,
+    tracer: RwLock<Option<Arc<Tracer>>>,
 }
 
 impl IpsInstance {
@@ -131,6 +134,7 @@ impl IpsInstance {
             tables: RwLock::new(HashMap::new()),
             quota: QuotaEnforcer::new(clock, options.default_quota),
             shutting_down: AtomicBool::new(false),
+            tracer: RwLock::new(None),
         })
     }
 
@@ -154,6 +158,18 @@ impl IpsInstance {
     #[must_use]
     pub fn clock(&self) -> &SharedClock {
         &self.clock
+    }
+
+    /// Install (or clear) the tracer that server-side spans record into.
+    /// The RPC endpoint reaches for it when a request arrives carrying a
+    /// wire-propagated span context.
+    pub fn set_tracer(&self, tracer: Option<Arc<Tracer>>) {
+        *self.tracer.write() = tracer;
+    }
+
+    #[must_use]
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.tracer.read().clone()
     }
 
     /// Create a table. Fails if the id is taken or the config is invalid.
@@ -266,7 +282,7 @@ impl IpsInstance {
         self.check_alive()?;
         self.quota.check(caller, features.len().max(1) as u64)?;
         let rt = self.table(table)?;
-        let started = std::time::Instant::now();
+        let started_us = monotonic_micros();
         let cfg = rt.config.load();
         if cfg.attributes > 0 {
             for (_, counts) in features {
@@ -320,7 +336,7 @@ impl IpsInstance {
         rt.metrics.writes.add(features.len() as u64);
         rt.metrics
             .write_latency_us
-            .record(started.elapsed().as_micros() as u64);
+            .record(monotonic_micros().saturating_sub(started_us));
         Ok(())
     }
 
@@ -340,10 +356,11 @@ impl IpsInstance {
     /// body shared by the single and batched paths.
     fn query_inner(self: &Arc<Self>, query: &ProfileQuery) -> Result<QueryResult> {
         let rt = self.table(query.table)?;
-        let started = std::time::Instant::now();
+        let started_us = monotonic_micros();
         let cfg = rt.config.load();
         let now = self.clock.now();
         let outcome = rt.cache.read(query.profile, |profile| {
+            let _compute = ips_trace::child("compute");
             engine::execute(profile, query, cfg.aggregate, &cfg.compaction.shrink, now)
         })?;
         let result = match outcome {
@@ -354,8 +371,9 @@ impl IpsInstance {
             None => QueryResult::default(),
         };
         rt.metrics.queries.inc();
-        let elapsed = started.elapsed().as_micros() as u64;
-        rt.metrics.query_latency_us.record(elapsed);
+        rt.metrics
+            .query_latency_us
+            .record(monotonic_micros().saturating_sub(started_us));
         Ok(result)
     }
 
@@ -389,16 +407,29 @@ impl IpsInstance {
                 Err(IpsError::Unavailable("batch slot unfilled".into()))
             });
             let next = std::sync::atomic::AtomicUsize::new(0);
+            // Thread-locals do not cross `thread::scope`: capture the
+            // ambient trace context here and re-attach it in each worker so
+            // sub-query spans stay inside the request's trace.
+            let ambient = ips_trace::current();
+            let next = &next;
             let indexed: Vec<(usize, Result<QueryResult>)> = std::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
-                        s.spawn(|| {
+                        let ambient = ambient.clone();
+                        s.spawn(move || {
+                            let _trace_guard = ambient.map(|(tracer, ctx)| tracer.attach(ctx));
+                            // One span per worker covering spawn → first
+                            // dequeue: the batch's real server-side
+                            // scheduling/queueing delay.
+                            let mut queue_span = Some(ips_trace::child("server_queue"));
                             let mut local = Vec::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(query) = queries.get(i) else { break };
+                                queue_span.take();
                                 local.push((i, self.query_inner(query)));
                             }
+                            drop(queue_span);
                             local
                         })
                     })
@@ -452,7 +483,7 @@ impl IpsInstance {
         self.check_alive()?;
         self.quota.check(caller, 1)?;
         let rt = self.table(table)?;
-        let started = std::time::Instant::now();
+        let started_us = monotonic_micros();
         let now = self.clock.now();
         let outcome = rt.cache.read(pid, |profile| {
             let window = range.resolve(now, profile.last_action_hint());
@@ -470,7 +501,7 @@ impl IpsInstance {
         rt.metrics.queries.inc();
         rt.metrics
             .query_latency_us
-            .record(started.elapsed().as_micros() as u64);
+            .record(monotonic_micros().saturating_sub(started_us));
         Ok(outcome.map(|(v, _)| v).unwrap_or_default())
     }
 

@@ -48,6 +48,9 @@ pub struct ReplicatedKv {
     pub replicated_ops: Counter,
     pub queue_depth: Gauge,
     read_mode: ReplicaReadMode,
+    /// Optional tracer: pump batches that move data show up as root spans
+    /// so replication work is visible next to the request tree it lags.
+    tracer: parking_lot::RwLock<Option<Arc<ips_trace::Tracer>>>,
 }
 
 impl ReplicatedKv {
@@ -66,7 +69,13 @@ impl ReplicatedKv {
             replicated_ops: Counter::new(),
             queue_depth: Gauge::new(),
             read_mode,
+            tracer: parking_lot::RwLock::new(None),
         }
+    }
+
+    /// Install (or clear) the tracer that records pump batches.
+    pub fn set_tracer(&self, tracer: Option<Arc<ips_trace::Tracer>>) {
+        *self.tracer.write() = tracer;
     }
 
     #[must_use]
@@ -147,6 +156,12 @@ impl ReplicatedKv {
     /// applied. Replicas that are down keep their queue (they catch up when
     /// restarted), which is what creates stale-read windows in experiments.
     pub fn pump(&self, budget: usize) -> usize {
+        // Idle pump ticks (empty queues) stay invisible; only batches that
+        // move data open a span.
+        let mut span = match self.tracer.read().clone() {
+            Some(tracer) if self.backlog() > 0 => tracer.root_span("replication_pump", 0),
+            _ => ips_trace::Span::disabled(),
+        };
         let mut applied = 0;
         for (replica, queue) in self.replicas.iter().zip(&self.queues) {
             if replica.is_down() {
@@ -167,6 +182,9 @@ impl ReplicatedKv {
             }
         }
         self.replicated_ops.add(applied as u64);
+        if span.is_sampled() {
+            span.set_attr("applied", applied.to_string());
+        }
         applied
     }
 

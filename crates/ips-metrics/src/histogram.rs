@@ -123,6 +123,29 @@ impl Histogram {
         self.min.store(u64::MAX, Ordering::Relaxed);
     }
 
+    /// Merge a snapshot into this live histogram.
+    ///
+    /// Buckets align exactly: snapshots are taken from histograms built with
+    /// the same `SUB_BUCKETS`/`MAX_EXPONENT` layout, so bucket `i` in the
+    /// snapshot is bucket `i` here. This is the aggregation primitive for
+    /// per-endpoint / per-stage decomposition tables: collect one histogram
+    /// per endpoint, then fold their snapshots into a single table row.
+    /// Concurrent `record` calls may interleave; each bucket add is atomic.
+    pub fn merge(&self, other: &HistogramSnapshot) {
+        debug_assert_eq!(self.counts.len(), other.counts.len());
+        for (bucket, &n) in self.counts.iter().zip(other.counts.iter()) {
+            if n != 0 {
+                bucket.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.total.fetch_add(other.total, Ordering::Relaxed);
+        self.sum.fetch_add(other.sum, Ordering::Relaxed);
+        if other.total != 0 {
+            self.max.fetch_max(other.max, Ordering::Relaxed);
+            self.min.fetch_min(other.min, Ordering::Relaxed);
+        }
+    }
+
     /// Shortcut: percentile straight off the live histogram.
     #[must_use]
     pub fn percentile(&self, p: f64) -> u64 {
@@ -352,6 +375,56 @@ mod tests {
         let p75 = s.percentile(75.0);
         assert!(p25 <= 101, "p25={p25}");
         assert!(p75 >= 9_000, "p75={p75}");
+    }
+
+    #[test]
+    fn live_merge_matches_direct_recording() {
+        // Recording {a ∪ b} directly and merging b's snapshot into a must
+        // land every sample in the same bucket (alignment check).
+        let direct = Histogram::new();
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for exp in 0..MAX_EXPONENT {
+            let v = (1u64 << exp) + exp as u64;
+            direct.record(v);
+            a.record(v);
+            let w = v.saturating_mul(3) + 1;
+            direct.record(w);
+            b.record(w);
+        }
+        a.merge(&b.snapshot());
+        let sa = a.snapshot();
+        let sd = direct.snapshot();
+        assert_eq!(sa.counts, sd.counts, "bucket-for-bucket alignment");
+        assert_eq!(sa.count(), sd.count());
+        assert_eq!(sa.min(), sd.min());
+        assert_eq!(sa.max(), sd.max());
+        for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(sa.percentile(p), sd.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn live_merge_of_empty_snapshot_is_identity() {
+        let h = Histogram::new();
+        h.record(123);
+        h.merge(&HistogramSnapshot::empty());
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.min(), 123);
+        assert_eq!(s.max(), 123);
+    }
+
+    #[test]
+    fn live_merge_into_empty_reproduces_source() {
+        let src = Histogram::new();
+        src.record(77);
+        src.record(1 << 20);
+        let dst = Histogram::new();
+        dst.merge(&src.snapshot());
+        assert_eq!(dst.snapshot().counts, src.snapshot().counts);
+        assert_eq!(dst.percentile(100.0), 1 << 20);
+        assert_eq!(dst.snapshot().min(), 77);
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! The collector: per-thread buffer registry plus drain.
+//!
+//! Recording threads never share a buffer — each thread lazily registers
+//! one SPSC ring per collector through a thread-local, so the hot path
+//! (`record`) touches no locks. The registry mutex is taken only when a
+//! thread records its *first* span into a collector, and by `drain`, which
+//! also prunes rings whose owning thread has exited.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use crate::buffer::{SpanBuffer, BUFFER_CAPACITY};
+use crate::SpanRecord;
+
+/// Process-wide collector identity; keys the thread-local registry so one
+/// thread can record into several collectors (e.g. two traced clusters in
+/// one test) without cross-talk.
+static NEXT_COLLECTOR_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_BUFFERS: RefCell<ThreadBuffers> = const { RefCell::new(ThreadBuffers(Vec::new())) };
+}
+
+/// This thread's (collector-id → ring) map. Holds `Weak` so a dropped
+/// collector's rings do not outlive it through idle threads; the drop impl
+/// retires every ring so collectors prune them after a final drain.
+struct ThreadBuffers(Vec<(u64, Weak<SpanBuffer>)>);
+
+impl Drop for ThreadBuffers {
+    fn drop(&mut self) {
+        for (_, buf) in &self.0 {
+            if let Some(buf) = buf.upgrade() {
+                buf.retire();
+            }
+        }
+    }
+}
+
+/// Sink for finished [`SpanRecord`]s.
+pub struct TraceCollector {
+    id: u64,
+    buffers: Mutex<Vec<Arc<SpanBuffer>>>,
+    dropped: AtomicU64,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceCollector {
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            id: NEXT_COLLECTOR_ID.fetch_add(1, Ordering::Relaxed),
+            buffers: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Append one finished record to the calling thread's ring (registering
+    /// a ring on first use). Never blocks: a full ring or a tearing-down
+    /// thread-local counts the record as dropped instead.
+    pub fn record(&self, rec: SpanRecord) {
+        let pushed = THREAD_BUFFERS
+            .try_with(|tb| {
+                let mut tb = tb.borrow_mut();
+                tb.0.retain(|(_, w)| w.strong_count() > 0);
+                let buf = match tb.0.iter().find(|(id, _)| *id == self.id) {
+                    Some((_, w)) => w.upgrade(),
+                    None => None,
+                };
+                let buf = match buf {
+                    Some(buf) => buf,
+                    None => {
+                        let buf = Arc::new(SpanBuffer::new(BUFFER_CAPACITY));
+                        self.buffers.lock().push(Arc::clone(&buf));
+                        tb.0.push((self.id, Arc::downgrade(&buf)));
+                        buf
+                    }
+                };
+                buf.push(rec)
+            })
+            .unwrap_or(false);
+        if !pushed {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drain every thread's ring, pruning rings whose owner exited. Records
+    /// come back ordered by (trace, start, span) so one trace's span tree
+    /// is contiguous for the exporters.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::new();
+        let mut buffers = self.buffers.lock();
+        buffers.retain(|buf| {
+            while let Some(rec) = buf.pop() {
+                out.push(rec);
+            }
+            !(buf.is_retired() && buf.is_empty())
+        });
+        drop(buffers);
+        out.sort_by_key(|r| (r.trace, r.start_us, r.span));
+        out
+    }
+
+    /// Records lost to full rings since creation.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Rings currently registered (live + not-yet-pruned retired ones).
+    #[must_use]
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.lock().len()
+    }
+}
+
+impl std::fmt::Debug for TraceCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceCollector")
+            .field("id", &self.id)
+            .field("buffers", &self.buffer_count())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpanId, TraceId};
+
+    fn rec(trace: u64, span: u64, start: u64) -> SpanRecord {
+        SpanRecord {
+            trace: TraceId(trace),
+            span: SpanId(span),
+            parent: None,
+            name: "t",
+            start_us: start,
+            end_us: start + 1,
+            error: false,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn drain_returns_records_sorted_by_trace_then_start() {
+        let c = TraceCollector::new();
+        c.record(rec(2, 1, 50));
+        c.record(rec(1, 2, 90));
+        c.record(rec(1, 3, 10));
+        let drained = c.drain();
+        let keys: Vec<_> = drained.iter().map(|r| (r.trace.0, r.span.0)).collect();
+        assert_eq!(keys, [(1, 3), (1, 2), (2, 1)]);
+        assert!(c.drain().is_empty(), "drain consumes");
+    }
+
+    #[test]
+    fn two_collectors_do_not_cross_talk() {
+        let a = TraceCollector::new();
+        let b = TraceCollector::new();
+        a.record(rec(1, 1, 0));
+        b.record(rec(2, 1, 0));
+        assert_eq!(a.drain().len(), 1);
+        assert_eq!(b.drain().len(), 1);
+    }
+
+    #[test]
+    fn records_from_exited_threads_survive_and_rings_are_pruned() {
+        let c = Arc::new(TraceCollector::new());
+        // Plain spawn + join: join() returns only after the OS thread fully
+        // terminated, i.e. after its TLS destructor retired the ring.
+        // (thread::scope is weaker — it can return before TLS teardown.)
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..10 {
+                        c.record(rec(t, i, i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.drain().len(), 40);
+        assert_eq!(
+            c.buffer_count(),
+            0,
+            "retired rings must be pruned after a full drain"
+        );
+        assert_eq!(c.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_counts_dropped_instead_of_blocking() {
+        let c = TraceCollector::new();
+        let n = (BUFFER_CAPACITY + 10) as u64;
+        for i in 0..n {
+            c.record(rec(1, i, i));
+        }
+        assert_eq!(c.drain().len(), BUFFER_CAPACITY);
+        assert_eq!(c.dropped(), 10);
+    }
+
+    #[test]
+    fn concurrent_record_and_drain() {
+        let c = Arc::new(TraceCollector::new());
+        let total: usize = std::thread::scope(|s| {
+            let writers: Vec<_> = (0..3)
+                .map(|t| {
+                    let c = Arc::clone(&c);
+                    s.spawn(move || {
+                        for i in 0..2_000u64 {
+                            c.record(rec(t, i, i));
+                            if i % 64 == 0 {
+                                std::thread::yield_now();
+                            }
+                        }
+                    })
+                })
+                .collect();
+            let drainer = {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    let mut got = 0;
+                    for _ in 0..10_000 {
+                        got += c.drain().len();
+                        std::thread::yield_now();
+                    }
+                    got
+                })
+            };
+            for w in writers {
+                w.join().unwrap();
+            }
+            drainer.join().unwrap() + c.drain().len()
+        });
+        assert_eq!(total as u64 + c.dropped(), 6_000);
+    }
+}

@@ -7,15 +7,39 @@
 //! calls `std::time` directly.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::sync::{Arc, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use crate::time::{DurationMs, Timestamp};
 
+/// Microseconds elapsed since an arbitrary process-wide anchor.
+///
+/// This is the *duration-measurement* primitive behind span timings and
+/// latency histograms: monotonic, microsecond-resolution, comparable across
+/// threads within one process. It deliberately measures real elapsed time
+/// even under a [`SimClock`] — simulated time governs *logical* time
+/// (data timestamps, TTLs, windows), while latency attribution measures how
+/// long the code actually ran. Serving crates must call this (or
+/// [`Clock::monotonic_micros`]) instead of `std::time::Instant::now()`
+/// directly; the `wall-clock` lint in `cargo xtask check` enforces it, and
+/// this module is the one sanctioned home of the raw `Instant`.
+#[must_use]
+pub fn monotonic_micros() -> u64 {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    ANCHOR.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
 /// A source of "now".
 pub trait Clock: Send + Sync + std::fmt::Debug {
-    /// The current instant.
+    /// The current instant (logical time).
     fn now(&self) -> Timestamp;
+
+    /// Monotonic microseconds for duration measurement (see
+    /// [`monotonic_micros`]). Implementations may override this to make
+    /// measured durations deterministic; the default measures real time.
+    fn monotonic_micros(&self) -> u64 {
+        monotonic_micros()
+    }
 }
 
 /// Wall-clock time (milliseconds since the Unix epoch).

@@ -20,6 +20,7 @@
 //! | [`cluster`] | `ips-cluster` | hashing, discovery, RPC, regions, client |
 //! | [`ingest`] | `ips-ingest` | stream join, topic log, ingestion, workloads |
 //! | [`baseline`] | `ips-baseline` | lambda / pre-agg / naive baselines |
+//! | [`trace`] | `ips-trace` | request-scoped spans, sampling, exporters |
 //!
 //! ## Quickstart
 //!
@@ -35,6 +36,7 @@ pub use ips_core as core;
 pub use ips_ingest as ingest;
 pub use ips_kv as kv;
 pub use ips_metrics as metrics;
+pub use ips_trace as trace;
 pub use ips_types as types;
 
 /// The most commonly used items in one import.

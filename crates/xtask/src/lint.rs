@@ -1,6 +1,6 @@
 //! The source-level lint pass behind `cargo run -p xtask -- check`.
 //!
-//! Four repo-specific rules that clippy cannot express:
+//! Five repo-specific rules that clippy cannot express:
 //!
 //! * `unwrap` — no `.unwrap()` / `.expect(` in non-test code of the serving
 //!   crates; a panic in the serving path takes down every scenario sharing
@@ -14,6 +14,12 @@
 //! * `sleep-in-test` — no `thread::sleep` in test code; tests drive time
 //!   through the fault-injection sim clock (`ips_types::clock`) so they stay
 //!   deterministic and fast.
+//! * `wall-clock` — no `Instant::now()` / `SystemTime::now()` in serving
+//!   non-test code: all timestamps must come from the injected
+//!   `ips_types::Clock` (logical time) or `ips_types::clock::monotonic_micros`
+//!   (span durations), so scenarios stay reproducible under the sim clock.
+//!   The sim-clock plumbing in `ips-types` is the one place allowed to touch
+//!   the real clock.
 //!
 //! Any rule can be waived on a specific line with an annotation carrying a
 //! mandatory reason:
@@ -45,6 +51,7 @@ pub const SERVING_CRATES: &[&str] = &[
     "ips-cluster",
     "ips-codec",
     "ips-ingest",
+    "ips-trace",
 ];
 
 /// Method-call fragments that put bytes on the wire (or hand work to the
@@ -301,6 +308,24 @@ pub fn lint_file(rel: &str, src: &str, kind: FileKind) -> Vec<Violation> {
                 .retain(|g| !code.contains(&format!("drop({})", g.name)));
         }
 
+        // ---- rule (e): wall-clock reads in serving non-test code ---------
+        if kind.serving
+            && !in_test
+            && (code.contains("Instant::now(") || code.contains("SystemTime::now("))
+            && !allowed("wall-clock")
+        {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: line_no,
+                rule: "wall-clock",
+                message: "wall-clock read (`Instant::now`/`SystemTime::now`) in serving code"
+                    .into(),
+                hint: "use the injected ips_types::Clock for logical time or \
+                       ips_types::clock::monotonic_micros() for durations, or annotate \
+                       `// lint: allow(wall-clock, reason = \"...\")`",
+            });
+        }
+
         // ---- rule (d): real sleeps in test code --------------------------
         if in_test && code.contains("thread::sleep") && !allowed("sleep-in-test") {
             out.push(Violation {
@@ -410,7 +435,7 @@ fn split_code_comment(raw: &str, in_block: &mut bool) -> (String, String) {
                 *in_block = false;
                 i += 2;
             } else {
-                i += 1;
+                i += utf8_len(bytes[i]);
             }
             continue;
         }
@@ -453,13 +478,30 @@ fn split_code_comment(raw: &str, in_block: &mut bool) -> (String, String) {
                     i += 1;
                 }
             }
-            _ => {
+            _ if c.is_ascii() => {
                 code.push(c);
                 i += 1;
+            }
+            _ => {
+                // Multi-byte char (e.g. an em-dash on a string literal's
+                // continuation line): step over the whole encoding so the
+                // next `&raw[i..]` slice stays on a char boundary.
+                i += utf8_len(bytes[i]);
+                code.push('.');
             }
         }
     }
     (code, comment)
+}
+
+/// Byte length of the UTF-8 encoding that starts with `first`.
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        b if b >= 0xC0 => 2,
+        _ => 1,
+    }
 }
 
 /// Length of a char literal starting at `s` (which begins with `'`), or 0
@@ -634,6 +676,72 @@ mod tests {
     #[test]
     fn sleep_in_non_test_code_is_not_this_rules_business() {
         let src = "fn pump() { std::thread::sleep(interval); }\n";
+        assert!(lint_file("a.rs", src, SERVING).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_in_serving_code_only() {
+        for src in [
+            "fn f() { let t = std::time::Instant::now(); }\n",
+            "fn f() { let t = Instant::now(); }\n",
+            "fn f() { let t = std::time::SystemTime::now(); }\n",
+        ] {
+            assert_eq!(
+                rules(&lint_file("a.rs", src, SERVING)),
+                ["wall-clock"],
+                "{src}"
+            );
+            // Non-serving crates (benches, the sim-clock plumbing in
+            // ips-types) may touch the real clock.
+            assert!(lint_file("a.rs", src, PLAIN).is_empty(), "{src}");
+        }
+        // The blessed primitives do not trip the rule.
+        let ok =
+            "fn f(c: &dyn Clock) { let t = c.monotonic_micros(); let n = monotonic_micros(); }\n";
+        assert!(lint_file("a.rs", ok, SERVING).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_in_test_code_is_exempt() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { let deadline = std::time::Instant::now(); }\n\
+                   }\n";
+        assert!(lint_file("a.rs", src, SERVING).is_empty());
+        let src2 = "fn t() { let t = std::time::SystemTime::now(); }\n";
+        assert!(lint_file("t.rs", src2, TEST_FILE).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_allow_annotation_waives() {
+        let src = "fn f() { let t = Instant::now(); } \
+                   // lint: allow(wall-clock, reason = \"startup anchor, never read again\")\n";
+        assert!(lint_file("a.rs", src, SERVING).is_empty());
+    }
+
+    #[test]
+    fn ips_trace_is_a_serving_crate() {
+        assert_eq!(
+            classify("crates/ips-trace/src/lib.rs"),
+            FileKind {
+                serving: true,
+                test_file: false
+            }
+        );
+    }
+
+    #[test]
+    fn non_ascii_source_lines_do_not_panic_the_scanner() {
+        // A multi-line string literal leaves its continuation lines looking
+        // like bare code to the line-based scanner; multi-byte chars (the
+        // em-dash) must not land the byte cursor mid-encoding.
+        let src = "fn f() {\n\
+                   println!(\n\
+                   \"first line \\\n\
+                    — load it in chrome://tracing\",\n\
+                   );\n\
+                   /* block — comment */\n\
+                   }\n";
         assert!(lint_file("a.rs", src, SERVING).is_empty());
     }
 

@@ -8,6 +8,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use ips::prelude::*;
+use ips::trace::{export::chrome_trace_json, SamplerConfig, Tracer};
 
 fn main() -> Result<()> {
     // A simulated clock so "ten days ago" is explicit and reproducible.
@@ -17,6 +18,9 @@ fn main() -> Result<()> {
 
     // One IPS instance with a private in-memory KV store behind it.
     let instance = IpsInstance::new_in_memory(IpsInstanceOptions::default(), clock.clone());
+    // Trace everything this example does (see DESIGN.md §7).
+    let tracer = Tracer::new(clock.clone(), SamplerConfig::always());
+    instance.set_tracer(Some(tracer.clone()));
     let table = TableId::new(1);
     let mut config = TableConfig::new("user_profile_table");
     config.attributes = 3; // [likes, comments, shares]
@@ -62,7 +66,11 @@ fn main() -> Result<()> {
     let query = ProfileQuery::top_k(table, alice, sports, TimeRange::last_days(10), 1)
         .with_action(basketball)
         .with_sort(SortKey::Attribute(0), SortOrder::Descending);
+    // Everything under this guard (cache probe, store load, compute) lands
+    // in one span tree rooted at `quickstart_query`.
+    let root = tracer.root_span("quickstart_query", caller.raw());
     let result = instance.query(caller, &query)?;
+    drop(root);
 
     let favourite = result.entries.first().expect("Alice has basketball data");
     println!("Alice's favourite basketball team over the last 10 days:");
@@ -110,6 +118,15 @@ fn main() -> Result<()> {
         );
     }
     assert_eq!(decayed.entries[0].feature, warriors);
+
+    // Dump the collected spans as a chrome://tracing / Perfetto trace.
+    let spans = tracer.drain();
+    std::fs::write("quickstart_trace.json", chrome_trace_json(&spans))
+        .map_err(|e| IpsError::Storage(e.to_string()))?;
+    println!(
+        "wrote quickstart_trace.json ({} spans) — open it at https://ui.perfetto.dev",
+        spans.len()
+    );
 
     println!("quickstart: OK");
     Ok(())
