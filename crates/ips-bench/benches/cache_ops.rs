@@ -10,7 +10,7 @@ use ips_core::persist::ProfilePersister;
 use ips_kv::{KvNode, KvNodeConfig};
 use ips_types::{
     ActionTypeId, AggregateFunction, CacheConfig, CountVector, DurationMs, FeatureId,
-    PersistenceMode, ProfileId, SlotId, TableId, Timestamp,
+    PersistenceMode, ProfileId, SlotId, SystemClock, TableId, Timestamp,
 };
 
 fn cache(shards: usize, budget: usize) -> GCache<Arc<KvNode>> {
@@ -29,6 +29,7 @@ fn cache(shards: usize, budget: usize) -> GCache<Arc<KvNode>> {
             flush_threads: 2,
             ..Default::default()
         },
+        Arc::new(SystemClock),
     )
     .unwrap()
 }

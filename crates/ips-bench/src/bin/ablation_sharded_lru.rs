@@ -18,7 +18,7 @@ use ips_kv::{KvNode, KvNodeConfig};
 use ips_metrics::Histogram;
 use ips_types::{
     ActionTypeId, AggregateFunction, CacheConfig, CountVector, DurationMs, FeatureId,
-    PersistenceMode, ProfileId, SlotId, TableId, Timestamp,
+    PersistenceMode, ProfileId, SlotId, SystemClock, TableId, Timestamp,
 };
 
 fn run(shards: usize, threads: usize) -> (ips_metrics::HistogramSnapshot, u64, u64) {
@@ -41,7 +41,9 @@ fn run(shards: usize, threads: usize) -> (ips_metrics::HistogramSnapshot, u64, u
                 swap_low_watermark: 0.80,
                 flush_interval: DurationMs::from_millis(1),
                 swap_interval: DurationMs::from_millis(1),
+                stale_pool_entries: 0,
             },
+            Arc::new(SystemClock),
         )
         .unwrap(),
     );

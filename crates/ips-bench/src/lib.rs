@@ -31,7 +31,9 @@ use ips_core::server::IpsInstanceOptions;
 use ips_kv::KvLatencyModel;
 use ips_metrics::HistogramSnapshot;
 use ips_types::clock::sim_clock;
-use ips_types::{DurationMs, QuotaConfig, SimClock, TableConfig, TableId, Timestamp};
+use ips_types::{
+    DegradedServingConfig, DurationMs, QuotaConfig, SimClock, TableConfig, TableId, Timestamp,
+};
 
 /// The table id every harness uses.
 pub const TABLE: TableId = TableId(1);
@@ -52,6 +54,8 @@ pub struct TestbedOptions {
     pub storage: KvLatencyModel,
     pub table: TableConfig,
     pub quota: QuotaConfig,
+    /// Server-side degraded (stale) serving policy.
+    pub degraded: DegradedServingConfig,
 }
 
 impl Default for TestbedOptions {
@@ -68,6 +72,7 @@ impl Default for TestbedOptions {
                 qps_limit: u64::MAX / 2,
                 burst_factor: 1.0,
             },
+            degraded: DegradedServingConfig::default(),
         }
     }
 }
@@ -88,6 +93,7 @@ pub fn testbed(options: TestbedOptions) -> Testbed {
             tables: vec![(TABLE, options.table)],
             instance_options: IpsInstanceOptions {
                 default_quota: options.quota,
+                degraded: options.degraded,
                 ..Default::default()
             },
             ..Default::default()

@@ -12,12 +12,12 @@
 //! * instance lists come from discovery and are **refreshed periodically**,
 //!   so routing reacts to registrations/expiries within one refresh.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use ips_core::query::{ProfileQuery, QueryResult};
 use ips_kv::KvLatencyModel;
@@ -25,13 +25,14 @@ use ips_metrics::Counter;
 use ips_trace::Tracer;
 use ips_types::clock::monotonic_micros;
 use ips_types::{
-    ActionTypeId, CallerId, CountVector, FeatureId, IpsError, ProfileId, Result, SlotId, TableId,
-    Timestamp,
+    ActionTypeId, CallerId, CircuitBreakerConfig, CountVector, Deadline, DurationMs, FeatureId,
+    IpsError, ProfileId, Result, RetryPolicy, SlotId, TableId, Timestamp,
 };
 
 use crate::discovery::Discovery;
+use crate::health::HealthRegistry;
 use crate::ring::HashRing;
-use crate::rpc::{ProfileWrite, RpcEndpoint, RpcRequest, RpcResponse, WireCost};
+use crate::rpc::{CallOptions, ProfileWrite, RpcEndpoint, RpcRequest, RpcResponse, WireCost};
 
 /// Modeled + measured components of one request's latency.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -93,6 +94,12 @@ pub struct ClientStats {
     pub successes: u64,
     pub failures: u64,
     pub retries: u64,
+    /// Hedged second reads fired (tail-latency trimming). Hedges are
+    /// accounted separately: they never inflate `attempts` or `failures`,
+    /// so the Fig 17 error rate is per logical request.
+    pub hedges: u64,
+    /// Results served degraded (stale) instead of failing.
+    pub degraded: u64,
 }
 
 /// The unified client.
@@ -107,8 +114,15 @@ pub struct IpsClusterClient {
     storage_rng: parking_lot::Mutex<SmallRng>,
     /// Failover candidates tried per region before giving up on it.
     max_candidates: usize,
-    /// Total attempts allowed per request before the deadline expires.
-    attempt_budget: usize,
+    /// Retry/hedge policy: attempt budget, modeled backoff, hedge quantile.
+    policy: RwLock<RetryPolicy>,
+    /// Default deadline budget stamped on every request (None = unbounded).
+    request_deadline: RwLock<Option<DurationMs>>,
+    /// Degraded-serving opt-in: the staleness bound stamped on read
+    /// requests (None = fail hard on storage errors).
+    degraded_reads: RwLock<Option<DurationMs>>,
+    /// Per-endpoint breaker + latency health, keyed by endpoint name.
+    health: HealthRegistry,
     /// Optional tracer: when set, every request opens a root span and the
     /// span context rides the wire to the servers (§Table II decomposition).
     tracer: RwLock<Option<Arc<Tracer>>>,
@@ -116,6 +130,8 @@ pub struct IpsClusterClient {
     pub successes: Counter,
     pub failures: Counter,
     pub retries: Counter,
+    pub hedges: Counter,
+    pub degraded: Counter,
 }
 
 impl IpsClusterClient {
@@ -136,12 +152,17 @@ impl IpsClusterClient {
             storage_model,
             storage_rng: parking_lot::Mutex::new(SmallRng::seed_from_u64(0xC11E47)),
             max_candidates: 3,
-            attempt_budget: usize::MAX,
+            policy: RwLock::new(RetryPolicy::default()),
+            request_deadline: RwLock::new(None),
+            degraded_reads: RwLock::new(None),
+            health: HealthRegistry::new(CircuitBreakerConfig::default()),
             tracer: RwLock::new(None),
             attempts: Counter::new(),
             successes: Counter::new(),
             failures: Counter::new(),
             retries: Counter::new(),
+            hedges: Counter::new(),
+            degraded: Counter::new(),
         }
     }
 
@@ -149,8 +170,45 @@ impl IpsClusterClient {
     /// request deadline: a client that has burned its latency budget on
     /// dead nodes fails the request even though more replicas exist. Fig
     /// 17's residual error rate lives exactly in this window.
-    pub fn set_attempt_budget(&mut self, n: usize) {
-        self.attempt_budget = n.max(1);
+    pub fn set_attempt_budget(&self, n: usize) {
+        self.policy.write().attempts = n.max(1);
+    }
+
+    /// Replace the whole retry/hedge policy.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.policy.write() = policy;
+    }
+
+    /// The current retry/hedge policy.
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.policy.read()
+    }
+
+    /// Set (or clear) the per-request deadline budget. Every request is
+    /// stamped with the remaining budget; the client charges real elapsed
+    /// time plus modeled wire and backoff time across failover rounds, and
+    /// servers shed work whose budget expired in transit or in queue.
+    pub fn set_request_deadline(&self, budget: Option<DurationMs>) {
+        *self.request_deadline.write() = budget;
+    }
+
+    /// Opt reads in (or out) of degraded serving: when set, servers may
+    /// answer from retained stale data no older than this bound instead of
+    /// failing on storage errors.
+    pub fn set_degraded_reads(&self, max_staleness: Option<DurationMs>) {
+        *self.degraded_reads.write() = max_staleness;
+    }
+
+    /// Replace the circuit-breaker config (resets all endpoint health).
+    pub fn set_breaker_config(&self, config: CircuitBreakerConfig) {
+        self.health.set_config(config);
+    }
+
+    /// Per-endpoint health registry (breaker state, EWMA, hedge history).
+    #[must_use]
+    pub fn health(&self) -> &HealthRegistry {
+        &self.health
     }
 
     /// Install (or clear) the tracer that samples this client's requests.
@@ -182,17 +240,23 @@ impl IpsClusterClient {
         }
     }
 
-    /// Refresh instance lists from discovery and rebuild per-region rings.
+    /// Refresh instance lists from discovery, rebuild per-region rings,
+    /// and prune health records for endpoints that left the fleet (a
+    /// scaled-in instance's breaker state must not leak onto a future
+    /// namesake).
     pub fn refresh(&self) {
         let healthy = self.discovery.healthy();
         let mut rings: HashMap<String, HashRing> = HashMap::new();
+        let mut names: HashSet<String> = HashSet::new();
         for reg in healthy {
+            names.insert(reg.name.clone());
             rings
                 .entry(reg.region.clone())
                 .or_insert_with(|| HashRing::new(128))
                 .add(&reg.name);
         }
         *self.rings.write() = rings;
+        self.health.retain(|name| names.contains(name));
     }
 
     #[must_use]
@@ -221,6 +285,59 @@ impl IpsClusterClient {
         names.iter().filter_map(|n| eps.get(n).cloned()).collect()
     }
 
+    /// One attempt against one endpoint, with trace span and health
+    /// bookkeeping: success feeds the endpoint's EWMA/histogram and closes
+    /// its breaker, a retryable failure feeds the failure streak. Terminal
+    /// errors (quota, invalid request, deadline) say nothing about endpoint
+    /// health and leave the breaker alone.
+    fn attempt_once(
+        &self,
+        ep: &Arc<RpcEndpoint>,
+        request: &RpcRequest,
+        opts: &CallOptions,
+    ) -> (Result<RpcResponse>, WireCost) {
+        let health = self.health.for_endpoint(ep.name());
+        let started_us = monotonic_micros();
+        let mut attempt = ips_trace::child("attempt");
+        attempt.set_attr("endpoint", ep.name());
+        attempt.set_attr("region", ep.region());
+        let ctx = attempt.context();
+        let (result, cost) = ep.call_with_options(request, ctx.as_ref(), opts);
+        match &result {
+            Ok(_) => {
+                // Observed latency = real in-process time + modeled wire.
+                let elapsed = monotonic_micros().saturating_sub(started_us);
+                health.on_success(elapsed + cost.total_us());
+            }
+            Err(e) => {
+                attempt.set_error(e.to_string());
+                if e.is_retryable() {
+                    health.on_failure(monotonic_micros());
+                }
+            }
+        }
+        (result, cost)
+    }
+
+    /// Modeled exponential backoff before retry number `tries` (1-based),
+    /// with multiplicative jitter. Charged against the deadline and the
+    /// trace, never slept.
+    fn modeled_backoff_us(&self, policy: &RetryPolicy, tries: usize) -> u64 {
+        let base_us = policy.base_backoff.as_millis().saturating_mul(1_000);
+        if base_us == 0 {
+            return 0;
+        }
+        let expo = base_us.saturating_mul(1 << (tries - 1).min(6));
+        if policy.jitter <= 0.0 {
+            return expo;
+        }
+        let factor = {
+            let mut rng = self.storage_rng.lock();
+            rng.gen_range((1.0 - policy.jitter)..=(1.0 + policy.jitter))
+        };
+        (expo as f64 * factor).round() as u64
+    }
+
     fn call_with_failover(
         &self,
         pid: ProfileId,
@@ -228,6 +345,21 @@ impl IpsClusterClient {
         regions: &[String],
     ) -> Result<(RpcResponse, u64)> {
         self.attempts.inc();
+        let policy = self.retry_policy();
+        // The deadline decrements across failover rounds: real elapsed time
+        // is tracked by the armed anchor, modeled time (wire transit,
+        // backoff) accumulates in `modeled_us` and is charged explicitly.
+        let armed = self
+            .request_deadline
+            .read()
+            .map(|d| Deadline::from_budget(d).arm());
+        let degraded = *self.degraded_reads.read();
+        let mut modeled_us = 0u64;
+        let remaining = |modeled_us: u64| -> Option<Deadline> {
+            armed
+                .as_ref()
+                .map(|a| a.remaining().saturating_sub_us(modeled_us))
+        };
         let mut last_err = IpsError::Unavailable("no healthy instance".into());
         let mut tries = 0usize;
         // Wire cost accumulates across EVERY attempt, including failed ones
@@ -238,47 +370,86 @@ impl IpsClusterClient {
         // allows more attempts than candidates exist (e.g. a lone surviving
         // node hit by a transient loss), loop back and retry the same nodes
         // — production clients retry on timeout until the deadline.
-        'deadline: while tries < self.attempt_budget {
+        'deadline: while tries < policy.attempts {
             let mut attempted_any = false;
+            // Breaker-blocked candidates this sweep; demoted to the end of
+            // the walk rather than excluded (routing fails open — a breaker
+            // may only slow recovery, never cause an outage by itself).
+            let mut blocked: Vec<Arc<RpcEndpoint>> = Vec::new();
+            let mut sweep: Vec<Arc<RpcEndpoint>> = Vec::new();
             for region in regions {
-                for ep in self.candidates_in_region(region, pid) {
-                    if tries >= self.attempt_budget {
-                        break 'deadline; // request deadline exhausted
+                sweep.extend(self.candidates_in_region(region, pid));
+            }
+            if sweep.is_empty() {
+                break; // no candidates at all: fail immediately
+            }
+            let mut admitted: Vec<Arc<RpcEndpoint>> = Vec::new();
+            for ep in sweep {
+                if self
+                    .health
+                    .for_endpoint(ep.name())
+                    .try_admit(monotonic_micros())
+                {
+                    admitted.push(ep);
+                } else {
+                    blocked.push(ep);
+                }
+            }
+            if admitted.is_empty() && !blocked.is_empty() {
+                let mut span = ips_trace::child("breaker_fail_open");
+                span.set_attr("blocked", blocked.len().to_string());
+            }
+            // Blocked endpoints are demoted to the end of the sweep, not
+            // excluded from it: when every admitted candidate fails, the
+            // walk continues into the blocked ones. A breaker may reorder
+            // the walk but never shrink it — otherwise a stale open breaker
+            // could turn a single crashed node into a client-visible outage.
+            admitted.append(&mut blocked);
+            for ep in admitted {
+                if tries >= policy.attempts {
+                    break 'deadline; // attempt budget exhausted
+                }
+                if remaining(modeled_us).is_some_and(Deadline::is_expired) {
+                    last_err = IpsError::DeadlineExceeded;
+                    break 'deadline; // latency budget exhausted: shed
+                }
+                attempted_any = true;
+                if tries > 0 {
+                    self.retries.inc();
+                    let backoff_us = self.modeled_backoff_us(&policy, tries);
+                    if backoff_us > 0 {
+                        ips_trace::record_modeled("backoff", backoff_us);
+                        modeled_us += backoff_us;
                     }
-                    attempted_any = true;
-                    if tries > 0 {
-                        self.retries.inc();
+                }
+                tries += 1;
+                let opts = CallOptions {
+                    deadline: remaining(modeled_us),
+                    degraded,
+                };
+                let (result, cost) = self.attempt_once(&ep, request, &opts);
+                wire.accumulate(cost);
+                modeled_us += cost.total_us();
+                match result {
+                    Ok(response) => {
+                        self.successes.inc();
+                        return Ok((response, wire.total_us()));
                     }
-                    tries += 1;
-                    let mut attempt = ips_trace::child("attempt");
-                    attempt.set_attr("endpoint", ep.name());
-                    attempt.set_attr("region", ep.region());
-                    let ctx = attempt.context();
-                    let (result, cost) = ep.call_traced(request, ctx.as_ref());
-                    wire.accumulate(cost);
-                    match result {
-                        Ok(response) => {
-                            self.successes.inc();
-                            return Ok((response, wire.total_us()));
-                        }
-                        Err(e) if e.is_retryable() => {
-                            attempt.set_error(e.to_string());
-                            last_err = e;
-                        }
-                        Err(e) => {
-                            // Terminal (quota, invalid request): do not mask
-                            // it by retrying elsewhere.
-                            attempt.set_error(e.to_string());
-                            self.failures.inc();
-                            return Err(e);
-                        }
+                    Err(e) if e.is_retryable() => {
+                        last_err = e;
+                    }
+                    Err(e) => {
+                        // Terminal (quota, invalid request, deadline): do
+                        // not mask it by retrying elsewhere.
+                        self.failures.inc();
+                        return Err(e);
                     }
                 }
             }
             if !attempted_any {
-                break; // no candidates at all: fail immediately
+                break; // every admitted candidate was skipped: give up
             }
-            if self.attempt_budget == usize::MAX {
+            if policy.attempts == usize::MAX {
                 break; // unbounded budget: one full sweep is the contract
             }
         }
@@ -462,6 +633,12 @@ impl IpsClusterClient {
             )));
         }
         let ambient = ips_trace::current();
+        // Writes carry the deadline too (an expired write is not applied),
+        // but never the degraded opt-in and never hedges.
+        let opts = CallOptions {
+            deadline: self.request_deadline.read().map(Deadline::from_budget),
+            degraded: None,
+        };
         let outcomes: Vec<(Vec<ProfileWrite>, Result<u64>)> = std::thread::scope(|s| {
             let handles: Vec<_> = groups
                 .into_values()
@@ -474,14 +651,7 @@ impl IpsClusterClient {
                             caller,
                             writes: group.clone(),
                         };
-                        let mut attempt = ips_trace::child("attempt");
-                        attempt.set_attr("endpoint", ep.name());
-                        attempt.set_attr("region", ep.region());
-                        let ctx = attempt.context();
-                        let (result, cost) = ep.call_traced(&request, ctx.as_ref());
-                        if let Err(e) = &result {
-                            attempt.set_error(e.to_string());
-                        }
+                        let (result, cost) = self.attempt_once(&ep, &request, &opts);
                         let out = result.map(|_| cost.total_us());
                         if out.is_ok() {
                             self.successes.inc();
@@ -588,6 +758,10 @@ impl IpsClusterClient {
             return Err(e);
         };
         root.set_attr("cache_hit", if result.cache_hit { "true" } else { "false" });
+        if result.degraded {
+            self.degraded.inc();
+            root.set_attr(ips_trace::attrs::DEGRADED, "true");
+        }
         let storage_us = if result.cache_hit {
             0
         } else {
@@ -597,9 +771,94 @@ impl IpsClusterClient {
             ips_trace::record_modeled("kv_fetch", us);
             us
         };
-        Ok((
-            result,
-            LatencyBreakdown::from_call(elapsed_us, network_us, storage_us),
+        let breakdown = LatencyBreakdown::from_call(elapsed_us, network_us, storage_us);
+        // Hedged second read: if this (single-profile) query came back
+        // slower than the primary target's historical quantile, model the
+        // duplicate request a production client would have fired at that
+        // threshold and keep whichever completion wins. Hedges never fire
+        // for writes or batches, and never count into attempts/failures.
+        if let Some((hedge_result, hedge_breakdown)) =
+            self.maybe_hedge(query, &request, &regions, &breakdown, &mut root)
+        {
+            return Ok((hedge_result, hedge_breakdown));
+        }
+        Ok((result, breakdown))
+    }
+
+    /// Fire a modeled hedge read when the primary was slow. Returns the
+    /// hedge's result only when it beats the primary completion.
+    fn maybe_hedge(
+        &self,
+        query: &ProfileQuery,
+        request: &RpcRequest,
+        regions: &[String],
+        primary: &LatencyBreakdown,
+        root: &mut ips_trace::Span,
+    ) -> Option<(QueryResult, LatencyBreakdown)> {
+        let policy = self.retry_policy();
+        if policy.hedge_quantile <= 0.0 {
+            return None;
+        }
+        // The hedge target is the primary's first failover sibling: a
+        // *different* replica, or hedging buys nothing.
+        let walk: Vec<Arc<RpcEndpoint>> = regions
+            .iter()
+            .flat_map(|r| self.candidates_in_region(r, query.profile))
+            .collect();
+        let (first, rest) = walk.split_first()?;
+        let target = rest.iter().find(|ep| ep.name() != first.name())?;
+        let threshold_us = self
+            .health
+            .for_endpoint(first.name())
+            .hedge_threshold_us(policy.hedge_quantile)?;
+        if primary.total_us() <= threshold_us {
+            return None;
+        }
+        self.hedges.inc();
+        root.set_attr(ips_trace::attrs::HEDGED, "true");
+        let mut span = ips_trace::child("hedge");
+        span.set_attr("endpoint", target.name());
+        span.set_attr("threshold_us", threshold_us.to_string());
+        let degraded = *self.degraded_reads.read();
+        let opts = CallOptions {
+            deadline: self
+                .request_deadline
+                .read()
+                .map(|d| Deadline::from_budget(d).saturating_sub_us(threshold_us)),
+            degraded,
+        };
+        let started_us = monotonic_micros();
+        let (result, cost) = self.attempt_once(target, request, &opts);
+        let hedge_elapsed = monotonic_micros().saturating_sub(started_us);
+        let RpcResponse::Query(hedge_result) = result.ok()? else {
+            return None;
+        };
+        let storage_us = if hedge_result.cache_hit {
+            0
+        } else {
+            let mut rng = self.storage_rng.lock();
+            let us = self.storage_model.sample_us(32 << 10, &mut rng);
+            ips_trace::record_modeled("kv_fetch", us);
+            us
+        };
+        // The hedge fired at the threshold, so its completion time is the
+        // wait plus its own round-trip; the primary keeps its own clock.
+        // Winner = min completion.
+        let hedge_total = threshold_us + hedge_elapsed + cost.total_us() + storage_us;
+        if hedge_total >= primary.total_us() {
+            return None;
+        }
+        span.set_attr("won", "true");
+        if hedge_result.degraded {
+            self.degraded.inc();
+        }
+        Some((
+            hedge_result,
+            LatencyBreakdown::from_call(
+                threshold_us + hedge_elapsed + cost.total_us(),
+                cost.total_us(),
+                storage_us,
+            ),
         ))
     }
 
@@ -625,6 +884,14 @@ impl IpsClusterClient {
         let mut root = self.root_span("query_batch", caller);
         root.set_attr("queries", queries.len().to_string());
         let started_us = monotonic_micros();
+        // Deadline and degraded opt-in ride every frame; modeled time (wire
+        // per round) accumulates against the budget between rounds.
+        let armed = self
+            .request_deadline
+            .read()
+            .map(|d| Deadline::from_budget(d).arm());
+        let degraded_opt = *self.degraded_reads.read();
+        let mut modeled_us = 0u64;
         let dispatch = ips_trace::child("client_dispatch");
         // Home region first, then the rest.
         let mut regions = vec![self.home_region.clone()];
@@ -635,7 +902,7 @@ impl IpsClusterClient {
         }
         // Each sub-query's ordered failover walk: owner then in-region
         // failover candidates, home region before remote regions.
-        let candidates: Vec<Vec<Arc<RpcEndpoint>>> = queries
+        let mut candidates: Vec<Vec<Arc<RpcEndpoint>>> = queries
             .iter()
             .map(|q| {
                 let mut c = Vec::new();
@@ -645,6 +912,9 @@ impl IpsClusterClient {
                 c
             })
             .collect();
+        // Breaker demotions (below) append to a sub-query's walk; the walk
+        // may grow to at most twice this snapshot.
+        let original_len: Vec<usize> = candidates.iter().map(Vec::len).collect();
         drop(dispatch);
         let max_rounds = candidates.iter().map(Vec::len).max().unwrap_or(0);
         if max_rounds == 0 {
@@ -661,26 +931,59 @@ impl IpsClusterClient {
         let mut last_err = IpsError::Unavailable("no healthy instance".into());
         let mut network_us = 0u64;
 
-        for round in 0..max_rounds {
+        let mut round = 0;
+        while round < candidates.iter().map(Vec::len).max().unwrap_or(0) {
             if pending.is_empty() {
                 break;
             }
+            // Client-side shed: a batch whose budget ran out between rounds
+            // stops fanning out work nobody is waiting for.
+            if armed
+                .as_ref()
+                .is_some_and(|a| a.remaining().saturating_sub_us(modeled_us).is_expired())
+            {
+                last_err = IpsError::DeadlineExceeded;
+                break;
+            }
             // Group this round's pending sub-queries by target endpoint.
+            // Breaker-blocked endpoints are demoted, not excluded: the
+            // blocked candidate moves to the end of the sub-query's walk
+            // (once — demoted copies are attempted regardless), so a
+            // breaker may reorder the walk but never shrink it to nothing.
             let mut groups: HashMap<String, (Arc<RpcEndpoint>, Vec<usize>)> = HashMap::new();
+            let mut deferred: Vec<usize> = Vec::new();
             for &i in &pending {
-                if let Some(ep) = candidates[i].get(round) {
+                if let Some(ep) = candidates[i].get(round).cloned() {
+                    let has_later = candidates[i].len() > round + 1;
+                    if has_later
+                        && round < original_len[i]
+                        && !self
+                            .health
+                            .for_endpoint(ep.name())
+                            .try_admit(monotonic_micros())
+                    {
+                        candidates[i].push(ep);
+                        deferred.push(i);
+                        continue;
+                    }
                     groups
                         .entry(ep.name().to_string())
-                        .or_insert_with(|| (Arc::clone(ep), Vec::new()))
+                        .or_insert_with(|| (Arc::clone(&ep), Vec::new()))
                         .1
                         .push(i);
                 }
                 // Sub-queries whose walk is exhausted simply stay pending
                 // and pick up `last_err` after the loop.
             }
-            if groups.is_empty() {
+            if groups.is_empty() && deferred.is_empty() {
                 break;
             }
+            let opts = CallOptions {
+                deadline: armed
+                    .as_ref()
+                    .map(|a| a.remaining().saturating_sub_us(modeled_us)),
+                degraded: degraded_opt,
+            };
             // One frame per endpoint, dispatched concurrently: within a
             // round the batch pays for the slowest frame only.
             let ambient = ips_trace::current();
@@ -700,14 +1003,7 @@ impl IpsClusterClient {
                                 caller,
                                 queries: idxs.iter().map(|&i| queries[i].clone()).collect(),
                             };
-                            let mut attempt = ips_trace::child("attempt");
-                            attempt.set_attr("endpoint", ep.name());
-                            attempt.set_attr("region", ep.region());
-                            let ctx = attempt.context();
-                            let (result, cost) = ep.call_traced(&request, ctx.as_ref());
-                            if let Err(e) = &result {
-                                attempt.set_error(e.to_string());
-                            }
+                            let (result, cost) = self.attempt_once(&ep, &request, &opts);
                             (idxs, result, cost)
                         })
                     })
@@ -725,6 +1021,7 @@ impl IpsClusterClient {
                 .copied()
                 .filter(|&i| candidates[i].get(round).is_none())
                 .collect();
+            next_pending.extend(deferred);
             for (idxs, out, cost) in outcomes {
                 // Failed frames paid wire time too: within the concurrent
                 // round the batch still waits on the slowest frame, lost or
@@ -766,9 +1063,11 @@ impl IpsClusterClient {
                 }
             }
             network_us += round_net;
+            modeled_us += round_net;
             next_pending.sort_unstable();
             next_pending.dedup();
             pending = next_pending;
+            round += 1;
         }
         for i in pending {
             self.failures.inc();
@@ -779,6 +1078,11 @@ impl IpsClusterClient {
             .into_iter()
             .map(|s| s.unwrap_or_else(|| Err(IpsError::Unavailable("unrouted sub-query".into()))))
             .collect();
+        for r in results.iter().flatten() {
+            if r.degraded {
+                self.degraded.inc();
+            }
+        }
         // Misses fetch from the persistent store server-side, concurrently
         // within the batch: model the slowest fetch.
         let mut storage_us = 0u64;
@@ -814,6 +1118,8 @@ impl IpsClusterClient {
             successes: self.successes.get(),
             failures: self.failures.get(),
             retries: self.retries.get(),
+            hedges: self.hedges.get(),
+            degraded: self.degraded.get(),
         }
     }
 
@@ -1129,6 +1435,149 @@ mod tests {
                 assert!(found, "profile {pid} missing from region {}", region.name);
             }
         }
+    }
+
+    #[test]
+    fn breaker_opens_and_routes_around_dead_endpoint() {
+        let (d, client, ctl) = deployment();
+        write(&client, 7, 1, ctl.now());
+        // Flush so failover siblings can load the profile from the store.
+        let region_a = d.region("region-a").unwrap();
+        for ep in &region_a.endpoints {
+            ep.instance().flush_all().unwrap();
+        }
+        client.set_breaker_config(CircuitBreakerConfig {
+            failure_threshold: 2,
+            cooldown: DurationMs::from_secs(60),
+            ewma_alpha: 0.2,
+        });
+        let owner = client.candidates_in_region("region-a", ProfileId::new(7))[0].clone();
+        owner.set_down(true);
+        // Each query pays one failed attempt on the dead owner, then fails
+        // over; the owner's failure streak grows until the breaker opens.
+        client.query(CALLER, &top_k(7)).unwrap();
+        client.query(CALLER, &top_k(7)).unwrap();
+        assert_eq!(
+            client.health().for_endpoint(owner.name()).state(),
+            crate::health::BreakerState::Open
+        );
+        // With the breaker open the dead owner is skipped up front: the
+        // query succeeds on its first attempt, no retry needed.
+        let retries_before = client.stats().retries;
+        let (result, _) = client.query(CALLER, &top_k(7)).unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(
+            client.stats().retries,
+            retries_before,
+            "open breaker must route around the dead owner without a failed first attempt"
+        );
+    }
+
+    #[test]
+    fn routing_fails_open_when_every_breaker_is_blocked() {
+        let (d, client, ctl) = deployment();
+        write(&client, 7, 1, ctl.now());
+        client.set_breaker_config(CircuitBreakerConfig {
+            failure_threshold: 1,
+            cooldown: DurationMs::from_secs(60),
+            ewma_alpha: 0.2,
+        });
+        for region in &d.regions {
+            region.set_down(true);
+        }
+        assert!(client.query(CALLER, &top_k(7)).is_err());
+        for ep in client.candidates_in_region("region-a", ProfileId::new(7)) {
+            assert_eq!(
+                client.health().for_endpoint(ep.name()).state(),
+                crate::health::BreakerState::Open
+            );
+        }
+        // Recovery must not be blackholed: with every candidate blocked,
+        // the client attempts them anyway (fail-open) and succeeds.
+        for region in &d.regions {
+            region.set_down(false);
+        }
+        let (result, _) = client.query(CALLER, &top_k(7)).unwrap();
+        assert_eq!(result.len(), 1);
+    }
+
+    #[test]
+    fn zero_deadline_sheds_client_side() {
+        let (_d, client, ctl) = deployment();
+        write(&client, 7, 1, ctl.now());
+        client.set_request_deadline(Some(DurationMs::ZERO));
+        let err = client.query(CALLER, &top_k(7)).unwrap_err();
+        assert!(matches!(err, IpsError::DeadlineExceeded), "got {err}");
+        assert!(client.stats().failures > 0);
+        // Batch fan-out sheds per sub-query the same way.
+        let outcome = client.query_batch(CALLER, &[top_k(7)]).unwrap();
+        assert!(matches!(
+            outcome.results[0],
+            Err(IpsError::DeadlineExceeded)
+        ));
+        // Clearing the deadline restores service.
+        client.set_request_deadline(None);
+        assert!(client.query(CALLER, &top_k(7)).is_ok());
+    }
+
+    #[test]
+    fn hedge_fires_on_slow_success_and_only_for_single_queries() {
+        // A real network model makes every call slower than the seeded
+        // one-µs hedge threshold, so the hedge fires deterministically.
+        let (clock, ctl) = sim_clock(Timestamp::from_millis(
+            DurationMs::from_days(400).as_millis(),
+        ));
+        let options = MultiRegionOptions {
+            instances_per_region: 3,
+            network: crate::rpc::NetworkModel::production_default(),
+            tables: vec![(TABLE, {
+                let mut c = TableConfig::new("t");
+                c.isolation.enabled = false;
+                c
+            })],
+            ..Default::default()
+        };
+        let d = MultiRegionDeployment::build(options, clock).unwrap();
+        let client =
+            IpsClusterClient::new(Arc::clone(&d.discovery), "region-a", KvLatencyModel::zero());
+        client.add_endpoints(d.all_endpoints());
+        client.refresh();
+        write(&client, 7, 1, ctl.now());
+        // Flush and replicate so the hedge target (a different replica)
+        // holds the profile too — a winning hedge must answer correctly.
+        for ep in d.all_endpoints() {
+            ep.instance()
+                .table(TABLE)
+                .unwrap()
+                .cache
+                .flush_all()
+                .unwrap();
+        }
+        d.pump_replication(1 << 20);
+        client.set_retry_policy(ips_types::RetryPolicy {
+            hedge_quantile: 0.95,
+            ..ips_types::RetryPolicy::default()
+        });
+        // Seed the owner's latency history with one-µs successes, enough
+        // that the p95 stays at 1µs even after the primary attempt records
+        // its own (real, slow) sample before the hedge decision. Reset
+        // health first to drop the write's round-trip sample.
+        client.set_breaker_config(ips_types::CircuitBreakerConfig::default());
+        let owner = client.candidates_in_region("region-a", ProfileId::new(7))[0].clone();
+        let health = client.health().for_endpoint(owner.name());
+        for _ in 0..32 {
+            health.on_success(1);
+        }
+        let (result, _) = client.query(CALLER, &top_k(7)).unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(client.stats().hedges, 1, "slow primary must hedge");
+        // Hedges never fire for writes or batches.
+        write(&client, 8, 1, ctl.now());
+        let outcome = client.query_batch(CALLER, &[top_k(7), top_k(8)]).unwrap();
+        assert!(outcome.all_ok());
+        assert_eq!(client.stats().hedges, 1, "writes and batches never hedge");
+        // Hedges are accounted separately from the error-rate series.
+        assert_eq!(client.stats().failures, 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 pub mod autoscale;
 pub mod client;
 pub mod discovery;
+pub mod health;
 pub mod region;
 pub mod ring;
 pub mod rpc;
@@ -27,6 +28,7 @@ pub mod rpc;
 pub use autoscale::{Autoscaler, AutoscalerConfig, ScaleDecision};
 pub use client::{BatchQueryOutcome, ClientStats, IpsClusterClient, LatencyBreakdown};
 pub use discovery::{Discovery, Registration};
+pub use health::{BreakerState, EndpointHealth, HealthRegistry};
 pub use region::{MultiRegionDeployment, MultiRegionOptions, Region, RegionStore};
 pub use ring::HashRing;
-pub use rpc::{NetworkModel, ProfileWrite, RpcEndpoint, RpcRequest, RpcResponse};
+pub use rpc::{CallOptions, NetworkModel, ProfileWrite, RpcEndpoint, RpcRequest, RpcResponse};

@@ -103,6 +103,16 @@ impl Region {
             replica.set_down(down);
         }
     }
+
+    /// Inject a KV brownout in this region: the local replica (if any)
+    /// starts failing each operation with probability `p`. The persisting
+    /// region has no replica of its own — use
+    /// [`MultiRegionDeployment::set_kv_error_rate`] to brown out the master.
+    pub fn set_kv_error_rate(&self, p: f64) {
+        if let Some(replica) = &self.replica {
+            replica.set_error_rate(p);
+        }
+    }
 }
 
 /// Options for assembling a deployment.
@@ -313,6 +323,17 @@ impl MultiRegionDeployment {
     /// Pump KV replication (move master writes to region replicas).
     pub fn pump_replication(&self, budget: usize) -> usize {
         self.kv.pump(budget)
+    }
+
+    /// Inject a deployment-wide KV brownout: the master node and every
+    /// region replica fail each operation with probability `p`. Cache hits
+    /// keep serving; misses and flushes surface `Storage` errors — the
+    /// degraded-serving scenario of Fig 17.
+    pub fn set_kv_error_rate(&self, p: f64) {
+        self.kv.master().set_error_rate(p);
+        for region in &self.regions {
+            region.set_kv_error_rate(p);
+        }
     }
 }
 

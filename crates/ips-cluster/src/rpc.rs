@@ -21,12 +21,12 @@ use rand::{Rng, SeedableRng};
 
 use ips_codec::wire::{WireReader, WireWriter};
 use ips_core::query::{FeatureEntry, FilterPredicate, ProfileQuery, QueryKind, QueryResult};
-use ips_core::server::IpsInstance;
+use ips_core::server::{IpsInstance, RequestBudget};
 use ips_trace::{SpanContext, SpanId, TraceId};
 use ips_types::config::DecayFunction;
 use ips_types::{
-    ActionTypeId, CallerId, CountVector, DurationMs, FeatureId, IpsError, ProfileId, Result,
-    SlotId, SortKey, SortOrder, TableId, TimeRange, Timestamp,
+    ActionTypeId, CallerId, CountVector, Deadline, DurationMs, FeatureId, IpsError, ProfileId,
+    Result, SlotId, SortKey, SortOrder, TableId, TimeRange, Timestamp,
 };
 
 /// One profile's worth of writes inside an [`RpcRequest::AddBatch`] frame.
@@ -103,6 +103,63 @@ const RESP_QUERY_BATCH: u64 = 3;
 /// and responses. Decoders that predate tracing skip it as an unknown
 /// field, so traced and untraced peers interoperate.
 const TRACE_CTX_FIELD: u32 = 15;
+
+/// Envelope field carrying the optional remaining [`Deadline`] budget on
+/// requests. Like the trace context: absent means unbounded, old decoders
+/// skip it, and frames without one are byte-identical to pre-deadline
+/// encoders.
+const DEADLINE_FIELD: u32 = 16;
+
+/// Envelope field carrying the optional degraded-serving opt-in (the
+/// caller's staleness tolerance, milliseconds) on requests.
+const DEGRADED_FIELD: u32 = 17;
+
+/// Per-call options the client stamps into the request envelope. All fields
+/// default to absent, in which case the encoded frame is byte-identical to
+/// one produced by an options-unaware encoder.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CallOptions {
+    /// Remaining deadline budget at send time (already charged for prior
+    /// attempts and modeled backoff by the client).
+    pub deadline: Option<Deadline>,
+    /// Opt in to degraded serving: the staleness the caller tolerates if
+    /// the server cannot reach the persistent store.
+    pub degraded: Option<DurationMs>,
+}
+
+/// The optional envelope contents decoded alongside a request.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RequestEnvelope {
+    pub trace: Option<SpanContext>,
+    pub deadline: Option<Deadline>,
+    pub degraded: Option<DurationMs>,
+}
+
+fn put_call_options(w: &mut WireWriter, opts: &CallOptions) {
+    if let Some(deadline) = opts.deadline {
+        w.put_message(DEADLINE_FIELD, |dw| {
+            dw.put_u64(1, deadline.budget_us());
+        });
+    }
+    if let Some(staleness) = opts.degraded {
+        w.put_message(DEGRADED_FIELD, |gw| {
+            gw.put_u64(1, staleness.as_millis());
+        });
+    }
+}
+
+fn decode_sub_u64(bytes: &[u8]) -> Result<u64> {
+    let mut value = 0u64;
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            if f == 1 {
+                value = v.as_u64(f)?;
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    Ok(value)
+}
 
 fn put_span_context(w: &mut WireWriter, ctx: &SpanContext) {
     w.put_message(TRACE_CTX_FIELD, |tw| {
@@ -421,6 +478,8 @@ fn encode_error(w: &mut WireWriter, e: &IpsError) {
         IpsError::Rpc(m) => (9, 0, 0, m),
         IpsError::Unavailable(m) => (10, 0, 0, m),
         IpsError::ShuttingDown => (11, 0, 0, ""),
+        IpsError::DeadlineExceeded => (12, 0, 0, ""),
+        IpsError::Overloaded { inflight, limit } => (13, *inflight, *limit, ""),
     };
     w.put_u64(1, tag);
     w.put_u64(2, a);
@@ -463,6 +522,11 @@ fn decode_error(bytes: &[u8]) -> Result<IpsError> {
         9 => IpsError::Rpc(msg),
         10 => IpsError::Unavailable(msg),
         11 => IpsError::ShuttingDown,
+        12 => IpsError::DeadlineExceeded,
+        13 => IpsError::Overloaded {
+            inflight: a,
+            limit: b,
+        },
         other => return Err(IpsError::Codec(format!("bad error tag {other}"))),
     })
 }
@@ -470,6 +534,12 @@ fn decode_error(bytes: &[u8]) -> Result<IpsError> {
 fn encode_query_result(w: &mut WireWriter, result: &QueryResult) {
     w.put_u64(1, result.slices_visited as u64);
     w.put_bool(2, result.cache_hit);
+    // Degraded markers only hit the wire when set: normal results stay
+    // byte-identical to pre-degradation encoders.
+    if result.degraded {
+        w.put_bool(4, true);
+        w.put_u64(5, result.staleness.as_millis());
+    }
     for e in &result.entries {
         w.put_message(3, |ew| {
             ew.put_u64(1, e.feature.raw());
@@ -486,6 +556,8 @@ fn decode_query_result(bytes: &[u8]) -> Result<QueryResult> {
             match f {
                 1 => result.slices_visited = v.as_u64(f)? as usize,
                 2 => result.cache_hit = v.as_bool(f)?,
+                4 => result.degraded = v.as_bool(f)?,
+                5 => result.staleness = DurationMs::from_millis(v.as_u64(f)?),
                 3 => {
                     let mut fid = 0u64;
                     let mut counts = CountVector::empty();
@@ -577,6 +649,14 @@ impl RpcRequest {
     /// envelope when one is supplied.
     #[must_use]
     pub fn encode_traced(&self, trace: Option<&SpanContext>) -> Vec<u8> {
+        self.encode_with(trace, &CallOptions::default())
+    }
+
+    /// Serialize for transport with the full envelope: span context plus
+    /// per-call options (deadline budget, degraded opt-in). With all of
+    /// them absent the bytes are identical to [`RpcRequest::encode`].
+    #[must_use]
+    pub fn encode_with(&self, trace: Option<&SpanContext>, opts: &CallOptions) -> Vec<u8> {
         let mut w = WireWriter::with_capacity(256);
         match self {
             RpcRequest::Add {
@@ -625,17 +705,24 @@ impl RpcRequest {
         if let Some(ctx) = trace {
             put_span_context(&mut w, ctx);
         }
+        put_call_options(&mut w, opts);
         w.into_bytes()
     }
 
     /// Deserialize from transport bytes.
     pub fn decode(bytes: &[u8]) -> Result<Self> {
-        Self::decode_traced(bytes).map(|(req, _)| req)
+        Self::decode_envelope(bytes).map(|(req, _)| req)
     }
 
     /// Deserialize from transport bytes, surfacing the sender's span
     /// context if the envelope carries one.
     pub fn decode_traced(bytes: &[u8]) -> Result<(Self, Option<SpanContext>)> {
+        Self::decode_envelope(bytes).map(|(req, env)| (req, env.trace))
+    }
+
+    /// Deserialize from transport bytes along with the full optional
+    /// envelope (trace context, deadline budget, degraded opt-in).
+    pub fn decode_envelope(bytes: &[u8]) -> Result<(Self, RequestEnvelope)> {
         let mut kind = 0u64;
         let mut caller = 0u64;
         let mut table = 0u64;
@@ -647,7 +734,7 @@ impl RpcRequest {
         let mut query: Option<ProfileQuery> = None;
         let mut queries: Vec<ProfileQuery> = Vec::new();
         let mut writes: Vec<ProfileWrite> = Vec::new();
-        let mut trace_ctx: Option<SpanContext> = None;
+        let mut envelope = RequestEnvelope::default();
 
         WireReader::new(bytes)
             .for_each(|f, v| {
@@ -691,10 +778,20 @@ impl RpcRequest {
                         );
                     }
                     TRACE_CTX_FIELD => {
-                        trace_ctx = Some(
+                        envelope.trace = Some(
                             decode_span_context(v.as_bytes(f)?)
                                 .map_err(|_| ips_codec::wire::WireError::MissingField(f))?,
                         );
+                    }
+                    DEADLINE_FIELD => {
+                        let budget_us = decode_sub_u64(v.as_bytes(f)?)
+                            .map_err(|_| ips_codec::wire::WireError::MissingField(f))?;
+                        envelope.deadline = Some(Deadline::from_budget_us(budget_us));
+                    }
+                    DEGRADED_FIELD => {
+                        let staleness_ms = decode_sub_u64(v.as_bytes(f)?)
+                            .map_err(|_| ips_codec::wire::WireError::MissingField(f))?;
+                        envelope.degraded = Some(DurationMs::from_millis(staleness_ms));
                     }
                     _ => {}
                 }
@@ -726,7 +823,7 @@ impl RpcRequest {
             },
             other => return Err(IpsError::Codec(format!("bad request kind {other}"))),
         };
-        Ok((request, trace_ctx))
+        Ok((request, envelope))
     }
 }
 
@@ -994,8 +1091,21 @@ impl RpcEndpoint {
         request: &RpcRequest,
         ctx: Option<&SpanContext>,
     ) -> (Result<RpcResponse>, WireCost) {
+        self.call_with_options(request, ctx, &CallOptions::default())
+    }
+
+    /// [`RpcEndpoint::call_traced`] with per-call options: the remaining
+    /// deadline budget (armed server-side after subtracting the modeled
+    /// outbound transit, so queue wait and compute decrement it) and the
+    /// degraded-serving opt-in.
+    pub fn call_with_options(
+        &self,
+        request: &RpcRequest,
+        ctx: Option<&SpanContext>,
+        opts: &CallOptions,
+    ) -> (Result<RpcResponse>, WireCost) {
         let mut cost = WireCost::default();
-        let result = self.call_inner(request, ctx, &mut cost);
+        let result = self.call_inner(request, ctx, opts, &mut cost);
         (result, cost)
     }
 
@@ -1003,6 +1113,7 @@ impl RpcEndpoint {
         &self,
         request: &RpcRequest,
         ctx: Option<&SpanContext>,
+        opts: &CallOptions,
         cost: &mut WireCost,
     ) -> Result<RpcResponse> {
         if self.is_down() {
@@ -1010,7 +1121,7 @@ impl RpcEndpoint {
         }
         let request_bytes = {
             let _s = ips_trace::child("serialize");
-            request.encode_traced(ctx)
+            request.encode_with(ctx, opts)
         };
         let outbound = {
             let mut rng = self.rng.lock();
@@ -1027,8 +1138,16 @@ impl RpcEndpoint {
         // context — exactly what a remote process would see. The server
         // decodes the exact bytes the client sent.
         let masked = ips_trace::mask();
-        let (request, wire_ctx) = RpcRequest::decode_traced(&request_bytes)?;
-        let mut server_span = match (self.instance.tracer(), wire_ctx) {
+        let (request, envelope) = RpcRequest::decode_envelope(&request_bytes)?;
+        // Arm the wire budget against this process's monotonic clock, after
+        // charging the modeled outbound transit the frame just "paid".
+        let budget = RequestBudget {
+            deadline: envelope
+                .deadline
+                .map(|d| d.saturating_sub_us(outbound_us).arm()),
+            degraded: envelope.degraded,
+        };
+        let mut server_span = match (self.instance.tracer(), envelope.trace) {
             (Some(tracer), Some(wc)) => {
                 let mut s = tracer.span_with_parent("server", wc);
                 s.set_attr("endpoint", self.name.clone());
@@ -1037,7 +1156,7 @@ impl RpcEndpoint {
             }
             _ => ips_trace::Span::disabled(),
         };
-        let response = match self.execute(request) {
+        let response = match self.execute(request, &budget) {
             Ok(resp) => resp,
             Err(e) => {
                 server_span.set_error(e.to_string());
@@ -1069,7 +1188,9 @@ impl RpcEndpoint {
     }
 
     /// The server-side dispatch table: one instance API per request kind.
-    fn execute(&self, request: RpcRequest) -> Result<RpcResponse> {
+    /// Write paths shed expired-deadline work up front; the query paths
+    /// additionally re-check after queue wait inside the instance.
+    fn execute(&self, request: RpcRequest, budget: &RequestBudget) -> Result<RpcResponse> {
         match request {
             RpcRequest::Add {
                 caller,
@@ -1080,17 +1201,20 @@ impl RpcEndpoint {
                 action,
                 features,
             } => {
+                self.shed_if_expired(budget)?;
                 self.instance
                     .add_profiles(caller, table, profile, at, slot, action, &features)?;
                 Ok(RpcResponse::Ok)
             }
-            RpcRequest::Query { caller, query } => {
-                Ok(RpcResponse::Query(self.instance.query(caller, &query)?))
-            }
+            RpcRequest::Query { caller, query } => Ok(RpcResponse::Query(
+                self.instance.query_with_budget(caller, &query, budget)?,
+            )),
             RpcRequest::QueryBatch { caller, queries } => Ok(RpcResponse::QueryBatch(
-                self.instance.query_batch(caller, &queries)?,
+                self.instance
+                    .query_batch_with_budget(caller, &queries, budget)?,
             )),
             RpcRequest::AddBatch { caller, writes } => {
+                self.shed_if_expired(budget)?;
                 for w in &writes {
                     self.instance.add_profiles(
                         caller,
@@ -1105,6 +1229,18 @@ impl RpcEndpoint {
                 Ok(RpcResponse::Ok)
             }
         }
+    }
+
+    /// Shed write work whose deadline expired in transit: nobody is waiting
+    /// for the acknowledgement, so the mutation is not applied.
+    fn shed_if_expired(&self, budget: &RequestBudget) -> Result<()> {
+        if budget.deadline.is_some_and(|d| d.is_expired()) {
+            let mut span = ips_trace::child("shed");
+            span.set_attr(ips_trace::attrs::SHED, "deadline");
+            self.instance.shed_deadline.inc();
+            return Err(IpsError::DeadlineExceeded);
+        }
+        Ok(())
     }
 }
 
@@ -1253,6 +1389,11 @@ mod tests {
             IpsError::Rpc("down".into()),
             IpsError::Unavailable("none".into()),
             IpsError::ShuttingDown,
+            IpsError::DeadlineExceeded,
+            IpsError::Overloaded {
+                inflight: 512,
+                limit: 256,
+            },
         ];
         let mut subs: Vec<Result<QueryResult>> = errors.into_iter().map(Err).collect();
         subs.push(Ok(QueryResult {
@@ -1263,6 +1404,12 @@ mod tests {
             }],
             slices_visited: 1,
             cache_hit: false,
+            ..Default::default()
+        }));
+        subs.push(Ok(QueryResult {
+            degraded: true,
+            staleness: DurationMs::from_secs(90),
+            ..Default::default()
         }));
         subs.push(Ok(QueryResult::default()));
         let resp = RpcResponse::QueryBatch(subs);
@@ -1339,6 +1486,7 @@ mod tests {
             }],
             slices_visited: 7,
             cache_hit: true,
+            ..Default::default()
         });
         assert_eq!(RpcResponse::decode(&resp.encode()).unwrap(), resp);
         assert_eq!(
@@ -1481,6 +1629,100 @@ mod tests {
             sampled: false,
         };
         assert!(req.encode_traced(Some(&ctx)).len() > req.encode().len());
+    }
+
+    #[test]
+    fn deadline_envelope_round_trips_and_absent_is_byte_identical() {
+        let req = RpcRequest::Query {
+            caller: CallerId::new(1),
+            query: sample_query(),
+        };
+        // No options → byte-identical to the plain encoder: the modeled
+        // network cost (a function of frame size) must not change for
+        // callers that never set a deadline.
+        assert_eq!(req.encode(), req.encode_with(None, &CallOptions::default()));
+
+        let opts = CallOptions {
+            deadline: Some(Deadline::from_budget_us(2_500)),
+            degraded: Some(DurationMs::from_secs(30)),
+        };
+        let bytes = req.encode_with(None, &opts);
+        assert!(bytes.len() > req.encode().len());
+        let (decoded, env) = RpcRequest::decode_envelope(&bytes).unwrap();
+        assert_eq!(decoded, req);
+        assert_eq!(env.deadline, Some(Deadline::from_budget_us(2_500)));
+        assert_eq!(env.degraded, Some(DurationMs::from_secs(30)));
+        assert_eq!(env.trace, None);
+        // An options-unaware decoder skips the fields.
+        assert_eq!(RpcRequest::decode(&bytes).unwrap(), req);
+
+        // Each option also travels alone.
+        let deadline_only = CallOptions {
+            deadline: Some(Deadline::from_budget_us(7)),
+            degraded: None,
+        };
+        let (_, env) = RpcRequest::decode_envelope(&req.encode_with(None, &deadline_only)).unwrap();
+        assert_eq!(env.deadline, Some(Deadline::from_budget_us(7)));
+        assert_eq!(env.degraded, None);
+    }
+
+    #[test]
+    fn degraded_query_result_round_trips() {
+        let resp = RpcResponse::Query(QueryResult {
+            entries: vec![FeatureEntry {
+                feature: FeatureId::new(9),
+                counts: CountVector::single(4),
+                last_seen: Timestamp::from_millis(77),
+            }],
+            slices_visited: 2,
+            cache_hit: false,
+            degraded: true,
+            staleness: DurationMs::from_secs(120),
+        });
+        assert_eq!(RpcResponse::decode(&resp.encode()).unwrap(), resp);
+        // A non-degraded result writes no degraded fields at all.
+        let plain = RpcResponse::Query(QueryResult::default());
+        let decoded = RpcResponse::decode(&plain.encode()).unwrap();
+        let RpcResponse::Query(r) = decoded else {
+            panic!("wrong kind");
+        };
+        assert!(!r.degraded);
+        assert_eq!(r.staleness, DurationMs::ZERO);
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_server_side() {
+        let ep = endpoint(NetworkModel::zero());
+        ep.call(&add_req(7)).unwrap();
+        let shed_opts = CallOptions {
+            deadline: Some(Deadline::from_budget_us(0)),
+            degraded: None,
+        };
+        // Reads are shed before compute...
+        let query = RpcRequest::Query {
+            caller: CallerId::new(1),
+            query: ProfileQuery::top_k(
+                TableId::new(1),
+                ProfileId::new(7),
+                SlotId::new(1),
+                TimeRange::last_days(1),
+                5,
+            ),
+        };
+        let (result, _) = ep.call_with_options(&query, None, &shed_opts);
+        assert!(matches!(result.unwrap_err(), IpsError::DeadlineExceeded));
+        // ...and expired writes are not applied.
+        let (result, _) = ep.call_with_options(&add_req(99), None, &shed_opts);
+        assert!(matches!(result.unwrap_err(), IpsError::DeadlineExceeded));
+        assert_eq!(ep.instance().shed_deadline.get(), 2);
+
+        // A generous budget sails through.
+        let generous = CallOptions {
+            deadline: Some(Deadline::from_budget(DurationMs::from_secs(60))),
+            degraded: None,
+        };
+        let (result, _) = ep.call_with_options(&query, None, &generous);
+        assert!(matches!(result.unwrap(), RpcResponse::Query(r) if r.len() == 1));
     }
 
     #[test]

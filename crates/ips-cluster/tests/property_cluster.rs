@@ -149,6 +149,8 @@ proptest! {
     fn rpc_response_round_trips(
         slices in any::<u16>(),
         hit in any::<bool>(),
+        degraded in any::<bool>(),
+        staleness_ms in any::<u32>(),
         entries in proptest::collection::vec(
             (any::<u64>(), arb_counts(), any::<u64>()),
             0..50,
@@ -165,6 +167,13 @@ proptest! {
                 .collect(),
             slices_visited: slices as usize,
             cache_hit: hit,
+            degraded,
+            // Staleness only rides the wire for degraded results.
+            staleness: if degraded {
+                ips_types::DurationMs::from_millis(staleness_ms as u64)
+            } else {
+                ips_types::DurationMs::ZERO
+            },
         });
         prop_assert_eq!(RpcResponse::decode(&resp.encode()).unwrap(), resp);
     }

@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 use ips_kv::Generation;
 use ips_metrics::counter::HitRatio;
 use ips_metrics::{Counter, Gauge};
-use ips_types::{CacheConfig, IpsError, ProfileId, Result};
+use ips_types::{CacheConfig, DurationMs, IpsError, ProfileId, Result, SharedClock, Timestamp};
 
 use crate::model::ProfileData;
 use crate::persist::{LoadOutcome, ProfilePersister, ProfileStore};
@@ -46,6 +46,22 @@ struct DirtyShard {
     queue: Mutex<(VecDeque<ProfileId>, std::collections::HashSet<ProfileId>)>,
 }
 
+/// An evicted profile's data, retained for stale-bounded degraded serving.
+/// Only clean (already-flushed) data lands here — eviction write-backs run
+/// first — so serving it can never lose writes, only lag them.
+struct StaleEntry {
+    data: ProfileData,
+    evicted_at: Timestamp,
+}
+
+/// FIFO-bounded side pool of evicted profiles (§III-G degradation). Not
+/// accounted against the cache memory budget; bounded by entry count.
+#[derive(Default)]
+struct StalePool {
+    map: HashMap<ProfileId, StaleEntry>,
+    order: VecDeque<ProfileId>,
+}
+
 /// A point-in-time view of cache health (drives Fig 18).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CacheStats {
@@ -59,6 +75,8 @@ pub struct CacheStats {
     pub flushes: u64,
     pub dirty_backlog: usize,
     pub swap_skips: u64,
+    pub stale_pool_entries: usize,
+    pub stale_serves: u64,
 }
 
 /// The write-back compute cache.
@@ -68,16 +86,25 @@ pub struct GCache<S: ProfileStore> {
     persister: Arc<ProfilePersister<S>>,
     config: CacheConfig,
     total_bytes: AtomicU64,
+    /// Evicted-entry side pool for degraded serving; timestamps come from
+    /// `clock` so simulated deployments get deterministic staleness.
+    stale: Mutex<StalePool>,
+    clock: SharedClock,
     pub hit_ratio: HitRatio,
     pub evictions: Counter,
     pub flushes: Counter,
     pub swap_skips: Counter,
+    pub stale_serves: Counter,
     pub dirty_gauge: Gauge,
 }
 
 impl<S: ProfileStore + 'static> GCache<S> {
     /// Build a cache over `persister` with the given sizing/thread policy.
-    pub fn new(persister: Arc<ProfilePersister<S>>, config: CacheConfig) -> Result<Self> {
+    pub fn new(
+        persister: Arc<ProfilePersister<S>>,
+        config: CacheConfig,
+        clock: SharedClock,
+    ) -> Result<Self> {
         config.validate().map_err(IpsError::InvalidConfig)?;
         let shards = (0..config.lru_shards)
             .map(|_| LruShard {
@@ -97,10 +124,13 @@ impl<S: ProfileStore + 'static> GCache<S> {
             persister,
             config,
             total_bytes: AtomicU64::new(0),
+            stale: Mutex::new(StalePool::default()),
+            clock,
             hit_ratio: HitRatio::new(),
             evictions: Counter::new(),
             flushes: Counter::new(),
             swap_skips: Counter::new(),
+            stale_serves: Counter::new(),
             dirty_gauge: Gauge::new(),
         })
     }
@@ -167,7 +197,62 @@ impl<S: ProfileStore + 'static> GCache<S> {
         };
         drop(map);
         shard.lru.lock().touch(pid);
+        // Fresh data is resident again; the stale copy is superseded.
+        if self.config.stale_pool_entries > 0 {
+            self.stale.lock().map.remove(&pid);
+        }
         Ok(Some((entry, false)))
+    }
+
+    // ---- stale pool (degraded serving, §III-G) ----------------------------
+
+    /// Retain an evicted entry's (already-flushed) data for degraded
+    /// serving. FIFO-bounded by `stale_pool_entries`.
+    fn retain_stale(&self, pid: ProfileId, data: ProfileData) {
+        let cap = self.config.stale_pool_entries;
+        if cap == 0 {
+            return;
+        }
+        let mut pool = self.stale.lock();
+        let entry = StaleEntry {
+            data,
+            evicted_at: self.clock.now(),
+        };
+        if pool.map.insert(pid, entry).is_none() {
+            pool.order.push_back(pid);
+        }
+        // `order` may hold ids already superseded/removed; skip those.
+        while pool.map.len() > cap {
+            match pool.order.pop_front() {
+                Some(old) => {
+                    pool.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Serve a profile from the stale pool if one is retained and no staler
+    /// than `max_staleness`. Never touches the persistent store — this is
+    /// the brownout path. Returns the result plus the data's staleness.
+    pub fn read_stale<R>(
+        &self,
+        pid: ProfileId,
+        max_staleness: DurationMs,
+        f: impl FnOnce(&ProfileData) -> R,
+    ) -> Option<(R, DurationMs)> {
+        if self.config.stale_pool_entries == 0 {
+            return None;
+        }
+        let pool = self.stale.lock();
+        let entry = pool.map.get(&pid)?;
+        let staleness = entry.evicted_at.distance(self.clock.now());
+        if staleness.as_millis() > max_staleness.as_millis() {
+            return None;
+        }
+        let out = f(&entry.data);
+        self.stale_serves.inc();
+        Some((out, staleness))
     }
 
     fn reaccount(&self, pid: ProfileId, entry: &mut CacheEntry) {
@@ -407,12 +492,16 @@ impl<S: ProfileStore + 'static> GCache<S> {
                 self.flushes.inc();
             }
             let bytes = guard.accounted_bytes as u64;
+            let stale_copy = (self.config.stale_pool_entries > 0).then(|| guard.data.clone());
             drop(guard);
             shard.map.lock().remove(&pid);
             shard.lru.lock().remove(pid);
             shard.bytes.fetch_sub(bytes, Ordering::Relaxed);
             self.total_bytes.fetch_sub(bytes, Ordering::Relaxed);
             self.evictions.inc();
+            if let Some(data) = stale_copy {
+                self.retain_stale(pid, data);
+            }
             evicted += 1;
         }
         Ok(evicted)
@@ -434,12 +523,16 @@ impl<S: ProfileStore + 'static> GCache<S> {
             self.flushes.inc();
         }
         let bytes = guard.accounted_bytes as u64;
+        let stale_copy = (self.config.stale_pool_entries > 0).then(|| guard.data.clone());
         drop(guard);
         shard.map.lock().remove(&pid);
         shard.lru.lock().remove(pid);
         shard.bytes.fetch_sub(bytes, Ordering::Relaxed);
         self.total_bytes.fetch_sub(bytes, Ordering::Relaxed);
         self.evictions.inc();
+        if let Some(data) = stale_copy {
+            self.retain_stale(pid, data);
+        }
         Ok(true)
     }
 
@@ -457,6 +550,8 @@ impl<S: ProfileStore + 'static> GCache<S> {
             flushes: self.flushes.get(),
             dirty_backlog: self.dirty_gauge.get().max(0) as usize,
             swap_skips: self.swap_skips.get(),
+            stale_pool_entries: self.stale.lock().map.len(),
+            stale_serves: self.stale_serves.get(),
         }
     }
 
@@ -542,15 +637,19 @@ mod tests {
     };
 
     fn cache(budget: usize) -> GCache<Arc<KvNode>> {
+        cache_with_clock(budget, Arc::new(ips_types::SystemClock)).0
+    }
+
+    fn cache_with_clock(budget: usize, clock: SharedClock) -> (GCache<Arc<KvNode>>, Arc<KvNode>) {
         let node = Arc::new(KvNode::new("kv", KvNodeConfig::default()).unwrap());
         let persister = Arc::new(ProfilePersister::new(
-            node,
+            Arc::clone(&node),
             TableId::new(1),
             PersistenceMode::Split {
                 threshold_bytes: 4 << 10,
             },
         ));
-        GCache::new(
+        let c = GCache::new(
             persister,
             CacheConfig {
                 memory_budget_bytes: budget,
@@ -560,8 +659,10 @@ mod tests {
                 swap_threads: 1,
                 ..Default::default()
             },
+            clock,
         )
-        .unwrap()
+        .unwrap();
+        (c, node)
     }
 
     fn write_row(c: &GCache<Arc<KvNode>>, pid: u64, at: u64, fid: u64) {
@@ -742,6 +843,7 @@ mod tests {
                     swap_interval: DurationMs::from_millis(5),
                     ..Default::default()
                 },
+                Arc::new(ips_types::SystemClock),
             )
             .unwrap(),
         );
@@ -776,5 +878,113 @@ mod tests {
         }
         assert_eq!(c.len(), 100);
         c.flush_all().unwrap();
+    }
+
+    #[test]
+    fn eviction_retains_stale_copy_for_degraded_reads() {
+        use ips_types::clock::sim_clock;
+        let (clock, ctl) = sim_clock(Timestamp::from_millis(1_000_000));
+        let (c, _node) = cache_with_clock(64 << 20, clock);
+        write_row(&c, 1, 1_000, 7);
+        c.evict(ProfileId::new(1)).unwrap();
+        assert!(!c.contains(ProfileId::new(1)));
+
+        ctl.advance(DurationMs::from_secs(30));
+        let (count, staleness) = c
+            .read_stale(ProfileId::new(1), DurationMs::from_mins(5), |p| {
+                p.feature_count()
+            })
+            .expect("stale copy retained");
+        assert_eq!(count, 1);
+        assert_eq!(staleness.as_millis(), 30_000);
+        assert_eq!(c.stats().stale_serves, 1);
+
+        // Beyond the bound, the stale copy is refused.
+        ctl.advance(DurationMs::from_mins(10));
+        assert!(c
+            .read_stale(ProfileId::new(1), DurationMs::from_mins(5), |_| ())
+            .is_none());
+    }
+
+    #[test]
+    fn reload_supersedes_stale_copy() {
+        let c = cache(64 << 20);
+        write_row(&c, 1, 1_000, 7);
+        c.evict(ProfileId::new(1)).unwrap();
+        assert_eq!(c.stats().stale_pool_entries, 1);
+        // Reload from the store: resident again, stale copy dropped.
+        let _ = c.read(ProfileId::new(1), |p| p.feature_count()).unwrap();
+        assert_eq!(c.stats().stale_pool_entries, 0);
+        assert!(c
+            .read_stale(ProfileId::new(1), DurationMs::from_mins(5), |_| ())
+            .is_none());
+    }
+
+    #[test]
+    fn stale_pool_is_bounded_fifo() {
+        use ips_types::clock::sim_clock;
+        let (clock, _ctl) = sim_clock(Timestamp::from_millis(1_000_000));
+        let node = Arc::new(KvNode::new("kv", KvNodeConfig::default()).unwrap());
+        let persister = Arc::new(ProfilePersister::new(
+            node,
+            TableId::new(1),
+            PersistenceMode::Bulk,
+        ));
+        let c = GCache::new(
+            persister,
+            CacheConfig {
+                memory_budget_bytes: 64 << 20,
+                lru_shards: 2,
+                dirty_shards: 2,
+                flush_threads: 2,
+                swap_threads: 1,
+                stale_pool_entries: 4,
+                ..Default::default()
+            },
+            clock,
+        )
+        .unwrap();
+        for pid in 0..8u64 {
+            write_row(&c, pid, 1_000, 1);
+            c.evict(ProfileId::new(pid)).unwrap();
+        }
+        assert_eq!(c.stats().stale_pool_entries, 4);
+        // Oldest evictions fell out; newest are servable.
+        assert!(c
+            .read_stale(ProfileId::new(0), DurationMs::from_mins(5), |_| ())
+            .is_none());
+        assert!(c
+            .read_stale(ProfileId::new(7), DurationMs::from_mins(5), |_| ())
+            .is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_stale_pool() {
+        let node = Arc::new(KvNode::new("kv", KvNodeConfig::default()).unwrap());
+        let persister = Arc::new(ProfilePersister::new(
+            node,
+            TableId::new(1),
+            PersistenceMode::Bulk,
+        ));
+        let c = GCache::new(
+            persister,
+            CacheConfig {
+                memory_budget_bytes: 64 << 20,
+                lru_shards: 2,
+                dirty_shards: 2,
+                flush_threads: 2,
+                swap_threads: 1,
+                stale_pool_entries: 0,
+                ..Default::default()
+            },
+            Arc::new(ips_types::SystemClock),
+        )
+        .unwrap();
+        write_row(&c, 1, 1_000, 1);
+        c.evict(ProfileId::new(1)).unwrap();
+        assert_eq!(c.stats().stale_pool_entries, 0);
+        assert!(c
+            .read_stale(ProfileId::new(1), DurationMs::from_mins(5), |_| ())
+            .is_none());
     }
 }

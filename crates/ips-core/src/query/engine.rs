@@ -172,7 +172,7 @@ pub fn execute(
     QueryResult {
         entries,
         slices_visited,
-        cache_hit: false,
+        ..Default::default()
     }
 }
 

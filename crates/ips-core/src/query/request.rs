@@ -189,6 +189,12 @@ pub struct QueryResult {
     /// hit/miss split). False for queries served after a storage load and
     /// for unknown profiles.
     pub cache_hit: bool,
+    /// Whether this result was served degraded — from retained stale data
+    /// because the persistent store was unreachable (§III-G brownout path).
+    /// Degraded is a property of the *result*, never an error.
+    pub degraded: bool,
+    /// How stale the serving data was, for degraded results (zero otherwise).
+    pub staleness: ips_types::DurationMs,
 }
 
 impl QueryResult {
@@ -279,7 +285,7 @@ mod tests {
                 last_seen: Timestamp::from_millis(10),
             }],
             slices_visited: 1,
-            cache_hit: false,
+            ..Default::default()
         };
         assert_eq!(r.feature_ids(), vec![FeatureId::new(4)]);
         assert_eq!(r.len(), 1);

@@ -7,7 +7,7 @@
 //! example).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -17,8 +17,9 @@ use ips_metrics::{Counter, Histogram};
 use ips_trace::Tracer;
 use ips_types::clock::monotonic_micros;
 use ips_types::{
-    ActionTypeId, CallerId, CountVector, FeatureId, IpsError, ProfileId, QuotaConfig, Result,
-    SharedClock, SlotId, TableConfig, TableId, Timestamp,
+    ActionTypeId, AdmissionConfig, ArmedDeadline, CallerId, CountVector, DegradedServingConfig,
+    DurationMs, FeatureId, IpsError, ProfileId, QuotaConfig, Result, SharedClock, SlotId,
+    TableConfig, TableId, Timestamp,
 };
 
 use crate::cache::gcache::BackgroundThreads;
@@ -29,7 +30,7 @@ use crate::hotconfig::HotConfig;
 use crate::isolation::{apply_buffered, BufferedWrite, WriteRoute, WriteTable};
 use crate::persist::{ProfilePersister, ProfileStore};
 use crate::query::{engine, ProfileQuery, QueryResult};
-use crate::quota::QuotaEnforcer;
+use crate::quota::{AdmissionController, QuotaEnforcer};
 
 type DynStore = Arc<dyn ProfileStore>;
 
@@ -101,6 +102,10 @@ pub struct IpsInstanceOptions {
     pub default_quota: QuotaConfig,
     /// Instance name (diagnostics).
     pub name: String,
+    /// Batch worker-pool admission control (zero = unbounded).
+    pub admission: AdmissionConfig,
+    /// Degraded (stale) serving policy during KV brownouts.
+    pub degraded: DegradedServingConfig,
 }
 
 impl Default for IpsInstanceOptions {
@@ -108,7 +113,29 @@ impl Default for IpsInstanceOptions {
         Self {
             default_quota: QuotaConfig::default(),
             name: "ips".into(),
+            admission: AdmissionConfig::default(),
+            degraded: DegradedServingConfig::default(),
         }
+    }
+}
+
+/// Per-request execution budget the RPC layer threads into the serving
+/// paths: an armed deadline (expired work is shed, not computed) and an
+/// explicit opt-in to degraded serving with a staleness bound.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RequestBudget {
+    /// Remaining deadline, armed against this process's monotonic clock at
+    /// arrival. `None` means unbounded (the legacy behaviour).
+    pub deadline: Option<ArmedDeadline>,
+    /// Explicit caller opt-in to degraded serving, with the staleness the
+    /// caller will tolerate. The server additionally caps this at its own
+    /// configured bound.
+    pub degraded: Option<DurationMs>,
+}
+
+impl RequestBudget {
+    fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| d.is_expired())
     }
 }
 
@@ -119,6 +146,16 @@ pub struct IpsInstance {
     store: DynStore,
     tables: RwLock<HashMap<TableId, Arc<TableRuntime>>>,
     pub quota: QuotaEnforcer,
+    pub admission: AdmissionController,
+    degraded_cfg: DegradedServingConfig,
+    /// Consecutive `Storage` failures observed on the read path; resets on
+    /// the first successful store round-trip. Past the configured threshold
+    /// the instance auto-degrades reads that did not explicitly opt in.
+    storage_failures: AtomicU32,
+    /// Requests/sub-queries shed because their deadline expired.
+    pub shed_deadline: Counter,
+    /// Results served degraded (stale) instead of failing.
+    pub degraded_serves: Counter,
     shutting_down: AtomicBool,
     tracer: RwLock<Option<Arc<Tracer>>>,
 }
@@ -133,6 +170,11 @@ impl IpsInstance {
             store,
             tables: RwLock::new(HashMap::new()),
             quota: QuotaEnforcer::new(clock, options.default_quota),
+            admission: AdmissionController::new(options.admission),
+            degraded_cfg: options.degraded,
+            storage_failures: AtomicU32::new(0),
+            shed_deadline: Counter::new(),
+            degraded_serves: Counter::new(),
             shutting_down: AtomicBool::new(false),
             tracer: RwLock::new(None),
         })
@@ -184,7 +226,11 @@ impl IpsInstance {
             id,
             config.persistence,
         ));
-        let cache = Arc::new(GCache::new(persister, config.cache.clone())?);
+        let cache = Arc::new(GCache::new(
+            persister,
+            config.cache.clone(),
+            Arc::clone(&self.clock),
+        )?);
         let hot = HotConfig::new(config.clone());
         // The scheduler's handler compacts through the cache so entries stay
         // consistent with the main read/write paths.
@@ -347,9 +393,103 @@ impl IpsInstance {
     /// return an empty result — the recommendation path treats "no profile"
     /// as "no features", not an error.
     pub fn query(self: &Arc<Self>, caller: CallerId, query: &ProfileQuery) -> Result<QueryResult> {
+        self.query_with_budget(caller, query, &RequestBudget::default())
+    }
+
+    /// [`IpsInstance::query`] with an explicit request budget: an expired
+    /// deadline is shed before any compute (load shedding — computing a
+    /// result nobody is waiting for only steals capacity from live work),
+    /// and a degraded opt-in lets `Storage` failures fall back to retained
+    /// stale data.
+    pub fn query_with_budget(
+        self: &Arc<Self>,
+        caller: CallerId,
+        query: &ProfileQuery,
+        budget: &RequestBudget,
+    ) -> Result<QueryResult> {
         self.check_alive()?;
+        if budget.deadline_expired() {
+            return Err(self.record_deadline_shed());
+        }
         self.quota.check(caller, 1)?;
-        self.query_inner(query)
+        self.query_inner_with_budget(query, budget)
+    }
+
+    /// Record a deadline shed: a span the trace pipeline can assert on, plus
+    /// the instance counter.
+    fn record_deadline_shed(&self) -> IpsError {
+        let mut span = ips_trace::child("shed");
+        span.set_attr(ips_trace::attrs::SHED, "deadline");
+        self.shed_deadline.inc();
+        IpsError::DeadlineExceeded
+    }
+
+    /// The per-sub-query body plus degraded fallback: `Storage` errors can
+    /// be converted into stale-bounded results when the caller opted in or
+    /// the instance has seen enough consecutive store failures to call the
+    /// KV browned out.
+    fn query_inner_with_budget(
+        self: &Arc<Self>,
+        query: &ProfileQuery,
+        budget: &RequestBudget,
+    ) -> Result<QueryResult> {
+        match self.query_inner(query) {
+            Ok(result) => {
+                if !result.cache_hit {
+                    // The store answered (loaded or confirmed-missing):
+                    // any brownout is over.
+                    self.storage_failures.store(0, Ordering::Relaxed);
+                }
+                Ok(result)
+            }
+            Err(IpsError::Storage(msg)) => {
+                let consecutive = self
+                    .storage_failures
+                    .fetch_add(1, Ordering::Relaxed)
+                    .saturating_add(1);
+                let cfg = self.degraded_cfg;
+                let allowed = cfg.enabled
+                    && (budget.degraded.is_some() || consecutive >= cfg.storage_failure_threshold);
+                if !allowed {
+                    return Err(IpsError::Storage(msg));
+                }
+                // The server's own bound always caps the caller's tolerance.
+                let bound = budget.degraded.map_or(cfg.max_staleness, |b| {
+                    DurationMs::from_millis(b.as_millis().min(cfg.max_staleness.as_millis()))
+                });
+                self.query_degraded(query, bound)
+                    .ok_or(IpsError::Storage(msg))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Serve a query from the cache's stale pool, stamped degraded. `None`
+    /// when no servable copy exists within the staleness bound.
+    fn query_degraded(
+        self: &Arc<Self>,
+        query: &ProfileQuery,
+        bound: DurationMs,
+    ) -> Option<QueryResult> {
+        let rt = self.table(query.table).ok()?;
+        let cfg = rt.config.load();
+        let now = self.clock.now();
+        let (mut result, staleness) = rt.cache.read_stale(query.profile, bound, |profile| {
+            let _compute = ips_trace::child("compute");
+            engine::execute(profile, query, cfg.aggregate, &cfg.compaction.shrink, now)
+        })?;
+        result.cache_hit = false;
+        result.degraded = true;
+        result.staleness = staleness;
+        self.degraded_serves.inc();
+        let mut span = ips_trace::child("degraded_serve");
+        span.set_attr(ips_trace::attrs::DEGRADED, "true");
+        span.set_attr(
+            ips_trace::attrs::STALENESS_MS,
+            staleness.as_millis().to_string(),
+        );
+        rt.metrics.queries.inc();
+        Some(result)
     }
 
     /// [`IpsInstance::query`] minus admission control — the per-sub-query
@@ -389,10 +529,30 @@ impl IpsInstance {
         caller: CallerId,
         queries: &[ProfileQuery],
     ) -> Result<Vec<Result<QueryResult>>> {
+        self.query_batch_with_budget(caller, queries, &RequestBudget::default())
+    }
+
+    /// [`IpsInstance::query_batch`] with an explicit request budget.
+    /// Admission control is checked before quota: an overloaded replica
+    /// sheds with [`IpsError::Overloaded`] (retryable elsewhere) without
+    /// consuming the caller's quota tokens, while a quota rejection remains
+    /// a terminal per-caller decision. Each sub-query re-checks the deadline
+    /// after its queue wait, so work that expired while queued is shed, not
+    /// computed.
+    pub fn query_batch_with_budget(
+        self: &Arc<Self>,
+        caller: CallerId,
+        queries: &[ProfileQuery],
+        budget: &RequestBudget,
+    ) -> Result<Vec<Result<QueryResult>>> {
         /// Upper bound on concurrent sub-query workers per batch call.
         const MAX_BATCH_WORKERS: usize = 8;
 
         self.check_alive()?;
+        if budget.deadline_expired() {
+            return Err(self.record_deadline_shed());
+        }
+        let _permit = self.admission.try_admit(queries.len().max(1))?;
         self.quota.check(caller, queries.len().max(1) as u64)?;
         if queries.is_empty() {
             return Ok(Vec::new());
@@ -401,7 +561,13 @@ impl IpsInstance {
         let workers = queries.len().min(MAX_BATCH_WORKERS);
         let mut out: Vec<Result<QueryResult>> = Vec::with_capacity(queries.len());
         if workers <= 1 {
-            out.extend(queries.iter().map(|q| self.query_inner(q)));
+            out.extend(queries.iter().map(|q| {
+                if budget.deadline_expired() {
+                    Err(self.record_deadline_shed())
+                } else {
+                    self.query_inner_with_budget(q, budget)
+                }
+            }));
         } else {
             out.resize_with(queries.len(), || {
                 Err(IpsError::Unavailable("batch slot unfilled".into()))
@@ -427,7 +593,14 @@ impl IpsInstance {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(query) = queries.get(i) else { break };
                                 queue_span.take();
-                                local.push((i, self.query_inner(query)));
+                                // Deadline re-check *after* queue wait: a
+                                // sub-query that expired while queued is
+                                // shed before compute.
+                                if budget.deadline_expired() {
+                                    local.push((i, Err(self.record_deadline_shed())));
+                                    continue;
+                                }
+                                local.push((i, self.query_inner_with_budget(query, budget)));
                             }
                             drop(queue_span);
                             local
@@ -912,6 +1085,173 @@ mod tests {
             )
             .unwrap();
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_before_compute() {
+        use ips_types::Deadline;
+        let (i, ctl) = setup();
+        add(&i, 1, 10, 3, ctl.now());
+        let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
+        let queries_before = i.table(TABLE).unwrap().metrics.queries.get();
+
+        let budget = RequestBudget {
+            deadline: Some(Deadline::from_budget_us(0).arm()),
+            degraded: None,
+        };
+        assert!(matches!(
+            i.query_with_budget(CALLER, &q, &budget),
+            Err(IpsError::DeadlineExceeded)
+        ));
+        assert_eq!(i.shed_deadline.get(), 1);
+        assert_eq!(
+            i.table(TABLE).unwrap().metrics.queries.get(),
+            queries_before,
+            "shed work must not reach the query engine"
+        );
+
+        // A batch with an expired deadline sheds every sub-query.
+        let batch = vec![q.clone(), q.clone(), q.clone()];
+        let out = i.query_batch_with_budget(CALLER, &batch, &budget);
+        assert!(matches!(out, Err(IpsError::DeadlineExceeded)));
+
+        // A generous deadline changes nothing.
+        let budget = RequestBudget {
+            deadline: Some(Deadline::from_budget(DurationMs::from_secs(60)).arm()),
+            degraded: None,
+        };
+        assert_eq!(i.query_with_budget(CALLER, &q, &budget).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn batch_admission_sheds_with_overloaded() {
+        let (clock, ctl) = sim_clock(Timestamp::from_millis(
+            DurationMs::from_days(400).as_millis(),
+        ));
+        let options = IpsInstanceOptions {
+            admission: AdmissionConfig {
+                max_inflight_subqueries: 4,
+            },
+            ..Default::default()
+        };
+        let i = IpsInstance::new_in_memory(options, clock);
+        let mut cfg = TableConfig::new("test");
+        cfg.isolation.enabled = false;
+        i.create_table(TABLE, cfg).unwrap();
+        add(&i, 1, 10, 3, ctl.now());
+
+        let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
+        let small = vec![q.clone(); 4];
+        assert!(i.query_batch(CALLER, &small).is_ok(), "at capacity admits");
+        let big = vec![q.clone(); 5];
+        let err = i.query_batch(CALLER, &big).unwrap_err();
+        assert!(err.is_overload(), "got {err}");
+        assert_eq!(i.admission.shed.get(), 1);
+        // The permit was released: capacity-sized batches still serve.
+        assert!(i.query_batch(CALLER, &small).is_ok());
+        // Overload shed must be distinct from quota rejection.
+        assert!(!matches!(err, IpsError::QuotaExceeded(_)));
+    }
+
+    #[test]
+    fn storage_brownout_serves_degraded_from_stale_pool() {
+        use std::sync::Arc as StdArc;
+        let (clock, ctl) = sim_clock(Timestamp::from_millis(
+            DurationMs::from_days(400).as_millis(),
+        ));
+        let node = StdArc::new(
+            ips_kv::KvNode::new("kv-brownout", ips_kv::KvNodeConfig::default()).unwrap(),
+        );
+        let i = IpsInstance::new(
+            StdArc::clone(&node) as DynStore,
+            IpsInstanceOptions::default(),
+            clock,
+        );
+        let mut cfg = TableConfig::new("test");
+        cfg.isolation.enabled = false;
+        i.create_table(TABLE, cfg).unwrap();
+        add(&i, 1, 10, 3, ctl.now());
+
+        // Flush and evict so the profile is only in the store + stale pool.
+        let rt = i.table(TABLE).unwrap();
+        rt.cache.flush_all().unwrap();
+        rt.cache.evict(ProfileId::new(1)).unwrap();
+
+        // Full brownout: every KV op fails.
+        node.set_error_rate(1.0);
+        ctl.advance(DurationMs::from_secs(5));
+        let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
+
+        // Without opt-in (and below the failure threshold) the error
+        // surfaces as-is.
+        assert!(matches!(i.query(CALLER, &q), Err(IpsError::Storage(_))));
+
+        // With the degraded opt-in the stale copy serves, stamped.
+        let budget = RequestBudget {
+            deadline: None,
+            degraded: Some(DurationMs::from_mins(5)),
+        };
+        let r = i.query_with_budget(CALLER, &q, &budget).unwrap();
+        assert!(r.degraded, "result must be stamped degraded");
+        assert_eq!(r.staleness.as_millis(), 5_000);
+        assert_eq!(r.entries[0].feature, FeatureId::new(10));
+        assert_eq!(i.degraded_serves.get(), 1);
+
+        // Staleness bound is enforced: an opt-in tighter than the data's
+        // age refuses and surfaces the storage error.
+        ctl.advance(DurationMs::from_mins(2));
+        let tight = RequestBudget {
+            deadline: None,
+            degraded: Some(DurationMs::from_secs(1)),
+        };
+        assert!(matches!(
+            i.query_with_budget(CALLER, &q, &tight),
+            Err(IpsError::Storage(_))
+        ));
+
+        // Recovery: store healthy again, the profile reloads fresh.
+        node.set_error_rate(0.0);
+        let r = i.query(CALLER, &q).unwrap();
+        assert!(!r.degraded);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn repeated_storage_failures_auto_degrade_unflagged_reads() {
+        use std::sync::Arc as StdArc;
+        let (clock, ctl) = sim_clock(Timestamp::from_millis(
+            DurationMs::from_days(400).as_millis(),
+        ));
+        let node = StdArc::new(
+            ips_kv::KvNode::new("kv-brownout", ips_kv::KvNodeConfig::default()).unwrap(),
+        );
+        let options = IpsInstanceOptions {
+            degraded: DegradedServingConfig {
+                enabled: true,
+                max_staleness: DurationMs::from_mins(10),
+                storage_failure_threshold: 3,
+            },
+            ..Default::default()
+        };
+        let i = IpsInstance::new(StdArc::clone(&node) as DynStore, options, clock);
+        let mut cfg = TableConfig::new("test");
+        cfg.isolation.enabled = false;
+        i.create_table(TABLE, cfg).unwrap();
+        add(&i, 1, 10, 3, ctl.now());
+        let rt = i.table(TABLE).unwrap();
+        rt.cache.flush_all().unwrap();
+        rt.cache.evict(ProfileId::new(1)).unwrap();
+
+        node.set_error_rate(1.0);
+        let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
+        // Below the threshold plain queries fail hard…
+        assert!(i.query(CALLER, &q).is_err());
+        assert!(i.query(CALLER, &q).is_err());
+        // …at the threshold the instance declares a brownout and serves
+        // stale even without the request flag.
+        let r = i.query(CALLER, &q).unwrap();
+        assert!(r.degraded);
+        assert_eq!(i.degraded_serves.get(), 1);
     }
 
     #[test]

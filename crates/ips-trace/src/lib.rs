@@ -38,6 +38,22 @@ pub mod export;
 
 pub use collector::TraceCollector;
 
+/// Canonical span-attribute keys for the request-lifecycle layer (deadline
+/// shedding, hedged reads, degraded serving). One shared vocabulary keeps
+/// client and server spans joinable by key.
+pub mod attrs {
+    /// Why a unit of work was shed: `"deadline"` or `"overload"`.
+    pub const SHED: &str = "shed";
+    /// Remaining deadline budget (µs) when a request was admitted.
+    pub const DEADLINE_US: &str = "deadline_us";
+    /// Present (`"true"`) on the attempt span of a hedged second read.
+    pub const HEDGED: &str = "hedged";
+    /// Present (`"true"`) when a result was served degraded (stale).
+    pub const DEGRADED: &str = "degraded";
+    /// Staleness (ms) of a degraded result.
+    pub const STALENESS_MS: &str = "staleness_ms";
+}
+
 use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -308,6 +308,11 @@ pub struct CacheConfig {
     pub flush_interval: DurationMs,
     /// How often swap threads re-check memory usage.
     pub swap_interval: DurationMs,
+    /// How many evicted profiles to retain (data only, already flushed) in a
+    /// side pool for stale-bounded degraded serving during KV brownouts.
+    /// Zero disables the pool.
+    #[serde(default = "default_stale_pool_entries")]
+    pub stale_pool_entries: usize,
 }
 
 impl Default for CacheConfig {
@@ -322,8 +327,13 @@ impl Default for CacheConfig {
             flush_threads: 4,
             flush_interval: DurationMs::from_millis(50),
             swap_interval: DurationMs::from_millis(20),
+            stale_pool_entries: default_stale_pool_entries(),
         }
     }
+}
+
+fn default_stale_pool_entries() -> usize {
+    4096
 }
 
 impl CacheConfig {
@@ -386,6 +396,108 @@ impl Default for QuotaConfig {
             burst_factor: 1.5,
         }
     }
+}
+
+/// Client retry behaviour for failover across replicas and regions.
+///
+/// The defaults reproduce the pre-deadline behaviour exactly: sweep every
+/// candidate once, no backoff charged, no hedging.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum attempts across all replicas and regions. `usize::MAX` means
+    /// "one full sweep of every candidate" (the legacy unbounded mode).
+    pub attempts: usize,
+    /// Base backoff charged (as modeled time) between failover rounds;
+    /// doubles each round. Only consumes the request deadline — the client
+    /// never sleeps for it.
+    pub base_backoff: DurationMs,
+    /// Jitter fraction applied to each backoff step (0.0–1.0).
+    pub jitter: f64,
+    /// Fire a hedged second read for single-profile queries once the primary
+    /// attempt exceeds this percentile of the endpoint's observed latency
+    /// (e.g. 0.95). `0.0` disables hedging. Never applies to writes or
+    /// batch calls.
+    pub hedge_quantile: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: usize::MAX,
+            base_backoff: DurationMs::from_millis(5),
+            jitter: 0.1,
+            hedge_quantile: 0.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Validate ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.attempts == 0 {
+            return Err("retry attempts must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.jitter) {
+            return Err("jitter must be in [0, 1]".into());
+        }
+        if !(0.0..1.0).contains(&self.hedge_quantile) && self.hedge_quantile != 0.0 {
+            return Err("hedge_quantile must be 0 (off) or in (0, 1)".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-endpoint circuit breaker (consecutive-failure trip, half-open probe).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CircuitBreakerConfig {
+    /// Consecutive failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker blocks traffic before admitting one
+    /// half-open probe.
+    pub cooldown: DurationMs,
+    /// EWMA smoothing factor for the endpoint's expected latency.
+    pub ewma_alpha: f64,
+}
+
+impl Default for CircuitBreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 5,
+            cooldown: DurationMs::from_millis(500),
+            ewma_alpha: 0.2,
+        }
+    }
+}
+
+/// Server-side degraded (stale) serving during KV brownouts (§III-G).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DegradedServingConfig {
+    /// Master switch: whether this instance may ever serve stale data.
+    pub enabled: bool,
+    /// Upper bound on how stale a degraded result may be.
+    pub max_staleness: DurationMs,
+    /// Consecutive `Storage` failures after which the instance auto-degrades
+    /// reads that did not explicitly opt in.
+    pub storage_failure_threshold: u32,
+}
+
+impl Default for DegradedServingConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            max_staleness: DurationMs::from_mins(10),
+            storage_failure_threshold: 8,
+        }
+    }
+}
+
+/// Admission control for the server's batch worker pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Maximum batch sub-queries in flight per instance before new batches
+    /// are shed with [`crate::IpsError::Overloaded`]. Zero means unbounded
+    /// (the legacy behaviour).
+    pub max_inflight_subqueries: usize,
 }
 
 /// How profiles are persisted to the key-value store (§III-E).

@@ -31,6 +31,14 @@ pub enum IpsError {
     Unavailable(String),
     /// The instance is shutting down.
     ShuttingDown,
+    /// The request's deadline budget ran out before the work completed.
+    /// Terminal: retrying elsewhere cannot make the elapsed time come back.
+    DeadlineExceeded,
+    /// The server shed the request at admission because its worker pool is
+    /// saturated. Unlike [`IpsError::QuotaExceeded`] (a per-caller policy
+    /// decision, terminal for the caller), this is a transient capacity
+    /// signal: another replica may have headroom, so it is retryable.
+    Overloaded { inflight: u64, limit: u64 },
 }
 
 impl fmt::Display for IpsError {
@@ -51,6 +59,10 @@ impl fmt::Display for IpsError {
             IpsError::Rpc(msg) => write!(f, "rpc error: {msg}"),
             IpsError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
             IpsError::ShuttingDown => write!(f, "instance shutting down"),
+            IpsError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            IpsError::Overloaded { inflight, limit } => {
+                write!(f, "server overloaded: {inflight} in flight, limit {limit}")
+            }
         }
     }
 }
@@ -73,7 +85,17 @@ impl IpsError {
                 | IpsError::Unavailable(_)
                 | IpsError::StaleGeneration { .. }
                 | IpsError::ShuttingDown
+                | IpsError::Overloaded { .. }
         )
+    }
+
+    /// Whether this error is a server-capacity signal (shed at admission).
+    /// Deliberately excludes [`IpsError::QuotaExceeded`]: quota is a
+    /// per-caller policy rejection that retrying on another replica cannot
+    /// fix, while overload is replica-local backpressure.
+    #[must_use]
+    pub fn is_overload(&self) -> bool {
+        matches!(self, IpsError::Overloaded { .. })
     }
 }
 
@@ -102,6 +124,30 @@ mod tests {
         .is_retryable());
         assert!(!IpsError::QuotaExceeded(CallerId::new(7)).is_retryable());
         assert!(!IpsError::InvalidRequest("bad".into()).is_retryable());
+        assert!(
+            IpsError::Overloaded {
+                inflight: 9,
+                limit: 8
+            }
+            .is_retryable(),
+            "overload is replica-local; another replica may have headroom"
+        );
+        assert!(
+            !IpsError::DeadlineExceeded.is_retryable(),
+            "elapsed time cannot be retried back"
+        );
+    }
+
+    #[test]
+    fn overload_classification() {
+        assert!(IpsError::Overloaded {
+            inflight: 9,
+            limit: 8
+        }
+        .is_overload());
+        // Quota is a caller policy decision, not a capacity signal.
+        assert!(!IpsError::QuotaExceeded(CallerId::new(7)).is_overload());
+        assert!(!IpsError::Unavailable("down".into()).is_overload());
     }
 
     #[test]

@@ -14,17 +14,19 @@
 pub mod clock;
 pub mod config;
 pub mod counts;
+pub mod deadline;
 pub mod error;
 pub mod ids;
 pub mod time;
 
 pub use clock::{Clock, SharedClock, SimClock, SystemClock};
 pub use config::{
-    AggregateFunction, CacheConfig, CompactionConfig, IsolationConfig, PersistenceMode,
-    QuotaConfig, ShrinkConfig, SortKey, SortOrder, TableConfig, TimeDimensionConfig,
-    TruncateConfig,
+    AdmissionConfig, AggregateFunction, CacheConfig, CircuitBreakerConfig, CompactionConfig,
+    DegradedServingConfig, IsolationConfig, PersistenceMode, QuotaConfig, RetryPolicy,
+    ShrinkConfig, SortKey, SortOrder, TableConfig, TimeDimensionConfig, TruncateConfig,
 };
 pub use counts::{CountVector, MAX_ATTRIBUTES};
+pub use deadline::{ArmedDeadline, Deadline};
 pub use error::{IpsError, Result};
 pub use ids::{ActionTypeId, CallerId, FeatureId, ProfileId, SlotId, TableId};
 pub use time::{DurationMs, TimeRange, Timestamp};

@@ -1,6 +1,6 @@
 //! The source-level lint pass behind `cargo run -p xtask -- check`.
 //!
-//! Five repo-specific rules that clippy cannot express:
+//! Six repo-specific rules that clippy cannot express:
 //!
 //! * `unwrap` — no `.unwrap()` / `.expect(` in non-test code of the serving
 //!   crates; a panic in the serving path takes down every scenario sharing
@@ -20,6 +20,11 @@
 //!   (span durations), so scenarios stay reproducible under the sim clock.
 //!   The sim-clock plumbing in `ips-types` is the one place allowed to touch
 //!   the real clock.
+//! * `unbounded-retry` — a `loop {` in serving non-test code that goes on
+//!   the wire (`.call(` / `.dispatch(` / `.replicate(` / `attempt_once(`)
+//!   must consult a deadline or an attempt bound (`deadline`, `attempts`,
+//!   `tries`, `budget`, `remaining`) somewhere in its body; a retry loop
+//!   with neither spins forever against a dead dependency.
 //!
 //! Any rule can be waived on a specific line with an annotation carrying a
 //! mandatory reason:
@@ -184,6 +189,29 @@ struct ActiveGuard {
     line: usize,
 }
 
+/// Tokens that count as a retry bound for rule (f): any of these inside a
+/// `loop` body means the loop's exit is governed by a deadline or a
+/// counted budget, not just "until it works".
+const RETRY_BOUND_TOKENS: &[&str] = &["deadline", "attempts", "tries", "budget", "remaining"];
+
+/// Wire fragments that make a loop a *retry* loop for rule (f):
+/// `attempt_once(` joins the RPC set because the failover walk attempts
+/// through it rather than calling the endpoint directly.
+const RETRY_WIRE_CALLS: &[&str] = &[".call(", ".dispatch(", ".replicate(", "attempt_once("];
+
+/// One `loop {` being tracked for rule (f).
+struct ActiveLoop {
+    /// Brace depth just *before* the loop's opening `{`.
+    depth: i32,
+    line: usize,
+    /// Body contains a wire call: this is a retry loop.
+    has_wire: bool,
+    /// Body consults a deadline or attempt bound.
+    has_bound: bool,
+    /// `lint: allow(unbounded-retry, ...)` on the loop header.
+    waived: bool,
+}
+
 /// Scanner state threaded through the lines of one file.
 struct Scan {
     depth: i32,
@@ -193,6 +221,7 @@ struct Scan {
     /// Brace depth at which the current test region opened.
     test_region: Option<i32>,
     guards: Vec<ActiveGuard>,
+    loops: Vec<ActiveLoop>,
     /// Allow from a comment-only line, waived onto the next code line.
     carried_allow: Option<String>,
 }
@@ -207,6 +236,7 @@ pub fn lint_file(rel: &str, src: &str, kind: FileKind) -> Vec<Violation> {
         pending_test_attr: false,
         test_region: None,
         guards: Vec::new(),
+        loops: Vec::new(),
         carried_allow: None,
     };
 
@@ -308,6 +338,26 @@ pub fn lint_file(rel: &str, src: &str, kind: FileKind) -> Vec<Violation> {
                 .retain(|g| !code.contains(&format!("drop({})", g.name)));
         }
 
+        // ---- rule (f): unbounded retry loops in serving non-test code ----
+        if kind.serving && !in_test && has_token(&code, "loop") {
+            st.loops.push(ActiveLoop {
+                depth: st.depth,
+                line: line_no,
+                has_wire: false,
+                has_bound: false,
+                waived: allowed("unbounded-retry"),
+            });
+        }
+        if !st.loops.is_empty() {
+            let lower = code.to_ascii_lowercase();
+            let wire = RETRY_WIRE_CALLS.iter().any(|w| code.contains(*w));
+            let bound = RETRY_BOUND_TOKENS.iter().any(|t| lower.contains(*t));
+            for l in &mut st.loops {
+                l.has_wire |= wire;
+                l.has_bound |= bound;
+            }
+        }
+
         // ---- rule (e): wall-clock reads in serving non-test code ---------
         if kind.serving
             && !in_test
@@ -355,6 +405,22 @@ pub fn lint_file(rel: &str, src: &str, kind: FileKind) -> Vec<Violation> {
                         st.test_region = None;
                     }
                     st.guards.retain(|g| g.depth <= st.depth);
+                    while st.loops.last().is_some_and(|l| st.depth <= l.depth) {
+                        let Some(l) = st.loops.pop() else { break };
+                        if l.has_wire && !l.has_bound && !l.waived {
+                            out.push(Violation {
+                                file: rel.to_string(),
+                                line: l.line,
+                                rule: "unbounded-retry",
+                                message: "`loop` retries the wire with no deadline or attempt \
+                                          bound in its body"
+                                    .into(),
+                                hint: "gate the loop on a Deadline / attempt budget (see \
+                                       RetryPolicy) or annotate \
+                                       `// lint: allow(unbounded-retry, reason = \"...\")`",
+                            });
+                        }
+                    }
                 }
                 _ => {}
             }
@@ -717,6 +783,64 @@ mod tests {
         let src = "fn f() { let t = Instant::now(); } \
                    // lint: allow(wall-clock, reason = \"startup anchor, never read again\")\n";
         assert!(lint_file("a.rs", src, SERVING).is_empty());
+    }
+
+    #[test]
+    fn unbounded_retry_loop_flagged() {
+        let src = "fn f(&self) {\n\
+                   loop {\n\
+                   match self.ep.call(&req) { Ok(r) => return r, Err(_) => continue }\n\
+                   }\n\
+                   }\n";
+        let v = lint_file("a.rs", src, SERVING);
+        assert_eq!(rules(&v), ["unbounded-retry"]);
+        assert_eq!(v[0].line, 2, "anchored at the loop header");
+    }
+
+    #[test]
+    fn retry_loop_with_bound_is_fine() {
+        for src in [
+            // Deadline consulted in the body.
+            "fn f(&self) {\nloop {\n if deadline.expired() { break; }\n \
+             self.ep.call(&req);\n}\n}\n",
+            // Counted attempts.
+            "fn f(&self) {\nloop {\n tries += 1;\n if tries > 3 { break; }\n \
+             self.ep.dispatch(&req);\n}\n}\n",
+            // A `while` with an attempt-budget condition is not a bare loop.
+            "fn f(&self) {\nwhile tries < policy.attempts {\n \
+             self.attempt_once(&ep, &req);\n}\n}\n",
+            // Infinite worker loop that never goes on the wire (swap thread).
+            "fn f(&self) {\nloop {\n self.pump_once();\n}\n}\n",
+        ] {
+            assert!(lint_file("a.rs", src, SERVING).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn unbounded_retry_allow_annotation_waives() {
+        let src = "fn f(&self) {\n\
+                   // lint: allow(unbounded-retry, reason = \"bounded by caller timeout\")\n\
+                   loop {\n\
+                   self.ep.call(&req);\n\
+                   }\n\
+                   }\n";
+        assert!(lint_file("a.rs", src, SERVING).is_empty());
+    }
+
+    #[test]
+    fn unbounded_retry_exempt_outside_serving_and_in_tests() {
+        let src = "fn f(&self) {\nloop {\n self.ep.call(&req);\n}\n}\n";
+        assert!(lint_file("a.rs", src, PLAIN).is_empty());
+        assert!(lint_file("t.rs", src, TEST_FILE).is_empty());
+        let in_mod = "#[cfg(test)]\nmod tests {\n\
+                      fn t() {\nloop {\n ep.call(&req);\n}\n}\n}\n";
+        assert!(lint_file("a.rs", in_mod, SERVING).is_empty());
+    }
+
+    #[test]
+    fn attempt_once_counts_as_wire_for_retry_loops() {
+        let src = "fn f(&self) {\nloop {\n self.attempt_once(&ep, &req, &opts);\n}\n}\n";
+        assert_eq!(rules(&lint_file("a.rs", src, SERVING)), ["unbounded-retry"]);
     }
 
     #[test]

@@ -237,3 +237,140 @@ fn chaos_soak_survives_and_converges() {
     // 4. The client kept serving throughout.
     assert!(client.stats().successes > 0);
 }
+
+/// Flapping-endpoint phase: a single instance goes down and comes back
+/// while traffic keeps flowing. The circuit breaker must (a) open after
+/// the failure streak, (b) route traffic around the flapper while open,
+/// (c) re-admit it through a half-open probe after the cooldown, and
+/// (d) hedged reads must trim the tail without double-counting into the
+/// error-rate series.
+#[test]
+fn flapping_endpoint_breaker_opens_and_readmits() {
+    use ips::cluster::BreakerState;
+    use ips::types::{CircuitBreakerConfig, RetryPolicy};
+
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(10).as_millis(),
+    ));
+    let mut table_cfg = TableConfig::new("flap");
+    table_cfg.isolation.enabled = false;
+    let deployment = MultiRegionDeployment::build(
+        MultiRegionOptions {
+            regions: vec!["r0".into()],
+            instances_per_region: 3,
+            // A real (modeled, lossless) network: hedge thresholds seeded
+            // at one µs are always exceeded, so hedges fire determinstically.
+            network: NetworkModel::production_default(),
+            tables: vec![(TABLE, table_cfg)],
+            ..Default::default()
+        },
+        clock,
+    )
+    .unwrap();
+    let client = IpsClusterClient::new(
+        Arc::clone(&deployment.discovery),
+        "r0",
+        KvLatencyModel::zero(),
+    );
+    client.add_endpoints(deployment.all_endpoints());
+    client.refresh();
+    client.set_breaker_config(CircuitBreakerConfig {
+        failure_threshold: 3,
+        cooldown: DurationMs::from_millis(50),
+        ewma_alpha: 0.2,
+    });
+
+    let pid = ProfileId::new(7);
+    client
+        .add_profile(
+            CALLER,
+            TABLE,
+            pid,
+            ctl.now(),
+            SLOT,
+            LIKE,
+            FeatureId::new(1),
+            CountVector::single(1),
+        )
+        .unwrap();
+    // Flush so failover siblings can serve the profile from the store.
+    let endpoints = deployment.all_endpoints();
+    for ep in &endpoints {
+        ep.instance().flush_all().unwrap();
+    }
+    let q = ProfileQuery::top_k(TABLE, pid, SLOT, TimeRange::last_days(30), 10);
+
+    // Identify the serving owner: the instance whose query counter ticks.
+    let before: Vec<u64> = endpoints
+        .iter()
+        .map(|e| e.instance().table(TABLE).unwrap().metrics.queries.get())
+        .collect();
+    client.query(CALLER, &q).unwrap();
+    let owner = endpoints
+        .iter()
+        .zip(&before)
+        .find(|(e, &b)| e.instance().table(TABLE).unwrap().metrics.queries.get() > b)
+        .map(|(e, _)| Arc::clone(e))
+        .expect("some instance served the query");
+
+    // ---- flap down: streak opens the breaker ----------------------------
+    owner.set_down(true);
+    for _ in 0..5 {
+        let (r, _) = client.query(CALLER, &q).unwrap();
+        assert_eq!(r.len(), 1, "failover keeps serving through the flap");
+    }
+    let health = client.health().for_endpoint(owner.name());
+    assert_eq!(health.state(), BreakerState::Open);
+
+    // While open the flapper is skipped up front: no failed first attempts,
+    // so the retry counter stays flat and no request fails.
+    let retries_before = client.stats().retries;
+    for _ in 0..10 {
+        client.query(CALLER, &q).unwrap();
+    }
+    assert_eq!(
+        client.stats().retries,
+        retries_before,
+        "open breaker must route around the flapper"
+    );
+    assert_eq!(client.stats().failures, 0);
+
+    // ---- flap up: half-open probe re-admits ------------------------------
+    owner.set_down(false);
+    // lint: allow(sleep-in-test, reason = "breaker cooldowns run on real monotonic time, which the sim clock cannot advance")
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    for _ in 0..5 {
+        client.query(CALLER, &q).unwrap();
+    }
+    assert_eq!(
+        health.state(),
+        BreakerState::Closed,
+        "successful half-open probe must close the breaker"
+    );
+
+    // ---- hedged reads do not double-count into the error rate -----------
+    client.set_retry_policy(RetryPolicy {
+        hedge_quantile: 0.9,
+        ..RetryPolicy::default()
+    });
+    // Reset health (drops the storm-phase latency samples), then seed a
+    // one-µs history: every real round-trip exceeds it.
+    client.set_breaker_config(CircuitBreakerConfig::default());
+    let health = client.health().for_endpoint(owner.name());
+    for _ in 0..8 {
+        health.on_success(1);
+    }
+    let stats_before = client.stats();
+    let queries = 10u64;
+    for _ in 0..queries {
+        client.query(CALLER, &q).unwrap();
+    }
+    let stats = client.stats();
+    assert!(stats.hedges > stats_before.hedges, "hedges must fire");
+    assert_eq!(
+        stats.attempts - stats_before.attempts,
+        queries,
+        "hedges must not inflate the attempt (error-rate denominator) count"
+    );
+    assert_eq!(stats.failures, 0, "hedges must not count as failures");
+}
