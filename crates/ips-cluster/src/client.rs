@@ -338,6 +338,29 @@ impl IpsClusterClient {
         (expo as f64 * factor).round() as u64
     }
 
+    /// Model the persistent-store work a query's cache access performed.
+    /// Results that report the measured fetch shape (round trips + bytes —
+    /// a projected slice load is far smaller than a full-profile fetch) get
+    /// a shape-aware sample; miss results from older peers that only flag
+    /// `cache_hit = false` fall back to the legacy flat 32 KiB fetch.
+    fn modeled_storage_us(&self, result: &QueryResult, rng: &mut SmallRng) -> u64 {
+        if result.kv_round_trips > 0 {
+            let us = self.storage_model.sample_fetch_us(
+                result.kv_round_trips,
+                result.kv_bytes_read as usize,
+                rng,
+            );
+            ips_trace::record_modeled("kv_fetch", us);
+            us
+        } else if !result.cache_hit {
+            let us = self.storage_model.sample_us(32 << 10, rng);
+            ips_trace::record_modeled("kv_fetch", us);
+            us
+        } else {
+            0
+        }
+    }
+
     fn call_with_failover(
         &self,
         pid: ProfileId,
@@ -762,14 +785,11 @@ impl IpsClusterClient {
             self.degraded.inc();
             root.set_attr(ips_trace::attrs::DEGRADED, "true");
         }
-        let storage_us = if result.cache_hit {
-            0
-        } else {
-            // Model the persistent-store fetch the miss path performed.
+        let storage_us = {
+            // Model the persistent-store work the server reported (zero on
+            // a pure hit).
             let mut rng = self.storage_rng.lock();
-            let us = self.storage_model.sample_us(32 << 10, &mut rng);
-            ips_trace::record_modeled("kv_fetch", us);
-            us
+            self.modeled_storage_us(&result, &mut rng)
         };
         let breakdown = LatencyBreakdown::from_call(elapsed_us, network_us, storage_us);
         // Hedged second read: if this (single-profile) query came back
@@ -833,13 +853,9 @@ impl IpsClusterClient {
         let RpcResponse::Query(hedge_result) = result.ok()? else {
             return None;
         };
-        let storage_us = if hedge_result.cache_hit {
-            0
-        } else {
+        let storage_us = {
             let mut rng = self.storage_rng.lock();
-            let us = self.storage_model.sample_us(32 << 10, &mut rng);
-            ips_trace::record_modeled("kv_fetch", us);
-            us
+            self.modeled_storage_us(&hedge_result, &mut rng)
         };
         // The hedge fired at the threshold, so its completion time is the
         // wait plus its own round-trip; the primary keeps its own clock.
@@ -1089,11 +1105,7 @@ impl IpsClusterClient {
         {
             let mut rng = self.storage_rng.lock();
             for r in results.iter().flatten() {
-                if !r.cache_hit {
-                    let us = self.storage_model.sample_us(32 << 10, &mut rng);
-                    ips_trace::record_modeled("kv_fetch", us);
-                    storage_us = storage_us.max(us);
-                }
+                storage_us = storage_us.max(self.modeled_storage_us(r, &mut rng));
             }
         }
         root.set_attr(

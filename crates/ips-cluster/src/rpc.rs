@@ -540,6 +540,13 @@ fn encode_query_result(w: &mut WireWriter, result: &QueryResult) {
         w.put_bool(4, true);
         w.put_u64(5, result.staleness.as_millis());
     }
+    // Storage-cost fields only hit the wire when a store fetch happened:
+    // pure hits stay byte-identical to older encoders, and older decoders
+    // skip the unknown fields.
+    if result.kv_round_trips > 0 {
+        w.put_u64(6, u64::from(result.kv_round_trips));
+        w.put_u64(7, result.kv_bytes_read);
+    }
     for e in &result.entries {
         w.put_message(3, |ew| {
             ew.put_u64(1, e.feature.raw());
@@ -558,6 +565,8 @@ fn decode_query_result(bytes: &[u8]) -> Result<QueryResult> {
                 2 => result.cache_hit = v.as_bool(f)?,
                 4 => result.degraded = v.as_bool(f)?,
                 5 => result.staleness = DurationMs::from_millis(v.as_u64(f)?),
+                6 => result.kv_round_trips = v.as_u64(f)? as u32,
+                7 => result.kv_bytes_read = v.as_u64(f)?,
                 3 => {
                     let mut fid = 0u64;
                     let mut counts = CountVector::empty();
@@ -706,6 +715,7 @@ impl RpcRequest {
             put_span_context(&mut w, ctx);
         }
         put_call_options(&mut w, opts);
+        // lint: allow(encode-alloc, reason = "top-level entry point; the transport owns the returned frame")
         w.into_bytes()
     }
 
@@ -860,6 +870,7 @@ impl RpcResponse {
         if let Some(ctx) = trace {
             put_span_context(&mut w, ctx);
         }
+        // lint: allow(encode-alloc, reason = "top-level entry point; the transport owns the returned frame")
         w.into_bytes()
     }
 
@@ -1678,6 +1689,8 @@ mod tests {
             cache_hit: false,
             degraded: true,
             staleness: DurationMs::from_secs(120),
+            kv_round_trips: 2,
+            kv_bytes_read: 4096,
         });
         assert_eq!(RpcResponse::decode(&resp.encode()).unwrap(), resp);
         // A non-degraded result writes no degraded fields at all.

@@ -151,6 +151,8 @@ proptest! {
         hit in any::<bool>(),
         degraded in any::<bool>(),
         staleness_ms in any::<u32>(),
+        kv_round_trips in 0u32..4,
+        kv_bytes in any::<u32>(),
         entries in proptest::collection::vec(
             (any::<u64>(), arb_counts(), any::<u64>()),
             0..50,
@@ -174,6 +176,9 @@ proptest! {
             } else {
                 ips_types::DurationMs::ZERO
             },
+            kv_round_trips,
+            // Byte counts only ride the wire when a fetch happened.
+            kv_bytes_read: if kv_round_trips > 0 { kv_bytes as u64 } else { 0 },
         });
         prop_assert_eq!(RpcResponse::decode(&resp.encode()).unwrap(), resp);
     }

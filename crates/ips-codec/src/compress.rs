@@ -103,50 +103,61 @@ fn emit_copy(out: &mut Vec<u8>, len: usize, offset: usize) {
 #[must_use]
 pub fn compress(input: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    compress_into(input, &mut out);
+    out
+}
+
+/// Compress `input`, appending the stream to `out` (which is cleared first).
+/// The caller owns the output buffer, so hot paths can reuse a pooled one;
+/// the match-finder hash table is always served from the thread-local pool
+/// rather than allocated per call.
+pub fn compress_into(input: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(input.len() / 2 + 16);
     if input.len() < MIN_MATCH + 1 {
-        emit_literal(&mut out, input);
-        return out;
+        emit_literal(out, input);
+        return;
     }
 
     // table[h] = last position whose 4-byte hash was h.
-    let mut table = vec![u32::MAX; HASH_SIZE];
-    let mut pos = 0usize;
-    let mut lit_start = 0usize;
-    // Stop early enough that hash4/extension reads stay in bounds.
-    let limit = input.len() - MIN_MATCH;
+    crate::pool::with_u32_table(HASH_SIZE, u32::MAX, |table| {
+        let mut pos = 0usize;
+        let mut lit_start = 0usize;
+        // Stop early enough that hash4/extension reads stay in bounds.
+        let limit = input.len() - MIN_MATCH;
 
-    while pos <= limit {
-        let h = hash4(&input[pos..]);
-        let candidate = table[h] as usize;
-        table[h] = pos as u32;
+        while pos <= limit {
+            let h = hash4(&input[pos..]);
+            let candidate = table[h] as usize;
+            table[h] = pos as u32;
 
-        if candidate != u32::MAX as usize
-            && candidate < pos
-            && input[candidate..candidate + MIN_MATCH] == input[pos..pos + MIN_MATCH]
-        {
-            // Extend the match as far as possible.
-            let mut len = MIN_MATCH;
-            while pos + len < input.len() && input[candidate + len] == input[pos + len] {
-                len += 1;
+            if candidate != u32::MAX as usize
+                && candidate < pos
+                && input[candidate..candidate + MIN_MATCH] == input[pos..pos + MIN_MATCH]
+            {
+                // Extend the match as far as possible.
+                let mut len = MIN_MATCH;
+                while pos + len < input.len() && input[candidate + len] == input[pos + len] {
+                    len += 1;
+                }
+                emit_literal(out, &input[lit_start..pos]);
+                emit_copy(out, len, pos - candidate);
+                // Index a couple of positions inside the match so long runs
+                // remain discoverable, then skip past it.
+                let end = pos + len;
+                let mut p = pos + 1;
+                while p < end.min(limit) && p < pos + 4 {
+                    table[hash4(&input[p..])] = p as u32;
+                    p += 1;
+                }
+                pos = end;
+                lit_start = pos;
+            } else {
+                pos += 1;
             }
-            emit_literal(&mut out, &input[lit_start..pos]);
-            emit_copy(&mut out, len, pos - candidate);
-            // Index a couple of positions inside the match so long runs
-            // remain discoverable, then skip past it.
-            let end = pos + len;
-            let mut p = pos + 1;
-            while p < end.min(limit) && p < pos + 4 {
-                table[hash4(&input[p..])] = p as u32;
-                p += 1;
-            }
-            pos = end;
-            lit_start = pos;
-        } else {
-            pos += 1;
         }
-    }
-    emit_literal(&mut out, &input[lit_start..]);
-    out
+        emit_literal(out, &input[lit_start..]);
+    });
 }
 
 /// Decompress a stream produced by [`compress`]. `max_len` bounds the output
@@ -269,6 +280,26 @@ mod tests {
         let c = compress(&data);
         assert!(c.len() < data.len() / 2, "{} -> {}", data.len(), c.len());
         assert_eq!(decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn compress_into_matches_compress_and_clears_dirty_buffer() {
+        let data = b"abcdefgh".repeat(500);
+        let mut out = b"stale garbage".to_vec();
+        compress_into(&data, &mut out);
+        assert_eq!(out, compress(&data));
+        assert_eq!(decompress(&out, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn repeated_compression_reuses_pooled_hash_table() {
+        let data = b"pooled table check".repeat(64);
+        let _ = compress(&data);
+        let before = crate::pool::stats();
+        let _ = compress(&data);
+        let after = crate::pool::stats();
+        assert!(after.table_reuses > before.table_reuses);
+        assert_eq!(after.table_allocs, before.table_allocs);
     }
 
     #[test]

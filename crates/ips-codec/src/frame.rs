@@ -16,7 +16,7 @@
 
 use std::fmt;
 
-use crate::compress::{compress, decompress, CompressError};
+use crate::compress::{compress_into, decompress, CompressError};
 use crate::varint::{decode_u64, encode_u64};
 
 const MAGIC: u8 = 0xA9;
@@ -97,7 +97,11 @@ pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
 /// context into the header when one is supplied.
 #[must_use]
 pub fn encode_frame_traced(payload: &[u8], trace: Option<&FrameTraceContext>) -> Vec<u8> {
-    let compressed = compress(payload);
+    // The compressed intermediate never outlives this call (it is either
+    // copied into the envelope or discarded by the raw fallback), so it is
+    // served from the thread-local buffer pool.
+    let mut compressed = crate::pool::take_buf();
+    compress_into(payload, &mut compressed);
     let use_compressed = compressed.len() < payload.len();
     let body: &[u8] = if use_compressed { &compressed } else { payload };
 
@@ -108,6 +112,7 @@ pub fn encode_frame_traced(payload: &[u8], trace: Option<&FrameTraceContext>) ->
     if trace.is_some() {
         flags |= FLAG_TRACE;
     }
+    // lint: allow(encode-alloc, reason = "the envelope escapes to the caller, so it cannot come from the pool")
     let mut out = Vec::with_capacity(body.len() + 16 + TRACE_CTX_LEN);
     out.push(MAGIC);
     out.push(flags);
@@ -119,6 +124,7 @@ pub fn encode_frame_traced(payload: &[u8], trace: Option<&FrameTraceContext>) ->
         out.push(u8::from(ctx.sampled));
     }
     out.extend_from_slice(body);
+    crate::pool::give_buf(compressed);
     out
 }
 

@@ -14,21 +14,26 @@
 //!   finding, literal/copy ops) tuned for speed over ratio, like Snappy;
 //! * [`frame`] — the envelope stored in the KV layer: magic, flags,
 //!   checksum, optional compression with automatic raw fallback for
-//!   incompressible payloads.
+//!   incompressible payloads;
+//! * [`pool`] — thread-local pooled scratch buffers (nested-message
+//!   writers, compressor hash tables, frame intermediates) so steady-state
+//!   encoding does zero heap growth.
 //!
 //! The profile⇄bytes schema itself lives next to the data structures in
 //! `ips-core::persist`; this crate is deliberately schema-agnostic.
 
 pub mod compress;
 pub mod frame;
+pub mod pool;
 pub mod varint;
 pub mod wire;
 
-pub use compress::{compress, decompress, CompressError};
+pub use compress::{compress, compress_into, decompress, CompressError};
 pub use frame::{
     decode_frame, decode_frame_traced, encode_frame, encode_frame_traced, FrameError,
     FrameTraceContext,
 };
+pub use pool::PoolStats;
 pub use varint::{
     decode_u64, encode_u64, zigzag_decode, zigzag_encode, DecodeError as VarintError,
 };

@@ -1,0 +1,195 @@
+//! Thread-local pooled scratch buffers for the encode hot path.
+//!
+//! Profile serialization is allocation-heavy by construction: every nested
+//! message in the wire format builds a scratch `Vec<u8>`, the compressor
+//! allocates a 64 KiB hash table per call, and the frame encoder materializes
+//! a compressed intermediate it usually throws away (raw fallback) or copies
+//! into the envelope. None of those buffers outlive one encode call, so the
+//! steady state should reuse them instead of exercising the allocator on
+//! every flush and RPC.
+//!
+//! The pool is deliberately small and thread-local: no locks, no cross-thread
+//! traffic, bounded retained memory. Buffers above a retention cap are
+//! dropped rather than cached so one huge profile cannot pin memory forever.
+
+use std::cell::{Cell, RefCell};
+
+/// Maximum number of byte buffers retained per thread. Nested-message
+/// encoding recurses (profile → slice → slot → action → feature), so the
+/// pool must hold at least that depth to keep the recursion allocation-free.
+const MAX_POOLED_BUFS: usize = 8;
+/// Buffers whose capacity grew beyond this are dropped on return instead of
+/// being retained (bounds per-thread retained memory).
+const MAX_RETAINED_CAP: usize = 256 << 10;
+
+thread_local! {
+    static BUF_POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+    static U32_TABLE: RefCell<Option<Box<[u32]>>> = const { RefCell::new(None) };
+    static BUF_REUSES: Cell<u64> = const { Cell::new(0) };
+    static BUF_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static TABLE_REUSES: Cell<u64> = const { Cell::new(0) };
+    static TABLE_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Per-thread pool counters, for tests and benchmarks that want to prove the
+/// steady state stops allocating.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Byte buffers served from the pool.
+    pub buf_reuses: u64,
+    /// Byte buffers freshly allocated (pool empty).
+    pub buf_allocs: u64,
+    /// Compressor scratch tables served from the pool.
+    pub table_reuses: u64,
+    /// Compressor scratch tables freshly allocated.
+    pub table_allocs: u64,
+}
+
+/// Snapshot this thread's pool counters.
+#[must_use]
+pub fn stats() -> PoolStats {
+    PoolStats {
+        buf_reuses: BUF_REUSES.with(Cell::get),
+        buf_allocs: BUF_ALLOCS.with(Cell::get),
+        table_reuses: TABLE_REUSES.with(Cell::get),
+        table_allocs: TABLE_ALLOCS.with(Cell::get),
+    }
+}
+
+/// Take an empty byte buffer from this thread's pool (or allocate one).
+/// Return it with [`give_buf`] when done so the capacity is reused.
+#[must_use]
+pub fn take_buf() -> Vec<u8> {
+    BUF_POOL.with(|p| {
+        if let Some(buf) = p.borrow_mut().pop() {
+            BUF_REUSES.with(|c| c.set(c.get() + 1));
+            debug_assert!(buf.is_empty());
+            buf
+        } else {
+            BUF_ALLOCS.with(|c| c.set(c.get() + 1));
+            Vec::new()
+        }
+    })
+}
+
+/// Return a buffer to this thread's pool. Oversized or excess buffers are
+/// dropped so retained memory stays bounded.
+pub fn give_buf(mut buf: Vec<u8>) {
+    if buf.capacity() > MAX_RETAINED_CAP {
+        return;
+    }
+    buf.clear();
+    BUF_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_POOLED_BUFS {
+            pool.push(buf);
+        }
+    });
+}
+
+/// Run `f` with a `len`-wide `u32` scratch table pre-filled with `fill`,
+/// reusing one pooled allocation per thread. The compressor's hash table is
+/// the sole intended user; `len` must be the same on every call from a given
+/// thread (a mismatch falls back to reallocating).
+pub fn with_u32_table<R>(len: usize, fill: u32, f: impl FnOnce(&mut [u32]) -> R) -> R {
+    U32_TABLE.with(|slot| {
+        let mut table = match slot.borrow_mut().take() {
+            Some(t) if t.len() == len => {
+                TABLE_REUSES.with(|c| c.set(c.get() + 1));
+                t
+            }
+            _ => {
+                TABLE_ALLOCS.with(|c| c.set(c.get() + 1));
+                vec![0u32; len].into_boxed_slice()
+            }
+        };
+        table.fill(fill);
+        let r = f(&mut table);
+        *slot.borrow_mut() = Some(table);
+        r
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_reused() {
+        let before = stats();
+        let a = take_buf();
+        give_buf(a);
+        let b = take_buf();
+        give_buf(b);
+        let after = stats();
+        assert!(
+            after.buf_reuses > before.buf_reuses,
+            "second take should hit the pool: {after:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_buffers_are_dropped() {
+        // Drain the pool so the oversized buffer would be next in line.
+        let mut drained = Vec::new();
+        loop {
+            let b = take_buf();
+            if b.capacity() == 0 {
+                break;
+            }
+            drained.push(b);
+        }
+        let mut big = Vec::with_capacity(MAX_RETAINED_CAP + 1);
+        big.push(1u8);
+        give_buf(big);
+        let next = take_buf();
+        assert!(
+            next.capacity() <= MAX_RETAINED_CAP,
+            "oversized buffer must not be retained"
+        );
+        give_buf(next);
+        for b in drained {
+            give_buf(b);
+        }
+    }
+
+    #[test]
+    fn pool_depth_is_bounded() {
+        let bufs: Vec<Vec<u8>> = (0..MAX_POOLED_BUFS + 4).map(|_| Vec::new()).collect();
+        for b in bufs {
+            give_buf(b);
+        }
+        let retained = BUF_POOL.with(|p| p.borrow().len());
+        assert!(retained <= MAX_POOLED_BUFS);
+    }
+
+    #[test]
+    fn u32_table_is_reused_and_reset() {
+        with_u32_table(64, u32::MAX, |t| {
+            assert!(t.iter().all(|&v| v == u32::MAX));
+            t[0] = 7;
+        });
+        let before = stats();
+        with_u32_table(64, u32::MAX, |t| {
+            assert_eq!(t[0], u32::MAX, "table must be re-filled between uses");
+        });
+        let after = stats();
+        assert!(after.table_reuses > before.table_reuses);
+    }
+
+    #[test]
+    fn u32_table_len_mismatch_reallocates() {
+        with_u32_table(16, 0, |t| assert_eq!(t.len(), 16));
+        with_u32_table(32, 0, |t| assert_eq!(t.len(), 32));
+    }
+
+    #[test]
+    fn give_buf_clears_contents() {
+        let mut b = take_buf();
+        b.extend_from_slice(b"secret");
+        give_buf(b);
+        let b = take_buf();
+        assert!(b.is_empty());
+        give_buf(b);
+    }
+}

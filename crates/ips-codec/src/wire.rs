@@ -96,6 +96,28 @@ impl WireWriter {
         }
     }
 
+    /// A writer backed by a buffer from the thread-local pool. Pair with
+    /// [`WireWriter::recycle`] (after copying the bytes out via
+    /// [`WireWriter::as_slice`]) so the capacity is reused; calling
+    /// [`WireWriter::into_bytes`] instead simply keeps the buffer.
+    #[must_use]
+    pub fn pooled() -> Self {
+        Self {
+            buf: crate::pool::take_buf(),
+        }
+    }
+
+    /// The encoded bytes so far.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Return this writer's buffer to the thread-local pool.
+    pub fn recycle(self) {
+        crate::pool::give_buf(self.buf);
+    }
+
     fn tag(&mut self, field: u32, wt: WireType) {
         debug_assert!(field > 0, "field number 0 is reserved");
         encode_u64(&mut self.buf, (u64::from(field) << 3) | wt as u64);
@@ -136,10 +158,14 @@ impl WireWriter {
     }
 
     /// Write a nested message built by `f` as a length-delimited field.
+    /// The nested scratch buffer comes from the thread-local pool, so deep
+    /// message trees (profile → slice → slot → action → feature) encode
+    /// without per-message allocation in the steady state.
     pub fn put_message(&mut self, field: u32, f: impl FnOnce(&mut WireWriter)) {
-        let mut nested = WireWriter::new();
+        let mut nested = WireWriter::pooled();
         f(&mut nested);
         self.put_bytes(field, &nested.buf);
+        nested.recycle();
     }
 
     /// Write a packed list of unsigned varints.

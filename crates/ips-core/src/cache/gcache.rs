@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use ips_kv::Generation;
 use ips_metrics::counter::HitRatio;
@@ -20,7 +20,9 @@ use ips_metrics::{Counter, Gauge};
 use ips_types::{CacheConfig, DurationMs, IpsError, ProfileId, Result, SharedClock, Timestamp};
 
 use crate::model::ProfileData;
-use crate::persist::{LoadOutcome, ProfilePersister, ProfileStore};
+use crate::persist::{
+    LoadedSlices, ProfilePersister, ProfileStore, SliceLoadOutcome, SliceProjection, SliceRefInfo,
+};
 
 use super::lru::LruList;
 
@@ -31,13 +33,66 @@ pub struct CacheEntry {
     pub dirty: bool,
     /// The storage generation held for the next conditional save (Fig 14).
     pub generation: Generation,
+    /// Referenced slices a projected load skipped: non-empty means the
+    /// entry is *partial*. Partial entries are upgraded in place when a
+    /// query needs more slices, and must be completed before they may go
+    /// dirty (a flush writes the full slice set, so saving a partial
+    /// profile would drop the unloaded slices from the stored meta).
+    pub missing: Vec<SliceRefInfo>,
     /// Bytes this entry was last accounted at.
     accounted_bytes: usize,
+}
+
+/// Storage work one cache access performed — or, for a coalesced waiter, the
+/// work of the in-flight load it shared. Drives the storage-cost fields of a
+/// query result so clients can model real fetch cost instead of a flat
+/// per-miss constant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadCost {
+    /// Storage round trips (meta read, multi-get, bulk read).
+    pub round_trips: u32,
+    /// Payload bytes read from the store.
+    pub bytes_read: u64,
+}
+
+impl ReadCost {
+    fn add(&mut self, other: ReadCost) {
+        self.round_trips += other.round_trips;
+        self.bytes_read += other.bytes_read;
+    }
+}
+
+/// One successful cache access: the entry, whether it was a hit, and the
+/// storage cost the access paid.
+type EntryAccess = (Arc<Mutex<CacheEntry>>, bool, ReadCost);
+
+/// The published outcome of an in-flight load, shared with every waiter.
+#[derive(Clone)]
+enum LoadResult {
+    Ready {
+        entry: Arc<Mutex<CacheEntry>>,
+        cost: ReadCost,
+    },
+    Missing,
+    Failed(IpsError),
+}
+
+/// A single-flight slot: the first thread to miss on a profile id becomes
+/// the *leader* and issues the one store load; concurrent missers park here
+/// and share the published result.
+#[derive(Default)]
+struct InflightLoad {
+    state: Mutex<Option<LoadResult>>,
+    cv: Condvar,
+    waiters: AtomicU64,
 }
 
 struct LruShard {
     map: Mutex<HashMap<ProfileId, Arc<Mutex<CacheEntry>>>>,
     lru: Mutex<LruList>,
+    /// In-flight loads keyed by profile id (single-flight coalescing). Lock
+    /// order: `inflight` before `map` when both are held.
+    inflight: Mutex<HashMap<ProfileId, Arc<InflightLoad>>>,
     bytes: AtomicU64,
 }
 
@@ -77,6 +132,13 @@ pub struct CacheStats {
     pub swap_skips: u64,
     pub stale_pool_entries: usize,
     pub stale_serves: u64,
+    /// Misses that joined an in-flight load instead of issuing their own.
+    pub coalesced_loads: u64,
+    /// Actual store loads issued (misses + partial-entry upgrades). With
+    /// coalescing, `store_loads <= misses`.
+    pub store_loads: u64,
+    /// Threads currently parked on an in-flight load.
+    pub inflight_waiters: usize,
 }
 
 /// The write-back compute cache.
@@ -95,7 +157,10 @@ pub struct GCache<S: ProfileStore> {
     pub flushes: Counter,
     pub swap_skips: Counter,
     pub stale_serves: Counter,
+    pub coalesced_loads: Counter,
+    pub store_loads: Counter,
     pub dirty_gauge: Gauge,
+    pub inflight_waiters: Gauge,
 }
 
 impl<S: ProfileStore + 'static> GCache<S> {
@@ -110,6 +175,7 @@ impl<S: ProfileStore + 'static> GCache<S> {
             .map(|_| LruShard {
                 map: Mutex::new(HashMap::new()),
                 lru: Mutex::new(LruList::new()),
+                inflight: Mutex::new(HashMap::new()),
                 bytes: AtomicU64::new(0),
             })
             .collect();
@@ -131,7 +197,10 @@ impl<S: ProfileStore + 'static> GCache<S> {
             flushes: Counter::new(),
             swap_skips: Counter::new(),
             stale_serves: Counter::new(),
+            coalesced_loads: Counter::new(),
+            store_loads: Counter::new(),
             dirty_gauge: Gauge::new(),
+            inflight_waiters: Gauge::new(),
         })
     }
 
@@ -145,47 +214,185 @@ impl<S: ProfileStore + 'static> GCache<S> {
     }
 
     /// Look up (or load) the entry for `pid`. `create` inserts an empty
-    /// profile when neither cache nor store has one (write path).
-    /// Returns `(entry, was_hit)`; `None` for a read miss everywhere.
+    /// profile when neither cache nor store has one (write path); create
+    /// accesses always materialize the *full* profile so the entry may go
+    /// dirty. Concurrent misses on one id are single-flighted: the first
+    /// thread issues the one store load, the rest park on the in-flight
+    /// slot and share the result. Returns `(entry, was_hit, cost)`; `None`
+    /// for a read miss everywhere.
     fn entry(
         &self,
         pid: ProfileId,
         create: bool,
-    ) -> Result<Option<(Arc<Mutex<CacheEntry>>, bool)>> {
+        projection: &SliceProjection,
+    ) -> Result<Option<EntryAccess>> {
+        let effective = if create {
+            &SliceProjection::Full
+        } else {
+            projection
+        };
         let mut cache_span = ips_trace::child("cache");
         let shard = &self.shards[self.shard_idx(pid)];
-        if let Some(entry) = shard.map.lock().get(&pid) {
+        if let Some(entry) = shard.map.lock().get(&pid).map(Arc::clone) {
             shard.lru.lock().touch(pid);
             self.hit_ratio.hits.inc();
             cache_span.set_attr("hit", "true");
-            return Ok(Some((Arc::clone(entry), true)));
+            drop(cache_span);
+            let cost = self.ensure_coverage(pid, &entry, effective)?;
+            return Ok(Some((entry, true, cost)));
         }
-        // Miss: consult the persistent store (outside the map lock — loads
-        // are the expensive path).
+        // Missed the resident map: join an in-flight load or become its
+        // leader. The map is re-checked under the inflight lock: a
+        // completing leader inserts into the map *before* clearing its
+        // slot, so absent entry + absent slot here proves no load is in
+        // flight and we lead.
+        enum Role {
+            Leader(Arc<InflightLoad>),
+            Waiter(Arc<InflightLoad>),
+        }
+        let role = {
+            let mut inflight = shard.inflight.lock();
+            if let Some(entry) = shard.map.lock().get(&pid).map(Arc::clone) {
+                drop(inflight);
+                shard.lru.lock().touch(pid);
+                self.hit_ratio.hits.inc();
+                cache_span.set_attr("hit", "true");
+                drop(cache_span);
+                let cost = self.ensure_coverage(pid, &entry, effective)?;
+                return Ok(Some((entry, true, cost)));
+            }
+            match inflight.get(&pid) {
+                Some(slot) => Role::Waiter(Arc::clone(slot)),
+                None => {
+                    let slot = Arc::new(InflightLoad::default());
+                    inflight.insert(pid, Arc::clone(&slot));
+                    Role::Leader(slot)
+                }
+            }
+        };
+        let slot = match role {
+            Role::Waiter(slot) => {
+                // Share the leader's load: count a coalesced access (NOT a
+                // second miss) and park until the result is published.
+                self.coalesced_loads.inc();
+                cache_span.set_attr("hit", "false");
+                cache_span.set_attr("coalesced", "true");
+                drop(cache_span);
+                slot.waiters.fetch_add(1, Ordering::Relaxed);
+                self.inflight_waiters.add(1);
+                let result = {
+                    let mut state = slot.state.lock();
+                    loop {
+                        if let Some(r) = state.as_ref() {
+                            break r.clone();
+                        }
+                        slot.cv.wait(&mut state);
+                    }
+                };
+                self.inflight_waiters.sub(1);
+                return match result {
+                    LoadResult::Ready { entry, cost } => {
+                        shard.lru.lock().touch(pid);
+                        let mut total = cost;
+                        total.add(self.ensure_coverage(pid, &entry, effective)?);
+                        Ok(Some((entry, false, total)))
+                    }
+                    LoadResult::Missing if create => {
+                        // The leader was a plain read; create the empty
+                        // entry here without a second store load.
+                        let entry =
+                            self.insert_resident(shard, pid, ProfileData::new(), 0, Vec::new());
+                        Ok(Some((entry, false, ReadCost::default())))
+                    }
+                    LoadResult::Missing => Ok(None),
+                    LoadResult::Failed(e) => Err(e),
+                };
+            }
+            Role::Leader(slot) => slot,
+        };
+        // Leader: the one store load for this miss.
         self.hit_ratio.misses.inc();
         cache_span.set_attr("hit", "false");
         drop(cache_span);
         let loaded = {
-            let _load_span = ips_trace::child("store_load");
-            self.persister.load(pid)
-        }?;
-        let (data, generation) = match loaded {
-            LoadOutcome::Loaded {
+            let mut load_span = ips_trace::child("store_load");
+            self.store_loads.inc();
+            let r = self.persister.load_slices(pid, effective);
+            load_span.set_attr("waiters", slot.waiters.load(Ordering::Relaxed).to_string());
+            if let Ok(SliceLoadOutcome::Loaded(l)) = &r {
+                load_span.set_attr("round_trips", l.round_trips.to_string());
+                load_span.set_attr("partial", (!l.missing.is_empty()).to_string());
+            }
+            r
+        };
+        match loaded {
+            Err(e) => {
+                self.publish_inflight(shard, pid, &slot, LoadResult::Failed(e.clone()));
+                Err(e)
+            }
+            Ok(SliceLoadOutcome::Missing) if !create => {
+                self.publish_inflight(shard, pid, &slot, LoadResult::Missing);
+                Ok(None)
+            }
+            Ok(SliceLoadOutcome::Missing) => {
+                let entry = self.insert_resident(shard, pid, ProfileData::new(), 0, Vec::new());
+                self.publish_inflight(
+                    shard,
+                    pid,
+                    &slot,
+                    LoadResult::Ready {
+                        entry: Arc::clone(&entry),
+                        cost: ReadCost::default(),
+                    },
+                );
+                Ok(Some((entry, false, ReadCost::default())))
+            }
+            Ok(SliceLoadOutcome::Loaded(LoadedSlices {
                 profile,
                 generation,
-            } => (profile, generation),
-            LoadOutcome::Missing if create => (ProfileData::new(), 0),
-            LoadOutcome::Missing => return Ok(None),
-        };
+                missing,
+                round_trips,
+                bytes_read,
+            })) => {
+                let cost = ReadCost {
+                    round_trips,
+                    bytes_read,
+                };
+                let entry = self.insert_resident(shard, pid, profile, generation, missing);
+                self.publish_inflight(
+                    shard,
+                    pid,
+                    &slot,
+                    LoadResult::Ready {
+                        entry: Arc::clone(&entry),
+                        cost,
+                    },
+                );
+                Ok(Some((entry, false, cost)))
+            }
+        }
+    }
+
+    /// Insert a freshly loaded (or created) profile into the resident map,
+    /// keeping the defensive double-check: if a racing path inserted first,
+    /// the existing entry wins and the new data is dropped.
+    fn insert_resident(
+        &self,
+        shard: &LruShard,
+        pid: ProfileId,
+        data: ProfileData,
+        generation: Generation,
+        missing: Vec<SliceRefInfo>,
+    ) -> Arc<Mutex<CacheEntry>> {
         let bytes = data.approx_bytes();
         let entry = Arc::new(Mutex::new(CacheEntry {
             data,
             dirty: false,
             generation,
+            missing,
             accounted_bytes: bytes,
         }));
         let mut map = shard.map.lock();
-        // Double-check: a racing loader may have inserted meanwhile.
         let entry = match map.get(&pid) {
             Some(existing) => Arc::clone(existing),
             None => {
@@ -201,10 +408,119 @@ impl<S: ProfileStore + 'static> GCache<S> {
         if self.config.stale_pool_entries > 0 {
             self.stale.lock().map.remove(&pid);
         }
-        Ok(Some((entry, false)))
+        entry
+    }
+
+    /// Publish an in-flight load's outcome and clear its slot. For `Ready`
+    /// results the entry is already in the resident map, so clearing the
+    /// slot here (under the inflight lock) keeps the invariant new missers
+    /// rely on: either the map has the entry or the slot is joinable.
+    fn publish_inflight(
+        &self,
+        shard: &LruShard,
+        pid: ProfileId,
+        slot: &Arc<InflightLoad>,
+        result: LoadResult,
+    ) {
+        shard.inflight.lock().remove(&pid);
+        let mut state = slot.state.lock();
+        *state = Some(result);
+        slot.cv.notify_all();
+    }
+
+    /// Upgrade a partial entry in place until it covers `projection`
+    /// (everything, for `Full`). No-op for full entries or projections the
+    /// resident slices already satisfy. Returns the storage work done.
+    fn ensure_coverage(
+        &self,
+        pid: ProfileId,
+        entry: &Arc<Mutex<CacheEntry>>,
+        projection: &SliceProjection,
+    ) -> Result<ReadCost> {
+        let needed: Vec<SliceRefInfo> = {
+            let guard = entry.lock();
+            if guard.missing.is_empty() {
+                return Ok(ReadCost::default());
+            }
+            match *projection {
+                SliceProjection::Full => guard.missing.clone(),
+                SliceProjection::Window { range, now } => {
+                    let window = range.resolve(now, guard.data.last_action_hint());
+                    guard
+                        .missing
+                        .iter()
+                        .filter(|r| window.overlaps(r.start, r.end))
+                        .copied()
+                        .collect()
+                }
+            }
+        };
+        if needed.is_empty() {
+            return Ok(ReadCost::default());
+        }
+        let (slices, round_trips, bytes_read) = {
+            let mut load_span = ips_trace::child("store_load");
+            load_span.set_attr("upgrade", "true");
+            self.store_loads.inc();
+            self.persister.fetch_slices(pid, &needed)?
+        };
+        let mut guard = entry.lock();
+        // Clear every requested ref — torn slices included, so they are not
+        // refetched forever — then splice the slices that actually arrived
+        // and are still uncovered (a racing upgrader may have beaten us).
+        guard
+            .missing
+            .retain(|r| !needed.iter().any(|n| n.seq == r.seq));
+        for slice in slices {
+            let covered = guard
+                .data
+                .slices()
+                .iter()
+                .any(|s| s.start() < slice.end() && slice.start() < s.end());
+            if !covered {
+                guard.data.slices_mut().push(slice);
+            }
+        }
+        guard
+            .data
+            .slices_mut()
+            .sort_by_key(|s| std::cmp::Reverse(s.start()));
+        debug_assert!(guard.data.check_invariants().is_ok());
+        self.reaccount(pid, &mut guard);
+        Ok(ReadCost {
+            round_trips,
+            bytes_read,
+        })
     }
 
     // ---- stale pool (degraded serving, §III-G) ----------------------------
+
+    /// Retain an evicted entry for degraded serving, reclaiming its data
+    /// without a deep copy when this was the last reference (the common,
+    /// uncontended case — the old per-eviction `data.clone()` was the
+    /// dominant allocation on the swap path). Partial entries are never
+    /// retained: a degraded read must not silently miss slices.
+    fn retain_stale_from(&self, pid: ProfileId, removed: Arc<Mutex<CacheEntry>>) {
+        if self.config.stale_pool_entries == 0 {
+            return;
+        }
+        match Arc::try_unwrap(removed) {
+            Ok(mutex) => {
+                let entry = mutex.into_inner();
+                if entry.missing.is_empty() {
+                    self.retain_stale(pid, entry.data);
+                }
+            }
+            Err(shared) => {
+                // A concurrent reader still holds the entry; fall back to a
+                // copy rather than waiting it out.
+                let guard = shared.lock();
+                if guard.missing.is_empty() {
+                    self.retain_stale(pid, guard.data.clone());
+                }
+            }
+        }
+    }
 
     /// Retain an evicted entry's (already-flushed) data for degraded
     /// serving. FIFO-bounded by `stale_pool_entries`.
@@ -284,17 +600,19 @@ impl<S: ProfileStore + 'static> GCache<S> {
     }
 
     /// Mutate (creating if absent) the profile for `pid`. The write path.
-    /// Returns whether the access was a cache hit.
+    /// Always materializes the full profile first (a partial entry may not
+    /// go dirty). Returns whether the access was a cache hit.
     pub fn write<R>(
         &self,
         pid: ProfileId,
         f: impl FnOnce(&mut ProfileData) -> R,
     ) -> Result<(R, bool)> {
-        let (entry, hit) = self
-            .entry(pid, true)?
+        let (entry, hit, _cost) = self
+            .entry(pid, true, &SliceProjection::Full)?
             // lint: allow(unwrap, reason = "entry(create=true) yields Some by construction; see entry()")
             .expect("create=true always yields an entry");
         let mut guard = entry.lock();
+        debug_assert!(guard.missing.is_empty(), "write path must be full");
         let out = f(&mut guard.data);
         guard.dirty = true;
         self.reaccount(pid, &mut guard);
@@ -310,10 +628,24 @@ impl<S: ProfileStore + 'static> GCache<S> {
         pid: ProfileId,
         f: impl FnOnce(&ProfileData) -> R,
     ) -> Result<Option<(R, bool)>> {
-        match self.entry(pid, false)? {
-            Some((entry, hit)) => {
+        self.read_projected(pid, &SliceProjection::Full, f)
+            .map(|o| o.map(|(r, hit, _)| (r, hit)))
+    }
+
+    /// Read under a slice projection: a miss loads only the slices the
+    /// projection touches (plus the head slice), and a resident partial
+    /// entry is upgraded in place if the projection needs more. Returns
+    /// `(result, was_hit, storage_cost)`.
+    pub fn read_projected<R>(
+        &self,
+        pid: ProfileId,
+        projection: &SliceProjection,
+        f: impl FnOnce(&ProfileData) -> R,
+    ) -> Result<Option<(R, bool, ReadCost)>> {
+        match self.entry(pid, false, projection)? {
+            Some((entry, hit, cost)) => {
                 let guard = entry.lock();
-                Ok(Some((f(&guard.data), hit)))
+                Ok(Some((f(&guard.data), hit, cost)))
             }
             None => Ok(None),
         }
@@ -327,7 +659,18 @@ impl<S: ProfileStore + 'static> GCache<S> {
     ) -> Option<R> {
         let shard = &self.shards[self.shard_idx(pid)];
         let entry = shard.map.lock().get(&pid).map(Arc::clone)?;
+        // A partial entry must be completed before it may go dirty; if the
+        // store is unavailable, skip the mutation (compaction retries).
+        if self
+            .ensure_coverage(pid, &entry, &SliceProjection::Full)
+            .is_err()
+        {
+            return None;
+        }
         let mut guard = entry.lock();
+        if !guard.missing.is_empty() {
+            return None; // torn slices left it incomplete; don't dirty it
+        }
         let out = f(&mut guard.data);
         guard.dirty = true;
         self.reaccount(pid, &mut guard);
@@ -396,6 +739,10 @@ impl<S: ProfileStore + 'static> GCache<S> {
         if !guard.dirty {
             return Ok(());
         }
+        debug_assert!(
+            guard.missing.is_empty(),
+            "dirty entries are always full; flushing a partial would drop slices"
+        );
         let held = guard.generation;
         let new_gen = self.persister.save(pid, &mut guard.data, held)?;
         guard.generation = new_gen;
@@ -492,15 +839,15 @@ impl<S: ProfileStore + 'static> GCache<S> {
                 self.flushes.inc();
             }
             let bytes = guard.accounted_bytes as u64;
-            let stale_copy = (self.config.stale_pool_entries > 0).then(|| guard.data.clone());
             drop(guard);
-            shard.map.lock().remove(&pid);
+            let removed = shard.map.lock().remove(&pid);
             shard.lru.lock().remove(pid);
             shard.bytes.fetch_sub(bytes, Ordering::Relaxed);
             self.total_bytes.fetch_sub(bytes, Ordering::Relaxed);
             self.evictions.inc();
-            if let Some(data) = stale_copy {
-                self.retain_stale(pid, data);
+            drop(entry);
+            if let Some(removed) = removed {
+                self.retain_stale_from(pid, removed);
             }
             evicted += 1;
         }
@@ -523,15 +870,15 @@ impl<S: ProfileStore + 'static> GCache<S> {
             self.flushes.inc();
         }
         let bytes = guard.accounted_bytes as u64;
-        let stale_copy = (self.config.stale_pool_entries > 0).then(|| guard.data.clone());
         drop(guard);
-        shard.map.lock().remove(&pid);
+        let removed = shard.map.lock().remove(&pid);
         shard.lru.lock().remove(pid);
         shard.bytes.fetch_sub(bytes, Ordering::Relaxed);
         self.total_bytes.fetch_sub(bytes, Ordering::Relaxed);
         self.evictions.inc();
-        if let Some(data) = stale_copy {
-            self.retain_stale(pid, data);
+        drop(entry);
+        if let Some(removed) = removed {
+            self.retain_stale_from(pid, removed);
         }
         Ok(true)
     }
@@ -552,6 +899,9 @@ impl<S: ProfileStore + 'static> GCache<S> {
             swap_skips: self.swap_skips.get(),
             stale_pool_entries: self.stale.lock().map.len(),
             stale_serves: self.stale_serves.get(),
+            coalesced_loads: self.coalesced_loads.get(),
+            store_loads: self.store_loads.get(),
+            inflight_waiters: self.inflight_waiters.get().max(0) as usize,
         }
     }
 
@@ -665,7 +1015,7 @@ mod tests {
         (c, node)
     }
 
-    fn write_row(c: &GCache<Arc<KvNode>>, pid: u64, at: u64, fid: u64) {
+    fn write_row<S: ProfileStore + 'static>(c: &GCache<S>, pid: u64, at: u64, fid: u64) {
         c.write(ProfileId::new(pid), |p| {
             p.add(
                 Timestamp::from_millis(at),
@@ -986,5 +1336,385 @@ mod tests {
         assert!(c
             .read_stale(ProfileId::new(1), DurationMs::from_mins(5), |_| ())
             .is_none());
+    }
+
+    // ---- single-flight coalescing and slice projection --------------------
+
+    fn split_cache(stale_entries: usize) -> (GCache<Arc<KvNode>>, Arc<KvNode>) {
+        let node = Arc::new(KvNode::new("kv", KvNodeConfig::default()).unwrap());
+        let persister = Arc::new(ProfilePersister::new(
+            Arc::clone(&node),
+            TableId::new(1),
+            PersistenceMode::Split { threshold_bytes: 0 },
+        ));
+        let c = GCache::new(
+            persister,
+            CacheConfig {
+                memory_budget_bytes: 64 << 20,
+                lru_shards: 4,
+                dirty_shards: 2,
+                flush_threads: 2,
+                swap_threads: 1,
+                stale_pool_entries: stale_entries,
+                ..Default::default()
+            },
+            Arc::new(ips_types::SystemClock),
+        )
+        .unwrap();
+        (c, node)
+    }
+
+    #[test]
+    fn projected_miss_loads_window_plus_head_and_upgrades_in_place() {
+        let (c, _node) = split_cache(0);
+        let pid = ProfileId::new(9);
+        // Eight 1s slices at [1000,2000) .. [8000,9000).
+        for t in 1..=8u64 {
+            write_row(&c, 9, t * 1_000, t);
+        }
+        c.flush_all().unwrap();
+        assert!(c.evict(pid).unwrap());
+        let store_loads_before = c.store_loads.get();
+
+        let projection = SliceProjection::Window {
+            range: ips_types::TimeRange::Absolute {
+                start: Timestamp::from_millis(3_000),
+                end: Timestamp::from_millis(4_000),
+            },
+            now: Timestamp::from_millis(10_000),
+        };
+        let (n, hit, cost) = c
+            .read_projected(pid, &projection, |p| p.slice_count())
+            .unwrap()
+            .unwrap();
+        assert_eq!(n, 2, "window slice plus the forced head slice");
+        assert!(!hit);
+        assert_eq!(cost.round_trips, 2, "meta read + one multi-get");
+        assert!(cost.bytes_read > 0);
+        assert_eq!(c.store_loads.get(), store_loads_before + 1);
+
+        // A full read upgrades the resident entry in place (a hit plus one
+        // multi-get for the six missing slices, not a reload).
+        let (n, hit, cost) = c
+            .read_projected(pid, &SliceProjection::Full, |p| p.slice_count())
+            .unwrap()
+            .unwrap();
+        assert_eq!(n, 8);
+        assert!(hit, "upgrade happens on a resident entry");
+        assert_eq!(cost.round_trips, 1, "one multi-get, no meta re-read");
+        assert_eq!(c.store_loads.get(), store_loads_before + 2);
+
+        // Now fully covered: further full reads touch no storage.
+        let (_, hit, cost) = c
+            .read_projected(pid, &SliceProjection::Full, |p| p.slice_count())
+            .unwrap()
+            .unwrap();
+        assert!(hit);
+        assert_eq!(cost, ReadCost::default());
+        assert_eq!(c.store_loads.get(), store_loads_before + 2);
+    }
+
+    #[test]
+    fn projected_read_satisfied_by_resident_slices_costs_nothing() {
+        let (c, _node) = split_cache(0);
+        for t in 1..=4u64 {
+            write_row(&c, 11, t * 1_000, t);
+        }
+        c.flush_all().unwrap();
+        c.evict(ProfileId::new(11)).unwrap();
+        // Head-only load.
+        let head_only = SliceProjection::Window {
+            range: ips_types::TimeRange::Current {
+                lookback: DurationMs::from_millis(1),
+            },
+            now: Timestamp::from_millis(4_500),
+        };
+        let (n, _, _) = c
+            .read_projected(ProfileId::new(11), &head_only, |p| p.slice_count())
+            .unwrap()
+            .unwrap();
+        assert_eq!(n, 1);
+        let store_loads = c.store_loads.get();
+        // Another query over the same resident window: no upgrade needed.
+        let (_, hit, cost) = c
+            .read_projected(ProfileId::new(11), &head_only, |p| p.slice_count())
+            .unwrap()
+            .unwrap();
+        assert!(hit);
+        assert_eq!(cost, ReadCost::default());
+        assert_eq!(c.store_loads.get(), store_loads);
+    }
+
+    #[test]
+    fn write_completes_partial_entry_before_dirtying() {
+        let (c, _node) = split_cache(0);
+        for t in 1..=4u64 {
+            write_row(&c, 5, t * 1_000, t);
+        }
+        c.flush_all().unwrap();
+        c.evict(ProfileId::new(5)).unwrap();
+        let head_only = SliceProjection::Window {
+            range: ips_types::TimeRange::Current {
+                lookback: DurationMs::from_millis(1),
+            },
+            now: Timestamp::from_millis(4_500),
+        };
+        let (n, _, _) = c
+            .read_projected(ProfileId::new(5), &head_only, |p| p.slice_count())
+            .unwrap()
+            .unwrap();
+        assert_eq!(n, 1, "head slice only");
+        // The write path must complete the entry before dirtying it, so the
+        // eventual flush writes all four slices — not just the head.
+        write_row(&c, 5, 4_500, 99);
+        c.flush_all().unwrap();
+        c.evict(ProfileId::new(5)).unwrap();
+        let ((slices, features), _) = c
+            .read(ProfileId::new(5), |p| (p.slice_count(), p.feature_count()))
+            .unwrap()
+            .unwrap();
+        assert_eq!(slices, 4, "no slice was dropped by the flush");
+        assert_eq!(features, 5);
+    }
+
+    #[test]
+    fn mutate_if_cached_completes_partial_entry_first() {
+        let (c, _node) = split_cache(0);
+        for t in 1..=4u64 {
+            write_row(&c, 6, t * 1_000, t);
+        }
+        c.flush_all().unwrap();
+        c.evict(ProfileId::new(6)).unwrap();
+        let head_only = SliceProjection::Window {
+            range: ips_types::TimeRange::Current {
+                lookback: DurationMs::from_millis(1),
+            },
+            now: Timestamp::from_millis(4_500),
+        };
+        let _ = c
+            .read_projected(ProfileId::new(6), &head_only, |_| ())
+            .unwrap()
+            .unwrap();
+        let n = c.mutate_if_cached(ProfileId::new(6), |p| p.slice_count());
+        assert_eq!(n, Some(4), "entry was completed before the mutation ran");
+        c.flush_all().unwrap();
+        c.evict(ProfileId::new(6)).unwrap();
+        let (slices, _) = c
+            .read(ProfileId::new(6), |p| p.slice_count())
+            .unwrap()
+            .unwrap();
+        assert_eq!(slices, 4);
+    }
+
+    #[test]
+    fn partial_entries_are_not_retained_in_stale_pool() {
+        let (c, _node) = split_cache(4);
+        for t in 1..=4u64 {
+            write_row(&c, 7, t * 1_000, t);
+        }
+        c.flush_all().unwrap();
+        c.evict(ProfileId::new(7)).unwrap();
+        assert_eq!(c.stats().stale_pool_entries, 1, "full entry is retained");
+        let head_only = SliceProjection::Window {
+            range: ips_types::TimeRange::Current {
+                lookback: DurationMs::from_millis(1),
+            },
+            now: Timestamp::from_millis(4_500),
+        };
+        let _ = c
+            .read_projected(ProfileId::new(7), &head_only, |_| ())
+            .unwrap()
+            .unwrap();
+        // The reload superseded the stale copy; evicting the now-partial
+        // entry must not retain it (a degraded read would miss slices).
+        c.evict(ProfileId::new(7)).unwrap();
+        assert_eq!(c.stats().stale_pool_entries, 0);
+    }
+
+    /// A store wrapper whose `xget` (the meta read that starts every split
+    /// load) can be parked on a gate, letting the test hold a leader
+    /// mid-load while a herd piles onto the in-flight slot.
+    struct GatedStore {
+        inner: Arc<KvNode>,
+        gate_open: Mutex<bool>,
+        cv: Condvar,
+        gated: AtomicBool,
+        gated_xgets: AtomicU64,
+    }
+
+    impl GatedStore {
+        fn new(inner: Arc<KvNode>) -> Self {
+            Self {
+                inner,
+                gate_open: Mutex::new(false),
+                cv: Condvar::new(),
+                gated: AtomicBool::new(false),
+                gated_xgets: AtomicU64::new(0),
+            }
+        }
+
+        fn open_gate(&self) {
+            *self.gate_open.lock() = true;
+            self.cv.notify_all();
+        }
+    }
+
+    impl ProfileStore for GatedStore {
+        fn set(&self, key: bytes::Bytes, value: bytes::Bytes) -> Result<Generation> {
+            self.inner.set(key, value)
+        }
+        fn get(&self, key: &[u8]) -> Result<Option<bytes::Bytes>> {
+            self.inner.get(key)
+        }
+        fn get_many(&self, keys: &[bytes::Bytes]) -> Result<Vec<Option<bytes::Bytes>>> {
+            self.inner.get_many(keys)
+        }
+        fn xget(&self, key: &[u8]) -> Result<(Option<bytes::Bytes>, Generation)> {
+            if self.gated.load(Ordering::Relaxed) {
+                let mut open = self.gate_open.lock();
+                while !*open {
+                    self.cv.wait(&mut open);
+                }
+                self.gated_xgets.fetch_add(1, Ordering::Relaxed);
+            }
+            self.inner.xget(key)
+        }
+        fn xset(
+            &self,
+            key: bytes::Bytes,
+            value: bytes::Bytes,
+            held: Generation,
+        ) -> Result<Generation> {
+            self.inner.xset(key, value, held)
+        }
+        fn delete(&self, key: &[u8]) -> Result<bool> {
+            self.inner.delete(key)
+        }
+    }
+
+    #[test]
+    fn herd_of_readers_coalesces_to_one_store_load() {
+        const READERS: usize = 64;
+        let node = Arc::new(KvNode::new("kv", KvNodeConfig::default()).unwrap());
+        let store = Arc::new(GatedStore::new(Arc::clone(&node)));
+        let persister = Arc::new(ProfilePersister::new(
+            Arc::clone(&store),
+            TableId::new(1),
+            PersistenceMode::Split { threshold_bytes: 0 },
+        ));
+        let c = Arc::new(
+            GCache::new(
+                persister,
+                CacheConfig {
+                    memory_budget_bytes: 64 << 20,
+                    lru_shards: 4,
+                    dirty_shards: 2,
+                    flush_threads: 2,
+                    swap_threads: 1,
+                    stale_pool_entries: 0,
+                    ..Default::default()
+                },
+                Arc::new(ips_types::SystemClock),
+            )
+            .unwrap(),
+        );
+        // Seed while the gate is inert, then go cold.
+        write_row(&c, 1, 1_000, 7);
+        c.flush_all().unwrap();
+        c.evict(ProfileId::new(1)).unwrap();
+
+        store.gated.store(true, Ordering::Relaxed);
+        let misses_before = c.hit_ratio.misses.get();
+        let store_loads_before = c.store_loads.get();
+
+        let handles: Vec<_> = (0..READERS)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    c.read(ProfileId::new(1), |p| p.feature_count())
+                        .unwrap()
+                        .unwrap()
+                })
+            })
+            .collect();
+        // The leader is parked inside the store; every other reader must
+        // join the in-flight slot instead of issuing its own load.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while c.stats().inflight_waiters < READERS - 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "waiters never gathered: {}",
+                c.stats().inflight_waiters
+            );
+            // lint: allow(sleep-in-test, reason = "polls real OS threads parking on the in-flight slot")
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        store.open_gate();
+        for h in handles {
+            let (count, hit) = h.join().unwrap();
+            assert_eq!(count, 1);
+            assert!(!hit, "herd readers all experienced the miss");
+        }
+        assert_eq!(
+            store.gated_xgets.load(Ordering::Relaxed),
+            1,
+            "exactly one meta read reached the store"
+        );
+        assert_eq!(c.store_loads.get(), store_loads_before + 1);
+        assert_eq!(
+            c.hit_ratio.misses.get(),
+            misses_before + 1,
+            "one miss, not 64"
+        );
+        assert_eq!(c.stats().coalesced_loads, (READERS - 1) as u64);
+        assert_eq!(c.stats().inflight_waiters, 0);
+    }
+
+    #[test]
+    fn coalesced_missing_profile_returns_none_to_all_readers() {
+        let node = Arc::new(KvNode::new("kv", KvNodeConfig::default()).unwrap());
+        let store = Arc::new(GatedStore::new(node));
+        let persister = Arc::new(ProfilePersister::new(
+            Arc::clone(&store),
+            TableId::new(1),
+            PersistenceMode::Split { threshold_bytes: 0 },
+        ));
+        let c = Arc::new(
+            GCache::new(
+                persister,
+                CacheConfig {
+                    memory_budget_bytes: 64 << 20,
+                    lru_shards: 2,
+                    dirty_shards: 2,
+                    flush_threads: 2,
+                    swap_threads: 1,
+                    ..Default::default()
+                },
+                Arc::new(ips_types::SystemClock),
+            )
+            .unwrap(),
+        );
+        store.gated.store(true, Ordering::Relaxed);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || c.read(ProfileId::new(404), |_| ()).unwrap())
+            })
+            .collect();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while c.stats().inflight_waiters < 7 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "waiters never gathered"
+            );
+            // lint: allow(sleep-in-test, reason = "polls real OS threads parking on the in-flight slot")
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        store.open_gate();
+        for h in handles {
+            assert!(h.join().unwrap().is_none());
+        }
+        assert_eq!(c.hit_ratio.misses.get(), 1, "one miss for the whole herd");
+        assert_eq!(c.stats().coalesced_loads, 7);
     }
 }

@@ -72,6 +72,6 @@ pub mod server;
 
 pub use cache::GCache;
 pub use model::{IndexedFeatureStat, InstanceSet, ProfileData, Slice};
-pub use persist::{ProfilePersister, ProfileStore};
+pub use persist::{ProfilePersister, ProfileStore, SliceProjection, SliceRefInfo};
 pub use query::{FeatureEntry, FilterPredicate, ProfileQuery, QueryKind, QueryResult};
 pub use server::{IpsInstance, IpsInstanceOptions};

@@ -14,6 +14,14 @@ use ips_types::Result;
 pub trait ProfileStore: Send + Sync {
     fn set(&self, key: Bytes, value: Bytes) -> Result<Generation>;
     fn get(&self, key: &[u8]) -> Result<Option<Bytes>>;
+    /// Batched read: many keys in one round trip, results in input order.
+    /// The default loops over [`ProfileStore::get`] so existing backends
+    /// stay correct; backends with a native multi-get should override it to
+    /// amortize per-op service cost (the split-profile loader depends on
+    /// that to fetch all projected slices in one call).
+    fn get_many(&self, keys: &[Bytes]) -> Result<Vec<Option<Bytes>>> {
+        keys.iter().map(|k| self.get(k)).collect()
+    }
     fn xget(&self, key: &[u8]) -> Result<(Option<Bytes>, Generation)>;
     fn xset(&self, key: Bytes, value: Bytes, held: Generation) -> Result<Generation>;
     fn delete(&self, key: &[u8]) -> Result<bool>;
@@ -25,6 +33,9 @@ impl ProfileStore for KvNode {
     }
     fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
         KvNode::get(self, key)
+    }
+    fn get_many(&self, keys: &[Bytes]) -> Result<Vec<Option<Bytes>>> {
+        KvNode::get_many(self, keys)
     }
     fn xget(&self, key: &[u8]) -> Result<(Option<Bytes>, Generation)> {
         KvNode::xget(self, key)
@@ -64,6 +75,9 @@ impl<T: ProfileStore + ?Sized> ProfileStore for std::sync::Arc<T> {
     fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
         (**self).get(key)
     }
+    fn get_many(&self, keys: &[Bytes]) -> Result<Vec<Option<Bytes>>> {
+        (**self).get_many(keys)
+    }
     fn xget(&self, key: &[u8]) -> Result<(Option<Bytes>, Generation)> {
         (**self).xget(key)
     }
@@ -102,6 +116,30 @@ mod tests {
         let store: Arc<dyn ProfileStore> = node;
         store.set(b("k"), b("v")).unwrap();
         assert_eq!(store.get(b"k").unwrap(), Some(b("v")));
+    }
+
+    #[test]
+    fn get_many_forwards_to_native_multi_get_through_arc() {
+        let node = Arc::new(KvNode::new("n", KvNodeConfig::default()).unwrap());
+        node.set(b("a"), b("1")).unwrap();
+        node.set(b("b"), b("2")).unwrap();
+        let store: Arc<dyn ProfileStore> = Arc::clone(&node) as Arc<dyn ProfileStore>;
+        let ops_before = node.stats().ops;
+        let got = store.get_many(&[b("a"), b("missing"), b("b")]).unwrap();
+        assert_eq!(got, vec![Some(b("1")), None, Some(b("2"))]);
+        // The Arc impl must forward to the node's single-op batch, not fall
+        // back to the default per-key loop.
+        assert_eq!(node.stats().ops, ops_before + 1);
+    }
+
+    #[test]
+    fn get_many_default_loop_works_for_replicated() {
+        let master = Arc::new(KvNode::new("m", KvNodeConfig::default()).unwrap());
+        let group = ReplicatedKv::new(master, Vec::new(), ips_kv::ReplicaReadMode::AllowStale);
+        let store: &dyn ProfileStore = &group;
+        store.set(b("k1"), b("v1")).unwrap();
+        let got = store.get_many(&[b("k1"), b("k2")]).unwrap();
+        assert_eq!(got, vec![Some(b("v1")), None]);
     }
 
     #[test]

@@ -17,5 +17,7 @@ pub mod persister;
 pub mod schema;
 
 pub use backend::ProfileStore;
-pub use persister::{LoadOutcome, ProfilePersister};
+pub use persister::{
+    LoadOutcome, LoadedSlices, ProfilePersister, SliceLoadOutcome, SliceProjection, SliceRefInfo,
+};
 pub use schema::{decode_profile, encode_profile};

@@ -20,9 +20,9 @@ use bytes::Bytes;
 use ips_codec::decode_frame;
 use ips_codec::wire::{WireReader, WireWriter};
 use ips_kv::Generation;
-use ips_types::{IpsError, PersistenceMode, ProfileId, Result, TableId, Timestamp};
+use ips_types::{IpsError, PersistenceMode, ProfileId, Result, TableId, TimeRange, Timestamp};
 
-use crate::model::ProfileData;
+use crate::model::{ProfileData, Slice};
 
 use super::backend::ProfileStore;
 use super::schema::{decode_profile, encode_profile};
@@ -52,18 +52,20 @@ fn slice_key(table: TableId, pid: ProfileId, seq: u64) -> Bytes {
     Bytes::from(k)
 }
 
-/// One slice reference inside the meta value.
+/// One slice reference inside the meta value: the stored sequence number
+/// plus the exact time range the slice covers. Public so the cache layer can
+/// track which referenced slices a partial profile has not materialized yet.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct SliceRef {
-    seq: u64,
-    start: Timestamp,
-    end: Timestamp,
+pub struct SliceRefInfo {
+    pub seq: u64,
+    pub start: Timestamp,
+    pub end: Timestamp,
 }
 
 /// The decoded meta value (Fig 13's "slice meta structure").
 #[derive(Clone, Debug, Default, PartialEq)]
 struct SliceMeta {
-    refs: Vec<SliceRef>,
+    refs: Vec<SliceRefInfo>,
     next_seq: u64,
     last_compacted: Timestamp,
 }
@@ -77,7 +79,7 @@ const R_END: u32 = 3;
 
 impl SliceMeta {
     fn encode(&self) -> Vec<u8> {
-        let mut w = WireWriter::new();
+        let mut w = WireWriter::pooled();
         w.put_u64(M_NEXT_SEQ, self.next_seq);
         w.put_fixed64(M_LAST_COMPACTED, self.last_compacted.as_millis());
         for r in &self.refs {
@@ -87,7 +89,9 @@ impl SliceMeta {
                 rw.put_fixed64(R_END, r.end.as_millis());
             });
         }
-        super::schema::frame_with_ambient_trace(&w.into_bytes())
+        let framed = super::schema::frame_with_ambient_trace(w.as_slice());
+        w.recycle();
+        framed
     }
 
     fn decode(frame: &[u8]) -> Result<Self> {
@@ -101,7 +105,7 @@ impl SliceMeta {
                         meta.last_compacted = Timestamp::from_millis(v.as_u64(f)?);
                     }
                     M_REF => {
-                        let mut r = SliceRef {
+                        let mut r = SliceRefInfo {
                             seq: 0,
                             start: Timestamp::ZERO,
                             end: Timestamp::ZERO,
@@ -135,6 +139,72 @@ pub enum LoadOutcome {
         profile: ProfileData,
         generation: Generation,
     },
+    /// The store has no data for this profile.
+    Missing,
+}
+
+/// Which slices a load must materialize (§III-E: the split layout exists so
+/// readers can touch a *subset* of slices).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SliceProjection {
+    /// Materialize every referenced slice — the classic full load.
+    Full,
+    /// Materialize only slices overlapping the query's time range, resolved
+    /// against `now` and (for [`TimeRange::Relative`]) the last-action
+    /// anchor derived from the slice meta itself — the meta records every
+    /// slice's exact `[start, end)`, so the anchor a full profile would
+    /// report is recoverable without loading any slice data. The newest
+    /// referenced slice is always included so a partial profile answers
+    /// `last_action_hint()` identically to a fully loaded one.
+    Window { range: TimeRange, now: Timestamp },
+}
+
+impl SliceProjection {
+    /// Split `refs` into (selected, skipped) under this projection.
+    fn partition(&self, refs: &[SliceRefInfo]) -> (Vec<SliceRefInfo>, Vec<SliceRefInfo>) {
+        match *self {
+            SliceProjection::Full => (refs.to_vec(), Vec::new()),
+            SliceProjection::Window { range, now } => {
+                let newest = refs.iter().map(|r| r.end).max();
+                // The anchor a full profile would report: head slice end - 1.
+                let anchor = newest.map(|end| Timestamp::from_millis(end.as_millis() - 1));
+                let window = range.resolve(now, anchor);
+                let mut selected = Vec::new();
+                let mut skipped = Vec::new();
+                for r in refs {
+                    let is_head = Some(r.end) == newest;
+                    if is_head || window.overlaps(r.start, r.end) {
+                        selected.push(*r);
+                    } else {
+                        skipped.push(*r);
+                    }
+                }
+                (selected, skipped)
+            }
+        }
+    }
+}
+
+/// A successfully projected load: the (possibly partial) profile plus the
+/// meta refs that were *not* materialized and the storage cost incurred.
+#[derive(Debug)]
+pub struct LoadedSlices {
+    pub profile: ProfileData,
+    pub generation: Generation,
+    /// Referenced slices the projection skipped; the cache upgrades the
+    /// entry in place via [`ProfilePersister::fetch_slices`] when a later
+    /// query needs them. Empty for full loads and bulk-mode profiles.
+    pub missing: Vec<SliceRefInfo>,
+    /// Storage round trips issued (meta read, multi-get, bulk read).
+    pub round_trips: u32,
+    /// Payload bytes read from the store.
+    pub bytes_read: u64,
+}
+
+/// The outcome of a projected load.
+#[derive(Debug)]
+pub enum SliceLoadOutcome {
+    Loaded(LoadedSlices),
     /// The store has no data for this profile.
     Missing,
 }
@@ -274,7 +344,7 @@ impl<S: ProfileStore> ProfilePersister<S> {
                     seq
                 }
             };
-            new_refs.push(SliceRef {
+            new_refs.push(SliceRefInfo {
                 seq,
                 start: slice.start(),
                 end: slice.end(),
@@ -317,49 +387,110 @@ impl<S: ProfileStore> ProfilePersister<S> {
     /// Load a profile. Tries split meta first, then the bulk key, so a table
     /// migrated between modes still finds its data.
     pub fn load(&self, pid: ProfileId) -> Result<LoadOutcome> {
+        match self.load_slices(pid, &SliceProjection::Full)? {
+            SliceLoadOutcome::Loaded(LoadedSlices {
+                profile,
+                generation,
+                ..
+            }) => Ok(LoadOutcome::Loaded {
+                profile,
+                generation,
+            }),
+            SliceLoadOutcome::Missing => Ok(LoadOutcome::Missing),
+        }
+    }
+
+    /// Load a profile, materializing only the slices `projection` selects.
+    /// Split profiles read the meta, then fetch the selected slice values in
+    /// a single multi-get ([`ProfileStore::get_many`]) — one round trip no
+    /// matter how many slices qualify, instead of N sequential gets. Bulk
+    /// profiles are indivisible and always load fully.
+    pub fn load_slices(
+        &self,
+        pid: ProfileId,
+        projection: &SliceProjection,
+    ) -> Result<SliceLoadOutcome> {
         self.metrics.loads.inc();
         // Split path.
         let (meta_bytes, generation) = self.store.xget(&meta_key(self.table, pid))?;
+        let mut round_trips = 1u32;
         if let Some(meta_bytes) = meta_bytes {
+            let mut bytes_read = meta_bytes.len() as u64;
             self.metrics.bytes_read.add(meta_bytes.len() as u64);
             let meta = SliceMeta::decode(&meta_bytes)?;
+            let (selected, missing) = projection.partition(&meta.refs);
             let mut profile = ProfileData::new();
             profile.last_compacted = meta.last_compacted;
-            let mut slices = Vec::with_capacity(meta.refs.len());
-            for r in &meta.refs {
-                match self.store.get(&slice_key(self.table, pid, r.seq))? {
-                    Some(bytes) => {
-                        self.metrics.bytes_read.add(bytes.len() as u64);
-                        slices.push(super::schema::decode_slice(&bytes)?);
-                    }
-                    None => {
-                        // Torn write (crash between slice and meta writes the
-                        // other way round, or replica lag): skip the slice —
-                        // the weak-consistency stance from §III-G.
-                        self.metrics.torn_slices_skipped.inc();
-                    }
-                }
+            let mut slices = Vec::with_capacity(selected.len());
+            if !selected.is_empty() {
+                let (fetched, rt, bytes) = self.fetch_slices(pid, &selected)?;
+                slices = fetched;
+                round_trips += rt;
+                bytes_read += bytes;
             }
             slices.sort_by_key(|s| std::cmp::Reverse(s.start()));
             *profile.slices_mut() = slices;
             profile.check_invariants().map_err(IpsError::Codec)?;
-            return Ok(LoadOutcome::Loaded {
+            return Ok(SliceLoadOutcome::Loaded(LoadedSlices {
                 profile,
                 generation,
-            });
+                missing,
+                round_trips,
+                bytes_read,
+            }));
         }
         // Bulk path.
         let (bulk, generation) = self.store.xget(&bulk_key(self.table, pid))?;
+        round_trips += 1;
         match bulk {
             Some(bytes) => {
                 self.metrics.bytes_read.add(bytes.len() as u64);
-                Ok(LoadOutcome::Loaded {
+                Ok(SliceLoadOutcome::Loaded(LoadedSlices {
                     profile: decode_profile(&bytes)?,
                     generation,
-                })
+                    missing: Vec::new(),
+                    round_trips,
+                    bytes_read: bytes.len() as u64,
+                }))
             }
-            None => Ok(LoadOutcome::Missing),
+            None => Ok(SliceLoadOutcome::Missing),
         }
+    }
+
+    /// Fetch and decode the given slice refs in one multi-get. Torn refs
+    /// (deleted between meta read and fetch, or replica lag) are skipped, per
+    /// the §III-G weak-consistency stance. Returns the decoded slices plus
+    /// (round trips, payload bytes) for storage-cost accounting. Used by the
+    /// projected load above and by the cache to upgrade partial entries in
+    /// place.
+    pub fn fetch_slices(
+        &self,
+        pid: ProfileId,
+        refs: &[SliceRefInfo],
+    ) -> Result<(Vec<Slice>, u32, u64)> {
+        if refs.is_empty() {
+            return Ok((Vec::new(), 0, 0));
+        }
+        let keys: Vec<Bytes> = refs
+            .iter()
+            .map(|r| slice_key(self.table, pid, r.seq))
+            .collect();
+        let values = self.store.get_many(&keys)?;
+        let mut slices = Vec::with_capacity(refs.len());
+        let mut bytes_read = 0u64;
+        for value in values {
+            match value {
+                Some(bytes) => {
+                    bytes_read += bytes.len() as u64;
+                    self.metrics.bytes_read.add(bytes.len() as u64);
+                    slices.push(super::schema::decode_slice(&bytes)?);
+                }
+                None => {
+                    self.metrics.torn_slices_skipped.inc();
+                }
+            }
+        }
+        Ok((slices, 1, bytes_read))
     }
 
     /// Delete all persisted state for a profile (both modes).
@@ -536,6 +667,116 @@ mod tests {
             LoadOutcome::Missing => panic!("should load partially"),
         }
         assert_eq!(p.metrics.torn_slices_skipped.get(), 1);
+    }
+
+    #[test]
+    fn projected_load_fetches_only_window_slices_plus_head() {
+        let store = node();
+        let p = ProfilePersister::new(
+            Arc::clone(&store),
+            TABLE,
+            PersistenceMode::Split { threshold_bytes: 0 },
+        );
+        // Slices at [1000,2000), [11000,12000), ..., [41000,42000).
+        p.save(PID, &mut sample_profile(5), 0).unwrap();
+        let ops_before = store.stats().ops;
+        let projection = SliceProjection::Window {
+            range: ips_types::TimeRange::Absolute {
+                start: ts(11_000),
+                end: ts(12_000),
+            },
+            now: ts(50_000),
+        };
+        match p.load_slices(PID, &projection).unwrap() {
+            SliceLoadOutcome::Loaded(loaded) => {
+                // The window slice plus the forced head slice.
+                assert_eq!(loaded.profile.slice_count(), 2);
+                assert_eq!(loaded.missing.len(), 3);
+                assert_eq!(loaded.round_trips, 2, "meta xget + one multi-get");
+                assert!(loaded.bytes_read > 0);
+                assert_eq!(
+                    loaded.profile.last_action_hint(),
+                    Some(ts(41_999)),
+                    "head slice always loaded so the hint matches a full load"
+                );
+                loaded.profile.check_invariants().unwrap();
+                // Meta xget + one multi-get = 2 KV ops regardless of count.
+                assert_eq!(store.stats().ops, ops_before + 2);
+                // Upgrading with the missing refs reconstructs the full set.
+                let (rest, rt, _) = p.fetch_slices(PID, &loaded.missing).unwrap();
+                assert_eq!(rest.len(), 3);
+                assert_eq!(rt, 1);
+            }
+            SliceLoadOutcome::Missing => panic!("expected profile"),
+        }
+    }
+
+    #[test]
+    fn projected_relative_range_anchors_on_meta_head() {
+        let p = ProfilePersister::new(node(), TABLE, PersistenceMode::Split { threshold_bytes: 0 });
+        p.save(PID, &mut sample_profile(4), 0).unwrap();
+        // Relative lookback of 1ms anchors on the newest action (41_999 for
+        // the head slice [31000,32000)... here 4 slices -> head [31000,32000),
+        // anchor 31_999): only the head slice overlaps.
+        let projection = SliceProjection::Window {
+            range: ips_types::TimeRange::Relative {
+                lookback: DurationMs::from_millis(1),
+            },
+            now: ts(999_999),
+        };
+        match p.load_slices(PID, &projection).unwrap() {
+            SliceLoadOutcome::Loaded(loaded) => {
+                assert_eq!(loaded.profile.slice_count(), 1);
+                assert_eq!(loaded.missing.len(), 3);
+                assert_eq!(loaded.profile.last_action_hint(), Some(ts(31_999)));
+            }
+            SliceLoadOutcome::Missing => panic!("expected profile"),
+        }
+    }
+
+    #[test]
+    fn full_projection_reports_no_missing_and_uses_multi_get() {
+        let store = node();
+        let p = ProfilePersister::new(
+            Arc::clone(&store),
+            TABLE,
+            PersistenceMode::Split { threshold_bytes: 0 },
+        );
+        p.save(PID, &mut sample_profile(6), 0).unwrap();
+        let ops_before = store.stats().ops;
+        match p.load_slices(PID, &SliceProjection::Full).unwrap() {
+            SliceLoadOutcome::Loaded(loaded) => {
+                assert_eq!(loaded.profile.slice_count(), 6);
+                assert!(loaded.missing.is_empty());
+                assert_eq!(loaded.round_trips, 2);
+            }
+            SliceLoadOutcome::Missing => panic!("expected profile"),
+        }
+        assert_eq!(
+            store.stats().ops,
+            ops_before + 2,
+            "full load is meta + one multi-get, not N gets"
+        );
+    }
+
+    #[test]
+    fn bulk_profile_ignores_projection() {
+        let p = ProfilePersister::new(node(), TABLE, PersistenceMode::Bulk);
+        p.save(PID, &mut sample_profile(3), 0).unwrap();
+        let projection = SliceProjection::Window {
+            range: ips_types::TimeRange::Absolute {
+                start: ts(0),
+                end: ts(1),
+            },
+            now: ts(50_000),
+        };
+        match p.load_slices(PID, &projection).unwrap() {
+            SliceLoadOutcome::Loaded(loaded) => {
+                assert_eq!(loaded.profile.slice_count(), 3, "bulk is indivisible");
+                assert!(loaded.missing.is_empty());
+            }
+            SliceLoadOutcome::Missing => panic!("expected profile"),
+        }
     }
 
     #[test]

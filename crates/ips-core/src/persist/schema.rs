@@ -64,12 +64,16 @@ fn write_slice(w: &mut WireWriter, slice: &Slice) {
     }
 }
 
-/// Serialize one slice to framed (compressed, checksummed) bytes.
+/// Serialize one slice to framed (compressed, checksummed) bytes. The wire
+/// scratch buffer is pooled; only the framed output is a fresh allocation
+/// (it escapes to the KV layer).
 #[must_use]
 pub fn encode_slice(slice: &Slice) -> Vec<u8> {
-    let mut w = WireWriter::with_capacity(1024);
+    let mut w = WireWriter::pooled();
     write_slice(&mut w, slice);
-    frame_with_ambient_trace(&w.into_bytes())
+    let framed = frame_with_ambient_trace(w.as_slice());
+    w.recycle();
+    framed
 }
 
 /// Decoded per-slot payload: slot → action → (feature, counts) triples.
@@ -171,15 +175,18 @@ pub fn decode_slice(frame: &[u8]) -> Result<Slice> {
     read_slice(&body)
 }
 
-/// Serialize a whole profile to framed bytes (bulk mode, Fig 12).
+/// Serialize a whole profile to framed bytes (bulk mode, Fig 12). Wire
+/// scratch comes from the thread-local pool, like [`encode_slice`].
 #[must_use]
 pub fn encode_profile(profile: &ProfileData) -> Vec<u8> {
-    let mut w = WireWriter::with_capacity(4096);
+    let mut w = WireWriter::pooled();
     w.put_fixed64(F_LAST_COMPACTED, profile.last_compacted.as_millis());
     for slice in profile.slices() {
         w.put_message(F_SLICE, |sw| write_slice(sw, slice));
     }
-    frame_with_ambient_trace(&w.into_bytes())
+    let framed = frame_with_ambient_trace(w.as_slice());
+    w.recycle();
+    framed
 }
 
 /// Deserialize a whole profile from framed bytes.

@@ -7,6 +7,8 @@ use ips_types::{
     TimeRange, Timestamp,
 };
 
+use crate::persist::SliceProjection;
+
 /// What to do after the merge/aggregation step.
 #[derive(Clone, Debug, PartialEq)]
 pub enum QueryKind {
@@ -149,6 +151,18 @@ impl ProfileQuery {
         self
     }
 
+    /// The slice projection this query touches: a cache miss loads only the
+    /// slices overlapping the query window, plus the head slice (which the
+    /// persister always includes so `TimeRange::Relative` anchors resolve
+    /// identically on partial and full loads).
+    #[must_use]
+    pub fn projection(&self, now: Timestamp) -> SliceProjection {
+        SliceProjection::Window {
+            range: self.range,
+            now,
+        }
+    }
+
     /// Override the sort key/order for top-K and decay queries.
     #[must_use]
     pub fn with_sort(mut self, sort: SortKey, order: SortOrder) -> Self {
@@ -195,6 +209,12 @@ pub struct QueryResult {
     pub degraded: bool,
     /// How stale the serving data was, for degraded results (zero otherwise).
     pub staleness: ips_types::DurationMs,
+    /// Storage round trips this query's cache access performed (0 on a pure
+    /// hit; a coalesced miss reports the shared load's round trips). Lets
+    /// clients model real fetch cost instead of a flat per-miss constant.
+    pub kv_round_trips: u32,
+    /// Payload bytes the cache access read from the store.
+    pub kv_bytes_read: u64,
 }
 
 impl QueryResult {

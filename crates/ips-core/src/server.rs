@@ -499,13 +499,21 @@ impl IpsInstance {
         let started_us = monotonic_micros();
         let cfg = rt.config.load();
         let now = self.clock.now();
-        let outcome = rt.cache.read(query.profile, |profile| {
-            let _compute = ips_trace::child("compute");
-            engine::execute(profile, query, cfg.aggregate, &cfg.compaction.shrink, now)
-        })?;
+        // Push the query's window down into the cache: a miss loads only the
+        // slices the window touches (plus the head slice), and the entry is
+        // upgraded in place if a later query needs more.
+        let projection = query.projection(now);
+        let outcome = rt
+            .cache
+            .read_projected(query.profile, &projection, |profile| {
+                let _compute = ips_trace::child("compute");
+                engine::execute(profile, query, cfg.aggregate, &cfg.compaction.shrink, now)
+            })?;
         let result = match outcome {
-            Some((mut r, hit)) => {
+            Some((mut r, hit, cost)) => {
                 r.cache_hit = hit;
+                r.kv_round_trips = cost.round_trips;
+                r.kv_bytes_read = cost.bytes_read;
                 r
             }
             None => QueryResult::default(),

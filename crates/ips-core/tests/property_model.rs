@@ -5,18 +5,25 @@
 //! * compaction and truncation preserve (respectively bound) aggregate
 //!   totals under any time-dimension configuration;
 //! * the profile wire codec round-trips arbitrary profiles;
-//! * query results equal a naive reference implementation.
+//! * query results equal a naive reference implementation;
+//! * a projected (window) load answers window queries exactly like a full
+//!   load, and upgrading the partial entry to full coverage reconstructs
+//!   the complete profile.
+
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use ips_core::compact::compactor::compact_profile;
 use ips_core::model::ProfileData;
-use ips_core::persist::{decode_profile, encode_profile};
+use ips_core::persist::{decode_profile, encode_profile, ProfilePersister, SliceProjection};
 use ips_core::query::{engine, FilterPredicate, ProfileQuery};
+use ips_core::GCache;
+use ips_kv::{KvNode, KvNodeConfig};
 use ips_types::{
-    ActionTypeId, AggregateFunction, CompactionConfig, CountVector, DurationMs, FeatureId,
-    ProfileId, ShrinkConfig, SlotId, TableId, TimeDimensionConfig, TimeRange, Timestamp,
-    TruncateConfig,
+    ActionTypeId, AggregateFunction, CacheConfig, CompactionConfig, CountVector, DurationMs,
+    FeatureId, PersistenceMode, ProfileId, ShrinkConfig, SlotId, SystemClock, TableId,
+    TimeDimensionConfig, TimeRange, Timestamp, TruncateConfig,
 };
 
 #[derive(Clone, Debug)]
@@ -192,6 +199,91 @@ proptest! {
             .map(|(_, c)| c.get_or_zero(0))
             .sum();
         prop_assert_eq!(engine_total, reference);
+    }
+
+    #[test]
+    fn projected_load_plus_upgrade_matches_full_load(
+        writes in proptest::collection::vec(arb_write(), 1..150),
+        granularity_s in 1u64..600,
+        window_start in 0u64..2_500_000,
+        window_len in 1u64..2_500_000,
+    ) {
+        let node = Arc::new(KvNode::new("kv", KvNodeConfig::default()).unwrap());
+        let persister = Arc::new(ProfilePersister::new(
+            node,
+            TableId::new(1),
+            PersistenceMode::Split { threshold_bytes: 0 },
+        ));
+        let cache = GCache::new(
+            persister,
+            CacheConfig {
+                memory_budget_bytes: 64 << 20,
+                lru_shards: 2,
+                dirty_shards: 1,
+                flush_threads: 1,
+                swap_threads: 1,
+                ..Default::default()
+            },
+            Arc::new(SystemClock),
+        )
+        .unwrap();
+        let pid = ProfileId::new(1);
+        let granularity = DurationMs::from_secs(granularity_s);
+        cache.write(pid, |p| apply(p, &writes, granularity)).unwrap();
+        cache.flush_all().unwrap();
+
+        let now = Timestamp::from_millis(5_000_000);
+        let range = TimeRange::Absolute {
+            start: Timestamp::from_millis(window_start),
+            end: Timestamp::from_millis(window_start.saturating_add(window_len)),
+        };
+        let window_query = ProfileQuery::filter(
+            TableId::new(1),
+            pid,
+            SlotId::new(1),
+            range,
+            FilterPredicate::All,
+        );
+        let run = |p: &ProfileData| {
+            engine::execute(p, &window_query, AggregateFunction::Sum, &ShrinkConfig::default(), now)
+        };
+
+        // Reference pass: a cold full load.
+        prop_assert!(cache.evict(pid).unwrap());
+        let (full_result, hit, _) = cache
+            .read_projected(pid, &SliceProjection::Full, run)
+            .unwrap()
+            .unwrap();
+        prop_assert!(!hit);
+        let (full_shape, _, _) = cache
+            .read_projected(pid, &SliceProjection::Full, |p| {
+                (p.slice_count(), grand_total(p))
+            })
+            .unwrap()
+            .unwrap();
+
+        // Projected pass: cold load of just the window's slices...
+        prop_assert!(cache.evict(pid).unwrap());
+        let projection = SliceProjection::Window { range, now };
+        let (projected_result, hit, _) = cache
+            .read_projected(pid, &projection, run)
+            .unwrap()
+            .unwrap();
+        prop_assert!(!hit);
+        // ...which must answer the window query exactly like the full load.
+        prop_assert_eq!(&projected_result, &full_result);
+
+        // Upgrading the partial entry in place must reconstruct the
+        // complete profile, structurally identical to the full load.
+        let ((invariants, upgraded_shape), hit, _) = cache
+            .read_projected(pid, &SliceProjection::Full, |p| {
+                (p.check_invariants(), (p.slice_count(), grand_total(p)))
+            })
+            .unwrap()
+            .unwrap();
+        prop_assert!(hit, "upgrade happens on a resident entry");
+        prop_assert!(invariants.is_ok(), "{invariants:?}");
+        prop_assert_eq!(upgraded_shape, full_shape);
     }
 
     #[test]

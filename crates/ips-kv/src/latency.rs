@@ -54,10 +54,35 @@ impl KvLatencyModel {
         self.base_us + self.per_kib_us * (bytes as u64).div_ceil(1024)
     }
 
+    /// Fixed cost of one *additional* round trip issued back-to-back on an
+    /// already-open storage conversation (the split-profile loader's
+    /// meta-then-multi-get sequence): connection setup and queueing are
+    /// amortized, leaving roughly a fifth of the cold per-op cost.
+    #[must_use]
+    pub fn amortized_op_us(&self) -> u64 {
+        self.base_us / 5
+    }
+
+    /// Deterministic expected service time for a profile fetch that issues
+    /// `round_trips` storage ops and moves `bytes` in total. The first op
+    /// pays the full fixed cost, each further op the amortized cost — this
+    /// is what makes one multi-get of N slices far cheaper than N gets.
+    #[must_use]
+    pub fn expected_fetch_us(&self, round_trips: u32, bytes: usize) -> u64 {
+        let extra = u64::from(round_trips.saturating_sub(1)) * self.amortized_op_us();
+        self.expected_us(bytes) + extra
+    }
+
     /// One sampled service time, in microseconds.
     #[must_use]
     pub fn sample_us(&self, bytes: usize, rng: &mut SmallRng) -> u64 {
-        let expected = self.expected_us(bytes) as f64;
+        self.sample_fetch_us(1, bytes, rng)
+    }
+
+    /// One sampled multi-op fetch service time, in microseconds.
+    #[must_use]
+    pub fn sample_fetch_us(&self, round_trips: u32, bytes: usize, rng: &mut SmallRng) -> u64 {
+        let expected = self.expected_fetch_us(round_trips, bytes) as f64;
         if self.jitter <= 0.0 {
             return expected as u64;
         }
@@ -91,6 +116,20 @@ mod tests {
         assert!(big > small);
         // 40 KiB profile fetch lands in the paper's 2-4ms miss penalty.
         assert!((2_000..=4_500).contains(&big), "40KiB fetch = {big}us");
+    }
+
+    #[test]
+    fn fetch_amortizes_extra_round_trips() {
+        let m = KvLatencyModel::production_default();
+        let one = m.expected_fetch_us(1, 8 << 10);
+        let two = m.expected_fetch_us(2, 8 << 10);
+        assert_eq!(one, m.expected_us(8 << 10));
+        assert_eq!(two - one, m.amortized_op_us());
+        // A projected 2-round-trip small fetch beats the old flat 32 KiB
+        // single-op miss model (~3.4 ms) by a wide margin.
+        assert!(m.expected_fetch_us(2, 4 << 10) < m.expected_us(32 << 10));
+        // Zero round trips does not underflow.
+        assert_eq!(m.expected_fetch_us(0, 0), m.base_us);
     }
 
     #[test]

@@ -215,6 +215,17 @@ impl KvNode {
         Ok(self.store.get(key))
     }
 
+    /// Batched plain read (multi-get): one round trip answering many keys,
+    /// in input order. Availability is checked and the op counter bumped
+    /// once per batch — amortizing the per-op service cost is the whole
+    /// point of multi-get (the split-profile loader fetches every projected
+    /// slice in a single call instead of N sequential gets).
+    pub fn get_many(&self, keys: &[Bytes]) -> Result<Vec<Option<Bytes>>> {
+        self.check_available()?;
+        self.ops.inc();
+        Ok(keys.iter().map(|k| self.store.get(k)).collect())
+    }
+
     /// Versioned read (split persistence, Fig 14).
     pub fn xget(&self, key: &[u8]) -> Result<(Option<Bytes>, Generation)> {
         self.check_available()?;
@@ -334,6 +345,17 @@ mod tests {
         assert!(n.delete(b"k").unwrap());
         assert_eq!(n.get(b"k").unwrap(), None);
         assert_eq!(n.stats().ops, 4);
+    }
+
+    #[test]
+    fn get_many_is_one_op() {
+        let n = KvNode::new("n1", KvNodeConfig::default()).unwrap();
+        n.set(b("a"), b("1")).unwrap();
+        n.set(b("c"), b("3")).unwrap();
+        let ops_before = n.stats().ops;
+        let got = n.get_many(&[b("a"), b("b"), b("c")]).unwrap();
+        assert_eq!(got, vec![Some(b("1")), None, Some(b("3"))]);
+        assert_eq!(n.stats().ops, ops_before + 1, "multi-get is one op");
     }
 
     #[test]

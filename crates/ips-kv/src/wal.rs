@@ -56,6 +56,7 @@ impl WalRecord {
                 w.put_bytes(2, key);
             }
         }
+        // lint: allow(encode-alloc, reason = "the record is appended to the WAL and must own its bytes")
         w.into_bytes()
     }
 

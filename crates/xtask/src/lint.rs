@@ -1,6 +1,6 @@
 //! The source-level lint pass behind `cargo run -p xtask -- check`.
 //!
-//! Six repo-specific rules that clippy cannot express:
+//! Seven repo-specific rules that clippy cannot express:
 //!
 //! * `unwrap` — no `.unwrap()` / `.expect(` in non-test code of the serving
 //!   crates; a panic in the serving path takes down every scenario sharing
@@ -25,6 +25,13 @@
 //!   must consult a deadline or an attempt bound (`deadline`, `attempts`,
 //!   `tries`, `budget`, `remaining`) somewhere in its body; a retry loop
 //!   with neither spins forever against a dead dependency.
+//! * `encode-alloc` — no fresh buffer allocation (`.into_bytes()`,
+//!   `Vec::new()`, `Vec::with_capacity(`) inside an `encode*`/`serialize*`
+//!   function of a serving crate: encode hot paths run per request and per
+//!   flush, so they must reuse the thread-local buffer pool
+//!   (`WireWriter::pooled()` / `ips-codec`'s `take_buf`) instead of paying
+//!   an allocation per call. Top-level entry points that must hand an owned
+//!   `Vec<u8>` to the caller carry an annotation.
 //!
 //! Any rule can be waived on a specific line with an annotation carrying a
 //! mandatory reason:
@@ -199,6 +206,9 @@ const RETRY_BOUND_TOKENS: &[&str] = &["deadline", "attempts", "tries", "budget",
 /// through it rather than calling the endpoint directly.
 const RETRY_WIRE_CALLS: &[&str] = &[".call(", ".dispatch(", ".replicate(", "attempt_once("];
 
+/// Allocation fragments that rule (g) hunts inside encode/serialize bodies.
+const ENCODE_ALLOC_PATTERNS: &[&str] = &[".into_bytes()", "Vec::new()", "Vec::with_capacity("];
+
 /// One `loop {` being tracked for rule (f).
 struct ActiveLoop {
     /// Brace depth just *before* the loop's opening `{`.
@@ -222,6 +232,10 @@ struct Scan {
     test_region: Option<i32>,
     guards: Vec<ActiveGuard>,
     loops: Vec<ActiveLoop>,
+    /// `fn encode*`/`fn serialize*` header seen; waiting for the body's `{`.
+    pending_encode_fn: bool,
+    /// Brace depth at which the current encode-fn body opened.
+    encode_region: Option<i32>,
     /// Allow from a comment-only line, waived onto the next code line.
     carried_allow: Option<String>,
 }
@@ -237,6 +251,8 @@ pub fn lint_file(rel: &str, src: &str, kind: FileKind) -> Vec<Violation> {
         test_region: None,
         guards: Vec::new(),
         loops: Vec::new(),
+        pending_encode_fn: false,
+        encode_region: None,
         carried_allow: None,
     };
 
@@ -376,6 +392,29 @@ pub fn lint_file(rel: &str, src: &str, kind: FileKind) -> Vec<Violation> {
             });
         }
 
+        // ---- rule (g): fresh buffer allocation in encode hot paths -------
+        if kind.serving && !in_test {
+            if declared_fn_name(&code).is_some_and(|n| is_encode_fn(&n)) {
+                st.pending_encode_fn = true;
+            }
+            let in_encode = st.encode_region.is_some() || st.pending_encode_fn;
+            if in_encode && !allowed("encode-alloc") {
+                if let Some(pat) = ENCODE_ALLOC_PATTERNS.iter().find(|p| code.contains(**p)) {
+                    out.push(Violation {
+                        file: rel.to_string(),
+                        line: line_no,
+                        rule: "encode-alloc",
+                        message: format!(
+                            "`{pat}` allocates a fresh buffer inside an encode/serialize body"
+                        ),
+                        hint: "reuse the thread-local pool (WireWriter::pooled() / ips-codec's \
+                               take_buf) so per-request encodes stop paying an allocation, or \
+                               annotate `// lint: allow(encode-alloc, reason = \"...\")`",
+                    });
+                }
+            }
+        }
+
         // ---- rule (d): real sleeps in test code --------------------------
         if in_test && code.contains("thread::sleep") && !allowed("sleep-in-test") {
             out.push(Violation {
@@ -398,11 +437,18 @@ pub fn lint_file(rel: &str, src: &str, kind: FileKind) -> Vec<Violation> {
                         st.test_region = Some(st.depth);
                         st.pending_test_attr = false;
                     }
+                    if st.pending_encode_fn && st.encode_region.is_none() {
+                        st.encode_region = Some(st.depth);
+                        st.pending_encode_fn = false;
+                    }
                 }
                 '}' => {
                     st.depth -= 1;
                     if st.test_region.is_some_and(|d| st.depth < d) {
                         st.test_region = None;
+                    }
+                    if st.encode_region.is_some_and(|d| st.depth < d) {
+                        st.encode_region = None;
                     }
                     st.guards.retain(|g| g.depth <= st.depth);
                     while st.loops.last().is_some_and(|l| st.depth <= l.depth) {
@@ -426,9 +472,11 @@ pub fn lint_file(rel: &str, src: &str, kind: FileKind) -> Vec<Violation> {
             }
         }
         // An attribute that turned out to gate a braceless item (e.g.
-        // `#[cfg(test)] use ...;`) stops pending at the semicolon.
-        if st.pending_test_attr && code.trim_end().ends_with(';') && !code.contains('{') {
+        // `#[cfg(test)] use ...;`) stops pending at the semicolon. Likewise
+        // a bodiless encode-fn header (a trait method declaration).
+        if code.trim_end().ends_with(';') && !code.contains('{') {
             st.pending_test_attr = false;
+            st.pending_encode_fn = false;
         }
     }
     out
@@ -463,6 +511,39 @@ fn guard_binding(code: &str) -> Option<String> {
         return None;
     }
     Some(name)
+}
+
+/// Name of a `fn` declared on this line, if any.
+fn declared_fn_name(code: &str) -> Option<String> {
+    let mut rest = code;
+    while let Some(pos) = rest.find("fn ") {
+        let before_ok = pos == 0
+            || !rest[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &rest[pos + 3..];
+        if before_ok {
+            let name: String = after
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                return Some(name);
+            }
+        }
+        rest = after;
+    }
+    None
+}
+
+/// Rule (g) applies to functions whose name says they build wire/storage
+/// bytes. (`decode` does not contain `encode`; the read path is free to
+/// allocate its output.)
+fn is_encode_fn(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.contains("encode") || lower.contains("serialize")
 }
 
 fn has_token(code: &str, token: &str) -> bool {
@@ -841,6 +922,57 @@ mod tests {
     fn attempt_once_counts_as_wire_for_retry_loops() {
         let src = "fn f(&self) {\nloop {\n self.attempt_once(&ep, &req, &opts);\n}\n}\n";
         assert_eq!(rules(&lint_file("a.rs", src, SERVING)), ["unbounded-retry"]);
+    }
+
+    #[test]
+    fn encode_alloc_flagged_in_encode_bodies() {
+        for src in [
+            "fn encode(&self) -> Vec<u8> {\n let mut out = Vec::new();\n out\n}\n",
+            "pub fn encode_frame(w: &mut W) {\n let buf = Vec::with_capacity(64);\n}\n",
+            "fn serialize_profile(p: &P) -> Bytes {\n w.into_bytes()\n}\n",
+        ] {
+            let v = lint_file("a.rs", src, SERVING);
+            assert_eq!(rules(&v), ["encode-alloc"], "{src}");
+        }
+    }
+
+    #[test]
+    fn encode_alloc_ignores_non_encode_fns_and_decode() {
+        for src in [
+            "fn decode(bytes: &[u8]) -> Self {\n let mut out = Vec::new();\n}\n",
+            "fn collect_rows(&self) -> Vec<Row> {\n let mut out = Vec::new();\n}\n",
+            // Region must end with the fn body: the next fn is clean again.
+            "fn encode(&self) -> Vec<u8> {\n w.as_slice().to_vec()\n}\n\
+             fn gather() {\n let v = Vec::new();\n}\n",
+        ] {
+            assert!(lint_file("a.rs", src, SERVING).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn encode_alloc_exempt_outside_serving_and_in_tests() {
+        let src = "fn encode(&self) -> Vec<u8> {\n let mut out = Vec::new();\n out\n}\n";
+        assert!(lint_file("a.rs", src, PLAIN).is_empty());
+        assert!(lint_file("t.rs", src, TEST_FILE).is_empty());
+        let in_mod = "#[cfg(test)]\nmod tests {\n\
+                      fn encode_fixture() -> Vec<u8> {\n let v = Vec::new();\n v\n}\n}\n";
+        assert!(lint_file("a.rs", in_mod, SERVING).is_empty());
+    }
+
+    #[test]
+    fn encode_alloc_allow_annotation_waives() {
+        let src = "fn encode(&self) -> Vec<u8> {\n\
+                   // lint: allow(encode-alloc, reason = \"caller owns the returned Vec\")\n\
+                   w.into_bytes()\n\
+                   }\n";
+        assert!(lint_file("a.rs", src, SERVING).is_empty());
+    }
+
+    #[test]
+    fn encode_alloc_trait_declaration_does_not_open_a_region() {
+        let src = "trait Enc {\n fn encode(&self) -> Vec<u8>;\n}\n\
+                   fn other() {\n let v = Vec::new();\n}\n";
+        assert!(lint_file("a.rs", src, SERVING).is_empty());
     }
 
     #[test]

@@ -9,6 +9,7 @@ BINS=(
   fig16_query_diurnal
   fig17_error_rate
   table2_hit_miss_latency
+  miss_path
   fig18_cache_hit_memory
   fig19_write_diurnal
   ablation_isolation
