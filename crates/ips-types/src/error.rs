@@ -139,6 +139,40 @@ mod tests {
     }
 
     #[test]
+    fn terminal_errors_are_classified_terminal() {
+        // Every variant must take a position on retryability (the xtask
+        // error-taxonomy check enforces this): these four are deliberately
+        // terminal, not accidentally unclassified.
+        assert!(
+            !IpsError::UnknownTable(TableId::new(3)).is_retryable(),
+            "a table that does not exist here does not exist elsewhere"
+        );
+        assert!(
+            !IpsError::ProfileNotFound {
+                table: TableId::new(1),
+                profile: ProfileId::new(2),
+            }
+            .is_retryable(),
+            "a confirmed storage miss is an answer, not a failure"
+        );
+        assert!(
+            !IpsError::InvalidConfig("bad".into()).is_retryable(),
+            "a config rejected once is rejected everywhere"
+        );
+        assert!(
+            !IpsError::Codec("truncated".into()).is_retryable(),
+            "a malformed frame stays malformed on every replica"
+        );
+        for e in [
+            IpsError::UnknownTable(TableId::new(3)),
+            IpsError::InvalidConfig("bad".into()),
+            IpsError::Codec("truncated".into()),
+        ] {
+            assert!(!e.is_overload(), "{e} is not a capacity signal");
+        }
+    }
+
+    #[test]
     fn overload_classification() {
         assert!(IpsError::Overloaded {
             inflight: 9,

@@ -20,7 +20,7 @@
 //!   (span durations), so scenarios stay reproducible under the sim clock.
 //!   The sim-clock plumbing in `ips-types` is the one place allowed to touch
 //!   the real clock.
-//! * `unbounded-retry` — a `loop {` in serving non-test code that goes on
+//! * `unbounded-retry` — a `loop` in serving non-test code that goes on
 //!   the wire (`.call(` / `.dispatch(` / `.replicate(` / `attempt_once(`)
 //!   must consult a deadline or an attempt bound (`deadline`, `attempts`,
 //!   `tries`, `budget`, `remaining`) somewhere in its body; a retry loop
@@ -44,16 +44,22 @@
 //! directly above it. An annotation without a non-empty reason is itself a
 //! violation (`bad-allow`).
 //!
-//! The pass is a deliberately simple line scanner (comments and string
-//! literals are stripped before matching; `#[cfg(test)]` regions are tracked
-//! by brace depth), not a parser: it trades soundness at the margins for
-//! zero dependencies and instant runtime, and the annotation grammar is the
-//! escape hatch for the false positives a scanner cannot avoid.
+//! The pass runs on the token stream produced by [`crate::lexer`], not on
+//! raw lines: string and comment contents can never trip a rule, brace
+//! depth is exact (raw strings, nested block comments and char literals are
+//! lexed, not guessed), and guard/loop tracking follows real statement and
+//! scope boundaries — a `let guard = self\n.state\n.lock();` wrapped across
+//! three lines by rustfmt is now seen as one binding. The annotation
+//! grammar remains the escape hatch for the residual false positives a
+//! scanner without type information cannot avoid.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Tok, TokKind};
 
 /// Crates whose non-test code sits on the serving path: a panic or a held
 /// lock here stalls live recommendation traffic, so the strict rules apply.
@@ -66,9 +72,9 @@ pub const SERVING_CRATES: &[&str] = &[
     "ips-trace",
 ];
 
-/// Method-call fragments that put bytes on the wire (or hand work to the
-/// replication pump). A guard alive at one of these calls is rule (c).
-const WIRE_CALLS: &[&str] = &[".call(", ".dispatch(", ".replicate("];
+/// Methods that put bytes on the wire (or hand work to the replication
+/// pump). A guard alive at one of these calls is rule (c).
+const WIRE_METHODS: &[&str] = &["call", "dispatch", "replicate"];
 
 /// One lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -99,7 +105,7 @@ pub struct FileKind {
     pub test_file: bool,
 }
 
-/// Lint a whole workspace tree rooted at `root`. Scans `crates/` (excluding
+/// Lint a whole workspace tree rooted at `root`. Scans `crates/` (including
 /// the lint tool itself), the repository-level `tests/`, and `examples/`.
 /// `vendor/` is exempt: the shims implement the primitives the rules point
 /// everyone else at.
@@ -117,9 +123,6 @@ pub fn check_tree(root: &Path) -> io::Result<Vec<Violation>> {
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        if rel.starts_with("crates/xtask/") {
-            continue; // the lint's own sources mention the patterns it hunts
-        }
         let kind = classify(&rel);
         let src = fs::read_to_string(&path)?;
         violations.extend(lint_file(&rel, &src, kind));
@@ -127,7 +130,7 @@ pub fn check_tree(root: &Path) -> io::Result<Vec<Violation>> {
     Ok(violations)
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     if !dir.is_dir() {
         return Ok(());
     }
@@ -189,6 +192,58 @@ fn parse_allow(comment: &str) -> Option<Allow> {
     Some(Allow::Rule(rule))
 }
 
+/// The per-file waiver table: which rules are allowed on which lines.
+///
+/// Shared by the lint, schema and coverage passes so an annotation works
+/// identically everywhere: a `// lint: allow(rule, reason = "...")` at the
+/// end of a line waives that line; on a line of its own it waives exactly
+/// the next line.
+pub(crate) struct Allows {
+    by_line: HashMap<usize, Vec<String>>,
+}
+
+impl Allows {
+    /// Build the table from a token stream. Returns the table plus the
+    /// lines carrying malformed annotations (each a `bad-allow` finding for
+    /// the caller that owns diagnostics).
+    pub(crate) fn build(toks: &[Tok]) -> (Allows, Vec<(usize, &'static str)>) {
+        let mut code_lines: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for t in toks {
+            if t.kind != TokKind::Comment {
+                code_lines.insert(t.line);
+            }
+        }
+        let mut by_line: HashMap<usize, Vec<String>> = HashMap::new();
+        let mut malformed = Vec::new();
+        for t in toks {
+            if t.kind != TokKind::Comment || !t.text.starts_with("//") {
+                continue;
+            }
+            match parse_allow(&t.text) {
+                Some(Allow::Rule(rule)) => {
+                    // A comment sharing its line with code waives that line;
+                    // a comment-only line waives the line below it.
+                    let target = if code_lines.contains(&t.line) {
+                        t.line
+                    } else {
+                        t.line + 1
+                    };
+                    by_line.entry(target).or_default().push(rule);
+                }
+                Some(Allow::Malformed(why)) => malformed.push((t.line, why)),
+                None => {}
+            }
+        }
+        (Allows { by_line }, malformed)
+    }
+
+    pub(crate) fn waives(&self, line: usize, rule: &str) -> bool {
+        self.by_line
+            .get(&line)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+}
+
 /// One `let`-bound lock guard being tracked for rule (c).
 struct ActiveGuard {
     name: String,
@@ -196,20 +251,12 @@ struct ActiveGuard {
     line: usize,
 }
 
-/// Tokens that count as a retry bound for rule (f): any of these inside a
-/// `loop` body means the loop's exit is governed by a deadline or a
+/// Identifiers that count as a retry bound for rule (f): any of these inside
+/// a `loop` body means the loop's exit is governed by a deadline or a
 /// counted budget, not just "until it works".
 const RETRY_BOUND_TOKENS: &[&str] = &["deadline", "attempts", "tries", "budget", "remaining"];
 
-/// Wire fragments that make a loop a *retry* loop for rule (f):
-/// `attempt_once(` joins the RPC set because the failover walk attempts
-/// through it rather than calling the endpoint directly.
-const RETRY_WIRE_CALLS: &[&str] = &[".call(", ".dispatch(", ".replicate(", "attempt_once("];
-
-/// Allocation fragments that rule (g) hunts inside encode/serialize bodies.
-const ENCODE_ALLOC_PATTERNS: &[&str] = &[".into_bytes()", "Vec::new()", "Vec::with_capacity("];
-
-/// One `loop {` being tracked for rule (f).
+/// One `loop` being tracked for rule (f).
 struct ActiveLoop {
     /// Brace depth just *before* the loop's opening `{`.
     depth: i32,
@@ -218,241 +265,273 @@ struct ActiveLoop {
     has_wire: bool,
     /// Body consults a deadline or attempt bound.
     has_bound: bool,
-    /// `lint: allow(unbounded-retry, ...)` on the loop header.
+    /// Waived via an `allow(unbounded-retry)` annotation on the loop header.
     waived: bool,
-}
-
-/// Scanner state threaded through the lines of one file.
-struct Scan {
-    depth: i32,
-    in_block_comment: bool,
-    /// `#[cfg(test)]` / `#[test]` seen; waiting for the item's `{`.
-    pending_test_attr: bool,
-    /// Brace depth at which the current test region opened.
-    test_region: Option<i32>,
-    guards: Vec<ActiveGuard>,
-    loops: Vec<ActiveLoop>,
-    /// `fn encode*`/`fn serialize*` header seen; waiting for the body's `{`.
-    pending_encode_fn: bool,
-    /// Brace depth at which the current encode-fn body opened.
-    encode_region: Option<i32>,
-    /// Allow from a comment-only line, waived onto the next code line.
-    carried_allow: Option<String>,
 }
 
 /// Lint a single file's source. Exposed (rather than only `check_tree`) so
 /// the engine is unit-testable on inline snippets.
 pub fn lint_file(rel: &str, src: &str, kind: FileKind) -> Vec<Violation> {
+    let toks = lexer::lex(src);
+    let test_mask = lexer::test_mask(&toks);
+
+    // Comments are consumed up front (waiver table); the rules below walk
+    // code tokens only, with the test mask carried alongside.
+    let mut ct: Vec<&Tok> = Vec::with_capacity(toks.len());
+    let mut cmask: Vec<bool> = Vec::with_capacity(toks.len());
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Comment {
+            ct.push(t);
+            cmask.push(test_mask[i]);
+        }
+    }
+
     let mut out = Vec::new();
-    let mut st = Scan {
-        depth: 0,
-        in_block_comment: false,
-        pending_test_attr: false,
-        test_region: None,
-        guards: Vec::new(),
-        loops: Vec::new(),
-        pending_encode_fn: false,
-        encode_region: None,
-        carried_allow: None,
-    };
+    let (allows, malformed) = Allows::build(&toks);
+    for (line, why) in malformed {
+        out.push(Violation {
+            file: rel.to_string(),
+            line,
+            rule: "bad-allow",
+            message: why.to_string(),
+            hint: "write `// lint: allow(<rule>, reason = \"why this is safe\")`",
+        });
+    }
 
-    for (idx, raw) in src.lines().enumerate() {
-        let line_no = idx + 1;
-        let (code, comment) = split_code_comment(raw, &mut st.in_block_comment);
-        let in_test = kind.test_file || st.test_region.is_some() || st.pending_test_attr;
+    let encode_mask = encode_body_mask(&ct);
 
-        // Annotation handling: same-line allow, or carried from the line above.
-        let mut allow: Option<String> = st.carried_allow.take();
-        match parse_allow(&comment) {
-            Some(Allow::Rule(rule)) => {
-                if code.trim().is_empty() {
-                    st.carried_allow = Some(rule);
-                } else {
-                    allow = Some(rule);
-                }
-            }
-            Some(Allow::Malformed(why)) => out.push(Violation {
-                file: rel.to_string(),
-                line: line_no,
-                rule: "bad-allow",
-                message: why.to_string(),
-                hint: "write `// lint: allow(<rule>, reason = \"why this is safe\")`",
-            }),
-            None => {}
-        }
-        let allowed = |rule: &str| allow.as_deref() == Some(rule);
+    let ident_at = |p: usize, s: &str| ct.get(p).is_some_and(|t| t.is_ident(s));
+    let punct_at = |p: usize, c: char| ct.get(p).is_some_and(|t| t.is_punct(c));
+    // `a::b` lexes as `a : : b`; this matches the two colons.
+    let path_sep = |p: usize| punct_at(p, ':') && punct_at(p + 1, ':');
 
-        // Test-region bookkeeping (before brace counting so the attribute
-        // line itself already counts as test code).
-        if code.contains("#[cfg(test)]")
-            || code.contains("#[cfg(all(test")
-            || code.contains("#[cfg(any(test")
-            || code.contains("#[test]")
-        {
-            st.pending_test_attr = true;
-        }
+    let mut depth: i32 = 0;
+    let mut guards: Vec<ActiveGuard> = Vec::new();
+    let mut loops: Vec<ActiveLoop> = Vec::new();
+    // Current `let` statement: (binding name, line of the `let`), plus
+    // whether the statement acquired an unchained lock guard. The guard
+    // becomes live at the statement's `;` — matching drop semantics, where
+    // a temporary in the initializer dies at the semicolon.
+    let mut stmt_let: Option<(String, usize)> = None;
+    let mut stmt_acquires = false;
 
-        // ---- rule (a): unwrap/expect in serving non-test code ------------
-        if kind.serving
-            && !in_test
-            && (code.contains(".unwrap()") || code.contains(".expect("))
-            && !allowed("unwrap")
-        {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: line_no,
-                rule: "unwrap",
-                message: "`.unwrap()`/`.expect(` in serving-crate non-test code".into(),
-                hint: "return an IpsError (the serving path must degrade, not panic) or \
-                       annotate `// lint: allow(unwrap, reason = \"...\")`",
-            });
-        }
+    for p in 0..ct.len() {
+        let t = ct[p];
+        let line = t.line;
+        let in_test = kind.test_file || cmask[p];
+        let serving_live = kind.serving && !in_test;
 
-        // ---- rule (b): std::sync locks bypassing the shim ----------------
-        let std_lock_hit = code.contains("std::sync::Mutex")
-            || code.contains("std::sync::RwLock")
-            || (code.contains("use std::sync::")
-                && (has_token(&code, "Mutex") || has_token(&code, "RwLock")));
-        if std_lock_hit && !allowed("std-lock") {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: line_no,
-                rule: "std-lock",
-                message: "std::sync lock bypasses the instrumented parking_lot shim".into(),
-                hint: "use parking_lot::{Mutex, RwLock} so lock-order-tracking sees the lock",
-            });
-        }
-
-        // ---- rule (c): guard alive across an RPC call --------------------
-        if kind.serving && !in_test {
-            if let Some(wire) = WIRE_CALLS.iter().find(|w| code.contains(**w)) {
-                if let Some(g) = st.guards.last() {
-                    if !allowed("guard-across-rpc") {
+        match t.kind {
+            TokKind::Ident => {
+                match t.text.as_str() {
+                    // ---- rule (b): std::sync locks bypassing the shim ----
+                    "std" if path_sep(p + 1) && ident_at(p + 3, "sync") && path_sep(p + 4) => {
+                        let hit = if ident_at(p + 6, "Mutex") || ident_at(p + 6, "RwLock") {
+                            true
+                        } else if punct_at(p + 6, '{') {
+                            let close = match_close(&ct, p + 6, '{', '}');
+                            ct[p + 6..=close]
+                                .iter()
+                                .any(|g| g.is_ident("Mutex") || g.is_ident("RwLock"))
+                        } else {
+                            false
+                        };
+                        if hit && !allows.waives(line, "std-lock") {
+                            out.push(Violation {
+                                file: rel.to_string(),
+                                line,
+                                rule: "std-lock",
+                                message: "std::sync lock bypasses the instrumented parking_lot \
+                                          shim"
+                                    .into(),
+                                hint: "use parking_lot::{Mutex, RwLock} so lock-order-tracking \
+                                       sees the lock",
+                            });
+                        }
+                    }
+                    // ---- rule (d): real sleeps in test code --------------
+                    "thread"
+                        if in_test
+                            && path_sep(p + 1)
+                            && ident_at(p + 3, "sleep")
+                            && !allows.waives(line, "sleep-in-test") =>
+                    {
                         out.push(Violation {
                             file: rel.to_string(),
-                            line: line_no,
-                            rule: "guard-across-rpc",
-                            message: format!(
-                                "`{wire}` while lock guard `{}` (bound at line {}) is live",
-                                g.name, g.line
-                            ),
-                            hint: "drop the guard (scope it or `drop(guard)`) before going on \
-                                   the wire; a slow peer must not stall the lock",
+                            line,
+                            rule: "sleep-in-test",
+                            message: "`thread::sleep` in test code".into(),
+                            hint: "drive time through the fault-injection sim clock \
+                                   (ips_types::clock::sim_clock) or annotate \
+                                   `// lint: allow(sleep-in-test, reason = \"...\")`",
                         });
                     }
+                    // ---- rule (e): wall-clock reads in serving code ------
+                    "Instant" | "SystemTime"
+                        if serving_live
+                            && path_sep(p + 1)
+                            && ident_at(p + 3, "now")
+                            && punct_at(p + 4, '(')
+                            && !allows.waives(line, "wall-clock") =>
+                    {
+                        out.push(Violation {
+                            file: rel.to_string(),
+                            line,
+                            rule: "wall-clock",
+                            message: "wall-clock read (`Instant::now`/`SystemTime::now`) \
+                                      in serving code"
+                                .into(),
+                            hint: "use the injected ips_types::Clock for logical time or \
+                                   ips_types::clock::monotonic_micros() for durations, or \
+                                   annotate `// lint: allow(wall-clock, reason = \"...\")`",
+                        });
+                    }
+                    // ---- rule (f): loop headers --------------------------
+                    "loop" if serving_live => {
+                        loops.push(ActiveLoop {
+                            depth,
+                            line,
+                            has_wire: false,
+                            has_bound: false,
+                            waived: allows.waives(line, "unbounded-retry"),
+                        });
+                    }
+                    // ---- rule (c)/(f): guard bindings and drops ----------
+                    "let" if serving_live => {
+                        let mut q = p + 1;
+                        if ident_at(q, "mut") {
+                            q += 1;
+                        }
+                        stmt_let = ct.get(q).and_then(|n| {
+                            (n.kind == TokKind::Ident && n.text != "_" && !is_keyword(&n.text))
+                                .then(|| (n.text.clone(), line))
+                        });
+                        stmt_acquires = false;
+                    }
+                    "drop" if punct_at(p + 1, '(') => {
+                        if let Some(name) = ct.get(p + 2).filter(|n| n.kind == TokKind::Ident) {
+                            if punct_at(p + 3, ')') {
+                                guards.retain(|g| g.name != name.text);
+                            }
+                        }
+                    }
+                    // ---- rule (g): Vec allocations in encode bodies ------
+                    "Vec"
+                        if serving_live
+                            && encode_mask[p]
+                            && path_sep(p + 1)
+                            && punct_at(p + 4, '(') =>
+                    {
+                        let pat = if ident_at(p + 3, "new") && punct_at(p + 5, ')') {
+                            Some("Vec::new()")
+                        } else if ident_at(p + 3, "with_capacity") {
+                            Some("Vec::with_capacity(")
+                        } else {
+                            None
+                        };
+                        if let Some(pat) = pat {
+                            if !allows.waives(line, "encode-alloc") {
+                                out.push(encode_alloc_violation(rel, line, pat));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                // Retry-loop bound detection: any identifier naming a
+                // deadline/budget concept inside a live loop body.
+                if !loops.is_empty() {
+                    let lower = t.text.to_ascii_lowercase();
+                    if RETRY_BOUND_TOKENS.iter().any(|b| lower.contains(b)) {
+                        for l in &mut loops {
+                            l.has_bound = true;
+                        }
+                    }
+                    if t.is_ident("attempt_once") && punct_at(p + 1, '(') {
+                        for l in &mut loops {
+                            l.has_wire = true;
+                        }
+                    }
                 }
             }
-            if let Some(name) = guard_binding(&code) {
-                st.guards.push(ActiveGuard {
-                    name,
-                    depth: st.depth,
-                    line: line_no,
-                });
-            }
-            // Explicit early drops release the guard mid-scope.
-            st.guards
-                .retain(|g| !code.contains(&format!("drop({})", g.name)));
-        }
-
-        // ---- rule (f): unbounded retry loops in serving non-test code ----
-        if kind.serving && !in_test && has_token(&code, "loop") {
-            st.loops.push(ActiveLoop {
-                depth: st.depth,
-                line: line_no,
-                has_wire: false,
-                has_bound: false,
-                waived: allowed("unbounded-retry"),
-            });
-        }
-        if !st.loops.is_empty() {
-            let lower = code.to_ascii_lowercase();
-            let wire = RETRY_WIRE_CALLS.iter().any(|w| code.contains(*w));
-            let bound = RETRY_BOUND_TOKENS.iter().any(|t| lower.contains(*t));
-            for l in &mut st.loops {
-                l.has_wire |= wire;
-                l.has_bound |= bound;
-            }
-        }
-
-        // ---- rule (e): wall-clock reads in serving non-test code ---------
-        if kind.serving
-            && !in_test
-            && (code.contains("Instant::now(") || code.contains("SystemTime::now("))
-            && !allowed("wall-clock")
-        {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: line_no,
-                rule: "wall-clock",
-                message: "wall-clock read (`Instant::now`/`SystemTime::now`) in serving code"
-                    .into(),
-                hint: "use the injected ips_types::Clock for logical time or \
-                       ips_types::clock::monotonic_micros() for durations, or annotate \
-                       `// lint: allow(wall-clock, reason = \"...\")`",
-            });
-        }
-
-        // ---- rule (g): fresh buffer allocation in encode hot paths -------
-        if kind.serving && !in_test {
-            if declared_fn_name(&code).is_some_and(|n| is_encode_fn(&n)) {
-                st.pending_encode_fn = true;
-            }
-            let in_encode = st.encode_region.is_some() || st.pending_encode_fn;
-            if in_encode && !allowed("encode-alloc") {
-                if let Some(pat) = ENCODE_ALLOC_PATTERNS.iter().find(|p| code.contains(**p)) {
-                    out.push(Violation {
-                        file: rel.to_string(),
-                        line: line_no,
-                        rule: "encode-alloc",
-                        message: format!(
-                            "`{pat}` allocates a fresh buffer inside an encode/serialize body"
-                        ),
-                        hint: "reuse the thread-local pool (WireWriter::pooled() / ips-codec's \
-                               take_buf) so per-request encodes stop paying an allocation, or \
-                               annotate `// lint: allow(encode-alloc, reason = \"...\")`",
-                    });
-                }
-            }
-        }
-
-        // ---- rule (d): real sleeps in test code --------------------------
-        if in_test && code.contains("thread::sleep") && !allowed("sleep-in-test") {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: line_no,
-                rule: "sleep-in-test",
-                message: "`thread::sleep` in test code".into(),
-                hint: "drive time through the fault-injection sim clock \
-                       (ips_types::clock::sim_clock) or annotate \
-                       `// lint: allow(sleep-in-test, reason = \"...\")`",
-            });
-        }
-
-        // Brace accounting, with test-region enter/exit.
-        for ch in code.chars() {
-            match ch {
-                '{' => {
-                    st.depth += 1;
-                    if st.pending_test_attr && st.test_region.is_none() {
-                        st.test_region = Some(st.depth);
-                        st.pending_test_attr = false;
+            TokKind::Punct => match t.text.as_bytes().first() {
+                Some(b'.') => {
+                    // ---- rule (a): unwrap/expect in serving code ---------
+                    if serving_live
+                        && (ident_at(p + 1, "unwrap") || ident_at(p + 1, "expect"))
+                        && punct_at(p + 2, '(')
+                        && !allows.waives(ct[p + 1].line, "unwrap")
+                    {
+                        out.push(Violation {
+                            file: rel.to_string(),
+                            line: ct[p + 1].line,
+                            rule: "unwrap",
+                            message: "`.unwrap()`/`.expect(` in serving-crate non-test code".into(),
+                            hint: "return an IpsError (the serving path must degrade, not \
+                                   panic) or annotate `// lint: allow(unwrap, reason = \
+                                   \"...\")`",
+                        });
                     }
-                    if st.pending_encode_fn && st.encode_region.is_none() {
-                        st.encode_region = Some(st.depth);
-                        st.pending_encode_fn = false;
+                    // ---- rule (g): .into_bytes() in encode bodies --------
+                    if serving_live
+                        && encode_mask[p]
+                        && ident_at(p + 1, "into_bytes")
+                        && punct_at(p + 2, '(')
+                        && punct_at(p + 3, ')')
+                        && !allows.waives(ct[p + 1].line, "encode-alloc")
+                    {
+                        out.push(encode_alloc_violation(rel, ct[p + 1].line, ".into_bytes()"));
+                    }
+                    // ---- rule (c): wire calls while a guard is live ------
+                    let wire_method = WIRE_METHODS
+                        .iter()
+                        .find(|m| ident_at(p + 1, m) && punct_at(p + 2, '('));
+                    if let Some(m) = wire_method {
+                        if serving_live {
+                            if let Some(g) = guards.last() {
+                                if !allows.waives(line, "guard-across-rpc") {
+                                    out.push(Violation {
+                                        file: rel.to_string(),
+                                        line,
+                                        rule: "guard-across-rpc",
+                                        message: format!(
+                                            "`.{m}(` while lock guard `{}` (bound at line {}) \
+                                             is live",
+                                            g.name, g.line
+                                        ),
+                                        hint: "drop the guard (scope it or `drop(guard)`) \
+                                               before going on the wire; a slow peer must not \
+                                               stall the lock",
+                                    });
+                                }
+                            }
+                        }
+                        if !loops.is_empty() {
+                            for l in &mut loops {
+                                l.has_wire = true;
+                            }
+                        }
+                    }
+                    // Guard acquisition: `.lock()` / `.read()` / `.write()`
+                    // not immediately chained — a chained acquire is a
+                    // statement temporary, dropped at the `;`.
+                    if serving_live
+                        && stmt_let.is_some()
+                        && ["lock", "read", "write"].iter().any(|m| ident_at(p + 1, m))
+                        && punct_at(p + 2, '(')
+                        && punct_at(p + 3, ')')
+                        && !punct_at(p + 4, '.')
+                    {
+                        stmt_acquires = true;
                     }
                 }
-                '}' => {
-                    st.depth -= 1;
-                    if st.test_region.is_some_and(|d| st.depth < d) {
-                        st.test_region = None;
-                    }
-                    if st.encode_region.is_some_and(|d| st.depth < d) {
-                        st.encode_region = None;
-                    }
-                    st.guards.retain(|g| g.depth <= st.depth);
-                    while st.loops.last().is_some_and(|l| st.depth <= l.depth) {
-                        let Some(l) = st.loops.pop() else { break };
+                Some(b'{') => {
+                    depth += 1;
+                }
+                Some(b'}') => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                    while loops.last().is_some_and(|l| depth <= l.depth) {
+                        let Some(l) = loops.pop() else { break };
                         if l.has_wire && !l.has_bound && !l.waived {
                             out.push(Violation {
                                 file: rel.to_string(),
@@ -467,75 +546,104 @@ pub fn lint_file(rel: &str, src: &str, kind: FileKind) -> Vec<Violation> {
                             });
                         }
                     }
+                    stmt_let = None;
+                    stmt_acquires = false;
+                }
+                Some(b';') => {
+                    if stmt_acquires {
+                        if let Some((name, let_line)) = stmt_let.take() {
+                            guards.push(ActiveGuard {
+                                name,
+                                depth,
+                                line: let_line,
+                            });
+                        }
+                    }
+                    stmt_let = None;
+                    stmt_acquires = false;
                 }
                 _ => {}
-            }
-        }
-        // An attribute that turned out to gate a braceless item (e.g.
-        // `#[cfg(test)] use ...;`) stops pending at the semicolon. Likewise
-        // a bodiless encode-fn header (a trait method declaration).
-        if code.trim_end().ends_with(';') && !code.contains('{') {
-            st.pending_test_attr = false;
-            st.pending_encode_fn = false;
+            },
+            _ => {}
         }
     }
+
+    out.sort_by_key(|v| v.line);
+    // At most one finding per (line, rule): a line with two `std::sync::Mutex`
+    // mentions is one problem, not two.
+    out.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
     out
 }
 
-/// `let <name> = ...lock()/...read()/...write()` binds a guard for rule (c).
-fn guard_binding(code: &str) -> Option<String> {
-    // An acquire that is immediately chained (`.lock().len()`) is a
-    // statement temporary, dropped at the `;` — not a bound guard.
-    let acquires = [".lock()", ".read()", ".write()"].iter().any(|pat| {
-        let mut rest = code;
-        while let Some(pos) = rest.find(pat) {
-            rest = &rest[pos + pat.len()..];
-            if !rest.starts_with('.') {
-                return true;
-            }
-        }
-        false
-    });
-    if !acquires {
-        return None;
+fn encode_alloc_violation(rel: &str, line: usize, pat: &str) -> Violation {
+    Violation {
+        file: rel.to_string(),
+        line,
+        rule: "encode-alloc",
+        message: format!("`{pat}` allocates a fresh buffer inside an encode/serialize body"),
+        hint: "reuse the thread-local pool (WireWriter::pooled() / ips-codec's take_buf) so \
+               per-request encodes stop paying an allocation, or annotate \
+               `// lint: allow(encode-alloc, reason = \"...\")`",
     }
-    let let_pos = code.find("let ")?;
-    let after = code[let_pos + 4..].trim_start().trim_start_matches("mut ");
-    let name: String = after
-        .chars()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect();
-    // `let _ = ...` and destructuring patterns drop immediately / are not
-    // guards we can track by name.
-    if name.is_empty() || name == "_" {
-        return None;
-    }
-    Some(name)
 }
 
-/// Name of a `fn` declared on this line, if any.
-fn declared_fn_name(code: &str) -> Option<String> {
-    let mut rest = code;
-    while let Some(pos) = rest.find("fn ") {
-        let before_ok = pos == 0
-            || !rest[..pos]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = &rest[pos + 3..];
-        if before_ok {
-            let name: String = after
-                .trim_start()
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
-            if !name.is_empty() {
-                return Some(name);
+/// Mark the token ranges that form the bodies of `fn encode*` /
+/// `fn serialize*` declarations (rule g). A bodiless header (trait method
+/// declaration, ending in `;`) opens no region.
+fn encode_body_mask(ct: &[&Tok]) -> Vec<bool> {
+    let mut mask = vec![false; ct.len()];
+    let mut p = 0;
+    while p < ct.len() {
+        if ct[p].is_ident("fn")
+            && ct
+                .get(p + 1)
+                .is_some_and(|n| n.kind == TokKind::Ident && is_encode_fn(&n.text))
+        {
+            // Walk the signature: jump over the parameter list, then find
+            // whichever of `{` / `;` comes first.
+            let mut q = p + 2;
+            while q < ct.len()
+                && !ct[q].is_punct('(')
+                && !ct[q].is_punct('{')
+                && !ct[q].is_punct(';')
+            {
+                q += 1;
+            }
+            if q < ct.len() && ct[q].is_punct('(') {
+                q = match_close(ct, q, '(', ')') + 1;
+            }
+            while q < ct.len() && !ct[q].is_punct('{') && !ct[q].is_punct(';') {
+                q += 1;
+            }
+            if q < ct.len() && ct[q].is_punct('{') {
+                let end = match_close(ct, q, '{', '}');
+                for m in &mut mask[q..=end.min(ct.len() - 1)] {
+                    *m = true;
+                }
+            }
+            p = q + 1;
+            continue;
+        }
+        p += 1;
+    }
+    mask
+}
+
+/// Index of the closing delimiter matching the opener at `open` (or the
+/// last token when unbalanced).
+fn match_close(ct: &[&Tok], open: usize, o: char, c: char) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in ct.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
             }
         }
-        rest = after;
     }
-    None
+    ct.len().saturating_sub(1)
 }
 
 /// Rule (g) applies to functions whose name says they build wire/storage
@@ -546,122 +654,9 @@ fn is_encode_fn(name: &str) -> bool {
     lower.contains("encode") || lower.contains("serialize")
 }
 
-fn has_token(code: &str, token: &str) -> bool {
-    let mut rest = code;
-    while let Some(pos) = rest.find(token) {
-        let before_ok = pos == 0
-            || !rest[..pos]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = &rest[pos + token.len()..];
-        let after_ok = !after
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
-        }
-        rest = &rest[pos + token.len()..];
-    }
-    false
-}
-
-/// Split one raw source line into (code-with-strings-and-comments-stripped,
-/// comment-text). String literal *contents* are removed so patterns and
-/// braces inside them do not count; the comment text is kept for annotation
-/// parsing. `in_block` carries `/* ... */` state across lines.
-fn split_code_comment(raw: &str, in_block: &mut bool) -> (String, String) {
-    let mut code = String::with_capacity(raw.len());
-    let mut comment = String::new();
-    let bytes = raw.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if *in_block {
-            if raw[i..].starts_with("*/") {
-                *in_block = false;
-                i += 2;
-            } else {
-                i += utf8_len(bytes[i]);
-            }
-            continue;
-        }
-        let rest = &raw[i..];
-        if rest.starts_with("//") {
-            comment.push_str(rest);
-            break;
-        }
-        if rest.starts_with("/*") {
-            *in_block = true;
-            i += 2;
-            continue;
-        }
-        let c = bytes[i] as char;
-        match c {
-            '"' => {
-                // Skip the string literal's contents (escapes included).
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] as char {
-                        '\\' => i += 2,
-                        '"' => {
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
-                code.push_str("\"\"");
-            }
-            '\'' => {
-                // A char literal (incl. '\'' and '"'); lifetimes like `'a`
-                // have no closing quote within a few chars and fall through.
-                let lit_len = char_literal_len(&raw[i..]);
-                if lit_len > 0 {
-                    i += lit_len;
-                    code.push_str("' '");
-                } else {
-                    code.push(c);
-                    i += 1;
-                }
-            }
-            _ if c.is_ascii() => {
-                code.push(c);
-                i += 1;
-            }
-            _ => {
-                // Multi-byte char (e.g. an em-dash on a string literal's
-                // continuation line): step over the whole encoding so the
-                // next `&raw[i..]` slice stays on a char boundary.
-                i += utf8_len(bytes[i]);
-                code.push('.');
-            }
-        }
-    }
-    (code, comment)
-}
-
-/// Byte length of the UTF-8 encoding that starts with `first`.
-fn utf8_len(first: u8) -> usize {
-    match first {
-        b if b >= 0xF0 => 4,
-        b if b >= 0xE0 => 3,
-        b if b >= 0xC0 => 2,
-        _ => 1,
-    }
-}
-
-/// Length of a char literal starting at `s` (which begins with `'`), or 0
-/// when `'` introduces a lifetime instead.
-fn char_literal_len(s: &str) -> usize {
-    let b = s.as_bytes();
-    if b.len() >= 4 && b[1] == b'\\' && b[3] == b'\'' {
-        return 4; // '\n', '\'', '\\' ...
-    }
-    if b.len() >= 3 && b[2] == b'\'' && b[1] != b'\'' {
-        return 3; // 'x'
-    }
-    0
+/// Keywords that can follow `let` without being a binding name.
+fn is_keyword(s: &str) -> bool {
+    matches!(s, "if" | "match" | "else" | "Some" | "Ok" | "Err")
 }
 
 #[cfg(test)]
@@ -793,6 +788,21 @@ mod tests {
         ] {
             assert!(lint_file("a.rs", src, SERVING).is_empty(), "{src}");
         }
+    }
+
+    #[test]
+    fn multiline_guard_binding_is_tracked() {
+        // The regex engine's known false negative: rustfmt wraps the
+        // statement and the old line scanner lost the `let`.
+        let src = "fn f(&self) {\n\
+                   let guard = self\n\
+                       .state\n\
+                       .lock();\n\
+                   self.endpoint.call(&req);\n\
+                   }\n";
+        let v = lint_file("a.rs", src, SERVING);
+        assert_eq!(rules(&v), ["guard-across-rpc"]);
+        assert!(v[0].message.contains("line 2"), "{}", v[0].message);
     }
 
     #[test]
@@ -988,9 +998,6 @@ mod tests {
 
     #[test]
     fn non_ascii_source_lines_do_not_panic_the_scanner() {
-        // A multi-line string literal leaves its continuation lines looking
-        // like bare code to the line-based scanner; multi-byte chars (the
-        // em-dash) must not land the byte cursor mid-encoding.
         let src = "fn f() {\n\
                    println!(\n\
                    \"first line \\\n\
@@ -1006,6 +1013,17 @@ mod tests {
         let src = "fn f() {\n\
                    let msg = \"please call .unwrap() on std::sync::Mutex\";\n\
                    // a comment mentioning x.unwrap() and thread::sleep\n\
+                   }\n";
+        assert!(lint_file("a.rs", src, SERVING).is_empty());
+    }
+
+    #[test]
+    fn patterns_inside_raw_strings_do_not_count() {
+        // The regex engine's known false positive: a raw string carrying
+        // lint-looking source text. The lexer never surfaces its contents.
+        let src = "fn f() {\n\
+                   let fixture = r#\"fn g() { x.unwrap(); loop { ep.call(&r); } }\"#;\n\
+                   let nested = \"/* not a comment opener\";\n\
                    }\n";
         assert!(lint_file("a.rs", src, SERVING).is_empty());
     }

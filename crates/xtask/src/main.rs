@@ -1,47 +1,74 @@
-//! Workspace task runner. Today it has one job:
+//! Workspace task runner.
 //!
 //! ```text
-//! cargo run -p xtask -- check [--root <dir>]
+//! cargo run -p xtask -- check [--root <dir>] [--json]
+//! cargo run -p xtask -- schema-lock [--root <dir>]
 //! ```
 //!
-//! runs the repo-specific lint pass (see [`lint`]) over the workspace
-//! sources and exits non-zero with `file:line` diagnostics on violations.
+//! `check` runs the full static-analysis pass — the token-stream lint rules
+//! (see [`lint`]), the wire-schema registry check (see [`schema`]), and the
+//! metrics/error-taxonomy coverage check (see [`coverage`]) — and exits
+//! non-zero with `file:line` diagnostics on violations. `--json` emits the
+//! same violations as a JSON array on stdout (one object per violation with
+//! `file`/`line`/`rule`/`message`/`hint`) for CI artifacts.
+//!
+//! `schema-lock` regenerates `wire_schema.lock` from the current sources,
+//! retiring any field tags that vanished from code; commit the diff.
 
+mod coverage;
+mod lexer;
 mod lint;
+mod schema;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = args
+        .iter()
+        .position(|a| a == "--root")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(workspace_root);
     match args.first().map(String::as_str) {
-        Some("check") => {
-            let root = args
-                .iter()
-                .position(|a| a == "--root")
-                .and_then(|i| args.get(i + 1))
-                .map(PathBuf::from)
-                .unwrap_or_else(workspace_root);
-            check(&root)
-        }
+        Some("check") => check(&root, args.iter().any(|a| a == "--json")),
+        Some("schema-lock") => schema_lock(&root),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- check [--root <dir>]");
+            eprintln!(
+                "usage: cargo run -p xtask -- check [--root <dir>] [--json]\n       \
+                 cargo run -p xtask -- schema-lock [--root <dir>]"
+            );
             ExitCode::FAILURE
         }
     }
 }
 
-fn check(root: &Path) -> ExitCode {
-    match lint::check_tree(root) {
+fn check(root: &Path, json: bool) -> ExitCode {
+    let run = || -> std::io::Result<Vec<lint::Violation>> {
+        let mut violations = lint::check_tree(root)?;
+        violations.extend(schema::check_tree(root)?);
+        violations.extend(coverage::check_tree(root)?);
+        Ok(violations)
+    };
+    match run() {
         Ok(violations) if violations.is_empty() => {
-            println!("xtask check: clean");
+            if json {
+                println!("[]");
+            } else {
+                println!("xtask check: clean");
+            }
             ExitCode::SUCCESS
         }
         Ok(violations) => {
-            for v in &violations {
-                eprintln!("{v}");
+            if json {
+                println!("{}", render_json(&violations));
+            } else {
+                for v in &violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("xtask check: {} violation(s)", violations.len());
             }
-            eprintln!("xtask check: {} violation(s)", violations.len());
             ExitCode::FAILURE
         }
         Err(e) => {
@@ -49,6 +76,62 @@ fn check(root: &Path) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn schema_lock(root: &Path) -> ExitCode {
+    match schema::write_lock(root) {
+        Ok(rendered) => {
+            let messages = rendered
+                .lines()
+                .filter(|l| l.starts_with("message "))
+                .count();
+            println!(
+                "xtask schema-lock: wrote {} ({messages} message(s))",
+                schema::LOCK_FILE
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask schema-lock: io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Hand-rolled JSON (the workspace policy is zero new dependencies; the
+/// violation fields only need string escaping, not a full serializer).
+fn render_json(violations: &[lint::Violation]) -> String {
+    let mut out = String::from("[\n");
+    for (i, v) in violations.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \
+             \"hint\": \"{}\"}}{}\n",
+            escape_json(&v.file),
+            v.line,
+            escape_json(v.rule),
+            escape_json(&v.message),
+            escape_json(v.hint),
+            if i + 1 < violations.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// The workspace root, two levels up from this crate's manifest.
@@ -59,4 +142,44 @@ fn workspace_root() -> PathBuf {
         .and_then(Path::parent)
         .map(Path::to_path_buf)
         .unwrap_or(manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_handles_quotes_and_control_chars() {
+        assert_eq!(escape_json(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_json("a\\b"), "a\\\\b");
+        assert_eq!(escape_json("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_output_is_one_object_per_violation() {
+        let violations = vec![
+            lint::Violation {
+                file: "a.rs".into(),
+                line: 3,
+                rule: "unwrap",
+                message: "msg with \"quotes\"".into(),
+                hint: "hint",
+            },
+            lint::Violation {
+                file: "b.rs".into(),
+                line: 7,
+                rule: "std-lock",
+                message: "m".into(),
+                hint: "h",
+            },
+        ];
+        let json = render_json(&violations);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with(']'));
+        assert_eq!(json.matches("\"file\"").count(), 2);
+        assert!(json.contains(r#""line": 3"#));
+        assert!(json.contains(r#"msg with \"quotes\""#));
+        assert_eq!(json.matches("},\n").count(), 1, "comma between, not after");
+    }
 }

@@ -1,0 +1,1678 @@
+//! Wire-schema registry check.
+//!
+//! The tagged-field wire format (`WireWriter::put_*`, `WireReader::for_each`
+//! with `match f { ... }`) is this repo's protobuf substitute, and like
+//! protobuf it only stays upgrade-safe under three disciplines:
+//!
+//! 1. **Symmetry** — every field tag an encoder writes has a decoder arm,
+//!    and every decoder arm has a writer (else one of them is dead or, worse,
+//!    a half-landed field that round-trips to nothing).
+//! 2. **No tag reuse** — a tag written twice in one message body is silent
+//!    data corruption on the wire (the last write wins on decode).
+//! 3. **Monotone allocation** — a retired tag must never be recycled: an old
+//!    reader still in the fleet would decode the new field with the old
+//!    meaning mid-rolling-upgrade (the exact cross-version failure IPS §V's
+//!    multi-region deployment has to survive).
+//!
+//! This pass parses every `encode_*`/`decode_*`/`write_*`/`read_*`/`put_*`
+//! body in the schema-bearing files (see [`SCHEMA_FILES`]), extracts the
+//! field tags per message on both sides, and checks the three disciplines
+//! plus a fourth: every decoder's `match` must carry a wildcard/skip arm so
+//! unknown (newer) fields are ignored rather than rejected.
+//!
+//! Discipline 3 needs memory of the past: the committed `wire_schema.lock`
+//! file at the workspace root records, per message, the active tag set and
+//! the retired set. Any drift between code and lock is a violation, which
+//! makes every schema change show up as a reviewable lock-file diff. The
+//! lock is regenerated with `cargo run -p xtask -- schema-lock`, which moves
+//! fields that vanished from code into the retired set and never removes
+//! anything from it.
+//!
+//! Extraction is token-stream based (see [`crate::lexer`]) and deliberately
+//! syntactic: tags must be integer literals or same-file `const` idents.
+//! A `put_*` call whose tag is a runtime parameter contributes nothing
+//! (generic plumbing like `WireWriter::put_u64` itself, or helpers taking
+//! `field: u32`). `#[cfg(test)]` regions are skipped — tests deliberately
+//! write malformed frames.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::lexer::{self, Tok, TokKind};
+use crate::lint::{Allows, Violation};
+
+/// Files that define wire/storage message schemas. Kept explicit rather
+/// than discovered: a new schema-bearing file is a conscious protocol
+/// decision and belongs in this list (and then in `wire_schema.lock`).
+pub const SCHEMA_FILES: &[&str] = &[
+    "crates/ips-codec/src/wire.rs",
+    "crates/ips-codec/src/frame.rs",
+    "crates/ips-codec/src/varint.rs",
+    "crates/ips-codec/src/compress.rs",
+    "crates/ips-codec/src/pool.rs",
+    "crates/ips-codec/src/lib.rs",
+    "crates/ips-cluster/src/rpc.rs",
+    "crates/ips-core/src/persist/schema.rs",
+    "crates/ips-core/src/persist/persister.rs",
+    "crates/ips-kv/src/wal.rs",
+];
+
+/// Name of the committed registry file at the workspace root.
+pub const LOCK_FILE: &str = "wire_schema.lock";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Encode,
+    Decode,
+}
+
+/// One put-call site inside an encode body.
+struct PutSite {
+    tag: u32,
+    line: usize,
+    /// Chain of scope ids from the fn body down to the call: two writes of
+    /// the same tag are a duplicate only when the chains are identical
+    /// (same linear scope) — sibling match arms legitimately reuse tags.
+    scope: Vec<u32>,
+    /// For `put_message`: the tags written directly inside its closure.
+    inner: Option<BTreeSet<u32>>,
+}
+
+/// One schema-relevant function extracted from a file.
+struct FnInfo {
+    name: String,
+    impl_type: Option<String>,
+    file: String,
+    line: usize,
+    side: Side,
+    /// Encode side: tags written at the top level of this body.
+    puts: Vec<PutSite>,
+    /// Decode side: the `match f` arm tags.
+    arm_tags: BTreeSet<u32>,
+    /// Decode side: fn has a `for_each` + `match` of its own.
+    has_match: bool,
+    /// Decode side: the match carries a `_`/binding arm.
+    has_skip: bool,
+    /// Names of local functions called at the top level of the body
+    /// (delegation / helper inlining).
+    calls: Vec<String>,
+}
+
+impl FnInfo {
+    fn own_tags(&self) -> BTreeSet<u32> {
+        self.puts.iter().map(|p| p.tag).collect()
+    }
+
+    /// If the body is exactly one `put_message`, the nested message's tags.
+    /// This is the `put_span_context` shape: the outer tag belongs to the
+    /// *caller's* message, the closure tags to this helper's own message.
+    fn single_message_inner(&self) -> Option<&BTreeSet<u32>> {
+        match self.puts.as_slice() {
+            [only] => only.inner.as_ref(),
+            _ => None,
+        }
+    }
+}
+
+/// A message in the extracted registry: the union of its encode-side and
+/// decode-side tag sets, with a source anchor for diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    pub file: String,
+    pub line: usize,
+    pub enc: BTreeSet<u32>,
+    pub dec: BTreeSet<u32>,
+    pub has_enc: bool,
+    pub has_dec: bool,
+}
+
+impl Message {
+    /// All tags the code knows about for this message.
+    #[must_use]
+    pub fn tags(&self) -> BTreeSet<u32> {
+        self.enc.union(&self.dec).copied().collect()
+    }
+}
+
+/// The whole-workspace registry extracted from source.
+#[derive(Default)]
+pub struct Registry {
+    pub messages: BTreeMap<String, Message>,
+}
+
+/// The committed `wire_schema.lock` contents.
+#[derive(Default, Debug, PartialEq, Eq)]
+pub struct Lock {
+    pub messages: BTreeMap<String, LockEntry>,
+}
+
+#[derive(Default, Debug, PartialEq, Eq)]
+pub struct LockEntry {
+    pub fields: BTreeSet<u32>,
+    pub retired: BTreeSet<u32>,
+    pub line: usize,
+}
+
+// ---- extraction -------------------------------------------------------------
+
+/// Extract schema functions from one file's source, reporting per-function
+/// violations (duplicate tags, duplicate decoder arms, missing skip arms).
+fn extract_file(rel: &str, src: &str, out: &mut Vec<Violation>) -> Vec<FnInfo> {
+    let toks = lexer::lex(src);
+    let mask = lexer::test_mask(&toks);
+    let (allows, _) = Allows::build(&toks);
+
+    let mut ct: Vec<&Tok> = Vec::with_capacity(toks.len());
+    let mut cmask: Vec<bool> = Vec::with_capacity(toks.len());
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Comment {
+            ct.push(t);
+            cmask.push(mask[i]);
+        }
+    }
+
+    let consts = collect_consts(&ct);
+    let impl_ranges = collect_impl_ranges(&ct);
+
+    let mut fns = Vec::new();
+    let mut p = 0;
+    while p < ct.len() {
+        if !ct[p].is_ident("fn") || cmask[p] {
+            p += 1;
+            continue;
+        }
+        let Some(name_tok) = ct.get(p + 1).filter(|t| t.kind == TokKind::Ident) else {
+            p += 1;
+            continue;
+        };
+        let name = name_tok.text.clone();
+        let Some(side) = side_of(&name) else {
+            p += 1;
+            continue;
+        };
+        // Walk the signature: over the parameter list, then to `{` or `;`.
+        let mut q = p + 2;
+        while q < ct.len() && !ct[q].is_punct('(') && !ct[q].is_punct('{') && !ct[q].is_punct(';') {
+            q += 1;
+        }
+        if q < ct.len() && ct[q].is_punct('(') {
+            q = match_close(&ct, q, '(', ')') + 1;
+        }
+        while q < ct.len() && !ct[q].is_punct('{') && !ct[q].is_punct(';') {
+            q += 1;
+        }
+        if q >= ct.len() || ct[q].is_punct(';') {
+            p = q.min(ct.len() - 1) + 1;
+            continue; // trait declaration, no body
+        }
+        let body_end = match_close(&ct, q, '{', '}');
+        let impl_type = impl_ranges
+            .iter()
+            .find(|(s, e, _)| *s < p && p < *e)
+            .map(|(_, _, t)| t.clone());
+
+        let mut info = FnInfo {
+            name: name.clone(),
+            impl_type,
+            file: rel.to_string(),
+            line: ct[p].line,
+            side,
+            puts: Vec::new(),
+            arm_tags: BTreeSet::new(),
+            has_match: false,
+            has_skip: false,
+            calls: Vec::new(),
+        };
+        match side {
+            Side::Encode => {
+                let mut scope_counter = 0u32;
+                extract_puts(
+                    &ct,
+                    q + 1,
+                    body_end,
+                    &consts,
+                    &mut scope_counter,
+                    &mut Vec::new(),
+                    &mut info.puts,
+                    &mut info.calls,
+                );
+                // Duplicate tag in the same linear scope: silent last-write-wins
+                // corruption on the wire.
+                for (i, a) in info.puts.iter().enumerate() {
+                    for b in &info.puts[i + 1..] {
+                        if a.tag == b.tag
+                            && a.scope == b.scope
+                            && !allows.waives(b.line, "schema-dup-tag")
+                        {
+                            out.push(Violation {
+                                file: rel.to_string(),
+                                line: b.line,
+                                rule: "schema-dup-tag",
+                                message: format!(
+                                    "field tag {} written twice in `{}` (first at line {}); \
+                                     the second write silently overwrites the first on decode",
+                                    b.tag, name, a.line
+                                ),
+                                hint: "give the new field a fresh tag (check wire_schema.lock \
+                                       for the next free one)",
+                            });
+                        }
+                    }
+                }
+            }
+            Side::Decode => {
+                extract_decode(&ct, q + 1, body_end, &consts, &mut info, rel, &allows, out);
+            }
+        }
+        fns.push(info);
+        p = q + 1; // continue inside the body: nested fns are rare but legal
+    }
+    fns
+}
+
+fn side_of(name: &str) -> Option<Side> {
+    if name.starts_with("encode") || name.starts_with("write_") || name.starts_with("put_") {
+        Some(Side::Encode)
+    } else if name.starts_with("decode") || name.starts_with("read_") {
+        Some(Side::Decode)
+    } else {
+        None
+    }
+}
+
+/// `const NAME: <int type> = <int>;` table for tag resolution.
+fn collect_consts(ct: &[&Tok]) -> HashMap<String, u32> {
+    let mut consts = HashMap::new();
+    for p in 0..ct.len() {
+        if !ct[p].is_ident("const") {
+            continue;
+        }
+        let Some(name) = ct.get(p + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        // NAME : ty = INT ;
+        let mut q = p + 2;
+        while q < ct.len() && !ct[q].is_punct('=') && !ct[q].is_punct(';') {
+            q += 1;
+        }
+        if q + 1 < ct.len() && ct[q].is_punct('=') && ct[q + 1].kind == TokKind::Int {
+            if let Some(v) = parse_int(&ct[q + 1].text) {
+                consts.insert(name.text.clone(), v);
+            }
+        }
+    }
+    consts
+}
+
+fn parse_int(text: &str) -> Option<u32> {
+    let digits: String = text.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// `(start, end, type)` token ranges of `impl` blocks, for associating
+/// methods with their type.
+fn collect_impl_ranges(ct: &[&Tok]) -> Vec<(usize, usize, String)> {
+    let mut ranges = Vec::new();
+    let mut p = 0;
+    while p < ct.len() {
+        if !ct[p].is_ident("impl") {
+            p += 1;
+            continue;
+        }
+        let mut q = p + 1;
+        let mut last_ident: Option<String> = None;
+        let mut angle = 0i32;
+        while q < ct.len() && !ct[q].is_punct('{') {
+            let t = ct[q];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if angle == 0 && t.kind == TokKind::Ident {
+                if t.text == "for" {
+                    last_ident = None; // `impl Trait for Type` — restart at Type
+                } else {
+                    last_ident = Some(t.text.clone());
+                }
+            }
+            q += 1;
+        }
+        if q < ct.len() {
+            let end = match_close(ct, q, '{', '}');
+            if let Some(ty) = last_ident {
+                ranges.push((q, end, ty));
+            }
+            p = q + 1;
+        } else {
+            break;
+        }
+    }
+    ranges
+}
+
+/// Walk an encode body collecting `.put_*(<tag>, ...)` sites and top-level
+/// local calls. Call-argument regions of recognized puts are skipped whole,
+/// so a nested message's closure never leaks tags into its parent.
+#[allow(clippy::too_many_arguments)]
+fn extract_puts(
+    ct: &[&Tok],
+    start: usize,
+    end: usize,
+    consts: &HashMap<String, u32>,
+    scope_counter: &mut u32,
+    scope: &mut Vec<u32>,
+    puts: &mut Vec<PutSite>,
+    calls: &mut Vec<String>,
+) {
+    let mut p = start;
+    while p < end {
+        let t = ct[p];
+        if t.is_punct('{') {
+            *scope_counter += 1;
+            scope.push(*scope_counter);
+        } else if t.is_punct('}') {
+            scope.pop();
+        } else if t.is_punct('.')
+            && ct
+                .get(p + 1)
+                .is_some_and(|n| n.kind == TokKind::Ident && n.text.starts_with("put_"))
+            && ct.get(p + 2).is_some_and(|n| n.is_punct('('))
+        {
+            let method = &ct[p + 1].text;
+            let open = p + 2;
+            let close = match_close(ct, open, '(', ')');
+            let tag = ct.get(open + 1).and_then(|a| match a.kind {
+                TokKind::Int => parse_int(&a.text),
+                TokKind::Ident => consts.get(&a.text).copied(),
+                _ => None,
+            });
+            if let Some(tag) = tag {
+                let inner = (method == "put_message").then(|| {
+                    let mut inner_puts = Vec::new();
+                    let mut inner_calls = Vec::new();
+                    extract_puts(
+                        ct,
+                        open + 1,
+                        close,
+                        consts,
+                        scope_counter,
+                        &mut Vec::new(),
+                        &mut inner_puts,
+                        &mut inner_calls,
+                    );
+                    inner_puts.iter().map(|s| s.tag).collect::<BTreeSet<u32>>()
+                });
+                puts.push(PutSite {
+                    tag,
+                    line: ct[p + 1].line,
+                    scope: scope.clone(),
+                    inner,
+                });
+            }
+            p = close + 1;
+            continue;
+        } else if t.kind == TokKind::Ident
+            && ct.get(p + 1).is_some_and(|n| n.is_punct('('))
+            && !ct.get(p.wrapping_sub(1)).is_some_and(|n| n.is_punct('.'))
+        {
+            calls.push(t.text.clone());
+        }
+        p += 1;
+    }
+}
+
+/// Walk a decode body: find the fn's own `for_each(|f, _| ... match f {...})`
+/// and parse its arms; collect local calls for delegator resolution.
+#[allow(clippy::too_many_arguments)]
+fn extract_decode(
+    ct: &[&Tok],
+    start: usize,
+    end: usize,
+    consts: &HashMap<String, u32>,
+    info: &mut FnInfo,
+    rel: &str,
+    allows: &Allows,
+    out: &mut Vec<Violation>,
+) {
+    // Local calls anywhere in the body (delegators: `read_slice(&bytes)`,
+    // `Self::decode_envelope(bytes)`).
+    for p in start..end {
+        if ct[p].kind == TokKind::Ident
+            && ct.get(p + 1).is_some_and(|n| n.is_punct('('))
+            && !ct.get(p.wrapping_sub(1)).is_some_and(|n| n.is_punct('.'))
+        {
+            info.calls.push(ct[p].text.clone());
+        }
+    }
+
+    // The fn's own for_each.
+    let mut fe = None;
+    for p in start..end {
+        if ct[p].is_punct('.')
+            && ct.get(p + 1).is_some_and(|n| n.is_ident("for_each"))
+            && ct.get(p + 2).is_some_and(|n| n.is_punct('('))
+        {
+            fe = Some(p + 2);
+            break;
+        }
+    }
+    let Some(fe_open) = fe else { return };
+    let fe_close = match_close(ct, fe_open, '(', ')');
+    // Closure field param: `(|f, v| ...` — the ident after the first `|`.
+    let Some(param) = ct
+        .get(fe_open + 1)
+        .filter(|t| t.is_punct('|'))
+        .and_then(|_| ct.get(fe_open + 2))
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+    else {
+        return;
+    };
+    // `match <param> {` inside the for_each region.
+    let mut m = None;
+    for p in fe_open..fe_close {
+        if ct[p].is_ident("match")
+            && ct.get(p + 1).is_some_and(|n| n.is_ident(&param))
+            && ct.get(p + 2).is_some_and(|n| n.is_punct('{'))
+        {
+            m = Some(p + 2);
+            break;
+        }
+    }
+    let Some(match_open) = m else { return };
+    info.has_match = true;
+
+    let match_end = match_close(ct, match_open, '{', '}');
+    let mut p = match_open + 1;
+    while p < match_end {
+        // Collect the arm pattern up to `=>`.
+        let pat_start = p;
+        let mut depth = 0i32;
+        while p < match_end {
+            let t = ct[p];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0
+                && t.is_punct('=')
+                && ct.get(p + 1).is_some_and(|n| n.is_punct('>'))
+            {
+                break;
+            }
+            p += 1;
+        }
+        if p >= match_end {
+            break;
+        }
+        for t in &ct[pat_start..p] {
+            match t.kind {
+                TokKind::Int => {
+                    if let Some(tag) = parse_int(&t.text) {
+                        if !info.arm_tags.insert(tag) && !allows.waives(t.line, "schema-decode-dup")
+                        {
+                            out.push(Violation {
+                                file: rel.to_string(),
+                                line: t.line,
+                                rule: "schema-decode-dup",
+                                message: format!(
+                                    "decoder `{}` matches field tag {tag} in more than one arm \
+                                     — the later arm is unreachable",
+                                    info.name
+                                ),
+                                hint: "remove the duplicate arm (each field tag decodes in \
+                                       exactly one place)",
+                            });
+                        }
+                    }
+                }
+                TokKind::Ident => {
+                    if let Some(&tag) = consts.get(&t.text) {
+                        info.arm_tags.insert(tag);
+                    } else if t.text == "_"
+                        || t.text.chars().all(|c| c.is_ascii_lowercase() || c == '_')
+                    {
+                        info.has_skip = true; // wildcard or binding arm
+                    }
+                }
+                _ => {}
+            }
+        }
+        p += 2; // past `=>`
+                // Skip the arm body.
+        if p < match_end && ct[p].is_punct('{') {
+            p = match_close(ct, p, '{', '}') + 1;
+        } else {
+            let mut depth = 0i32;
+            while p < match_end {
+                let t = ct[p];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct(',') {
+                    p += 1;
+                    break;
+                }
+                p += 1;
+            }
+        }
+        if p < match_end && ct[p].is_punct(',') {
+            p += 1;
+        }
+    }
+}
+
+fn match_close(ct: &[&Tok], open: usize, o: char, c: char) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in ct.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    ct.len().saturating_sub(1)
+}
+
+// ---- grouping and resolution ------------------------------------------------
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The message a fn belongs to: assoc fns group by their impl type, free
+/// fns by the suffix after their `encode_`/`decode_`/`write_`/`read_`/
+/// `put_` prefix.
+fn group_name(f: &FnInfo) -> Option<String> {
+    if let Some(ty) = &f.impl_type {
+        return Some(snake_case(ty));
+    }
+    for prefix in ["encode_", "decode_", "write_", "read_", "put_"] {
+        if let Some(suffix) = f.name.strip_prefix(prefix) {
+            if !suffix.is_empty() {
+                return Some(suffix.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Key for cross-fn call resolution: same impl type wins over a free fn of
+/// the same name (e.g. both `RpcRequest` and `RpcResponse` have
+/// `decode_traced`; `Self::decode_traced` must resolve within the impl).
+fn resolve_callee<'a>(fns: &'a [FnInfo], caller: &FnInfo, callee_name: &str) -> Option<&'a FnInfo> {
+    fns.iter()
+        .find(|f| f.name == callee_name && f.impl_type == caller.impl_type && f.file == caller.file)
+        .or_else(|| {
+            fns.iter()
+                .find(|f| f.name == callee_name && f.impl_type.is_none() && f.file == caller.file)
+        })
+}
+
+/// Encode-side tags of `f` including helpers it calls at the top level
+/// (`put_span_context(&mut w, ctx)` flows its outer tag into the caller).
+fn resolve_enc_tags(fns: &[FnInfo], f: &FnInfo, visiting: &mut Vec<String>) -> BTreeSet<u32> {
+    let mut tags = f.own_tags();
+    visiting.push(f.name.clone());
+    for call in &f.calls {
+        if visiting.iter().any(|v| v == call) {
+            continue;
+        }
+        if let Some(callee) = resolve_callee(fns, f, call) {
+            if callee.side == Side::Encode {
+                tags.extend(resolve_enc_tags(fns, callee, visiting));
+            }
+        }
+    }
+    visiting.pop();
+    tags
+}
+
+/// Decode-side tags of `f`: its own match arms, or (for pure delegators
+/// like `decode_slice` → `read_slice`) the tags of the decode fns it calls.
+fn resolve_dec_tags(fns: &[FnInfo], f: &FnInfo, visiting: &mut Vec<String>) -> BTreeSet<u32> {
+    if f.has_match {
+        return f.arm_tags.clone();
+    }
+    let mut tags = BTreeSet::new();
+    visiting.push(f.name.clone());
+    for call in &f.calls {
+        if visiting.iter().any(|v| v == call) {
+            continue;
+        }
+        if let Some(callee) = resolve_callee(fns, f, call) {
+            if callee.side == Side::Decode {
+                tags.extend(resolve_dec_tags(fns, callee, visiting));
+            }
+        }
+    }
+    visiting.pop();
+    tags
+}
+
+/// Build the message registry from extracted functions, emitting symmetry
+/// and skip-arm violations along the way.
+fn build_registry(
+    fns: &[FnInfo],
+    allow_tables: &HashMap<String, Allows>,
+    out: &mut Vec<Violation>,
+) -> Registry {
+    // Missing skip arm: a decoder that enumerates fields but rejects
+    // unknown ones can never tolerate a newer writer.
+    for f in fns {
+        if f.side == Side::Decode && f.has_match && !f.has_skip && !f.arm_tags.is_empty() {
+            let waived = allow_tables
+                .get(&f.file)
+                .is_some_and(|a| a.waives(f.line, "schema-no-skip-arm"));
+            if !waived {
+                out.push(Violation {
+                    file: f.file.clone(),
+                    line: f.line,
+                    rule: "schema-no-skip-arm",
+                    message: format!(
+                        "decoder `{}` has no `_ =>` arm: unknown (newer) field tags would \
+                         not be skipped",
+                        f.name
+                    ),
+                    hint: "add a wildcard arm that ignores unrecognized tags so old readers \
+                           survive new optional fields",
+                });
+            }
+        }
+    }
+
+    // Which group names have a decode side at all (gates put_ helpers).
+    let dec_groups: BTreeSet<String> = fns
+        .iter()
+        .filter(|f| f.side == Side::Decode)
+        .filter_map(group_name)
+        .collect();
+
+    let mut messages: BTreeMap<String, Message> = BTreeMap::new();
+    for f in fns {
+        let Some(name) = group_name(f) else { continue };
+        match f.side {
+            Side::Encode => {
+                // A `put_` helper is inline plumbing unless a decoder pairs
+                // with it; when it pairs and wraps a single put_message, the
+                // *closure* tags are the message (`put_span_context`).
+                let tags = if f.name.starts_with("put_") {
+                    if !dec_groups.contains(&name) {
+                        continue;
+                    }
+                    match f.single_message_inner() {
+                        Some(inner) => inner.clone(),
+                        None => resolve_enc_tags(fns, f, &mut Vec::new()),
+                    }
+                } else {
+                    resolve_enc_tags(fns, f, &mut Vec::new())
+                };
+                let m = messages.entry(name).or_insert_with(|| Message {
+                    file: f.file.clone(),
+                    line: f.line,
+                    enc: BTreeSet::new(),
+                    dec: BTreeSet::new(),
+                    has_enc: false,
+                    has_dec: false,
+                });
+                m.has_enc = true;
+                m.enc.extend(tags);
+            }
+            Side::Decode => {
+                let tags = resolve_dec_tags(fns, f, &mut Vec::new());
+                let m = messages.entry(name).or_insert_with(|| Message {
+                    file: f.file.clone(),
+                    line: f.line,
+                    enc: BTreeSet::new(),
+                    dec: BTreeSet::new(),
+                    has_enc: false,
+                    has_dec: false,
+                });
+                m.has_dec = true;
+                m.dec.extend(tags);
+            }
+        }
+    }
+
+    // Drop groups with no literal tags on either side: generic plumbing
+    // (WireWriter/WireReader themselves, byte-level frame codecs).
+    messages.retain(|_, m| !m.enc.is_empty() || !m.dec.is_empty());
+
+    // Symmetry.
+    for (name, m) in &messages {
+        let waived = allow_tables
+            .get(&m.file)
+            .is_some_and(|a| a.waives(m.line, "schema-symmetry"));
+        if waived {
+            continue;
+        }
+        if m.has_enc && m.has_dec {
+            if m.enc != m.dec {
+                let enc_only: Vec<u32> = m.enc.difference(&m.dec).copied().collect();
+                let dec_only: Vec<u32> = m.dec.difference(&m.enc).copied().collect();
+                out.push(Violation {
+                    file: m.file.clone(),
+                    line: m.line,
+                    rule: "schema-symmetry",
+                    message: format!(
+                        "message `{name}` encode/decode tags differ: encoded-but-never-decoded \
+                         {enc_only:?}, decoded-but-never-encoded {dec_only:?}"
+                    ),
+                    hint: "add the missing decoder arm / writer so the field round-trips \
+                           (a write-only field is lost on the wire)",
+                });
+            }
+        } else if m.has_enc {
+            out.push(Violation {
+                file: m.file.clone(),
+                line: m.line,
+                rule: "schema-symmetry",
+                message: format!(
+                    "message `{name}` has an encoder (tags {:?}) but no decoder",
+                    m.enc.iter().collect::<Vec<_>>()
+                ),
+                hint: "add a decode_* counterpart (or rename the fn if it is not a wire \
+                       message)",
+            });
+        } else {
+            out.push(Violation {
+                file: m.file.clone(),
+                line: m.line,
+                rule: "schema-symmetry",
+                message: format!(
+                    "message `{name}` has a decoder (tags {:?}) but no encoder",
+                    m.dec.iter().collect::<Vec<_>>()
+                ),
+                hint: "add an encode_* counterpart (or rename the fn if it is not a wire \
+                       message)",
+            });
+        }
+    }
+
+    Registry { messages }
+}
+
+// ---- lock file --------------------------------------------------------------
+
+/// Parse `wire_schema.lock`. Format, line-oriented:
+///
+/// ```text
+/// message <name>
+///   fields: 1 2 3
+///   retired: 4
+/// ```
+pub fn parse_lock(text: &str) -> Result<Lock, (usize, String)> {
+    let mut lock = Lock::default();
+    let mut current: Option<String> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("message ") {
+            let name = name.trim().to_string();
+            if lock.messages.contains_key(&name) {
+                return Err((line_no, format!("duplicate message `{name}`")));
+            }
+            lock.messages.insert(
+                name.clone(),
+                LockEntry {
+                    line: line_no,
+                    ..LockEntry::default()
+                },
+            );
+            current = Some(name);
+        } else if let Some(rest) = line.strip_prefix("fields:") {
+            let Some(name) = &current else {
+                return Err((line_no, "`fields:` before any `message`".into()));
+            };
+            let entry = lock.messages.get_mut(name).expect("current tracks map");
+            for tok in rest.split_whitespace() {
+                let tag: u32 = tok
+                    .parse()
+                    .map_err(|_| (line_no, format!("bad field tag `{tok}`")))?;
+                entry.fields.insert(tag);
+            }
+        } else if let Some(rest) = line.strip_prefix("retired:") {
+            let Some(name) = &current else {
+                return Err((line_no, "`retired:` before any `message`".into()));
+            };
+            let entry = lock.messages.get_mut(name).expect("current tracks map");
+            for tok in rest.split_whitespace() {
+                let tag: u32 = tok
+                    .parse()
+                    .map_err(|_| (line_no, format!("bad retired tag `{tok}`")))?;
+                entry.retired.insert(tag);
+            }
+        } else {
+            return Err((line_no, format!("unrecognized line `{line}`")));
+        }
+    }
+    Ok(lock)
+}
+
+/// Render the lock for the given registry, preserving (and growing) the
+/// retired sets from `old`: fields that vanished from code are retired,
+/// and nothing ever leaves a retired set.
+#[must_use]
+pub fn render_lock(registry: &Registry, old: Option<&Lock>) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# wire_schema.lock — committed registry of wire-message field tags.\n\
+         # Regenerate with: cargo run -p xtask -- schema-lock\n\
+         # Retired tags are append-only: a retired tag must NEVER be recycled,\n\
+         # or an old reader mid-rolling-upgrade decodes the new field with the\n\
+         # old meaning. Allocate fresh tags instead.\n",
+    );
+    let mut names: BTreeSet<&String> = registry.messages.keys().collect();
+    if let Some(old) = old {
+        names.extend(old.messages.keys());
+    }
+    for name in names {
+        let code_tags = registry
+            .messages
+            .get(name)
+            .map(Message::tags)
+            .unwrap_or_default();
+        let mut retired: BTreeSet<u32> = old
+            .and_then(|l| l.messages.get(name))
+            .map(|e| e.retired.clone())
+            .unwrap_or_default();
+        if let Some(old_entry) = old.and_then(|l| l.messages.get(name)) {
+            // Previously-active fields that are gone from code: retire them.
+            for t in old_entry.fields.difference(&code_tags) {
+                retired.insert(*t);
+            }
+        }
+        out.push_str(&format!("\nmessage {name}\n"));
+        out.push_str("  fields:");
+        for t in &code_tags {
+            out.push_str(&format!(" {t}"));
+        }
+        out.push('\n');
+        out.push_str("  retired:");
+        for t in &retired {
+            out.push_str(&format!(" {t}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Diff the extracted registry against the committed lock.
+pub fn check_lock(registry: &Registry, lock: &Lock, out: &mut Vec<Violation>) {
+    for (name, m) in &registry.messages {
+        let Some(entry) = lock.messages.get(name) else {
+            out.push(Violation {
+                file: m.file.clone(),
+                line: m.line,
+                rule: "schema-lock",
+                message: format!(
+                    "message `{name}` (fields {:?}) is not in {LOCK_FILE}",
+                    m.tags().iter().collect::<Vec<_>>()
+                ),
+                hint: "run `cargo run -p xtask -- schema-lock` and commit the lock diff",
+            });
+            continue;
+        };
+        for tag in m.tags() {
+            if entry.retired.contains(&tag) {
+                out.push(Violation {
+                    file: m.file.clone(),
+                    line: m.line,
+                    rule: "schema-retired",
+                    message: format!(
+                        "field tag {tag} of message `{name}` was retired in {LOCK_FILE} and \
+                         must never be recycled"
+                    ),
+                    hint: "allocate a fresh tag for the new field; old readers still assign \
+                           the retired tag its old meaning",
+                });
+            } else if !entry.fields.contains(&tag) {
+                out.push(Violation {
+                    file: m.file.clone(),
+                    line: m.line,
+                    rule: "schema-lock",
+                    message: format!(
+                        "field tag {tag} of message `{name}` is in code but not in {LOCK_FILE}"
+                    ),
+                    hint: "run `cargo run -p xtask -- schema-lock` and commit the lock diff \
+                           so the new field is reviewable",
+                });
+            }
+        }
+        let code_tags = m.tags();
+        for tag in entry.fields.difference(&code_tags) {
+            out.push(Violation {
+                file: m.file.clone(),
+                line: m.line,
+                rule: "schema-lock",
+                message: format!(
+                    "field tag {tag} of message `{name}` is active in {LOCK_FILE} but gone \
+                     from code"
+                ),
+                hint: "run `cargo run -p xtask -- schema-lock` to move it to the retired set \
+                       (removals must be explicit)",
+            });
+        }
+    }
+    for (name, entry) in &lock.messages {
+        if !registry.messages.contains_key(name) {
+            out.push(Violation {
+                file: LOCK_FILE.to_string(),
+                line: entry.line,
+                rule: "schema-lock",
+                message: format!("message `{name}` is in {LOCK_FILE} but no longer in code"),
+                hint: "run `cargo run -p xtask -- schema-lock` if the message was really \
+                       removed (its tags stay retired)",
+            });
+        }
+    }
+}
+
+// ---- entry points -----------------------------------------------------------
+
+/// Extract the registry from the workspace sources under `root`, emitting
+/// extraction-level violations (dup tags, symmetry, skip arms).
+pub fn extract_registry(root: &Path, out: &mut Vec<Violation>) -> io::Result<Registry> {
+    let mut fns = Vec::new();
+    let mut allow_tables = HashMap::new();
+    for rel in SCHEMA_FILES {
+        let path = root.join(rel);
+        if !path.is_file() {
+            continue;
+        }
+        let src = fs::read_to_string(&path)?;
+        let toks = lexer::lex(&src);
+        let (allows, _) = Allows::build(&toks);
+        allow_tables.insert((*rel).to_string(), allows);
+        fns.extend(extract_file(rel, &src, out));
+    }
+    Ok(build_registry(&fns, &allow_tables, out))
+}
+
+/// The full schema check: extraction + lock diff.
+pub fn check_tree(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    let registry = extract_registry(root, &mut out)?;
+    let lock_path = root.join(LOCK_FILE);
+    match fs::read_to_string(&lock_path) {
+        Ok(text) => match parse_lock(&text) {
+            Ok(lock) => check_lock(&registry, &lock, &mut out),
+            Err((line, why)) => out.push(Violation {
+                file: LOCK_FILE.to_string(),
+                line,
+                rule: "schema-lock",
+                message: format!("cannot parse {LOCK_FILE}: {why}"),
+                hint: "regenerate with `cargo run -p xtask -- schema-lock`",
+            }),
+        },
+        Err(_) if !registry.messages.is_empty() => out.push(Violation {
+            file: LOCK_FILE.to_string(),
+            line: 1,
+            rule: "schema-lock",
+            message: format!("{LOCK_FILE} is missing"),
+            hint: "run `cargo run -p xtask -- schema-lock` and commit the generated file",
+        }),
+        Err(_) => {}
+    }
+    Ok(out)
+}
+
+/// Regenerate `wire_schema.lock` in place (the `schema-lock` subcommand).
+/// Returns the rendered contents. Extraction violations (dup tags, broken
+/// symmetry) still need fixing — the lock records tags, it does not bless
+/// inconsistencies.
+pub fn write_lock(root: &Path) -> io::Result<String> {
+    let mut scratch = Vec::new();
+    let registry = extract_registry(root, &mut scratch)?;
+    let lock_path = root.join(LOCK_FILE);
+    let old = fs::read_to_string(&lock_path)
+        .ok()
+        .and_then(|t| parse_lock(&t).ok());
+    let rendered = render_lock(&registry, old.as_ref());
+    fs::write(&lock_path, &rendered)?;
+    Ok(rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry_of(src: &str) -> (Registry, Vec<Violation>) {
+        let mut out = Vec::new();
+        let fns = extract_file("test.rs", src, &mut out);
+        let mut allow_tables = HashMap::new();
+        let toks = lexer::lex(src);
+        let (allows, _) = Allows::build(&toks);
+        allow_tables.insert("test.rs".to_string(), allows);
+        let reg = build_registry(&fns, &allow_tables, &mut out);
+        (reg, out)
+    }
+
+    fn rules(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|v| v.rule).collect()
+    }
+
+    const SYMMETRIC: &str = r#"
+fn encode_point(w: &mut WireWriter, p: &Point) {
+    w.put_u64(1, p.x);
+    w.put_u64(2, p.y);
+}
+fn decode_point(bytes: &[u8]) -> Result<Point> {
+    let (mut x, mut y) = (0, 0);
+    WireReader::new(bytes).for_each(|f, v| {
+        match f {
+            1 => x = v.as_u64(f)?,
+            2 => y = v.as_u64(f)?,
+            _ => {}
+        }
+        Ok(())
+    })?;
+    Ok(Point { x, y })
+}
+"#;
+
+    #[test]
+    fn symmetric_message_is_clean_and_registered() {
+        let (reg, v) = registry_of(SYMMETRIC);
+        assert!(v.is_empty(), "{v:?}");
+        let m = reg.messages.get("point").expect("registered");
+        assert_eq!(m.enc.iter().copied().collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(m.dec, m.enc);
+    }
+
+    #[test]
+    fn duplicated_field_tag_is_caught_with_line() {
+        // Seeded mutation: the same tag written twice in one linear scope.
+        let src = r#"
+fn encode_point(w: &mut WireWriter, p: &Point) {
+    w.put_u64(1, p.x);
+    w.put_u64(1, p.y);
+}
+fn decode_point(bytes: &[u8]) -> Result<Point> {
+    let mut x = 0;
+    WireReader::new(bytes).for_each(|f, v| {
+        match f {
+            1 => x = v.as_u64(f)?,
+            _ => {}
+        }
+        Ok(())
+    })?;
+    Ok(Point { x })
+}
+"#;
+        let (_, v) = registry_of(src);
+        assert_eq!(rules(&v), ["schema-dup-tag"]);
+        assert_eq!(v[0].line, 4, "anchored at the second write");
+        assert_eq!(v[0].file, "test.rs");
+    }
+
+    #[test]
+    fn variant_arms_may_reuse_tags_across_branches() {
+        // Enum-style messages (WalRecord, TimeRange) write the same tag in
+        // sibling match arms — that is one field, not a duplicate.
+        let src = r#"
+fn encode_rec(w: &mut WireWriter, r: &Rec) {
+    match r {
+        Rec::Set { k, v } => {
+            w.put_u64(1, 1);
+            w.put_bytes(2, k);
+            w.put_bytes(3, v);
+        }
+        Rec::Del { k } => {
+            w.put_u64(1, 2);
+            w.put_bytes(2, k);
+        }
+    }
+}
+fn decode_rec(bytes: &[u8]) -> Result<Rec> {
+    WireReader::new(bytes).for_each(|f, v| {
+        match f {
+            1 => {}
+            2 => {}
+            3 => {}
+            _ => {}
+        }
+        Ok(())
+    })
+}
+"#;
+        let (reg, v) = registry_of(src);
+        assert!(v.is_empty(), "{v:?}");
+        let m = reg.messages.get("rec").unwrap();
+        assert_eq!(m.enc.iter().copied().collect::<Vec<_>>(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn encode_without_decode_field_is_asymmetry() {
+        // Seeded mutation: encoder writes tag 3, decoder never reads it.
+        let src = r#"
+fn encode_point(w: &mut WireWriter, p: &Point) {
+    w.put_u64(1, p.x);
+    w.put_u64(3, p.z);
+}
+fn decode_point(bytes: &[u8]) -> Result<Point> {
+    let mut x = 0;
+    WireReader::new(bytes).for_each(|f, v| {
+        match f {
+            1 => x = v.as_u64(f)?,
+            _ => {}
+        }
+        Ok(())
+    })?;
+    Ok(Point { x })
+}
+"#;
+        let (_, v) = registry_of(src);
+        assert_eq!(rules(&v), ["schema-symmetry"]);
+        assert!(v[0].message.contains("[3]"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn encoder_with_no_decoder_at_all_is_flagged() {
+        let src = "fn encode_orphan(w: &mut W) { w.put_u64(1, 0); }\n";
+        let (_, v) = registry_of(src);
+        assert_eq!(rules(&v), ["schema-symmetry"]);
+        assert!(v[0].message.contains("no decoder"));
+    }
+
+    #[test]
+    fn missing_skip_arm_is_flagged() {
+        let src = r#"
+fn encode_point(w: &mut W) { w.put_u64(1, 0); }
+fn decode_point(bytes: &[u8]) -> Result<u64> {
+    let mut x = 0;
+    WireReader::new(bytes).for_each(|f, v| {
+        match f {
+            1 => x = v.as_u64(f)?,
+        }
+        Ok(())
+    })?;
+    Ok(x)
+}
+"#;
+        let (_, v) = registry_of(src);
+        assert_eq!(rules(&v), ["schema-no-skip-arm"]);
+    }
+
+    #[test]
+    fn duplicate_decoder_arm_is_flagged() {
+        let src = r#"
+fn decode_point(bytes: &[u8]) -> Result<u64> {
+    let mut x = 0;
+    WireReader::new(bytes).for_each(|f, v| {
+        match f {
+            1 => x = v.as_u64(f)?,
+            1 => x = v.as_u64(f)?,
+            _ => {}
+        }
+        Ok(())
+    })?;
+    Ok(x)
+}
+"#;
+        let (_, v) = registry_of(src);
+        assert!(rules(&v).contains(&"schema-decode-dup"), "{v:?}");
+    }
+
+    #[test]
+    fn const_tags_resolve_on_both_sides() {
+        let src = r#"
+const F_X: u32 = 7;
+const F_Y: u32 = 9;
+fn encode_point(w: &mut W, p: &Point) {
+    w.put_u64(F_X, p.x);
+    w.put_u64(F_Y, p.y);
+}
+fn decode_point(bytes: &[u8]) -> Result<Point> {
+    WireReader::new(bytes).for_each(|f, v| {
+        match f {
+            F_X => {}
+            F_Y => {}
+            _ => {}
+        }
+        Ok(())
+    })
+}
+"#;
+        let (reg, v) = registry_of(src);
+        assert!(v.is_empty(), "{v:?}");
+        let m = reg.messages.get("point").unwrap();
+        assert_eq!(m.enc.iter().copied().collect::<Vec<_>>(), [7, 9]);
+    }
+
+    #[test]
+    fn nested_put_message_tags_do_not_leak_into_parent() {
+        let src = r#"
+fn encode_outer(w: &mut W, o: &Outer) {
+    w.put_u64(1, o.id);
+    w.put_message(2, |iw| {
+        iw.put_u64(40, o.a);
+        iw.put_u64(41, o.b);
+    });
+}
+fn decode_outer(bytes: &[u8]) -> Result<Outer> {
+    WireReader::new(bytes).for_each(|f, v| {
+        match f {
+            1 => {}
+            2 => {
+                WireReader::new(v.as_bytes(f)?).for_each(|inf, inv| {
+                    match inf {
+                        40 => {}
+                        41 => {}
+                        _ => {}
+                    }
+                    Ok(())
+                })?;
+            }
+            _ => {}
+        }
+        Ok(())
+    })
+}
+"#;
+        let (reg, v) = registry_of(src);
+        assert!(v.is_empty(), "{v:?}");
+        let m = reg.messages.get("outer").unwrap();
+        assert_eq!(m.enc.iter().copied().collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(m.dec.iter().copied().collect::<Vec<_>>(), [1, 2]);
+    }
+
+    #[test]
+    fn put_helper_with_single_message_pairs_with_its_decoder() {
+        // The put_span_context shape: the helper's outer tag belongs to the
+        // caller's envelope; the closure is the span_context message itself.
+        let src = r#"
+const CTX_FIELD: u32 = 15;
+fn put_ctx(w: &mut W, c: &Ctx) {
+    w.put_message(CTX_FIELD, |tw| {
+        tw.put_fixed64(1, c.trace);
+        tw.put_fixed64(2, c.span);
+    });
+}
+fn decode_ctx(bytes: &[u8]) -> Result<Ctx> {
+    WireReader::new(bytes).for_each(|f, v| {
+        match f {
+            1 => {}
+            2 => {}
+            _ => {}
+        }
+        Ok(())
+    })
+}
+fn encode_env(w: &mut W, e: &Env, c: &Ctx) {
+    w.put_u64(1, e.kind);
+    put_ctx(w, c);
+}
+fn decode_env(bytes: &[u8]) -> Result<Env> {
+    WireReader::new(bytes).for_each(|f, v| {
+        match f {
+            1 => {}
+            CTX_FIELD => {}
+            _ => {}
+        }
+        Ok(())
+    })
+}
+"#;
+        let (reg, v) = registry_of(src);
+        assert!(v.is_empty(), "{v:?}");
+        let ctx = reg.messages.get("ctx").unwrap();
+        assert_eq!(ctx.enc.iter().copied().collect::<Vec<_>>(), [1, 2]);
+        // The helper's outer tag 15 flows into the calling envelope.
+        let env = reg.messages.get("env").unwrap();
+        assert_eq!(env.enc.iter().copied().collect::<Vec<_>>(), [1, 15]);
+        assert_eq!(env.dec, env.enc);
+    }
+
+    #[test]
+    fn put_helper_without_decoder_is_inline_plumbing_only() {
+        // put_call_options shape: no decode_call_options exists, so the
+        // helper registers no message of its own.
+        let src = r#"
+fn put_opts(w: &mut W, o: &Opts) {
+    w.put_message(16, |dw| { dw.put_u64(1, o.a); });
+    w.put_message(17, |gw| { gw.put_u64(1, o.b); });
+}
+fn encode_env(w: &mut W, o: &Opts) {
+    w.put_u64(1, 0);
+    put_opts(w, o);
+}
+fn decode_env(bytes: &[u8]) -> Result<Env> {
+    WireReader::new(bytes).for_each(|f, v| {
+        match f {
+            1 => {}
+            16 => {}
+            17 => {}
+            _ => {}
+        }
+        Ok(())
+    })
+}
+"#;
+        let (reg, v) = registry_of(src);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(!reg.messages.contains_key("opts"));
+        let env = reg.messages.get("env").unwrap();
+        assert_eq!(env.enc.iter().copied().collect::<Vec<_>>(), [1, 16, 17]);
+    }
+
+    #[test]
+    fn delegating_wrappers_inherit_through_write_and_read() {
+        // encode_slice → write_slice / decode_slice → read_slice shape.
+        let src = r#"
+fn write_slice(w: &mut W, s: &Slice) {
+    w.put_u64(1, s.start);
+    w.put_u64(2, s.end);
+}
+pub fn encode_slice(s: &Slice) -> Vec<u8> {
+    let mut w = W::new();
+    write_slice(&mut w, s);
+    w.into_bytes()
+}
+fn read_slice(body: &[u8]) -> Result<Slice> {
+    WireReader::new(body).for_each(|f, v| {
+        match f {
+            1 => {}
+            2 => {}
+            _ => {}
+        }
+        Ok(())
+    })
+}
+pub fn decode_slice(frame: &[u8]) -> Result<Slice> {
+    let body = unframe(frame)?;
+    read_slice(&body)
+}
+"#;
+        let (reg, v) = registry_of(src);
+        assert!(v.is_empty(), "{v:?}");
+        let m = reg.messages.get("slice").unwrap();
+        assert_eq!(m.enc.iter().copied().collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(m.dec, m.enc);
+    }
+
+    #[test]
+    fn assoc_fns_group_by_impl_type_and_prefer_same_impl_callees() {
+        let src = r#"
+impl Req {
+    pub fn encode(&self) -> Vec<u8> { self.encode_with() }
+    pub fn encode_with(&self) -> Vec<u8> {
+        let mut w = W::new();
+        w.put_u64(1, 0);
+        w.put_u64(2, 0);
+        w.into_bytes()
+    }
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        Self::decode_full(bytes)
+    }
+    pub fn decode_full(bytes: &[u8]) -> Result<Self> {
+        WireReader::new(bytes).for_each(|f, v| {
+            match f {
+                1 => {}
+                2 => {}
+                _ => {}
+            }
+            Ok(())
+        })
+    }
+}
+impl Resp {
+    pub fn decode_full(bytes: &[u8]) -> Result<Self> {
+        WireReader::new(bytes).for_each(|f, v| {
+            match f {
+                1 => {}
+                _ => {}
+            }
+            Ok(())
+        })
+    }
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = W::new();
+        w.put_u64(1, 0);
+        w.into_bytes()
+    }
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        Self::decode_full(bytes)
+    }
+}
+"#;
+        let (reg, v) = registry_of(src);
+        assert!(v.is_empty(), "{v:?}");
+        let req = reg.messages.get("req").unwrap();
+        assert_eq!(req.enc.iter().copied().collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(req.dec, req.enc);
+        // Resp::decode must resolve decode_full within impl Resp, not Req.
+        let resp = reg.messages.get("resp").unwrap();
+        assert_eq!(resp.dec.iter().copied().collect::<Vec<_>>(), [1]);
+    }
+
+    #[test]
+    fn test_regions_are_not_schema_source() {
+        // The persist schema tests deliberately write duplicate tags to
+        // prove decode validation; that must not read as a dup here.
+        let src = r#"
+fn encode_point(w: &mut W) { w.put_u64(1, 0); }
+fn decode_point(bytes: &[u8]) -> Result<u64> {
+    WireReader::new(bytes).for_each(|f, v| {
+        match f {
+            1 => {}
+            _ => {}
+        }
+        Ok(())
+    })
+}
+#[cfg(test)]
+mod tests {
+    fn encode_bad(w: &mut W) {
+        w.put_u64(1, 0);
+        w.put_u64(1, 1);
+        w.put_u64(99, 2);
+    }
+}
+"#;
+        let (reg, v) = registry_of(src);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(
+            reg.messages.get("point").unwrap().enc.len(),
+            1,
+            "test-only tags must not register"
+        );
+    }
+
+    #[test]
+    fn runtime_tag_parameters_contribute_nothing() {
+        let src = r#"
+fn put_count_vector(w: &mut W, field: u32, counts: &C) {
+    w.put_packed_i64(field, counts.as_slice());
+}
+"#;
+        let (reg, v) = registry_of(src);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(reg.messages.is_empty());
+    }
+
+    // ---- lock file ---------------------------------------------------------
+
+    fn lock_of(entries: &[(&str, &[u32], &[u32])]) -> Lock {
+        let mut lock = Lock::default();
+        for (i, (name, fields, retired)) in entries.iter().enumerate() {
+            lock.messages.insert(
+                (*name).to_string(),
+                LockEntry {
+                    fields: fields.iter().copied().collect(),
+                    retired: retired.iter().copied().collect(),
+                    line: i + 1,
+                },
+            );
+        }
+        lock
+    }
+
+    #[test]
+    fn lock_round_trips_through_render_and_parse() {
+        let (reg, _) = registry_of(SYMMETRIC);
+        let rendered = render_lock(&reg, None);
+        let parsed = parse_lock(&rendered).unwrap();
+        assert_eq!(
+            parsed.messages.get("point").unwrap().fields,
+            reg.messages.get("point").unwrap().tags()
+        );
+        assert!(parsed.messages.get("point").unwrap().retired.is_empty());
+    }
+
+    #[test]
+    fn matching_lock_is_clean() {
+        let (reg, _) = registry_of(SYMMETRIC);
+        let lock = lock_of(&[("point", &[1, 2], &[])]);
+        let mut v = Vec::new();
+        check_lock(&reg, &lock, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn recycled_retired_tag_is_caught() {
+        // Seeded mutation: tag 2 was retired; the code uses it again.
+        let (reg, _) = registry_of(SYMMETRIC); // code has fields {1, 2}
+        let lock = lock_of(&[("point", &[1], &[2])]);
+        let mut v = Vec::new();
+        check_lock(&reg, &lock, &mut v);
+        assert_eq!(rules(&v), ["schema-retired"]);
+        assert!(v[0].message.contains("tag 2"), "{}", v[0].message);
+        assert_eq!(v[0].file, "test.rs");
+        assert!(v[0].line > 0);
+    }
+
+    #[test]
+    fn new_field_not_in_lock_is_caught() {
+        let (reg, _) = registry_of(SYMMETRIC);
+        let lock = lock_of(&[("point", &[1], &[])]);
+        let mut v = Vec::new();
+        check_lock(&reg, &lock, &mut v);
+        assert_eq!(rules(&v), ["schema-lock"]);
+        assert!(v[0].message.contains("not in wire_schema.lock"));
+    }
+
+    #[test]
+    fn vanished_field_and_message_are_caught() {
+        let (reg, _) = registry_of(SYMMETRIC);
+        let lock = lock_of(&[("point", &[1, 2, 5], &[]), ("ghost", &[1], &[])]);
+        let mut v = Vec::new();
+        check_lock(&reg, &lock, &mut v);
+        assert_eq!(rules(&v), ["schema-lock", "schema-lock"]);
+        assert!(v.iter().any(|x| x.message.contains("tag 5")));
+        assert!(v.iter().any(|x| x.message.contains("`ghost`")));
+    }
+
+    #[test]
+    fn regenerating_lock_retires_vanished_fields_and_keeps_retired() {
+        let (reg, _) = registry_of(SYMMETRIC); // code: {1, 2}
+        let old = lock_of(&[("point", &[1, 2, 5], &[9])]);
+        let rendered = render_lock(&reg, Some(&old));
+        let new = parse_lock(&rendered).unwrap();
+        let entry = new.messages.get("point").unwrap();
+        assert_eq!(entry.fields.iter().copied().collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(
+            entry.retired.iter().copied().collect::<Vec<_>>(),
+            [5, 9],
+            "5 newly retired, 9 kept forever"
+        );
+    }
+
+    #[test]
+    fn full_tree_check_reports_file_line_diagnostics() {
+        // End-to-end over a real directory: a seeded duplicate tag plus a
+        // recycled retired tag must surface as file:line diagnostics (the
+        // non-zero exit is main.rs's translation of a non-empty list).
+        let root = std::env::temp_dir().join(format!(
+            "xtask-schema-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let rpc_dir = root.join("crates/ips-cluster/src");
+        fs::create_dir_all(&rpc_dir).unwrap();
+        fs::write(
+            rpc_dir.join("rpc.rs"),
+            r#"
+fn encode_point(w: &mut W, p: &P) {
+    w.put_u64(1, p.x);
+    w.put_u64(1, p.y);
+    w.put_u64(3, p.z);
+}
+fn decode_point(bytes: &[u8]) -> Result<P> {
+    WireReader::new(bytes).for_each(|f, v| {
+        match f {
+            1 => {}
+            3 => {}
+            _ => {}
+        }
+        Ok(())
+    })
+}
+"#,
+        )
+        .unwrap();
+        fs::write(
+            root.join(LOCK_FILE),
+            "message point\n  fields: 1\n  retired: 3\n",
+        )
+        .unwrap();
+
+        let v = check_tree(&root).unwrap();
+        let rules = rules(&v);
+        assert!(rules.contains(&"schema-dup-tag"), "{v:?}");
+        assert!(rules.contains(&"schema-retired"), "{v:?}");
+        assert!(
+            v.iter().all(|x| !x.file.is_empty() && x.line > 0),
+            "every diagnostic carries file:line: {v:?}"
+        );
+        let rendered = v[0].to_string();
+        assert!(
+            rendered.starts_with("crates/ips-cluster/src/rpc.rs:"),
+            "{rendered}"
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn missing_lock_is_a_violation_when_messages_exist() {
+        let root = std::env::temp_dir().join(format!(
+            "xtask-schema-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let rpc_dir = root.join("crates/ips-cluster/src");
+        fs::create_dir_all(&rpc_dir).unwrap();
+        fs::write(
+            rpc_dir.join("rpc.rs"),
+            "fn encode_p(w: &mut W) { w.put_u64(1, 0); }\n\
+             fn decode_p(b: &[u8]) -> R {\n\
+                 WireReader::new(b).for_each(|f, v| { match f { 1 => {} _ => {} } Ok(()) })\n\
+             }\n",
+        )
+        .unwrap();
+        let v = check_tree(&root).unwrap();
+        assert_eq!(rules(&v), ["schema-lock"]);
+        assert!(v[0].message.contains("missing"));
+        fs::remove_dir_all(&root).ok();
+    }
+}
