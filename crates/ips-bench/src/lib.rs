@@ -23,6 +23,7 @@
 //! | `baseline_preagg_compare` | §VI — IPS vs pre-aggregated KV windows |
 //! | `freshness_e2e` | §III-A — event-to-queryable freshness |
 //! | `quota_enforcement` | §V-b — per-tenant QPS protection |
+//! | `shard_handoff` | §IV intro — warmed vs cold scale-up serving cost |
 
 use std::sync::Arc;
 

@@ -7,11 +7,21 @@
 //! per-instance rate and recommends (or applies) scale decisions with the
 //! usual guard rails: min/max replicas, scale-up threshold above the
 //! target, scale-down threshold below it, and a cooldown so flapping load
-//! doesn't thrash pods. New instances register in discovery and take over
-//! their consistent-hash share on the next client refresh, warming their
-//! caches from the KV substrate on demand — exactly how a new IPS pod joins.
+//! doesn't thrash pods. Scale decisions don't mutate the ring directly:
+//! the [`ScaleOrchestrator`] hands each one to the
+//! [`crate::handoff::HandoffCoordinator`], which streams the moving hot
+//! keyspace to its new owners and bumps the membership epoch before
+//! clients re-route — so a scale event warms the new instances instead of
+//! stampeding the KV substrate with cold misses. A crashed source degrades
+//! that transfer to the old cold-join path.
 
-use ips_types::{DurationMs, SharedClock, Timestamp};
+use std::sync::Arc;
+
+use ips_types::{DurationMs, IpsError, Result, SharedClock, TableId, Timestamp};
+
+use crate::handoff::{HandoffCoordinator, HandoffReport};
+use crate::region::MultiRegionDeployment;
+use crate::ring::{HashRing, DEFAULT_VNODES};
 
 /// Scaling policy knobs.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -110,6 +120,136 @@ impl Autoscaler {
     #[must_use]
     pub fn config(&self) -> &AutoscalerConfig {
         &self.config
+    }
+}
+
+/// Drives one region's scale decisions through the handoff subsystem:
+/// evaluate load, apply the decision to the deployment, and let the
+/// coordinator warm the moving keyspace and publish the new epoch before
+/// clients re-route.
+pub struct ScaleOrchestrator {
+    autoscaler: Autoscaler,
+    coordinator: Arc<HandoffCoordinator>,
+    region: String,
+    tables: Vec<TableId>,
+}
+
+impl ScaleOrchestrator {
+    #[must_use]
+    pub fn new(
+        autoscaler: Autoscaler,
+        coordinator: Arc<HandoffCoordinator>,
+        region: impl Into<String>,
+        tables: Vec<TableId>,
+    ) -> Self {
+        Self {
+            autoscaler,
+            coordinator,
+            region: region.into(),
+            tables,
+        }
+    }
+
+    #[must_use]
+    pub fn coordinator(&self) -> &Arc<HandoffCoordinator> {
+        &self.coordinator
+    }
+
+    /// One observation: evaluate the region's load and, for a non-Hold
+    /// decision, execute the scale event with a warmed handoff. Returns the
+    /// decision and the handoff's report (None on Hold).
+    pub fn observe(
+        &mut self,
+        deployment: &mut MultiRegionDeployment,
+        region_qps: f64,
+    ) -> Result<(ScaleDecision, Option<HandoffReport>)> {
+        let instances = deployment.discovery.healthy_in_region(&self.region).len();
+        let decision = self.autoscaler.evaluate(region_qps, instances);
+        let report = self.apply(deployment, decision)?;
+        Ok((decision, report))
+    }
+
+    /// Execute one scale decision: adjust the deployment, then run the
+    /// handoff (stream moving hot entries, publish the epoch, demote
+    /// sources) before returning. Hold is a no-op.
+    pub fn apply(
+        &self,
+        deployment: &mut MultiRegionDeployment,
+        decision: ScaleDecision,
+    ) -> Result<Option<HandoffReport>> {
+        match decision {
+            ScaleDecision::Hold => Ok(None),
+            ScaleDecision::Up(n) => {
+                let root = self.coordinator.scale_span("up", &self.region);
+                let old_ring = self.current_ring(deployment);
+                let added = deployment.scale_out(&self.region, n)?;
+                let mut new_ring = old_ring.clone();
+                for ep in &added {
+                    new_ring.add(ep.name());
+                }
+                let endpoints = deployment
+                    .region(&self.region)
+                    .map(|r| r.endpoints.clone())
+                    .unwrap_or_default();
+                let report = self.coordinator.run_handoff(
+                    &self.region,
+                    &old_ring,
+                    &new_ring,
+                    &endpoints,
+                    &self.tables,
+                )?;
+                drop(root);
+                Ok(Some(report))
+            }
+            ScaleDecision::Down(n) => {
+                let root = self.coordinator.scale_span("down", &self.region);
+                let old_ring = self.current_ring(deployment);
+                let region = deployment.region(&self.region).ok_or_else(|| {
+                    IpsError::InvalidRequest(format!("unknown region {}", self.region))
+                })?;
+                // Victims are the youngest instances — the same tail
+                // `scale_in` retires — and at least one instance stays.
+                let keep = region.endpoints.len().saturating_sub(n).max(1);
+                let victims: Vec<String> = region.endpoints[keep..]
+                    .iter()
+                    .map(|ep| ep.name().to_string())
+                    .collect();
+                if victims.is_empty() {
+                    return Ok(None);
+                }
+                let endpoints = region.endpoints.clone();
+                let mut new_ring = old_ring.clone();
+                for v in &victims {
+                    new_ring.remove(v);
+                }
+                // Stream the victims' hot keyspace out while they are still
+                // live, cut the epoch over, *then* retire them.
+                let report = self.coordinator.run_handoff(
+                    &self.region,
+                    &old_ring,
+                    &new_ring,
+                    &endpoints,
+                    &self.tables,
+                )?;
+                deployment.scale_in(&self.region, victims.len())?;
+                drop(root);
+                Ok(Some(report))
+            }
+        }
+    }
+
+    /// The ring the region currently routes by: the published epoch's ring
+    /// when one exists, otherwise the healthy-instance ring clients build
+    /// from discovery (the pre-handoff behaviour).
+    fn current_ring(&self, deployment: &MultiRegionDeployment) -> HashRing {
+        if let Some(membership) = deployment.discovery.membership(&self.region) {
+            return membership.ring;
+        }
+        let mut ring = HashRing::new(DEFAULT_VNODES);
+        for reg in deployment.discovery.healthy_in_region(&self.region) {
+            ring.add(&reg.name);
+        }
+        ring
     }
 }
 

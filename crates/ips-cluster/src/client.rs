@@ -31,7 +31,7 @@ use ips_types::{
 
 use crate::discovery::Discovery;
 use crate::health::HealthRegistry;
-use crate::ring::HashRing;
+use crate::ring::{HashRing, DEFAULT_VNODES};
 use crate::rpc::{CallOptions, ProfileWrite, RpcEndpoint, RpcRequest, RpcResponse, WireCost};
 
 /// Modeled + measured components of one request's latency.
@@ -102,13 +102,25 @@ pub struct ClientStats {
     pub degraded: u64,
 }
 
+/// One region's routing state: the ring the client routes by, stamped with
+/// the membership epoch it came from, plus the previous epoch's ring kept
+/// as the handoff grace window — the old owner of a key stays a failover
+/// candidate for exactly one epoch, so a cutover never leaves a key that
+/// both the old and new owner reject.
+struct RegionRoute {
+    /// Epoch of `ring` (0 when routing by the discovery-derived ring).
+    epoch: u64,
+    ring: HashRing,
+    previous: Option<HashRing>,
+}
+
 /// The unified client.
 pub struct IpsClusterClient {
     discovery: Arc<Discovery>,
     /// Transport address book: name → endpoint.
     endpoints: RwLock<HashMap<String, Arc<RpcEndpoint>>>,
-    /// Per-region rings, rebuilt on refresh.
-    rings: RwLock<HashMap<String, HashRing>>,
+    /// Per-region routing state, rebuilt on refresh.
+    rings: RwLock<HashMap<String, RegionRoute>>,
     home_region: String,
     storage_model: KvLatencyModel,
     storage_rng: parking_lot::Mutex<SmallRng>,
@@ -240,23 +252,47 @@ impl IpsClusterClient {
         }
     }
 
-    /// Refresh instance lists from discovery, rebuild per-region rings,
+    /// Refresh instance lists from discovery, rebuild per-region routing,
     /// and prune health records for endpoints that left the fleet (a
     /// scaled-in instance's breaker state must not leak onto a future
     /// namesake).
+    ///
+    /// A region with a published [`crate::handoff::MembershipEpoch`] routes
+    /// by that epoch's ring (with the previous epoch retained as the grace
+    /// window); a region without one routes by the healthy-instance ring —
+    /// the pre-handoff behaviour.
     pub fn refresh(&self) {
         let healthy = self.discovery.healthy();
-        let mut rings: HashMap<String, HashRing> = HashMap::new();
+        let mut routes: HashMap<String, RegionRoute> = HashMap::new();
         let mut names: HashSet<String> = HashSet::new();
         for reg in healthy {
             names.insert(reg.name.clone());
-            rings
+            routes
                 .entry(reg.region.clone())
-                .or_insert_with(|| HashRing::new(128))
+                .or_insert_with(|| RegionRoute {
+                    epoch: 0,
+                    ring: HashRing::new(DEFAULT_VNODES),
+                    previous: None,
+                })
+                .ring
                 .add(&reg.name);
         }
-        *self.rings.write() = rings;
+        for (region, route) in &mut routes {
+            if let Some((current, previous)) = self.discovery.membership_pair(region) {
+                route.epoch = current.epoch;
+                route.ring = current.ring;
+                route.previous = previous.map(|m| m.ring);
+            }
+        }
+        *self.rings.write() = routes;
         self.health.retain(|name| names.contains(name));
+    }
+
+    /// The membership epoch this client currently routes `region` by
+    /// (0 = discovery-derived ring, no epoch published).
+    #[must_use]
+    pub fn region_epoch(&self, region: &str) -> u64 {
+        self.rings.read().get(region).map_or(0, |r| r.epoch)
     }
 
     #[must_use]
@@ -270,19 +306,35 @@ impl IpsClusterClient {
         self.rings.read().keys().cloned().collect()
     }
 
+    /// Owner-then-failover endpoints for `pid` in `region`. The ring's
+    /// visitor walk resolves endpoints directly — no per-key `Vec<&str>` /
+    /// `Vec<String>` round trip, which the batch paths pay once per write
+    /// or sub-query. During a handoff grace window the *previous* epoch's
+    /// owner is appended as a final candidate: a key mid-cutover is always
+    /// answerable by its old or its new owner.
     fn candidates_in_region(&self, region: &str, pid: ProfileId) -> Vec<Arc<RpcEndpoint>> {
-        let rings = self.rings.read();
-        let Some(ring) = rings.get(region) else {
+        let routes = self.rings.read();
+        let Some(route) = routes.get(region) else {
             return Vec::new();
         };
-        let names: Vec<String> = ring
-            .nodes_for(pid, self.max_candidates)
-            .into_iter()
-            .map(str::to_string)
-            .collect();
-        drop(rings);
         let eps = self.endpoints.read();
-        names.iter().filter_map(|n| eps.get(n).cloned()).collect()
+        let mut out: Vec<Arc<RpcEndpoint>> = Vec::with_capacity(self.max_candidates + 1);
+        route.ring.nodes_for_each(pid, self.max_candidates, |name| {
+            if let Some(ep) = eps.get(name) {
+                out.push(Arc::clone(ep));
+            }
+            true
+        });
+        if let Some(previous) = &route.previous {
+            if let Some(old_owner) = previous.node_for(pid) {
+                if !out.iter().any(|ep| ep.name() == old_owner) {
+                    if let Some(ep) = eps.get(old_owner) {
+                        out.push(Arc::clone(ep));
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// One attempt against one endpoint, with trace span and health

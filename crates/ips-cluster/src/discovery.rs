@@ -14,6 +14,8 @@ use parking_lot::RwLock;
 
 use ips_types::{DurationMs, SharedClock, Timestamp};
 
+use crate::handoff::MembershipEpoch;
+
 /// One registered instance.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Registration {
@@ -23,11 +25,22 @@ pub struct Registration {
     pub expires_at: Timestamp,
 }
 
+/// A region's published membership: the current epoch plus the immediately
+/// previous one, retained as the handoff grace window.
+struct EpochState {
+    current: MembershipEpoch,
+    previous: Option<MembershipEpoch>,
+}
+
 /// The registry.
 pub struct Discovery {
     clock: SharedClock,
     ttl: DurationMs,
     entries: RwLock<HashMap<String, Registration>>,
+    /// Per-region epoch-versioned membership (shard handoff cutover). A
+    /// region with no published epoch routes by the healthy-instance ring
+    /// alone — the pre-handoff behaviour.
+    epochs: RwLock<HashMap<String, EpochState>>,
 }
 
 impl Discovery {
@@ -38,7 +51,55 @@ impl Discovery {
             clock,
             ttl,
             entries: RwLock::new(HashMap::new()),
+            epochs: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Publish a new membership ring for `region`, bumping its epoch. The
+    /// displaced epoch is retained for exactly one generation: clients route
+    /// by the current ring but keep the previous owner as a failover
+    /// candidate, so during a cutover the old and new owners of a key never
+    /// *both* reject it. Returns the new epoch number.
+    pub fn publish_epoch(&self, region: &str, ring: crate::ring::HashRing) -> u64 {
+        let mut epochs = self.epochs.write();
+        match epochs.get_mut(region) {
+            Some(state) => {
+                let epoch = state.current.epoch + 1;
+                let next = MembershipEpoch { epoch, ring };
+                state.previous = Some(std::mem::replace(&mut state.current, next));
+                epoch
+            }
+            None => {
+                epochs.insert(
+                    region.to_string(),
+                    EpochState {
+                        current: MembershipEpoch { epoch: 1, ring },
+                        previous: None,
+                    },
+                );
+                1
+            }
+        }
+    }
+
+    /// The region's current published membership, if any epoch has been
+    /// published.
+    #[must_use]
+    pub fn membership(&self, region: &str) -> Option<MembershipEpoch> {
+        self.epochs.read().get(region).map(|s| s.current.clone())
+    }
+
+    /// The region's current membership plus the retained previous epoch —
+    /// the pair a client routes by during the grace window.
+    #[must_use]
+    pub fn membership_pair(
+        &self,
+        region: &str,
+    ) -> Option<(MembershipEpoch, Option<MembershipEpoch>)> {
+        self.epochs
+            .read()
+            .get(region)
+            .map(|s| (s.current.clone(), s.previous.clone()))
     }
 
     /// Register (or re-register) an instance. Also serves as the heartbeat.
@@ -184,6 +245,36 @@ mod tests {
         ctl.advance(DurationMs::from_secs(31));
         d.register("ips-1", "us-east");
         assert!(d.is_healthy("ips-1"));
+    }
+
+    #[test]
+    fn epoch_publication_bumps_and_retains_one_previous() {
+        use crate::ring::HashRing;
+        let (d, _ctl) = registry();
+        assert!(d.membership("r").is_none());
+        let mut ring1 = HashRing::new(16);
+        ring1.add("a");
+        assert_eq!(d.publish_epoch("r", ring1.clone()), 1);
+        let m = d.membership("r").unwrap();
+        assert_eq!(m.epoch, 1);
+        assert_eq!(m.ring.nodes(), ring1.nodes());
+        let (cur, prev) = d.membership_pair("r").unwrap();
+        assert_eq!(cur.epoch, 1);
+        assert!(prev.is_none(), "first epoch has no grace predecessor");
+
+        let mut ring2 = ring1.clone();
+        ring2.add("b");
+        assert_eq!(d.publish_epoch("r", ring2.clone()), 2);
+        let mut ring3 = ring2.clone();
+        ring3.add("c");
+        assert_eq!(d.publish_epoch("r", ring3.clone()), 3);
+        let (cur, prev) = d.membership_pair("r").unwrap();
+        assert_eq!(cur.epoch, 3);
+        let prev = prev.unwrap();
+        assert_eq!(prev.epoch, 2, "exactly one epoch of grace, not a history");
+        assert_eq!(prev.ring.len(), 2);
+        // Regions are independent.
+        assert!(d.membership("other").is_none());
     }
 
     #[test]

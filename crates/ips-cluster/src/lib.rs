@@ -20,15 +20,22 @@
 pub mod autoscale;
 pub mod client;
 pub mod discovery;
+pub mod handoff;
 pub mod health;
 pub mod region;
 pub mod ring;
 pub mod rpc;
 
-pub use autoscale::{Autoscaler, AutoscalerConfig, ScaleDecision};
+pub use autoscale::{Autoscaler, AutoscalerConfig, ScaleDecision, ScaleOrchestrator};
 pub use client::{BatchQueryOutcome, ClientStats, IpsClusterClient, LatencyBreakdown};
 pub use discovery::{Discovery, Registration};
+pub use handoff::{
+    HandoffConfig, HandoffCoordinator, HandoffMetrics, HandoffReport, MembershipEpoch,
+};
 pub use health::{BreakerState, EndpointHealth, HealthRegistry};
 pub use region::{MultiRegionDeployment, MultiRegionOptions, Region, RegionStore};
-pub use ring::HashRing;
-pub use rpc::{CallOptions, NetworkModel, ProfileWrite, RpcEndpoint, RpcRequest, RpcResponse};
+pub use ring::{transfer_pairs, HashRing};
+pub use rpc::{
+    CallOptions, NetworkModel, ProfileWrite, RpcEndpoint, RpcRequest, RpcResponse, SnapshotAck,
+    SnapshotEntry,
+};

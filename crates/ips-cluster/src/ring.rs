@@ -9,6 +9,11 @@ use std::collections::BTreeMap;
 
 use ips_types::ProfileId;
 
+/// The vnode count every routed ring in this crate is built with. Clients
+/// and the handoff coordinator must agree on it: ownership diffs are only
+/// meaningful when both sides hash the same vnode set.
+pub const DEFAULT_VNODES: u32 = 128;
+
 fn mix(mut x: u64) -> u64 {
     // splitmix64 finalizer: cheap, well-distributed.
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -85,10 +90,9 @@ impl HashRing {
         &self.nodes
     }
 
-    /// The node owning `pid`, or `None` on an empty ring.
-    #[must_use]
-    pub fn node_for(&self, pid: ProfileId) -> Option<&str> {
-        let key = mix(pid.raw());
+    /// The node owning raw ring position `key` (post-mix), or `None` on an
+    /// empty ring.
+    fn owner_at(&self, key: u64) -> Option<&str> {
         self.points
             .range(key..)
             .next()
@@ -96,11 +100,46 @@ impl HashRing {
             .map(|(_, n)| n.as_str())
     }
 
+    /// The node owning `pid`, or `None` on an empty ring.
+    #[must_use]
+    pub fn node_for(&self, pid: ProfileId) -> Option<&str> {
+        self.owner_at(mix(pid.raw()))
+    }
+
+    /// Visit the first `n` *distinct* nodes clockwise from `pid`'s position
+    /// — the owner followed by failover candidates — without allocating.
+    /// The batch routing paths call this once per profile; the visitor form
+    /// lets them resolve endpoints directly instead of materialising a
+    /// `Vec<&str>` (and a `Vec<String>` clone of it) per key. Return `false`
+    /// from `visit` to stop early.
+    pub fn nodes_for_each(&self, pid: ProfileId, n: usize, mut visit: impl FnMut(&str) -> bool) {
+        if self.points.is_empty() || n == 0 {
+            return;
+        }
+        let limit = n.min(self.nodes.len());
+        // Distinct-node dedup: candidate walks are short (n is the failover
+        // fan-out, typically 3), so a linear scan over the names already
+        // visited beats any set.
+        let mut seen: Vec<&str> = Vec::with_capacity(limit);
+        let key = mix(pid.raw());
+        for (_, node) in self.points.range(key..).chain(self.points.iter()) {
+            if seen.contains(&node.as_str()) {
+                continue;
+            }
+            seen.push(node);
+            if !visit(node) || seen.len() >= limit {
+                return;
+            }
+        }
+    }
+
     /// The first `n` *distinct* nodes clockwise from `pid`'s position —
-    /// the owner followed by failover candidates.
+    /// the owner followed by failover candidates. Allocating form of
+    /// [`HashRing::nodes_for_each`] (the visitor cannot hand out
+    /// `self`-lifetime borrows, so this walks directly).
     #[must_use]
     pub fn nodes_for(&self, pid: ProfileId, n: usize) -> Vec<&str> {
-        let mut out: Vec<&str> = Vec::with_capacity(n);
+        let mut out: Vec<&str> = Vec::with_capacity(n.min(self.nodes.len()));
         if self.points.is_empty() || n == 0 {
             return out;
         }
@@ -115,6 +154,30 @@ impl HashRing {
         }
         out
     }
+}
+
+/// Distinct `(source, target)` pairs whose keyspace moves when membership
+/// changes from `old` to `new`: for some ring segment, `old` routes it to
+/// `source` and `new` routes it to `target`. This is the transfer plan a
+/// shard handoff executes — each pair becomes one snapshot stream. Pairs
+/// come back sorted for deterministic scheduling.
+#[must_use]
+pub fn transfer_pairs(old: &HashRing, new: &HashRing) -> Vec<(String, String)> {
+    let mut pairs: std::collections::BTreeSet<(String, String)> = std::collections::BTreeSet::new();
+    // Ownership in each ring is constant between consecutive vnode points of
+    // the *union* of both rings, and the owner of the segment ending at
+    // boundary `k` is `owner_at(k)` — so probing every union boundary
+    // enumerates every ownership segment (the wrap segment lands on the
+    // smallest boundary).
+    for key in old.points.keys().chain(new.points.keys()) {
+        let (Some(from), Some(to)) = (old.owner_at(*key), new.owner_at(*key)) else {
+            continue;
+        };
+        if from != to {
+            pairs.insert((from.to_string(), to.to_string()));
+        }
+    }
+    pairs.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -222,6 +285,73 @@ mod tests {
             (400..2_500).contains(&moved),
             "moved {moved}, expected ~1000"
         );
+    }
+
+    #[test]
+    fn nodes_for_each_agrees_with_nodes_for_and_stops_early() {
+        let r = ring_of(6);
+        for n in 0..200u64 {
+            let vec_walk: Vec<String> = r
+                .nodes_for(pid(n), 3)
+                .into_iter()
+                .map(str::to_string)
+                .collect();
+            let mut visit_walk: Vec<String> = Vec::new();
+            r.nodes_for_each(pid(n), 3, |name| {
+                visit_walk.push(name.to_string());
+                true
+            });
+            assert_eq!(vec_walk, visit_walk);
+        }
+        // Returning false stops the walk.
+        let mut seen = 0;
+        r.nodes_for_each(pid(1), 5, |_| {
+            seen += 1;
+            false
+        });
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn transfer_pairs_cover_every_moved_key() {
+        let old = ring_of(4);
+        let mut new = old.clone();
+        new.add("node-4");
+        let pairs = transfer_pairs(&old, &new);
+        assert!(!pairs.is_empty());
+        // Scale-up: every pair targets the new node, sources are old nodes.
+        for (src, dst) in &pairs {
+            assert_eq!(dst, "node-4");
+            assert_ne!(src, "node-4");
+        }
+        // Completeness: every key whose owner changes is covered by a pair.
+        for n in 0..20_000u64 {
+            let from = old.node_for(pid(n)).unwrap();
+            let to = new.node_for(pid(n)).unwrap();
+            if from != to {
+                assert!(
+                    pairs.iter().any(|(s, t)| s == from && t == to),
+                    "moved key {n} ({from} -> {to}) missing from plan {pairs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_pairs_scale_down_sources_are_removed_nodes() {
+        let old = ring_of(5);
+        let mut new = old.clone();
+        new.remove("node-2");
+        let pairs = transfer_pairs(&old, &new);
+        assert!(!pairs.is_empty());
+        for (src, dst) in &pairs {
+            assert_eq!(src, "node-2", "only the removed node loses keys");
+            assert_ne!(dst, "node-2");
+        }
+        // Identical rings plan nothing.
+        assert!(transfer_pairs(&old, &old).is_empty());
+        // Empty rings plan nothing.
+        assert!(transfer_pairs(&HashRing::new(8), &new).is_empty());
     }
 
     #[test]

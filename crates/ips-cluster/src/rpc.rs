@@ -73,6 +73,42 @@ pub enum RpcRequest {
         caller: CallerId,
         writes: Vec<ProfileWrite>,
     },
+    /// One chunk of a shard-handoff snapshot stream (source → target
+    /// warm-up). Chunks carry a sequence number per handoff id so a dropped
+    /// chunk resumes from the target's ACKed offset instead of restarting
+    /// the stream.
+    SnapshotChunk {
+        table: TableId,
+        /// Handoff stream id (one per (source, target, scale event)).
+        handoff: u64,
+        /// Chunk sequence number within the stream, from 0.
+        seq: u64,
+        /// Final chunk of the stream.
+        last: bool,
+        entries: Vec<SnapshotEntry>,
+    },
+}
+
+/// One profile inside a [`RpcRequest::SnapshotChunk`] frame: the encoded
+/// profile bytes plus the KV generation the data was flushed at, so the
+/// importer can version-check the snapshot against newer writes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotEntry {
+    pub profile: ProfileId,
+    pub generation: u64,
+    /// `ips_core::persist::encode_profile` bytes (framed + compressed).
+    pub payload: Vec<u8>,
+}
+
+/// The target's cumulative progress ACK for a snapshot stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotAck {
+    pub handoff: u64,
+    /// Resume cursor: the first chunk seq the target has not applied.
+    pub next_seq: u64,
+    pub imported: u64,
+    pub rejected_stale: u64,
+    pub already_resident: u64,
 }
 
 /// A response on the wire.
@@ -84,6 +120,8 @@ pub enum RpcResponse {
     /// order. Errors are carried on the wire so the client can retry just
     /// the retryable subset.
     QueryBatch(Vec<Result<QueryResult>>),
+    /// Progress ACK for one [`RpcRequest::SnapshotChunk`].
+    SnapshotAck(SnapshotAck),
 }
 
 // ---- serialization ---------------------------------------------------------
@@ -95,9 +133,11 @@ const REQ_ADD: u64 = 1;
 const REQ_QUERY: u64 = 2;
 const REQ_QUERY_BATCH: u64 = 3;
 const REQ_ADD_BATCH: u64 = 4;
+const REQ_SNAPSHOT_CHUNK: u64 = 5;
 const RESP_OK: u64 = 1;
 const RESP_QUERY: u64 = 2;
 const RESP_QUERY_BATCH: u64 = 3;
+const RESP_SNAPSHOT_ACK: u64 = 4;
 
 /// Envelope field carrying the optional [`SpanContext`] on both requests
 /// and responses. Decoders that predate tracing skip it as an unknown
@@ -647,6 +687,102 @@ fn decode_profile_write(bytes: &[u8]) -> Result<ProfileWrite> {
     })
 }
 
+fn encode_snapshot_entry(w: &mut WireWriter, e: &SnapshotEntry) {
+    w.put_u64(1, e.profile.raw());
+    w.put_u64(2, e.generation);
+    w.put_bytes(3, &e.payload);
+}
+
+fn decode_snapshot_entry(bytes: &[u8]) -> Result<SnapshotEntry> {
+    let (mut profile, mut generation) = (0u64, 0u64);
+    let mut payload: Vec<u8> = Vec::new();
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => profile = v.as_u64(f)?,
+                2 => generation = v.as_u64(f)?,
+                3 => payload = v.as_bytes(f)?.to_vec(),
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    Ok(SnapshotEntry {
+        profile: ProfileId::new(profile),
+        generation,
+        payload,
+    })
+}
+
+fn encode_snapshot_chunk(
+    w: &mut WireWriter,
+    table: TableId,
+    handoff: u64,
+    seq: u64,
+    last: bool,
+    entries: &[SnapshotEntry],
+) {
+    w.put_u64(1, u64::from(table.raw()));
+    w.put_u64(2, handoff);
+    w.put_u64(3, seq);
+    w.put_bool(4, last);
+    for e in entries {
+        w.put_message(5, |ew| encode_snapshot_entry(ew, e));
+    }
+}
+
+type SnapshotChunkParts = (TableId, u64, u64, bool, Vec<SnapshotEntry>);
+
+fn decode_snapshot_chunk(bytes: &[u8]) -> Result<SnapshotChunkParts> {
+    let (mut table, mut handoff, mut seq, mut last) = (0u64, 0u64, 0u64, false);
+    let mut entries: Vec<SnapshotEntry> = Vec::new();
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => table = v.as_u64(f)?,
+                2 => handoff = v.as_u64(f)?,
+                3 => seq = v.as_u64(f)?,
+                4 => last = v.as_bool(f)?,
+                5 => {
+                    entries.push(
+                        decode_snapshot_entry(v.as_bytes(f)?)
+                            .map_err(|_| ips_codec::wire::WireError::MissingField(f))?,
+                    );
+                }
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    Ok((TableId::new(table as u32), handoff, seq, last, entries))
+}
+
+fn encode_snapshot_ack(w: &mut WireWriter, ack: &SnapshotAck) {
+    w.put_u64(1, ack.handoff);
+    w.put_u64(2, ack.next_seq);
+    w.put_u64(3, ack.imported);
+    w.put_u64(4, ack.rejected_stale);
+    w.put_u64(5, ack.already_resident);
+}
+
+fn decode_snapshot_ack(bytes: &[u8]) -> Result<SnapshotAck> {
+    let mut ack = SnapshotAck::default();
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => ack.handoff = v.as_u64(f)?,
+                2 => ack.next_seq = v.as_u64(f)?,
+                3 => ack.imported = v.as_u64(f)?,
+                4 => ack.rejected_stale = v.as_u64(f)?,
+                5 => ack.already_resident = v.as_u64(f)?,
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    Ok(ack)
+}
+
 impl RpcRequest {
     /// Serialize for transport.
     #[must_use]
@@ -710,6 +846,20 @@ impl RpcRequest {
                     w.put_message(11, |ww| encode_profile_write(ww, write));
                 }
             }
+            RpcRequest::SnapshotChunk {
+                table,
+                handoff,
+                seq,
+                last,
+                entries,
+            } => {
+                w.put_u64(1, REQ_SNAPSHOT_CHUNK);
+                // Fields 12–14 stay reserved for future query extensions;
+                // the chunk rides a fresh envelope tag past the options.
+                w.put_message(18, |cw| {
+                    encode_snapshot_chunk(cw, *table, *handoff, *seq, *last, entries);
+                });
+            }
         }
         if let Some(ctx) = trace {
             put_span_context(&mut w, ctx);
@@ -744,6 +894,7 @@ impl RpcRequest {
         let mut query: Option<ProfileQuery> = None;
         let mut queries: Vec<ProfileQuery> = Vec::new();
         let mut writes: Vec<ProfileWrite> = Vec::new();
+        let mut chunk: Option<SnapshotChunkParts> = None;
         let mut envelope = RequestEnvelope::default();
 
         WireReader::new(bytes)
@@ -784,6 +935,12 @@ impl RpcRequest {
                     11 => {
                         writes.push(
                             decode_profile_write(v.as_bytes(f)?)
+                                .map_err(|_| ips_codec::wire::WireError::MissingField(f))?,
+                        );
+                    }
+                    18 => {
+                        chunk = Some(
+                            decode_snapshot_chunk(v.as_bytes(f)?)
                                 .map_err(|_| ips_codec::wire::WireError::MissingField(f))?,
                         );
                     }
@@ -831,6 +988,17 @@ impl RpcRequest {
                 caller: CallerId::new(caller as u32),
                 writes,
             },
+            REQ_SNAPSHOT_CHUNK => {
+                let (table, handoff, seq, last, entries) =
+                    chunk.ok_or_else(|| IpsError::Codec("snapshot chunk missing".into()))?;
+                RpcRequest::SnapshotChunk {
+                    table,
+                    handoff,
+                    seq,
+                    last,
+                    entries,
+                }
+            }
             other => return Err(IpsError::Codec(format!("bad request kind {other}"))),
         };
         Ok((request, envelope))
@@ -866,6 +1034,10 @@ impl RpcResponse {
                     });
                 }
             }
+            RpcResponse::SnapshotAck(ack) => {
+                w.put_u64(1, RESP_SNAPSHOT_ACK);
+                w.put_message(4, |aw| encode_snapshot_ack(aw, ack));
+            }
         }
         if let Some(ctx) = trace {
             put_span_context(&mut w, ctx);
@@ -885,6 +1057,7 @@ impl RpcResponse {
         let mut kind = 0u64;
         let mut result: Option<QueryResult> = None;
         let mut batch: Vec<Result<QueryResult>> = Vec::new();
+        let mut ack: Option<SnapshotAck> = None;
         let mut trace_ctx: Option<SpanContext> = None;
         WireReader::new(bytes)
             .for_each(|f, v| {
@@ -916,6 +1089,12 @@ impl RpcResponse {
                         })?;
                         batch.push(sub.ok_or(ips_codec::wire::WireError::MissingField(f))?);
                     }
+                    4 => {
+                        ack = Some(
+                            decode_snapshot_ack(v.as_bytes(f)?)
+                                .map_err(|_| ips_codec::wire::WireError::MissingField(f))?,
+                        );
+                    }
                     TRACE_CTX_FIELD => {
                         trace_ctx = Some(
                             decode_span_context(v.as_bytes(f)?)
@@ -931,6 +1110,7 @@ impl RpcResponse {
             RESP_OK => RpcResponse::Ok,
             RESP_QUERY => RpcResponse::Query(result.unwrap_or_default()),
             RESP_QUERY_BATCH => RpcResponse::QueryBatch(batch),
+            RESP_SNAPSHOT_ACK => RpcResponse::SnapshotAck(ack.unwrap_or_default()),
             other => return Err(IpsError::Codec(format!("bad response kind {other}"))),
         };
         Ok((response, trace_ctx))
@@ -1238,6 +1418,36 @@ impl RpcEndpoint {
                     )?;
                 }
                 Ok(RpcResponse::Ok)
+            }
+            RpcRequest::SnapshotChunk {
+                table,
+                handoff,
+                seq,
+                last,
+                entries,
+            } => {
+                // Warm-up work past its per-chunk deadline is shed whole:
+                // the source retries the chunk with a fresh budget and the
+                // resume cursor keeps the stream exactly-once.
+                self.shed_if_expired(budget)?;
+                let mut decoded = Vec::with_capacity(entries.len());
+                for e in entries {
+                    decoded.push(ips_core::ExportedEntry {
+                        pid: e.profile,
+                        generation: e.generation,
+                        data: ips_core::persist::decode_profile(&e.payload)?,
+                    });
+                }
+                let applied = self
+                    .instance
+                    .import_snapshot_chunk(table, handoff, seq, last, decoded)?;
+                Ok(RpcResponse::SnapshotAck(SnapshotAck {
+                    handoff,
+                    next_seq: applied.next_seq,
+                    imported: applied.report.imported as u64,
+                    rejected_stale: applied.report.rejected_stale as u64,
+                    already_resident: applied.report.already_resident as u64,
+                }))
             }
         }
     }

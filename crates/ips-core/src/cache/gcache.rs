@@ -141,6 +141,47 @@ pub struct CacheStats {
     pub inflight_waiters: usize,
 }
 
+/// One hot entry exported for a shard handoff: the profile plus the storage
+/// generation its data was flushed at, so the importer can reject a stale
+/// snapshot against a newer KV write.
+#[derive(Clone, Debug)]
+pub struct ExportedEntry {
+    pub pid: ProfileId,
+    pub generation: Generation,
+    pub data: ProfileData,
+}
+
+/// The outcome of one [`GCache::export_hot`] walk.
+#[derive(Default)]
+pub struct ExportBatch {
+    /// Hottest-first entries of the moving keyspace.
+    pub entries: Vec<ExportedEntry>,
+    /// Approximate payload bytes across `entries`.
+    pub bytes: u64,
+    /// Matching entries skipped (partial coverage or lock contention).
+    pub skipped: usize,
+    /// The budget ran out with matching entries still unvisited.
+    pub truncated: bool,
+}
+
+/// Accounting for one [`GCache::import_entries`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ImportReport {
+    pub imported: usize,
+    /// Entries whose generation no longer matches the store's head.
+    pub rejected_stale: usize,
+    /// Entries already resident on the importer (left untouched).
+    pub already_resident: usize,
+}
+
+impl ImportReport {
+    pub fn absorb(&mut self, other: ImportReport) {
+        self.imported += other.imported;
+        self.rejected_stale += other.rejected_stale;
+        self.already_resident += other.already_resident;
+    }
+}
+
 /// The write-back compute cache.
 pub struct GCache<S: ProfileStore> {
     shards: Box<[LruShard]>,
@@ -881,6 +922,154 @@ impl<S: ProfileStore + 'static> GCache<S> {
             self.retain_stale_from(pid, removed);
         }
         Ok(true)
+    }
+
+    // ---- shard handoff (hot-entry export / import) ------------------------
+
+    /// Export the most-recently-used resident entries whose profile id
+    /// matches `filter`, capped at `max_entries` / `max_bytes`. Each shard's
+    /// LRU is walked from the hot end and the shards are interleaved, so the
+    /// batch prefix is approximately the hottest slice of the moving
+    /// keyspace. Dirty entries are flushed first — the exported generation
+    /// is then the store's head, which keeps the import-side version check
+    /// meaningful. Partial entries and entries whose lock is contended are
+    /// skipped (counted, not retried): the target cold-loads those few.
+    pub fn export_hot(
+        &self,
+        filter: impl Fn(ProfileId) -> bool,
+        max_entries: usize,
+        max_bytes: u64,
+    ) -> Result<ExportBatch> {
+        let lanes: Vec<Vec<ProfileId>> = self
+            .shards
+            .iter()
+            .map(|s| s.lru.lock().iter_mru().filter(|&p| filter(p)).collect())
+            .collect();
+        let mut order: Vec<ProfileId> = Vec::with_capacity(lanes.iter().map(Vec::len).sum());
+        let mut rank = 0usize;
+        loop {
+            let mut any = false;
+            for lane in &lanes {
+                if let Some(&pid) = lane.get(rank) {
+                    order.push(pid);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+            rank += 1;
+        }
+        let mut batch = ExportBatch::default();
+        for pid in order {
+            if batch.entries.len() >= max_entries || batch.bytes >= max_bytes {
+                batch.truncated = true;
+                break;
+            }
+            let shard = &self.shards[self.shard_idx(pid)];
+            let Some(entry) = shard.map.lock().get(&pid).map(Arc::clone) else {
+                continue; // evicted since the LRU snapshot
+            };
+            let Some(mut guard) = entry.try_lock() else {
+                batch.skipped += 1;
+                continue;
+            };
+            if !guard.missing.is_empty() {
+                batch.skipped += 1; // a partial snapshot would drop slices
+                continue;
+            }
+            if guard.dirty {
+                let held = guard.generation;
+                let new_gen = self.persister.save(pid, &mut guard.data, held)?;
+                guard.generation = new_gen;
+                guard.dirty = false;
+                self.flushes.inc();
+            }
+            batch.bytes += guard.accounted_bytes as u64;
+            batch.entries.push(ExportedEntry {
+                pid,
+                generation: guard.generation,
+                data: guard.data.clone(),
+            });
+        }
+        Ok(batch)
+    }
+
+    /// Import a batch of entries streamed from another node during a shard
+    /// handoff. Each entry is version-checked against the KV substrate: it
+    /// lands only while its generation still matches the store's head for
+    /// that profile, so a snapshot that raced a newer write (or is replayed
+    /// after one) never shadows fresher data — the key stays cold and the
+    /// normal miss path loads the head instead. Already-resident entries are
+    /// left untouched: resident data is at least as fresh and may carry
+    /// local writes. Entries are processed in reverse so a hottest-first
+    /// batch lands in the LRU with its hottest entry most recent.
+    pub fn import_entries(&self, entries: Vec<ExportedEntry>) -> Result<ImportReport> {
+        let mut report = ImportReport::default();
+        for e in entries.into_iter().rev() {
+            let shard = &self.shards[self.shard_idx(e.pid)];
+            if shard.map.lock().contains_key(&e.pid) {
+                report.already_resident += 1;
+                continue;
+            }
+            match self.persister.current_generation(e.pid)? {
+                Some(current) if current == e.generation => {}
+                _ => {
+                    // Newer head, purged profile, or a generation we cannot
+                    // confirm: refuse the warm copy rather than shadow it.
+                    report.rejected_stale += 1;
+                    continue;
+                }
+            }
+            let bytes = e.data.approx_bytes();
+            let entry = Arc::new(Mutex::new(CacheEntry {
+                data: e.data,
+                dirty: false,
+                generation: e.generation,
+                missing: Vec::new(),
+                accounted_bytes: bytes,
+            }));
+            {
+                let mut map = shard.map.lock();
+                if map.contains_key(&e.pid) {
+                    report.already_resident += 1; // racing miss loaded it first
+                    continue;
+                }
+                map.insert(e.pid, entry);
+                shard.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+                self.total_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+            }
+            shard.lru.lock().touch(e.pid);
+            if self.config.stale_pool_entries > 0 {
+                self.stale.lock().map.remove(&e.pid);
+            }
+            report.imported += 1;
+        }
+        Ok(report)
+    }
+
+    /// Demote every resident entry matching `filter` into the stale pool
+    /// (handoff cutover: ownership moved to the target, so warm copies here
+    /// only spend budget — while a stale copy still serves brownouts).
+    /// Dirty entries are written back by the eviction path. Returns the
+    /// number of entries demoted.
+    pub fn demote_matching(&self, filter: impl Fn(ProfileId) -> bool) -> Result<usize> {
+        let mut demoted = 0;
+        for shard in self.shards.iter() {
+            let matching: Vec<ProfileId> = shard
+                .map
+                .lock()
+                .keys()
+                .copied()
+                .filter(|&p| filter(p))
+                .collect();
+            for pid in matching {
+                if self.evict(pid)? {
+                    demoted += 1;
+                }
+            }
+        }
+        Ok(demoted)
     }
 
     /// Cache health snapshot (Fig 18's series).

@@ -13,5 +13,5 @@
 pub mod gcache;
 pub mod lru;
 
-pub use gcache::{CacheStats, GCache, ReadCost};
+pub use gcache::{CacheStats, ExportBatch, ExportedEntry, GCache, ImportReport, ReadCost};
 pub use lru::LruList;

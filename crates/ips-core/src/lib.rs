@@ -70,8 +70,8 @@ pub mod query;
 pub mod quota;
 pub mod server;
 
-pub use cache::GCache;
+pub use cache::{ExportBatch, ExportedEntry, GCache, ImportReport};
 pub use model::{IndexedFeatureStat, InstanceSet, ProfileData, Slice};
 pub use persist::{ProfilePersister, ProfileStore, SliceProjection, SliceRefInfo};
 pub use query::{FeatureEntry, FilterPredicate, ProfileQuery, QueryKind, QueryResult};
-pub use server::{IpsInstance, IpsInstanceOptions};
+pub use server::{IpsInstance, IpsInstanceOptions, SnapshotImportAck};

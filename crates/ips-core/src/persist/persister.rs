@@ -493,6 +493,20 @@ impl<S: ProfileStore> ProfilePersister<S> {
         Ok((slices, 1, bytes_read))
     }
 
+    /// The store's current head generation for `pid` without materializing
+    /// the profile: one meta read (falling back to the bulk key), mirroring
+    /// the probe order of [`ProfilePersister::load_slices`]. `None` when the
+    /// profile was never persisted. Snapshot import uses this to reject a
+    /// stale handoff entry without paying a full load.
+    pub fn current_generation(&self, pid: ProfileId) -> Result<Option<Generation>> {
+        let (meta, generation) = self.store.xget(&meta_key(self.table, pid))?;
+        if meta.is_some() {
+            return Ok(Some(generation));
+        }
+        let (bulk, generation) = self.store.xget(&bulk_key(self.table, pid))?;
+        Ok(bulk.map(|_| generation))
+    }
+
     /// Delete all persisted state for a profile (both modes).
     pub fn purge(&self, pid: ProfileId) -> Result<()> {
         if let (Some(meta_bytes), _) = self.store.xget(&meta_key(self.table, pid))? {

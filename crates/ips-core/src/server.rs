@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use ips_kv::{KvNode, KvNodeConfig};
 use ips_metrics::{Counter, Histogram};
@@ -23,7 +23,7 @@ use ips_types::{
 };
 
 use crate::cache::gcache::BackgroundThreads;
-use crate::cache::GCache;
+use crate::cache::{ExportBatch, ExportedEntry, GCache, ImportReport};
 use crate::compact::compactor::{compact_profile, needs_compaction};
 use crate::compact::scheduler::{CompactionScheduler, CompactionTask, WorkerPool};
 use crate::hotconfig::HotConfig;
@@ -158,6 +158,29 @@ pub struct IpsInstance {
     pub degraded_serves: Counter,
     shutting_down: AtomicBool,
     tracer: RwLock<Option<Arc<Tracer>>>,
+    /// In-progress snapshot imports (shard handoff warm-up), keyed by
+    /// handoff id: resume cursor plus cumulative import accounting.
+    snapshots: Mutex<HashMap<u64, SnapshotProgress>>,
+}
+
+/// Import progress for one handoff stream.
+#[derive(Clone, Copy, Default)]
+struct SnapshotProgress {
+    /// The next chunk sequence number this instance will apply. Chunks
+    /// below it are duplicates (already applied, ACKed idempotently);
+    /// chunks above it are gaps (refused — the source resumes from here).
+    next_seq: u64,
+    report: ImportReport,
+}
+
+/// The ACK an instance returns for one applied (or replayed) snapshot
+/// chunk; mirrors [`SnapshotProgress`] so the source can resume mid-stream.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SnapshotImportAck {
+    /// Resume cursor: the first chunk seq the instance has not applied.
+    pub next_seq: u64,
+    /// Cumulative accounting across the whole handoff stream so far.
+    pub report: ImportReport,
 }
 
 impl IpsInstance {
@@ -177,6 +200,7 @@ impl IpsInstance {
             degraded_serves: Counter::new(),
             shutting_down: AtomicBool::new(false),
             tracer: RwLock::new(None),
+            snapshots: Mutex::new(HashMap::new()),
         })
     }
 
@@ -292,6 +316,72 @@ impl IpsInstance {
             return Err(IpsError::ShuttingDown);
         }
         Ok(())
+    }
+
+    // ---- shard handoff (snapshot export / import) --------------------------
+
+    /// Export this instance's hottest resident entries for the moving
+    /// keyspace `filter` (shard handoff source side). Staged isolated
+    /// writes are merged first so the snapshot carries them, and dirty
+    /// entries are flushed by the cache walk — the exported generations are
+    /// the store's head at export time.
+    pub fn export_hot(
+        &self,
+        table: TableId,
+        filter: impl Fn(ProfileId) -> bool,
+        max_entries: usize,
+        max_bytes: u64,
+    ) -> Result<ExportBatch> {
+        self.check_alive()?;
+        let rt = self.table(table)?;
+        rt.merge_write_table()?;
+        rt.cache.export_hot(filter, max_entries, max_bytes)
+    }
+
+    /// Apply one snapshot chunk streamed from a handoff source (target
+    /// side). Chunks must arrive in sequence per handoff id: a replayed
+    /// chunk is ACKed without re-applying, a gapped chunk is refused by
+    /// returning the resume cursor unchanged — either way the source learns
+    /// `next_seq` and resumes from the right offset. `last` tears down the
+    /// progress slot once the stream is fully applied.
+    pub fn import_snapshot_chunk(
+        &self,
+        table: TableId,
+        handoff: u64,
+        seq: u64,
+        last: bool,
+        entries: Vec<ExportedEntry>,
+    ) -> Result<SnapshotImportAck> {
+        self.check_alive()?;
+        let rt = self.table(table)?;
+        let expected = {
+            let mut snaps = self.snapshots.lock();
+            snaps.entry(handoff).or_default().next_seq
+        };
+        if seq != expected {
+            let snaps = self.snapshots.lock();
+            let prog = snaps.get(&handoff).copied().unwrap_or_default();
+            return Ok(SnapshotImportAck {
+                next_seq: prog.next_seq,
+                report: prog.report,
+            });
+        }
+        // The generation probes inside import run store round trips; do the
+        // work outside the progress lock (the source streams sequentially,
+        // so per-handoff chunk application does not race itself).
+        let report = rt.cache.import_entries(entries)?;
+        let mut snaps = self.snapshots.lock();
+        let prog = snaps.entry(handoff).or_default();
+        prog.next_seq = prog.next_seq.max(seq + 1);
+        prog.report.absorb(report);
+        let ack = SnapshotImportAck {
+            next_seq: prog.next_seq,
+            report: prog.report,
+        };
+        if last && ack.next_seq == seq + 1 {
+            snaps.remove(&handoff);
+        }
+        Ok(ack)
     }
 
     // ---- write API (§II-B) -------------------------------------------------

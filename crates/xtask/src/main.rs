@@ -85,8 +85,9 @@ fn schema_lock(root: &Path) -> ExitCode {
                 .lines()
                 .filter(|l| l.starts_with("message "))
                 .count();
+            let flag_sets = rendered.lines().filter(|l| l.starts_with("flags ")).count();
             println!(
-                "xtask schema-lock: wrote {} ({messages} message(s))",
+                "xtask schema-lock: wrote {} ({messages} message(s), {flag_sets} flag set(s))",
                 schema::LOCK_FILE
             );
             ExitCode::SUCCESS

@@ -34,6 +34,22 @@
 //! (generic plumbing like `WireWriter::put_u64` itself, or helpers taking
 //! `field: u32`). `#[cfg(test)]` regions are skipped — tests deliberately
 //! write malformed frames.
+//!
+//! Two schema surfaces beyond plain messages are covered:
+//!
+//! * **Closure-level nested messages** — a `put_message(tag, |w| ...)`
+//!   whose closure writes literal tags inline (the envelope's repeated
+//!   feature entries, the batch sub-result wrapper) is an anonymous
+//!   sub-message. It registers as `<parent>.<tag>` with the closure's tags,
+//!   paired on the decode side with the nested `for_each` + `match` inside
+//!   the arm of the same tag. First level only: deeper nesting stays inside
+//!   the first-level entry as opaque tags.
+//! * **Frame-header bit-flags** — `const FLAG_*: u8 = 0x..;` declarations
+//!   (the frame codec's compressed/trace bits) form a per-file `flags`
+//!   section in the lock. Bits are as upgrade-sensitive as field tags: a
+//!   reassigned or recycled bit flips meaning for old readers, so the lock
+//!   records name→bit and retires bits append-only, and two flags sharing
+//!   a bit is a violation outright.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fs;
@@ -95,6 +111,9 @@ struct FnInfo {
     has_match: bool,
     /// Decode side: the match carries a `_`/binding arm.
     has_skip: bool,
+    /// Decode side: nested sub-message decoders — a `for_each` + `match`
+    /// directly inside a single-tag arm: `(arm tag, inner tags, line)`.
+    nested_arms: Vec<(u32, BTreeSet<u32>, usize)>,
     /// Names of local functions called at the top level of the body
     /// (delegation / helper inlining).
     calls: Vec<String>,
@@ -136,16 +155,29 @@ impl Message {
     }
 }
 
+/// Bit-flags declared in one schema file's header consts
+/// (`const FLAG_COMPRESSED: u8 = 0x01;`), keyed by lowercased name with the
+/// `FLAG_` prefix stripped.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlagSet {
+    pub file: String,
+    pub line: usize,
+    pub bits: BTreeMap<String, u32>,
+}
+
 /// The whole-workspace registry extracted from source.
 #[derive(Default)]
 pub struct Registry {
     pub messages: BTreeMap<String, Message>,
+    /// Flag sets keyed by file stem (`frame` for `frame.rs`).
+    pub flags: BTreeMap<String, FlagSet>,
 }
 
 /// The committed `wire_schema.lock` contents.
 #[derive(Default, Debug, PartialEq, Eq)]
 pub struct Lock {
     pub messages: BTreeMap<String, LockEntry>,
+    pub flags: BTreeMap<String, LockFlags>,
 }
 
 #[derive(Default, Debug, PartialEq, Eq)]
@@ -155,11 +187,26 @@ pub struct LockEntry {
     pub line: usize,
 }
 
+#[derive(Default, Debug, PartialEq, Eq)]
+pub struct LockFlags {
+    pub bits: BTreeMap<String, u32>,
+    /// Bitmask of retired bits — append-only, never reassigned.
+    pub retired: u32,
+    pub line: usize,
+}
+
 // ---- extraction -------------------------------------------------------------
 
 /// Extract schema functions from one file's source, reporting per-function
 /// violations (duplicate tags, duplicate decoder arms, missing skip arms).
-fn extract_file(rel: &str, src: &str, out: &mut Vec<Violation>) -> Vec<FnInfo> {
+/// `FLAG_*` bit consts are collected into `flags` (keyed by file stem),
+/// with overlapping bits flagged on the spot.
+fn extract_file(
+    rel: &str,
+    src: &str,
+    out: &mut Vec<Violation>,
+    flags: &mut BTreeMap<String, FlagSet>,
+) -> Vec<FnInfo> {
     let toks = lexer::lex(src);
     let mask = lexer::test_mask(&toks);
     let (allows, _) = Allows::build(&toks);
@@ -175,6 +222,8 @@ fn extract_file(rel: &str, src: &str, out: &mut Vec<Violation>) -> Vec<FnInfo> {
 
     let consts = collect_consts(&ct);
     let impl_ranges = collect_impl_ranges(&ct);
+
+    extract_flags(rel, &ct, &cmask, &allows, flags, out);
 
     let mut fns = Vec::new();
     let mut p = 0;
@@ -223,11 +272,16 @@ fn extract_file(rel: &str, src: &str, out: &mut Vec<Violation>) -> Vec<FnInfo> {
             arm_tags: BTreeSet::new(),
             has_match: false,
             has_skip: false,
+            nested_arms: Vec::new(),
             calls: Vec::new(),
         };
         match side {
             Side::Encode => {
                 let mut scope_counter = 0u32;
+                // Helper tags at the fn's top level are already covered by
+                // call resolution (`resolve_enc_tags`); the scratch set only
+                // matters inside `put_message` closures.
+                let mut helper_scratch = BTreeSet::new();
                 extract_puts(
                     &ct,
                     q + 1,
@@ -237,6 +291,7 @@ fn extract_file(rel: &str, src: &str, out: &mut Vec<Violation>) -> Vec<FnInfo> {
                     &mut Vec::new(),
                     &mut info.puts,
                     &mut info.calls,
+                    &mut helper_scratch,
                 );
                 // Duplicate tag in the same linear scope: silent last-write-wins
                 // corruption on the wire.
@@ -282,6 +337,70 @@ fn side_of(name: &str) -> Option<Side> {
     }
 }
 
+/// Collect `const FLAG_*: u8 = 0x..;` bit-flag declarations into a per-file
+/// flag set, flagging overlapping bits (two flags sharing a bit cannot be
+/// set independently — one write clobbers the other's meaning).
+fn extract_flags(
+    rel: &str,
+    ct: &[&Tok],
+    cmask: &[bool],
+    allows: &Allows,
+    flags: &mut BTreeMap<String, FlagSet>,
+    out: &mut Vec<Violation>,
+) {
+    let stem = rel
+        .rsplit('/')
+        .next()
+        .unwrap_or(rel)
+        .trim_end_matches(".rs")
+        .to_string();
+    for p in 0..ct.len() {
+        if !ct[p].is_ident("const") || cmask[p] {
+            continue;
+        }
+        let Some(name) = ct.get(p + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        let Some(flag) = name.text.strip_prefix("FLAG_") else {
+            continue;
+        };
+        // NAME : ty = INT ;  (`KNOWN_FLAGS`-style masks built from idents
+        // are derived values, not declarations, and fall out here).
+        let mut q = p + 2;
+        while q < ct.len() && !ct[q].is_punct('=') && !ct[q].is_punct(';') {
+            q += 1;
+        }
+        if q + 1 >= ct.len() || !ct[q].is_punct('=') || ct[q + 1].kind != TokKind::Int {
+            continue;
+        }
+        let Some(bit) = parse_int(&ct[q + 1].text) else {
+            continue;
+        };
+        let set = flags.entry(stem.clone()).or_insert_with(|| FlagSet {
+            file: rel.to_string(),
+            line: ct[p].line,
+            bits: BTreeMap::new(),
+        });
+        for (other, ob) in &set.bits {
+            if ob & bit != 0 && !allows.waives(name.line, "schema-flag-overlap") {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: name.line,
+                    rule: "schema-flag-overlap",
+                    message: format!(
+                        "flag `{}` (0x{bit:02x}) overlaps flag `{other}` (0x{ob:02x}) — \
+                         flags sharing a bit cannot be set independently",
+                        flag.to_ascii_lowercase()
+                    ),
+                    hint: "give each flag its own bit (check the flags section of \
+                           wire_schema.lock for free and retired bits)",
+                });
+            }
+        }
+        set.bits.insert(flag.to_ascii_lowercase(), bit);
+    }
+}
+
 /// `const NAME: <int type> = <int>;` table for tag resolution.
 fn collect_consts(ct: &[&Tok]) -> HashMap<String, u32> {
     let mut consts = HashMap::new();
@@ -307,7 +426,14 @@ fn collect_consts(ct: &[&Tok]) -> HashMap<String, u32> {
 }
 
 fn parse_int(text: &str) -> Option<u32> {
-    let digits: String = text.chars().take_while(|c| c.is_ascii_digit()).collect();
+    // Strip digit-group underscores, honour `0x` (flag bits are hex), and
+    // stop at a type suffix (`15u32`, `0x01u8`).
+    let t: String = text.chars().filter(|c| *c != '_').collect();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        let digits: String = hex.chars().take_while(char::is_ascii_hexdigit).collect();
+        return u32::from_str_radix(&digits, 16).ok();
+    }
+    let digits: String = t.chars().take_while(char::is_ascii_digit).collect();
     digits.parse().ok()
 }
 
@@ -355,6 +481,9 @@ fn collect_impl_ranges(ct: &[&Tok]) -> Vec<(usize, usize, String)> {
 /// Walk an encode body collecting `.put_*(<tag>, ...)` sites and top-level
 /// local calls. Call-argument regions of recognized puts are skipped whole,
 /// so a nested message's closure never leaks tags into its parent.
+/// `helper_tags` collects literal field tags passed to `put_`/`encode`/
+/// `write_`-prefixed helper calls (`put_count_vector(fw, 2, counts)` writes
+/// field 2 of the enclosing message through a tag-parameterized helper).
 #[allow(clippy::too_many_arguments)]
 fn extract_puts(
     ct: &[&Tok],
@@ -365,6 +494,7 @@ fn extract_puts(
     scope: &mut Vec<u32>,
     puts: &mut Vec<PutSite>,
     calls: &mut Vec<String>,
+    helper_tags: &mut BTreeSet<u32>,
 ) {
     let mut p = start;
     while p < end {
@@ -392,6 +522,7 @@ fn extract_puts(
                 let inner = (method == "put_message").then(|| {
                     let mut inner_puts = Vec::new();
                     let mut inner_calls = Vec::new();
+                    let mut inner_helpers = BTreeSet::new();
                     extract_puts(
                         ct,
                         open + 1,
@@ -401,8 +532,11 @@ fn extract_puts(
                         &mut Vec::new(),
                         &mut inner_puts,
                         &mut inner_calls,
+                        &mut inner_helpers,
                     );
-                    inner_puts.iter().map(|s| s.tag).collect::<BTreeSet<u32>>()
+                    let mut tags: BTreeSet<u32> = inner_puts.iter().map(|s| s.tag).collect();
+                    tags.extend(inner_helpers);
+                    tags
                 });
                 puts.push(PutSite {
                     tag,
@@ -418,6 +552,24 @@ fn extract_puts(
             && !ct.get(p.wrapping_sub(1)).is_some_and(|n| n.is_punct('.'))
         {
             calls.push(t.text.clone());
+            if t.text.starts_with("put_")
+                || t.text.starts_with("encode")
+                || t.text.starts_with("write_")
+            {
+                let close = match_close(ct, p + 1, '(', ')').max(p + 2);
+                let mut depth = 0i32;
+                for &at in &ct[p + 2..close] {
+                    if at.is_punct('(') || at.is_punct('[') || at.is_punct('{') {
+                        depth += 1;
+                    } else if at.is_punct(')') || at.is_punct(']') || at.is_punct('}') {
+                        depth -= 1;
+                    } else if depth == 0 && at.kind == TokKind::Int {
+                        if let Some(tag) = parse_int(&at.text) {
+                            helper_tags.insert(tag);
+                        }
+                    }
+                }
+            }
         }
         p += 1;
     }
@@ -507,10 +659,12 @@ fn extract_decode(
         if p >= match_end {
             break;
         }
+        let mut pat_tags: Vec<u32> = Vec::new();
         for t in &ct[pat_start..p] {
             match t.kind {
                 TokKind::Int => {
                     if let Some(tag) = parse_int(&t.text) {
+                        pat_tags.push(tag);
                         if !info.arm_tags.insert(tag) && !allows.waives(t.line, "schema-decode-dup")
                         {
                             out.push(Violation {
@@ -530,6 +684,7 @@ fn extract_decode(
                 }
                 TokKind::Ident => {
                     if let Some(&tag) = consts.get(&t.text) {
+                        pat_tags.push(tag);
                         info.arm_tags.insert(tag);
                     } else if t.text == "_"
                         || t.text.chars().all(|c| c.is_ascii_lowercase() || c == '_')
@@ -541,7 +696,120 @@ fn extract_decode(
             }
         }
         p += 2; // past `=>`
-                // Skip the arm body.
+        let body_start = p;
+        // Skip the arm body.
+        if p < match_end && ct[p].is_punct('{') {
+            p = match_close(ct, p, '{', '}') + 1;
+        } else {
+            let mut depth = 0i32;
+            while p < match_end {
+                let t = ct[p];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct(',') {
+                    p += 1;
+                    break;
+                }
+                p += 1;
+            }
+        }
+        // A nested for_each + match inside a single-tag arm decodes that
+        // tag's sub-message inline (`<parent>.<tag>`).
+        if let [tag] = pat_tags.as_slice() {
+            if let Some(inner) = nested_match_tags(ct, body_start, p.min(match_end), consts) {
+                if !inner.is_empty() {
+                    info.nested_arms.push((*tag, inner, ct[pat_start].line));
+                }
+            }
+        }
+        if p < match_end && ct[p].is_punct(',') {
+            p += 1;
+        }
+    }
+}
+
+/// The arm tags of the first nested `for_each(|f, _| ... match f {...})`
+/// inside `[start, end)` — the decode side of a closure-level nested
+/// message. First level only: the nested match's own arm bodies (where
+/// deeper levels would live) are skipped, mirroring the encode side where
+/// a closure's `put_message` sites contribute their outer tag only.
+fn nested_match_tags(
+    ct: &[&Tok],
+    start: usize,
+    end: usize,
+    consts: &HashMap<String, u32>,
+) -> Option<BTreeSet<u32>> {
+    let end = end.min(ct.len());
+    let mut fe = None;
+    for p in start..end {
+        if ct[p].is_punct('.')
+            && ct.get(p + 1).is_some_and(|n| n.is_ident("for_each"))
+            && ct.get(p + 2).is_some_and(|n| n.is_punct('('))
+        {
+            fe = Some(p + 2);
+            break;
+        }
+    }
+    let fe_open = fe?;
+    let fe_close = match_close(ct, fe_open, '(', ')').min(end);
+    let param = ct
+        .get(fe_open + 1)
+        .filter(|t| t.is_punct('|'))
+        .and_then(|_| ct.get(fe_open + 2))
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())?;
+    let mut m = None;
+    for p in fe_open..fe_close {
+        if ct[p].is_ident("match")
+            && ct.get(p + 1).is_some_and(|n| n.is_ident(&param))
+            && ct.get(p + 2).is_some_and(|n| n.is_punct('{'))
+        {
+            m = Some(p + 2);
+            break;
+        }
+    }
+    let match_open = m?;
+    let match_end = match_close(ct, match_open, '{', '}').min(end);
+    let mut tags = BTreeSet::new();
+    let mut p = match_open + 1;
+    while p < match_end {
+        let pat_start = p;
+        let mut depth = 0i32;
+        while p < match_end {
+            let t = ct[p];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0
+                && t.is_punct('=')
+                && ct.get(p + 1).is_some_and(|n| n.is_punct('>'))
+            {
+                break;
+            }
+            p += 1;
+        }
+        if p >= match_end {
+            break;
+        }
+        for t in &ct[pat_start..p] {
+            match t.kind {
+                TokKind::Int => {
+                    if let Some(tag) = parse_int(&t.text) {
+                        tags.insert(tag);
+                    }
+                }
+                TokKind::Ident => {
+                    if let Some(&tag) = consts.get(&t.text) {
+                        tags.insert(tag);
+                    }
+                }
+                _ => {}
+            }
+        }
+        p += 2; // past `=>`
         if p < match_end && ct[p].is_punct('{') {
             p = match_close(ct, p, '{', '}') + 1;
         } else {
@@ -563,6 +831,7 @@ fn extract_decode(
             p += 1;
         }
     }
+    Some(tags)
 }
 
 fn match_close(ct: &[&Tok], open: usize, o: char, c: char) -> usize {
@@ -671,6 +940,7 @@ fn resolve_dec_tags(fns: &[FnInfo], f: &FnInfo, visiting: &mut Vec<String>) -> B
 /// and skip-arm violations along the way.
 fn build_registry(
     fns: &[FnInfo],
+    flags: BTreeMap<String, FlagSet>,
     allow_tables: &HashMap<String, Allows>,
     out: &mut Vec<Violation>,
 ) -> Registry {
@@ -713,18 +983,22 @@ fn build_registry(
                 // A `put_` helper is inline plumbing unless a decoder pairs
                 // with it; when it pairs and wraps a single put_message, the
                 // *closure* tags are the message (`put_span_context`).
+                let mut closure_is_own_message = false;
                 let tags = if f.name.starts_with("put_") {
                     if !dec_groups.contains(&name) {
                         continue;
                     }
                     match f.single_message_inner() {
-                        Some(inner) => inner.clone(),
+                        Some(inner) => {
+                            closure_is_own_message = true;
+                            inner.clone()
+                        }
                         None => resolve_enc_tags(fns, f, &mut Vec::new()),
                     }
                 } else {
                     resolve_enc_tags(fns, f, &mut Vec::new())
                 };
-                let m = messages.entry(name).or_insert_with(|| Message {
+                let m = messages.entry(name.clone()).or_insert_with(|| Message {
                     file: f.file.clone(),
                     line: f.line,
                     enc: BTreeSet::new(),
@@ -734,10 +1008,36 @@ fn build_registry(
                 });
                 m.has_enc = true;
                 m.enc.extend(tags);
+                // Closure-level nested messages: a put_message whose closure
+                // writes literal tags inline is an anonymous sub-message
+                // `<parent>.<tag>` (the envelope's repeated feature entries,
+                // the batch sub-result wrapper). Exempt the single-message
+                // put_ helper shape — its closure registered above as the
+                // helper's own message.
+                if !closure_is_own_message {
+                    for site in &f.puts {
+                        let Some(inner) = &site.inner else { continue };
+                        if inner.is_empty() {
+                            continue;
+                        }
+                        let m = messages
+                            .entry(format!("{name}.{}", site.tag))
+                            .or_insert_with(|| Message {
+                                file: f.file.clone(),
+                                line: site.line,
+                                enc: BTreeSet::new(),
+                                dec: BTreeSet::new(),
+                                has_enc: false,
+                                has_dec: false,
+                            });
+                        m.has_enc = true;
+                        m.enc.extend(inner.iter().copied());
+                    }
+                }
             }
             Side::Decode => {
                 let tags = resolve_dec_tags(fns, f, &mut Vec::new());
-                let m = messages.entry(name).or_insert_with(|| Message {
+                let m = messages.entry(name.clone()).or_insert_with(|| Message {
                     file: f.file.clone(),
                     line: f.line,
                     enc: BTreeSet::new(),
@@ -747,6 +1047,20 @@ fn build_registry(
                 });
                 m.has_dec = true;
                 m.dec.extend(tags);
+                for (arm, inner, line) in &f.nested_arms {
+                    let m = messages
+                        .entry(format!("{name}.{arm}"))
+                        .or_insert_with(|| Message {
+                            file: f.file.clone(),
+                            line: *line,
+                            enc: BTreeSet::new(),
+                            dec: BTreeSet::new(),
+                            has_enc: false,
+                            has_dec: false,
+                        });
+                    m.has_dec = true;
+                    m.dec.extend(inner.iter().copied());
+                }
             }
         }
     }
@@ -806,10 +1120,19 @@ fn build_registry(
         }
     }
 
-    Registry { messages }
+    Registry { messages, flags }
 }
 
 // ---- lock file --------------------------------------------------------------
+
+/// Parse a lock-file integer: decimal, or hex with a `0x` prefix (flag
+/// bits render in hex).
+fn parse_lock_u32(tok: &str) -> Option<u32> {
+    match tok.strip_prefix("0x") {
+        Some(hex) => u32::from_str_radix(hex, 16).ok(),
+        None => tok.parse().ok(),
+    }
+}
 
 /// Parse `wire_schema.lock`. Format, line-oriented:
 ///
@@ -817,10 +1140,16 @@ fn build_registry(
 /// message <name>
 ///   fields: 1 2 3
 ///   retired: 4
+///
+/// flags <name>
+///   bits: compressed=0x01 trace=0x02
+///   retired: 0x04
 /// ```
 pub fn parse_lock(text: &str) -> Result<Lock, (usize, String)> {
     let mut lock = Lock::default();
-    let mut current: Option<String> = None;
+    // Which section the indented lines attach to: Some(msg) xor Some(flags).
+    let mut cur_msg: Option<String> = None;
+    let mut cur_flags: Option<String> = None;
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
         let line = raw.trim();
@@ -839,28 +1168,64 @@ pub fn parse_lock(text: &str) -> Result<Lock, (usize, String)> {
                     ..LockEntry::default()
                 },
             );
-            current = Some(name);
+            cur_msg = Some(name);
+            cur_flags = None;
+        } else if let Some(name) = line.strip_prefix("flags ") {
+            let name = name.trim().to_string();
+            if lock.flags.contains_key(&name) {
+                return Err((line_no, format!("duplicate flags section `{name}`")));
+            }
+            lock.flags.insert(
+                name.clone(),
+                LockFlags {
+                    line: line_no,
+                    ..LockFlags::default()
+                },
+            );
+            cur_flags = Some(name);
+            cur_msg = None;
         } else if let Some(rest) = line.strip_prefix("fields:") {
-            let Some(name) = &current else {
+            let Some(name) = &cur_msg else {
                 return Err((line_no, "`fields:` before any `message`".into()));
             };
-            let entry = lock.messages.get_mut(name).expect("current tracks map");
+            let entry = lock.messages.get_mut(name).expect("cur_msg tracks map");
             for tok in rest.split_whitespace() {
                 let tag: u32 = tok
                     .parse()
                     .map_err(|_| (line_no, format!("bad field tag `{tok}`")))?;
                 entry.fields.insert(tag);
             }
-        } else if let Some(rest) = line.strip_prefix("retired:") {
-            let Some(name) = &current else {
-                return Err((line_no, "`retired:` before any `message`".into()));
+        } else if let Some(rest) = line.strip_prefix("bits:") {
+            let Some(name) = &cur_flags else {
+                return Err((line_no, "`bits:` before any `flags` section".into()));
             };
-            let entry = lock.messages.get_mut(name).expect("current tracks map");
+            let entry = lock.flags.get_mut(name).expect("cur_flags tracks map");
             for tok in rest.split_whitespace() {
-                let tag: u32 = tok
-                    .parse()
-                    .map_err(|_| (line_no, format!("bad retired tag `{tok}`")))?;
-                entry.retired.insert(tag);
+                let (flag, val) = tok
+                    .split_once('=')
+                    .ok_or_else(|| (line_no, format!("bad flag entry `{tok}` (want name=0xNN)")))?;
+                let bit = parse_lock_u32(val)
+                    .ok_or_else(|| (line_no, format!("bad flag bits `{val}`")))?;
+                entry.bits.insert(flag.to_string(), bit);
+            }
+        } else if let Some(rest) = line.strip_prefix("retired:") {
+            if let Some(name) = &cur_msg {
+                let entry = lock.messages.get_mut(name).expect("cur_msg tracks map");
+                for tok in rest.split_whitespace() {
+                    let tag: u32 = tok
+                        .parse()
+                        .map_err(|_| (line_no, format!("bad retired tag `{tok}`")))?;
+                    entry.retired.insert(tag);
+                }
+            } else if let Some(name) = &cur_flags {
+                let entry = lock.flags.get_mut(name).expect("cur_flags tracks map");
+                for tok in rest.split_whitespace() {
+                    let bits = parse_lock_u32(tok)
+                        .ok_or_else(|| (line_no, format!("bad retired bits `{tok}`")))?;
+                    entry.retired |= bits;
+                }
+            } else {
+                return Err((line_no, "`retired:` before any section".into()));
             }
         } else {
             return Err((line_no, format!("unrecognized line `{line}`")));
@@ -870,17 +1235,18 @@ pub fn parse_lock(text: &str) -> Result<Lock, (usize, String)> {
 }
 
 /// Render the lock for the given registry, preserving (and growing) the
-/// retired sets from `old`: fields that vanished from code are retired,
-/// and nothing ever leaves a retired set.
+/// retired sets from `old`: fields (and flag bits) that vanished from code
+/// are retired, and nothing ever leaves a retired set.
 #[must_use]
 pub fn render_lock(registry: &Registry, old: Option<&Lock>) -> String {
     let mut out = String::new();
     out.push_str(
-        "# wire_schema.lock — committed registry of wire-message field tags.\n\
+        "# wire_schema.lock — committed registry of wire-message field tags\n\
+         # and frame-header flag bits.\n\
          # Regenerate with: cargo run -p xtask -- schema-lock\n\
-         # Retired tags are append-only: a retired tag must NEVER be recycled,\n\
-         # or an old reader mid-rolling-upgrade decodes the new field with the\n\
-         # old meaning. Allocate fresh tags instead.\n",
+         # Retired tags/bits are append-only: a retired tag must NEVER be\n\
+         # recycled, or an old reader mid-rolling-upgrade decodes the new\n\
+         # field with the old meaning. Allocate fresh tags instead.\n",
     );
     let mut names: BTreeSet<&String> = registry.messages.keys().collect();
     if let Some(old) = old {
@@ -913,6 +1279,33 @@ pub fn render_lock(registry: &Registry, old: Option<&Lock>) -> String {
             out.push_str(&format!(" {t}"));
         }
         out.push('\n');
+    }
+    let mut flag_names: BTreeSet<&String> = registry.flags.keys().collect();
+    if let Some(old) = old {
+        flag_names.extend(old.flags.keys());
+    }
+    for name in flag_names {
+        let code = registry.flags.get(name);
+        let old_entry = old.and_then(|l| l.flags.get(name));
+        let mut retired = old_entry.map_or(0, |e| e.retired);
+        if let Some(oe) = old_entry {
+            // A flag gone from code (or moved to a different bit) retires
+            // its old bit.
+            for (flag, bits) in &oe.bits {
+                if code.and_then(|c| c.bits.get(flag)) != Some(bits) {
+                    retired |= bits;
+                }
+            }
+        }
+        out.push_str(&format!("\nflags {name}\n"));
+        out.push_str("  bits:");
+        if let Some(code) = code {
+            for (flag, bits) in &code.bits {
+                out.push_str(&format!(" {flag}=0x{bits:02x}"));
+            }
+        }
+        out.push('\n');
+        out.push_str(&format!("  retired: 0x{retired:02x}\n"));
     }
     out
 }
@@ -986,6 +1379,90 @@ pub fn check_lock(registry: &Registry, lock: &Lock, out: &mut Vec<Violation>) {
             });
         }
     }
+
+    // Flag sections: bits are as upgrade-sensitive as field tags.
+    for (name, set) in &registry.flags {
+        let Some(entry) = lock.flags.get(name) else {
+            out.push(Violation {
+                file: set.file.clone(),
+                line: set.line,
+                rule: "schema-lock",
+                message: format!(
+                    "flags section `{name}` ({:?}) is not in {LOCK_FILE}",
+                    set.bits.keys().collect::<Vec<_>>()
+                ),
+                hint: "run `cargo run -p xtask -- schema-lock` and commit the lock diff",
+            });
+            continue;
+        };
+        for (flag, bits) in &set.bits {
+            if entry.retired & bits != 0 {
+                out.push(Violation {
+                    file: set.file.clone(),
+                    line: set.line,
+                    rule: "schema-retired",
+                    message: format!(
+                        "flag `{flag}` of `{name}` uses retired bit 0x{bits:02x} — a retired \
+                         bit must never be recycled"
+                    ),
+                    hint: "allocate a fresh bit; old readers still assign the retired bit \
+                           its old meaning",
+                });
+            }
+            match entry.bits.get(flag) {
+                Some(locked) if locked == bits => {}
+                Some(locked) => out.push(Violation {
+                    file: set.file.clone(),
+                    line: set.line,
+                    rule: "schema-lock",
+                    message: format!(
+                        "flag `{flag}` of `{name}` moved from 0x{locked:02x} to 0x{bits:02x} \
+                         — old readers still parse the original bit"
+                    ),
+                    hint: "keep the bit stable; to really move it, retire the old bit via \
+                           `cargo run -p xtask -- schema-lock` and review the diff",
+                }),
+                None => out.push(Violation {
+                    file: set.file.clone(),
+                    line: set.line,
+                    rule: "schema-lock",
+                    message: format!(
+                        "flag `{flag}` (0x{bits:02x}) of `{name}` is in code but not in \
+                         {LOCK_FILE}"
+                    ),
+                    hint: "run `cargo run -p xtask -- schema-lock` and commit the lock diff \
+                           so the new flag is reviewable",
+                }),
+            }
+        }
+        for (flag, bits) in &entry.bits {
+            if !set.bits.contains_key(flag) {
+                out.push(Violation {
+                    file: set.file.clone(),
+                    line: set.line,
+                    rule: "schema-lock",
+                    message: format!(
+                        "flag `{flag}` (0x{bits:02x}) of `{name}` is active in {LOCK_FILE} \
+                         but gone from code"
+                    ),
+                    hint: "run `cargo run -p xtask -- schema-lock` to move its bit to the \
+                           retired mask (removals must be explicit)",
+                });
+            }
+        }
+    }
+    for (name, entry) in &lock.flags {
+        if !registry.flags.contains_key(name) {
+            out.push(Violation {
+                file: LOCK_FILE.to_string(),
+                line: entry.line,
+                rule: "schema-lock",
+                message: format!("flags section `{name}` is in {LOCK_FILE} but no longer in code"),
+                hint: "run `cargo run -p xtask -- schema-lock` if the flags were really \
+                       removed (their bits stay retired)",
+            });
+        }
+    }
 }
 
 // ---- entry points -----------------------------------------------------------
@@ -994,6 +1471,7 @@ pub fn check_lock(registry: &Registry, lock: &Lock, out: &mut Vec<Violation>) {
 /// extraction-level violations (dup tags, symmetry, skip arms).
 pub fn extract_registry(root: &Path, out: &mut Vec<Violation>) -> io::Result<Registry> {
     let mut fns = Vec::new();
+    let mut flags = BTreeMap::new();
     let mut allow_tables = HashMap::new();
     for rel in SCHEMA_FILES {
         let path = root.join(rel);
@@ -1004,9 +1482,9 @@ pub fn extract_registry(root: &Path, out: &mut Vec<Violation>) -> io::Result<Reg
         let toks = lexer::lex(&src);
         let (allows, _) = Allows::build(&toks);
         allow_tables.insert((*rel).to_string(), allows);
-        fns.extend(extract_file(rel, &src, out));
+        fns.extend(extract_file(rel, &src, out, &mut flags));
     }
-    Ok(build_registry(&fns, &allow_tables, out))
+    Ok(build_registry(&fns, flags, &allow_tables, out))
 }
 
 /// The full schema check: extraction + lock diff.
@@ -1059,12 +1537,13 @@ mod tests {
 
     fn registry_of(src: &str) -> (Registry, Vec<Violation>) {
         let mut out = Vec::new();
-        let fns = extract_file("test.rs", src, &mut out);
+        let mut flags = BTreeMap::new();
+        let fns = extract_file("test.rs", src, &mut out, &mut flags);
         let mut allow_tables = HashMap::new();
         let toks = lexer::lex(src);
         let (allows, _) = Allows::build(&toks);
         allow_tables.insert("test.rs".to_string(), allows);
-        let reg = build_registry(&fns, &allow_tables, &mut out);
+        let reg = build_registry(&fns, flags, &allow_tables, &mut out);
         (reg, out)
     }
 
@@ -1509,6 +1988,263 @@ fn put_count_vector(w: &mut W, field: u32, counts: &C) {
         let (reg, v) = registry_of(src);
         assert!(v.is_empty(), "{v:?}");
         assert!(reg.messages.is_empty());
+    }
+
+    #[test]
+    fn int_literals_parse_hex_and_suffixes() {
+        assert_eq!(parse_int("0x01"), Some(1));
+        assert_eq!(parse_int("0xFF"), Some(255));
+        assert_eq!(parse_int("0x01u8"), Some(1));
+        assert_eq!(parse_int("1_000u64"), Some(1000));
+        assert_eq!(parse_int("15u32"), Some(15));
+        assert_eq!(parse_int("42"), Some(42));
+    }
+
+    #[test]
+    fn closure_nested_message_registers_as_parent_dot_tag() {
+        // The envelope's repeated feature entries: the closure writes tag 1
+        // directly and tag 2 through a tag-parameterized helper; the decoder
+        // arm decodes the sub-message with a nested for_each.
+        let src = r#"
+fn put_count_vector(w: &mut W, field: u32, counts: &C) {
+    w.put_packed_i64(field, counts.as_slice());
+}
+fn encode_env(w: &mut W, e: &Env) {
+    w.put_u64(1, e.kind);
+    for (fid, counts) in &e.features {
+        w.put_message(8, |fw| {
+            fw.put_u64(1, fid.raw());
+            put_count_vector(fw, 2, counts);
+        });
+    }
+}
+fn decode_env(bytes: &[u8]) -> Result<Env> {
+    WireReader::new(bytes).for_each(|f, v| {
+        match f {
+            1 => {}
+            8 => {
+                WireReader::new(v.as_bytes(f)?).for_each(|ff, fv| {
+                    match ff {
+                        1 => {}
+                        2 => {}
+                        _ => {}
+                    }
+                    Ok(())
+                })?;
+            }
+            _ => {}
+        }
+        Ok(())
+    })
+}
+"#;
+        let (reg, v) = registry_of(src);
+        assert!(v.is_empty(), "{v:?}");
+        let env = reg.messages.get("env").unwrap();
+        assert_eq!(env.enc.iter().copied().collect::<Vec<_>>(), [1, 8]);
+        let nested = reg.messages.get("env.8").expect("nested registered");
+        assert_eq!(nested.enc.iter().copied().collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(nested.dec, nested.enc, "helper tag 2 pairs with its arm");
+    }
+
+    #[test]
+    fn nested_registration_is_first_level_only() {
+        // Two levels of nesting (the slice → slot → action shape): only the
+        // first level registers, and the deeper closure's tags stay inside
+        // the first-level entry as its outer tag.
+        let src = r#"
+fn encode_outer(w: &mut W, o: &Outer) {
+    w.put_message(3, |sw| {
+        sw.put_u64(1, o.id);
+        sw.put_message(2, |aw| {
+            aw.put_u64(7, o.deep);
+        });
+    });
+}
+fn decode_outer(bytes: &[u8]) -> Result<Outer> {
+    WireReader::new(bytes).for_each(|f, v| {
+        match f {
+            3 => {
+                WireReader::new(v.as_bytes(f)?).for_each(|sf, sv| {
+                    match sf {
+                        1 => {}
+                        2 => {
+                            WireReader::new(sv.as_bytes(sf)?).for_each(|af, av| {
+                                match af {
+                                    7 => {}
+                                    _ => {}
+                                }
+                                Ok(())
+                            })?;
+                        }
+                        _ => {}
+                    }
+                    Ok(())
+                })?;
+            }
+            _ => {}
+        }
+        Ok(())
+    })
+}
+"#;
+        let (reg, v) = registry_of(src);
+        assert!(v.is_empty(), "{v:?}");
+        let nested = reg.messages.get("outer.3").expect("first level registered");
+        assert_eq!(nested.enc.iter().copied().collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(nested.dec, nested.enc, "deeper tag 7 must not leak up");
+        assert!(
+            !reg.messages
+                .keys()
+                .any(|k| k.contains('7') || k == "outer.3.2"),
+            "second level must not register: {:?}",
+            reg.messages.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn single_message_put_helper_registers_no_nested_entry() {
+        // put_span_context shape: the closure IS the helper's own message,
+        // so no `span.15`-style nested entry may appear alongside it.
+        let src = r#"
+fn put_ctx(w: &mut W, c: &Ctx) {
+    w.put_message(15, |tw| {
+        tw.put_fixed64(1, c.trace);
+    });
+}
+fn decode_ctx(bytes: &[u8]) -> Result<Ctx> {
+    WireReader::new(bytes).for_each(|f, v| {
+        match f {
+            1 => {}
+            _ => {}
+        }
+        Ok(())
+    })
+}
+"#;
+        let (reg, v) = registry_of(src);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(reg.messages.contains_key("ctx"));
+        assert!(
+            !reg.messages.keys().any(|k| k.contains('.')),
+            "no nested entry for the single-message helper: {:?}",
+            reg.messages.keys().collect::<Vec<_>>()
+        );
+    }
+
+    // ---- flags --------------------------------------------------------------
+
+    const FLAGGED: &str = r#"
+const MAGIC: u8 = 0xA9;
+const FLAG_COMPRESSED: u8 = 0x01;
+const FLAG_TRACE: u8 = 0x02;
+const KNOWN_FLAGS: u8 = FLAG_COMPRESSED | FLAG_TRACE;
+"#;
+
+    #[test]
+    fn flag_consts_register_with_bits() {
+        let (reg, v) = registry_of(FLAGGED);
+        assert!(v.is_empty(), "{v:?}");
+        let set = reg.flags.get("test").expect("flags registered by stem");
+        assert_eq!(set.bits.get("compressed"), Some(&1));
+        assert_eq!(set.bits.get("trace"), Some(&2));
+        assert_eq!(set.bits.len(), 2, "derived masks (KNOWN_FLAGS) excluded");
+    }
+
+    #[test]
+    fn overlapping_flag_bits_are_caught() {
+        let src = r#"
+const FLAG_A: u8 = 0x03;
+const FLAG_B: u8 = 0x02;
+"#;
+        let (_, v) = registry_of(src);
+        assert_eq!(rules(&v), ["schema-flag-overlap"]);
+        assert!(v[0].message.contains("0x02"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn test_region_flag_consts_do_not_register() {
+        let src = r#"
+const FLAG_REAL: u8 = 0x01;
+#[cfg(test)]
+mod tests {
+    const FLAG_FAKE: u8 = 0x01;
+}
+"#;
+        let (reg, v) = registry_of(src);
+        assert!(v.is_empty(), "no overlap from the masked const: {v:?}");
+        assert_eq!(reg.flags.get("test").unwrap().bits.len(), 1);
+    }
+
+    #[test]
+    fn flags_round_trip_through_lock() {
+        let (reg, _) = registry_of(FLAGGED);
+        let rendered = render_lock(&reg, None);
+        let parsed = parse_lock(&rendered).unwrap();
+        let entry = parsed.flags.get("test").unwrap();
+        assert_eq!(entry.bits.get("compressed"), Some(&1));
+        assert_eq!(entry.bits.get("trace"), Some(&2));
+        assert_eq!(entry.retired, 0);
+        let mut v = Vec::new();
+        check_lock(&reg, &parsed, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn vanished_flag_bit_is_retired_and_never_recycled() {
+        // Old lock knows a `legacy` flag on 0x04; the code no longer has it.
+        let (reg, _) = registry_of(FLAGGED);
+        let old = parse_lock(
+            "flags test\n  bits: compressed=0x01 trace=0x02 legacy=0x04\n  retired: 0x08\n",
+        )
+        .unwrap();
+        let rendered = render_lock(&reg, Some(&old));
+        let new = parse_lock(&rendered).unwrap();
+        let entry = new.flags.get("test").unwrap();
+        assert!(!entry.bits.contains_key("legacy"));
+        assert_eq!(entry.retired, 0x0c, "0x04 newly retired, 0x08 kept");
+
+        // A new flag recycling the retired bit must be caught.
+        let src = format!("{FLAGGED}const FLAG_NEW: u8 = 0x04;\n");
+        let (reg2, _) = registry_of(&src);
+        let mut v = Vec::new();
+        check_lock(&reg2, &new, &mut v);
+        assert!(
+            v.iter()
+                .any(|x| x.rule == "schema-retired" && x.message.contains("0x04")),
+            "{v:?}"
+        );
+        assert!(
+            v.iter()
+                .any(|x| x.rule == "schema-lock" && x.message.contains("`new`")),
+            "new flag also needs a lock entry: {v:?}"
+        );
+    }
+
+    #[test]
+    fn moved_flag_bit_is_flagged() {
+        let (reg, _) = registry_of(FLAGGED); // trace = 0x02 in code
+        let lock = parse_lock("flags test\n  bits: compressed=0x01 trace=0x04\n  retired: 0x00\n")
+            .unwrap();
+        let mut v = Vec::new();
+        check_lock(&reg, &lock, &mut v);
+        assert!(
+            v.iter().any(|x| x.message.contains("moved from 0x04")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn missing_flags_section_is_a_lock_violation() {
+        let (reg, _) = registry_of(FLAGGED);
+        let lock = Lock::default();
+        let mut v = Vec::new();
+        check_lock(&reg, &lock, &mut v);
+        assert!(
+            v.iter()
+                .any(|x| x.rule == "schema-lock" && x.message.contains("flags section `test`")),
+            "{v:?}"
+        );
     }
 
     // ---- lock file ---------------------------------------------------------

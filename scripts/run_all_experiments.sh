@@ -21,6 +21,7 @@ BINS=(
   freshness_e2e
   quota_enforcement
   candidate_ranking
+  shard_handoff
 )
 
 cargo build --release -p ips-bench --bins
@@ -29,6 +30,19 @@ for bin in "${BINS[@]}"; do
   echo
   echo ">>> $bin"
   "./target/release/$bin"
+done
+
+echo
+# JSON artefact gate: every BENCH_*.json a harness wrote must parse, so a
+# half-written or malformed artefact fails the run instead of poisoning
+# downstream dashboards.
+for artefact in BENCH_*.json; do
+  [ -e "$artefact" ] || continue
+  python3 -m json.tool "$artefact" > /dev/null || {
+    echo "malformed JSON artefact: $artefact" >&2
+    exit 1
+  }
+  echo "json ok: $artefact"
 done
 
 echo

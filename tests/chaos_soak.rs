@@ -238,6 +238,165 @@ fn chaos_soak_survives_and_converges() {
     assert!(client.stats().successes > 0);
 }
 
+/// Scale-events-under-load phase: the fleet grows and shrinks while a
+/// seeded write/query storm keeps flowing. Every scale event runs the
+/// warmed handoff (stream the moving hot keyspace, bump the epoch, demote
+/// the sources), so the invariants are strict: no accepted write may be
+/// lost, epochs chain one per event, and the storm never sees a panic.
+#[test]
+fn scale_events_under_load_preserve_every_accepted_write() {
+    use ips::cluster::{
+        Autoscaler, AutoscalerConfig, HandoffConfig, HandoffCoordinator, ScaleDecision,
+        ScaleOrchestrator,
+    };
+
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(10).as_millis(),
+    ));
+    let mut table_cfg = TableConfig::new("scale-chaos");
+    table_cfg.isolation.enabled = false;
+    let mut deployment = MultiRegionDeployment::build(
+        MultiRegionOptions {
+            regions: vec!["r0".into()],
+            instances_per_region: 2,
+            network: NetworkModel::zero(),
+            tables: vec![(TABLE, table_cfg)],
+            ..Default::default()
+        },
+        Arc::clone(&clock),
+    )
+    .unwrap();
+    let client = IpsClusterClient::new(
+        Arc::clone(&deployment.discovery),
+        "r0",
+        KvLatencyModel::zero(),
+    );
+    client.add_endpoints(deployment.all_endpoints());
+    client.refresh();
+
+    let coordinator = Arc::new(HandoffCoordinator::new(
+        Arc::clone(&deployment.discovery),
+        HandoffConfig::default(),
+    ));
+    let orch = ScaleOrchestrator::new(
+        Autoscaler::new(AutoscalerConfig::default(), clock),
+        Arc::clone(&coordinator),
+        "r0",
+        vec![TABLE],
+    );
+
+    let mut rng = StdRng::seed_from_u64(0x5CA1E);
+    let mut truth: HashMap<(u64, u64), i64> = HashMap::new();
+    let mut scale_events = 0u64;
+    for round in 0..4_000u64 {
+        // Alternate grow/shrink every 500 rounds, mid-storm: 2 → 3 → 2 → …
+        if round % 500 == 250 {
+            let decision = if scale_events.is_multiple_of(2) {
+                ScaleDecision::Up(1)
+            } else {
+                ScaleDecision::Down(1)
+            };
+            let report = orch.apply(&mut deployment, decision).unwrap().unwrap();
+            scale_events += 1;
+            assert_eq!(report.epoch, scale_events, "epochs chain one per event");
+            // The fleet is healthy throughout, so no transfer may degrade.
+            assert_eq!(report.cold_joins, 0, "healthy fleet must hand off warm");
+            client.add_endpoints(deployment.all_endpoints());
+            client.refresh();
+        }
+        match rng.gen_range(0..100u32) {
+            // 55%: write — the fleet is always healthy, so every accepted
+            // write is ground truth with no weak-consistency carve-out.
+            0..=54 => {
+                let pid = rng.gen_range(0..150u64);
+                let fid = rng.gen_range(0..20u64);
+                let n = rng.gen_range(1..5i64);
+                if client
+                    .add_profile(
+                        CALLER,
+                        TABLE,
+                        ProfileId::new(pid),
+                        ctl.now(),
+                        SLOT,
+                        LIKE,
+                        FeatureId::new(fid),
+                        CountVector::single(n),
+                    )
+                    .is_ok()
+                {
+                    *truth.entry((pid, fid)).or_default() += n;
+                }
+            }
+            // 35%: query (no-panic mid-storm).
+            55..=89 => {
+                let pid = rng.gen_range(0..150u64);
+                let q = ProfileQuery::top_k(
+                    TABLE,
+                    ProfileId::new(pid),
+                    SLOT,
+                    TimeRange::last_days(30),
+                    10,
+                );
+                let _ = client.query(CALLER, &q);
+            }
+            // 5%: maintenance tick on a random live instance.
+            90..=94 => {
+                let endpoints = deployment.all_endpoints();
+                let ep = &endpoints[rng.gen_range(0..endpoints.len())];
+                let _ = ep.instance().tick();
+            }
+            // 10%: discovery churn + client refresh.
+            _ => {
+                deployment.heartbeat_all();
+                client.refresh();
+            }
+        }
+        if round % 400 == 0 {
+            ctl.advance(DurationMs::from_secs(30));
+        }
+    }
+    assert_eq!(scale_events, 8, "the storm exercised both directions");
+    assert!(
+        coordinator.metrics.entries_imported.get() > 0,
+        "handoffs moved warm entries"
+    );
+
+    // ---- convergence: flush everything, then every accepted write must be
+    // exactly visible through the client. Warmed handoffs flush moving
+    // entries before cutover and imports are generation-checked, so scale
+    // events cannot shadow or lose counts.
+    client.refresh();
+    for ep in deployment.all_endpoints() {
+        ep.instance()
+            .table(TABLE)
+            .unwrap()
+            .merge_write_table()
+            .unwrap();
+    }
+    let mut checked = 0;
+    for ((pid, fid), expected) in &truth {
+        let q = ProfileQuery::filter(
+            TABLE,
+            ProfileId::new(*pid),
+            SLOT,
+            TimeRange::last_days(30),
+            FilterPredicate::FeatureIn(vec![FeatureId::new(*fid)]),
+        );
+        let (r, _) = client.query(CALLER, &q).unwrap();
+        let got = r.entries.first().map_or(0, |e| e.counts.get_or_zero(0));
+        assert_eq!(
+            got, *expected,
+            "({pid},{fid}): scale events lost accepted writes"
+        );
+        checked += 1;
+    }
+    assert!(
+        checked > 500,
+        "the storm produced a real write mix: {checked}"
+    );
+    assert!(client.stats().successes > 0);
+}
+
 /// Flapping-endpoint phase: a single instance goes down and comes back
 /// while traffic keeps flowing. The circuit breaker must (a) open after
 /// the failure streak, (b) route traffic around the flapper while open,
