@@ -8,8 +8,10 @@
 //!   carries a monotonically increasing *generation*, supporting the
 //!   `set/get` bulk API (Fig 12) and the `xset/xget` versioned API the
 //!   split-profile persistence protocol needs (Fig 14);
-//! * [`wal`] — a checksummed write-ahead log giving each node durability
-//!   across crashes, with torn-tail recovery;
+//! * [`wal`] — a segmented, checkpointed write-ahead log giving each node
+//!   durability across crashes, with torn-tail truncation, strict/salvage
+//!   mid-log-corruption handling, and injectable storage faults
+//!   ([`wal::storage`]);
 //! * [`node::KvNode`] — a store + WAL + fault switch, the unit the cluster
 //!   layer deploys;
 //! * [`replication::ReplicatedKv`] — one master + N read replicas with
@@ -26,7 +28,8 @@ pub mod store;
 pub mod wal;
 
 pub use latency::KvLatencyModel;
-pub use node::{KvNode, KvNodeConfig};
+pub use node::{KvNode, KvNodeConfig, RecoveryStats};
 pub use replication::{ReplicaReadMode, ReplicatedKv};
 pub use store::{Generation, VersionedStore, VersionedValue};
-pub use wal::{Wal, WalRecord};
+pub use wal::storage::{FaultPlan, FsStorage, MemStorage, WalFile, WalStorage};
+pub use wal::{CheckpointStats, RecoveryReport, Wal, WalMetrics, WalRecord};

@@ -4,32 +4,40 @@
 //! injection covers the failure modes the availability experiment (Fig 17)
 //! exercises: a node can be marked down (connection refused), given a random
 //! error probability (flaky network / overloaded region server), or crashed
-//! (memory lost, WAL replayed on restart).
+//! (memory lost, WAL replayed on restart). The WAL's own storage faults
+//! (torn writes, failed fsyncs, bit rot) are injected one level down, via
+//! [`crate::wal::storage::MemStorage`] and [`KvNode::with_wal_storage`].
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use ips_metrics::Counter;
-use ips_types::{IpsError, Result};
+use ips_types::{IpsError, Result, WalConfig};
 
 use crate::store::{Generation, VersionedStore, VersionedValue};
-use crate::wal::{Wal, WalRecord};
+use crate::wal::storage::WalStorage;
+use crate::wal::{RecoveryReport, Wal, WalMetrics, WalRecord};
 
 /// Construction-time options for a node.
 #[derive(Clone, Debug)]
 pub struct KvNodeConfig {
     /// Shards in the in-memory map.
     pub shards: usize,
-    /// WAL file path; `None` disables durability (pure-memory node, fine for
+    /// WAL directory; `None` disables durability (pure-memory node, fine for
     /// benchmarks that do not crash it).
     pub wal_path: Option<PathBuf>,
     /// fsync every append (slow but strict). Production profile stores value
-    /// throughput over absolute durability of the last few writes.
+    /// throughput over absolute durability of the last few writes. Forces
+    /// `wal.sync_every_append` on when set.
     pub wal_sync: bool,
+    /// Segmented-WAL tuning (segment size, recovery mode).
+    pub wal: WalConfig,
 }
 
 impl Default for KvNodeConfig {
@@ -38,7 +46,55 @@ impl Default for KvNodeConfig {
             shards: 16,
             wal_path: None,
             wal_sync: false,
+            wal: WalConfig::default(),
         }
+    }
+}
+
+impl KvNodeConfig {
+    /// The WAL tuning with the node-level sync switch folded in.
+    fn effective_wal(&self) -> WalConfig {
+        WalConfig {
+            sync_every_append: self.wal.sync_every_append || self.wal_sync,
+            ..self.wal
+        }
+    }
+}
+
+/// Cumulative recovery health for one node: what its WAL replays saw across
+/// every construction/restart. Dashboards watch `torn_tails` (expected,
+/// bounded) and `corrupt_events` (alarming) separately — the whole point of
+/// distinguishing them at replay time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Recovery passes (construction + restarts).
+    pub recoveries: u64,
+    /// Segment records replayed, totalled.
+    pub records_replayed: u64,
+    /// Checkpoint entries loaded, totalled.
+    pub checkpoint_entries: u64,
+    /// Torn tails truncated, totalled.
+    pub torn_tails: u64,
+    /// Bytes dropped in torn tails, totalled.
+    pub torn_bytes: u64,
+    /// Mid-log corruption events skipped (salvage mode), totalled.
+    pub corrupt_events: u64,
+    /// The most recent recovery loaded a checkpoint snapshot.
+    pub last_used_checkpoint: bool,
+    /// Segments scanned by the most recent recovery.
+    pub last_segments_scanned: u64,
+}
+
+impl RecoveryStats {
+    fn absorb(&mut self, report: &RecoveryReport) {
+        self.recoveries += 1;
+        self.records_replayed += report.records_replayed;
+        self.checkpoint_entries += report.checkpoint_entries;
+        self.torn_tails += report.torn_tails;
+        self.torn_bytes += report.torn_bytes;
+        self.corrupt_events += report.corrupt_events;
+        self.last_used_checkpoint = report.used_checkpoint;
+        self.last_segments_scanned = report.segments_scanned;
     }
 }
 
@@ -48,6 +104,12 @@ pub struct KvNode {
     config: KvNodeConfig,
     store: VersionedStore,
     wal: Option<Wal>,
+    /// Write-side gate for checkpoints: every mutation holds a read guard
+    /// across (store apply + WAL append), and `checkpoint` takes the write
+    /// guard while sealing the log, so no record at or below the checkpoint
+    /// LSN can be missing from the snapshot.
+    write_gate: RwLock<()>,
+    recovery: Mutex<RecoveryStats>,
     down: AtomicBool,
     /// Probability (scaled by 1e6) that an op fails with a transient error.
     error_ppm: AtomicU64,
@@ -59,45 +121,72 @@ pub struct KvNode {
 impl KvNode {
     /// Create a node; replays the WAL (if configured) to recover state.
     pub fn new(name: impl Into<String>, config: KvNodeConfig) -> Result<Self> {
-        let store = VersionedStore::new(config.shards);
         let wal = match &config.wal_path {
-            Some(path) => {
-                let wal = Wal::open(path, config.wal_sync)?;
-                for rec in wal.replay()? {
-                    match rec {
-                        WalRecord::Set {
-                            key,
-                            value,
-                            generation,
-                        } => {
-                            store.apply_replicated(
-                                key,
-                                VersionedValue {
-                                    data: value,
-                                    generation,
-                                },
-                            );
-                        }
-                        WalRecord::Delete { key } => {
-                            store.delete(&key);
-                        }
-                    }
-                }
-                Some(wal)
-            }
+            Some(path) => Some(Wal::open_with(path, config.effective_wal())?),
             None => None,
         };
+        Self::finish_construction(name, config, wal)
+    }
+
+    /// Create a node whose WAL lives on an injected storage backend (fault
+    /// testing / crash torture); `wal_path` is ignored.
+    pub fn with_wal_storage(
+        name: impl Into<String>,
+        config: KvNodeConfig,
+        storage: Arc<dyn WalStorage>,
+    ) -> Result<Self> {
+        let wal = Some(Wal::with_storage(storage, config.effective_wal())?);
+        Self::finish_construction(name, config, wal)
+    }
+
+    fn finish_construction(
+        name: impl Into<String>,
+        config: KvNodeConfig,
+        wal: Option<Wal>,
+    ) -> Result<Self> {
+        let store = VersionedStore::new(config.shards);
+        let mut recovery = RecoveryStats::default();
+        if let Some(wal) = &wal {
+            let (records, report) = wal.recover()?;
+            Self::apply_records(&store, records);
+            recovery.absorb(&report);
+        }
         Ok(Self {
             name: name.into(),
             config,
             store,
             wal,
+            write_gate: RwLock::new(()),
+            recovery: Mutex::new(recovery),
             down: AtomicBool::new(false),
             error_ppm: AtomicU64::new(0),
             rng_seed: AtomicU64::new(0x5eed),
             ops: Counter::new(),
             failures: Counter::new(),
         })
+    }
+
+    fn apply_records(store: &VersionedStore, records: Vec<WalRecord>) {
+        for rec in records {
+            match rec {
+                WalRecord::Set {
+                    key,
+                    value,
+                    generation,
+                } => {
+                    store.apply_replicated(
+                        key,
+                        VersionedValue {
+                            data: value,
+                            generation,
+                        },
+                    );
+                }
+                WalRecord::Delete { key } => {
+                    store.delete(&key);
+                }
+            }
+        }
     }
 
     #[must_use]
@@ -140,26 +229,9 @@ impl KvNode {
     /// back up.
     pub fn restart(&self) -> Result<()> {
         if let Some(wal) = &self.wal {
-            for rec in wal.replay()? {
-                match rec {
-                    WalRecord::Set {
-                        key,
-                        value,
-                        generation,
-                    } => {
-                        self.store.apply_replicated(
-                            key,
-                            VersionedValue {
-                                data: value,
-                                generation,
-                            },
-                        );
-                    }
-                    WalRecord::Delete { key } => {
-                        self.store.delete(&key);
-                    }
-                }
-            }
+            let (records, report) = wal.recover()?;
+            Self::apply_records(&self.store, records);
+            self.recovery.lock().absorb(&report);
         }
         self.set_down(false);
         Ok(())
@@ -197,6 +269,7 @@ impl KvNode {
     pub fn set(&self, key: Bytes, value: Bytes) -> Result<Generation> {
         self.check_available()?;
         self.ops.inc();
+        let _in_flight = self.write_gate.read();
         let generation = self.store.set(key.clone(), value.clone());
         if let Some(wal) = &self.wal {
             wal.append(&WalRecord::Set {
@@ -237,6 +310,7 @@ impl KvNode {
     pub fn xset(&self, key: Bytes, value: Bytes, held: Generation) -> Result<Generation> {
         self.check_available()?;
         self.ops.inc();
+        let _in_flight = self.write_gate.read();
         let generation = self.store.xset(key.clone(), value.clone(), held)?;
         if let Some(wal) = &self.wal {
             wal.append(&WalRecord::Set {
@@ -252,6 +326,7 @@ impl KvNode {
     pub fn delete(&self, key: &[u8]) -> Result<bool> {
         self.check_available()?;
         self.ops.inc();
+        let _in_flight = self.write_gate.read();
         let existed = self.store.delete(key);
         if existed {
             if let Some(wal) = &self.wal {
@@ -263,28 +338,58 @@ impl KvNode {
         Ok(existed)
     }
 
-    /// Checkpoint the WAL: rewrite it as one record per live key and drop
-    /// the historical tail. Bounds recovery time for long-lived nodes whose
-    /// log would otherwise replay every write ever made. No-op without a
-    /// WAL. Returns the number of records in the fresh log.
+    /// Checkpoint the WAL: write one snapshot record per live key to a
+    /// durable checkpoint file, then retire the covered segments. Bounds
+    /// recovery time for long-lived nodes whose log would otherwise replay
+    /// every write ever made. Crash-safe at every step: the old checkpoint
+    /// plus segments stay authoritative until the new snapshot is fsync'd
+    /// and published. No-op without a WAL. Returns the snapshot entry count.
     pub fn checkpoint(&self) -> Result<usize> {
         let Some(wal) = &self.wal else {
             return Ok(0);
         };
-        // Snapshot first, then reset and rewrite. A crash between reset and
-        // the full rewrite loses the tail of the snapshot — acceptable for
-        // the cache-backing role (the paper's store also favours
-        // availability over strict durability), and the window is tiny.
-        let entries = self.store.scan_all();
-        wal.reset()?;
-        for (key, value) in &entries {
-            wal.append(&WalRecord::Set {
-                key: key.clone(),
-                value: value.data.clone(),
+        // Seal under the write gate: with no mutation in flight, every
+        // record at or below the checkpoint LSN is already in the store, so
+        // the snapshot below is a superset of what the sealed segments hold.
+        // Writes resume as soon as the gate drops — the snapshot may then
+        // include newer state too, which is fine: replay is generation-gated
+        // and idempotent.
+        let ticket = {
+            let _barrier = self.write_gate.write();
+            wal.begin_checkpoint()?
+        };
+        let entries: Vec<WalRecord> = self
+            .store
+            .scan_all()
+            .into_iter()
+            .map(|(key, value)| WalRecord::Set {
+                key,
+                value: value.data,
                 generation: value.generation,
-            })?;
+            })
+            .collect();
+        let stats = wal.finish_checkpoint(ticket, &entries)?;
+        Ok(stats.entries)
+    }
+
+    /// Cumulative recovery health across this node's replays.
+    #[must_use]
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        *self.recovery.lock()
+    }
+
+    /// The WAL's own health counters, when durability is enabled.
+    #[must_use]
+    pub fn wal_metrics(&self) -> Option<&WalMetrics> {
+        self.wal.as_ref().map(Wal::metrics)
+    }
+
+    /// Total bytes in the WAL directory (segments + checkpoint).
+    pub fn wal_size_bytes(&self) -> Result<u64> {
+        match &self.wal {
+            Some(wal) => wal.size_bytes(),
+            None => Ok(0),
         }
-        Ok(entries.len())
     }
 
     /// Node stats for dashboards/harnesses.
@@ -319,6 +424,8 @@ pub struct KvNodeStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wal::storage::{FaultPlan, MemStorage};
+    use ips_types::RecoveryMode;
 
     fn b(s: &str) -> Bytes {
         Bytes::copy_from_slice(s.as_bytes())
@@ -327,7 +434,7 @@ mod tests {
     fn tmp_wal(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
         p.push(format!(
-            "ips-kvnode-test-{}-{}-{name}.log",
+            "ips-kvnode-test-{}-{}-{name}",
             std::process::id(),
             std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
@@ -420,11 +527,14 @@ mod tests {
         let (_, g) = n.xget(b"k1").unwrap();
         let g_new = n.set(b("k3"), b("x")).unwrap();
         assert!(g_new > g);
-        std::fs::remove_file(&path).ok();
+        let stats = n.recovery_stats();
+        assert_eq!(stats.recoveries, 2, "construction + restart");
+        assert_eq!(stats.torn_tails, 0);
+        std::fs::remove_dir_all(&path).ok();
     }
 
     #[test]
-    fn reopen_from_wal_file() {
+    fn reopen_from_wal_dir() {
         let path = tmp_wal("reopen");
         {
             let n = KvNode::new(
@@ -446,7 +556,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(n2.get(b"persisted").unwrap(), Some(b("yes")));
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&path).ok();
     }
 
     #[test]
@@ -468,10 +578,10 @@ mod tests {
             )
             .unwrap();
         }
-        let wal_before = std::fs::metadata(&path).unwrap().len();
+        let wal_before = n.wal_size_bytes().unwrap();
         let live = n.checkpoint().unwrap();
         assert_eq!(live, 10, "one record per live key");
-        let wal_after = std::fs::metadata(&path).unwrap().len();
+        let wal_after = n.wal_size_bytes().unwrap();
         assert!(
             wal_after < wal_before / 5,
             "checkpoint must shrink the log: {wal_before} -> {wal_after}"
@@ -484,6 +594,7 @@ mod tests {
             assert_eq!(v.len(), 64);
             assert_eq!(v[0], 90 + k as u8, "newest overwrite survives");
         }
+        assert!(n.recovery_stats().last_used_checkpoint);
         // Generations keep increasing after recovery.
         let (_, g) = n.xget(&1u64.to_le_bytes()).unwrap();
         assert!(
@@ -491,7 +602,7 @@ mod tests {
                 .unwrap()
                 > g
         );
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&path).ok();
     }
 
     #[test]
@@ -511,5 +622,84 @@ mod tests {
             n.xset(b("k"), b("v3"), g),
             Err(IpsError::StaleGeneration { .. })
         ));
+    }
+
+    #[test]
+    fn injected_storage_crash_loses_only_unsynced_writes() {
+        let storage = MemStorage::new();
+        let node = KvNode::with_wal_storage(
+            "faulty",
+            KvNodeConfig {
+                wal_sync: true,
+                ..Default::default()
+            },
+            Arc::new(storage.clone()),
+        )
+        .unwrap();
+        node.set(b("acked-1"), b("v")).unwrap();
+        node.set(b("acked-2"), b("v")).unwrap();
+        // Arm: the very next appended byte kills the disk.
+        storage.set_plan(FaultPlan {
+            crash_at_byte: Some(storage.bytes_appended()),
+            ..FaultPlan::default()
+        });
+        assert!(node.set(b("unacked"), b("v")).is_err());
+        node.crash();
+        storage.power_cycle();
+        node.restart().unwrap();
+        assert_eq!(node.get(b"acked-1").unwrap(), Some(b("v")));
+        assert_eq!(node.get(b"acked-2").unwrap(), Some(b("v")));
+        assert_eq!(node.get(b"unacked").unwrap(), None, "no phantom write");
+    }
+
+    #[test]
+    fn salvage_node_survives_bit_rot_and_counts_it() {
+        let storage = MemStorage::new();
+        let build = |mode: RecoveryMode| KvNodeConfig {
+            wal: ips_types::WalConfig {
+                recovery_mode: mode,
+                ..ips_types::WalConfig::default()
+            },
+            ..Default::default()
+        };
+        {
+            let node = KvNode::with_wal_storage(
+                "writer",
+                build(RecoveryMode::Strict),
+                Arc::new(storage.clone()),
+            )
+            .unwrap();
+            for i in 0..20u64 {
+                node.set(
+                    Bytes::from(i.to_le_bytes().to_vec()),
+                    Bytes::from(vec![1u8; 32]),
+                )
+                .unwrap();
+            }
+        }
+        // Rot a byte in the middle of the first (only) segment.
+        let seg = "seg-00000000000000000001.wal";
+        let len = storage.read(seg).unwrap().len() as u64;
+        storage.corrupt(seg, len / 2).unwrap();
+
+        // Strict construction refuses the node.
+        assert!(KvNode::with_wal_storage(
+            "strict",
+            build(RecoveryMode::Strict),
+            Arc::new(storage.clone()),
+        )
+        .is_err());
+
+        // Salvage brings it up and surfaces the damage in recovery stats.
+        let node = KvNode::with_wal_storage(
+            "salvage",
+            build(RecoveryMode::Salvage),
+            Arc::new(storage.clone()),
+        )
+        .unwrap();
+        let stats = node.recovery_stats();
+        assert!(stats.corrupt_events >= 1);
+        assert_eq!(stats.torn_tails, 0);
+        assert!(node.stats().keys >= 18, "all but the rotted record live");
     }
 }

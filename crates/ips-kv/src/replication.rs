@@ -46,6 +46,10 @@ pub struct ReplicatedKv {
     /// One queue per replica so a slow replica doesn't stall others.
     queues: Vec<Arc<SegQueue<RepOp>>>,
     pub replicated_ops: Counter,
+    /// Queued ops whose generation probe lost to what the replica already
+    /// holds (it restarted and bulk-resynced, or replication raced): the op
+    /// is consumed but deliberately NOT applied.
+    pub stale_rejected: Counter,
     pub queue_depth: Gauge,
     read_mode: ReplicaReadMode,
     /// Optional tracer: pump batches that move data show up as root spans
@@ -67,6 +71,7 @@ impl ReplicatedKv {
             replicas,
             queues,
             replicated_ops: Counter::new(),
+            stale_rejected: Counter::new(),
             queue_depth: Gauge::new(),
             read_mode,
             tracer: parking_lot::RwLock::new(None),
@@ -153,8 +158,11 @@ impl ReplicatedKv {
     }
 
     /// Move up to `budget` queued mutations per replica. Returns the number
-    /// applied. Replicas that are down keep their queue (they catch up when
-    /// restarted), which is what creates stale-read windows in experiments.
+    /// of queued ops *processed* (applied, or consumed as stale — see
+    /// [`ReplicatedKv::stale_rejected`]); [`ReplicatedKv::replicated_ops`]
+    /// counts only real applications. Replicas that are down keep their
+    /// queue (they catch up when restarted), which is what creates
+    /// stale-read windows in experiments.
     pub fn pump(&self, budget: usize) -> usize {
         // Idle pump ticks (empty queues) stay invisible; only batches that
         // move data open a span.
@@ -162,30 +170,60 @@ impl ReplicatedKv {
             Some(tracer) if self.backlog() > 0 => tracer.root_span("replication_pump", 0),
             _ => ips_trace::Span::disabled(),
         };
-        let mut applied = 0;
+        let mut processed = 0usize;
+        let mut applied = 0u64;
+        let mut stale = 0u64;
         for (replica, queue) in self.replicas.iter().zip(&self.queues) {
-            if replica.is_down() {
-                continue;
-            }
             for _ in 0..budget {
+                // Probed per op, not per batch: a replica that crashes
+                // mid-drain keeps the rest of its queue for catch-up.
+                if replica.is_down() {
+                    break;
+                }
                 let Some(op) = queue.pop() else { break };
+                self.queue_depth.sub(1);
                 match op {
                     RepOp::Set { key, value } => {
-                        replica.store().apply_replicated(key, value);
+                        if replica.store().apply_replicated(key, value) {
+                            applied += 1;
+                        } else {
+                            stale += 1;
+                        }
                     }
                     RepOp::Delete { key } => {
                         replica.store().delete(&key);
+                        applied += 1;
                     }
                 }
-                applied += 1;
-                self.queue_depth.sub(1);
+                processed += 1;
             }
         }
-        self.replicated_ops.add(applied as u64);
+        self.replicated_ops.add(applied);
+        self.stale_rejected.add(stale);
         if span.is_sampled() {
             span.set_attr("applied", applied.to_string());
+            span.set_attr("stale_rejected", stale.to_string());
         }
-        applied
+        processed
+    }
+
+    /// Bulk-resynchronize replica `idx` from the master's current state (a
+    /// snapshot transfer, the fast path for a replica that restarted empty).
+    /// Returns the number of entries that actually landed. The replica's
+    /// queue is deliberately left alone: anything queued before the snapshot
+    /// now loses its generation probe when pumped and is counted in
+    /// [`ReplicatedKv::stale_rejected`] instead of clobbering newer data.
+    pub fn resync_replica(&self, idx: usize) -> usize {
+        let Some(replica) = self.replicas.get(idx) else {
+            return 0;
+        };
+        let mut copied = 0;
+        for (key, value) in self.master.store().scan_all() {
+            if replica.store().apply_replicated(key, value) {
+                copied += 1;
+            }
+        }
+        copied
     }
 
     /// Outstanding (unreplicated) operations across all replica queues.
@@ -386,6 +424,53 @@ mod tests {
         }
         assert_eq!(g.backlog(), 0, "pump thread should drain the queue");
         assert_eq!(g.get_replica(0, &7u32.to_le_bytes()).unwrap(), Some(b("v")));
+    }
+
+    #[test]
+    fn restarted_replica_resyncs_and_rejects_stale_queue() {
+        let g = group(1, ReplicaReadMode::AllowStale);
+        g.set(b("k"), b("v1")).unwrap();
+        g.set(b("k"), b("v2")).unwrap();
+        // The replica dies with both ops still queued, then restarts empty
+        // (it has no WAL): its queue survived but its state did not.
+        g.replicas()[0].crash();
+        assert_eq!(g.pump(100), 0, "down replica must not consume its queue");
+        assert_eq!(g.backlog(), 2);
+        g.replicas()[0].restart().unwrap();
+
+        // Snapshot resync from the master beats replaying the stale queue.
+        assert_eq!(g.resync_replica(0), 1);
+        assert_eq!(g.get_replica(0, b"k").unwrap(), Some(b("v2")));
+
+        // The queued ops now lose their generation probe: consumed, counted
+        // as stale, and the resynced value stays.
+        assert_eq!(g.pump_all(), 2);
+        assert_eq!(g.stale_rejected.get(), 2);
+        assert_eq!(g.replicated_ops.get(), 0);
+        assert_eq!(g.backlog(), 0);
+        assert_eq!(g.queue_depth.get(), 0, "depth accounting survives resync");
+        assert_eq!(g.get_replica(0, b"k").unwrap(), Some(b("v2")));
+    }
+
+    #[test]
+    fn stale_rejections_do_not_count_as_applied() {
+        let g = group(1, ReplicaReadMode::AllowStale);
+        g.set(b("k"), b("old")).unwrap();
+        g.pump_all();
+        assert_eq!(g.replicated_ops.get(), 1);
+        let gen2 = g.set(b("k"), b("new")).unwrap();
+        // The replica learns the newer value out of band, so the queued op
+        // is stale by the time the pump delivers it.
+        g.replicas()[0].store().apply_replicated(
+            b("k"),
+            VersionedValue {
+                data: b("new"),
+                generation: gen2,
+            },
+        );
+        assert_eq!(g.pump_all(), 1, "the op is consumed");
+        assert_eq!(g.replicated_ops.get(), 1, "but not counted as applied");
+        assert_eq!(g.stale_rejected.get(), 1);
     }
 
     #[test]

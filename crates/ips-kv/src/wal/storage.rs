@@ -1,0 +1,731 @@
+//! Pluggable storage beneath the WAL: a real-filesystem backend and a
+//! deterministic in-memory backend with injectable faults.
+//!
+//! The WAL never touches `std::fs` directly — every byte goes through
+//! [`WalStorage`] / [`WalFile`]. [`FsStorage`] maps the traits onto a real
+//! directory (including the parent-directory fsync that makes segment
+//! creation, checkpoint renames, and retirement durable). [`MemStorage`]
+//! models the same contract in memory with crash semantics a real disk has
+//! and `std::fs` hides:
+//!
+//! * appended bytes live in an unsynced tail until `sync_data`; a power cut
+//!   keeps only a seeded fraction of the tail (torn write);
+//! * directory entries (create/remove/rename) are journaled and only become
+//!   durable at `sync_dir`; a power cut reverts the journal, so a file whose
+//!   parent directory was never fsync'd vanishes — or resurrects;
+//! * a [`FaultPlan`] injects crashes at an exact global byte offset or sync
+//!   call, transient fsync failures, and disk-full, all deterministically.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Error, ErrorKind, Result, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// An open, append-only file handle beneath the WAL.
+///
+/// A failed [`append`](WalFile::append) may have written a *prefix* of the
+/// buffer (a torn write) — callers must truncate back to a known boundary
+/// before reusing the file.
+pub trait WalFile: Send {
+    /// Append `buf` at the end of the file.
+    fn append(&mut self, buf: &[u8]) -> Result<()>;
+    /// Flush appended bytes to durable media.
+    fn sync_data(&mut self) -> Result<()>;
+    /// Cut the file to `len` bytes.
+    fn truncate(&mut self, len: u64) -> Result<()>;
+    /// Current file length as the OS sees it (including unsynced bytes).
+    fn len(&self) -> Result<u64>;
+    /// True when the file has no bytes at all.
+    fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// A flat namespace of WAL files (one directory) with explicit directory
+/// durability.
+pub trait WalStorage: Send + Sync {
+    /// Open `name` for appending, creating it if absent. The new directory
+    /// entry is NOT durable until [`sync_dir`](WalStorage::sync_dir).
+    fn open_append(&self, name: &str) -> Result<Box<dyn WalFile>>;
+    /// Read the whole file (unsynced tail included — that is what the OS
+    /// returns while the process is alive).
+    fn read(&self, name: &str) -> Result<Vec<u8>>;
+    /// All file names, sorted.
+    fn list(&self) -> Result<Vec<String>>;
+    /// Delete `name`. Not durable until [`sync_dir`](WalStorage::sync_dir).
+    fn remove(&self, name: &str) -> Result<()>;
+    /// Atomically rename `from` onto `to` (replacing `to` if present). Not
+    /// durable until [`sync_dir`](WalStorage::sync_dir).
+    fn rename(&self, from: &str, to: &str) -> Result<()>;
+    /// Cut `name` to `len` bytes without holding an open handle.
+    fn truncate(&self, name: &str, len: u64) -> Result<()>;
+    /// Length of `name` in bytes.
+    fn file_len(&self, name: &str) -> Result<u64>;
+    /// fsync the directory itself, making creates/removes/renames durable.
+    fn sync_dir(&self) -> Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// Real filesystem backend
+// ---------------------------------------------------------------------------
+
+/// [`WalStorage`] over a real directory.
+pub struct FsStorage {
+    dir: PathBuf,
+}
+
+impl FsStorage {
+    /// Open (creating if needed) the directory at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The backing directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+}
+
+struct FsFile {
+    file: File,
+}
+
+impl WalFile for FsFile {
+    fn append(&mut self, buf: &[u8]) -> Result<()> {
+        self.file.write_all(buf)
+    }
+
+    fn sync_data(&mut self) -> Result<()> {
+        self.file.sync_data()
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<()> {
+        self.file.set_len(len)
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+}
+
+impl WalStorage for FsStorage {
+    fn open_append(&self, name: &str) -> Result<Box<dyn WalFile>> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(self.path(name))?;
+        Ok(Box::new(FsFile { file }))
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>> {
+        std::fs::read(self.path(name))
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Some(name) = entry.file_name().to_str() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        std::fs::remove_file(self.path(name))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        std::fs::rename(self.path(from), self.path(to))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<()> {
+        OpenOptions::new()
+            .write(true)
+            .open(self.path(name))?
+            .set_len(len)
+    }
+
+    fn file_len(&self, name: &str) -> Result<u64> {
+        Ok(std::fs::metadata(self.path(name))?.len())
+    }
+
+    fn sync_dir(&self) -> Result<()> {
+        File::open(&self.dir)?.sync_all()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic in-memory backend with injectable faults
+// ---------------------------------------------------------------------------
+
+/// A seeded schedule of storage faults for [`MemStorage`].
+///
+/// Offsets are *global* — counted across every append to every file — so a
+/// single integer pinpoints a crash inside any record, header, rotation, or
+/// checkpoint write the WAL ever issues.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Power-cut once this many bytes have been appended in total; the append
+    /// that crosses the boundary lands only a prefix, then every operation
+    /// fails until [`MemStorage::power_cycle`].
+    pub crash_at_byte: Option<u64>,
+    /// Power-cut on the nth (1-based) sync call, `sync_data` and `sync_dir`
+    /// combined, *before* the sync takes effect. Latched: if the counter is
+    /// already past the target when the plan is installed, the very next
+    /// sync crashes (arm mid-run with `sync_calls() + n`).
+    pub crash_at_sync: Option<u64>,
+    /// The nth (1-based) `sync_data` call fails transiently: the error is
+    /// returned and the data stays unsynced, but the disk lives on.
+    pub fail_fsync_at: Option<u64>,
+    /// Appends past this global byte offset fail with `ENOSPC` after landing
+    /// a prefix (disk full).
+    pub disk_full_at_byte: Option<u64>,
+    /// How much of each file's unsynced tail survives a power cut, in
+    /// thousandths (0 = tail fully lost, 1000 = tail fully survives).
+    pub torn_keep_permille: u16,
+}
+
+#[derive(Clone, Debug, Default)]
+struct MemFile {
+    data: Vec<u8>,
+    durable_len: usize,
+}
+
+/// One directory-entry mutation that is not yet durable. Reverted (in
+/// reverse order) by a power cut; discarded by `sync_dir`.
+enum DirOp {
+    Create(String),
+    Remove(String, MemFile),
+    Rename {
+        from: String,
+        to: String,
+        replaced: Option<MemFile>,
+    },
+}
+
+#[derive(Default)]
+struct MemInner {
+    files: BTreeMap<String, MemFile>,
+    journal: Vec<DirOp>,
+    plan: FaultPlan,
+    crashed: bool,
+    bytes_appended: u64,
+    sync_calls: u64,
+    data_sync_calls: u64,
+    power_cycles: u64,
+}
+
+impl MemInner {
+    fn offline() -> Error {
+        Error::new(ErrorKind::BrokenPipe, "simulated power cut: disk offline")
+    }
+
+    fn file_mut(&mut self, name: &str) -> Result<&mut MemFile> {
+        self.files
+            .get_mut(name)
+            .ok_or_else(|| Error::new(ErrorKind::NotFound, format!("no such wal file: {name}")))
+    }
+
+    /// Charge a sync call (data or dir) against the crash schedule.
+    fn charge_sync(&mut self) -> Result<()> {
+        if self.crashed {
+            return Err(Self::offline());
+        }
+        self.sync_calls += 1;
+        if let Some(target) = self.plan.crash_at_sync {
+            if self.sync_calls >= target {
+                self.crashed = true;
+                return Err(Self::offline());
+            }
+        }
+        Ok(())
+    }
+
+    /// Append `buf` to `name`, honouring the crash / disk-full byte budgets.
+    fn append(&mut self, name: &str, buf: &[u8]) -> Result<()> {
+        if self.crashed {
+            return Err(Self::offline());
+        }
+        let start = self.bytes_appended;
+        let end = start + buf.len() as u64;
+        let landed = |boundary: u64| (boundary.saturating_sub(start) as usize).min(buf.len());
+        if let Some(c) = self.plan.crash_at_byte {
+            if end > c {
+                let keep = landed(c);
+                self.file_mut(name)?.data.extend_from_slice(&buf[..keep]);
+                self.bytes_appended = start + keep as u64;
+                self.crashed = true;
+                return Err(Self::offline());
+            }
+        }
+        if let Some(d) = self.plan.disk_full_at_byte {
+            if end > d {
+                let keep = landed(d);
+                self.file_mut(name)?.data.extend_from_slice(&buf[..keep]);
+                self.bytes_appended = start + keep as u64;
+                return Err(Error::new(
+                    ErrorKind::StorageFull,
+                    "simulated disk full (ENOSPC)",
+                ));
+            }
+        }
+        self.file_mut(name)?.data.extend_from_slice(buf);
+        self.bytes_appended = end;
+        Ok(())
+    }
+
+    fn sync_data(&mut self, name: &str) -> Result<()> {
+        self.charge_sync()?;
+        self.data_sync_calls += 1;
+        if self.plan.fail_fsync_at == Some(self.data_sync_calls) {
+            return Err(Error::other("simulated transient fsync failure"));
+        }
+        let file = self.file_mut(name)?;
+        file.durable_len = file.data.len();
+        Ok(())
+    }
+
+    /// Revert un-synced directory entries and drop un-synced file tails, as
+    /// a power cut would. The disk comes back online.
+    fn power_cycle(&mut self) {
+        for op in std::mem::take(&mut self.journal).into_iter().rev() {
+            match op {
+                DirOp::Create(name) => {
+                    self.files.remove(&name);
+                }
+                DirOp::Remove(name, file) => {
+                    self.files.insert(name, file);
+                }
+                DirOp::Rename { from, to, replaced } => {
+                    if let Some(file) = self.files.remove(&to) {
+                        self.files.insert(from, file);
+                    }
+                    if let Some(old) = replaced {
+                        self.files.insert(to, old);
+                    }
+                }
+            }
+        }
+        let keep_permille = u64::from(self.plan.torn_keep_permille.min(1000));
+        for file in self.files.values_mut() {
+            let tail = file.data.len() - file.durable_len;
+            let keep = (tail as u64 * keep_permille / 1000) as usize;
+            file.data.truncate(file.durable_len + keep);
+            file.durable_len = file.data.len();
+        }
+        // Crash plans are one-shot: the byte/sync clocks never reset, so a
+        // fired (or passed) trigger would otherwise re-fire on the first
+        // post-restart operation. The restarted disk is healthy until the
+        // test arms a new plan.
+        self.plan.crash_at_byte = None;
+        self.plan.crash_at_sync = None;
+        self.crashed = false;
+        self.power_cycles += 1;
+    }
+}
+
+/// Deterministic in-memory [`WalStorage`] with a [`FaultPlan`].
+///
+/// Clones share the same underlying "disk", so a test can hold one handle
+/// for fault control while the WAL owns another.
+#[derive(Clone, Default)]
+pub struct MemStorage {
+    inner: Arc<Mutex<MemInner>>,
+}
+
+impl MemStorage {
+    /// A fault-free in-memory disk.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An in-memory disk armed with `plan`.
+    #[must_use]
+    pub fn with_plan(plan: FaultPlan) -> Self {
+        let storage = Self::new();
+        storage.set_plan(plan);
+        storage
+    }
+
+    /// Install (or replace) the fault plan — e.g. build a log fault-free,
+    /// then arm the crash.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        self.inner.lock().plan = plan;
+    }
+
+    /// Simulate power loss + restart: un-synced directory entries revert,
+    /// un-synced file tails are torn per the plan, and the disk comes back
+    /// online with the one-shot crash triggers (`crash_at_byte`,
+    /// `crash_at_sync`) disarmed. Safe to call whether or not a fault
+    /// already fired.
+    pub fn power_cycle(&self) {
+        self.inner.lock().power_cycle();
+    }
+
+    /// True once a planned crash fired (every operation fails until
+    /// [`power_cycle`](Self::power_cycle)).
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        self.inner.lock().crashed
+    }
+
+    /// Total bytes appended across all files (the clock `crash_at_byte` and
+    /// `disk_full_at_byte` run on).
+    #[must_use]
+    pub fn bytes_appended(&self) -> u64 {
+        self.inner.lock().bytes_appended
+    }
+
+    /// Number of power cycles so far.
+    #[must_use]
+    pub fn power_cycles(&self) -> u64 {
+        self.inner.lock().power_cycles
+    }
+
+    /// Total sync calls so far, `sync_data` and `sync_dir` combined (the
+    /// clock `crash_at_sync` runs on). Arm a mid-run crash with
+    /// `sync_calls() + n`.
+    #[must_use]
+    pub fn sync_calls(&self) -> u64 {
+        self.inner.lock().sync_calls
+    }
+
+    /// Total `sync_data` calls so far (the clock `fail_fsync_at` runs on).
+    #[must_use]
+    pub fn data_sync_calls(&self) -> u64 {
+        self.inner.lock().data_sync_calls
+    }
+
+    /// Flip one bit of `name` at `offset` (bit-rot injection).
+    pub fn corrupt(&self, name: &str, offset: u64) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let file = inner.file_mut(name)?;
+        let len = file.data.len() as u64;
+        if offset >= len {
+            return Err(Error::new(
+                ErrorKind::InvalidInput,
+                format!("corrupt offset {offset} past end {len}"),
+            ));
+        }
+        file.data[offset as usize] ^= 0x01;
+        Ok(())
+    }
+}
+
+struct MemFileHandle {
+    inner: Arc<Mutex<MemInner>>,
+    name: String,
+}
+
+impl WalFile for MemFileHandle {
+    fn append(&mut self, buf: &[u8]) -> Result<()> {
+        self.inner.lock().append(&self.name, buf)
+    }
+
+    fn sync_data(&mut self) -> Result<()> {
+        self.inner.lock().sync_data(&self.name)
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.crashed {
+            return Err(MemInner::offline());
+        }
+        let file = inner.file_mut(&self.name)?;
+        file.data.truncate(len as usize);
+        file.durable_len = file.durable_len.min(len as usize);
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        Ok(inner.file_mut(&self.name)?.data.len() as u64)
+    }
+}
+
+impl WalStorage for MemStorage {
+    fn open_append(&self, name: &str) -> Result<Box<dyn WalFile>> {
+        let mut inner = self.inner.lock();
+        if inner.crashed {
+            return Err(MemInner::offline());
+        }
+        if !inner.files.contains_key(name) {
+            inner.files.insert(name.to_string(), MemFile::default());
+            inner.journal.push(DirOp::Create(name.to_string()));
+        }
+        Ok(Box::new(MemFileHandle {
+            inner: Arc::clone(&self.inner),
+            name: name.to_string(),
+        }))
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        if inner.crashed {
+            return Err(MemInner::offline());
+        }
+        Ok(inner.file_mut(name)?.data.clone())
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        let inner = self.inner.lock();
+        if inner.crashed {
+            return Err(MemInner::offline());
+        }
+        Ok(inner.files.keys().cloned().collect())
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.crashed {
+            return Err(MemInner::offline());
+        }
+        let file = inner
+            .files
+            .remove(name)
+            .ok_or_else(|| Error::new(ErrorKind::NotFound, format!("no such wal file: {name}")))?;
+        inner.journal.push(DirOp::Remove(name.to_string(), file));
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.crashed {
+            return Err(MemInner::offline());
+        }
+        let file = inner
+            .files
+            .remove(from)
+            .ok_or_else(|| Error::new(ErrorKind::NotFound, format!("no such wal file: {from}")))?;
+        let replaced = inner.files.insert(to.to_string(), file);
+        inner.journal.push(DirOp::Rename {
+            from: from.to_string(),
+            to: to.to_string(),
+            replaced,
+        });
+        Ok(())
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.crashed {
+            return Err(MemInner::offline());
+        }
+        let file = inner.file_mut(name)?;
+        file.data.truncate(len as usize);
+        file.durable_len = file.durable_len.min(len as usize);
+        Ok(())
+    }
+
+    fn file_len(&self, name: &str) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        if inner.crashed {
+            return Err(MemInner::offline());
+        }
+        Ok(inner.file_mut(name)?.data.len() as u64)
+    }
+
+    fn sync_dir(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.charge_sync()?;
+        inner.journal.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_synced(storage: &MemStorage, name: &str, data: &[u8]) {
+        let mut f = storage.open_append(name).unwrap();
+        f.append(data).unwrap();
+        f.sync_data().unwrap();
+        storage.sync_dir().unwrap();
+    }
+
+    #[test]
+    fn unsynced_tail_is_lost_on_power_cut() {
+        let storage = MemStorage::new();
+        let mut f = storage.open_append("a").unwrap();
+        f.append(b"durable").unwrap();
+        f.sync_data().unwrap();
+        storage.sync_dir().unwrap();
+        f.append(b"-tail").unwrap();
+        assert_eq!(storage.read("a").unwrap(), b"durable-tail");
+        storage.power_cycle();
+        assert_eq!(storage.read("a").unwrap(), b"durable");
+    }
+
+    #[test]
+    fn torn_keep_retains_a_fraction_of_the_tail() {
+        let storage = MemStorage::with_plan(FaultPlan {
+            torn_keep_permille: 500,
+            ..FaultPlan::default()
+        });
+        let mut f = storage.open_append("a").unwrap();
+        f.append(&[0u8; 100]).unwrap();
+        storage.sync_dir().unwrap();
+        storage.power_cycle();
+        assert_eq!(storage.read("a").unwrap().len(), 50);
+    }
+
+    #[test]
+    fn file_without_dir_sync_vanishes_on_power_cut() {
+        let storage = MemStorage::new();
+        let mut f = storage.open_append("a").unwrap();
+        f.append(b"bytes").unwrap();
+        f.sync_data().unwrap(); // data synced, directory entry is not
+        storage.power_cycle();
+        assert!(storage.read("a").is_err(), "entry never made durable");
+    }
+
+    #[test]
+    fn unsynced_remove_resurrects_on_power_cut() {
+        let storage = MemStorage::new();
+        write_synced(&storage, "a", b"keep-me");
+        storage.remove("a").unwrap();
+        assert!(storage.read("a").is_err());
+        storage.power_cycle();
+        assert_eq!(storage.read("a").unwrap(), b"keep-me");
+
+        // Once the remove is dir-synced it is permanent.
+        storage.remove("a").unwrap();
+        storage.sync_dir().unwrap();
+        storage.power_cycle();
+        assert!(storage.read("a").is_err());
+    }
+
+    #[test]
+    fn unsynced_rename_reverts_on_power_cut() {
+        let storage = MemStorage::new();
+        write_synced(&storage, "old-name", b"old");
+        write_synced(&storage, "target", b"target-before");
+        storage.rename("old-name", "target").unwrap();
+        assert_eq!(storage.read("target").unwrap(), b"old");
+        storage.power_cycle();
+        assert_eq!(storage.read("old-name").unwrap(), b"old");
+        assert_eq!(storage.read("target").unwrap(), b"target-before");
+    }
+
+    #[test]
+    fn crash_at_byte_lands_a_prefix_then_disk_is_offline() {
+        let storage = MemStorage::with_plan(FaultPlan {
+            crash_at_byte: Some(10),
+            torn_keep_permille: 1000,
+            ..FaultPlan::default()
+        });
+        let mut f = storage.open_append("a").unwrap();
+        f.append(&[1u8; 6]).unwrap();
+        storage.sync_dir().unwrap();
+        let err = f.append(&[2u8; 6]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::BrokenPipe);
+        assert!(storage.is_crashed());
+        assert!(f.append(b"x").is_err(), "disk stays offline");
+        storage.power_cycle();
+        // 6 synced?? no: nothing was fsync'd, but torn_keep=1000 keeps tails.
+        assert_eq!(storage.read("a").unwrap(), [1, 1, 1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn disk_full_fails_without_crashing() {
+        let storage = MemStorage::with_plan(FaultPlan {
+            disk_full_at_byte: Some(4),
+            ..FaultPlan::default()
+        });
+        let mut f = storage.open_append("a").unwrap();
+        let err = f.append(&[9u8; 8]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::StorageFull);
+        assert!(!storage.is_crashed());
+        assert_eq!(storage.read("a").unwrap(), [9, 9, 9, 9], "prefix landed");
+        // Truncating the torn prefix away and syncing still works.
+        f.truncate(0).unwrap();
+        f.sync_data().unwrap();
+        assert_eq!(storage.read("a").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn nth_fsync_fails_transiently() {
+        let storage = MemStorage::with_plan(FaultPlan {
+            fail_fsync_at: Some(1),
+            ..FaultPlan::default()
+        });
+        let mut f = storage.open_append("a").unwrap();
+        f.append(b"xy").unwrap();
+        assert!(f.sync_data().is_err());
+        assert!(!storage.is_crashed());
+        f.sync_data().unwrap(); // second call succeeds
+        storage.sync_dir().unwrap();
+        storage.power_cycle();
+        assert_eq!(storage.read("a").unwrap(), b"xy");
+    }
+
+    #[test]
+    fn crash_at_sync_counts_data_and_dir_syncs() {
+        let storage = MemStorage::with_plan(FaultPlan {
+            crash_at_sync: Some(2),
+            ..FaultPlan::default()
+        });
+        let mut f = storage.open_append("a").unwrap();
+        f.append(b"z").unwrap();
+        f.sync_data().unwrap(); // sync #1
+        let err = storage.sync_dir().unwrap_err(); // sync #2 -> crash
+        assert_eq!(err.kind(), ErrorKind::BrokenPipe);
+        storage.power_cycle();
+        // Data was fsync'd but the create was never dir-synced: file is gone.
+        assert!(storage.read("a").is_err());
+    }
+
+    #[test]
+    fn corrupt_flips_one_bit() {
+        let storage = MemStorage::new();
+        write_synced(&storage, "a", &[0u8; 4]);
+        storage.corrupt("a", 2).unwrap();
+        assert_eq!(storage.read("a").unwrap(), [0, 0, 1, 0]);
+        assert!(storage.corrupt("a", 99).is_err());
+    }
+
+    #[test]
+    fn fs_storage_round_trips_and_lists() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!(
+            "ips-walfs-test-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let storage = FsStorage::open(&dir).unwrap();
+        let mut f = storage.open_append("seg-a").unwrap();
+        f.append(b"hello").unwrap();
+        f.sync_data().unwrap();
+        storage.sync_dir().unwrap();
+        assert_eq!(storage.read("seg-a").unwrap(), b"hello");
+        assert_eq!(storage.file_len("seg-a").unwrap(), 5);
+        storage.rename("seg-a", "seg-b").unwrap();
+        assert_eq!(storage.list().unwrap(), vec!["seg-b".to_string()]);
+        storage.truncate("seg-b", 2).unwrap();
+        assert_eq!(storage.read("seg-b").unwrap(), b"he");
+        storage.remove("seg-b").unwrap();
+        assert!(storage.list().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

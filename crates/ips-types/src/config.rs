@@ -500,6 +500,58 @@ pub struct AdmissionConfig {
     pub max_inflight_subqueries: usize,
 }
 
+/// How WAL recovery reacts to a checksum mismatch that is *not* a torn tail
+/// (valid records exist after the bad frame, or the bad frame sits in a
+/// non-final segment): genuine mid-log corruption, never the expected
+/// crash-mid-append artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RecoveryMode {
+    /// Fail recovery with `IpsError::Storage` — the operator decides whether
+    /// to restore from a replica or switch to salvage.
+    #[default]
+    Strict,
+    /// Skip to the next valid record and count what was dropped. Best-effort
+    /// recovery for when a degraded node is better than no node.
+    Salvage,
+}
+
+/// Segmented write-ahead-log tuning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalConfig {
+    /// Rotate to a new segment once the active one reaches this size. Small
+    /// segments bound per-file replay work and retire promptly after a
+    /// checkpoint; large segments amortize rotation fsyncs.
+    pub segment_bytes: u64,
+    /// fsync every append (slow but strict). Production profile stores value
+    /// throughput over absolute durability of the last few writes.
+    pub sync_every_append: bool,
+    /// What to do about mid-log corruption at replay time.
+    pub recovery_mode: RecoveryMode,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self {
+            segment_bytes: 4 << 20,
+            sync_every_append: false,
+            recovery_mode: RecoveryMode::Strict,
+        }
+    }
+}
+
+impl WalConfig {
+    pub fn validate(&self) -> Result<(), String> {
+        // A segment must hold at least its own header plus one small record.
+        if self.segment_bytes < 256 {
+            return Err(format!(
+                "segment_bytes ({}) must be at least 256",
+                self.segment_bytes
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// How profiles are persisted to the key-value store (§III-E).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum PersistenceMode {

@@ -97,6 +97,19 @@ impl IpsError {
     pub fn is_overload(&self) -> bool {
         matches!(self, IpsError::Overloaded { .. })
     }
+
+    /// Mid-log WAL corruption found during strict recovery: a checksum
+    /// mismatch with valid records *after* it (or in a non-final segment),
+    /// which can never be the expected crash-mid-append torn tail. Carried
+    /// as [`IpsError::Storage`] — it is retryable because another replica
+    /// holds an uncorrupted copy of the same data.
+    #[must_use]
+    pub fn wal_corruption(segment: u64, offset: u64) -> Self {
+        IpsError::Storage(format!(
+            "wal corruption: segment {segment} offset {offset}: checksum mismatch with valid \
+             records after it (not a torn tail); restore from a replica or recover in salvage mode"
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +195,19 @@ mod tests {
         // Quota is a caller policy decision, not a capacity signal.
         assert!(!IpsError::QuotaExceeded(CallerId::new(7)).is_overload());
         assert!(!IpsError::Unavailable("down".into()).is_overload());
+    }
+
+    #[test]
+    fn wal_corruption_is_storage_and_retryable() {
+        let e = IpsError::wal_corruption(7, 4096);
+        assert!(matches!(e, IpsError::Storage(_)));
+        assert!(
+            e.is_retryable(),
+            "a corrupt local log is recoverable from a replica"
+        );
+        let s = e.to_string();
+        assert!(s.contains("segment 7") && s.contains("offset 4096"));
+        assert!(s.contains("not a torn tail"));
     }
 
     #[test]

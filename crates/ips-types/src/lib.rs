@@ -22,8 +22,9 @@ pub mod time;
 pub use clock::{Clock, SharedClock, SimClock, SystemClock};
 pub use config::{
     AdmissionConfig, AggregateFunction, CacheConfig, CircuitBreakerConfig, CompactionConfig,
-    DegradedServingConfig, IsolationConfig, PersistenceMode, QuotaConfig, RetryPolicy,
-    ShrinkConfig, SortKey, SortOrder, TableConfig, TimeDimensionConfig, TruncateConfig,
+    DegradedServingConfig, IsolationConfig, PersistenceMode, QuotaConfig, RecoveryMode,
+    RetryPolicy, ShrinkConfig, SortKey, SortOrder, TableConfig, TimeDimensionConfig,
+    TruncateConfig, WalConfig,
 };
 pub use counts::{CountVector, MAX_ATTRIBUTES};
 pub use deadline::{ArmedDeadline, Deadline};

@@ -72,7 +72,7 @@ pub const SCHEMA_FILES: &[&str] = &[
     "crates/ips-cluster/src/rpc.rs",
     "crates/ips-core/src/persist/schema.rs",
     "crates/ips-core/src/persist/persister.rs",
-    "crates/ips-kv/src/wal.rs",
+    "crates/ips-kv/src/wal/mod.rs",
 ];
 
 /// Name of the committed registry file at the workspace root.

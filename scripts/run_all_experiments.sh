@@ -22,6 +22,7 @@ BINS=(
   quota_enforcement
   candidate_ranking
   shard_handoff
+  crash_torture
 )
 
 cargo build --release -p ips-bench --bins
