@@ -1,0 +1,47 @@
+//! Circuit-breaker routing interceptor: the only place the client consults
+//! an endpoint's breaker.
+//!
+//! The contract is *demote, never exclude*: a blocked candidate moves to
+//! the end of the failover walk instead of out of it, so a stale open
+//! breaker can reorder attempts but can never turn a single crashed node
+//! into a client-visible outage.
+
+use std::sync::Arc;
+
+use ips_types::clock::monotonic_micros;
+
+use crate::client::IpsClusterClient;
+use crate::rpc::RpcEndpoint;
+
+impl IpsClusterClient {
+    /// Ask `name`'s breaker to admit an attempt right now (closed, or open
+    /// with an elapsed cooldown probing half-open).
+    pub(in crate::client) fn breaker_admit(&self, name: &str) -> bool {
+        self.health.for_endpoint(name).try_admit(monotonic_micros())
+    }
+
+    /// Partition a candidate sweep into breaker-admitted order: admitted
+    /// endpoints first (walk order preserved), blocked ones demoted to the
+    /// end. Emits a `breaker_fail_open` span when every candidate was
+    /// blocked — the walk proceeds into them anyway.
+    pub(in crate::client) fn demote_blocked(
+        &self,
+        sweep: Vec<Arc<RpcEndpoint>>,
+    ) -> Vec<Arc<RpcEndpoint>> {
+        let mut admitted: Vec<Arc<RpcEndpoint>> = Vec::with_capacity(sweep.len());
+        let mut blocked: Vec<Arc<RpcEndpoint>> = Vec::new();
+        for ep in sweep {
+            if self.breaker_admit(ep.name()) {
+                admitted.push(ep);
+            } else {
+                blocked.push(ep);
+            }
+        }
+        if admitted.is_empty() && !blocked.is_empty() {
+            let mut span = ips_trace::child("breaker_fail_open");
+            span.set_attr("blocked", blocked.len().to_string());
+        }
+        admitted.append(&mut blocked);
+        admitted
+    }
+}

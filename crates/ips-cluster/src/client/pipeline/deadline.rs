@@ -1,0 +1,44 @@
+//! Deadline-charge interceptor: one armed budget per logical request,
+//! decremented by real elapsed time (via the monotonic anchor) and by
+//! modeled time (wire transit, backoff) charged explicitly between
+//! attempts.
+
+use ips_types::{ArmedDeadline, Deadline, DurationMs};
+
+/// The per-request deadline account. Real time is tracked by the armed
+/// anchor; modeled time accumulates in `modeled_us` and is subtracted from
+/// every remaining-budget reading.
+pub(in crate::client) struct DeadlineCharge {
+    armed: Option<ArmedDeadline>,
+    modeled_us: u64,
+}
+
+impl DeadlineCharge {
+    /// Arm the configured budget at request start (None = unbounded).
+    pub(in crate::client) fn arm(budget: Option<DurationMs>) -> Self {
+        Self {
+            armed: budget.map(|d| Deadline::from_budget(d).arm()),
+            modeled_us: 0,
+        }
+    }
+
+    /// Charge modeled microseconds (wire transit, backoff) that no wall
+    /// clock measured.
+    pub(in crate::client) fn charge(&mut self, us: u64) {
+        self.modeled_us += us;
+    }
+
+    /// The budget left to stamp on the next attempt's wire envelope
+    /// (None = no deadline configured).
+    pub(in crate::client) fn remaining(&self) -> Option<Deadline> {
+        self.armed
+            .as_ref()
+            .map(|a| a.remaining().saturating_sub_us(self.modeled_us))
+    }
+
+    /// Whether the request's budget is exhausted — the client-side shed
+    /// decision point between failover rounds.
+    pub(in crate::client) fn is_expired(&self) -> bool {
+        self.remaining().is_some_and(|d| d.is_expired())
+    }
+}

@@ -1,0 +1,89 @@
+//! Hedge interceptor: the modeled duplicate read a production client fires
+//! when the primary response comes back slower than the target endpoint's
+//! historical latency quantile. Single-profile reads only — writes and
+//! batches never hedge — and hedges never count into attempts/failures.
+
+use std::sync::Arc;
+
+use ips_core::query::{ProfileQuery, QueryResult};
+use ips_types::clock::monotonic_micros;
+use ips_types::Deadline;
+
+use crate::client::{IpsClusterClient, LatencyBreakdown};
+use crate::rpc::{CallOptions, RpcEndpoint, RpcRequest, RpcResponse};
+
+impl IpsClusterClient {
+    /// Fire a modeled hedge read when the primary was slow. Returns the
+    /// hedge's result only when it beats the primary completion.
+    pub(in crate::client) fn maybe_hedge(
+        &self,
+        query: &ProfileQuery,
+        request: &RpcRequest,
+        regions: &[String],
+        primary: &LatencyBreakdown,
+        root: &mut ips_trace::Span,
+    ) -> Option<(QueryResult, LatencyBreakdown)> {
+        let policy = self.retry_policy();
+        if policy.hedge_quantile <= 0.0 {
+            return None;
+        }
+        // The hedge target is the primary's first failover sibling: a
+        // *different* replica, or hedging buys nothing.
+        let walk: Vec<Arc<RpcEndpoint>> = regions
+            .iter()
+            .flat_map(|r| self.candidates_in_region(r, query.profile))
+            .collect();
+        let (first, rest) = walk.split_first()?;
+        let target = rest.iter().find(|ep| ep.name() != first.name())?;
+        let threshold_us = self
+            .health
+            .for_endpoint(first.name())
+            .hedge_threshold_us(policy.hedge_quantile)?;
+        if primary.total_us() <= threshold_us {
+            return None;
+        }
+        self.hedges.inc();
+        root.set_attr(ips_trace::attrs::HEDGED, "true");
+        let mut span = ips_trace::child("hedge");
+        span.set_attr("endpoint", target.name());
+        span.set_attr("threshold_us", threshold_us.to_string());
+        let degraded = *self.degraded_reads.read();
+        let opts = CallOptions {
+            deadline: self
+                .request_deadline
+                .read()
+                .map(|d| Deadline::from_budget(d).saturating_sub_us(threshold_us)),
+            degraded,
+            priority: self.request_priority(),
+        };
+        let started_us = monotonic_micros();
+        let (result, cost) = self.attempt_once(target, request, &opts);
+        let hedge_elapsed = monotonic_micros().saturating_sub(started_us);
+        let RpcResponse::Query(hedge_result) = result.ok()? else {
+            return None;
+        };
+        let storage_us = {
+            let mut rng = self.storage_rng.lock();
+            self.modeled_storage_us(&hedge_result, &mut rng)
+        };
+        // The hedge fired at the threshold, so its completion time is the
+        // wait plus its own round-trip; the primary keeps its own clock.
+        // Winner = min completion.
+        let hedge_total = threshold_us + hedge_elapsed + cost.total_us() + storage_us;
+        if hedge_total >= primary.total_us() {
+            return None;
+        }
+        span.set_attr("won", "true");
+        if hedge_result.degraded {
+            self.degraded.inc();
+        }
+        Some((
+            hedge_result,
+            LatencyBreakdown::from_call(
+                threshold_us + hedge_elapsed + cost.total_us(),
+                cost.total_us(),
+                storage_us,
+            ),
+        ))
+    }
+}

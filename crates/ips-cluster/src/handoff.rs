@@ -333,6 +333,7 @@ impl HandoffCoordinator {
         let opts = CallOptions {
             deadline: self.config.chunk_deadline.map(Deadline::from_budget),
             degraded: None,
+            ..CallOptions::default()
         };
         let mut seq: u64 = 0;
         // Deterministic retry bound: every chunk gets its base send plus

@@ -1,0 +1,569 @@
+//! Sub-message wire codecs shared by the frame encoders: queries, sort
+//! keys, decay functions, errors, query results, profile writes and
+//! snapshot chunks. Field numbering is local to each message.
+// wire-schema: registry
+
+use ips_codec::wire::{WireReader, WireWriter};
+use ips_core::query::{FeatureEntry, FilterPredicate, ProfileQuery, QueryKind, QueryResult};
+use ips_types::config::DecayFunction;
+use ips_types::{
+    ActionTypeId, CallerId, CountVector, DurationMs, FeatureId, IpsError, ProfileId, Result,
+    SlotId, SortKey, SortOrder, TableId, TimeRange, Timestamp,
+};
+
+use super::{ProfileWrite, SnapshotAck, SnapshotEntry};
+
+pub(super) fn put_count_vector(w: &mut WireWriter, field: u32, counts: &CountVector) {
+    w.put_packed_i64(field, counts.as_slice());
+}
+
+pub(super) fn encode_time_range(w: &mut WireWriter, range: &TimeRange) {
+    match range {
+        TimeRange::Current { lookback } => {
+            w.put_u64(1, 1);
+            w.put_u64(2, lookback.as_millis());
+        }
+        TimeRange::Relative { lookback } => {
+            w.put_u64(1, 2);
+            w.put_u64(2, lookback.as_millis());
+        }
+        TimeRange::Absolute { start, end } => {
+            w.put_u64(1, 3);
+            w.put_fixed64(3, start.as_millis());
+            w.put_fixed64(4, end.as_millis());
+        }
+    }
+}
+
+pub(super) fn decode_time_range(bytes: &[u8]) -> Result<TimeRange> {
+    let (mut kind, mut lookback, mut start, mut end) = (0u64, 0u64, 0u64, 0u64);
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => kind = v.as_u64(f)?,
+                2 => lookback = v.as_u64(f)?,
+                3 => start = v.as_u64(f)?,
+                4 => end = v.as_u64(f)?,
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    match kind {
+        1 => Ok(TimeRange::Current {
+            lookback: DurationMs::from_millis(lookback),
+        }),
+        2 => Ok(TimeRange::Relative {
+            lookback: DurationMs::from_millis(lookback),
+        }),
+        3 => Ok(TimeRange::Absolute {
+            start: Timestamp::from_millis(start),
+            end: Timestamp::from_millis(end),
+        }),
+        other => Err(IpsError::Codec(format!("bad time range kind {other}"))),
+    }
+}
+
+pub(super) fn encode_sort(w: &mut WireWriter, sort: SortKey, order: SortOrder) {
+    let (kind, arg) = match sort {
+        SortKey::Attribute(idx) => (1u64, idx as u64),
+        SortKey::WeightedScore => (2, 0),
+        SortKey::Timestamp => (3, 0),
+        SortKey::FeatureId => (4, 0),
+    };
+    w.put_u64(1, kind);
+    w.put_u64(2, arg);
+    w.put_u64(3, matches!(order, SortOrder::Ascending) as u64);
+}
+
+pub(super) fn decode_sort(bytes: &[u8]) -> Result<(SortKey, SortOrder)> {
+    let (mut kind, mut arg, mut asc) = (0u64, 0u64, 0u64);
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => kind = v.as_u64(f)?,
+                2 => arg = v.as_u64(f)?,
+                3 => asc = v.as_u64(f)?,
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    let sort = match kind {
+        1 => SortKey::Attribute(arg as usize),
+        2 => SortKey::WeightedScore,
+        3 => SortKey::Timestamp,
+        4 => SortKey::FeatureId,
+        other => return Err(IpsError::Codec(format!("bad sort kind {other}"))),
+    };
+    let order = if asc != 0 {
+        SortOrder::Ascending
+    } else {
+        SortOrder::Descending
+    };
+    Ok((sort, order))
+}
+
+pub(super) fn encode_decay(w: &mut WireWriter, decay: DecayFunction) {
+    match decay {
+        DecayFunction::None => w.put_u64(1, 0),
+        DecayFunction::Exponential { half_life } => {
+            w.put_u64(1, 1);
+            w.put_u64(2, half_life.as_millis());
+        }
+        DecayFunction::Linear { horizon } => {
+            w.put_u64(1, 2);
+            w.put_u64(2, horizon.as_millis());
+        }
+        DecayFunction::Step {
+            boundary,
+            old_factor,
+        } => {
+            w.put_u64(1, 3);
+            w.put_u64(2, boundary.as_millis());
+            w.put_fixed64(3, old_factor.to_bits());
+        }
+    }
+}
+
+pub(super) fn decode_decay(bytes: &[u8]) -> Result<DecayFunction> {
+    let (mut kind, mut arg, mut bits) = (0u64, 0u64, 0u64);
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => kind = v.as_u64(f)?,
+                2 => arg = v.as_u64(f)?,
+                3 => bits = v.as_u64(f)?,
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    Ok(match kind {
+        0 => DecayFunction::None,
+        1 => DecayFunction::Exponential {
+            half_life: DurationMs::from_millis(arg),
+        },
+        2 => DecayFunction::Linear {
+            horizon: DurationMs::from_millis(arg),
+        },
+        3 => DecayFunction::Step {
+            boundary: DurationMs::from_millis(arg),
+            old_factor: f64::from_bits(bits),
+        },
+        other => return Err(IpsError::Codec(format!("bad decay kind {other}"))),
+    })
+}
+
+pub(super) fn encode_query(w: &mut WireWriter, q: &ProfileQuery) {
+    w.put_u64(1, u64::from(q.table.raw()));
+    w.put_u64(2, q.profile.raw());
+    w.put_u64(3, u64::from(q.slot.raw()));
+    if let Some(action) = q.action {
+        w.put_u64(4, u64::from(action.raw()));
+    }
+    w.put_message(5, |tw| encode_time_range(tw, &q.range));
+    match &q.kind {
+        QueryKind::TopK { k, sort, order } => {
+            w.put_u64(6, 1);
+            w.put_u64(7, *k as u64);
+            w.put_message(8, |sw| encode_sort(sw, *sort, *order));
+        }
+        QueryKind::Filter { predicate } => {
+            w.put_u64(6, 2);
+            match predicate {
+                FilterPredicate::MinAttribute { attr, min } => {
+                    w.put_u64(9, 1);
+                    w.put_u64(10, *attr as u64);
+                    w.put_i64(11, *min);
+                }
+                FilterPredicate::FeatureIn(fids) => {
+                    w.put_u64(9, 2);
+                    let raw: Vec<u64> = fids.iter().map(|f| f.raw()).collect();
+                    w.put_packed_u64(12, &raw);
+                }
+                FilterPredicate::All => w.put_u64(9, 3),
+            }
+        }
+        QueryKind::Decay { k, sort, order } => {
+            w.put_u64(6, 3);
+            w.put_u64(7, *k as u64);
+            w.put_message(8, |sw| encode_sort(sw, *sort, *order));
+        }
+    }
+    w.put_message(13, |dw| encode_decay(dw, q.decay));
+    w.put_fixed64(14, q.decay_factor.to_bits());
+}
+
+#[allow(clippy::too_many_lines)]
+pub(super) fn decode_query(bytes: &[u8]) -> Result<ProfileQuery> {
+    let mut table = 0u64;
+    let mut profile = 0u64;
+    let mut slot = 0u64;
+    let mut action: Option<u64> = None;
+    let mut range = TimeRange::Current {
+        lookback: DurationMs::ZERO,
+    };
+    let mut kind_tag = 0u64;
+    let mut k = 0usize;
+    let mut sort = (SortKey::Attribute(0), SortOrder::Descending);
+    let mut pred_tag = 0u64;
+    let mut pred_attr = 0usize;
+    let mut pred_min = 0i64;
+    let mut pred_fids: Vec<u64> = Vec::new();
+    let mut decay = DecayFunction::None;
+    let mut decay_factor = 1.0f64;
+
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => table = v.as_u64(f)?,
+                2 => profile = v.as_u64(f)?,
+                3 => slot = v.as_u64(f)?,
+                4 => action = Some(v.as_u64(f)?),
+                5 => {
+                    range = decode_time_range(v.as_bytes(f)?)
+                        .map_err(|_| ips_codec::wire::WireError::MissingField(f))?;
+                }
+                6 => kind_tag = v.as_u64(f)?,
+                7 => k = v.as_u64(f)? as usize,
+                8 => {
+                    sort = decode_sort(v.as_bytes(f)?)
+                        .map_err(|_| ips_codec::wire::WireError::MissingField(f))?;
+                }
+                9 => pred_tag = v.as_u64(f)?,
+                10 => pred_attr = v.as_u64(f)? as usize,
+                11 => pred_min = v.as_i64(f)?,
+                12 => pred_fids = v.as_packed_u64(f)?,
+                13 => {
+                    decay = decode_decay(v.as_bytes(f)?)
+                        .map_err(|_| ips_codec::wire::WireError::MissingField(f))?;
+                }
+                14 => decay_factor = f64::from_bits(v.as_u64(f)?),
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+
+    let kind = match kind_tag {
+        1 => QueryKind::TopK {
+            k,
+            sort: sort.0,
+            order: sort.1,
+        },
+        2 => QueryKind::Filter {
+            predicate: match pred_tag {
+                1 => FilterPredicate::MinAttribute {
+                    attr: pred_attr,
+                    min: pred_min,
+                },
+                2 => {
+                    FilterPredicate::FeatureIn(pred_fids.into_iter().map(FeatureId::new).collect())
+                }
+                3 => FilterPredicate::All,
+                other => return Err(IpsError::Codec(format!("bad predicate {other}"))),
+            },
+        },
+        3 => QueryKind::Decay {
+            k,
+            sort: sort.0,
+            order: sort.1,
+        },
+        other => return Err(IpsError::Codec(format!("bad query kind {other}"))),
+    };
+    Ok(ProfileQuery {
+        table: TableId::new(table as u32),
+        profile: ProfileId::new(profile),
+        slot: SlotId::new(slot as u32),
+        action: action.map(|a| ActionTypeId::new(a as u32)),
+        range,
+        kind,
+        decay,
+        decay_factor,
+    })
+}
+
+/// Errors cross the wire inside [`super::RpcResponse::QueryBatch`]
+/// sub-results. Variant identity is preserved exactly — `is_retryable()`
+/// must give the same answer on both sides, or client-side per-sub-query
+/// failover breaks.
+pub(super) fn encode_error(w: &mut WireWriter, e: &IpsError) {
+    let (tag, a, b, msg): (u64, u64, u64, &str) = match e {
+        IpsError::UnknownTable(t) => (1, u64::from(t.raw()), 0, ""),
+        IpsError::ProfileNotFound { table, profile } => {
+            (2, u64::from(table.raw()), profile.raw(), "")
+        }
+        IpsError::InvalidRequest(m) => (3, 0, 0, m),
+        IpsError::InvalidConfig(m) => (4, 0, 0, m),
+        IpsError::QuotaExceeded(c) => (5, u64::from(c.raw()), 0, ""),
+        IpsError::Storage(m) => (6, 0, 0, m),
+        IpsError::StaleGeneration { held, current } => (7, *held, *current, ""),
+        IpsError::Codec(m) => (8, 0, 0, m),
+        IpsError::Rpc(m) => (9, 0, 0, m),
+        IpsError::Unavailable(m) => (10, 0, 0, m),
+        IpsError::ShuttingDown => (11, 0, 0, ""),
+        IpsError::DeadlineExceeded => (12, 0, 0, ""),
+        IpsError::Overloaded { inflight, limit } => (13, *inflight, *limit, ""),
+    };
+    w.put_u64(1, tag);
+    w.put_u64(2, a);
+    w.put_u64(3, b);
+    if !msg.is_empty() {
+        w.put_str(4, msg);
+    }
+}
+
+pub(super) fn decode_error(bytes: &[u8]) -> Result<IpsError> {
+    let (mut tag, mut a, mut b) = (0u64, 0u64, 0u64);
+    let mut msg = String::new();
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => tag = v.as_u64(f)?,
+                2 => a = v.as_u64(f)?,
+                3 => b = v.as_u64(f)?,
+                4 => msg = String::from_utf8_lossy(v.as_bytes(f)?).into_owned(),
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    Ok(match tag {
+        1 => IpsError::UnknownTable(TableId::new(a as u32)),
+        2 => IpsError::ProfileNotFound {
+            table: TableId::new(a as u32),
+            profile: ProfileId::new(b),
+        },
+        3 => IpsError::InvalidRequest(msg),
+        4 => IpsError::InvalidConfig(msg),
+        5 => IpsError::QuotaExceeded(CallerId::new(a as u32)),
+        6 => IpsError::Storage(msg),
+        7 => IpsError::StaleGeneration {
+            held: a,
+            current: b,
+        },
+        8 => IpsError::Codec(msg),
+        9 => IpsError::Rpc(msg),
+        10 => IpsError::Unavailable(msg),
+        11 => IpsError::ShuttingDown,
+        12 => IpsError::DeadlineExceeded,
+        13 => IpsError::Overloaded {
+            inflight: a,
+            limit: b,
+        },
+        other => return Err(IpsError::Codec(format!("bad error tag {other}"))),
+    })
+}
+
+pub(super) fn encode_query_result(w: &mut WireWriter, result: &QueryResult) {
+    w.put_u64(1, result.slices_visited as u64);
+    w.put_bool(2, result.cache_hit);
+    // Degraded markers only hit the wire when set: normal results stay
+    // byte-identical to pre-degradation encoders.
+    if result.degraded {
+        w.put_bool(4, true);
+        w.put_u64(5, result.staleness.as_millis());
+    }
+    // Storage-cost fields only hit the wire when a store fetch happened:
+    // pure hits stay byte-identical to older encoders, and older decoders
+    // skip the unknown fields.
+    if result.kv_round_trips > 0 {
+        w.put_u64(6, u64::from(result.kv_round_trips));
+        w.put_u64(7, result.kv_bytes_read);
+    }
+    for e in &result.entries {
+        w.put_message(3, |ew| {
+            ew.put_u64(1, e.feature.raw());
+            ew.put_packed_i64(2, e.counts.as_slice());
+            ew.put_fixed64(3, e.last_seen.as_millis());
+        });
+    }
+}
+
+pub(super) fn decode_query_result(bytes: &[u8]) -> Result<QueryResult> {
+    let mut result = QueryResult::default();
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => result.slices_visited = v.as_u64(f)? as usize,
+                2 => result.cache_hit = v.as_bool(f)?,
+                4 => result.degraded = v.as_bool(f)?,
+                5 => result.staleness = DurationMs::from_millis(v.as_u64(f)?),
+                6 => result.kv_round_trips = v.as_u64(f)? as u32,
+                7 => result.kv_bytes_read = v.as_u64(f)?,
+                3 => {
+                    let mut fid = 0u64;
+                    let mut counts = CountVector::empty();
+                    let mut last_seen = 0u64;
+                    WireReader::new(v.as_bytes(f)?).for_each(|ef, ev| {
+                        match ef {
+                            1 => fid = ev.as_u64(ef)?,
+                            2 => counts = CountVector::from_slice(&ev.as_packed_i64(ef)?),
+                            3 => last_seen = ev.as_u64(ef)?,
+                            _ => {}
+                        }
+                        Ok(())
+                    })?;
+                    result.entries.push(FeatureEntry {
+                        feature: FeatureId::new(fid),
+                        counts,
+                        last_seen: Timestamp::from_millis(last_seen),
+                    });
+                }
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    Ok(result)
+}
+
+pub(super) fn encode_profile_write(w: &mut WireWriter, pw: &ProfileWrite) {
+    w.put_u64(1, u64::from(pw.table.raw()));
+    w.put_u64(2, pw.profile.raw());
+    w.put_fixed64(3, pw.at.as_millis());
+    w.put_u64(4, u64::from(pw.slot.raw()));
+    w.put_u64(5, u64::from(pw.action.raw()));
+    for (fid, counts) in &pw.features {
+        w.put_message(6, |fw| {
+            fw.put_u64(1, fid.raw());
+            put_count_vector(fw, 2, counts);
+        });
+    }
+}
+
+pub(super) fn decode_profile_write(bytes: &[u8]) -> Result<ProfileWrite> {
+    let (mut table, mut profile, mut at, mut slot, mut action) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut features: Vec<(FeatureId, CountVector)> = Vec::new();
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => table = v.as_u64(f)?,
+                2 => profile = v.as_u64(f)?,
+                3 => at = v.as_u64(f)?,
+                4 => slot = v.as_u64(f)?,
+                5 => action = v.as_u64(f)?,
+                6 => {
+                    let mut fid = 0u64;
+                    let mut counts = CountVector::empty();
+                    WireReader::new(v.as_bytes(f)?).for_each(|ff, fv| {
+                        match ff {
+                            1 => fid = fv.as_u64(ff)?,
+                            2 => counts = CountVector::from_slice(&fv.as_packed_i64(ff)?),
+                            _ => {}
+                        }
+                        Ok(())
+                    })?;
+                    features.push((FeatureId::new(fid), counts));
+                }
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    Ok(ProfileWrite {
+        table: TableId::new(table as u32),
+        profile: ProfileId::new(profile),
+        at: Timestamp::from_millis(at),
+        slot: SlotId::new(slot as u32),
+        action: ActionTypeId::new(action as u32),
+        features,
+    })
+}
+
+pub(super) fn encode_snapshot_entry(w: &mut WireWriter, e: &SnapshotEntry) {
+    w.put_u64(1, e.profile.raw());
+    w.put_u64(2, e.generation);
+    w.put_bytes(3, &e.payload);
+}
+
+pub(super) fn decode_snapshot_entry(bytes: &[u8]) -> Result<SnapshotEntry> {
+    let (mut profile, mut generation) = (0u64, 0u64);
+    let mut payload: Vec<u8> = Vec::new();
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => profile = v.as_u64(f)?,
+                2 => generation = v.as_u64(f)?,
+                3 => payload = v.as_bytes(f)?.to_vec(),
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    Ok(SnapshotEntry {
+        profile: ProfileId::new(profile),
+        generation,
+        payload,
+    })
+}
+
+pub(super) fn encode_snapshot_chunk(
+    w: &mut WireWriter,
+    table: TableId,
+    handoff: u64,
+    seq: u64,
+    last: bool,
+    entries: &[SnapshotEntry],
+) {
+    w.put_u64(1, u64::from(table.raw()));
+    w.put_u64(2, handoff);
+    w.put_u64(3, seq);
+    w.put_bool(4, last);
+    for e in entries {
+        w.put_message(5, |ew| encode_snapshot_entry(ew, e));
+    }
+}
+
+pub(super) type SnapshotChunkParts = (TableId, u64, u64, bool, Vec<SnapshotEntry>);
+
+pub(super) fn decode_snapshot_chunk(bytes: &[u8]) -> Result<SnapshotChunkParts> {
+    let (mut table, mut handoff, mut seq, mut last) = (0u64, 0u64, 0u64, false);
+    let mut entries: Vec<SnapshotEntry> = Vec::new();
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => table = v.as_u64(f)?,
+                2 => handoff = v.as_u64(f)?,
+                3 => seq = v.as_u64(f)?,
+                4 => last = v.as_bool(f)?,
+                5 => {
+                    entries.push(
+                        decode_snapshot_entry(v.as_bytes(f)?)
+                            .map_err(|_| ips_codec::wire::WireError::MissingField(f))?,
+                    );
+                }
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    Ok((TableId::new(table as u32), handoff, seq, last, entries))
+}
+
+pub(super) fn encode_snapshot_ack(w: &mut WireWriter, ack: &SnapshotAck) {
+    w.put_u64(1, ack.handoff);
+    w.put_u64(2, ack.next_seq);
+    w.put_u64(3, ack.imported);
+    w.put_u64(4, ack.rejected_stale);
+    w.put_u64(5, ack.already_resident);
+}
+
+pub(super) fn decode_snapshot_ack(bytes: &[u8]) -> Result<SnapshotAck> {
+    let mut ack = SnapshotAck::default();
+    WireReader::new(bytes)
+        .for_each(|f, v| {
+            match f {
+                1 => ack.handoff = v.as_u64(f)?,
+                2 => ack.next_seq = v.as_u64(f)?,
+                3 => ack.imported = v.as_u64(f)?,
+                4 => ack.rejected_stale = v.as_u64(f)?,
+                5 => ack.already_resident = v.as_u64(f)?,
+                _ => {}
+            }
+            Ok(())
+        })
+        .map_err(|e| IpsError::Codec(e.to_string()))?;
+    Ok(ack)
+}

@@ -1,0 +1,367 @@
+//! The server side of the RPC fabric: the modeled network path and the
+//! endpoint dispatch table.
+//!
+//! Dispatch is deliberately thin: the endpoint decodes the envelope into
+//! one [`RequestContext`] (caller, armed deadline, staleness tolerance,
+//! priority) and hands it to the instance's `*_ctx` APIs — every
+//! cross-cutting policy (deadline shedding, fair admission, quota, tracing,
+//! degraded fallback) runs inside the server-side request pipeline, not
+//! here.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ips_core::server::IpsInstance;
+use ips_core::RequestContext;
+use ips_trace::SpanContext;
+use ips_types::{IpsError, Result};
+
+use super::{RpcRequest, RpcResponse, SnapshotAck};
+
+// ---- network model ----------------------------------------------------------
+
+/// The modeled network path between a client and an endpoint.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// Fixed round-trip overhead in microseconds.
+    pub rtt_us: u64,
+    /// Per-KiB transfer cost (request + response bytes), in microseconds.
+    pub per_kib_us: u64,
+    /// Uniform multiplicative jitter bound.
+    pub jitter: f64,
+    /// Probability a call is lost (times out) in transit.
+    pub loss_probability: f64,
+}
+
+impl NetworkModel {
+    /// Matches the paper's latency picture: a small fixed per-hop cost so
+    /// tiny calls stay around a millisecond (Fig 16's flat p50 ~1 ms), plus
+    /// a strong size-proportional term — "the overhead of package
+    /// transmission on network is about 3ms and grows proportionally to the
+    /// response data size" (Table II).
+    #[must_use]
+    pub fn production_default() -> Self {
+        Self {
+            rtt_us: 450,
+            per_kib_us: 1_000,
+            jitter: 0.2,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// A free, lossless network (pure compute benchmarks).
+    #[must_use]
+    pub fn zero() -> Self {
+        Self {
+            rtt_us: 0,
+            per_kib_us: 0,
+            jitter: 0.0,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// Sample the transit time for `bytes` moved, or `None` for a lost call.
+    pub fn sample_us(&self, bytes: usize, rng: &mut SmallRng) -> Option<u64> {
+        if self.loss_probability > 0.0 && rng.gen_bool(self.loss_probability.clamp(0.0, 1.0)) {
+            return None;
+        }
+        // Fractional per-KiB cost: small control messages should not pay a
+        // full KiB of transfer time.
+        let expected =
+            self.rtt_us + (self.per_kib_us as f64 * bytes as f64 / 1024.0).round() as u64;
+        if self.jitter <= 0.0 {
+            return Some(expected);
+        }
+        let factor = rng.gen_range((1.0 - self.jitter)..=(1.0 + self.jitter));
+        Some((expected as f64 * factor).round() as u64)
+    }
+}
+
+// ---- endpoint ----------------------------------------------------------------
+
+/// Modeled network time one RPC attempt actually incurred, split by
+/// direction. Returned even when the attempt fails, so retries and region
+/// failover are accounted per attempt — the wire cost a client sums over
+/// attempts agrees with the `network` spans recorded in the trace, instead
+/// of failed traversals silently vanishing from the total.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireCost {
+    /// Request-frame transit, µs (0 when the call failed before leaving).
+    pub outbound_us: u64,
+    /// Response-frame transit, µs (0 when no response made it back).
+    pub inbound_us: u64,
+}
+
+impl WireCost {
+    #[must_use]
+    pub fn total_us(&self) -> u64 {
+        self.outbound_us + self.inbound_us
+    }
+
+    /// Fold another attempt's cost into this one (client-side failover
+    /// accumulates across attempts).
+    pub fn accumulate(&mut self, other: WireCost) {
+        self.outbound_us += other.outbound_us;
+        self.inbound_us += other.inbound_us;
+    }
+}
+
+/// One addressable IPS instance: the server side of the RPC fabric.
+pub struct RpcEndpoint {
+    name: String,
+    region: String,
+    instance: Arc<IpsInstance>,
+    down: AtomicBool,
+    rng: Mutex<SmallRng>,
+    network: NetworkModel,
+}
+
+impl RpcEndpoint {
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        region: impl Into<String>,
+        instance: Arc<IpsInstance>,
+        network: NetworkModel,
+    ) -> Arc<Self> {
+        let name = name.into();
+        let seed = name.bytes().fold(0x5eed_u64, |a, b| {
+            a.wrapping_mul(31).wrapping_add(u64::from(b))
+        });
+        Arc::new(Self {
+            name,
+            region: region.into(),
+            instance,
+            down: AtomicBool::new(false),
+            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+            network,
+        })
+    }
+
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    #[must_use]
+    pub fn region(&self) -> &str {
+        &self.region
+    }
+
+    #[must_use]
+    pub fn instance(&self) -> &Arc<IpsInstance> {
+        &self.instance
+    }
+
+    /// Crash / restore the endpoint (node failure injection).
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::SeqCst);
+    }
+
+    #[must_use]
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    /// Issue one call: serialize, traverse the modeled network, execute,
+    /// serialize the response back. Returns the response plus the modeled
+    /// network time in microseconds (server compute is measured separately
+    /// by the instance's own histograms and returned in the breakdown the
+    /// client assembles).
+    pub fn call(&self, request: &RpcRequest) -> Result<(RpcResponse, u64)> {
+        let (result, cost) = self.call_traced(request, None);
+        result.map(|resp| (resp, cost.total_us()))
+    }
+
+    /// [`RpcEndpoint::call`] with trace propagation and per-attempt cost
+    /// accounting. The caller's span context (if any) is stamped into the
+    /// request envelope; the server opens a `server` span under it through
+    /// its instance's tracer. The [`WireCost`] is returned even on failure:
+    /// a lost response still paid for its outbound traversal.
+    pub fn call_traced(
+        &self,
+        request: &RpcRequest,
+        ctx: Option<&SpanContext>,
+    ) -> (Result<RpcResponse>, WireCost) {
+        self.call_with_options(request, ctx, &super::CallOptions::default())
+    }
+
+    /// [`RpcEndpoint::call_traced`] with per-call options: the remaining
+    /// deadline budget (armed server-side after subtracting the modeled
+    /// outbound transit, so queue wait and compute decrement it), the
+    /// scheduling priority, and the degraded-serving opt-in.
+    pub fn call_with_options(
+        &self,
+        request: &RpcRequest,
+        ctx: Option<&SpanContext>,
+        opts: &super::CallOptions,
+    ) -> (Result<RpcResponse>, WireCost) {
+        let mut cost = WireCost::default();
+        let result = self.call_inner(request, ctx, opts, &mut cost);
+        (result, cost)
+    }
+
+    fn call_inner(
+        &self,
+        request: &RpcRequest,
+        ctx: Option<&SpanContext>,
+        opts: &super::CallOptions,
+        cost: &mut WireCost,
+    ) -> Result<RpcResponse> {
+        if self.is_down() {
+            return Err(IpsError::Rpc(format!("endpoint {} down", self.name)));
+        }
+        let request_bytes = {
+            let _s = ips_trace::child("serialize");
+            request.encode_with(ctx, opts)
+        };
+        let outbound = {
+            let mut rng = self.rng.lock();
+            self.network.sample_us(request_bytes.len(), &mut rng)
+        };
+        let Some(outbound_us) = outbound else {
+            return Err(IpsError::Rpc("request lost in transit".into()));
+        };
+        cost.outbound_us = outbound_us;
+        ips_trace::record_modeled("network", outbound_us);
+
+        // In-process "server side": mask the client's ambient scope so the
+        // server spans can only join the trace through the wire-propagated
+        // context — exactly what a remote process would see. The server
+        // decodes the exact bytes the client sent.
+        let masked = ips_trace::mask();
+        let (request, envelope) = RpcRequest::decode_envelope(&request_bytes)?;
+        // One request context for the whole server-side pipeline: arm the
+        // wire budget against this process's monotonic clock, after
+        // charging the modeled outbound transit the frame just "paid".
+        // The caller identity is filled in per request kind by `execute`.
+        let mut base = RequestContext::default().with_priority(envelope.priority);
+        if let Some(deadline) = envelope.deadline {
+            base = base.with_deadline(deadline.saturating_sub_us(outbound_us).arm());
+        }
+        if let Some(staleness) = envelope.degraded {
+            base = base.with_staleness(staleness);
+        }
+        let mut server_span = match (self.instance.tracer(), envelope.trace) {
+            (Some(tracer), Some(wc)) => {
+                let mut s = tracer.span_with_parent("server", wc);
+                s.set_attr("endpoint", self.name.clone());
+                s.set_attr("region", self.region.clone());
+                s
+            }
+            _ => ips_trace::Span::disabled(),
+        };
+        let response = match self.execute(request, base) {
+            Ok(resp) => resp,
+            Err(e) => {
+                server_span.set_error(e.to_string());
+                return Err(e);
+            }
+        };
+        let server_ctx = server_span.context();
+        let response_bytes = {
+            let _s = ips_trace::child("serialize");
+            response.encode_traced(server_ctx.as_ref())
+        };
+        drop(server_span);
+        drop(masked);
+
+        let inbound = {
+            let mut rng = self.rng.lock();
+            self.network.sample_us(response_bytes.len(), &mut rng)
+        };
+        let Some(inbound_us) = inbound else {
+            return Err(IpsError::Rpc("response lost in transit".into()));
+        };
+        cost.inbound_us = inbound_us;
+        ips_trace::record_modeled("network", inbound_us);
+        let (response, _server_ctx) = {
+            let _s = ips_trace::child("serialize");
+            RpcResponse::decode_traced(&response_bytes)?
+        };
+        Ok(response)
+    }
+
+    /// The server-side dispatch table: one instance API per request kind.
+    /// Each arm stamps the request's caller into the decoded envelope
+    /// context and calls the context-carrying instance API; the pipeline
+    /// behind it sheds expired work, reserves fair admission, and charges
+    /// quota.
+    fn execute(&self, request: RpcRequest, base: RequestContext) -> Result<RpcResponse> {
+        match request {
+            RpcRequest::Add {
+                caller,
+                table,
+                profile,
+                at,
+                slot,
+                action,
+                features,
+            } => {
+                let rctx = RequestContext { caller, ..base };
+                self.instance
+                    .add_profiles_ctx(&rctx, table, profile, at, slot, action, &features)?;
+                Ok(RpcResponse::Ok)
+            }
+            RpcRequest::Query { caller, query } => {
+                let rctx = RequestContext { caller, ..base };
+                Ok(RpcResponse::Query(self.instance.query_ctx(&rctx, &query)?))
+            }
+            RpcRequest::QueryBatch { caller, queries } => {
+                let rctx = RequestContext { caller, ..base };
+                Ok(RpcResponse::QueryBatch(
+                    self.instance.query_batch_ctx(&rctx, &queries)?,
+                ))
+            }
+            RpcRequest::AddBatch { caller, writes } => {
+                let rctx = RequestContext { caller, ..base };
+                for w in &writes {
+                    self.instance.add_profiles_ctx(
+                        &rctx,
+                        w.table,
+                        w.profile,
+                        w.at,
+                        w.slot,
+                        w.action,
+                        &w.features,
+                    )?;
+                }
+                Ok(RpcResponse::Ok)
+            }
+            RpcRequest::SnapshotChunk {
+                table,
+                handoff,
+                seq,
+                last,
+                entries,
+            } => {
+                // Warm-up work past its per-chunk deadline is shed whole by
+                // the pipeline's deadline stage: the source retries the
+                // chunk with a fresh budget and the resume cursor keeps the
+                // stream exactly-once.
+                let mut decoded = Vec::with_capacity(entries.len());
+                for e in entries {
+                    decoded.push(ips_core::ExportedEntry {
+                        pid: e.profile,
+                        generation: e.generation,
+                        data: ips_core::persist::decode_profile(&e.payload)?,
+                    });
+                }
+                let applied = self
+                    .instance
+                    .import_snapshot_chunk_ctx(&base, table, handoff, seq, last, decoded)?;
+                Ok(RpcResponse::SnapshotAck(SnapshotAck {
+                    handoff,
+                    next_seq: applied.next_seq,
+                    imported: applied.report.imported as u64,
+                    rejected_stale: applied.report.rejected_stale as u64,
+                    already_resident: applied.report.already_resident as u64,
+                }))
+            }
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //!
 //! The uncompressed length is *not* part of this format; the [`crate::frame`]
 //! envelope carries it.
+// wire-schema: registry
 
 use std::fmt;
 

@@ -13,6 +13,7 @@
 //! Decoding is backward compatible both ways — old frames (flag clear) parse
 //! unchanged, and [`decode_frame`] transparently skips the context on new
 //! frames for callers that do not care about it.
+// wire-schema: registry
 
 use std::fmt;
 

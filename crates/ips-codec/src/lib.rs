@@ -21,6 +21,7 @@
 //!
 //! The profile⇄bytes schema itself lives next to the data structures in
 //! `ips-core::persist`; this crate is deliberately schema-agnostic.
+// wire-schema: registry
 
 pub mod compress;
 pub mod frame;

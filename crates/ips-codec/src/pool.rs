@@ -11,6 +11,7 @@
 //! The pool is deliberately small and thread-local: no locks, no cross-thread
 //! traffic, bounded retained memory. Buffers above a retention cap are
 //! dropped rather than cached so one huge profile cannot pin memory forever.
+// wire-schema: registry
 
 use std::cell::{Cell, RefCell};
 

@@ -1,4 +1,5 @@
 //! LEB128 varints and zigzag signed mapping.
+// wire-schema: registry
 
 use std::fmt;
 

@@ -10,6 +10,7 @@
 //! Readers skip unknown fields, so schemas can grow without breaking old
 //! data — the property that makes split-profile persistence (Fig 13) safe to
 //! evolve.
+// wire-schema: registry
 
 use std::fmt;
 

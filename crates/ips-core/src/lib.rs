@@ -74,4 +74,4 @@ pub use cache::{ExportBatch, ExportedEntry, GCache, ImportReport};
 pub use model::{IndexedFeatureStat, InstanceSet, ProfileData, Slice};
 pub use persist::{ProfilePersister, ProfileStore, SliceProjection, SliceRefInfo};
 pub use query::{FeatureEntry, FilterPredicate, ProfileQuery, QueryKind, QueryResult};
-pub use server::{IpsInstance, IpsInstanceOptions, SnapshotImportAck};
+pub use server::{IpsInstance, IpsInstanceOptions, RequestContext, SnapshotImportAck};

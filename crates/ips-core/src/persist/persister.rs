@@ -14,6 +14,7 @@
 //! orphaned slice values are deleted only after the meta no longer
 //! references them — the write order that makes a crash at any point leave a
 //! loadable profile.
+// wire-schema: registry
 
 use bytes::Bytes;
 

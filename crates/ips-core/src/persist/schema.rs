@@ -4,6 +4,7 @@
 //! feature stats) into the tag/varint wire format, framed and compressed by
 //! `ips-codec`. Field numbers are stable; unknown fields are skipped on
 //! read, so the schema can grow.
+// wire-schema: registry
 
 use ips_codec::wire::{WireReader, WireWriter};
 use ips_codec::{decode_frame, encode_frame_traced, FrameTraceContext};

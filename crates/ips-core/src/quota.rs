@@ -9,12 +9,11 @@
 //! paper's behaviour of rejecting until usage falls below the limit.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
 use ips_metrics::Counter;
-use ips_types::{AdmissionConfig, CallerId, IpsError, QuotaConfig, Result, SharedClock, Timestamp};
+use ips_types::{CallerId, IpsError, QuotaConfig, Result, SharedClock, Timestamp};
 
 struct Bucket {
     tokens: f64,
@@ -61,6 +60,15 @@ impl QuotaEnforcer {
             .unwrap_or(self.default_config)
     }
 
+    /// The caller's fair-admission weight: its configured QPS contract.
+    /// The tenant an operator granted the larger quota also gets the
+    /// larger share of a contended worker pool. Never zero, so even a
+    /// banned caller's queued work can drain.
+    #[must_use]
+    pub fn weight_for(&self, caller: CallerId) -> u64 {
+        self.config_for(caller).qps_limit.max(1)
+    }
+
     /// Admit or reject `cost` request units for `caller`.
     pub fn check(&self, caller: CallerId, cost: u64) -> Result<()> {
         let config = self.config_for(caller);
@@ -93,69 +101,6 @@ impl QuotaEnforcer {
             self.rejected.inc();
             Err(IpsError::QuotaExceeded(caller))
         }
-    }
-}
-
-/// Server-wide admission control for the batch worker pool: a bounded count
-/// of batch sub-queries in flight. Where quota answers "is this *caller*
-/// within its contract" (terminal for the caller), admission answers "does
-/// this *replica* have capacity right now" — rejects surface as
-/// [`IpsError::Overloaded`], which clients treat as retryable on another
-/// replica.
-pub struct AdmissionController {
-    config: AdmissionConfig,
-    inflight: AtomicUsize,
-    /// Batches shed at admission.
-    pub shed: Counter,
-}
-
-impl AdmissionController {
-    #[must_use]
-    pub fn new(config: AdmissionConfig) -> Self {
-        Self {
-            config,
-            inflight: AtomicUsize::new(0),
-            shed: Counter::new(),
-        }
-    }
-
-    /// Sub-queries currently executing.
-    #[must_use]
-    pub fn inflight(&self) -> usize {
-        self.inflight.load(Ordering::Relaxed)
-    }
-
-    /// Try to reserve `units` sub-query slots. The returned permit releases
-    /// them on drop (including on panic), so shed accounting cannot leak.
-    pub fn try_admit(&self, units: usize) -> Result<AdmissionPermit<'_>> {
-        let limit = self.config.max_inflight_subqueries;
-        if limit > 0 {
-            let prev = self.inflight.fetch_add(units, Ordering::AcqRel);
-            if prev + units > limit {
-                self.inflight.fetch_sub(units, Ordering::AcqRel);
-                self.shed.inc();
-                return Err(IpsError::Overloaded {
-                    inflight: prev as u64,
-                    limit: limit as u64,
-                });
-            }
-        } else {
-            // Unbounded: still track inflight for observability.
-            self.inflight.fetch_add(units, Ordering::AcqRel);
-        }
-        Ok(AdmissionPermit { ctrl: self, units })
-    }
-}
-
-/// A reservation of batch worker-pool capacity; releases on drop.
-pub struct AdmissionPermit<'a> {
-    ctrl: &'a AdmissionController,
-    units: usize,
-}
-
-impl Drop for AdmissionPermit<'_> {
-    fn drop(&mut self) {
-        self.ctrl.inflight.fetch_sub(self.units, Ordering::AcqRel);
     }
 }
 
@@ -295,30 +240,28 @@ mod tests {
     }
 
     #[test]
-    fn admission_sheds_over_capacity_and_releases_on_drop() {
-        let ctrl = AdmissionController::new(AdmissionConfig {
-            max_inflight_subqueries: 10,
-        });
-        let p1 = ctrl.try_admit(6).unwrap();
-        let p2 = ctrl.try_admit(4).unwrap();
-        assert_eq!(ctrl.inflight(), 10);
-        let err = ctrl.try_admit(1).map(|_| ()).unwrap_err();
-        assert!(err.is_overload(), "got {err}");
-        assert!(err.is_retryable(), "overload must be retryable elsewhere");
-        assert_eq!(ctrl.shed.get(), 1);
-        drop(p1);
-        assert_eq!(ctrl.inflight(), 4);
-        let _p3 = ctrl.try_admit(6).unwrap();
-        drop(p2);
-    }
-
-    #[test]
-    fn admission_unbounded_by_default() {
-        let ctrl = AdmissionController::new(AdmissionConfig::default());
-        let permits: Vec<_> = (0..64).map(|_| ctrl.try_admit(1000).unwrap()).collect();
-        assert_eq!(ctrl.inflight(), 64_000, "inflight still observable");
-        assert_eq!(ctrl.shed.get(), 0);
-        drop(permits);
-        assert_eq!(ctrl.inflight(), 0);
+    fn weight_follows_configured_qps_and_never_hits_zero() {
+        let (q, _ctl) = enforcer(100);
+        assert_eq!(q.weight_for(CallerId::new(1)), 100);
+        q.set_quota(
+            CallerId::new(2),
+            QuotaConfig {
+                qps_limit: 5_000,
+                burst_factor: 1.0,
+            },
+        );
+        assert_eq!(q.weight_for(CallerId::new(2)), 5_000);
+        q.set_quota(
+            CallerId::new(3),
+            QuotaConfig {
+                qps_limit: 0,
+                burst_factor: 1.0,
+            },
+        );
+        assert_eq!(
+            q.weight_for(CallerId::new(3)),
+            1,
+            "banned caller still drains"
+        );
     }
 }

@@ -1,0 +1,35 @@
+//! The quota stage: the per-caller token-bucket contract.
+//!
+//! Enforcement mechanics live in [`crate::quota::QuotaEnforcer`]; this
+//! stage is the only serving-path call site. A rejection is terminal for
+//! the caller ([`ips_types::IpsError::QuotaExceeded`]) — unlike an
+//! admission shed it must not be retried on another replica, because the
+//! contract is per cluster, not per node.
+
+use ips_types::Result;
+
+use super::{PipelineRequest, RequestKind, ServerStage, StageGuard};
+use crate::server::IpsInstance;
+
+/// Charges `units` against the caller's bucket. Snapshot chunks are
+/// internal rebalancing traffic and carry no caller contract, so they are
+/// exempt.
+pub(crate) struct QuotaStage;
+
+impl ServerStage for QuotaStage {
+    fn name(&self) -> &'static str {
+        "quota"
+    }
+
+    fn admit<'a>(
+        &self,
+        inst: &'a IpsInstance,
+        req: &PipelineRequest<'_>,
+    ) -> Result<Option<StageGuard<'a>>> {
+        if req.kind == RequestKind::Snapshot {
+            return Ok(None);
+        }
+        inst.quota.check(req.ctx.caller, req.units as u64)?;
+        Ok(None)
+    }
+}

@@ -1,0 +1,475 @@
+use std::sync::Arc;
+
+use super::pipeline::RequestContext;
+use super::{DynStore, IpsInstance, IpsInstanceOptions};
+use crate::query::{FilterPredicate, ProfileQuery};
+use ips_types::clock::sim_clock;
+use ips_types::Clock as _;
+use ips_types::{
+    ActionTypeId, AdmissionConfig, CallerId, CountVector, DegradedServingConfig, DurationMs,
+    FeatureId, IpsError, IsolationConfig, ProfileId, QuotaConfig, SlotId, TableConfig, TableId,
+    TimeRange, Timestamp,
+};
+
+const TABLE: TableId = TableId(1);
+const CALLER: CallerId = CallerId(1);
+const SLOT: SlotId = SlotId(1);
+const LIKE: ActionTypeId = ActionTypeId(1);
+
+fn setup() -> (Arc<IpsInstance>, ips_types::SimClock) {
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(400).as_millis(),
+    ));
+    let instance = IpsInstance::new_in_memory(IpsInstanceOptions::default(), clock);
+    let mut cfg = TableConfig::new("test");
+    cfg.isolation.enabled = false; // direct writes by default in tests
+    instance.create_table(TABLE, cfg).unwrap();
+    (instance, ctl)
+}
+
+fn add(i: &Arc<IpsInstance>, pid: u64, fid: u64, likes: i64, now: Timestamp) {
+    i.add_profile(
+        CALLER,
+        TABLE,
+        ProfileId::new(pid),
+        now,
+        SLOT,
+        LIKE,
+        FeatureId::new(fid),
+        CountVector::single(likes),
+    )
+    .unwrap();
+}
+
+#[test]
+fn write_then_query_round_trip() {
+    let (i, ctl) = setup();
+    let now = ctl.now();
+    add(&i, 1, 10, 3, now);
+    add(&i, 1, 20, 5, now);
+    let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
+    let r = i.query(CALLER, &q).unwrap();
+    assert_eq!(r.entries[0].feature, FeatureId::new(20));
+    assert!(r.cache_hit);
+}
+
+#[test]
+fn unknown_table_and_profile() {
+    let (i, ctl) = setup();
+    let q = ProfileQuery::top_k(
+        TableId::new(99),
+        ProfileId::new(1),
+        SLOT,
+        TimeRange::last_days(1),
+        1,
+    );
+    assert!(matches!(
+        i.query(CALLER, &q),
+        Err(IpsError::UnknownTable(_))
+    ));
+
+    let q = ProfileQuery::top_k(TABLE, ProfileId::new(404), SLOT, TimeRange::last_days(1), 1);
+    let r = i.query(CALLER, &q).unwrap();
+    assert!(r.is_empty());
+    assert!(!r.cache_hit);
+    drop(ctl);
+}
+
+#[test]
+fn duplicate_table_rejected() {
+    let (i, _ctl) = setup();
+    assert!(i.create_table(TABLE, TableConfig::new("dup")).is_err());
+}
+
+#[test]
+fn batched_writes_one_quota_charge_per_feature() {
+    let (i, ctl) = setup();
+    let features: Vec<(FeatureId, CountVector)> = (0..5)
+        .map(|n| (FeatureId::new(n), CountVector::single(1)))
+        .collect();
+    i.add_profiles(
+        CALLER,
+        TABLE,
+        ProfileId::new(1),
+        ctl.now(),
+        SLOT,
+        LIKE,
+        &features,
+    )
+    .unwrap();
+    let q = ProfileQuery::filter(
+        TABLE,
+        ProfileId::new(1),
+        SLOT,
+        TimeRange::last_days(1),
+        FilterPredicate::All,
+    );
+    assert_eq!(i.query(CALLER, &q).unwrap().len(), 5);
+}
+
+#[test]
+fn isolation_buffers_until_merge() {
+    let (i, ctl) = setup();
+    i.update_table_config(TABLE, |c| {
+        let mut c = c.clone();
+        c.isolation = IsolationConfig {
+            enabled: true,
+            ..Default::default()
+        };
+        c
+    })
+    .unwrap();
+    let now = ctl.now();
+    add(&i, 1, 10, 3, now);
+    // Not yet visible: §III-F "delays the data visibility slightly".
+    let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 5);
+    assert!(i.query(CALLER, &q).unwrap().is_empty());
+    // After the merge it is.
+    i.table(TABLE).unwrap().merge_write_table().unwrap();
+    assert_eq!(i.query(CALLER, &q).unwrap().len(), 1);
+}
+
+#[test]
+fn quota_rejections_surface() {
+    let (i, ctl) = setup();
+    let limited = CallerId::new(9);
+    i.quota.set_quota(
+        limited,
+        QuotaConfig {
+            qps_limit: 2,
+            burst_factor: 1.0,
+        },
+    );
+    let now = ctl.now();
+    add(&i, 1, 1, 1, now);
+    let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
+    i.query(limited, &q).unwrap();
+    i.query(limited, &q).unwrap();
+    assert!(matches!(
+        i.query(limited, &q),
+        Err(IpsError::QuotaExceeded(_))
+    ));
+    // Default caller unaffected.
+    i.query(CALLER, &q).unwrap();
+}
+
+#[test]
+fn tick_runs_compaction_pipeline() {
+    let (i, ctl) = setup();
+    // Many old slices.
+    for n in 0..50u64 {
+        ctl.advance(DurationMs::from_secs(2));
+        add(&i, 1, n, 1, ctl.now());
+    }
+    ctl.advance(DurationMs::from_days(2));
+    // Trigger scheduling with one more write.
+    add(&i, 1, 99, 1, ctl.now());
+    let before = i
+        .table(TABLE)
+        .unwrap()
+        .cache
+        .read(ProfileId::new(1), |p| p.slice_count())
+        .unwrap()
+        .unwrap()
+        .0;
+    i.tick().unwrap();
+    let after = i
+        .table(TABLE)
+        .unwrap()
+        .cache
+        .read(ProfileId::new(1), |p| p.slice_count())
+        .unwrap()
+        .unwrap()
+        .0;
+    assert!(
+        after < before,
+        "compaction should shrink slice list ({before} -> {after})"
+    );
+}
+
+#[test]
+fn shutdown_flushes_and_refuses() {
+    let (i, ctl) = setup();
+    add(&i, 1, 1, 1, ctl.now());
+    let flushed = i.shutdown().unwrap();
+    assert!(flushed >= 1);
+    let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
+    assert!(matches!(i.query(CALLER, &q), Err(IpsError::ShuttingDown)));
+}
+
+#[test]
+fn drop_table_flushes_and_removes() {
+    let (i, ctl) = setup();
+    add(&i, 1, 1, 1, ctl.now());
+    i.drop_table(TABLE).unwrap();
+    let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
+    assert!(matches!(
+        i.query(CALLER, &q),
+        Err(IpsError::UnknownTable(_))
+    ));
+    assert!(i.drop_table(TABLE).is_err(), "already dropped");
+    // Re-creating the table finds the flushed data in the store.
+    let mut cfg = TableConfig::new("recreated");
+    cfg.isolation.enabled = false;
+    i.create_table(TABLE, cfg).unwrap();
+    let r = i.query(CALLER, &q).unwrap();
+    assert_eq!(r.len(), 1, "persisted profile survives a table drop");
+}
+
+#[test]
+fn hot_config_reload_applies() {
+    let (i, _ctl) = setup();
+    i.update_table_config(TABLE, |c| {
+        let mut c = c.clone();
+        c.compaction.truncate.max_slices = Some(7);
+        c
+    })
+    .unwrap();
+    let rt = i.table(TABLE).unwrap();
+    assert_eq!(rt.config.load().compaction.truncate.max_slices, Some(7));
+    // Invalid config rejected.
+    assert!(i
+        .update_table_config(TABLE, |c| {
+            let mut c = c.clone();
+            c.attributes = 0;
+            c
+        })
+        .is_err());
+}
+
+#[test]
+fn udaf_runs_through_the_instance() {
+    use crate::query::udaf::SmoothedCtr;
+    let (i, ctl) = setup();
+    let now = ctl.now();
+    // fid 1: lucky one-off (1 click / 1 imp); fid 2: steady (40/100).
+    i.add_profile(
+        CALLER,
+        TABLE,
+        ProfileId::new(1),
+        now,
+        SLOT,
+        LIKE,
+        FeatureId::new(1),
+        CountVector::pair(1, 1),
+    )
+    .unwrap();
+    i.add_profile(
+        CALLER,
+        TABLE,
+        ProfileId::new(1),
+        now,
+        SLOT,
+        LIKE,
+        FeatureId::new(2),
+        CountVector::pair(40, 100),
+    )
+    .unwrap();
+    let udaf = SmoothedCtr {
+        click_attr: 0,
+        impression_attr: 1,
+        alpha: 1.0,
+        beta: 20.0,
+    };
+    let top = i
+        .query_udaf(
+            CALLER,
+            TABLE,
+            ProfileId::new(1),
+            SLOT,
+            None,
+            TimeRange::last_days(1),
+            &udaf,
+            2,
+        )
+        .unwrap();
+    assert_eq!(top[0].0, FeatureId::new(2));
+    // Unknown profile: empty, not an error.
+    let none = i
+        .query_udaf(
+            CALLER,
+            TABLE,
+            ProfileId::new(404),
+            SLOT,
+            None,
+            TimeRange::last_days(1),
+            &udaf,
+            2,
+        )
+        .unwrap();
+    assert!(none.is_empty());
+}
+
+#[test]
+fn expired_deadline_is_shed_before_compute() {
+    use ips_types::Deadline;
+    let (i, ctl) = setup();
+    add(&i, 1, 10, 3, ctl.now());
+    let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
+    let queries_before = i.table(TABLE).unwrap().metrics.queries.get();
+
+    let ctx = RequestContext::new(CALLER).with_deadline(Deadline::from_budget_us(0).arm());
+    assert!(matches!(
+        i.query_ctx(&ctx, &q),
+        Err(IpsError::DeadlineExceeded)
+    ));
+    assert_eq!(i.shed_deadline.get(), 1);
+    assert_eq!(
+        i.table(TABLE).unwrap().metrics.queries.get(),
+        queries_before,
+        "shed work must not reach the query engine"
+    );
+
+    // A batch with an expired deadline sheds every sub-query.
+    let batch = vec![q.clone(), q.clone(), q.clone()];
+    let out = i.query_batch_ctx(&ctx, &batch);
+    assert!(matches!(out, Err(IpsError::DeadlineExceeded)));
+
+    // A generous deadline changes nothing.
+    let ctx = RequestContext::new(CALLER)
+        .with_deadline(Deadline::from_budget(DurationMs::from_secs(60)).arm());
+    assert_eq!(i.query_ctx(&ctx, &q).unwrap().len(), 1);
+}
+
+#[test]
+fn batch_admission_sheds_with_overloaded() {
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(400).as_millis(),
+    ));
+    let options = IpsInstanceOptions {
+        admission: AdmissionConfig {
+            max_inflight_subqueries: 4,
+        },
+        ..Default::default()
+    };
+    let i = IpsInstance::new_in_memory(options, clock);
+    let mut cfg = TableConfig::new("test");
+    cfg.isolation.enabled = false;
+    i.create_table(TABLE, cfg).unwrap();
+    add(&i, 1, 10, 3, ctl.now());
+
+    let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
+    let small = vec![q.clone(); 4];
+    assert!(i.query_batch(CALLER, &small).is_ok(), "at capacity admits");
+    let big = vec![q.clone(); 5];
+    let err = i.query_batch(CALLER, &big).unwrap_err();
+    assert!(err.is_overload(), "got {err}");
+    assert_eq!(i.admission.shed.get(), 1);
+    // The permit was released: capacity-sized batches still serve.
+    assert!(i.query_batch(CALLER, &small).is_ok());
+    // Overload shed must be distinct from quota rejection.
+    assert!(!matches!(err, IpsError::QuotaExceeded(_)));
+}
+
+#[test]
+fn storage_brownout_serves_degraded_from_stale_pool() {
+    use std::sync::Arc as StdArc;
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(400).as_millis(),
+    ));
+    let node =
+        StdArc::new(ips_kv::KvNode::new("kv-brownout", ips_kv::KvNodeConfig::default()).unwrap());
+    let i = IpsInstance::new(
+        StdArc::clone(&node) as DynStore,
+        IpsInstanceOptions::default(),
+        clock,
+    );
+    let mut cfg = TableConfig::new("test");
+    cfg.isolation.enabled = false;
+    i.create_table(TABLE, cfg).unwrap();
+    add(&i, 1, 10, 3, ctl.now());
+
+    // Flush and evict so the profile is only in the store + stale pool.
+    let rt = i.table(TABLE).unwrap();
+    rt.cache.flush_all().unwrap();
+    rt.cache.evict(ProfileId::new(1)).unwrap();
+
+    // Full brownout: every KV op fails.
+    node.set_error_rate(1.0);
+    ctl.advance(DurationMs::from_secs(5));
+    let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
+
+    // Without opt-in (and below the failure threshold) the error
+    // surfaces as-is.
+    assert!(matches!(i.query(CALLER, &q), Err(IpsError::Storage(_))));
+
+    // With the degraded opt-in the stale copy serves, stamped.
+    let ctx = RequestContext::new(CALLER).with_staleness(DurationMs::from_mins(5));
+    let r = i.query_ctx(&ctx, &q).unwrap();
+    assert!(r.degraded, "result must be stamped degraded");
+    assert_eq!(r.staleness.as_millis(), 5_000);
+    assert_eq!(r.entries[0].feature, FeatureId::new(10));
+    assert_eq!(i.degraded_serves.get(), 1);
+
+    // Staleness bound is enforced: an opt-in tighter than the data's
+    // age refuses and surfaces the storage error.
+    ctl.advance(DurationMs::from_mins(2));
+    let tight = RequestContext::new(CALLER).with_staleness(DurationMs::from_secs(1));
+    assert!(matches!(i.query_ctx(&tight, &q), Err(IpsError::Storage(_))));
+
+    // Recovery: store healthy again, the profile reloads fresh.
+    node.set_error_rate(0.0);
+    let r = i.query(CALLER, &q).unwrap();
+    assert!(!r.degraded);
+    assert_eq!(r.len(), 1);
+}
+
+#[test]
+fn repeated_storage_failures_auto_degrade_unflagged_reads() {
+    use std::sync::Arc as StdArc;
+    let (clock, ctl) = sim_clock(Timestamp::from_millis(
+        DurationMs::from_days(400).as_millis(),
+    ));
+    let node =
+        StdArc::new(ips_kv::KvNode::new("kv-brownout", ips_kv::KvNodeConfig::default()).unwrap());
+    let options = IpsInstanceOptions {
+        degraded: DegradedServingConfig {
+            enabled: true,
+            max_staleness: DurationMs::from_mins(10),
+            storage_failure_threshold: 3,
+        },
+        ..Default::default()
+    };
+    let i = IpsInstance::new(StdArc::clone(&node) as DynStore, options, clock);
+    let mut cfg = TableConfig::new("test");
+    cfg.isolation.enabled = false;
+    i.create_table(TABLE, cfg).unwrap();
+    add(&i, 1, 10, 3, ctl.now());
+    let rt = i.table(TABLE).unwrap();
+    rt.cache.flush_all().unwrap();
+    rt.cache.evict(ProfileId::new(1)).unwrap();
+
+    node.set_error_rate(1.0);
+    let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
+    // Below the threshold plain queries fail hard…
+    assert!(i.query(CALLER, &q).is_err());
+    assert!(i.query(CALLER, &q).is_err());
+    // …at the threshold the instance declares a brownout and serves
+    // stale even without the request flag.
+    let r = i.query(CALLER, &q).unwrap();
+    assert!(r.degraded);
+    assert_eq!(i.degraded_serves.get(), 1);
+}
+
+#[test]
+fn background_threads_start_and_stop() {
+    let (i, ctl) = setup();
+    let bg = i.spawn_background();
+    add(&i, 1, 1, 1, ctl.now());
+    // lint: allow(sleep-in-test, reason = "gives real OS threads a scheduling window; the sim clock cannot")
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    drop(bg);
+    // Still queryable after background stops.
+    let q = ProfileQuery::top_k(TABLE, ProfileId::new(1), SLOT, TimeRange::last_days(1), 1);
+    assert_eq!(i.query(CALLER, &q).unwrap().len(), 1);
+}
+
+#[test]
+fn standard_pipeline_stage_order_is_the_documented_contract() {
+    let (i, _ctl) = setup();
+    assert_eq!(
+        i.pipeline().stage_names(),
+        vec!["deadline", "admission", "quota", "trace"],
+        "DESIGN.md §13 ordering contract"
+    );
+}

@@ -31,6 +31,7 @@
 //! All file I/O goes through [`storage::WalStorage`], so every failure mode
 //! (torn write, failed fsync, crash between checkpoint and retirement,
 //! bit rot, disk full) is injectable and deterministic under test.
+// wire-schema: registry
 
 pub mod storage;
 

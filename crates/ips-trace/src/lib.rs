@@ -52,6 +52,10 @@ pub mod attrs {
     pub const DEGRADED: &str = "degraded";
     /// Staleness (ms) of a degraded result.
     pub const STALENESS_MS: &str = "staleness_ms";
+    /// Caller identity (raw id) a unit of work was performed for.
+    pub const CALLER: &str = "caller";
+    /// Scheduling priority label (`"interactive"` / `"normal"` / `"bulk"`).
+    pub const PRIORITY: &str = "priority";
 }
 
 use std::cell::{Cell, RefCell};

@@ -398,6 +398,57 @@ impl Default for QuotaConfig {
     }
 }
 
+/// Caller-declared urgency of one request, threaded through the request
+/// pipeline (client chain, wire envelope, server chain) as part of the
+/// request context. The scheduler treats it as advisory today — weighted
+/// fair admission derives shares from [`QuotaConfig::qps_limit`] — but it
+/// rides every span and envelope so priority-aware layers can be added
+/// without another wire change.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Priority {
+    /// Latency-sensitive serving traffic (inline recommendations).
+    Interactive,
+    /// The default when a caller declares nothing.
+    #[default]
+    Normal,
+    /// Throughput-oriented traffic (backfills, offline feature dumps).
+    Bulk,
+}
+
+impl Priority {
+    /// Stable wire code. `Normal` is 0 so an absent field decodes to the
+    /// default and a default priority is never encoded (byte-identity).
+    #[must_use]
+    pub const fn code(self) -> u64 {
+        match self {
+            Priority::Normal => 0,
+            Priority::Interactive => 1,
+            Priority::Bulk => 2,
+        }
+    }
+
+    /// Inverse of [`Priority::code`]; unknown codes (a newer peer) fall back
+    /// to `Normal` rather than failing the decode.
+    #[must_use]
+    pub const fn from_code(code: u64) -> Self {
+        match code {
+            1 => Priority::Interactive,
+            2 => Priority::Bulk,
+            _ => Priority::Normal,
+        }
+    }
+
+    /// Short label for span attributes and logs.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Normal => "normal",
+            Priority::Bulk => "bulk",
+        }
+    }
+}
+
 /// Client retry behaviour for failover across replicas and regions.
 ///
 /// The defaults reproduce the pre-deadline behaviour exactly: sweep every

@@ -22,7 +22,7 @@ pub mod time;
 pub use clock::{Clock, SharedClock, SimClock, SystemClock};
 pub use config::{
     AdmissionConfig, AggregateFunction, CacheConfig, CircuitBreakerConfig, CompactionConfig,
-    DegradedServingConfig, IsolationConfig, PersistenceMode, QuotaConfig, RecoveryMode,
+    DegradedServingConfig, IsolationConfig, PersistenceMode, Priority, QuotaConfig, RecoveryMode,
     RetryPolicy, ShrinkConfig, SortKey, SortOrder, TableConfig, TimeDimensionConfig,
     TruncateConfig, WalConfig,
 };

@@ -1,6 +1,6 @@
 //! The source-level lint pass behind `cargo run -p xtask -- check`.
 //!
-//! Seven repo-specific rules that clippy cannot express:
+//! Eight repo-specific rules that clippy cannot express:
 //!
 //! * `unwrap` — no `.unwrap()` / `.expect(` in non-test code of the serving
 //!   crates; a panic in the serving path takes down every scenario sharing
@@ -32,6 +32,13 @@
 //!   (`WireWriter::pooled()` / `ips-codec`'s `take_buf`) instead of paying
 //!   an allocation per call. Top-level entry points that must hand an owned
 //!   `Vec<u8>` to the caller carry an annotation.
+//! * `pipeline-purity` — admission, quota and deadline-shed primitives
+//!   (`.try_admit(`, `quota.check(`, the `shed_*` counters/helpers) may only
+//!   be touched from a `pipeline` module. The request pipeline is where
+//!   every cross-cutting serving concern lives exactly once; a direct call
+//!   from a handler or client orchestration file reintroduces the scattered
+//!   policy the pipeline refactor removed, and skips the stage ordering
+//!   (deadline before admission before quota) the pipeline guarantees.
 //!
 //! Any rule can be waived on a specific line with an annotation carrying a
 //! mandatory reason:
@@ -149,10 +156,14 @@ pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result
     Ok(())
 }
 
-/// Classify a workspace-relative path.
+/// Classify a workspace-relative path. A `tests.rs` module file under
+/// `src/` counts as test code: the convention is `#[cfg(test)] mod tests;`
+/// in its parent, so the file never compiles into the serving binary.
 pub fn classify(rel: &str) -> FileKind {
-    let test_file =
-        rel.contains("/tests/") || rel.starts_with("tests/") || rel.contains("/benches/");
+    let test_file = rel.contains("/tests/")
+        || rel.starts_with("tests/")
+        || rel.contains("/benches/")
+        || rel.ends_with("/tests.rs");
     let serving = SERVING_CRATES
         .iter()
         .any(|c| rel.starts_with(&format!("crates/{c}/src/")));
@@ -305,6 +316,10 @@ pub fn lint_file(rel: &str, src: &str, kind: FileKind) -> Vec<Violation> {
     // `a::b` lexes as `a : : b`; this matches the two colons.
     let path_sep = |p: usize| punct_at(p, ':') && punct_at(p + 1, ':');
 
+    // Rule (h): pipeline modules (and the primitives' own defining files)
+    // are the only place admission/quota/shed machinery may be invoked.
+    let pipeline_file = rel.contains("/pipeline/") || rel.ends_with("/pipeline.rs");
+
     let mut depth: i32 = 0;
     let mut guards: Vec<ActiveGuard> = Vec::new();
     let mut loops: Vec<ActiveLoop> = Vec::new();
@@ -435,6 +450,28 @@ pub fn lint_file(rel: &str, src: &str, kind: FileKind) -> Vec<Violation> {
                             }
                         }
                     }
+                    // ---- rule (h): quota/shed outside pipeline modules ---
+                    "quota"
+                        if serving_live
+                            && !pipeline_file
+                            && punct_at(p + 1, '.')
+                            && ident_at(p + 2, "check")
+                            && punct_at(p + 3, '(')
+                            && !allows.waives(line, "pipeline-purity") =>
+                    {
+                        out.push(pipeline_purity_violation(rel, line, "quota.check("));
+                    }
+                    // The `: Counter` field declarations and struct-literal
+                    // initializers (next token `:`) stay legal — only *uses*
+                    // of the shed machinery are confined to the pipeline.
+                    "shed_overloaded" | "shed_deadline" | "shed_if_expired"
+                        if serving_live
+                            && !pipeline_file
+                            && !punct_at(p + 1, ':')
+                            && !allows.waives(line, "pipeline-purity") =>
+                    {
+                        out.push(pipeline_purity_violation(rel, line, &t.text));
+                    }
                     _ => {}
                 }
                 // Retry-loop bound detection: any identifier naming a
@@ -470,6 +507,19 @@ pub fn lint_file(rel: &str, src: &str, kind: FileKind) -> Vec<Violation> {
                                    panic) or annotate `// lint: allow(unwrap, reason = \
                                    \"...\")`",
                         });
+                    }
+                    // ---- rule (h): breaker admission outside pipeline ----
+                    if serving_live
+                        && !pipeline_file
+                        && ident_at(p + 1, "try_admit")
+                        && punct_at(p + 2, '(')
+                        && !allows.waives(ct[p + 1].line, "pipeline-purity")
+                    {
+                        out.push(pipeline_purity_violation(
+                            rel,
+                            ct[p + 1].line,
+                            ".try_admit(",
+                        ));
                     }
                     // ---- rule (g): .into_bytes() in encode bodies --------
                     if serving_live
@@ -584,6 +634,21 @@ fn encode_alloc_violation(rel: &str, line: usize, pat: &str) -> Violation {
         hint: "reuse the thread-local pool (WireWriter::pooled() / ips-codec's take_buf) so \
                per-request encodes stop paying an allocation, or annotate \
                `// lint: allow(encode-alloc, reason = \"...\")`",
+    }
+}
+
+fn pipeline_purity_violation(rel: &str, line: usize, what: &str) -> Violation {
+    Violation {
+        file: rel.to_string(),
+        line,
+        rule: "pipeline-purity",
+        message: format!(
+            "`{what}` invoked outside a pipeline module: admission/quota/shed policy \
+             belongs to the interceptor stack, not to handlers or call sites"
+        ),
+        hint: "route the request through the pipeline (server::pipeline / \
+               client::pipeline) so stage ordering holds, or annotate \
+               `// lint: allow(pipeline-purity, reason = \"...\")`",
     }
 }
 
@@ -1070,5 +1135,59 @@ mod tests {
                 test_file: false
             }
         );
+    }
+
+    #[test]
+    fn pipeline_primitives_flagged_outside_pipeline_modules() {
+        let src = "fn handle(&self) {\n\
+                       if !self.health.try_admit(now) { return; }\n\
+                       self.quota.check(caller, 1)?;\n\
+                       self.shed_deadline.inc();\n\
+                   }\n";
+        let v = lint_file("crates/ips-core/src/server/handlers.rs", src, SERVING);
+        assert_eq!(
+            rules(&v),
+            ["pipeline-purity", "pipeline-purity", "pipeline-purity"]
+        );
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[1].line, 3);
+        assert_eq!(v[2].line, 4);
+    }
+
+    #[test]
+    fn pipeline_primitives_allowed_inside_pipeline_modules() {
+        let src = "fn admit(&self) {\n\
+                       if !self.health.try_admit(now) { return; }\n\
+                       self.quota.check(caller, 1)?;\n\
+                       self.shed_deadline.inc();\n\
+                   }\n";
+        assert!(lint_file(
+            "crates/ips-core/src/server/pipeline/admission.rs",
+            src,
+            SERVING
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn shed_counter_declaration_is_not_a_use() {
+        let src = "pub struct I {\n\
+                       pub shed_deadline: Counter,\n\
+                   }\n\
+                   fn build() -> I {\n\
+                       I { shed_deadline: Counter::new() }\n\
+                   }\n";
+        assert!(lint_file("crates/ips-core/src/server/mod.rs", src, SERVING).is_empty());
+    }
+
+    #[test]
+    fn pipeline_purity_waivable_and_off_outside_serving() {
+        let src = "fn f(&self) {\n\
+                       // lint: allow(pipeline-purity, reason = \"metrics read-only probe\")\n\
+                       self.quota.check(caller, 0)?;\n\
+                   }\n";
+        assert!(lint_file("crates/ips-core/src/server/handlers.rs", src, SERVING).is_empty());
+        let bare = "fn f(&self) { self.quota.check(caller, 0)?; }\n";
+        assert!(lint_file("tools/x.rs", bare, PLAIN).is_empty());
     }
 }

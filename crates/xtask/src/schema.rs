@@ -15,7 +15,8 @@
 //!    multi-region deployment has to survive).
 //!
 //! This pass parses every `encode_*`/`decode_*`/`write_*`/`read_*`/`put_*`
-//! body in the schema-bearing files (see [`SCHEMA_FILES`]), extracts the
+//! body in the schema-bearing files — the sources carrying the
+//! [`SCHEMA_MARKER`] comment, see [`discover_schema_files`] — extracts the
 //! field tags per message on both sides, and checks the three disciplines
 //! plus a fourth: every decoder's `match` must carry a wildcard/skip arm so
 //! unknown (newer) fields are ignored rather than rejected.
@@ -59,21 +60,81 @@ use std::path::Path;
 use crate::lexer::{self, Tok, TokKind};
 use crate::lint::{Allows, Violation};
 
-/// Files that define wire/storage message schemas. Kept explicit rather
-/// than discovered: a new schema-bearing file is a conscious protocol
-/// decision and belongs in this list (and then in `wire_schema.lock`).
-pub const SCHEMA_FILES: &[&str] = &[
-    "crates/ips-codec/src/wire.rs",
-    "crates/ips-codec/src/frame.rs",
-    "crates/ips-codec/src/varint.rs",
-    "crates/ips-codec/src/compress.rs",
-    "crates/ips-codec/src/pool.rs",
-    "crates/ips-codec/src/lib.rs",
-    "crates/ips-cluster/src/rpc.rs",
-    "crates/ips-core/src/persist/schema.rs",
-    "crates/ips-core/src/persist/persister.rs",
-    "crates/ips-kv/src/wal/mod.rs",
-];
+/// Marker comment that opts a file into the schema registry. A file that
+/// defines wire/storage message tags carries this in a `//` comment near
+/// the top; discovery is by marker rather than by a hardcoded list so a
+/// file split or move cannot silently drop a schema surface from the check.
+/// Adding the marker is still a conscious protocol decision — it is what
+/// puts the file's tags under `wire_schema.lock` discipline.
+pub const SCHEMA_MARKER: &str = "wire-schema: registry";
+
+/// Identifiers that only appear in code speaking the tagged-field wire
+/// format. A file using any of these outside `#[cfg(test)]` without the
+/// [`SCHEMA_MARKER`] is defining schema the registry cannot see — that is
+/// the `schema-unregistered` violation. Waivable per line with
+/// `// lint: allow(schema-unregistered, reason = "...")` for the rare
+/// non-schema use (e.g. an iterator `.for_each` in a codec-adjacent file).
+const SCHEMA_IDENTS: &[&str] = &["WireWriter", "WireReader", "for_each", "put_message"];
+
+/// Discover the schema-bearing files under `root`: every `.rs` file below
+/// `crates/` whose comments carry the [`SCHEMA_MARKER`]. Files that *use*
+/// the wire primitives without the marker are reported as
+/// `schema-unregistered` violations. The lint tool's own sources are
+/// excluded — they quote the marker and the wire idents as documentation
+/// and test fixtures.
+pub fn discover_schema_files(root: &Path, out: &mut Vec<Violation>) -> io::Result<Vec<String>> {
+    let mut paths = Vec::new();
+    crate::lint::collect_rs_files(&root.join("crates"), &mut paths)?;
+    paths.sort();
+    let mut files = Vec::new();
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rel.starts_with("crates/xtask/") || crate::lint::classify(&rel).test_file {
+            continue;
+        }
+        let src = fs::read_to_string(&path)?;
+        let toks = lexer::lex(&src);
+        let marked = toks
+            .iter()
+            .any(|t| t.kind == TokKind::Comment && t.text.contains(SCHEMA_MARKER));
+        if marked {
+            files.push(rel);
+            continue;
+        }
+        // Unregistered check: wire-format idents in non-test code of an
+        // unmarked file mean tags are being written or read outside the
+        // registry's view.
+        let tmask = lexer::test_mask(&toks);
+        let (allows, _) = Allows::build(&toks);
+        if let Some(t) = toks.iter().enumerate().find_map(|(i, t)| {
+            (t.kind == TokKind::Ident
+                && !tmask[i]
+                && SCHEMA_IDENTS.contains(&t.text.as_str())
+                && !allows.waives(t.line, "schema-unregistered"))
+            .then_some(t)
+        }) {
+            out.push(Violation {
+                file: rel,
+                line: t.line,
+                rule: "schema-unregistered",
+                message: format!(
+                    "`{}` used outside the schema registry: this file reads or writes \
+                     wire tags but carries no `{SCHEMA_MARKER}` marker",
+                    t.text
+                ),
+                hint: "add a `// wire-schema: registry` comment near the top (then run \
+                       `cargo run -p xtask -- schema-lock`), or waive the line with \
+                       `lint: allow(schema-unregistered, reason = \"...\")` if the ident \
+                       is not wire-format use",
+            });
+        }
+    }
+    Ok(files)
+}
 
 /// Name of the committed registry file at the workspace root.
 pub const LOCK_FILE: &str = "wire_schema.lock";
@@ -1473,16 +1534,13 @@ pub fn extract_registry(root: &Path, out: &mut Vec<Violation>) -> io::Result<Reg
     let mut fns = Vec::new();
     let mut flags = BTreeMap::new();
     let mut allow_tables = HashMap::new();
-    for rel in SCHEMA_FILES {
-        let path = root.join(rel);
-        if !path.is_file() {
-            continue;
-        }
+    for rel in discover_schema_files(root, out)? {
+        let path = root.join(&rel);
         let src = fs::read_to_string(&path)?;
         let toks = lexer::lex(&src);
         let (allows, _) = Allows::build(&toks);
-        allow_tables.insert((*rel).to_string(), allows);
-        fns.extend(extract_file(rel, &src, out, &mut flags));
+        allow_tables.insert(rel.clone(), allows);
+        fns.extend(extract_file(&rel, &src, out, &mut flags));
     }
     Ok(build_registry(&fns, flags, &allow_tables, out))
 }
@@ -2349,6 +2407,7 @@ mod tests {
         fs::write(
             rpc_dir.join("rpc.rs"),
             r#"
+// wire-schema: registry
 fn encode_point(w: &mut W, p: &P) {
     w.put_u64(1, p.x);
     w.put_u64(1, p.y);
@@ -2400,7 +2459,8 @@ fn decode_point(bytes: &[u8]) -> Result<P> {
         fs::create_dir_all(&rpc_dir).unwrap();
         fs::write(
             rpc_dir.join("rpc.rs"),
-            "fn encode_p(w: &mut W) { w.put_u64(1, 0); }\n\
+            "// wire-schema: registry\n\
+             fn encode_p(w: &mut W) { w.put_u64(1, 0); }\n\
              fn decode_p(b: &[u8]) -> R {\n\
                  WireReader::new(b).for_each(|f, v| { match f { 1 => {} _ => {} } Ok(()) })\n\
              }\n",
@@ -2409,6 +2469,92 @@ fn decode_point(bytes: &[u8]) -> Result<P> {
         let v = check_tree(&root).unwrap();
         assert_eq!(rules(&v), ["schema-lock"]);
         assert!(v[0].message.contains("missing"));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    fn scratch_tree(files: &[(&str, &str)]) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let root = std::env::temp_dir().join(format!(
+            "xtask-discover-test-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        for (rel, src) in files {
+            let path = root.join(rel);
+            fs::create_dir_all(path.parent().unwrap()).unwrap();
+            fs::write(path, src).unwrap();
+        }
+        root
+    }
+
+    #[test]
+    fn discovery_finds_marked_files_only() {
+        let root = scratch_tree(&[
+            (
+                "crates/a/src/codec.rs",
+                "// wire-schema: registry\nfn encode_p(w: &mut W) { w.put_u64(1, 0); }\n",
+            ),
+            ("crates/a/src/lib.rs", "mod codec;\nfn plain() {}\n"),
+        ]);
+        let mut out = Vec::new();
+        let files = discover_schema_files(&root, &mut out).unwrap();
+        assert_eq!(files, ["crates/a/src/codec.rs"]);
+        assert!(out.is_empty(), "{out:?}");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn unmarked_wire_use_is_a_violation() {
+        let root = scratch_tree(&[(
+            "crates/a/src/sneaky.rs",
+            "fn encode_p(bytes: &mut Vec<u8>) {\n\
+                 let mut w = WireWriter::new(bytes);\n\
+                 w.put_u64(1, 0);\n\
+             }\n",
+        )]);
+        let mut out = Vec::new();
+        let files = discover_schema_files(&root, &mut out).unwrap();
+        assert!(files.is_empty());
+        assert_eq!(rules(&out), ["schema-unregistered"]);
+        assert_eq!(out[0].file, "crates/a/src/sneaky.rs");
+        assert_eq!(out[0].line, 2);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn unregistered_check_skips_tests_strings_and_waived_lines() {
+        let root = scratch_tree(&[
+            (
+                // Wire idents inside #[cfg(test)] are fixtures, not schema.
+                "crates/a/src/fixture.rs",
+                "#[cfg(test)]\nmod tests {\n    fn t() { let w = WireWriter::new(&mut vec![]); }\n}\n",
+            ),
+            (
+                // Inside a string literal: not an Ident token at all.
+                "crates/a/src/doc.rs",
+                "const HELP: &str = \"use WireWriter to encode frames\";\n",
+            ),
+            (
+                // Explicitly waived non-schema use of a wire ident.
+                "crates/a/src/iter.rs",
+                "fn sum(v: &[u64]) -> u64 {\n\
+                     let mut s = 0;\n\
+                     // lint: allow(schema-unregistered, reason = \"iterator for_each, no wire tags here\")\n\
+                     v.iter().for_each(|x| s += x);\n\
+                     s\n\
+                 }\n",
+            ),
+            (
+                // Whole-file test module (`#[cfg(test)] mod tests;` parent).
+                "crates/a/src/tests.rs",
+                "fn t() { let r = WireReader::new(&[]); }\n",
+            ),
+        ]);
+        let mut out = Vec::new();
+        let files = discover_schema_files(&root, &mut out).unwrap();
+        assert!(files.is_empty());
+        assert!(out.is_empty(), "{out:?}");
         fs::remove_dir_all(&root).ok();
     }
 }

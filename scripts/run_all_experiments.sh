@@ -23,6 +23,7 @@ BINS=(
   candidate_ranking
   shard_handoff
   crash_torture
+  fairness
 )
 
 cargo build --release -p ips-bench --bins
